@@ -1,0 +1,60 @@
+// Command genconf generates system configurations: the Table 1 family, the
+// §4 industrial-scale configuration, or randomized workloads, written as
+// XML for the other tools.
+//
+// Usage:
+//
+//	genconf -kind table1 -jobs 14 > t14.xml
+//	genconf -kind industrial > big.xml
+//	genconf -kind random -seed 7 > r7.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/gen"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "random", "table1 | industrial | random")
+		jobs = flag.Int("jobs", 10, "job count for -kind table1")
+		seed = flag.Int64("seed", 1, "seed for -kind random")
+		out  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*kind, *jobs, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "genconf:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, jobs int, seed int64, out string) error {
+	var sys *config.System
+	switch kind {
+	case "table1":
+		sys = gen.Table1Config(jobs)
+	case "industrial":
+		sys = gen.IndustrialConfig()
+	case "random":
+		sys = gen.Random(seed, gen.DefaultRandomParams())
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return sys.WriteXML(w)
+}

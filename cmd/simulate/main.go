@@ -1,0 +1,126 @@
+// Command simulate reads a system configuration from XML, constructs the
+// NSA instance (Algorithm 1), interprets it over one hyperperiod and
+// reports the schedulability verdict, per-task response-time statistics
+// and, optionally, the full trace and an ASCII Gantt chart.
+//
+// Usage:
+//
+//	simulate -config system.xml [-trace] [-gantt] [-scale N] [-observers]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/observer"
+	"stopwatchsim/internal/trace"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "system configuration XML (required)")
+		showTrace  = flag.Bool("trace", false, "print the full system operation trace")
+		showGantt  = flag.Bool("gantt", false, "print an ASCII Gantt chart")
+		scale      = flag.Int64("scale", 1, "Gantt ticks per column")
+		observers  = flag.Bool("observers", false, "check the §3 correctness requirements during the run")
+		jsonOut    = flag.String("json", "", "write the trace and analysis as JSON to this file")
+		csvOut     = flag.String("csv", "", "write the trace as CSV to this file")
+	)
+	flag.Parse()
+	if *configPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configPath, *showTrace, *showGantt, *scale, *observers, *jsonOut, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, showTrace, showGantt bool, scale int64, withObservers bool, jsonOut, csvOut string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sys, err := config.ReadXML(f)
+	if err != nil {
+		return err
+	}
+	m, err := model.Build(sys)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system %q: %d cores, %d partitions, %d tasks, %d messages, L=%d, %d jobs\n",
+		sys.Name, len(sys.Cores), len(sys.Partitions), sys.TaskCount(), len(sys.Messages),
+		sys.Hyperperiod(), sys.JobCount())
+
+	if withObservers {
+		violations, err := observer.VerifyRun(m)
+		if err != nil {
+			return err
+		}
+		if len(violations) == 0 {
+			fmt.Println("observers: all §3 requirements satisfied on this run")
+		} else {
+			for _, v := range violations {
+				fmt.Println("observer violation:", v)
+			}
+		}
+		// Rebuild for a clean run below.
+		m, err = model.Build(sys)
+		if err != nil {
+			return err
+		}
+	}
+
+	tr, res, err := m.Simulate()
+	if err != nil {
+		return err
+	}
+	a, err := trace.Analyze(sys, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run: %d actions, %d delays, stopped at t=%d\n", res.Actions, res.Delays, res.Time)
+	fmt.Print(a.Summary(sys))
+	if showGantt {
+		fmt.Print(trace.Gantt(sys, tr, scale))
+	}
+	if showTrace {
+		fmt.Print(tr.Format(sys))
+	}
+	if jsonOut != "" {
+		w, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteJSON(w, sys, tr, a); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	if csvOut != "" {
+		w, err := os.Create(csvOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteCSV(w, sys); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	if !a.Schedulable {
+		os.Exit(3)
+	}
+	return nil
+}

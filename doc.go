@@ -1,0 +1,22 @@
+// Package stopwatchsim reproduces "Stopwatch Automata-Based Model for
+// Efficient Schedulability Analysis of Modular Computer Systems"
+// (Glonina & Bahmurov, PACT 2017): a parametric Network of Stopwatch
+// Automata modeling IMA system operation, whose single deterministic
+// interpretation yields the system operation trace used for schedulability
+// analysis — exponentially cheaper than Model Checking, which explores all
+// interleavings.
+//
+// The implementation lives under internal/: the expression language (expr),
+// stopwatch automata (sa), network composition and interpretation (nsa),
+// the XTA-like front end (xta), system configurations (config), the
+// concrete component model library and Algorithm 1 (model), system traces
+// and the schedulability criterion (trace), the Model Checking baseline
+// (mc), the §3 correctness observers (observer), analytic cross-validation
+// oracles (analysis), workload generation (gen) and the configuration
+// search tool (sched). Command-line tools are under cmd/, runnable
+// examples under examples/.
+//
+// The benchmarks in this package regenerate the paper's experiments; see
+// EXPERIMENTS.md for the mapping and cmd/benchtable for the full Table 1
+// row range.
+package stopwatchsim

@@ -1,0 +1,67 @@
+// configsearch: the §4 workflow — a design problem (partitions without
+// bindings or windows) is fed to the configuration-search tool, which uses
+// the stopwatch-automata model as its schedulability test on every
+// candidate and returns the best schedulable configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/sched"
+	"stopwatchsim/internal/trace"
+)
+
+func main() {
+	problem := &sched.Problem{
+		Name:      "flight-control",
+		CoreTypes: []string{"cpu"},
+		Cores: []config.Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 0, Module: 1},
+		},
+		Partitions: []sched.PartitionSpec{
+			{Name: "actuation", Policy: config.FPPS, Tasks: []config.Task{
+				{Name: "servo", Priority: 3, WCET: []int64{3}, Period: 20, Deadline: 20},
+				{Name: "mixer", Priority: 2, WCET: []int64{4}, Period: 40, Deadline: 40},
+			}},
+			{Name: "guidance", Policy: config.EDF, Tasks: []config.Task{
+				{Name: "path", Priority: 1, WCET: []int64{6}, Period: 40, Deadline: 40},
+			}},
+			{Name: "telemetry", Policy: config.FPNPS, Tasks: []config.Task{
+				{Name: "tm", Priority: 1, WCET: []int64{5}, Period: 40, Deadline: 40},
+				{Name: "tc", Priority: 2, WCET: []int64{2}, Period: 20, Deadline: 20},
+			}},
+			{Name: "health", Policy: config.FPPS, Tasks: []config.Task{
+				{Name: "bit", Priority: 1, WCET: []int64{4}, Period: 40, Deadline: 40},
+			}},
+		},
+	}
+
+	res, err := sched.Search(problem, sched.Options{Candidates: 48, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("candidates tried: %d, schedulable: %d\n", res.Tried, res.Schedulable)
+	if res.Best == nil {
+		fmt.Println("no schedulable configuration found")
+		os.Exit(1)
+	}
+	best := res.Best
+	fmt.Printf("best binding (partition -> core): %v\n", best.Binding)
+	for i := range best.Sys.Partitions {
+		p := &best.Sys.Partitions[i]
+		fmt.Printf("  %-10s -> %s, %d windows, first %v\n",
+			p.Name, best.Sys.Cores[p.Core].Name, len(p.Windows), p.Windows[0])
+	}
+	fmt.Printf("minimum relative slack: %.3f\n", -best.Score)
+	fmt.Print(best.Analysis.Summary(best.Sys))
+	tr, _, err := model.MustBuild(best.Sys).Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(trace.Gantt(best.Sys, tr, 1))
+}

@@ -1,0 +1,61 @@
+// edf-vs-fpps: the same workload under the three scheduler models in the
+// component library (FPPS, FPNPS, EDF). The task set has a short-deadline
+// low-priority task, so fixed priorities miss a deadline that EDF meets —
+// the trace makes the difference visible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/trace"
+)
+
+func system(policy config.Policy) *config.System {
+	return &config.System{
+		Name:      "policy-" + policy.String(),
+		CoreTypes: []string{"cpu"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []config.Partition{
+			{
+				Name: "app", Core: 0, Policy: policy,
+				Tasks: []config.Task{
+					// "urgent" has a later priority but the earliest deadline.
+					{Name: "heavy", Priority: 3, WCET: []int64{6}, Period: 20, Deadline: 18},
+					{Name: "urgent", Priority: 1, WCET: []int64{3}, Period: 20, Deadline: 6},
+					{Name: "steady", Priority: 2, WCET: []int64{2}, Period: 10, Deadline: 10},
+				},
+				Windows: []config.Window{{Start: 0, End: 20}},
+			},
+		},
+	}
+}
+
+func main() {
+	for _, policy := range []config.Policy{config.FPPS, config.FPNPS, config.EDF} {
+		sys := system(policy)
+		if err := sys.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		m, err := model.Build(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, _, err := m.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := trace.Analyze(sys, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", policy)
+		fmt.Print(a.Summary(sys))
+		fmt.Print(trace.Gantt(sys, tr, 1))
+		fmt.Println()
+	}
+	fmt.Println("EDF runs the earliest-deadline job first and meets the 6-tick deadline;")
+	fmt.Println("both fixed-priority policies serve 'heavy' first and kill 'urgent' at t=6.")
+}

@@ -1,0 +1,97 @@
+// switched-network: the paper's future-work extension in action. Two
+// sensor modules feed a fusion module over an AFDX-like switched network;
+// the shared switch output port serializes their frames, so the second
+// message's end-to-end latency includes queueing behind the first — which
+// a fixed worst-case virtual link would hide. The example contrasts the
+// same system with and without contention.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/trace"
+)
+
+func system(sharedPort bool) *config.System {
+	s := &config.System{
+		Name:      "afdx-demo",
+		CoreTypes: []string{"cpu"},
+		Cores: []config.Core{
+			{Name: "sensorA", Type: 0, Module: 1},
+			{Name: "sensorB", Type: 0, Module: 2},
+			{Name: "fusion", Type: 0, Module: 3},
+		},
+		Partitions: []config.Partition{
+			{Name: "PA", Core: 0, Policy: config.FPPS,
+				Tasks:   []config.Task{{Name: "camA", Priority: 1, WCET: []int64{2}, Period: 50, Deadline: 50}},
+				Windows: []config.Window{{Start: 0, End: 50}}},
+			{Name: "PB", Core: 1, Policy: config.FPPS,
+				Tasks:   []config.Task{{Name: "camB", Priority: 1, WCET: []int64{2}, Period: 50, Deadline: 50}},
+				Windows: []config.Window{{Start: 0, End: 50}}},
+			{Name: "PF", Core: 2, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "fuseA", Priority: 2, WCET: []int64{3}, Period: 50, Deadline: 30},
+					{Name: "fuseB", Priority: 1, WCET: []int64{3}, Period: 50, Deadline: 30},
+				},
+				Windows: []config.Window{{Start: 0, End: 50}}},
+		},
+		Messages: []config.Message{
+			{Name: "vlA", SrcPart: 0, SrcTask: 0, DstPart: 2, DstTask: 0, TxTime: 5},
+			{Name: "vlB", SrcPart: 1, SrcTask: 0, DstPart: 2, DstTask: 1, TxTime: 5},
+		},
+	}
+	if sharedPort {
+		// Both virtual links traverse the same switch output port.
+		s.Net = &config.Topology{
+			Ports:  []config.Port{{Name: "swOut"}},
+			Routes: [][]int{{0}, {0}},
+		}
+	} else {
+		s.Net = &config.Topology{
+			Ports:  []config.Port{{Name: "swOutA"}, {Name: "swOutB"}},
+			Routes: [][]int{{0}, {1}},
+		}
+	}
+	return s
+}
+
+func report(label string, s *config.System) {
+	if err := s.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	m, err := model.Build(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var deliveries []string
+	rec := nsa.ListenerFunc(func(time int64, tr *nsa.Transition, _ *nsa.Network, _ *nsa.State) {
+		if tr.Kind != nsa.Internal && m.ChanInfos[tr.Chan].Role == model.RoleReceive {
+			deliveries = append(deliveries,
+				fmt.Sprintf("%s@%d", s.Messages[m.ChanInfos[tr.Chan].Link].Name, time))
+		}
+	})
+	tb := m.NewTraceBuilder()
+	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: m.Horizon, Listeners: []nsa.Listener{tb, rec}})
+	if _, err := eng.Run(); err != nil {
+		log.Fatal(err)
+	}
+	a, err := trace.Analyze(s, tb.Trace())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s ===\n", label)
+	fmt.Printf("deliveries: %v\n", deliveries)
+	fmt.Print(a.Summary(s))
+	fmt.Println()
+}
+
+func main() {
+	report("dedicated switch ports (no contention)", system(false))
+	report("shared switch port (frames serialize)", system(true))
+	fmt.Println("with the shared port, the second frame queues for 5 extra ticks,")
+	fmt.Println("which the fixed-delay virtual-link model of the base paper cannot express.")
+}

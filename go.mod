@@ -1,0 +1,3 @@
+module stopwatchsim
+
+go 1.22

@@ -1,0 +1,131 @@
+// Package analysis implements classical analytic schedulability tests used
+// to cross-validate the simulator on restricted configurations: exact
+// response-time analysis for fixed-priority preemptive scheduling and the
+// Liu–Layland utilization bound for EDF. Neither handles windows or data
+// dependencies — they apply only to a single partition owning its whole
+// core — which is precisely why the paper's trace-based approach exists;
+// here they serve as independent oracles in tests.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"stopwatchsim/internal/config"
+)
+
+// TaskParams are the analytic view of one periodic task.
+type TaskParams struct {
+	C, T, D  int64 // WCET, period, deadline (D ≤ T)
+	Priority int
+}
+
+// RTAResult is the outcome of response-time analysis for one task.
+type RTAResult struct {
+	Response    int64 // worst-case response time; valid when Schedulable
+	Schedulable bool
+}
+
+// ResponseTimesFPPS computes worst-case response times under
+// fixed-priority preemptive scheduling with synchronous release, by the
+// standard fixpoint iteration R = C_i + Σ_{j∈hp(i)} ⌈R/T_j⌉·C_j.
+// Ties in priority are broken by slice order (earlier wins), matching the
+// model's dispatch rule. A task whose fixpoint exceeds its deadline (or
+// diverges past the LCM bound) is reported unschedulable with Response -1.
+func ResponseTimesFPPS(tasks []TaskParams) []RTAResult {
+	idx := make([]int, len(tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by decreasing priority, stable on input order for ties.
+	sort.SliceStable(idx, func(a, b int) bool {
+		return tasks[idx[a]].Priority > tasks[idx[b]].Priority
+	})
+	out := make([]RTAResult, len(tasks))
+	for pos, i := range idx {
+		t := tasks[i]
+		r := t.C
+		for {
+			next := t.C
+			for _, j := range idx[:pos] {
+				hj := tasks[j]
+				next += ceilDiv(r, hj.T) * hj.C
+			}
+			if next == r {
+				break
+			}
+			r = next
+			if r > t.D {
+				break
+			}
+		}
+		if r <= t.D {
+			out[i] = RTAResult{Response: r, Schedulable: true}
+		} else {
+			out[i] = RTAResult{Response: -1}
+		}
+	}
+	return out
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// EDFUtilizationTest applies the Liu–Layland exact condition for preemptive
+// EDF with deadlines equal to periods: the task set is schedulable iff
+// Σ C/T ≤ 1. It returns an error when some deadline differs from its
+// period (the simple bound would not be exact).
+func EDFUtilizationTest(tasks []TaskParams) (bool, error) {
+	var num, den int64 = 0, 1
+	for _, t := range tasks {
+		if t.D != t.T {
+			return false, fmt.Errorf("analysis: EDF utilization test requires D == T, got D=%d T=%d", t.D, t.T)
+		}
+		// Accumulate C/T exactly as a rational number.
+		num = num*t.T + t.C*den
+		den *= t.T
+		g := gcd(num, den)
+		if g > 1 {
+			num /= g
+			den /= g
+		}
+	}
+	return num <= den, nil
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Applicable reports whether sys fits the oracle's restrictions: a single
+// partition owning its core with one full-hyperperiod window and no data
+// dependencies.
+func Applicable(sys *config.System) bool {
+	if len(sys.Partitions) != 1 || len(sys.Messages) != 0 {
+		return false
+	}
+	p := &sys.Partitions[0]
+	l := sys.Hyperperiod()
+	if len(p.Windows) != 1 || p.Windows[0].Start != 0 || p.Windows[0].End != l {
+		return false
+	}
+	return true
+}
+
+// FromSystem extracts analytic task parameters from the (single) partition
+// of an Applicable system.
+func FromSystem(sys *config.System) ([]TaskParams, error) {
+	if !Applicable(sys) {
+		return nil, fmt.Errorf("analysis: system %q outside the oracle's restrictions", sys.Name)
+	}
+	p := &sys.Partitions[0]
+	ct := sys.Cores[p.Core].Type
+	out := make([]TaskParams, len(p.Tasks))
+	for i := range p.Tasks {
+		t := &p.Tasks[i]
+		out[i] = TaskParams{C: t.WCET[ct], T: t.Period, D: t.Deadline, Priority: t.Priority}
+	}
+	return out, nil
+}

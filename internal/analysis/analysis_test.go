@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/trace"
+)
+
+func TestRTATextbookExample(t *testing.T) {
+	// Classic example: T1(C=3,T=7), T2(C=3,T=12), T3(C=5,T=20), priorities
+	// rate-monotonic. Known responses: R1=3, R2=6, R3=20.
+	tasks := []TaskParams{
+		{C: 3, T: 7, D: 7, Priority: 3},
+		{C: 3, T: 12, D: 12, Priority: 2},
+		{C: 5, T: 20, D: 20, Priority: 1},
+	}
+	got := ResponseTimesFPPS(tasks)
+	want := []int64{3, 6, 20}
+	for i, r := range got {
+		if !r.Schedulable || r.Response != want[i] {
+			t.Errorf("task %d: %+v, want R=%d", i, r, want[i])
+		}
+	}
+}
+
+func TestRTAUnschedulable(t *testing.T) {
+	tasks := []TaskParams{
+		{C: 5, T: 10, D: 10, Priority: 2},
+		{C: 6, T: 10, D: 10, Priority: 1},
+	}
+	got := ResponseTimesFPPS(tasks)
+	if !got[0].Schedulable || got[0].Response != 5 {
+		t.Errorf("high-priority task: %+v", got[0])
+	}
+	if got[1].Schedulable {
+		t.Errorf("low-priority task should be unschedulable: %+v", got[1])
+	}
+}
+
+func TestEDFUtilization(t *testing.T) {
+	ok, err := EDFUtilizationTest([]TaskParams{
+		{C: 5, T: 10, D: 10}, {C: 5, T: 10, D: 10},
+	})
+	if err != nil || !ok {
+		t.Errorf("U=1.0 exactly must be schedulable: %t %v", ok, err)
+	}
+	ok, err = EDFUtilizationTest([]TaskParams{
+		{C: 5, T: 10, D: 10}, {C: 6, T: 10, D: 10},
+	})
+	if err != nil || ok {
+		t.Errorf("U=1.1 must be unschedulable: %t %v", ok, err)
+	}
+	if _, err := EDFUtilizationTest([]TaskParams{{C: 1, T: 10, D: 5}}); err == nil {
+		t.Error("D != T must be rejected")
+	}
+}
+
+func singlePartition(policy config.Policy, tasks []config.Task) *config.System {
+	s := &config.System{
+		Name:      "oracle",
+		CoreTypes: []string{"std"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []config.Partition{
+			{Name: "P1", Core: 0, Policy: policy, Tasks: tasks},
+		},
+	}
+	s.Partitions[0].Windows = []config.Window{{Start: 0, End: s.Hyperperiod()}}
+	return s
+}
+
+func TestApplicable(t *testing.T) {
+	s := singlePartition(config.FPPS, []config.Task{
+		{Name: "T", Priority: 1, WCET: []int64{1}, Period: 4, Deadline: 4},
+	})
+	if !Applicable(s) {
+		t.Error("should be applicable")
+	}
+	if _, err := FromSystem(s); err != nil {
+		t.Error(err)
+	}
+	s.Partitions[0].Windows = []config.Window{{Start: 0, End: 2}}
+	if Applicable(s) {
+		t.Error("partial window should not be applicable")
+	}
+	if _, err := FromSystem(s); err == nil {
+		t.Error("FromSystem should reject")
+	}
+}
+
+// TestSimulatorMatchesRTA: on random synchronous fixed-priority task sets,
+// the simulator's verdict must equal response-time analysis, and for
+// schedulable sets the observed worst response of each task must equal the
+// analytic response time (synchronous release is the critical instant).
+func TestSimulatorMatchesRTA(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	periods := []int64{8, 16, 32}
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + r.Intn(4)
+		tasks := make([]config.Task, n)
+		prios := r.Perm(8)
+		for i := 0; i < n; i++ {
+			p := periods[r.Intn(len(periods))]
+			c := 1 + r.Int63n(p/3)
+			tasks[i] = config.Task{
+				Name:     names[i],
+				Priority: prios[i] + 1, // distinct priorities
+				WCET:     []int64{c},
+				Period:   p,
+				Deadline: p,
+			}
+		}
+		sys := singlePartition(config.FPPS, tasks)
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		params, err := FromSystem(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rta := ResponseTimesFPPS(params)
+		rtaOK := true
+		for _, rr := range rta {
+			rtaOK = rtaOK && rr.Schedulable
+		}
+
+		m := model.MustBuild(sys)
+		tr, _, err := m.Simulate()
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		a, err := trace.Analyze(sys, tr)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if a.Schedulable != rtaOK {
+			t.Fatalf("iter %d: simulator=%t RTA=%t\ntasks=%+v", iter, a.Schedulable, rtaOK, tasks)
+		}
+		if rtaOK {
+			for i, st := range a.TaskStats() {
+				if st.WCRT != rta[i].Response {
+					t.Errorf("iter %d task %d: simulator WCRT=%d, RTA=%d\ntasks=%+v",
+						iter, i, st.WCRT, rta[i].Response, tasks)
+				}
+			}
+		}
+	}
+}
+
+// TestSimulatorMatchesEDFBound: for random implicit-deadline task sets
+// under EDF, the simulator's verdict must match the exact Liu–Layland
+// utilization condition.
+func TestSimulatorMatchesEDFBound(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	periods := []int64{6, 12, 24}
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + r.Intn(4)
+		tasks := make([]config.Task, n)
+		for i := 0; i < n; i++ {
+			p := periods[r.Intn(len(periods))]
+			c := 1 + r.Int63n(p/2)
+			tasks[i] = config.Task{
+				Name: names[i], Priority: 1,
+				WCET: []int64{c}, Period: p, Deadline: p,
+			}
+		}
+		sys := singlePartition(config.EDF, tasks)
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		params, _ := FromSystem(sys)
+		want, err := EDFUtilizationTest(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := model.MustBuild(sys)
+		tr, _, err := m.Simulate()
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		a, err := trace.Analyze(sys, tr)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if a.Schedulable != want {
+			t.Fatalf("iter %d: simulator=%t EDF-bound=%t U tasks=%+v",
+				iter, a.Schedulable, want, tasks)
+		}
+	}
+}
+
+var names = []string{"A", "B", "C", "D", "E", "F"}

@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"stopwatchsim/internal/analysis"
+)
+
+// ExampleResponseTimesFPPS computes the classic response-time fixpoint for
+// a rate-monotonic task set.
+func ExampleResponseTimesFPPS() {
+	tasks := []analysis.TaskParams{
+		{C: 3, T: 7, D: 7, Priority: 3},
+		{C: 3, T: 12, D: 12, Priority: 2},
+		{C: 5, T: 20, D: 20, Priority: 1},
+	}
+	for i, r := range analysis.ResponseTimesFPPS(tasks) {
+		fmt.Printf("task %d: R=%d schedulable=%t\n", i, r.Response, r.Schedulable)
+	}
+	// Output:
+	// task 0: R=3 schedulable=true
+	// task 1: R=6 schedulable=true
+	// task 2: R=20 schedulable=true
+}
+
+// ExampleEDFUtilizationTest applies the exact Liu–Layland condition.
+func ExampleEDFUtilizationTest() {
+	ok, _ := analysis.EDFUtilizationTest([]analysis.TaskParams{
+		{C: 5, T: 10, D: 10},
+		{C: 5, T: 10, D: 10},
+	})
+	fmt.Println(ok)
+	over, _ := analysis.EDFUtilizationTest([]analysis.TaskParams{
+		{C: 6, T: 10, D: 10},
+		{C: 5, T: 10, D: 10},
+	})
+	fmt.Println(over)
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/trace"
+)
+
+// ScaleWCET returns a deep copy of sys with every WCET multiplied by
+// pct/100 (rounded down, clamped to ≥ 1).
+func ScaleWCET(sys *config.System, pct int64) *config.System {
+	out := *sys
+	out.Partitions = make([]config.Partition, len(sys.Partitions))
+	for i := range sys.Partitions {
+		p := sys.Partitions[i]
+		tasks := make([]config.Task, len(p.Tasks))
+		for j, t := range p.Tasks {
+			wcet := make([]int64, len(t.WCET))
+			for k, c := range t.WCET {
+				scaled := c * pct / 100
+				if scaled < 1 {
+					scaled = 1
+				}
+				wcet[k] = scaled
+			}
+			t.WCET = wcet
+			tasks[j] = t
+		}
+		p.Tasks = tasks
+		out.Partitions[i] = p
+	}
+	return &out
+}
+
+// Schedulable builds and simulates sys, returning the criterion verdict.
+func Schedulable(sys *config.System) (bool, error) {
+	if err := sys.Validate(); err != nil {
+		return false, err
+	}
+	m, err := model.Build(sys)
+	if err != nil {
+		return false, err
+	}
+	tr, _, err := m.Simulate()
+	if err != nil {
+		return false, err
+	}
+	a, err := trace.Analyze(sys, tr)
+	if err != nil {
+		return false, err
+	}
+	return a.Schedulable, nil
+}
+
+// CriticalScaling performs the classic sensitivity analysis: the largest
+// integer percentage pct in [1, maxPct] such that scaling every WCET by
+// pct/100 keeps the configuration schedulable, found by binary search with
+// the simulator as the oracle. It returns 0 when even pct=1 is
+// unschedulable. Binary search assumes schedulability is monotone in the
+// scaling factor, which holds for work-conserving schedulers on a fixed
+// window schedule.
+func CriticalScaling(sys *config.System, maxPct int64) (int64, error) {
+	if maxPct < 1 {
+		return 0, fmt.Errorf("analysis: non-positive scaling bound %d", maxPct)
+	}
+	ok, err := Schedulable(ScaleWCET(sys, 1))
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	lo, hi := int64(1), maxPct // invariant: lo schedulable, hi+1 considered unschedulable
+	if ok, err = Schedulable(ScaleWCET(sys, maxPct)); err != nil {
+		return 0, err
+	} else if ok {
+		return maxPct, nil
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		ok, err := Schedulable(ScaleWCET(sys, mid))
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

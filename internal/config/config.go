@@ -1,0 +1,213 @@
+// Package config defines modular (IMA) system configurations following the
+// paper's formalization: a configuration is the tuple ⟨HW, WL, Bind, Sched⟩
+// of processing cores, a workload of partitions with tasks and a data-flow
+// graph, a binding of partitions to cores, and a periodic window schedule.
+//
+// All times are integer ticks. The schedule repeats with period L, the least
+// common multiple of all task periods (Hyperperiod).
+package config
+
+import "fmt"
+
+// Policy is a task scheduling algorithm type (the A_i of a partition).
+type Policy uint8
+
+// Scheduling policies implemented by the component model library. RR is an
+// extension beyond the paper's three schedulers (its future-work section
+// plans "more models of core and task schedulers").
+const (
+	FPPS  Policy = iota // fixed-priority preemptive
+	FPNPS               // fixed-priority non-preemptive
+	EDF                 // earliest deadline first (preemptive)
+	RR                  // round-robin with a per-partition quantum
+)
+
+var policyNames = [...]string{FPPS: "FPPS", FPNPS: "FPNPS", EDF: "EDF", RR: "RR"}
+
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// ParsePolicy converts a policy name to its value.
+func ParsePolicy(s string) (Policy, error) {
+	for i, n := range policyNames {
+		if n == s {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown scheduling policy %q", s)
+}
+
+// Core is one processing core (an element of HW). Type indexes
+// System.CoreTypes; Module is the hardware module the core belongs to
+// (message transfers within one module go through memory, across modules
+// through the network).
+type Core struct {
+	Name   string
+	Type   int
+	Module int
+}
+
+// Task is a periodic task: every Period ticks a job is released that must
+// receive WCET[coretype] ticks of processor time within Deadline ticks of
+// its release. Priority orders tasks under fixed-priority policies (larger
+// is more urgent).
+type Task struct {
+	Name     string
+	Priority int
+	WCET     []int64 // per core type
+	Period   int64
+	Deadline int64
+}
+
+// Window is one execution window ⟨Start, End⟩ of a partition on its core,
+// with 0 ≤ Start < End ≤ L.
+type Window struct {
+	Start, End int64
+}
+
+// Partition is an application partition: a set of tasks, a scheduling
+// policy, a binding to a core (index into System.Cores) and a window set.
+// Quantum is the round-robin time slice, used (and required) only when
+// Policy is RR.
+type Partition struct {
+	Name    string
+	Tasks   []Task
+	Policy  Policy
+	Core    int
+	Windows []Window
+	Quantum int64
+}
+
+// Message is an edge of the data-flow graph G: the k-th job of the receiver
+// task cannot start before the k-th job of the sender task has completed
+// and the message has been transferred (taking MemDelay ticks within a
+// module, NetDelay across modules). Sender and receiver must share a
+// period. When the system has a Topology and the message a route, the
+// transfer instead traverses switch ports, taking TxTime ticks per hop
+// plus queueing.
+type Message struct {
+	Name     string
+	SrcPart  int // index into System.Partitions
+	SrcTask  int // index into Partitions[SrcPart].Tasks
+	DstPart  int
+	DstTask  int
+	MemDelay int64
+	NetDelay int64
+	TxTime   int64 // per-hop frame transmission time for routed messages
+}
+
+// System is a complete system configuration. Net is optional: when nil,
+// all messages use fixed worst-case transfer delays.
+type System struct {
+	Name       string
+	CoreTypes  []string
+	Cores      []Core
+	Partitions []Partition
+	Messages   []Message
+	Net        *Topology
+}
+
+// TaskRef identifies a task by partition and task index.
+type TaskRef struct {
+	Part, Task int
+}
+
+// String renders the reference using configured names.
+func (s *System) TaskName(r TaskRef) string {
+	return s.Partitions[r.Part].Name + "." + s.Partitions[r.Part].Tasks[r.Task].Name
+}
+
+// Hyperperiod returns L, the least common multiple of all task periods.
+func (s *System) Hyperperiod() int64 {
+	l := int64(1)
+	for i := range s.Partitions {
+		for j := range s.Partitions[i].Tasks {
+			l = LCM(l, s.Partitions[i].Tasks[j].Period)
+		}
+	}
+	return l
+}
+
+// TaskCount returns the total number of tasks.
+func (s *System) TaskCount() int {
+	n := 0
+	for i := range s.Partitions {
+		n += len(s.Partitions[i].Tasks)
+	}
+	return n
+}
+
+// JobCount returns the total number of jobs over one hyperperiod,
+// Σ L/P_ij in the paper's terms.
+func (s *System) JobCount() int64 {
+	l := s.Hyperperiod()
+	var n int64
+	for i := range s.Partitions {
+		for j := range s.Partitions[i].Tasks {
+			n += l / s.Partitions[i].Tasks[j].Period
+		}
+	}
+	return n
+}
+
+// WCETOn returns the task's worst-case execution time on the core its
+// partition is bound to.
+func (s *System) WCETOn(r TaskRef) int64 {
+	p := &s.Partitions[r.Part]
+	return p.Tasks[r.Task].WCET[s.Cores[p.Core].Type]
+}
+
+// Delay returns the worst-case transfer delay of message m: the memory
+// delay when sender and receiver partitions share a module, the network
+// delay otherwise.
+func (s *System) Delay(m *Message) int64 {
+	src := s.Cores[s.Partitions[m.SrcPart].Core].Module
+	dst := s.Cores[s.Partitions[m.DstPart].Core].Module
+	if src == dst {
+		return m.MemDelay
+	}
+	return m.NetDelay
+}
+
+// Utilization returns the processor utilization of core c: the sum over
+// tasks bound to it of WCET/Period.
+func (s *System) Utilization(c int) float64 {
+	u := 0.0
+	for i := range s.Partitions {
+		p := &s.Partitions[i]
+		if p.Core != c {
+			continue
+		}
+		for j := range p.Tasks {
+			u += float64(p.Tasks[j].WCET[s.Cores[c].Type]) / float64(p.Tasks[j].Period)
+		}
+	}
+	return u
+}
+
+// GCD returns the greatest common divisor of a and b (non-negative inputs).
+func GCD(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b. It panics on overflow,
+// which indicates pathological period choices.
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	g := GCD(a, b)
+	q := a / g
+	r := q * b
+	if r/b != q {
+		panic(fmt.Sprintf("config: hyperperiod overflow computing lcm(%d,%d)", a, b))
+	}
+	return r
+}

@@ -1,0 +1,274 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// demo returns a small valid two-core, two-partition system with a message.
+func demo() *System {
+	return &System{
+		Name:      "demo",
+		CoreTypes: []string{"fast", "slow"},
+		Cores: []Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 1, Module: 2},
+		},
+		Partitions: []Partition{
+			{
+				Name: "P1", Core: 0, Policy: FPPS,
+				Tasks: []Task{
+					{Name: "T1", Priority: 2, WCET: []int64{10, 20}, Period: 100, Deadline: 80},
+					{Name: "T2", Priority: 1, WCET: []int64{5, 9}, Period: 50, Deadline: 50},
+				},
+				Windows: []Window{{0, 30}, {50, 80}},
+			},
+			{
+				Name: "P2", Core: 1, Policy: EDF,
+				Tasks: []Task{
+					{Name: "T3", Priority: 0, WCET: []int64{7, 12}, Period: 100, Deadline: 90},
+				},
+				Windows: []Window{{0, 100}},
+			},
+		},
+		Messages: []Message{
+			{Name: "m1", SrcPart: 0, SrcTask: 0, DstPart: 1, DstTask: 0, MemDelay: 1, NetDelay: 4},
+		},
+	}
+}
+
+func TestDemoValid(t *testing.T) {
+	if err := demo().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperperiodAndCounts(t *testing.T) {
+	s := demo()
+	if l := s.Hyperperiod(); l != 100 {
+		t.Errorf("L = %d, want 100", l)
+	}
+	if n := s.TaskCount(); n != 3 {
+		t.Errorf("tasks = %d, want 3", n)
+	}
+	if n := s.JobCount(); n != 4 { // 1 + 2 + 1
+		t.Errorf("jobs = %d, want 4", n)
+	}
+}
+
+func TestWCETAndDelay(t *testing.T) {
+	s := demo()
+	if c := s.WCETOn(TaskRef{0, 0}); c != 10 {
+		t.Errorf("WCET(T1 on fast) = %d, want 10", c)
+	}
+	if c := s.WCETOn(TaskRef{1, 0}); c != 12 {
+		t.Errorf("WCET(T3 on slow) = %d, want 12", c)
+	}
+	if d := s.Delay(&s.Messages[0]); d != 4 {
+		t.Errorf("cross-module delay = %d, want 4 (network)", d)
+	}
+	s.Cores[1].Module = 1
+	if d := s.Delay(&s.Messages[0]); d != 1 {
+		t.Errorf("same-module delay = %d, want 1 (memory)", d)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := demo()
+	got := s.Utilization(0) // 10/100 + 5/50 = 0.2
+	if got < 0.199 || got > 0.201 {
+		t.Errorf("U(c1) = %f, want 0.2", got)
+	}
+}
+
+func TestTaskName(t *testing.T) {
+	s := demo()
+	if n := s.TaskName(TaskRef{1, 0}); n != "P2.T3" {
+		t.Errorf("TaskName = %q", n)
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	cases := []struct{ a, b, g, l int64 }{
+		{12, 18, 6, 36},
+		{5, 7, 1, 35},
+		{100, 100, 100, 100},
+		{1, 9, 1, 9},
+	}
+	for _, c := range cases {
+		if g := GCD(c.a, c.b); g != c.g {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, g, c.g)
+		}
+		if l := LCM(c.a, c.b); l != c.l {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, l, c.l)
+		}
+	}
+	if LCM(0, 5) != 0 {
+		t.Error("LCM(0,5) should be 0")
+	}
+}
+
+func TestQuickLCMDivisibility(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int64(a)+1, int64(b)+1
+		l := LCM(x, y)
+		return l%x == 0 && l%y == 0 && l >= x && l >= y && l <= x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*System)
+		sub  string
+	}{
+		{"no core types", func(s *System) { s.CoreTypes = nil }, "no core types"},
+		{"no cores", func(s *System) { s.Cores = nil }, "no cores"},
+		{"no partitions", func(s *System) { s.Partitions = nil }, "no partitions"},
+		{"dup core type", func(s *System) { s.CoreTypes[1] = "fast" }, "duplicate core type"},
+		{"dup core", func(s *System) { s.Cores[1].Name = "c1" }, "duplicate core"},
+		{"bad core type idx", func(s *System) { s.Cores[0].Type = 9 }, "out of range"},
+		{"dup partition", func(s *System) { s.Partitions[1].Name = "P1" }, "duplicate partition"},
+		{"bad binding", func(s *System) { s.Partitions[0].Core = 5 }, "bound core"},
+		{"no tasks", func(s *System) { s.Partitions[0].Tasks = nil }, "no tasks"},
+		{"dup task", func(s *System) { s.Partitions[0].Tasks[1].Name = "T1" }, "duplicate task"},
+		{"bad period", func(s *System) { s.Partitions[0].Tasks[0].Period = 0 }, "period"},
+		{"deadline > period", func(s *System) { s.Partitions[0].Tasks[0].Deadline = 200 }, "deadline"},
+		{"zero deadline", func(s *System) { s.Partitions[0].Tasks[0].Deadline = 0 }, "deadline"},
+		{"short wcet vector", func(s *System) { s.Partitions[0].Tasks[0].WCET = []int64{1} }, "WCET vector"},
+		{"zero wcet", func(s *System) { s.Partitions[0].Tasks[0].WCET[0] = 0 }, "non-positive WCET"},
+		{"negative priority", func(s *System) { s.Partitions[0].Tasks[0].Priority = -1 }, "priority"},
+		{"no windows", func(s *System) { s.Partitions[0].Windows = nil }, "no execution windows"},
+		{"window beyond L", func(s *System) { s.Partitions[0].Windows = []Window{{0, 1000}} }, "outside"},
+		{"empty window", func(s *System) { s.Partitions[0].Windows = []Window{{10, 10}} }, "outside"},
+		{"unsorted windows", func(s *System) { s.Partitions[0].Windows = []Window{{50, 80}, {0, 30}} }, "not sorted"},
+		{"self-overlap", func(s *System) { s.Partitions[0].Windows = []Window{{0, 30}, {20, 40}} }, "not sorted"},
+		{"cross-partition overlap", func(s *System) {
+			s.Partitions[1].Core = 0
+			s.Partitions[1].Windows = []Window{{25, 60}}
+		}, "overlap"},
+		{"dup message", func(s *System) {
+			s.Messages = append(s.Messages, s.Messages[0])
+		}, "duplicate message"},
+		{"bad msg src", func(s *System) { s.Messages[0].SrcTask = 9 }, "sender reference"},
+		{"bad msg dst", func(s *System) { s.Messages[0].DstPart = 9 }, "receiver reference"},
+		{"self message", func(s *System) {
+			s.Messages[0].DstPart = 0
+			s.Messages[0].DstTask = 0
+		}, "same task"},
+		{"period mismatch", func(s *System) {
+			s.Messages[0].SrcTask = 1 // T2 has period 50, T3 has 100
+		}, "equal periods"},
+		{"negative delay", func(s *System) { s.Messages[0].MemDelay = -1 }, "negative transfer delay"},
+		{"dependency cycle", func(s *System) {
+			s.Messages = append(s.Messages, Message{
+				Name: "m2", SrcPart: 1, SrcTask: 0, DstPart: 0, DstTask: 0,
+				MemDelay: 1, NetDelay: 1,
+			})
+		}, "cycle"},
+	}
+	for _, c := range cases {
+		s := demo()
+		c.mut(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.name, c.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.sub)
+		}
+	}
+}
+
+func TestMessageQueries(t *testing.T) {
+	s := demo()
+	in := s.IncomingMessages(TaskRef{1, 0})
+	if len(in) != 1 || in[0] != 0 {
+		t.Errorf("IncomingMessages = %v", in)
+	}
+	out := s.OutgoingMessages(TaskRef{0, 0})
+	if len(out) != 1 || out[0] != 0 {
+		t.Errorf("OutgoingMessages = %v", out)
+	}
+	if got := s.IncomingMessages(TaskRef{0, 0}); len(got) != 0 {
+		t.Errorf("IncomingMessages(T1) = %v", got)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	s := demo()
+	var buf bytes.Buffer
+	if err := s.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatalf("ReadXML: %v\nXML:\n%s", err, buf.String())
+	}
+	if got.Name != s.Name {
+		t.Errorf("name = %q", got.Name)
+	}
+	if len(got.Cores) != 2 || got.Cores[1].Module != 2 || got.Cores[1].Type != 1 {
+		t.Errorf("cores = %+v", got.Cores)
+	}
+	if len(got.Partitions) != 2 {
+		t.Fatalf("partitions = %d", len(got.Partitions))
+	}
+	p1 := got.Partitions[0]
+	if p1.Policy != FPPS || len(p1.Tasks) != 2 || len(p1.Windows) != 2 {
+		t.Errorf("P1 = %+v", p1)
+	}
+	if p1.Tasks[0].WCET[1] != 20 {
+		t.Errorf("T1 WCET = %v", p1.Tasks[0].WCET)
+	}
+	if got.Partitions[1].Policy != EDF {
+		t.Errorf("P2 policy = %v", got.Partitions[1].Policy)
+	}
+	if len(got.Messages) != 1 || got.Messages[0].DstPart != 1 || got.Messages[0].NetDelay != 4 {
+		t.Errorf("messages = %+v", got.Messages)
+	}
+}
+
+func TestReadXMLErrors(t *testing.T) {
+	cases := []struct{ name, xml, sub string }{
+		{"garbage", "<<<", "parsing XML"},
+		{"unknown core type", `<system name="x"><coreType name="a"/><module id="1"><core name="c" type="zz"/></module></system>`, "unknown core type"},
+		{"unknown core", `<system name="x"><coreType name="a"/><module id="1"><core name="c" type="a"/></module><partition name="P" core="zz" policy="FPPS"/></system>`, "unknown core"},
+		{"bad policy", `<system name="x"><coreType name="a"/><module id="1"><core name="c" type="a"/></module><partition name="P" core="c" policy="WEIRD"/></system>`, "unknown scheduling policy"},
+		{"bad wcet", `<system name="x"><coreType name="a"/><module id="1"><core name="c" type="a"/></module><partition name="P" core="c" policy="FPPS"><task name="T" priority="1" period="10" deadline="10" wcet="abc"/><window start="0" end="10"/></partition></system>`, "bad wcet"},
+		{"unknown sender", `<system name="x"><coreType name="a"/><module id="1"><core name="c" type="a"/></module><partition name="P" core="c" policy="FPPS"><task name="T" priority="1" period="10" deadline="10" wcet="1"/><window start="0" end="10"/></partition><message name="m" from="Z.Z" to="P.T" memDelay="1" netDelay="1"/></system>`, "unknown sender"},
+		{"unknown receiver", `<system name="x"><coreType name="a"/><module id="1"><core name="c" type="a"/></module><partition name="P" core="c" policy="FPPS"><task name="T" priority="1" period="10" deadline="10" wcet="1"/><window start="0" end="10"/></partition><message name="m" from="P.T" to="Z.Z" memDelay="1" netDelay="1"/></system>`, "unknown receiver"},
+		{"invalid semantics", `<system name="x"><coreType name="a"/><module id="1"><core name="c" type="a"/></module><partition name="P" core="c" policy="FPPS"><task name="T" priority="1" period="10" deadline="20" wcet="1"/><window start="0" end="10"/></partition></system>`, "deadline"},
+	}
+	for _, c := range cases {
+		_, err := ReadXML(strings.NewReader(c.xml))
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.name, c.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.sub)
+		}
+	}
+}
+
+func TestPolicyParse(t *testing.T) {
+	for _, p := range []Policy{FPPS, FPNPS, EDF} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%s) = %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("expected error")
+	}
+	if s := Policy(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("Policy(99) = %q", s)
+	}
+}

@@ -1,0 +1,102 @@
+package config
+
+import "fmt"
+
+// Topology describes a switched network explicitly, the extension the
+// paper's future-work section plans ("models of switched networks
+// components"). When a System carries a Topology, messages with a
+// non-empty route are transferred hop by hop through switch output ports —
+// serialization points with FIFO queues — instead of taking the fixed
+// worst-case delay of the plain virtual-link model. Messages without a
+// route keep the fixed-delay behaviour, so both models can coexist.
+type Topology struct {
+	// Ports are unidirectional serialization points (switch output ports
+	// or module egress links).
+	Ports []Port
+	// Routes[h] lists the port indices message h traverses, in order.
+	// An empty route keeps the fixed-delay virtual link for that message.
+	Routes [][]int
+}
+
+// Port is one serialization point of the network.
+type Port struct {
+	Name string
+}
+
+// validateNetwork checks the topology against the message set.
+func (s *System) validateNetwork() error {
+	t := s.Net
+	if t == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for i, p := range t.Ports {
+		if p.Name == "" {
+			return verr("network", "port %d has empty name", i)
+		}
+		if seen[p.Name] {
+			return verr("network", "duplicate port %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if len(t.Routes) != len(s.Messages) {
+		return verr("network", "%d routes for %d messages", len(t.Routes), len(s.Messages))
+	}
+	for h, route := range t.Routes {
+		m := &s.Messages[h]
+		for _, p := range route {
+			if p < 0 || p >= len(t.Ports) {
+				return verr("message "+m.Name, "route references unknown port %d", p)
+			}
+		}
+		if len(route) > 0 && m.TxTime <= 0 {
+			return verr("message "+m.Name, "routed message needs a positive txTime, got %d", m.TxTime)
+		}
+		for i := 0; i < len(route); i++ {
+			for j := i + 1; j < len(route); j++ {
+				if route[i] == route[j] {
+					return verr("message "+m.Name, "route visits port %q twice", t.Ports[route[i]].Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RouteOf returns the port route of message h (nil for fixed-delay links).
+func (s *System) RouteOf(h int) []int {
+	if s.Net == nil || h >= len(s.Net.Routes) {
+		return nil
+	}
+	return s.Net.Routes[h]
+}
+
+// MessagesThroughPort returns, for each hop position, the messages whose
+// route passes through port p: a slice of (message, hop index) pairs.
+func (s *System) MessagesThroughPort(p int) []PortHop {
+	var out []PortHop
+	if s.Net == nil {
+		return out
+	}
+	for h, route := range s.Net.Routes {
+		for i, port := range route {
+			if port == p {
+				out = append(out, PortHop{Message: h, Hop: i})
+			}
+		}
+	}
+	return out
+}
+
+// PortHop identifies one traversal of a port by a message.
+type PortHop struct {
+	Message int
+	Hop     int
+}
+
+func (s *System) portName(p int) string {
+	if s.Net == nil || p < 0 || p >= len(s.Net.Ports) {
+		return fmt.Sprintf("port#%d", p)
+	}
+	return s.Net.Ports[p].Name
+}

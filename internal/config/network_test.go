@@ -1,0 +1,105 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func switched() *System {
+	s := demo()
+	s.Messages[0].TxTime = 3
+	s.Net = &Topology{
+		Ports:  []Port{{Name: "p0"}, {Name: "p1"}},
+		Routes: [][]int{{0, 1}},
+	}
+	return s
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if err := switched().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*System)
+		sub  string
+	}{
+		{"empty port name", func(s *System) { s.Net.Ports[0].Name = "" }, "empty name"},
+		{"dup port", func(s *System) { s.Net.Ports[1].Name = "p0" }, "duplicate port"},
+		{"route count", func(s *System) { s.Net.Routes = nil }, "routes for"},
+		{"bad port idx", func(s *System) { s.Net.Routes[0] = []int{9} }, "unknown port"},
+		{"no txtime", func(s *System) { s.Messages[0].TxTime = 0 }, "txTime"},
+		{"port twice", func(s *System) { s.Net.Routes[0] = []int{1, 1} }, "twice"},
+	}
+	for _, c := range cases {
+		s := switched()
+		c.mut(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.sub)
+		}
+	}
+}
+
+func TestNetworkQueries(t *testing.T) {
+	s := switched()
+	if r := s.RouteOf(0); len(r) != 2 || r[0] != 0 {
+		t.Errorf("RouteOf = %v", r)
+	}
+	if r := s.RouteOf(9); r != nil {
+		t.Errorf("out-of-range RouteOf = %v", r)
+	}
+	hops := s.MessagesThroughPort(1)
+	if len(hops) != 1 || hops[0] != (PortHop{Message: 0, Hop: 1}) {
+		t.Errorf("hops = %v", hops)
+	}
+	if s.portName(0) != "p0" || !strings.Contains(s.portName(9), "9") {
+		t.Error("portName wrong")
+	}
+	s.Net = nil
+	if r := s.RouteOf(0); r != nil {
+		t.Errorf("nil-net RouteOf = %v", r)
+	}
+	if hops := s.MessagesThroughPort(0); len(hops) != 0 {
+		t.Errorf("nil-net hops = %v", hops)
+	}
+}
+
+func TestNetworkXMLRoundTrip(t *testing.T) {
+	s := switched()
+	var buf bytes.Buffer
+	if err := s.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadXML(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if got.Net == nil || len(got.Net.Ports) != 2 {
+		t.Fatalf("net = %+v", got.Net)
+	}
+	if r := got.RouteOf(0); len(r) != 2 || r[0] != 0 || r[1] != 1 {
+		t.Errorf("route = %v", r)
+	}
+	if got.Messages[0].TxTime != 3 {
+		t.Errorf("txTime = %d", got.Messages[0].TxTime)
+	}
+}
+
+func TestNetworkXMLErrors(t *testing.T) {
+	s := switched()
+	var buf bytes.Buffer
+	if err := s.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(buf.String(), `route="p0 p1"`, `route="p0 nope"`, 1)
+	if _, err := ReadXML(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "unknown port") {
+		t.Errorf("err = %v", err)
+	}
+	noNet := strings.Replace(buf.String(), "<network>", "<disabled>", 1)
+	noNet = strings.Replace(noNet, "</network>", "</disabled>", 1)
+	if _, err := ReadXML(strings.NewReader(noNet)); err == nil || !strings.Contains(err.Error(), "no network") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,34 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReferenceConfigs loads every XML file under testdata/ — the reference
+// configurations shipped with the repository must stay parseable and valid.
+func TestReferenceConfigs(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no reference configurations found")
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := ReadXML(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if sys.Hyperperiod() <= 0 || sys.TaskCount() == 0 {
+			t.Errorf("%s: degenerate system %+v", path, sys)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ValidationError describes a configuration defect found by Validate.
+type ValidationError struct {
+	Where string
+	Msg   string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("config: %s: %s", e.Where, e.Msg)
+}
+
+func verr(where, format string, args ...any) error {
+	return &ValidationError{Where: where, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks the configuration against the formal model's constraints:
+// well-formed cores and core types, tasks with positive periods, deadlines
+// within periods, per-core-type WCET vectors, valid bindings, windows inside
+// [0, L] that do not overlap on a shared core, messages connecting distinct
+// tasks of equal period, and an acyclic data-flow graph.
+func (s *System) Validate() error {
+	if len(s.CoreTypes) == 0 {
+		return verr("system", "no core types")
+	}
+	if len(s.Cores) == 0 {
+		return verr("system", "no cores")
+	}
+	if len(s.Partitions) == 0 {
+		return verr("system", "no partitions")
+	}
+	seen := make(map[string]bool)
+	for i, ct := range s.CoreTypes {
+		if ct == "" {
+			return verr("system", "core type %d has empty name", i)
+		}
+		if seen["t:"+ct] {
+			return verr("system", "duplicate core type %q", ct)
+		}
+		seen["t:"+ct] = true
+	}
+	for i, c := range s.Cores {
+		if c.Name == "" {
+			return verr("system", "core %d has empty name", i)
+		}
+		if seen["c:"+c.Name] {
+			return verr("system", "duplicate core %q", c.Name)
+		}
+		seen["c:"+c.Name] = true
+		if c.Type < 0 || c.Type >= len(s.CoreTypes) {
+			return verr("core "+c.Name, "core type %d out of range", c.Type)
+		}
+	}
+	for i := range s.Partitions {
+		p := &s.Partitions[i]
+		if p.Name == "" {
+			return verr("system", "partition %d has empty name", i)
+		}
+		if seen["p:"+p.Name] {
+			return verr("system", "duplicate partition %q", p.Name)
+		}
+		seen["p:"+p.Name] = true
+		if p.Core < 0 || p.Core >= len(s.Cores) {
+			return verr("partition "+p.Name, "bound core %d out of range", p.Core)
+		}
+		if int(p.Policy) >= len(policyNames) {
+			return verr("partition "+p.Name, "unknown policy %d", p.Policy)
+		}
+		if p.Policy == RR && p.Quantum <= 0 {
+			return verr("partition "+p.Name, "round-robin requires a positive quantum, got %d", p.Quantum)
+		}
+		if len(p.Tasks) == 0 {
+			return verr("partition "+p.Name, "no tasks")
+		}
+		tseen := make(map[string]bool)
+		for j := range p.Tasks {
+			t := &p.Tasks[j]
+			where := fmt.Sprintf("task %s.%s", p.Name, t.Name)
+			if t.Name == "" {
+				return verr("partition "+p.Name, "task %d has empty name", j)
+			}
+			if tseen[t.Name] {
+				return verr("partition "+p.Name, "duplicate task %q", t.Name)
+			}
+			tseen[t.Name] = true
+			if t.Period <= 0 {
+				return verr(where, "non-positive period %d", t.Period)
+			}
+			if t.Deadline <= 0 || t.Deadline > t.Period {
+				return verr(where, "deadline %d outside (0, period %d]", t.Deadline, t.Period)
+			}
+			if len(t.WCET) != len(s.CoreTypes) {
+				return verr(where, "WCET vector has %d entries, want one per core type (%d)", len(t.WCET), len(s.CoreTypes))
+			}
+			for k, c := range t.WCET {
+				if c <= 0 {
+					return verr(where, "non-positive WCET %d for core type %q", c, s.CoreTypes[k])
+				}
+			}
+			if t.Priority < 0 {
+				return verr(where, "negative priority %d", t.Priority)
+			}
+		}
+	}
+
+	// Windows: each inside [0, L], start < end, sorted per partition, and
+	// non-overlapping across partitions sharing a core.
+	l := s.Hyperperiod()
+	type cw struct {
+		Window
+		part string
+	}
+	perCore := make(map[int][]cw)
+	for i := range s.Partitions {
+		p := &s.Partitions[i]
+		if len(p.Windows) == 0 {
+			return verr("partition "+p.Name, "no execution windows")
+		}
+		prevEnd := int64(-1)
+		for _, w := range p.Windows {
+			if w.Start < 0 || w.End > l || w.Start >= w.End {
+				return verr("partition "+p.Name, "window [%d,%d) outside [0,%d) or empty", w.Start, w.End, l)
+			}
+			if w.Start < prevEnd {
+				return verr("partition "+p.Name, "windows not sorted or overlapping at [%d,%d)", w.Start, w.End)
+			}
+			prevEnd = w.End
+			perCore[p.Core] = append(perCore[p.Core], cw{w, p.Name})
+		}
+	}
+	for core, ws := range perCore {
+		sort.Slice(ws, func(a, b int) bool { return ws[a].Start < ws[b].Start })
+		for i := 1; i < len(ws); i++ {
+			if ws[i].Start < ws[i-1].End {
+				return verr("core "+s.Cores[core].Name,
+					"windows of %q and %q overlap at [%d,%d)", ws[i-1].part, ws[i].part, ws[i].Start, ws[i-1].End)
+			}
+		}
+	}
+
+	// Messages.
+	mseen := make(map[string]bool)
+	for i := range s.Messages {
+		m := &s.Messages[i]
+		where := "message " + m.Name
+		if m.Name == "" {
+			return verr("system", "message %d has empty name", i)
+		}
+		if mseen[m.Name] {
+			return verr("system", "duplicate message %q", m.Name)
+		}
+		mseen[m.Name] = true
+		if !s.validRef(TaskRef{m.SrcPart, m.SrcTask}) {
+			return verr(where, "sender reference (%d,%d) out of range", m.SrcPart, m.SrcTask)
+		}
+		if !s.validRef(TaskRef{m.DstPart, m.DstTask}) {
+			return verr(where, "receiver reference (%d,%d) out of range", m.DstPart, m.DstTask)
+		}
+		if m.SrcPart == m.DstPart && m.SrcTask == m.DstTask {
+			return verr(where, "sender and receiver are the same task")
+		}
+		sp := s.Partitions[m.SrcPart].Tasks[m.SrcTask].Period
+		dp := s.Partitions[m.DstPart].Tasks[m.DstTask].Period
+		if sp != dp {
+			return verr(where, "sender period %d differs from receiver period %d (data dependencies require equal periods)", sp, dp)
+		}
+		if m.MemDelay < 0 || m.NetDelay < 0 {
+			return verr(where, "negative transfer delay")
+		}
+	}
+
+	if cyc := s.dependencyCycle(); cyc != "" {
+		return verr("system", "data-flow graph has a cycle: %s", cyc)
+	}
+	return s.validateNetwork()
+}
+
+func (s *System) validRef(r TaskRef) bool {
+	return r.Part >= 0 && r.Part < len(s.Partitions) &&
+		r.Task >= 0 && r.Task < len(s.Partitions[r.Part].Tasks)
+}
+
+// dependencyCycle returns a description of a cycle in the data-flow graph,
+// or "" when acyclic. A dependency cycle can never be satisfied: every
+// receiver waits for its sender, so all jobs on the cycle starve.
+func (s *System) dependencyCycle() string {
+	adj := make(map[TaskRef][]TaskRef)
+	for i := range s.Messages {
+		m := &s.Messages[i]
+		src := TaskRef{m.SrcPart, m.SrcTask}
+		adj[src] = append(adj[src], TaskRef{m.DstPart, m.DstTask})
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[TaskRef]int)
+	var cycleAt TaskRef
+	var found bool
+	var visit func(r TaskRef) bool
+	visit = func(r TaskRef) bool {
+		color[r] = gray
+		for _, next := range adj[r] {
+			switch color[next] {
+			case gray:
+				cycleAt, found = next, true
+				return true
+			case white:
+				if visit(next) {
+					return true
+				}
+			}
+		}
+		color[r] = black
+		return false
+	}
+	// Deterministic iteration order for reproducible messages.
+	var roots []TaskRef
+	for r := range adj {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(a, b int) bool {
+		if roots[a].Part != roots[b].Part {
+			return roots[a].Part < roots[b].Part
+		}
+		return roots[a].Task < roots[b].Task
+	})
+	for _, r := range roots {
+		if color[r] == white && visit(r) {
+			break
+		}
+	}
+	if !found {
+		return ""
+	}
+	return "through " + s.TaskName(cycleAt)
+}
+
+// IncomingMessages returns the indices of messages whose receiver is r.
+func (s *System) IncomingMessages(r TaskRef) []int {
+	var out []int
+	for i := range s.Messages {
+		if s.Messages[i].DstPart == r.Part && s.Messages[i].DstTask == r.Task {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OutgoingMessages returns the indices of messages whose sender is r.
+func (s *System) OutgoingMessages(r TaskRef) []int {
+	var out []int
+	for i := range s.Messages {
+		if s.Messages[i].SrcPart == r.Part && s.Messages[i].SrcTask == r.Task {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The XML schema mirrors the configuration files the paper's scheduling tool
+// exchanges with the parametric model:
+//
+//	<system name="demo">
+//	  <coreType name="fast"/>
+//	  <module id="1">
+//	    <core name="c1" type="fast"/>
+//	  </module>
+//	  <partition name="P1" core="c1" policy="FPPS">
+//	    <task name="T1" priority="3" period="100" deadline="80" wcet="10 20"/>
+//	    <window start="0" end="25"/>
+//	  </partition>
+//	  <message name="m1" from="P1.T1" to="P2.T3" memDelay="2" netDelay="5"/>
+//	</system>
+type xmlSystem struct {
+	XMLName    xml.Name       `xml:"system"`
+	Name       string         `xml:"name,attr"`
+	CoreTypes  []xmlCoreType  `xml:"coreType"`
+	Modules    []xmlModule    `xml:"module"`
+	Partitions []xmlPartition `xml:"partition"`
+	Messages   []xmlMessage   `xml:"message"`
+	Network    *xmlNetwork    `xml:"network"`
+}
+
+type xmlNetwork struct {
+	Ports []xmlPort `xml:"port"`
+}
+
+type xmlPort struct {
+	Name string `xml:"name,attr"`
+}
+
+type xmlCoreType struct {
+	Name string `xml:"name,attr"`
+}
+
+type xmlModule struct {
+	ID    int       `xml:"id,attr"`
+	Cores []xmlCore `xml:"core"`
+}
+
+type xmlCore struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+type xmlPartition struct {
+	Name    string      `xml:"name,attr"`
+	Core    string      `xml:"core,attr"`
+	Policy  string      `xml:"policy,attr"`
+	Quantum int64       `xml:"quantum,attr,omitempty"`
+	Tasks   []xmlTask   `xml:"task"`
+	Windows []xmlWindow `xml:"window"`
+}
+
+type xmlTask struct {
+	Name     string `xml:"name,attr"`
+	Priority int    `xml:"priority,attr"`
+	Period   int64  `xml:"period,attr"`
+	Deadline int64  `xml:"deadline,attr"`
+	WCET     string `xml:"wcet,attr"`
+}
+
+type xmlWindow struct {
+	Start int64 `xml:"start,attr"`
+	End   int64 `xml:"end,attr"`
+}
+
+type xmlMessage struct {
+	Name     string `xml:"name,attr"`
+	From     string `xml:"from,attr"`
+	To       string `xml:"to,attr"`
+	MemDelay int64  `xml:"memDelay,attr"`
+	NetDelay int64  `xml:"netDelay,attr"`
+	TxTime   int64  `xml:"txTime,attr,omitempty"`
+	Route    string `xml:"route,attr,omitempty"` // space-separated port names
+}
+
+// WriteXML serializes the configuration.
+func (s *System) WriteXML(w io.Writer) error {
+	x := xmlSystem{Name: s.Name}
+	for _, ct := range s.CoreTypes {
+		x.CoreTypes = append(x.CoreTypes, xmlCoreType{Name: ct})
+	}
+	mods := make(map[int]*xmlModule)
+	var order []int
+	for _, c := range s.Cores {
+		m, ok := mods[c.Module]
+		if !ok {
+			m = &xmlModule{ID: c.Module}
+			mods[c.Module] = m
+			order = append(order, c.Module)
+		}
+		m.Cores = append(m.Cores, xmlCore{Name: c.Name, Type: s.CoreTypes[c.Type]})
+	}
+	for _, id := range order {
+		x.Modules = append(x.Modules, *mods[id])
+	}
+	for i := range s.Partitions {
+		p := &s.Partitions[i]
+		xp := xmlPartition{Name: p.Name, Core: s.Cores[p.Core].Name, Policy: p.Policy.String(), Quantum: p.Quantum}
+		for j := range p.Tasks {
+			t := &p.Tasks[j]
+			var wcet []string
+			for _, c := range t.WCET {
+				wcet = append(wcet, strconv.FormatInt(c, 10))
+			}
+			xp.Tasks = append(xp.Tasks, xmlTask{
+				Name: t.Name, Priority: t.Priority, Period: t.Period,
+				Deadline: t.Deadline, WCET: strings.Join(wcet, " "),
+			})
+		}
+		for _, win := range p.Windows {
+			xp.Windows = append(xp.Windows, xmlWindow{Start: win.Start, End: win.End})
+		}
+		x.Partitions = append(x.Partitions, xp)
+	}
+	for i := range s.Messages {
+		m := &s.Messages[i]
+		xm := xmlMessage{
+			Name:     m.Name,
+			From:     s.TaskName(TaskRef{m.SrcPart, m.SrcTask}),
+			To:       s.TaskName(TaskRef{m.DstPart, m.DstTask}),
+			MemDelay: m.MemDelay, NetDelay: m.NetDelay, TxTime: m.TxTime,
+		}
+		if route := s.RouteOf(i); len(route) > 0 {
+			var names []string
+			for _, p := range route {
+				names = append(names, s.Net.Ports[p].Name)
+			}
+			xm.Route = strings.Join(names, " ")
+		}
+		x.Messages = append(x.Messages, xm)
+	}
+	if s.Net != nil {
+		xn := &xmlNetwork{}
+		for _, p := range s.Net.Ports {
+			xn.Ports = append(xn.Ports, xmlPort{Name: p.Name})
+		}
+		x.Network = xn
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(x); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadXML parses and validates a configuration.
+func ReadXML(r io.Reader) (*System, error) {
+	var x xmlSystem
+	if err := xml.NewDecoder(r).Decode(&x); err != nil {
+		return nil, fmt.Errorf("config: parsing XML: %w", err)
+	}
+	s := &System{Name: x.Name}
+	typeIdx := make(map[string]int)
+	for _, ct := range x.CoreTypes {
+		typeIdx[ct.Name] = len(s.CoreTypes)
+		s.CoreTypes = append(s.CoreTypes, ct.Name)
+	}
+	coreIdx := make(map[string]int)
+	for _, m := range x.Modules {
+		for _, c := range m.Cores {
+			ti, ok := typeIdx[c.Type]
+			if !ok {
+				return nil, fmt.Errorf("config: core %q references unknown core type %q", c.Name, c.Type)
+			}
+			coreIdx[c.Name] = len(s.Cores)
+			s.Cores = append(s.Cores, Core{Name: c.Name, Type: ti, Module: m.ID})
+		}
+	}
+	partIdx := make(map[string]int)
+	taskIdx := make(map[string]TaskRef) // "Part.Task" -> ref
+	for _, xp := range x.Partitions {
+		ci, ok := coreIdx[xp.Core]
+		if !ok {
+			return nil, fmt.Errorf("config: partition %q references unknown core %q", xp.Name, xp.Core)
+		}
+		pol, err := ParsePolicy(xp.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("config: partition %q: %w", xp.Name, err)
+		}
+		p := Partition{Name: xp.Name, Core: ci, Policy: pol, Quantum: xp.Quantum}
+		for _, xt := range xp.Tasks {
+			var wcet []int64
+			for _, f := range strings.Fields(xt.WCET) {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("config: task %s.%s: bad wcet entry %q", xp.Name, xt.Name, f)
+				}
+				wcet = append(wcet, v)
+			}
+			taskIdx[xp.Name+"."+xt.Name] = TaskRef{len(s.Partitions), len(p.Tasks)}
+			p.Tasks = append(p.Tasks, Task{
+				Name: xt.Name, Priority: xt.Priority, WCET: wcet,
+				Period: xt.Period, Deadline: xt.Deadline,
+			})
+		}
+		for _, xw := range xp.Windows {
+			p.Windows = append(p.Windows, Window{Start: xw.Start, End: xw.End})
+		}
+		partIdx[xp.Name] = len(s.Partitions)
+		s.Partitions = append(s.Partitions, p)
+	}
+	portIdx := make(map[string]int)
+	if x.Network != nil {
+		s.Net = &Topology{}
+		for _, p := range x.Network.Ports {
+			portIdx[p.Name] = len(s.Net.Ports)
+			s.Net.Ports = append(s.Net.Ports, Port{Name: p.Name})
+		}
+	}
+	for _, xm := range x.Messages {
+		src, ok := taskIdx[xm.From]
+		if !ok {
+			return nil, fmt.Errorf("config: message %q: unknown sender %q", xm.Name, xm.From)
+		}
+		dst, ok := taskIdx[xm.To]
+		if !ok {
+			return nil, fmt.Errorf("config: message %q: unknown receiver %q", xm.Name, xm.To)
+		}
+		s.Messages = append(s.Messages, Message{
+			Name:    xm.Name,
+			SrcPart: src.Part, SrcTask: src.Task,
+			DstPart: dst.Part, DstTask: dst.Task,
+			MemDelay: xm.MemDelay, NetDelay: xm.NetDelay, TxTime: xm.TxTime,
+		})
+		if s.Net != nil {
+			var route []int
+			for _, pn := range strings.Fields(xm.Route) {
+				pi, ok := portIdx[pn]
+				if !ok {
+					return nil, fmt.Errorf("config: message %q: unknown port %q in route", xm.Name, pn)
+				}
+				route = append(route, pi)
+			}
+			s.Net.Routes = append(s.Net.Routes, route)
+		} else if xm.Route != "" {
+			return nil, fmt.Errorf("config: message %q has a route but the system has no network", xm.Name)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,370 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the static type of an expression: integer or boolean.
+type Type uint8
+
+// Expression types.
+const (
+	TypeInvalid Type = iota
+	TypeInt
+	TypeBool
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// Op enumerates unary and binary operators.
+type Op uint8
+
+// Operators.
+const (
+	OpAdd Op = iota // +
+	OpSub           // -
+	OpMul           // *
+	OpDiv           // /
+	OpMod           // %
+	OpLT            // <
+	OpLE            // <=
+	OpGT            // >
+	OpGE            // >=
+	OpEQ            // ==
+	OpNE            // !=
+	OpAnd           // &&
+	OpOr            // ||
+	OpNeg           // unary -
+	OpNot           // unary !
+)
+
+var opNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">=", OpEQ: "==", OpNE: "!=",
+	OpAnd: "&&", OpOr: "||", OpNeg: "-", OpNot: "!",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Env provides variable and clock values during evaluation. Indices are the
+// global indices assigned at resolution time (see Scope).
+type Env interface {
+	Var(index int) int64
+	Clock(index int) int64
+}
+
+// MutableEnv additionally allows updates to variables and clocks; it is the
+// environment updates (assignments) run against.
+type MutableEnv interface {
+	Env
+	SetVar(index int, v int64)
+	SetClock(index int, v int64)
+}
+
+// RuntimeError is panicked by evaluation on dynamic errors such as division
+// by zero. Engine code recovers it at step boundaries.
+type RuntimeError struct {
+	Msg  string
+	Expr string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("expr: runtime error in %q: %s", e.Expr, e.Msg)
+}
+
+func rtErr(n Node, format string, args ...any) {
+	panic(&RuntimeError{Msg: fmt.Sprintf(format, args...), Expr: n.String()})
+}
+
+// Node is an expression AST node. Before Resolve, identifier nodes are
+// Ident; after Resolve every node has a valid Type and can be evaluated.
+type Node interface {
+	// Type reports the static type; TypeInvalid before resolution.
+	Type() Type
+	// EvalInt evaluates an int-typed node. It panics with *RuntimeError on
+	// dynamic errors and must only be called on resolved int-typed nodes.
+	EvalInt(env Env) int64
+	// EvalBool evaluates a bool-typed node, with the same caveats.
+	EvalBool(env Env) bool
+	fmt.Stringer
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// BoolLit is a boolean literal.
+type BoolLit struct{ Val bool }
+
+// Ident is an unresolved identifier, optionally with an index expression
+// (name[idx]) for array accesses. Resolve replaces it with VarRef, ClockRef
+// or IntLit (for constants).
+type Ident struct {
+	Name  string
+	Index Node // nil for scalars
+	Pos   int
+}
+
+// VarRef is a resolved reference to the variable with the given global index.
+type VarRef struct {
+	Index int
+	Name  string // for diagnostics and String
+}
+
+// ClockRef is a resolved reference to the clock with the given global index.
+type ClockRef struct {
+	Index int
+	Name  string
+}
+
+// DynVarRef is a resolved array element reference whose index is computed at
+// evaluation time: the referenced variable index is Base + value(Index).
+type DynVarRef struct {
+	Base  int  // global index of element 0
+	Len   int  // array length, for bounds checking
+	Index Node // int-typed
+	Name  string
+}
+
+// Unary is a unary operation (OpNeg or OpNot).
+type Unary struct {
+	Op Op
+	X  Node
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   Op
+	X, Y Node
+}
+
+// Cond is the ternary conditional operator c ? a : b.
+type Cond struct {
+	C, A, B Node
+}
+
+func (n *IntLit) Type() Type    { return TypeInt }
+func (n *BoolLit) Type() Type   { return TypeBool }
+func (n *Ident) Type() Type     { return TypeInvalid }
+func (n *VarRef) Type() Type    { return TypeInt }
+func (n *ClockRef) Type() Type  { return TypeInt }
+func (n *DynVarRef) Type() Type { return TypeInt }
+
+func (n *Unary) Type() Type {
+	if n.Op == OpNot {
+		return TypeBool
+	}
+	return TypeInt
+}
+
+func (n *Binary) Type() Type {
+	switch n.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		return TypeInt
+	default:
+		return TypeBool
+	}
+}
+
+func (n *Cond) Type() Type { return n.A.Type() }
+
+func (n *IntLit) EvalInt(Env) int64       { return n.Val }
+func (n *IntLit) EvalBool(Env) bool       { rtErr(n, "int literal evaluated as bool"); return false }
+func (n *BoolLit) EvalInt(Env) int64      { rtErr(n, "bool literal evaluated as int"); return 0 }
+func (n *BoolLit) EvalBool(Env) bool      { return n.Val }
+func (n *Ident) EvalInt(Env) int64        { rtErr(n, "unresolved identifier"); return 0 }
+func (n *Ident) EvalBool(Env) bool        { rtErr(n, "unresolved identifier"); return false }
+func (n *VarRef) EvalInt(env Env) int64   { return env.Var(n.Index) }
+func (n *VarRef) EvalBool(Env) bool       { rtErr(n, "variable evaluated as bool"); return false }
+func (n *ClockRef) EvalInt(env Env) int64 { return env.Clock(n.Index) }
+func (n *ClockRef) EvalBool(Env) bool     { rtErr(n, "clock evaluated as bool"); return false }
+
+func (n *DynVarRef) EvalInt(env Env) int64 {
+	i := n.Index.EvalInt(env)
+	if i < 0 || i >= int64(n.Len) {
+		rtErr(n, "array index %d out of range [0,%d)", i, n.Len)
+	}
+	return env.Var(n.Base + int(i))
+}
+func (n *DynVarRef) EvalBool(Env) bool { rtErr(n, "array element evaluated as bool"); return false }
+
+func (n *Unary) EvalInt(env Env) int64 {
+	if n.Op != OpNeg {
+		rtErr(n, "unary %s evaluated as int", n.Op)
+	}
+	return -n.X.EvalInt(env)
+}
+
+func (n *Unary) EvalBool(env Env) bool {
+	if n.Op != OpNot {
+		rtErr(n, "unary %s evaluated as bool", n.Op)
+	}
+	return !n.X.EvalBool(env)
+}
+
+func (n *Binary) EvalInt(env Env) int64 {
+	x := n.X.EvalInt(env)
+	y := n.Y.EvalInt(env)
+	switch n.Op {
+	case OpAdd:
+		return x + y
+	case OpSub:
+		return x - y
+	case OpMul:
+		return x * y
+	case OpDiv:
+		if y == 0 {
+			rtErr(n, "division by zero")
+		}
+		return x / y
+	case OpMod:
+		if y == 0 {
+			rtErr(n, "modulo by zero")
+		}
+		return x % y
+	}
+	rtErr(n, "binary %s evaluated as int", n.Op)
+	return 0
+}
+
+func (n *Binary) EvalBool(env Env) bool {
+	switch n.Op {
+	case OpAnd:
+		return n.X.EvalBool(env) && n.Y.EvalBool(env)
+	case OpOr:
+		return n.X.EvalBool(env) || n.Y.EvalBool(env)
+	}
+	if n.X.Type() == TypeBool {
+		// == and != over booleans.
+		x, y := n.X.EvalBool(env), n.Y.EvalBool(env)
+		switch n.Op {
+		case OpEQ:
+			return x == y
+		case OpNE:
+			return x != y
+		}
+		rtErr(n, "operator %s applied to booleans", n.Op)
+	}
+	x := n.X.EvalInt(env)
+	y := n.Y.EvalInt(env)
+	switch n.Op {
+	case OpLT:
+		return x < y
+	case OpLE:
+		return x <= y
+	case OpGT:
+		return x > y
+	case OpGE:
+		return x >= y
+	case OpEQ:
+		return x == y
+	case OpNE:
+		return x != y
+	}
+	rtErr(n, "binary %s evaluated as bool", n.Op)
+	return false
+}
+
+func (n *Cond) EvalInt(env Env) int64 {
+	if n.C.EvalBool(env) {
+		return n.A.EvalInt(env)
+	}
+	return n.B.EvalInt(env)
+}
+
+func (n *Cond) EvalBool(env Env) bool {
+	if n.C.EvalBool(env) {
+		return n.A.EvalBool(env)
+	}
+	return n.B.EvalBool(env)
+}
+
+func (n *IntLit) String() string  { return fmt.Sprintf("%d", n.Val) }
+func (n *BoolLit) String() string { return fmt.Sprintf("%t", n.Val) }
+
+func (n *Ident) String() string {
+	if n.Index != nil {
+		return fmt.Sprintf("%s[%s]", n.Name, n.Index)
+	}
+	return n.Name
+}
+
+func (n *VarRef) String() string   { return n.Name }
+func (n *ClockRef) String() string { return n.Name }
+func (n *DynVarRef) String() string {
+	return fmt.Sprintf("%s[%s]", n.Name, n.Index)
+}
+
+func (n *Unary) String() string { return fmt.Sprintf("%s%s", n.Op, paren(n.X)) }
+
+func (n *Binary) String() string {
+	return fmt.Sprintf("%s %s %s", paren(n.X), n.Op, paren(n.Y))
+}
+
+func (n *Cond) String() string {
+	return fmt.Sprintf("%s ? %s : %s", paren(n.C), paren(n.A), paren(n.B))
+}
+
+func paren(n Node) string {
+	switch n.(type) {
+	case *Binary, *Cond:
+		return "(" + n.String() + ")"
+	}
+	return n.String()
+}
+
+// Stmt is an assignment statement target := value, the unit of updates.
+type Stmt struct {
+	// Target is the resolved assignment target (VarRef, ClockRef or
+	// DynVarRef), or an Ident before resolution.
+	Target Node
+	Value  Node
+}
+
+func (s Stmt) String() string { return fmt.Sprintf("%s := %s", s.Target, s.Value) }
+
+// Apply executes the assignment against env. It panics with *RuntimeError on
+// dynamic errors (unresolved targets, bad indices, type confusion).
+func (s Stmt) Apply(env MutableEnv) {
+	switch t := s.Target.(type) {
+	case *VarRef:
+		env.SetVar(t.Index, s.Value.EvalInt(env))
+	case *ClockRef:
+		env.SetClock(t.Index, s.Value.EvalInt(env))
+	case *DynVarRef:
+		i := t.Index.EvalInt(env)
+		if i < 0 || i >= int64(t.Len) {
+			rtErr(t, "array index %d out of range [0,%d)", i, t.Len)
+		}
+		env.SetVar(t.Base+int(i), s.Value.EvalInt(env))
+	default:
+		rtErr(s.Target, "invalid assignment target")
+	}
+}
+
+// StmtList is a sequence of assignments applied in order.
+type StmtList []Stmt
+
+func (l StmtList) String() string {
+	parts := make([]string, len(l))
+	for i, s := range l {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Apply executes all assignments in order.
+func (l StmtList) Apply(env MutableEnv) {
+	for _, s := range l {
+		s.Apply(env)
+	}
+}

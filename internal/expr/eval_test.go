@@ -1,0 +1,273 @@
+package expr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testEnv is a simple Env over slices; zero value has no variables.
+type testEnv struct {
+	vars   []int64
+	clocks []int64
+}
+
+func (e testEnv) Var(i int) int64   { return e.vars[i] }
+func (e testEnv) Clock(i int) int64 { return e.clocks[i] }
+
+type mutEnv struct {
+	vars   []int64
+	clocks []int64
+}
+
+func (e *mutEnv) Var(i int) int64         { return e.vars[i] }
+func (e *mutEnv) Clock(i int) int64       { return e.clocks[i] }
+func (e *mutEnv) SetVar(i int, v int64)   { e.vars[i] = v }
+func (e *mutEnv) SetClock(i int, v int64) { e.clocks[i] = v }
+
+func testScope() MapScope {
+	return MapScope{
+		"x":   {Kind: SymVar, Index: 0},
+		"y":   {Kind: SymVar, Index: 1},
+		"arr": {Kind: SymVar, Index: 2, Len: 3},
+		"t":   {Kind: SymClock, Index: 0},
+		"u":   {Kind: SymClock, Index: 1},
+		"N":   {Kind: SymConst, Const: 10},
+	}
+}
+
+func TestResolveAndEval(t *testing.T) {
+	sc := testScope()
+	env := testEnv{vars: []int64{4, -2, 7, 8, 9}, clocks: []int64{5, 0}}
+	check := func(src string, want int64) {
+		t.Helper()
+		n := MustParseResolve(src, sc, TypeInt)
+		if got := n.EvalInt(env); got != want {
+			t.Errorf("%q = %d, want %d", src, got, want)
+		}
+	}
+	check("x", 4)
+	check("y", -2)
+	check("arr[0]", 7)
+	check("arr[2]", 9)
+	check("arr[x - 3]", 8) // dynamic index 1
+	check("t", 5)
+	check("N", 10)
+	check("N * 2 + x", 24)
+	check("x + y", 2)
+	check("t - u", 5)
+	check("x > 0 ? x : -x", 4)
+
+	checkB := func(src string, want bool) {
+		t.Helper()
+		n := MustParseResolve(src, sc, TypeBool)
+		if got := n.EvalBool(env); got != want {
+			t.Errorf("%q = %t, want %t", src, got, want)
+		}
+	}
+	checkB("t <= N", true)
+	checkB("t < 5", false)
+	checkB("x == 4 && y != 0", true)
+	checkB("arr[1] >= 8 || false", true)
+}
+
+func TestConstantIndexResolvesToVarRef(t *testing.T) {
+	sc := testScope()
+	n := MustParseResolve("arr[1]", sc, TypeInt)
+	vr, ok := n.(*VarRef)
+	if !ok {
+		t.Fatalf("arr[1] resolved to %T, want *VarRef", n)
+	}
+	if vr.Index != 3 {
+		t.Errorf("index = %d, want 3", vr.Index)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	sc := testScope()
+	n := MustParseResolve("N * 2 + 1", sc, TypeInt)
+	lit, ok := n.(*IntLit)
+	if !ok || lit.Val != 21 {
+		t.Errorf("N*2+1 resolved to %v (%T), want IntLit{21}", n, n)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	sc := testScope()
+	cases := []struct {
+		src  string
+		want Type
+		sub  string
+	}{
+		{"zz", TypeInt, "undefined"},
+		{"arr", TypeInt, "array used without index"},
+		{"x[0]", TypeInt, "non-array"},
+		{"arr[true]", TypeInt, "index must be int"},
+		{"arr[5]", TypeInt, "out of range"},
+		{"arr[-1]", TypeInt, "out of range"},
+		{"-true", TypeInt, "must be int"},
+		{"!x", TypeBool, "must be bool"},
+		{"x && y", TypeBool, "must be bool"},
+		{"x + true", TypeInt, "must be int"},
+		{"x == true", TypeBool, "mismatched"},
+		{"true ? 1 : false", TypeInt, "different types"},
+		{"x ? 1 : 2", TypeInt, "must be bool"},
+		{"x + 1", TypeBool, "want bool"},
+		{"x > 1", TypeInt, "want int"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		_, err = Resolve(n, sc, c.want)
+		if err == nil {
+			t.Errorf("Resolve(%q): expected error containing %q", c.src, c.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Resolve(%q): error %q does not contain %q", c.src, err, c.sub)
+		}
+	}
+}
+
+func TestResolveUpdateAndApply(t *testing.T) {
+	sc := testScope()
+	upd := MustParseResolveUpdate("x := x + 1, t := 0, arr[y + 1] := x", sc)
+	env := &mutEnv{vars: []int64{4, 0, 7, 8, 9}, clocks: []int64{5, 0}}
+	upd.Apply(env)
+	if env.vars[0] != 5 {
+		t.Errorf("x = %d, want 5", env.vars[0])
+	}
+	if env.clocks[0] != 0 {
+		t.Errorf("t = %d, want 0", env.clocks[0])
+	}
+	if env.vars[3] != 5 { // arr[1] gets new x (sequential semantics)
+		t.Errorf("arr[1] = %d, want 5", env.vars[3])
+	}
+}
+
+func TestResolveUpdateErrors(t *testing.T) {
+	sc := testScope()
+	for _, src := range []string{
+		"zz := 1", "N := 1", "x := true", "arr := 1",
+	} {
+		l, err := ParseUpdate(src)
+		if err != nil {
+			t.Fatalf("ParseUpdate(%q): %v", src, err)
+		}
+		if _, err := ResolveUpdate(l, sc); err == nil {
+			t.Errorf("ResolveUpdate(%q): expected error", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	sc := testScope()
+	env := testEnv{vars: []int64{0, 0, 0, 0, 0}, clocks: []int64{0, 0}}
+	for _, src := range []string{"1 / x", "1 % x", "arr[x + 4]"} {
+		n := MustParseResolve(src, sc, TypeInt)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%q: expected panic", src)
+					return
+				}
+				if _, ok := r.(*RuntimeError); !ok {
+					t.Errorf("%q: panic value %T, want *RuntimeError", src, r)
+				}
+			}()
+			n.EvalInt(env)
+		}()
+	}
+}
+
+func TestClocksCollection(t *testing.T) {
+	sc := testScope()
+	n := MustParseResolve("t <= 5 && x > 0 && u < N", sc, TypeBool)
+	got := Clocks(n, nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Clocks = %v, want [0 1]", got)
+	}
+}
+
+// Property: for random int expressions built from +,-,*, evaluation is
+// homomorphic with a reference big-step evaluator.
+func TestQuickEvalMatchesReference(t *testing.T) {
+	type refNode struct {
+		op   int // 0: lit, 1..3: + - *
+		val  int64
+		l, r *refNode
+	}
+	var build func(r *rand.Rand, depth int) *refNode
+	build = func(r *rand.Rand, depth int) *refNode {
+		if depth <= 0 || r.Intn(3) == 0 {
+			return &refNode{op: 0, val: int64(r.Intn(201) - 100)}
+		}
+		return &refNode{op: 1 + r.Intn(3), l: build(r, depth-1), r: build(r, depth-1)}
+	}
+	var render func(n *refNode) string
+	var eval func(n *refNode) int64
+	render = func(n *refNode) string {
+		switch n.op {
+		case 0:
+			if n.val < 0 {
+				return "(" + itoa(n.val) + ")"
+			}
+			return itoa(n.val)
+		case 1:
+			return "(" + render(n.l) + " + " + render(n.r) + ")"
+		case 2:
+			return "(" + render(n.l) + " - " + render(n.r) + ")"
+		default:
+			return "(" + render(n.l) + " * " + render(n.r) + ")"
+		}
+	}
+	eval = func(n *refNode) int64 {
+		switch n.op {
+		case 0:
+			return n.val
+		case 1:
+			return eval(n.l) + eval(n.r)
+		case 2:
+			return eval(n.l) - eval(n.r)
+		default:
+			return eval(n.l) * eval(n.r)
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := build(r, 5)
+		src := render(n)
+		got := MustParseResolve(src, MapScope{}, TypeInt).EvalInt(testEnv{})
+		return got == eval(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

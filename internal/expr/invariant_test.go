@@ -1,0 +1,167 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInvariantHoldsAndMaxDelay(t *testing.T) {
+	sc := testScope()
+	allRunning := func(int) bool { return true }
+
+	inv, err := ParseInvariant("t <= 10", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv{vars: make([]int64, 5), clocks: []int64{3, 0}}
+	if !inv.Holds(env) {
+		t.Error("t<=10 should hold at t=3")
+	}
+	if d := inv.MaxDelay(env, allRunning); d != 7 {
+		t.Errorf("MaxDelay = %d, want 7", d)
+	}
+
+	inv2, err := ParseInvariant("t < 10", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := inv2.MaxDelay(env, allRunning); d != 6 {
+		t.Errorf("strict MaxDelay = %d, want 6", d)
+	}
+
+	// Stopped clock contributes no bound.
+	stopped := func(c int) bool { return c != 0 }
+	if d := inv.MaxDelay(env, stopped); d != NoBound {
+		t.Errorf("stopped MaxDelay = %d, want NoBound", d)
+	}
+
+	// Conjunction takes the minimum.
+	inv3, err := ParseInvariant("t <= 10 && u <= 4", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env3 := testEnv{vars: make([]int64, 5), clocks: []int64{3, 1}}
+	if d := inv3.MaxDelay(env3, allRunning); d != 3 {
+		t.Errorf("conjunction MaxDelay = %d, want 3", d)
+	}
+
+	// Mirrored form e >= clock.
+	inv4, err := ParseInvariant("10 >= t", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := inv4.MaxDelay(env, allRunning); d != 7 {
+		t.Errorf("mirrored MaxDelay = %d, want 7", d)
+	}
+
+	// Variable bound.
+	inv5, err := ParseInvariant("t <= x + 1", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env5 := testEnv{vars: []int64{9, 0, 0, 0, 0}, clocks: []int64{3, 0}}
+	if d := inv5.MaxDelay(env5, allRunning); d != 7 {
+		t.Errorf("variable-bound MaxDelay = %d, want 7", d)
+	}
+
+	// Clock-free atoms must hold but never bound time.
+	inv6, err := ParseInvariant("x >= 0 && t <= 5", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envBad := testEnv{vars: []int64{-1, 0, 0, 0, 0}, clocks: []int64{0, 0}}
+	if inv6.Holds(envBad) {
+		t.Error("x>=0 && t<=5 should fail at x=-1")
+	}
+	envOK := testEnv{vars: []int64{1, 0, 0, 0, 0}, clocks: []int64{2, 0}}
+	if d := inv6.MaxDelay(envOK, allRunning); d != 3 {
+		t.Errorf("mixed MaxDelay = %d, want 3", d)
+	}
+}
+
+func TestTrueInvariant(t *testing.T) {
+	env := testEnv{}
+	if !True.Holds(env) {
+		t.Error("True must hold")
+	}
+	if d := True.MaxDelay(env, func(int) bool { return true }); d != NoBound {
+		t.Errorf("True.MaxDelay = %d, want NoBound", d)
+	}
+	if True.HasClockBound() {
+		t.Error("True has no clock bound")
+	}
+}
+
+func TestTrueLiteralConjunct(t *testing.T) {
+	sc := testScope()
+	inv, err := ParseInvariant("true && t <= 5", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.HasClockBound() {
+		t.Error("want a clock bound")
+	}
+}
+
+func TestInvalidInvariants(t *testing.T) {
+	sc := testScope()
+	cases := []struct{ src, sub string }{
+		{"t >= 1", "upper bound"},
+		{"t == 5", "upper bound"},
+		{"t != 5", "upper bound"},
+		{"t <= u", "clock-free"},
+		{"t + 1 <= 5", "bare clock"},
+		{"t <= 5 || x > 0", "not a comparison"},
+		{"!(t <= 5)", "not a comparison"},
+	}
+	for _, c := range cases {
+		_, err := ParseInvariant(c.src, sc)
+		if err == nil {
+			t.Errorf("ParseInvariant(%q): expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("ParseInvariant(%q): error %q lacks %q", c.src, err, c.sub)
+		}
+	}
+}
+
+// Property: MaxDelay is exactly the largest admissible delay — the invariant
+// holds after advancing running clocks by MaxDelay and (when bounded) fails
+// after MaxDelay+1.
+func TestQuickMaxDelayTight(t *testing.T) {
+	sc := MapScope{
+		"c1": {Kind: SymClock, Index: 0},
+		"c2": {Kind: SymClock, Index: 1},
+	}
+	f := func(c1, c2 uint8, b1, b2 uint8, strict bool) bool {
+		op := "<="
+		if strict {
+			op = "<"
+		}
+		src := "c1 " + op + " " + itoa(int64(b1)) + " && c2 <= " + itoa(int64(b2))
+		inv, err := ParseInvariant(src, sc)
+		if err != nil {
+			return false
+		}
+		env := testEnv{clocks: []int64{int64(c1), int64(c2)}}
+		all := func(int) bool { return true }
+		if !inv.Holds(env) {
+			return true // precondition of MaxDelay not met; nothing to check
+		}
+		d := inv.MaxDelay(env, all)
+		if d == NoBound {
+			return false // both atoms bound running clocks
+		}
+		after := testEnv{clocks: []int64{int64(c1) + d, int64(c2) + d}}
+		if !inv.Holds(after) {
+			return false
+		}
+		beyond := testEnv{clocks: []int64{int64(c1) + d + 1, int64(c2) + d + 1}}
+		return !inv.Holds(beyond)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexAllBasics(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []TokenKind
+	}{
+		{"", []TokenKind{TokEOF}},
+		{"   \t\n", []TokenKind{TokEOF}},
+		{"42", []TokenKind{TokInt, TokEOF}},
+		{"x", []TokenKind{TokIdent, TokEOF}},
+		{"x1_y", []TokenKind{TokIdent, TokEOF}},
+		{"true false", []TokenKind{TokTrue, TokFalse, TokEOF}},
+		{"a+b", []TokenKind{TokIdent, TokPlus, TokIdent, TokEOF}},
+		{"a - b * c / d % e", []TokenKind{TokIdent, TokMinus, TokIdent, TokStar, TokIdent, TokSlash, TokIdent, TokPercent, TokIdent, TokEOF}},
+		{"(x)", []TokenKind{TokLParen, TokIdent, TokRParen, TokEOF}},
+		{"a[3]", []TokenKind{TokIdent, TokLBracket, TokInt, TokRBracket, TokEOF}},
+		{"< <= > >= == !=", []TokenKind{TokLT, TokLE, TokGT, TokGE, TokEQ, TokNE, TokEOF}},
+		{"! && ||", []TokenKind{TokNot, TokAnd, TokOr, TokEOF}},
+		{"not x and y or z", []TokenKind{TokNot, TokIdent, TokAnd, TokIdent, TokOr, TokIdent, TokEOF}},
+		{"x := 1", []TokenKind{TokIdent, TokAssign, TokInt, TokEOF}},
+		{"x = 1", []TokenKind{TokIdent, TokAssign, TokInt, TokEOF}},
+		{"c ? a : b", []TokenKind{TokIdent, TokQuestion, TokIdent, TokColon, TokIdent, TokEOF}},
+		{"a, b; c", []TokenKind{TokIdent, TokComma, TokIdent, TokSemi, TokIdent, TokEOF}},
+	}
+	for _, tt := range tests {
+		toks, err := LexAll(tt.src)
+		if err != nil {
+			t.Errorf("LexAll(%q): unexpected error %v", tt.src, err)
+			continue
+		}
+		got := kinds(toks)
+		if len(got) != len(tt.want) {
+			t.Errorf("LexAll(%q) = %v, want %v", tt.src, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("LexAll(%q)[%d] = %v, want %v", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestLexIntValue(t *testing.T) {
+	toks, err := LexAll("12345")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != 12345 {
+		t.Errorf("value = %d, want 12345", toks[0].Val)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"@", "#", "1x", "&", "|", "99999999999999999999999999",
+	} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q): expected error, got none", src)
+		} else if !strings.Contains(err.Error(), "expr:") {
+			t.Errorf("LexAll(%q): error %q lacks package prefix", src, err)
+		}
+	}
+}
+
+func TestLexErrorPosition(t *testing.T) {
+	_, err := LexAll("ab + @")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want *SyntaxError, got %T", err)
+	}
+	if se.Pos != 5 {
+		t.Errorf("Pos = %d, want 5", se.Pos)
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	if TokLE.String() != "'<='" {
+		t.Errorf("TokLE.String() = %q", TokLE.String())
+	}
+	if got := TokenKind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}

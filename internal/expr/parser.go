@@ -1,0 +1,281 @@
+package expr
+
+import "fmt"
+
+// Parser is a precedence-climbing (Pratt) expression parser producing
+// unresolved ASTs: identifiers stay Ident nodes until Resolve binds them to
+// variables, clocks or constants.
+type Parser struct {
+	lex *Lexer
+	tok Token
+	src string
+}
+
+// NewParser returns a parser over src positioned at the first token.
+func NewParser(src string) (*Parser, error) {
+	p := &Parser{lex: NewLexer(src), src: src}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Parser) advance() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return &SyntaxError{Src: p.src, Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokenKind) error {
+	if p.tok.Kind != k {
+		return p.errf("expected %s, found %s", k, p.tok.Kind)
+	}
+	return p.advance()
+}
+
+// binding powers per operator, higher binds tighter.
+func bindingPower(k TokenKind) int {
+	switch k {
+	case TokOr:
+		return 1
+	case TokAnd:
+		return 2
+	case TokEQ, TokNE:
+		return 3
+	case TokLT, TokLE, TokGT, TokGE:
+		return 4
+	case TokPlus, TokMinus:
+		return 5
+	case TokStar, TokSlash, TokPercent:
+		return 6
+	}
+	return 0
+}
+
+func binOp(k TokenKind) Op {
+	switch k {
+	case TokOr:
+		return OpOr
+	case TokAnd:
+		return OpAnd
+	case TokEQ:
+		return OpEQ
+	case TokNE:
+		return OpNE
+	case TokLT:
+		return OpLT
+	case TokLE:
+		return OpLE
+	case TokGT:
+		return OpGT
+	case TokGE:
+		return OpGE
+	case TokPlus:
+		return OpAdd
+	case TokMinus:
+		return OpSub
+	case TokStar:
+		return OpMul
+	case TokSlash:
+		return OpDiv
+	}
+	return OpMod
+}
+
+// parseExpr parses an expression with the ternary conditional at the lowest
+// precedence level.
+func (p *Parser) parseExpr() (Node, error) {
+	c, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokQuestion {
+		return c, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	a, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	b, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{C: c, A: a, B: b}, nil
+}
+
+func (p *Parser) parseBinary(minBP int) (Node, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		bp := bindingPower(p.tok.Kind)
+		if bp < minBP || bp == 0 {
+			return lhs, nil
+		}
+		op := binOp(p.tok.Kind)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBinary(bp + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Node, error) {
+	switch p.tok.Kind {
+	case TokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal immediately so MinInt64-adjacent literals behave.
+		if lit, ok := x.(*IntLit); ok {
+			return &IntLit{Val: -lit.Val}, nil
+		}
+		return &Unary{Op: OpNeg, X: x}, nil
+	case TokNot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Node, error) {
+	switch p.tok.Kind {
+	case TokInt:
+		n := &IntLit{Val: p.tok.Val}
+		return n, p.advance()
+	case TokTrue:
+		return &BoolLit{Val: true}, p.advance()
+	case TokFalse:
+		return &BoolLit{Val: false}, p.advance()
+	case TokIdent:
+		id := &Ident{Name: p.tok.Text, Pos: p.tok.Pos}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokLBracket {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			id.Index = idx
+		}
+		return id, nil
+	case TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return n, p.expect(TokRParen)
+	}
+	return nil, p.errf("unexpected %s", p.tok.Kind)
+}
+
+// Parse parses a single expression. The result is unresolved: identifiers
+// are Ident nodes and Type() is not yet meaningful for them.
+func Parse(src string) (Node, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, p.errf("unexpected %s after expression", p.tok.Kind)
+	}
+	return n, nil
+}
+
+// ParseUpdate parses a comma- or semicolon-separated list of assignments,
+// e.g. "x := 0, n := n + 1". An empty source yields an empty list.
+func ParseUpdate(src string) (StmtList, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var list StmtList
+	if p.tok.Kind == TokEOF {
+		return list, nil
+	}
+	for {
+		if p.tok.Kind != TokIdent {
+			return nil, p.errf("expected assignment target, found %s", p.tok.Kind)
+		}
+		target := &Ident{Name: p.tok.Text, Pos: p.tok.Pos}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokLBracket {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			target.Index = idx
+		}
+		if err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, Stmt{Target: target, Value: val})
+		switch p.tok.Kind {
+		case TokComma, TokSemi:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind == TokEOF { // trailing separator
+				return list, nil
+			}
+		case TokEOF:
+			return list, nil
+		default:
+			return nil, p.errf("expected ',' or end of update, found %s", p.tok.Kind)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package expr
+
+import (
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	// Parse then String; re-parsing the String must produce the same String
+	// (fixed-point), which checks precedence handling.
+	srcs := []string{
+		"1 + 2 * 3",
+		"(1 + 2) * 3",
+		"a && b || c",
+		"a || b && c",
+		"!(a && b)",
+		"x < 10 && y >= 2",
+		"c ? 1 : 0",
+		"a == b != c", // (a==b) != c where a,b int and c bool — shape only here
+		"-x + 3",
+		"arr[i + 1] * 2",
+		"1 - 2 - 3", // left associativity
+	}
+	for _, src := range srcs {
+		n1, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		s1 := n1.String()
+		n2, err := Parse(s1)
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", s1, err)
+			continue
+		}
+		if s2 := n2.String(); s1 != s2 {
+			t.Errorf("Parse(%q): not a fixed point: %q then %q", src, s1, s2)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	env := testEnv{}
+	sc := MapScope{}
+	check := func(src string, want int64) {
+		t.Helper()
+		n := MustParseResolve(src, sc, TypeInt)
+		if got := n.EvalInt(env); got != want {
+			t.Errorf("%q = %d, want %d", src, got, want)
+		}
+	}
+	check("1 + 2 * 3", 7)
+	check("(1 + 2) * 3", 9)
+	check("10 - 4 - 3", 3)
+	check("10 - (4 - 3)", 9)
+	check("7 / 2", 3)
+	check("7 % 2", 1)
+	check("-7 / 2", -3)
+	check("2 * 3 % 4", 2)
+	check("1 + 2 == 3 ? 10 : 20", 10)
+	check("true ? 1 : 2", 1)
+	check("false ? 1 : 2", 2)
+	check("true ? false ? 1 : 2 : 3", 2) // nested ternary associates right
+
+	checkB := func(src string, want bool) {
+		t.Helper()
+		n := MustParseResolve(src, sc, TypeBool)
+		if got := n.EvalBool(env); got != want {
+			t.Errorf("%q = %t, want %t", src, got, want)
+		}
+	}
+	checkB("true || false && false", true) // && binds tighter
+	checkB("(true || false) && false", false)
+	checkB("!true || true", true)
+	checkB("1 < 2 && 2 <= 2 && 3 > 2 && 3 >= 3", true)
+	checkB("1 == 1 != false", true)
+	checkB("not false", true)
+	checkB("true and not false or false", true)
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "1 +", "(1", "a[", "a[1", "* 2", "1 2", "a ? b", "a ? b :",
+		"a &&", "][", "1 + @",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseUpdateBasics(t *testing.T) {
+	l, err := ParseUpdate("x := 1, y := x + 2; arr[0] := 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 3 {
+		t.Fatalf("len = %d, want 3", len(l))
+	}
+	if l[0].String() != "x := 1" {
+		t.Errorf("stmt 0 = %q", l[0].String())
+	}
+	if l[2].Target.(*Ident).Name != "arr" {
+		t.Errorf("stmt 2 target = %v", l[2].Target)
+	}
+}
+
+func TestParseUpdateEmpty(t *testing.T) {
+	l, err := ParseUpdate("   ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 0 {
+		t.Errorf("len = %d, want 0", len(l))
+	}
+}
+
+func TestParseUpdateTrailingComma(t *testing.T) {
+	l, err := ParseUpdate("x := 1,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 1 {
+		t.Errorf("len = %d, want 1", len(l))
+	}
+}
+
+func TestParseUpdateErrors(t *testing.T) {
+	for _, src := range []string{
+		"x", "x 1", "1 := 2", "x := ", "x := 1 y := 2", "x[ := 1",
+	} {
+		if _, err := ParseUpdate(src); err == nil {
+			t.Errorf("ParseUpdate(%q): expected error", src)
+		}
+	}
+}
+
+func TestNegativeLiteralFold(t *testing.T) {
+	n, err := Parse("-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, ok := n.(*IntLit)
+	if !ok || lit.Val != -5 {
+		t.Errorf("Parse(-5) = %#v, want IntLit{-5}", n)
+	}
+}

@@ -1,0 +1,139 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNodeStrings(t *testing.T) {
+	sc := testScope()
+	cases := []struct{ src, want string }{
+		{"1 + 2 * x", "1 + (2 * x)"},
+		{"t <= 5", "t <= 5"},
+		{"!(x > 0)", "!(x > 0)"},
+		{"arr[x]", "arr[x]"},
+		{"arr[1]", "arr[1]"},
+		{"x > 0 ? x : -x", "(x > 0) ? x : -x"},
+		{"true", "true"},
+		{"false", "false"},
+		{"x % 2 == 0", "(x % 2) == 0"},
+		{"x / 2 != 1", "(x / 2) != 1"},
+	}
+	for _, c := range cases {
+		n := MustParseResolve(c.src, sc, TypeInvalid)
+		if got := n.String(); got != c.want {
+			t.Errorf("String(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestStmtListString(t *testing.T) {
+	sc := testScope()
+	l := MustParseResolveUpdate("x := 1, t := 0", sc)
+	if got := l.String(); got != "x := 1, t := 0" {
+		t.Errorf("String = %q", got)
+	}
+	var empty StmtList
+	if empty.String() != "" {
+		t.Errorf("empty = %q", empty.String())
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeInt.String() != "int" || TypeBool.String() != "bool" || TypeInvalid.String() != "invalid" {
+		t.Error("type names wrong")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	ops := map[Op]string{
+		OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+		OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">=", OpEQ: "==", OpNE: "!=",
+		OpAnd: "&&", OpOr: "||", OpNot: "!",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%v = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	sc := testScope()
+	env := testEnv{vars: []int64{1, 0, 0, 0, 0}, clocks: []int64{0, 0}}
+	b := MustParseResolve("x == 1 ? t <= 5 : t <= 3", sc, TypeBool)
+	if !b.EvalBool(env) {
+		t.Error("cond bool eval wrong")
+	}
+	i := MustParseResolve("x == 2 ? 10 : 20", sc, TypeInt)
+	if i.EvalInt(env) != 20 {
+		t.Error("cond int eval wrong")
+	}
+}
+
+func TestBoolEqualityEval(t *testing.T) {
+	sc := testScope()
+	env := testEnv{vars: []int64{1, 2, 0, 0, 0}, clocks: []int64{0, 0}}
+	n := MustParseResolve("(x > 0) == (y > 0)", sc, TypeBool)
+	if !n.EvalBool(env) {
+		t.Error("(true)==(true) should hold")
+	}
+	n2 := MustParseResolve("(x > 0) != (y > 3)", sc, TypeBool)
+	if !n2.EvalBool(env) {
+		t.Error("(true)!=(false) should hold")
+	}
+}
+
+func TestWrongTypedEvalPanics(t *testing.T) {
+	sc := testScope()
+	n := MustParseResolve("x + 1", sc, TypeInt)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Error("EvalBool on int node should panic")
+		} else if _, ok := r.(*RuntimeError); !ok {
+			t.Errorf("panic value %T", r)
+		}
+	}()
+	n.EvalBool(testEnv{vars: make([]int64, 5), clocks: make([]int64, 2)})
+}
+
+func TestResolveErrorFormat(t *testing.T) {
+	err := &ResolveError{Name: "x", Msg: "boom"}
+	if !strings.Contains(err.Error(), "x") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %q", err)
+	}
+	err2 := &ResolveError{Msg: "plain"}
+	if !strings.Contains(err2.Error(), "plain") {
+		t.Errorf("err = %q", err2)
+	}
+}
+
+func TestDynVarRefString(t *testing.T) {
+	sc := testScope()
+	n := MustParseResolve("arr[x]", sc, TypeInt)
+	d, ok := n.(*DynVarRef)
+	if !ok {
+		t.Fatalf("type %T", n)
+	}
+	if d.String() != "arr[x]" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestAssignToDynIndex(t *testing.T) {
+	sc := testScope()
+	upd := MustParseResolveUpdate("arr[x] := 9", sc)
+	env := &mutEnv{vars: []int64{2, 0, 0, 0, 0}, clocks: []int64{0, 0}}
+	upd.Apply(env)
+	if env.vars[4] != 9 { // arr base 2 + index 2
+		t.Errorf("arr[2] = %d", env.vars[4])
+	}
+	// Out-of-range dynamic assignment panics.
+	env.vars[0] = 7
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	upd.Apply(env)
+}

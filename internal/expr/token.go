@@ -1,0 +1,230 @@
+// Package expr implements the expression language used for guards, updates
+// and invariants of stopwatch automata: a small C-like language over bounded
+// integer variables, constants and clocks.
+//
+// The pipeline is the classical one: Lex → Parse (precedence climbing) →
+// Resolve (name resolution against a Scope + type checking) → Eval.
+// Resolved expressions additionally support invariant analysis: extracting
+// the maximum delay permitted by clock upper bounds (see Expr and MaxDelay).
+package expr
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF      TokenKind = iota
+	TokInt                // integer literal
+	TokIdent              // identifier
+	TokTrue               // "true"
+	TokFalse              // "false"
+	TokPlus               // +
+	TokMinus              // -
+	TokStar               // *
+	TokSlash              // /
+	TokPercent            // %
+	TokLParen             // (
+	TokRParen             // )
+	TokLBracket           // [
+	TokRBracket           // ]
+	TokLT                 // <
+	TokLE                 // <=
+	TokGT                 // >
+	TokGE                 // >=
+	TokEQ                 // ==
+	TokNE                 // !=
+	TokNot                // !
+	TokAnd                // &&
+	TokOr                 // ||
+	TokAssign             // := or =
+	TokComma              // ,
+	TokQuestion           // ?
+	TokColon              // :
+	TokSemi               // ;
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "end of input", TokInt: "integer", TokIdent: "identifier",
+	TokTrue: "'true'", TokFalse: "'false'",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'", TokPercent: "'%'",
+	TokLParen: "'('", TokRParen: "')'", TokLBracket: "'['", TokRBracket: "']'",
+	TokLT: "'<'", TokLE: "'<='", TokGT: "'>'", TokGE: "'>='", TokEQ: "'=='", TokNE: "'!='",
+	TokNot: "'!'", TokAnd: "'&&'", TokOr: "'||'", TokAssign: "':='", TokComma: "','",
+	TokQuestion: "'?'", TokColon: "':'", TokSemi: "';'",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Token is a lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // identifier or literal text
+	Val  int64  // value for TokInt
+	Pos  int
+}
+
+// SyntaxError reports a lexical or parse error with a byte offset into the
+// source expression.
+type SyntaxError struct {
+	Src string
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: syntax error at offset %d in %q: %s", e.Pos, e.Src, e.Msg)
+}
+
+// Lexer splits an expression source string into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+func (l *Lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Src: l.src, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c):
+		var v int64
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			d := int64(l.src[l.pos] - '0')
+			if v > (1<<62)/10 {
+				return Token{}, l.errf(start, "integer literal overflows int64")
+			}
+			v = v*10 + d
+			l.pos++
+		}
+		if l.pos < len(l.src) && isIdentStart(l.src[l.pos]) {
+			return Token{}, l.errf(start, "malformed number")
+		}
+		return Token{Kind: TokInt, Val: v, Text: l.src[start:l.pos], Pos: start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		switch text {
+		case "true":
+			return Token{Kind: TokTrue, Text: text, Pos: start}, nil
+		case "false":
+			return Token{Kind: TokFalse, Text: text, Pos: start}, nil
+		case "and":
+			return Token{Kind: TokAnd, Text: text, Pos: start}, nil
+		case "or":
+			return Token{Kind: TokOr, Text: text, Pos: start}, nil
+		case "not":
+			return Token{Kind: TokNot, Text: text, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+	}
+	l.pos++
+	two := func(next byte, k2, k1 TokenKind) (Token, error) {
+		if l.pos < len(l.src) && l.src[l.pos] == next {
+			l.pos++
+			return Token{Kind: k2, Text: l.src[start:l.pos], Pos: start}, nil
+		}
+		return Token{Kind: k1, Text: l.src[start:l.pos], Pos: start}, nil
+	}
+	switch c {
+	case '+':
+		return Token{Kind: TokPlus, Text: "+", Pos: start}, nil
+	case '-':
+		return Token{Kind: TokMinus, Text: "-", Pos: start}, nil
+	case '*':
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case '/':
+		return Token{Kind: TokSlash, Text: "/", Pos: start}, nil
+	case '%':
+		return Token{Kind: TokPercent, Text: "%", Pos: start}, nil
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Text: "[", Pos: start}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Text: "]", Pos: start}, nil
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case '?':
+		return Token{Kind: TokQuestion, Text: "?", Pos: start}, nil
+	case ';':
+		return Token{Kind: TokSemi, Text: ";", Pos: start}, nil
+	case '<':
+		return two('=', TokLE, TokLT)
+	case '>':
+		return two('=', TokGE, TokGT)
+	case '!':
+		return two('=', TokNE, TokNot)
+	case '=':
+		return two('=', TokEQ, TokAssign) // bare '=' accepted as assignment
+	case ':':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return Token{Kind: TokAssign, Text: ":=", Pos: start}, nil
+		}
+		return Token{Kind: TokColon, Text: ":", Pos: start}, nil
+	case '&':
+		if l.pos < len(l.src) && l.src[l.pos] == '&' {
+			l.pos++
+			return Token{Kind: TokAnd, Text: "&&", Pos: start}, nil
+		}
+		return Token{}, l.errf(start, "unexpected '&' (did you mean '&&'?)")
+	case '|':
+		if l.pos < len(l.src) && l.src[l.pos] == '|' {
+			l.pos++
+			return Token{Kind: TokOr, Text: "||", Pos: start}, nil
+		}
+		return Token{}, l.errf(start, "unexpected '|' (did you mean '||'?)")
+	}
+	return Token{}, l.errf(start, "unexpected character %q", c)
+}
+
+// LexAll tokenizes the whole source, for testing and diagnostics.
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

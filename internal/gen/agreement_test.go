@@ -1,0 +1,67 @@
+package gen
+
+import (
+	"testing"
+
+	"stopwatchsim/internal/mc"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/observer"
+	"stopwatchsim/internal/trace"
+)
+
+// TestRandomAgreementSimVsMC is the paper's central claim on random
+// configurations: the single deterministic run decides schedulability
+// identically to exhaustive Model Checking.
+func TestRandomAgreementSimVsMC(t *testing.T) {
+	p := DefaultRandomParams()
+	p.Periods = []int64{6, 12} // keep hyperperiods tiny for exhaustiveness
+	p.MaxTasks = 2
+	p.MaxPartitions = 2
+	checked := 0
+	for seed := int64(0); seed < 40; seed++ {
+		sys := Random(seed, p)
+		m := model.MustBuild(sys)
+		tr, _, err := m.Simulate()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		a, err := trace.Analyze(sys, tr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m2 := model.MustBuild(sys)
+		ok, res, err := mc.CheckSchedulability(m2, 3_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Complete {
+			continue // too large to exhaust; skip, don't fail
+		}
+		checked++
+		if ok != a.Schedulable {
+			t.Fatalf("seed %d: MC=%t simulator=%t (witness %q)", seed, ok, a.Schedulable, res.Bad)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d configurations fully explored", checked)
+	}
+	t.Logf("agreement on %d random configurations", checked)
+}
+
+// TestRandomObserverVerification runs the single-run observer checks on a
+// wide batch of random configurations: the component models must satisfy
+// every §3 requirement regardless of parameters.
+func TestRandomObserverVerification(t *testing.T) {
+	p := DefaultRandomParams()
+	for seed := int64(100); seed < 160; seed++ {
+		sys := Random(seed, p)
+		m := model.MustBuild(sys)
+		violations, err := observer.VerifyRun(m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(violations) != 0 {
+			t.Fatalf("seed %d: %v", seed, violations)
+		}
+	}
+}

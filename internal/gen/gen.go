@@ -1,0 +1,325 @@
+// Package gen generates system configurations for experiments and tests:
+// the Table 1 family (exponential Model-Checking cost, flat simulation
+// cost), the industrial-scale configuration of §4 (~12 500 jobs over the
+// hyperperiod), and randomized configurations for property testing.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stopwatchsim/internal/config"
+)
+
+// Table1Config builds the configuration family of Table 1, parameterized by
+// the total number of jobs. Each task releases exactly one job, all at time
+// zero; the tasks are spread over two partitions on two cores, so the
+// number of simultaneous independent release/dispatch interleavings — and
+// with it the Model Checking state count — grows exponentially with the job
+// count, while the single-run interpretation stays linear.
+func Table1Config(jobs int) *config.System {
+	if jobs < 1 {
+		jobs = 1
+	}
+	const period = 1000
+	sys := &config.System{
+		Name:      fmt.Sprintf("table1-%d", jobs),
+		CoreTypes: []string{"std"},
+		Cores: []config.Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 0, Module: 2},
+		},
+		Partitions: []config.Partition{
+			{Name: "P1", Core: 0, Policy: config.FPPS,
+				Windows: []config.Window{{Start: 0, End: period}}},
+			{Name: "P2", Core: 1, Policy: config.FPPS,
+				Windows: []config.Window{{Start: 0, End: period}}},
+		},
+	}
+	for i := 0; i < jobs; i++ {
+		t := config.Task{
+			Name:     fmt.Sprintf("T%d", i+1),
+			Priority: jobs - i,
+			WCET:     []int64{int64(2 + i%3)},
+			Period:   period,
+			Deadline: period,
+		}
+		p := &sys.Partitions[i%2]
+		p.Tasks = append(p.Tasks, t)
+	}
+	// A two-core layout needs both partitions non-empty.
+	if len(sys.Partitions[1].Tasks) == 0 {
+		sys.Partitions = sys.Partitions[:1]
+		sys.Cores = sys.Cores[:1]
+	}
+	return sys
+}
+
+// IndustrialConfig builds a configuration with the scale the paper reports
+// for industrial avionics systems: 5 modules (one core each), 6 partitions
+// per core, and about 12 500 jobs over the hyperperiod, including
+// cross-module data dependencies over network links.
+//
+// Layout: the hyperperiod is 50 frames of 55 ticks. Each frame gives each
+// of the 5 application partitions a 10-tick window (10 tasks × WCET 1,
+// period = frame) and a trailing 5-tick window to a housekeeping partition
+// with one long-period task. Ten messages connect same-period tasks across
+// modules (core 0→1 and 2→3 per partition slot).
+func IndustrialConfig() *config.System {
+	const (
+		cores    = 5
+		appParts = 5
+		appTasks = 10
+		frame    = 55
+		frames   = 50
+		l        = frame * frames // 2750
+		winSize  = 10
+		hkWCET   = 100
+	)
+	sys := &config.System{
+		Name:      "industrial-12500",
+		CoreTypes: []string{"std"},
+	}
+	for c := 0; c < cores; c++ {
+		sys.Cores = append(sys.Cores, config.Core{
+			Name: fmt.Sprintf("core%d", c), Type: 0, Module: c + 1,
+		})
+	}
+	partIdx := make(map[[2]int]int) // (core, slot) -> partition index
+	for c := 0; c < cores; c++ {
+		for p := 0; p < appParts; p++ {
+			part := config.Partition{
+				Name: fmt.Sprintf("M%d_P%d", c, p), Core: c, Policy: config.FPPS,
+			}
+			for t := 0; t < appTasks; t++ {
+				part.Tasks = append(part.Tasks, config.Task{
+					Name:     fmt.Sprintf("T%d", t),
+					Priority: appTasks - t,
+					WCET:     []int64{1},
+					Period:   frame,
+					Deadline: frame,
+				})
+			}
+			for f := 0; f < frames; f++ {
+				start := int64(f*frame + p*winSize)
+				part.Windows = append(part.Windows, config.Window{
+					Start: start, End: start + winSize,
+				})
+			}
+			partIdx[[2]int{c, p}] = len(sys.Partitions)
+			sys.Partitions = append(sys.Partitions, part)
+		}
+		// Housekeeping partition: one long task in the trailing window.
+		hk := config.Partition{
+			Name: fmt.Sprintf("M%d_HK", c), Core: c, Policy: config.FPPS,
+			Tasks: []config.Task{{
+				Name: "HK", Priority: 1, WCET: []int64{hkWCET}, Period: l, Deadline: l,
+			}},
+		}
+		for f := 0; f < frames; f++ {
+			start := int64(f*frame + appParts*winSize)
+			hk.Windows = append(hk.Windows, config.Window{Start: start, End: start + 5})
+		}
+		sys.Partitions = append(sys.Partitions, hk)
+	}
+	// Cross-module flows between the highest-priority tasks of matching
+	// partition slots (acyclic: core index only increases).
+	for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+		for p := 0; p < appParts; p++ {
+			src := partIdx[[2]int{pair[0], p}]
+			dst := partIdx[[2]int{pair[1], p}]
+			sys.Messages = append(sys.Messages, config.Message{
+				Name:    fmt.Sprintf("m_%d_%d_p%d", pair[0], pair[1], p),
+				SrcPart: src, SrcTask: 0,
+				DstPart: dst, DstTask: 0,
+				MemDelay: 1, NetDelay: 2,
+			})
+		}
+	}
+	return sys
+}
+
+// RandomParams bound the Random generator.
+type RandomParams struct {
+	MaxCores      int     // ≥ 1
+	MaxPartitions int     // per system, ≥ 1
+	MaxTasks      int     // per partition, ≥ 1
+	Periods       []int64 // candidate periods (harmonic sets keep L small)
+	MaxUtil       float64 // target utilization cap per core
+	Messages      int     // how many data-flow edges to attempt
+}
+
+// DefaultRandomParams keep hyperperiods small enough for exhaustive
+// cross-checking against the model checker.
+func DefaultRandomParams() RandomParams {
+	return RandomParams{
+		MaxCores:      2,
+		MaxPartitions: 3,
+		MaxTasks:      3,
+		Periods:       []int64{8, 16, 32},
+		MaxUtil:       0.9,
+		Messages:      2,
+	}
+}
+
+// Random generates a valid random configuration. The same seed always
+// yields the same configuration.
+func Random(seed int64, p RandomParams) *config.System {
+	r := rand.New(rand.NewSource(seed))
+	nc := 1 + r.Intn(p.MaxCores)
+	np := nc + r.Intn(p.MaxPartitions*nc-nc+1) // at least one partition per core
+
+	sys := &config.System{
+		Name:      fmt.Sprintf("random-%d", seed),
+		CoreTypes: []string{"std", "fast"},
+	}
+	for c := 0; c < nc; c++ {
+		sys.Cores = append(sys.Cores, config.Core{
+			Name: fmt.Sprintf("c%d", c), Type: r.Intn(2), Module: 1 + r.Intn(2),
+		})
+	}
+
+	policies := []config.Policy{config.FPPS, config.FPNPS, config.EDF, config.RR}
+	// Assign partitions round-robin to cores so every core gets one.
+	for pi := 0; pi < np; pi++ {
+		core := pi % nc
+		part := config.Partition{
+			Name:   fmt.Sprintf("P%d", pi),
+			Core:   core,
+			Policy: policies[r.Intn(len(policies))],
+		}
+		if part.Policy == config.RR {
+			part.Quantum = 1 + r.Int63n(3)
+		}
+		nt := 1 + r.Intn(p.MaxTasks)
+		for t := 0; t < nt; t++ {
+			period := p.Periods[r.Intn(len(p.Periods))]
+			maxC := period / 4
+			if maxC < 1 {
+				maxC = 1
+			}
+			c := 1 + r.Int63n(maxC)
+			// Deadline in [C, period].
+			d := c + r.Int63n(period-c+1)
+			part.Tasks = append(part.Tasks, config.Task{
+				Name:     fmt.Sprintf("T%d_%d", pi, t),
+				Priority: 1 + r.Intn(8),
+				WCET:     []int64{c, maxI64(1, c/2)},
+				Period:   period,
+				Deadline: d,
+			})
+		}
+		sys.Partitions = append(sys.Partitions, part)
+	}
+
+	carveWindows(r, sys)
+	addMessages(r, sys, p.Messages)
+
+	if err := sys.Validate(); err != nil {
+		// Generation above is constructed to be valid; a failure is a bug.
+		panic(fmt.Sprintf("gen: invalid random config (seed %d): %v", seed, err))
+	}
+	return sys
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// carveWindows splits [0, L) per core into contiguous per-partition slices,
+// repeated nothing — a single window per partition keeps hyperperiods
+// exhaustively checkable.
+func carveWindows(r *rand.Rand, sys *config.System) {
+	l := sys.Hyperperiod()
+	for c := range sys.Cores {
+		var parts []int
+		for pi := range sys.Partitions {
+			if sys.Partitions[pi].Core == c {
+				parts = append(parts, pi)
+			}
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		// Random cut points dividing [0, L) into len(parts) slices.
+		span := l / int64(len(parts))
+		for i, pi := range parts {
+			start := int64(i) * span
+			end := start + span
+			if i == len(parts)-1 {
+				end = l
+			}
+			// Shrink the window a little sometimes, leaving idle gaps.
+			if end-start > 2 && r.Intn(2) == 0 {
+				end -= r.Int63n((end - start) / 2)
+			}
+			sys.Partitions[pi].Windows = []config.Window{{Start: start, End: end}}
+		}
+	}
+}
+
+// RandomSwitched generates a valid random configuration whose messages are
+// routed through a small random switched network (1–3 ports, routes of 1–2
+// hops), exercising the port automata under arbitrary contention patterns.
+func RandomSwitched(seed int64, p RandomParams) *config.System {
+	sys := Random(seed, p)
+	if len(sys.Messages) == 0 {
+		return sys
+	}
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
+	nPorts := 1 + r.Intn(3)
+	top := &config.Topology{}
+	for i := 0; i < nPorts; i++ {
+		top.Ports = append(top.Ports, config.Port{Name: fmt.Sprintf("sw%d", i)})
+	}
+	for h := range sys.Messages {
+		sys.Messages[h].TxTime = 1 + r.Int63n(3)
+		route := []int{r.Intn(nPorts)}
+		if nPorts > 1 && r.Intn(2) == 0 {
+			next := (route[0] + 1 + r.Intn(nPorts-1)) % nPorts
+			route = append(route, next)
+		}
+		top.Routes = append(top.Routes, route)
+	}
+	sys.Net = top
+	sys.Name = fmt.Sprintf("random-switched-%d", seed)
+	if err := sys.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: invalid switched config (seed %d): %v", seed, err))
+	}
+	return sys
+}
+
+// addMessages inserts up to n random equal-period edges, keeping the graph
+// acyclic by always sending from a lower partition index to a higher one.
+func addMessages(r *rand.Rand, sys *config.System, n int) {
+	type ref = config.TaskRef
+	var all []ref
+	for pi := range sys.Partitions {
+		for ti := range sys.Partitions[pi].Tasks {
+			all = append(all, ref{Part: pi, Task: ti})
+		}
+	}
+	tries := 0
+	for len(sys.Messages) < n && tries < 50 {
+		tries++
+		a := all[r.Intn(len(all))]
+		b := all[r.Intn(len(all))]
+		if a.Part >= b.Part {
+			continue
+		}
+		pa := sys.Partitions[a.Part].Tasks[a.Task].Period
+		pb := sys.Partitions[b.Part].Tasks[b.Task].Period
+		if pa != pb {
+			continue
+		}
+		sys.Messages = append(sys.Messages, config.Message{
+			Name:    fmt.Sprintf("m%d", len(sys.Messages)),
+			SrcPart: a.Part, SrcTask: a.Task,
+			DstPart: b.Part, DstTask: b.Task,
+			MemDelay: 1 + r.Int63n(2), NetDelay: 1 + r.Int63n(4),
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package gen
+
+import (
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/trace"
+)
+
+func TestTable1ConfigValid(t *testing.T) {
+	for _, jobs := range []int{1, 2, 5, 10, 18} {
+		sys := Table1Config(jobs)
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if got := sys.JobCount(); got != int64(jobs) {
+			t.Errorf("jobs=%d: JobCount = %d", jobs, got)
+		}
+	}
+}
+
+func TestTable1ConfigSchedulable(t *testing.T) {
+	sys := Table1Config(12)
+	m := model.MustBuild(sys)
+	tr, _, err := m.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := trace.Analyze(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Schedulable {
+		t.Fatalf("Table 1 config must be schedulable:\n%s", a.Summary(sys))
+	}
+}
+
+func TestIndustrialConfig(t *testing.T) {
+	sys := IndustrialConfig()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	jobs := sys.JobCount()
+	if jobs < 12000 || jobs > 13000 {
+		t.Errorf("jobs = %d, want ~12500", jobs)
+	}
+	if got := sys.Hyperperiod(); got != 2750 {
+		t.Errorf("L = %d, want 2750", got)
+	}
+	if len(sys.Cores) != 5 {
+		t.Errorf("cores = %d", len(sys.Cores))
+	}
+	if len(sys.Messages) != 10 {
+		t.Errorf("messages = %d", len(sys.Messages))
+	}
+}
+
+func TestIndustrialSchedulable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("industrial-scale simulation in -short mode")
+	}
+	sys := IndustrialConfig()
+	m := model.MustBuild(sys)
+	tr, res, err := m.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := trace.Analyze(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Schedulable {
+		// Show only the summary; the trace would be enormous.
+		t.Fatalf("industrial config must be schedulable:\n%s", a.Summary(sys))
+	}
+	if int64(len(a.Jobs)) != sys.JobCount() {
+		t.Errorf("analyzed %d jobs, config has %d", len(a.Jobs), sys.JobCount())
+	}
+	t.Logf("industrial run: %d actions, %d delays, %d jobs", res.Actions, res.Delays, len(a.Jobs))
+}
+
+func TestRandomConfigsValidAndRunnable(t *testing.T) {
+	p := DefaultRandomParams()
+	for seed := int64(0); seed < 30; seed++ {
+		sys := Random(seed, p)
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m, err := model.Build(sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr, _, err := m.Simulate()
+		if err != nil {
+			t.Fatalf("seed %d: simulate: %v", seed, err)
+		}
+		if _, err := trace.Analyze(sys, tr); err != nil {
+			t.Fatalf("seed %d: analyze: %v\n%s", seed, err, tr.Format(sys))
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	p := DefaultRandomParams()
+	a := Random(42, p)
+	b := Random(42, p)
+	if a.Name != b.Name || len(a.Partitions) != len(b.Partitions) || a.Hyperperiod() != b.Hyperperiod() {
+		t.Error("same seed produced different configs")
+	}
+	if len(a.Partitions[0].Tasks) != len(b.Partitions[0].Tasks) {
+		t.Error("task sets differ")
+	}
+}
+
+func TestRandomCoverage(t *testing.T) {
+	// Over many seeds the generator must produce all three policies and at
+	// least some messages and multi-core systems.
+	p := DefaultRandomParams()
+	seenPolicy := make(map[config.Policy]bool)
+	seenMsg, seenMulti := false, false
+	for seed := int64(0); seed < 60; seed++ {
+		sys := Random(seed, p)
+		for i := range sys.Partitions {
+			seenPolicy[sys.Partitions[i].Policy] = true
+		}
+		if len(sys.Messages) > 0 {
+			seenMsg = true
+		}
+		if len(sys.Cores) > 1 {
+			seenMulti = true
+		}
+	}
+	if len(seenPolicy) != 4 || !seenMsg || !seenMulti {
+		t.Errorf("coverage: policies=%v msg=%t multi=%t", seenPolicy, seenMsg, seenMulti)
+	}
+}

@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"stopwatchsim/internal/mc"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/observer"
+	"stopwatchsim/internal/trace"
+)
+
+func TestRandomSwitchedValidAndRunnable(t *testing.T) {
+	p := DefaultRandomParams()
+	withNet := 0
+	for seed := int64(0); seed < 30; seed++ {
+		sys := RandomSwitched(seed, p)
+		if sys.Net != nil {
+			withNet++
+		}
+		m, err := model.Build(sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr, _, err := m.Simulate()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := trace.Analyze(sys, tr); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if withNet < 10 {
+		t.Errorf("only %d/30 configs got a network", withNet)
+	}
+}
+
+// TestRandomSwitchedDeterminism: the switched-network port automata must
+// preserve the determinism theorem under random interleavings.
+func TestRandomSwitchedDeterminism(t *testing.T) {
+	p := DefaultRandomParams()
+	for seed := int64(0); seed < 12; seed++ {
+		sys := RandomSwitched(seed, p)
+		ref, _, err := model.MustBuild(sys).Simulate()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		refNorm := ref.Normalize()
+		for cs := int64(1); cs <= 5; cs++ {
+			tr, _, err := model.MustBuild(sys).SimulateWith(
+				nsa.RandomChooser{Rng: rand.New(rand.NewSource(cs))})
+			if err != nil {
+				t.Fatalf("seed %d/%d: %v", seed, cs, err)
+			}
+			if !refNorm.EqualAsSets(tr.Normalize()) {
+				t.Fatalf("seed %d chooser %d: traces differ\nref:\n%s\ngot:\n%s",
+					seed, cs, refNorm.Format(sys), tr.Normalize().Format(sys))
+			}
+		}
+	}
+}
+
+// TestRandomSwitchedObserversAndMC: observers hold on switched systems and
+// the single-run verdict matches exhaustive checking.
+func TestRandomSwitchedObserversAndMC(t *testing.T) {
+	p := DefaultRandomParams()
+	p.Periods = []int64{6, 12}
+	p.MaxTasks = 2
+	p.MaxPartitions = 2
+	checked := 0
+	for seed := int64(0); seed < 20; seed++ {
+		sys := RandomSwitched(seed, p)
+		m := model.MustBuild(sys)
+		violations, err := observer.VerifyRun(m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(violations) != 0 {
+			t.Fatalf("seed %d: %v", seed, violations)
+		}
+
+		tr, _, err := model.MustBuild(sys).Simulate()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		a, err := trace.Analyze(sys, tr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ok, res, err := mc.CheckSchedulability(model.MustBuild(sys), 2_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Complete {
+			continue
+		}
+		checked++
+		if ok != a.Schedulable {
+			t.Fatalf("seed %d: MC=%t sim=%t", seed, ok, a.Schedulable)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d fully checked", checked)
+	}
+}

@@ -1,0 +1,34 @@
+package gen
+
+import (
+	"testing"
+
+	"stopwatchsim/internal/mc"
+	"stopwatchsim/internal/model"
+)
+
+// TestTable1ExponentialShape asserts the qualitative result of Table 1: the
+// Model Checking state count roughly doubles with every added job on the
+// Table 1 configuration family (the paper's measured times grow ×2.1 per
+// job), while the configuration stays schedulable throughout.
+func TestTable1ExponentialShape(t *testing.T) {
+	prev := 0
+	for jobs := 5; jobs <= 11; jobs++ {
+		sys := Table1Config(jobs)
+		m := model.MustBuild(sys)
+		ok, res, err := mc.CheckSchedulability(m, 0)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if !ok {
+			t.Fatalf("jobs=%d: family must be schedulable", jobs)
+		}
+		if prev > 0 {
+			ratio := float64(res.States) / float64(prev)
+			if ratio < 1.5 || ratio > 3.0 {
+				t.Errorf("jobs=%d: state growth ratio %.2f outside [1.5,3.0]", jobs, ratio)
+			}
+		}
+		prev = res.States
+	}
+}

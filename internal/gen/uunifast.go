@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stopwatchsim/internal/config"
+)
+
+// UUniFast generates n task utilizations summing to total, uniformly
+// distributed over the valid simplex (Bini & Buttazzo's UUniFast
+// algorithm). The same rng state always yields the same vector.
+func UUniFast(rng *rand.Rand, n int, total float64) []float64 {
+	u := make([]float64, n)
+	sum := total
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i-1))
+		u[i] = sum - next
+		sum = next
+	}
+	u[n-1] = sum
+	return u
+}
+
+// UtilizationConfig builds a single-core, single-partition FPPS
+// configuration of n tasks whose total utilization approximates target:
+// utilizations are drawn with UUniFast, periods from the given harmonic
+// set, WCETs as round(u·P) clamped to [1, P]. Priorities are
+// rate-monotonic. Used for utilization-sweep experiments.
+func UtilizationConfig(seed int64, n int, target float64, periods []int64) *config.System {
+	rng := rand.New(rand.NewSource(seed))
+	utils := UUniFast(rng, n, target)
+	sys := &config.System{
+		Name:      fmt.Sprintf("util-%d-%.2f", seed, target),
+		CoreTypes: []string{"std"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []config.Partition{
+			{Name: "P1", Core: 0, Policy: config.FPPS},
+		},
+	}
+	for i := 0; i < n; i++ {
+		p := periods[rng.Intn(len(periods))]
+		c := int64(math.Round(utils[i] * float64(p)))
+		if c < 1 {
+			c = 1
+		}
+		if c > p {
+			c = p
+		}
+		sys.Partitions[0].Tasks = append(sys.Partitions[0].Tasks, config.Task{
+			Name:     fmt.Sprintf("T%d", i),
+			Priority: 0, // assigned rate-monotonically below
+			WCET:     []int64{c},
+			Period:   p,
+			Deadline: p,
+		})
+	}
+	// Rate-monotonic priorities: shorter period → higher priority.
+	tasks := sys.Partitions[0].Tasks
+	for i := range tasks {
+		prio := 1
+		for j := range tasks {
+			if tasks[j].Period > tasks[i].Period {
+				prio++
+			}
+		}
+		tasks[i].Priority = prio
+	}
+	sys.Partitions[0].Windows = []config.Window{{Start: 0, End: sys.Hyperperiod()}}
+	return sys
+}
+
+// SweepPoint is one measurement of a utilization sweep.
+type SweepPoint struct {
+	Utilization float64
+	Total       int
+	Schedulable int
+}
+
+// Ratio returns the schedulable fraction.
+func (p SweepPoint) Ratio() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Schedulable) / float64(p.Total)
+}

@@ -1,0 +1,90 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/trace"
+)
+
+func TestUUniFastSumsAndBounds(t *testing.T) {
+	f := func(seed int64, nRaw, tRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		total := 0.1 + float64(tRaw%90)/100
+		rng := rand.New(rand.NewSource(seed))
+		u := UUniFast(rng, n, total)
+		if len(u) != n {
+			return false
+		}
+		sum := 0.0
+		for _, v := range u {
+			if v < -1e-9 || v > total+1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationConfigValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sys := UtilizationConfig(seed, 4, 0.6, []int64{10, 20, 40})
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Rate-monotonic: shorter period ⇒ strictly higher priority class.
+		tasks := sys.Partitions[0].Tasks
+		for i := range tasks {
+			for j := range tasks {
+				if tasks[i].Period < tasks[j].Period && tasks[i].Priority <= tasks[j].Priority {
+					t.Fatalf("seed %d: priorities not rate-monotonic: %+v", seed, tasks)
+				}
+			}
+		}
+	}
+}
+
+// TestUtilizationSweepShape: the schedulable fraction must be monotone-ish
+// in utilization — near 1 at low load, near 0 when overloaded. This is the
+// classic schedulability-curve experiment driven by the simulator.
+func TestUtilizationSweepShape(t *testing.T) {
+	periods := []int64{10, 20, 40}
+	measure := func(target float64) SweepPoint {
+		pt := SweepPoint{Utilization: target}
+		for seed := int64(0); seed < 25; seed++ {
+			sys := UtilizationConfig(seed, 4, target, periods)
+			m := model.MustBuild(sys)
+			tr, _, err := m.Simulate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := trace.Analyze(sys, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pt.Total++
+			if a.Schedulable {
+				pt.Schedulable++
+			}
+		}
+		return pt
+	}
+	low := measure(0.4)
+	high := measure(1.15)
+	if low.Ratio() < 0.9 {
+		t.Errorf("U=0.4: ratio %.2f, want ≥ 0.9", low.Ratio())
+	}
+	if high.Ratio() > 0.2 {
+		t.Errorf("U=1.15: ratio %.2f, want ≤ 0.2", high.Ratio())
+	}
+	if low.Ratio() < high.Ratio() {
+		t.Error("ratio must not increase with utilization")
+	}
+}

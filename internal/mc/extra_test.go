@@ -1,0 +1,80 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+)
+
+func TestBadStatePredicate(t *testing.T) {
+	sys := oneCore(config.FPPS, []config.Task{
+		{Name: "T", Priority: 1, WCET: []int64{2}, Period: 5, Deadline: 5},
+	})
+	m := model.MustBuild(sys)
+	// A predicate that triggers once the job variable reaches its final
+	// value: reachable, so a witness must be produced.
+	jobVar := m.IsReadyVar(config.TaskRef{Part: 0, Task: 0})
+	res, err := Explore(m.Net, Options{
+		Horizon: m.Horizon,
+		BadState: func(s *nsa.State) string {
+			if s.Vars[jobVar] == 1 {
+				return "job became ready"
+			}
+			return ""
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Bad, "ready") {
+		t.Errorf("witness = %q", res.Bad)
+	}
+	if !res.Complete {
+		t.Error("exploration should still complete (bad state does not stop it)")
+	}
+}
+
+func TestCollectTracesBounded(t *testing.T) {
+	sys := oneCore(config.FPPS, []config.Task{
+		{Name: "A", Priority: 2, WCET: []int64{1}, Period: 4, Deadline: 4},
+		{Name: "B", Priority: 1, WCET: []int64{1}, Period: 4, Deadline: 4},
+	})
+	m := model.MustBuild(sys)
+	if _, err := CollectTraces(m, 1); err == nil {
+		t.Error("run bound must trigger an error")
+	}
+	runs, err := CollectTraces(model.MustBuild(sys), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) < 1 {
+		t.Fatal("no runs")
+	}
+	// Every run contains the same number of events after normalization.
+	want := runs[0].Normalize()
+	for i, r := range runs[1:] {
+		if !want.EqualAsSets(r.Normalize()) {
+			t.Fatalf("run %d differs", i+1)
+		}
+	}
+}
+
+func TestExploreDeadlockSurfaces(t *testing.T) {
+	// A malformed network: invariant forces action but nothing is enabled.
+	// Build directly through nsa to keep the model library clean.
+	sys := oneCore(config.FPPS, []config.Task{
+		{Name: "T", Priority: 1, WCET: []int64{1}, Period: 4, Deadline: 4},
+	})
+	m := model.MustBuild(sys)
+	// Sabotage: drop all edges of the core scheduler so its invariant
+	// u <= 0 cannot be discharged.
+	csIdx := m.Net.AutomatonIndex("CS_c1")
+	m.Net.Automata[csIdx].Edges = nil
+	_, err := Explore(m.Net, Options{Horizon: m.Horizon})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v", err)
+	}
+}

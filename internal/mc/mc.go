@@ -1,0 +1,231 @@
+// Package mc is the Model Checking baseline the paper compares against
+// (Table 1): an exhaustive exploration of all runs of an NSA. It shares the
+// successor computation with the simulator in package nsa — every enabled
+// action transition is branched on, with visited-state de-duplication —
+// so the measured difference against the single-run interpretation is
+// purely the cost of considering all interleavings.
+//
+// Properties are checked two ways: state predicates (BadState) evaluated on
+// every reachable state, and Monitors — deterministic observer automata in
+// the sense of §3 whose state is carried in the product with the network
+// state, so "bad location reachable in some run" is decided exactly.
+package mc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"stopwatchsim/internal/expr"
+	"stopwatchsim/internal/nsa"
+)
+
+// Monitor is a deterministic observer over synchronization transitions.
+// Its state is an int64 vector included in the exploration's product state.
+type Monitor interface {
+	// Name identifies the monitor in witnesses.
+	Name() string
+	// Init returns the initial monitor state.
+	Init() []int64
+	// Step consumes one fired transition (with the post-state s) and
+	// returns the successor monitor state; a non-empty bad string reports
+	// that the monitor reached its "bad" location.
+	Step(ms []int64, time int64, tr *nsa.Transition, net *nsa.Network, s *nsa.State) (next []int64, bad string)
+}
+
+// Options configure an exploration.
+type Options struct {
+	// Horizon bounds model time, like the simulator's horizon. Required.
+	Horizon int64
+	// BadState, when non-nil, is evaluated on every reachable state; a
+	// non-empty string is a violation witness.
+	BadState func(s *nsa.State) string
+	// Monitors observe every action transition.
+	Monitors []Monitor
+	// MaxStates aborts the exploration when exceeded (0 = 50 million).
+	MaxStates int
+	// NoDedup disables visited-state de-duplication, turning the search
+	// into a full run-tree walk. Only sensible for tiny models (used by
+	// trace-equivalence tests).
+	NoDedup bool
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// States is the number of distinct product states expanded.
+	States int
+	// Transitions is the number of action transitions fired.
+	Transitions int
+	// Leaves is the number of terminal states reached (horizon or
+	// quiescence).
+	Leaves int
+	// Bad is the first violation witness found, "" if none.
+	Bad string
+	// Complete is false when MaxStates aborted the search.
+	Complete bool
+}
+
+// frame is one level of the lazy depth-first search: the expanded state,
+// its monitor states, and the candidate transitions with the index of the
+// next one to try. Successors are generated one at a time, so memory is
+// bounded by the search depth plus the visited set — not the frontier.
+type frame struct {
+	s     *nsa.State
+	ms    [][]int64
+	cands []nsa.Transition
+	next  int
+}
+
+// Explore walks all maximal-progress runs of net up to the horizon.
+// It returns an error for malformed models (time-stop deadlocks, semantics
+// violations), mirroring the simulator. The visited set stores 128-bit
+// FNV-1a hashes of the product state (network state × monitor states), so
+// memory stays proportional to the number of distinct states, not their
+// size.
+func Explore(net *nsa.Network, opts Options) (Result, error) {
+	if opts.Horizon <= 0 {
+		return Result{}, fmt.Errorf("mc: non-positive horizon %d", opts.Horizon)
+	}
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 50_000_000
+	}
+
+	var res Result
+	visited := make(map[[16]byte]struct{})
+	var keyBuf []byte
+	hasher := fnv.New128a()
+
+	seen := func(s *nsa.State, ms [][]int64) bool {
+		keyBuf = s.AppendKey(keyBuf[:0])
+		for _, m := range ms {
+			for _, v := range m {
+				var tmp [8]byte
+				binary.LittleEndian.PutUint64(tmp[:], uint64(v))
+				keyBuf = append(keyBuf, tmp[:]...)
+			}
+		}
+		hasher.Reset()
+		hasher.Write(keyBuf)
+		var k [16]byte
+		hasher.Sum(k[:0])
+		if _, ok := visited[k]; ok {
+			return true
+		}
+		visited[k] = struct{}{}
+		return false
+	}
+
+	// expand registers a newly reached product state and returns its frame,
+	// or nil when it was already visited (or is a terminal leaf).
+	expand := func(s *nsa.State, ms [][]int64) (*frame, error) {
+		if !opts.NoDedup && seen(s, ms) {
+			return nil, nil
+		}
+		res.States++
+		if opts.BadState != nil {
+			if bad := opts.BadState(s); bad != "" && res.Bad == "" {
+				res.Bad = bad
+			}
+		}
+		cands := net.EnabledTransitions(s, nil)
+		if len(cands) > 0 {
+			return &frame{s: s, ms: ms, cands: cands}, nil
+		}
+		// No actions: delay in place until an action becomes enabled, or
+		// terminate, exactly like the simulator.
+		for {
+			if s.Time >= opts.Horizon {
+				res.Leaves++
+				return nil, nil
+			}
+			info := net.DelayBound(s)
+			if info.Blocked {
+				return nil, &nsa.SemanticsError{Time: s.Time,
+					Msg: "time-stop deadlock during exploration (" + net.LocationString(s) + ")"}
+			}
+			d := info.Step()
+			if d == expr.NoBound {
+				res.Leaves++ // quiescent
+				return nil, nil
+			}
+			if d <= 0 {
+				return nil, &nsa.SemanticsError{Time: s.Time,
+					Msg: fmt.Sprintf("time-stop deadlock: invariant bound %d with no enabled transition", d)}
+			}
+			if remaining := opts.Horizon - s.Time; d > remaining {
+				d = remaining
+			}
+			if err := net.Advance(s, d); err != nil {
+				return nil, err
+			}
+			if !opts.NoDedup && seen(s, ms) {
+				return nil, nil
+			}
+			res.States++
+			if opts.BadState != nil {
+				if bad := opts.BadState(s); bad != "" && res.Bad == "" {
+					res.Bad = bad
+				}
+			}
+			cands = net.EnabledTransitions(s, nil)
+			if len(cands) > 0 {
+				return &frame{s: s, ms: ms, cands: cands}, nil
+			}
+		}
+	}
+
+	initMs := make([][]int64, len(opts.Monitors))
+	for i, m := range opts.Monitors {
+		initMs[i] = m.Init()
+	}
+	root, err := expand(net.InitialState(), initMs)
+	if err != nil {
+		return res, err
+	}
+	stack := make([]*frame, 0, 1024)
+	if root != nil {
+		stack = append(stack, root)
+	}
+
+	for len(stack) > 0 {
+		if res.States > maxStates {
+			res.Complete = false
+			return res, nil
+		}
+		top := stack[len(stack)-1]
+		if top.next >= len(top.cands) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		tr := top.cands[top.next]
+		top.next++
+
+		succ := top.s.Clone()
+		fireTime := succ.Time
+		if err := net.Fire(succ, &tr); err != nil {
+			return res, err
+		}
+		res.Transitions++
+		ms := top.ms
+		if len(opts.Monitors) > 0 {
+			ms = make([][]int64, len(opts.Monitors))
+			for mi, m := range opts.Monitors {
+				next, bad := m.Step(top.ms[mi], fireTime, &tr, net, succ)
+				ms[mi] = next
+				if bad != "" && res.Bad == "" {
+					res.Bad = fmt.Sprintf("%s: %s", m.Name(), bad)
+				}
+			}
+		}
+		f, err := expand(succ, ms)
+		if err != nil {
+			return res, err
+		}
+		if f != nil {
+			stack = append(stack, f)
+		}
+	}
+	res.Complete = true
+	return res, nil
+}

@@ -1,0 +1,256 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/trace"
+)
+
+func oneCore(policy config.Policy, tasks []config.Task) *config.System {
+	s := &config.System{
+		Name:      "mc-test",
+		CoreTypes: []string{"std"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []config.Partition{
+			{Name: "P1", Core: 0, Policy: policy, Tasks: tasks},
+		},
+	}
+	s.Partitions[0].Windows = []config.Window{{Start: 0, End: s.Hyperperiod()}}
+	return s
+}
+
+func TestCheckSchedulabilityPositive(t *testing.T) {
+	sys := oneCore(config.FPPS, []config.Task{
+		{Name: "Hi", Priority: 2, WCET: []int64{1}, Period: 5, Deadline: 5},
+		{Name: "Lo", Priority: 1, WCET: []int64{6}, Period: 10, Deadline: 10},
+	})
+	m := model.MustBuild(sys)
+	ok, res, err := CheckSchedulability(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("should be schedulable; witness %q", res.Bad)
+	}
+	if !res.Complete || res.States == 0 || res.Leaves == 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestCheckSchedulabilityNegative(t *testing.T) {
+	sys := oneCore(config.FPPS, []config.Task{
+		{Name: "T", Priority: 1, WCET: []int64{8}, Period: 10, Deadline: 5},
+	})
+	m := model.MustBuild(sys)
+	ok, res, err := CheckSchedulability(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("should be unschedulable")
+	}
+	if !strings.Contains(res.Bad, "is_failed") {
+		t.Errorf("witness = %q", res.Bad)
+	}
+}
+
+// TestMCAgreesWithSimulator: the exhaustive verdict must match the
+// single-run verdict on a batch of small configurations — the paper's core
+// claim that one run suffices.
+func TestMCAgreesWithSimulator(t *testing.T) {
+	cases := []*config.System{
+		oneCore(config.FPPS, []config.Task{
+			{Name: "A", Priority: 2, WCET: []int64{2}, Period: 6, Deadline: 6},
+			{Name: "B", Priority: 1, WCET: []int64{3}, Period: 12, Deadline: 12},
+		}),
+		oneCore(config.EDF, []config.Task{
+			{Name: "A", Priority: 1, WCET: []int64{3}, Period: 10, Deadline: 9},
+			{Name: "B", Priority: 1, WCET: []int64{3}, Period: 10, Deadline: 5},
+		}),
+		oneCore(config.FPNPS, []config.Task{
+			{Name: "A", Priority: 2, WCET: []int64{1}, Period: 5, Deadline: 5},
+			{Name: "B", Priority: 1, WCET: []int64{6}, Period: 10, Deadline: 10},
+		}),
+		oneCore(config.FPPS, []config.Task{ // overload: unschedulable
+			{Name: "A", Priority: 2, WCET: []int64{4}, Period: 6, Deadline: 6},
+			{Name: "B", Priority: 1, WCET: []int64{4}, Period: 6, Deadline: 6},
+		}),
+	}
+	for i, sys := range cases {
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		m := model.MustBuild(sys)
+		tr, _, err := m.Simulate()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		a, err := trace.Analyze(sys, tr)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		m2 := model.MustBuild(sys)
+		ok, _, err := CheckSchedulability(m2, 0)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if ok != a.Schedulable {
+			t.Errorf("case %d: MC says %t, simulator says %t", i, ok, a.Schedulable)
+		}
+	}
+}
+
+// TestAllRunsEquivalent enumerates the complete run tree of a small model
+// and checks the determinism theorem: every run's normalized system trace
+// is set-equal, and matches the simulator's.
+func TestAllRunsEquivalent(t *testing.T) {
+	sys := &config.System{
+		Name:      "runtree",
+		CoreTypes: []string{"std"},
+		Cores: []config.Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 0, Module: 1},
+		},
+		Partitions: []config.Partition{
+			{Name: "P1", Core: 0, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "A", Priority: 2, WCET: []int64{2}, Period: 8, Deadline: 8},
+				},
+				Windows: []config.Window{{Start: 0, End: 8}}},
+			{Name: "P2", Core: 1, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "C", Priority: 1, WCET: []int64{4}, Period: 8, Deadline: 8},
+				},
+				Windows: []config.Window{{Start: 0, End: 8}}},
+		},
+		Messages: []config.Message{
+			{Name: "m", SrcPart: 0, SrcTask: 0, DstPart: 1, DstTask: 0, MemDelay: 1, NetDelay: 2},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := model.MustBuild(sys)
+	runs, err := CollectTraces(m, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) < 2 {
+		t.Fatalf("expected multiple runs, got %d", len(runs))
+	}
+	ref := runs[0].Normalize()
+	for i, r := range runs[1:] {
+		n := r.Normalize()
+		if !ref.EqualAsSets(n) {
+			t.Fatalf("run %d differs:\nref:\n%s\ngot:\n%s", i+1, ref.Format(sys), n.Format(sys))
+		}
+	}
+	simTr, _, err := model.MustBuild(sys).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.EqualAsSets(simTr.Normalize()) {
+		t.Errorf("simulator trace differs from run tree:\nref:\n%s\nsim:\n%s",
+			ref.Format(sys), simTr.Normalize().Format(sys))
+	}
+	t.Logf("run tree size: %d runs", len(runs))
+}
+
+// countMonitor counts transitions on a channel and flags more than max.
+type countMonitor struct {
+	ch  int
+	max int64
+}
+
+func (c *countMonitor) Name() string  { return "count" }
+func (c *countMonitor) Init() []int64 { return []int64{0} }
+func (c *countMonitor) Step(ms []int64, _ int64, tr *nsa.Transition, _ *nsa.Network, _ *nsa.State) ([]int64, string) {
+	if int(tr.Chan) != c.ch {
+		return ms, ""
+	}
+	n := ms[0] + 1
+	if n > c.max {
+		return []int64{n}, fmt.Sprintf("channel fired %d times, max %d", n, c.max)
+	}
+	return []int64{n}, ""
+}
+
+func TestMonitorProduct(t *testing.T) {
+	sys := oneCore(config.FPPS, []config.Task{
+		{Name: "T", Priority: 1, WCET: []int64{2}, Period: 5, Deadline: 5},
+	})
+	m := model.MustBuild(sys)
+	execCh, _ := m.TaskChans(config.TaskRef{Part: 0, Task: 0})
+
+	// Exactly one EX per job; 1 job over L=5 → max 1 never violated.
+	res, err := Explore(m.Net, Options{Horizon: m.Horizon,
+		Monitors: []Monitor{&countMonitor{ch: int(execCh), max: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bad != "" {
+		t.Errorf("unexpected violation: %s", res.Bad)
+	}
+
+	// A bound of zero must be violated and witnessed.
+	m2 := model.MustBuild(sys)
+	execCh2, _ := m2.TaskChans(config.TaskRef{Part: 0, Task: 0})
+	res2, err := Explore(m2.Net, Options{Horizon: m2.Horizon,
+		Monitors: []Monitor{&countMonitor{ch: int(execCh2), max: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res2.Bad, "count:") {
+		t.Errorf("witness = %q", res2.Bad)
+	}
+}
+
+func TestMaxStatesAborts(t *testing.T) {
+	sys := oneCore(config.FPPS, []config.Task{
+		{Name: "A", Priority: 2, WCET: []int64{2}, Period: 6, Deadline: 6},
+		{Name: "B", Priority: 1, WCET: []int64{3}, Period: 12, Deadline: 12},
+	})
+	m := model.MustBuild(sys)
+	res, err := Explore(m.Net, Options{Horizon: m.Horizon, MaxStates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Error("exploration should have been aborted")
+	}
+}
+
+func TestExploreBadHorizon(t *testing.T) {
+	sys := oneCore(config.FPPS, []config.Task{
+		{Name: "T", Priority: 1, WCET: []int64{1}, Period: 5, Deadline: 5},
+	})
+	m := model.MustBuild(sys)
+	if _, err := Explore(m.Net, Options{}); err == nil {
+		t.Error("expected horizon error")
+	}
+}
+
+func TestDedupShrinksSearch(t *testing.T) {
+	sys := oneCore(config.FPPS, []config.Task{
+		{Name: "A", Priority: 2, WCET: []int64{1}, Period: 4, Deadline: 4},
+		{Name: "B", Priority: 1, WCET: []int64{2}, Period: 8, Deadline: 8},
+	})
+	m := model.MustBuild(sys)
+	with, err := Explore(m.Net, Options{Horizon: m.Horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := model.MustBuild(sys)
+	without, err := Explore(m2.Net, Options{Horizon: m2.Horizon, NoDedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.States > without.States {
+		t.Errorf("dedup explored more states (%d) than raw tree (%d)", with.States, without.States)
+	}
+}

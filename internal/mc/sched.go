@@ -1,0 +1,118 @@
+package mc
+
+import (
+	"fmt"
+
+	"stopwatchsim/internal/expr"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/trace"
+)
+
+// CheckSchedulability decides the schedulability of a configuration by
+// exhaustive exploration: the configuration is schedulable iff no reachable
+// state (in any run, up to the hyperperiod) records a deadline failure.
+// This is the Model Checking column of Table 1.
+func CheckSchedulability(m *model.Model, maxStates int) (bool, Result, error) {
+	failed := m.FailedVars()
+	bad := func(s *nsa.State) string {
+		for _, v := range failed {
+			if s.Vars[v] != 0 {
+				return fmt.Sprintf("deadline failure recorded in %s", m.Net.Vars[v].Name)
+			}
+		}
+		return ""
+	}
+	res, err := Explore(m.Net, Options{
+		Horizon:   m.Horizon,
+		BadState:  bad,
+		MaxStates: maxStates,
+	})
+	if err != nil {
+		return false, res, err
+	}
+	return res.Bad == "", res, nil
+}
+
+// CollectTraces enumerates the system operation trace of every run of a
+// (tiny) model without de-duplication, for verifying the §3 determinism
+// theorem against the full run tree. maxRuns bounds the enumeration.
+func CollectTraces(m *model.Model, maxRuns int) ([]*trace.Trace, error) {
+	var runs []*trace.Trace
+	var walk func(s *nsa.State, events []trace.Event) error
+	var cands []nsa.Transition
+
+	// Like the simulator's TraceBuilder, FIN events of jobs that never
+	// executed are dropped: such jobs have empty subtraces (§2.1).
+	leaf := func(events []trace.Event) {
+		started := make(map[trace.JobID]bool)
+		for _, ev := range events {
+			if ev.Type == trace.EX {
+				started[ev.Job] = true
+			}
+		}
+		kept := make([]trace.Event, 0, len(events))
+		for _, ev := range events {
+			if ev.Type == trace.FIN && !started[ev.Job] {
+				continue
+			}
+			kept = append(kept, ev)
+		}
+		runs = append(runs, &trace.Trace{Events: kept})
+	}
+
+	walk = func(s *nsa.State, events []trace.Event) error {
+		if len(runs) >= maxRuns {
+			return fmt.Errorf("mc: more than %d runs", maxRuns)
+		}
+		cands = m.Net.EnabledTransitions(s, cands[:0])
+		if len(cands) > 0 {
+			local := make([]nsa.Transition, len(cands))
+			copy(local, cands)
+			for i := range local {
+				succ := s.Clone()
+				fireTime := succ.Time
+				tr := local[i]
+				if err := m.Net.Fire(succ, &tr); err != nil {
+					return err
+				}
+				evs := events
+				if ev, ok := m.SystemEvent(fireTime, &tr, succ); ok {
+					evs = append(events[:len(events):len(events)], ev)
+				}
+				if err := walk(succ, evs); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if s.Time >= m.Horizon {
+			leaf(events)
+			return nil
+		}
+		info := m.Net.DelayBound(s)
+		if info.Blocked {
+			return &nsa.SemanticsError{Time: s.Time, Msg: "deadlock in run tree"}
+		}
+		d := info.Step()
+		if d == expr.NoBound {
+			leaf(events) // quiescent
+			return nil
+		}
+		if remaining := m.Horizon - s.Time; d > remaining {
+			d = remaining
+		}
+		if d <= 0 {
+			return &nsa.SemanticsError{Time: s.Time, Msg: "time stop in run tree"}
+		}
+		succ := s.Clone()
+		if err := m.Net.Advance(succ, d); err != nil {
+			return err
+		}
+		return walk(succ, events)
+	}
+	if err := walk(m.Net.InitialState(), nil); err != nil {
+		return nil, err
+	}
+	return runs, nil
+}

@@ -1,0 +1,63 @@
+package model
+
+import (
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/sa"
+)
+
+// FailedVars returns the is_failed variable of every task, in (partition,
+// task) order. A state with any non-zero is_failed witnesses a deadline
+// miss, so "Σ is_failed == 0 in every reachable state and every run
+// completes" is the schedulability criterion as a state property.
+func (m *Model) FailedVars() []sa.VarID {
+	var out []sa.VarID
+	for pi := range m.Sys.Partitions {
+		for ti := range m.Sys.Partitions[pi].Tasks {
+			out = append(out, m.tasks[config.TaskRef{Part: pi, Task: ti}].isFailed)
+		}
+	}
+	return out
+}
+
+// AllJobsDone reports whether every task automaton has reached its final
+// location (all jobs of the hyperperiod finished or failed) in s.
+func (m *Model) AllJobsDone(s *nsa.State) bool {
+	for pi := range m.Sys.Partitions {
+		for ti := range m.Sys.Partitions[pi].Tasks {
+			name := "T_" + m.Sys.TaskName(config.TaskRef{Part: pi, Task: ti})
+			ai := m.Net.AutomatonIndex(name)
+			a := m.Net.Automata[ai]
+			if a.LocationName(s.Locs[ai]) != "Finished" {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsReadyVar returns the is_ready variable of a task.
+func (m *Model) IsReadyVar(ref config.TaskRef) sa.VarID { return m.tasks[ref].isReady }
+
+// FailedVar returns the is_failed variable of a task.
+func (m *Model) FailedVar(ref config.TaskRef) sa.VarID { return m.tasks[ref].isFailed }
+
+// CurVar returns the partition scheduler's current-task variable.
+func (m *Model) CurVar(pi int) sa.VarID { return m.parts[pi].cur }
+
+// LastFinishedVar returns the partition's last_finished variable, naming the
+// task whose job most recently synchronized on finished_j.
+func (m *Model) LastFinishedVar(pi int) sa.VarID { return m.parts[pi].lastFin }
+
+// IsCompletion reports whether a FIN observed in post-state s was a proper
+// completion (the execution stopwatch reached the WCET) rather than a
+// deadline kill.
+func (m *Model) IsCompletion(ref config.TaskRef, s *nsa.State) bool {
+	return s.Clocks[m.tasks[ref].x] == m.Sys.WCETOn(ref)
+}
+
+// SendChan returns the completion broadcast channel of a task.
+func (m *Model) SendChan(ref config.TaskRef) sa.ChanID { return m.tasks[ref].sendCh }
+
+// ReceiveChan returns the delivery broadcast channel of message h.
+func (m *Model) ReceiveChan(h int) sa.ChanID { return m.linkReceiveCh[h] }

@@ -1,0 +1,88 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/sa"
+)
+
+// windowEvent is one boundary in a core's merged window timetable.
+type windowEvent struct {
+	time int64
+	wake bool // true for a window start, false for a window end
+	part int  // partition index
+}
+
+// buildCoreScheduler constructs the CS automaton for core ci (the paper's
+// base type CS): a cyclic timetable over the hyperperiod that emits
+// wakeup_j! at each window start and sleep_j! at each window end of every
+// partition bound to the core. Simultaneous boundaries are ordered sleeps
+// first, so one window closes before the next opens.
+func (m *Model) buildCoreScheduler(nb *nsa.Builder, ci int) (*sa.Automaton, error) {
+	sys := m.Sys
+	var events []windowEvent
+	for pi := range sys.Partitions {
+		if sys.Partitions[pi].Core != ci {
+			continue
+		}
+		for _, w := range sys.Partitions[pi].Windows {
+			events = append(events, windowEvent{time: w.Start, wake: true, part: pi})
+			events = append(events, windowEvent{time: w.End, wake: false, part: pi})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool {
+		ea, eb := events[a], events[b]
+		if ea.time != eb.time {
+			return ea.time < eb.time
+		}
+		if ea.wake != eb.wake {
+			return !ea.wake // sleep before wakeup
+		}
+		return ea.part < eb.part
+	})
+
+	u := nb.Clock(fmt.Sprintf("u_%d", ci))
+	uName := fmt.Sprintf("u_%d", ci)
+	b := sa.NewBuilder(fmt.Sprintf("CS_%s", sys.Cores[ci].Name))
+	b.OwnClock(u)
+
+	if len(events) == 0 {
+		// A core with no bound partitions idles forever.
+		b.Init(b.Loc("Idle"))
+		return b.Build()
+	}
+
+	// One location per event, chained; the final location waits for the end
+	// of the hyperperiod and wraps around, resetting the timetable clock.
+	locs := make([]sa.LocID, len(events)+1)
+	for i, e := range events {
+		kind := "sleep"
+		if e.wake {
+			kind = "wake"
+		}
+		locs[i] = b.Loc(fmt.Sprintf("E%d_%s_P%d_at_%d", i, kind, e.part, e.time),
+			sa.WithInvariant(exprInv(nb, fmt.Sprintf("%s <= %d", uName, e.time))))
+	}
+	// The window schedule repeats with period L (the hyperperiod), not the
+	// simulation horizon — multi-cycle runs wrap the timetable.
+	l := sys.Hyperperiod()
+	locs[len(events)] = b.Loc("Wrap",
+		sa.WithInvariant(exprInv(nb, fmt.Sprintf("%s <= %d", uName, l))))
+	b.Init(locs[0])
+
+	for i, e := range events {
+		ch := m.parts[e.part].sleepCh
+		if e.wake {
+			ch = m.parts[e.part].wakeupCh
+		}
+		b.SendEdge(locs[i], locs[i+1],
+			exprGuard(nb, fmt.Sprintf("%s == %d", uName, e.time)), ch, nil)
+	}
+	b.Edge(locs[len(events)], locs[0],
+		exprGuard(nb, fmt.Sprintf("%s == %d", uName, l)), sa.None,
+		exprUpdate(nb, fmt.Sprintf("%s := 0", uName)))
+
+	return b.Build()
+}

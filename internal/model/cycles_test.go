@@ -1,0 +1,117 @@
+package model
+
+import (
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/trace"
+)
+
+// TestTracePeriodicity verifies the paper's premise that the schedule
+// "is repeated periodically with a period L": simulating two hyperperiods
+// yields a second half identical to the first shifted by L (comparing
+// (task, type, time mod L) with job indices shifted by L/P).
+func TestTracePeriodicity(t *testing.T) {
+	sys := busySystem()
+	l := sys.Hyperperiod()
+	m, err := BuildCycles(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, res, err := m.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != 2*l {
+		t.Fatalf("ran to %d, want %d", res.Time, 2*l)
+	}
+	norm := tr.Normalize()
+	var first, second []trace.Event
+	for _, ev := range norm.Events {
+		// Attribute events by the job's release cycle (events at exactly
+		// t = L can belong to either cycle's jobs).
+		jobsPerL := int(l / sys.Partitions[ev.Job.Part].Tasks[ev.Job.Task].Period)
+		if ev.Job.Job < jobsPerL {
+			first = append(first, ev)
+		} else {
+			ev.Time -= l
+			ev.Job.Job -= jobsPerL
+			second = append(second, ev)
+		}
+	}
+	if len(first) == 0 || len(first) != len(second) {
+		t.Fatalf("halves differ in size: %d vs %d", len(first), len(second))
+	}
+	a := &trace.Trace{Events: first}
+	b := &trace.Trace{Events: second}
+	if !a.EqualAsSets(b) {
+		t.Fatalf("second hyperperiod differs from the first:\nfirst:\n%s\nsecond:\n%s",
+			a.Format(sys), b.Format(sys))
+	}
+}
+
+func TestBuildCyclesValidation(t *testing.T) {
+	sys := busySystem()
+	if _, err := BuildCycles(sys, 0); err == nil {
+		t.Error("zero cycles must be rejected")
+	}
+	m, err := BuildCycles(sys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Horizon != 3*sys.Hyperperiod() {
+		t.Errorf("horizon = %d", m.Horizon)
+	}
+}
+
+// TestMultiCycleSchedulabilityMatchesSingle: the verdict over one
+// hyperperiod predicts the verdict over many (determinism + periodicity).
+func TestMultiCycleSchedulabilityMatchesSingle(t *testing.T) {
+	sys := busySystem()
+	one, _, err := MustBuild(sys).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aOne, err := trace.Analyze(sys, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildCycles(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, _, err := m.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check every job of both hyperperiods by hand: exec sums and finishes.
+	l := sys.Hyperperiod()
+	stats := make(map[trace.JobID]int64)
+	running := make(map[trace.JobID]int64)
+	missing := 0
+	for _, ev := range two.Events {
+		switch ev.Type {
+		case trace.EX:
+			running[ev.Job] = ev.Time
+		case trace.PR, trace.FIN:
+			if st, ok := running[ev.Job]; ok {
+				stats[ev.Job] += ev.Time - st
+				delete(running, ev.Job)
+			}
+		}
+	}
+	for pi := range sys.Partitions {
+		for ti := range sys.Partitions[pi].Tasks {
+			wcet := sys.WCETOn(config.TaskRef{Part: pi, Task: ti})
+			jobs := 2 * l / sys.Partitions[pi].Tasks[ti].Period
+			for k := int64(0); k < jobs; k++ {
+				if stats[trace.JobID{Part: pi, Task: ti, Job: int(k)}] != wcet {
+					missing++
+				}
+			}
+		}
+	}
+	if aOne.Schedulable != (missing == 0) {
+		t.Errorf("single-cycle verdict %t, two-cycle missing=%d", aOne.Schedulable, missing)
+	}
+}

@@ -1,0 +1,76 @@
+package model_test
+
+import (
+	"fmt"
+	"log"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/trace"
+)
+
+// Example builds a minimal configuration, constructs the NSA instance per
+// Algorithm 1, interprets it once and checks the schedulability criterion.
+func Example() {
+	sys := &config.System{
+		Name:      "example",
+		CoreTypes: []string{"cpu"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []config.Partition{
+			{
+				Name: "P1", Core: 0, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "hi", Priority: 2, WCET: []int64{1}, Period: 5, Deadline: 5},
+					{Name: "lo", Priority: 1, WCET: []int64{6}, Period: 10, Deadline: 10},
+				},
+				Windows: []config.Window{{Start: 0, End: 10}},
+			},
+		},
+	}
+	m, err := model.Build(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, _, err := m.Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := trace.Analyze(sys, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("automata: %d\n", len(m.Net.Automata))
+	fmt.Printf("schedulable: %t\n", a.Schedulable)
+	fmt.Printf("preemptions: %d\n", a.TotalPreemptions)
+	// Output:
+	// automata: 4
+	// schedulable: true
+	// preemptions: 1
+}
+
+// ExampleModel_Simulate shows the event trace the interpretation produces.
+func ExampleModel_Simulate() {
+	sys := &config.System{
+		Name:      "trace-example",
+		CoreTypes: []string{"cpu"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []config.Partition{
+			{
+				Name: "P1", Core: 0, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "T", Priority: 1, WCET: []int64{3}, Period: 8, Deadline: 8},
+				},
+				Windows: []config.Window{{Start: 0, End: 8}},
+			},
+		},
+	}
+	m := model.MustBuild(sys)
+	tr, _, err := m.Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(tr.Format(sys))
+	// Output:
+	//      0 EX P1.T#0
+	//      3 FIN P1.T#0
+}

@@ -1,0 +1,57 @@
+package model
+
+import (
+	"fmt"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/sa"
+)
+
+// buildLink constructs the L automaton for message h (the paper's base type
+// L): it receives the sender task's completion broadcast, holds the message
+// for exactly the worst-case transfer delay (memory or network depending on
+// the module placement), then increments is_data_ready_h and broadcasts the
+// delivery. Back-to-back sends are queued so no message is lost.
+func (m *Model) buildLink(nb *nsa.Builder, h int) (*sa.Automaton, error) {
+	msg := &m.Sys.Messages[h]
+	delay := m.Sys.Delay(msg)
+	sendCh := m.tasks[config.TaskRef{Part: msg.SrcPart, Task: msg.SrcTask}].sendCh
+	recvCh := m.linkReceiveCh[h]
+
+	y := nb.Clock(fmt.Sprintf("y_%d", h))
+	yName := fmt.Sprintf("y_%d", h)
+	pendName := fmt.Sprintf("pend_%d", h)
+	nb.Var(pendName, 0)
+	drName := fmt.Sprintf("is_data_ready_%d", h)
+
+	b := sa.NewBuilder(fmt.Sprintf("L_%s", msg.Name))
+	b.OwnClock(y)
+	// Deliveries are time-driven, like task releases.
+	b.Priority(1)
+
+	idle := b.Loc("Idle", sa.Stops(y))
+	busy := b.Loc("Busy", sa.WithInvariant(exprInv(nb, fmt.Sprintf("%s <= %d", yName, delay))))
+	delivered := b.Loc("Delivered", sa.Committed())
+	b.Init(idle)
+
+	// A send while idle starts the transfer; a send while transferring is
+	// queued.
+	b.RecvEdge(idle, busy, nil, sendCh, exprUpdate(nb, fmt.Sprintf("%s := 0", yName)))
+	b.RecvEdge(busy, busy, nil, sendCh, exprUpdate(nb, fmt.Sprintf("%s := %s + 1", pendName, pendName)))
+
+	// Delivery after exactly the worst-case delay (the paper's requirement:
+	// the transfer delay equals its pessimistic upper bound).
+	b.Edge(busy, delivered,
+		exprGuard(nb, fmt.Sprintf("%s == %d", yName, delay)), sa.None,
+		exprUpdate(nb, fmt.Sprintf("%s := %s + 1", drName, drName)))
+
+	// Announce the delivery; start the next queued transfer if any.
+	b.SendEdge(delivered, busy,
+		exprGuard(nb, fmt.Sprintf("%s > 0", pendName)), recvCh,
+		exprUpdate(nb, fmt.Sprintf("%s := %s - 1, %s := 0", pendName, pendName, yName)))
+	b.SendEdge(delivered, idle,
+		exprGuard(nb, fmt.Sprintf("%s == 0", pendName)), recvCh, nil)
+
+	return b.Build()
+}

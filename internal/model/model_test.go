@@ -1,0 +1,456 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/trace"
+)
+
+// sys1 builds a one-core system with one FPPS partition owning the given
+// tasks and windows (nil windows = one full-hyperperiod window).
+func sys1(policy config.Policy, tasks []config.Task, windows []config.Window) *config.System {
+	s := &config.System{
+		Name:      "test",
+		CoreTypes: []string{"std"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []config.Partition{
+			{Name: "P1", Core: 0, Policy: policy, Tasks: tasks, Windows: windows},
+		},
+	}
+	if windows == nil {
+		s.Partitions[0].Windows = []config.Window{{Start: 0, End: s.Hyperperiod()}}
+	}
+	return s
+}
+
+func run(t *testing.T, sys *config.System) (*trace.Trace, *trace.Analysis) {
+	t.Helper()
+	m, err := Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := m.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := trace.Analyze(sys, tr)
+	if err != nil {
+		t.Fatalf("analyze: %v\ntrace:\n%s", err, tr.Format(sys))
+	}
+	return tr, a
+}
+
+func wantEvents(t *testing.T, sys *config.System, tr *trace.Trace, want []trace.Event) {
+	t.Helper()
+	norm := tr.Normalize()
+	if len(norm.Events) != len(want) {
+		t.Fatalf("got %d events, want %d:\n%s", len(norm.Events), len(want), norm.Format(sys))
+	}
+	for i, ev := range norm.Events {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+func ev(ty trace.EventType, part, task, job int, time int64) trace.Event {
+	return trace.Event{Type: ty, Job: trace.JobID{Part: part, Task: task, Job: job}, Time: time}
+}
+
+func TestSingleTask(t *testing.T) {
+	sys := sys1(config.FPPS, []config.Task{
+		{Name: "T1", Priority: 1, WCET: []int64{3}, Period: 10, Deadline: 10},
+	}, nil)
+	tr, a := run(t, sys)
+	if !a.Schedulable {
+		t.Fatalf("unschedulable: %s", a.Summary(sys))
+	}
+	wantEvents(t, sys, tr, []trace.Event{
+		ev(trace.EX, 0, 0, 0, 0),
+		ev(trace.FIN, 0, 0, 0, 3),
+	})
+}
+
+func TestMultipleJobs(t *testing.T) {
+	sys := sys1(config.FPPS, []config.Task{
+		{Name: "T1", Priority: 1, WCET: []int64{2}, Period: 5, Deadline: 5},
+	}, nil)
+	sys.Partitions[0].Tasks = append(sys.Partitions[0].Tasks,
+		config.Task{Name: "T2", Priority: 0, WCET: []int64{1}, Period: 15, Deadline: 15})
+	sys.Partitions[0].Windows = []config.Window{{Start: 0, End: 15}}
+	tr, a := run(t, sys)
+	if !a.Schedulable {
+		t.Fatalf("unschedulable:\n%s", tr.Format(sys))
+	}
+	// T1 jobs at 0,5,10 each run 2 ticks; T2 runs in the gap at 2.
+	wantEvents(t, sys, tr, []trace.Event{
+		ev(trace.EX, 0, 0, 0, 0),
+		ev(trace.FIN, 0, 0, 0, 2),
+		ev(trace.EX, 0, 1, 0, 2),
+		ev(trace.FIN, 0, 1, 0, 3),
+		ev(trace.EX, 0, 0, 1, 5),
+		ev(trace.FIN, 0, 0, 1, 7),
+		ev(trace.EX, 0, 0, 2, 10),
+		ev(trace.FIN, 0, 0, 2, 12),
+	})
+}
+
+func TestFPPSPreemption(t *testing.T) {
+	sys := sys1(config.FPPS, []config.Task{
+		{Name: "Hi", Priority: 2, WCET: []int64{1}, Period: 5, Deadline: 5},
+		{Name: "Lo", Priority: 1, WCET: []int64{6}, Period: 10, Deadline: 10},
+	}, nil)
+	tr, a := run(t, sys)
+	if !a.Schedulable {
+		t.Fatalf("unschedulable:\n%s", tr.Format(sys))
+	}
+	wantEvents(t, sys, tr, []trace.Event{
+		ev(trace.EX, 0, 0, 0, 0),
+		ev(trace.FIN, 0, 0, 0, 1),
+		ev(trace.EX, 0, 1, 0, 1),
+		ev(trace.PR, 0, 1, 0, 5),
+		ev(trace.EX, 0, 0, 1, 5),
+		ev(trace.FIN, 0, 0, 1, 6),
+		ev(trace.EX, 0, 1, 0, 6),
+		ev(trace.FIN, 0, 1, 0, 8),
+	})
+	if a.TotalPreemptions != 1 {
+		t.Errorf("preemptions = %d, want 1", a.TotalPreemptions)
+	}
+}
+
+func TestFPNPSNoPreemption(t *testing.T) {
+	sys := sys1(config.FPNPS, []config.Task{
+		{Name: "Hi", Priority: 2, WCET: []int64{1}, Period: 5, Deadline: 5},
+		{Name: "Lo", Priority: 1, WCET: []int64{6}, Period: 10, Deadline: 10},
+	}, nil)
+	tr, a := run(t, sys)
+	if !a.Schedulable {
+		t.Fatalf("unschedulable:\n%s", tr.Format(sys))
+	}
+	for _, e := range tr.Events {
+		if e.Type == trace.PR {
+			t.Fatalf("FPNPS produced a preemption: %+v", e)
+		}
+	}
+	// Lo runs [1,7] without interruption; Hi#1 (released at 5) waits to 7.
+	wantEvents(t, sys, tr, []trace.Event{
+		ev(trace.EX, 0, 0, 0, 0),
+		ev(trace.FIN, 0, 0, 0, 1),
+		ev(trace.EX, 0, 1, 0, 1),
+		ev(trace.FIN, 0, 1, 0, 7),
+		ev(trace.EX, 0, 0, 1, 7),
+		ev(trace.FIN, 0, 0, 1, 8),
+	})
+}
+
+func TestEDFBeatsFPPSOnDeadlines(t *testing.T) {
+	tasks := []config.Task{
+		{Name: "A", Priority: 2, WCET: []int64{3}, Period: 10, Deadline: 9},
+		{Name: "B", Priority: 1, WCET: []int64{3}, Period: 10, Deadline: 5},
+	}
+	// FPPS runs A (higher priority) first: B gets only [3,5) of its 3 ticks.
+	_, aFPPS := run(t, sys1(config.FPPS, tasks, nil))
+	if aFPPS.Schedulable {
+		t.Error("FPPS should miss B's deadline")
+	}
+	// EDF runs B (earlier absolute deadline) first: both fit.
+	trEDF, aEDF := run(t, sys1(config.EDF, tasks, nil))
+	if !aEDF.Schedulable {
+		t.Fatalf("EDF should be schedulable:\n%s", trEDF.Format(sys1(config.EDF, tasks, nil)))
+	}
+	sys := sys1(config.EDF, tasks, nil)
+	wantEvents(t, sys, trEDF, []trace.Event{
+		ev(trace.EX, 0, 1, 0, 0),
+		ev(trace.FIN, 0, 1, 0, 3),
+		ev(trace.EX, 0, 0, 0, 3),
+		ev(trace.FIN, 0, 0, 0, 6),
+	})
+}
+
+func TestEDFPreemptsOnEarlierDeadline(t *testing.T) {
+	// Long job started first; a later release with an earlier absolute
+	// deadline must preempt it under EDF.
+	sys := sys1(config.EDF, []config.Task{
+		{Name: "Long", Priority: 1, WCET: []int64{9}, Period: 20, Deadline: 20},
+		{Name: "Short", Priority: 1, WCET: []int64{2}, Period: 10, Deadline: 4},
+	}, nil)
+	tr, a := run(t, sys)
+	if !a.Schedulable {
+		t.Fatalf("unschedulable:\n%s", tr.Format(sys))
+	}
+	// t=0: Short (deadline 4) runs first, then Long; at 10 Short#1
+	// (deadline 14 < 20) preempts Long, which resumes at 12.
+	wantEvents(t, sys, tr, []trace.Event{
+		ev(trace.EX, 0, 1, 0, 0),
+		ev(trace.FIN, 0, 1, 0, 2),
+		ev(trace.EX, 0, 0, 0, 2),
+		ev(trace.PR, 0, 0, 0, 10),
+		ev(trace.EX, 0, 1, 1, 10),
+		ev(trace.FIN, 0, 1, 1, 12),
+		ev(trace.EX, 0, 0, 0, 12),
+		ev(trace.FIN, 0, 0, 0, 13),
+	})
+}
+
+func TestWindowsSuspendExecution(t *testing.T) {
+	sys := sys1(config.FPPS, []config.Task{
+		{Name: "T1", Priority: 1, WCET: []int64{8}, Period: 20, Deadline: 20},
+	}, []config.Window{{Start: 0, End: 5}, {Start: 10, End: 15}})
+	tr, a := run(t, sys)
+	if !a.Schedulable {
+		t.Fatalf("unschedulable:\n%s", tr.Format(sys))
+	}
+	wantEvents(t, sys, tr, []trace.Event{
+		ev(trace.EX, 0, 0, 0, 0),
+		ev(trace.PR, 0, 0, 0, 5),
+		ev(trace.EX, 0, 0, 0, 10),
+		ev(trace.FIN, 0, 0, 0, 13),
+	})
+}
+
+func TestDeadlineMiss(t *testing.T) {
+	sys := sys1(config.FPPS, []config.Task{
+		{Name: "T1", Priority: 1, WCET: []int64{8}, Period: 10, Deadline: 5},
+	}, nil)
+	tr, a := run(t, sys)
+	if a.Schedulable {
+		t.Fatalf("should miss:\n%s", tr.Format(sys))
+	}
+	wantEvents(t, sys, tr, []trace.Event{
+		ev(trace.EX, 0, 0, 0, 0),
+		ev(trace.FIN, 0, 0, 0, 5), // killed at the deadline
+	})
+	if a.Jobs[0].ExecTime != 5 {
+		t.Errorf("exec time = %d, want 5", a.Jobs[0].ExecTime)
+	}
+}
+
+func TestStarvedJobNeverStarts(t *testing.T) {
+	// Lo never gets the processor: Hi fills every window tick. Lo must have
+	// an empty subtrace (no FIN for a job that never executed).
+	sys := sys1(config.FPPS, []config.Task{
+		{Name: "Hi", Priority: 2, WCET: []int64{10}, Period: 10, Deadline: 10},
+		{Name: "Lo", Priority: 1, WCET: []int64{1}, Period: 10, Deadline: 10},
+	}, nil)
+	tr, a := run(t, sys)
+	if a.Schedulable {
+		t.Fatal("Lo can never run; configuration must be unschedulable")
+	}
+	for _, e := range tr.Events {
+		if e.Job.Task == 1 {
+			t.Errorf("starved job has event %+v", e)
+		}
+	}
+	if a.Jobs[1].ExecTime != 0 || a.Jobs[1].Completed {
+		t.Errorf("Lo stats = %+v", a.Jobs[1])
+	}
+}
+
+// twoModuleFlow builds sender (module 1) → receiver (module 2) over a
+// network link with delay 4.
+func twoModuleFlow() *config.System {
+	return &config.System{
+		Name:      "flow",
+		CoreTypes: []string{"std"},
+		Cores: []config.Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 0, Module: 2},
+		},
+		Partitions: []config.Partition{
+			{Name: "PS", Core: 0, Policy: config.FPPS,
+				Tasks:   []config.Task{{Name: "S", Priority: 1, WCET: []int64{3}, Period: 10, Deadline: 10}},
+				Windows: []config.Window{{Start: 0, End: 10}}},
+			{Name: "PR", Core: 1, Policy: config.FPPS,
+				Tasks:   []config.Task{{Name: "R", Priority: 1, WCET: []int64{2}, Period: 10, Deadline: 10}},
+				Windows: []config.Window{{Start: 0, End: 10}}},
+		},
+		Messages: []config.Message{
+			{Name: "m", SrcPart: 0, SrcTask: 0, DstPart: 1, DstTask: 0, MemDelay: 1, NetDelay: 4},
+		},
+	}
+}
+
+func TestDataDependencyWithLinkDelay(t *testing.T) {
+	sys := twoModuleFlow()
+	tr, a := run(t, sys)
+	if !a.Schedulable {
+		t.Fatalf("unschedulable:\n%s", tr.Format(sys))
+	}
+	// Receiver start = sender finish (3) + network delay (4) = 7: exactly
+	// the whole-model precedence requirement of §3.
+	wantEvents(t, sys, tr, []trace.Event{
+		ev(trace.EX, 0, 0, 0, 0),
+		ev(trace.FIN, 0, 0, 0, 3),
+		ev(trace.EX, 1, 0, 0, 7),
+		ev(trace.FIN, 1, 0, 0, 9),
+	})
+}
+
+func TestDataDependencySameModuleUsesMemoryDelay(t *testing.T) {
+	sys := twoModuleFlow()
+	sys.Cores[1].Module = 1 // same module: memory delay 1
+	tr, a := run(t, sys)
+	if !a.Schedulable {
+		t.Fatalf("unschedulable:\n%s", tr.Format(sys))
+	}
+	norm := tr.Normalize()
+	// Receiver starts at 3 + 1 = 4.
+	var rStart int64 = -1
+	for _, e := range norm.Events {
+		if e.Job.Part == 1 && e.Type == trace.EX {
+			rStart = e.Time
+			break
+		}
+	}
+	if rStart != 4 {
+		t.Errorf("receiver start = %d, want 4:\n%s", rStart, norm.Format(sys))
+	}
+}
+
+func TestReceiverStarvesWhenSenderMisses(t *testing.T) {
+	sys := twoModuleFlow()
+	sys.Partitions[0].Tasks[0].WCET = []int64{20} // sender can never finish
+	sys.Partitions[0].Tasks[0].Deadline = 10
+	tr, a := run(t, sys)
+	if a.Schedulable {
+		t.Fatalf("should be unschedulable:\n%s", tr.Format(sys))
+	}
+	// Receiver never became ready: no events for it at all.
+	for _, e := range tr.Events {
+		if e.Job.Part == 1 {
+			t.Errorf("receiver has event %+v without data", e)
+		}
+	}
+}
+
+func TestBuildStructureFollowsAlgorithm1(t *testing.T) {
+	sys := twoModuleFlow()
+	m, err := Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One automaton per task (2), per partition scheduler (2), per core (2),
+	// per message (1).
+	if got := len(m.Net.Automata); got != 7 {
+		t.Fatalf("automata = %d, want 7", got)
+	}
+	roles := make(map[ChanRole]int)
+	for _, info := range m.ChanInfos {
+		roles[info.Role]++
+	}
+	want := map[ChanRole]int{
+		RoleReady: 2, RoleFinished: 2, RoleWakeup: 2, RoleSleep: 2,
+		RoleExec: 2, RolePreempt: 2, RoleSend: 2, RoleReceive: 1,
+	}
+	for r, n := range want {
+		if roles[r] != n {
+			t.Errorf("%s channels = %d, want %d", r, roles[r], n)
+		}
+	}
+	if m.Horizon != 10 {
+		t.Errorf("horizon = %d, want 10", m.Horizon)
+	}
+}
+
+func TestBuildRejectsInvalidConfig(t *testing.T) {
+	sys := twoModuleFlow()
+	sys.Partitions[0].Tasks[0].Period = 0
+	if _, err := Build(sys); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+// busySystem builds a system exercising preemption, windows, and a data
+// dependency simultaneously — used for the determinism property test.
+func busySystem() *config.System {
+	return &config.System{
+		Name:      "busy",
+		CoreTypes: []string{"fast", "slow"},
+		Cores: []config.Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 1, Module: 2},
+		},
+		Partitions: []config.Partition{
+			{Name: "P1", Core: 0, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "A", Priority: 3, WCET: []int64{2, 3}, Period: 10, Deadline: 10},
+					{Name: "B", Priority: 1, WCET: []int64{7, 9}, Period: 20, Deadline: 20},
+				},
+				Windows: []config.Window{{Start: 0, End: 8}, {Start: 12, End: 20}}},
+			{Name: "P2", Core: 0, Policy: config.EDF,
+				Tasks: []config.Task{
+					{Name: "C", Priority: 1, WCET: []int64{2, 4}, Period: 20, Deadline: 12},
+				},
+				Windows: []config.Window{{Start: 8, End: 12}}},
+			{Name: "P3", Core: 1, Policy: config.FPNPS,
+				Tasks: []config.Task{
+					{Name: "D", Priority: 2, WCET: []int64{2, 2}, Period: 20, Deadline: 20},
+					{Name: "E", Priority: 1, WCET: []int64{3, 5}, Period: 20, Deadline: 20},
+				},
+				Windows: []config.Window{{Start: 0, End: 20}}},
+		},
+		Messages: []config.Message{
+			{Name: "m1", SrcPart: 0, SrcTask: 1, DstPart: 2, DstTask: 1, MemDelay: 1, NetDelay: 3},
+			{Name: "m2", SrcPart: 2, SrcTask: 0, DstPart: 1, DstTask: 0, MemDelay: 1, NetDelay: 2},
+		},
+	}
+}
+
+// TestDeterminismAcrossChoosers is the paper's §3 theorem as a property
+// test: every resolution of the NSA's nondeterminism yields the same system
+// operation trace (after normalizing zero-effect interleaving patterns).
+func TestDeterminismAcrossChoosers(t *testing.T) {
+	sys := busySystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := m.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refNorm := ref.Normalize()
+	refAnalysis, err := trace.Analyze(sys, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 25; seed++ {
+		m2 := MustBuild(sys) // fresh network (engine state is per-run anyway)
+		tr, _, err := m2.SimulateWith(nsa.RandomChooser{Rng: rand.New(rand.NewSource(seed))})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		norm := tr.Normalize()
+		if !refNorm.EqualAsSets(norm) {
+			t.Fatalf("seed %d: trace differs\nref:\n%s\ngot:\n%s",
+				seed, refNorm.Format(sys), norm.Format(sys))
+		}
+		a, err := trace.Analyze(sys, tr)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Schedulable != refAnalysis.Schedulable {
+			t.Fatalf("seed %d: verdict differs", seed)
+		}
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	sys := busySystem()
+	m := MustBuild(sys)
+	tr, _, err := m.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := trace.Gantt(sys, tr, 1)
+	if len(g) == 0 {
+		t.Fatal("empty gantt")
+	}
+}

@@ -1,0 +1,69 @@
+package model
+
+import (
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/trace"
+)
+
+// TraceBuilder is an nsa.Listener translating the NSA synchronization trace
+// into the system operation trace (§2.1): synchronizations on exec_jk map to
+// EX, on preempt_jk to PR, and on finished_j to FIN of the job identified by
+// last_finished_j. FIN is emitted only for jobs that have executed at least
+// once, matching the paper's definition of a job subtrace (a job with zero
+// executing intervals has an empty subtrace).
+type TraceBuilder struct {
+	m       *Model
+	tr      trace.Trace
+	started map[trace.JobID]bool
+}
+
+// NewTraceBuilder returns a fresh trace builder for the model.
+func (m *Model) NewTraceBuilder() *TraceBuilder {
+	return &TraceBuilder{m: m, started: make(map[trace.JobID]bool)}
+}
+
+// OnTransition implements nsa.Listener.
+func (b *TraceBuilder) OnTransition(time int64, tr *nsa.Transition, _ *nsa.Network, s *nsa.State) {
+	ev, ok := b.m.SystemEvent(time, tr, s)
+	if !ok {
+		return
+	}
+	switch ev.Type {
+	case trace.EX:
+		b.started[ev.Job] = true
+	case trace.FIN:
+		if !b.started[ev.Job] {
+			return // empty subtrace for a job that never executed (§2.1)
+		}
+	}
+	b.tr.Events = append(b.tr.Events, ev)
+}
+
+// SystemEvent maps a fired NSA transition to the system operation event it
+// represents, if any: exec_jk → EX, preempt_jk → PR, finished_j → FIN of
+// the job named by last_finished_j. s must be the post-transition state.
+func (m *Model) SystemEvent(time int64, tr *nsa.Transition, s *nsa.State) (trace.Event, bool) {
+	if tr.Kind == nsa.Internal {
+		return trace.Event{}, false
+	}
+	info := m.ChanInfos[tr.Chan]
+	switch info.Role {
+	case RoleExec:
+		return trace.Event{Type: trace.EX, Job: m.jobID(info.Task, s), Time: time}, true
+	case RolePreempt:
+		return trace.Event{Type: trace.PR, Job: m.jobID(info.Task, s), Time: time}, true
+	case RoleFinished:
+		ti := int(s.Vars[m.parts[info.Part].lastFin])
+		ref := config.TaskRef{Part: info.Part, Task: ti}
+		return trace.Event{Type: trace.FIN, Job: m.jobID(ref, s), Time: time}, true
+	}
+	return trace.Event{}, false
+}
+
+func (m *Model) jobID(ref config.TaskRef, s *nsa.State) trace.JobID {
+	return trace.JobID{Part: ref.Part, Task: ref.Task, Job: m.JobOf(ref, s)}
+}
+
+// Trace returns the accumulated system operation trace.
+func (b *TraceBuilder) Trace() *trace.Trace { return &b.tr }

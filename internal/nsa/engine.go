@@ -1,0 +1,192 @@
+package nsa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stopwatchsim/internal/expr"
+)
+
+// Chooser selects which of the enabled transitions to fire. The paper proves
+// all choices yield equivalent system traces; the engine defaults to the
+// first transition in canonical order, and RandomChooser exists to exercise
+// that theorem in tests.
+type Chooser interface {
+	Choose(s *State, cands []Transition) int
+}
+
+// FirstChooser picks the first transition in canonical order. It is the
+// deterministic default.
+type FirstChooser struct{}
+
+// Choose implements Chooser.
+func (FirstChooser) Choose(*State, []Transition) int { return 0 }
+
+// RandomChooser picks a uniformly random enabled transition from a seeded
+// source, for determinism testing.
+type RandomChooser struct{ Rng *rand.Rand }
+
+// Choose implements Chooser.
+func (c RandomChooser) Choose(_ *State, cands []Transition) int {
+	return c.Rng.Intn(len(cands))
+}
+
+// Listener observes fired transitions. Time is the model time at firing and
+// s is the state after the transition; listeners must not mutate it.
+type Listener interface {
+	OnTransition(time int64, tr *Transition, net *Network, s *State)
+}
+
+// ListenerFunc adapts a function to Listener.
+type ListenerFunc func(time int64, tr *Transition, net *Network, s *State)
+
+// OnTransition implements Listener.
+func (f ListenerFunc) OnTransition(time int64, tr *Transition, net *Network, s *State) {
+	f(time, tr, net, s)
+}
+
+// SyncEvent is one recorded synchronization or internal step:
+// ⟨channel, participating automata, time⟩ in the paper's terms.
+type SyncEvent struct {
+	Time  int64
+	Kind  TransKind
+	Chan  int // -1 for internal transitions
+	Parts []Part
+}
+
+// SyncTrace records all transitions of a run, the NSA trace of the paper.
+type SyncTrace struct {
+	Events []SyncEvent
+}
+
+// OnTransition implements Listener.
+func (t *SyncTrace) OnTransition(time int64, tr *Transition, _ *Network, _ *State) {
+	parts := make([]Part, len(tr.Parts))
+	copy(parts, tr.Parts)
+	t.Events = append(t.Events, SyncEvent{Time: time, Kind: tr.Kind, Chan: int(tr.Chan), Parts: parts})
+}
+
+// Options configure a run.
+type Options struct {
+	// Horizon is the model time at which the run stops (exclusive of
+	// further delay; actions at exactly Horizon still fire). Required.
+	Horizon int64
+	// Chooser resolves nondeterminism; nil means FirstChooser.
+	Chooser Chooser
+	// Listeners observe fired transitions.
+	Listeners []Listener
+	// MaxActionsPerInstant bounds action transitions at one time point to
+	// detect livelocks; 0 means the default of 10 million.
+	MaxActionsPerInstant int
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Time is the model time when the run stopped.
+	Time int64
+	// Actions is the number of action transitions fired.
+	Actions int
+	// Delays is the number of delay transitions taken.
+	Delays int
+	// Quiescent is true when the run ended because no further action or
+	// bounded delay was possible before the horizon.
+	Quiescent bool
+}
+
+// Engine interprets a network deterministically from its initial state.
+// The zero value is not usable; create one per run with NewEngine.
+type Engine struct {
+	net  *Network
+	s    *State
+	opts Options
+}
+
+// NewEngine returns an engine positioned at the network's initial state.
+func NewEngine(net *Network, opts Options) *Engine {
+	if opts.Chooser == nil {
+		opts.Chooser = FirstChooser{}
+	}
+	if opts.MaxActionsPerInstant == 0 {
+		opts.MaxActionsPerInstant = 10_000_000
+	}
+	return &Engine{net: net, s: net.InitialState(), opts: opts}
+}
+
+// State exposes the engine's current state (mutated by Run).
+func (e *Engine) State() *State { return e.s }
+
+// Run interprets the network until the horizon, quiescence, or an error
+// (time-stop deadlock, livelock, or a semantics violation).
+func (e *Engine) Run() (Result, error) {
+	if e.opts.Horizon <= 0 {
+		return Result{}, fmt.Errorf("nsa: non-positive horizon %d", e.opts.Horizon)
+	}
+	var res Result
+	var cands []Transition
+	instant := e.s.Time
+	actionsThisInstant := 0
+	for {
+		cands = e.net.EnabledTransitions(e.s, cands[:0])
+		if len(cands) > 0 {
+			if e.s.Time != instant {
+				instant = e.s.Time
+				actionsThisInstant = 0
+			}
+			actionsThisInstant++
+			if actionsThisInstant > e.opts.MaxActionsPerInstant {
+				return res, &SemanticsError{Time: e.s.Time,
+					Msg: fmt.Sprintf("livelock: more than %d actions at one instant", e.opts.MaxActionsPerInstant)}
+			}
+			idx := e.opts.Chooser.Choose(e.s, cands)
+			if idx < 0 || idx >= len(cands) {
+				return res, fmt.Errorf("nsa: chooser returned %d of %d candidates", idx, len(cands))
+			}
+			tr := cands[idx]
+			fireTime := e.s.Time
+			if err := e.net.Fire(e.s, &tr); err != nil {
+				return res, err
+			}
+			res.Actions++
+			for _, l := range e.opts.Listeners {
+				l.OnTransition(fireTime, &tr, e.net, e.s)
+			}
+			continue
+		}
+		if e.s.Time >= e.opts.Horizon {
+			res.Time = e.s.Time
+			return res, nil
+		}
+		info := e.net.DelayBound(e.s)
+		if info.Blocked {
+			return res, &SemanticsError{Time: e.s.Time,
+				Msg: fmt.Sprintf("time-stop deadlock: committed location or urgent sync pending but no transition enabled (%s)", e.net.LocationString(e.s))}
+		}
+		d := info.Step()
+		if d == expr.NoBound {
+			// Nothing will ever happen again: quiescent.
+			res.Time = e.s.Time
+			res.Quiescent = true
+			return res, nil
+		}
+		if d <= 0 {
+			return res, &SemanticsError{Time: e.s.Time,
+				Msg: fmt.Sprintf("time-stop deadlock: invariant bound %d with no enabled transition (%s)", d, e.net.LocationString(e.s))}
+		}
+		if remaining := e.opts.Horizon - e.s.Time; d > remaining {
+			d = remaining
+		}
+		if err := e.net.Advance(e.s, d); err != nil {
+			return res, err
+		}
+		res.Delays++
+	}
+}
+
+// Simulate is a convenience wrapper: build an engine, attach a SyncTrace,
+// run, and return the trace alongside the result.
+func Simulate(net *Network, horizon int64) (*SyncTrace, Result, error) {
+	tr := &SyncTrace{}
+	eng := NewEngine(net, Options{Horizon: horizon, Listeners: []Listener{tr}})
+	res, err := eng.Run()
+	return tr, res, err
+}

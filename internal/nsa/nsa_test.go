@@ -1,0 +1,417 @@
+package nsa
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/expr"
+	"stopwatchsim/internal/sa"
+)
+
+// pingPong builds a two-automaton network: A waits until t==delay (invariant
+// t<=delay) and sends on ping; B receives and increments done.
+func pingPong(t *testing.T, delay int64, urgent bool) (*Network, sa.VarID) {
+	t.Helper()
+	b := NewBuilder()
+	done := b.Var("done", 0)
+	ck := b.Clock("t")
+	var ping sa.ChanID
+	if urgent {
+		ping = b.UrgentChan("ping")
+	} else {
+		ping = b.Chan("ping")
+	}
+	sc := b.Scope()
+
+	ab := sa.NewBuilder("A")
+	ab.OwnClock(ck)
+	var wait sa.LocID
+	if urgent {
+		wait = ab.Loc("Wait")
+	} else {
+		wait = ab.Loc("Wait", sa.WithInvariant(mustInv(t, "t <= "+itoa(delay), sc)))
+	}
+	doneLoc := ab.Loc("Done")
+	ab.Init(wait)
+	var g sa.Guard
+	if !urgent {
+		g = sa.NewExprGuard(expr.MustParseResolve("t == "+itoa(delay), sc, expr.TypeBool))
+	}
+	ab.SendEdge(wait, doneLoc, g, ping, nil)
+
+	bb := sa.NewBuilder("B")
+	idle := bb.Loc("Idle")
+	got := bb.Loc("Got")
+	bb.Init(idle)
+	bb.RecvEdge(idle, got, nil, ping, &sa.ExprUpdate{Stmts: expr.MustParseResolveUpdate("done := done + 1", sc)})
+
+	b.Add(ab.MustBuild())
+	b.Add(bb.MustBuild())
+	return b.MustBuild(), done
+}
+
+func mustInv(t *testing.T, src string, sc expr.Scope) *expr.Invariant {
+	t.Helper()
+	inv, err := expr.ParseInvariant(src, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inv
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func TestBinarySyncAtInvariantBoundary(t *testing.T) {
+	net, done := pingPong(t, 7, false)
+	trace, res, err := Simulate(net, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Events) != 1 {
+		t.Fatalf("events = %d, want 1", len(trace.Events))
+	}
+	ev := trace.Events[0]
+	if ev.Time != 7 {
+		t.Errorf("sync time = %d, want 7", ev.Time)
+	}
+	if ev.Kind != BinarySync || net.ChanName(sa.ChanID(ev.Chan)) != "ping" {
+		t.Errorf("event = %+v", ev)
+	}
+	if len(ev.Parts) != 2 || ev.Parts[0].Aut != 0 || ev.Parts[1].Aut != 1 {
+		t.Errorf("parts = %v", ev.Parts)
+	}
+	eng := NewEngine(net, Options{Horizon: 100})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.State().Vars[done]; got != 1 {
+		t.Errorf("done = %d, want 1", got)
+	}
+	// After the sync nothing is left: the run is quiescent, with few delays
+	// (a jump to 7, not 7 unit steps).
+	if !res.Quiescent {
+		t.Error("expected quiescent run")
+	}
+	if res.Delays > 2 {
+		t.Errorf("delays = %d, expected a direct jump", res.Delays)
+	}
+}
+
+func TestUrgentChannelFiresWithoutDelay(t *testing.T) {
+	net, _ := pingPong(t, 0, true)
+	trace, res, err := Simulate(net, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Events) != 1 || trace.Events[0].Time != 0 {
+		t.Fatalf("events = %+v, want one at time 0", trace.Events)
+	}
+	if !res.Quiescent || res.Time != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+// TestBroadcastNonBlocking: a broadcast sender fires even when only a subset
+// of potential receivers is enabled, and all enabled receivers move.
+func TestBroadcastNonBlocking(t *testing.T) {
+	b := NewBuilder()
+	n1 := b.Var("n1", 0)
+	n2 := b.Var("n2", 0)
+	gate := b.Var("gate", 0) // receiver 2 enabled only when gate==1
+	ch := b.BroadcastChan("bang")
+	sc := b.Scope()
+
+	snd := sa.NewBuilder("S")
+	s0 := snd.Loc("S0")
+	s1 := snd.Loc("S1")
+	snd.Init(s0)
+	snd.SendEdge(s0, s1, nil, ch, nil)
+
+	mkRecv := func(name, v string, guard string) *sa.Automaton {
+		rb := sa.NewBuilder(name)
+		r0 := rb.Loc("R0")
+		r1 := rb.Loc("R1")
+		rb.Init(r0)
+		var g sa.Guard
+		if guard != "" {
+			g = sa.NewExprGuard(expr.MustParseResolve(guard, sc, expr.TypeBool))
+		}
+		rb.RecvEdge(r0, r1, g, ch, &sa.ExprUpdate{Stmts: expr.MustParseResolveUpdate(v+" := "+v+" + 1", sc)})
+		return rb.MustBuild()
+	}
+
+	b.Add(snd.MustBuild())
+	b.Add(mkRecv("R1", "n1", ""))
+	b.Add(mkRecv("R2", "n2", "gate == 1"))
+	net := b.MustBuild()
+
+	eng := NewEngine(net, Options{Horizon: 10})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.State()
+	if s.Vars[n1] != 1 {
+		t.Errorf("n1 = %d, want 1 (enabled receiver participates)", s.Vars[n1])
+	}
+	if s.Vars[n2] != 0 {
+		t.Errorf("n2 = %d, want 0 (disabled receiver left out)", s.Vars[n2])
+	}
+	_ = gate
+}
+
+// TestCommittedPriority: an automaton in a committed location must move
+// before time can pass, and other automata cannot take non-committed
+// transitions meanwhile.
+func TestCommittedPriority(t *testing.T) {
+	b := NewBuilder()
+	order := b.Var("order", 0) // records who moved first: 1 = committed chain, 2 = other
+	sc := b.Scope()
+
+	cb := sa.NewBuilder("C")
+	c0 := cb.Loc("C0", sa.Committed())
+	c1 := cb.Loc("C1")
+	cb.Init(c0)
+	cb.Edge(c0, c1, nil, sa.None, &sa.ExprUpdate{Stmts: expr.MustParseResolveUpdate("order := order * 10 + 1", sc)})
+
+	ob := sa.NewBuilder("O")
+	o0 := ob.Loc("O0")
+	o1 := ob.Loc("O1")
+	ob.Init(o0)
+	ob.Edge(o0, o1, nil, sa.None, &sa.ExprUpdate{Stmts: expr.MustParseResolveUpdate("order := order * 10 + 2", sc)})
+
+	// Order automata so that O would be chosen first if committed priority
+	// were ignored (O has lower automaton index).
+	b.Add(ob.MustBuild())
+	b.Add(cb.MustBuild())
+	net := b.MustBuild()
+
+	eng := NewEngine(net, Options{Horizon: 5})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.State().Vars[order]; got != 12 {
+		t.Errorf("order = %d, want 12 (committed first)", got)
+	}
+}
+
+// TestStopwatch: a clock stopped in a location does not advance during
+// delays spent there.
+func TestStopwatch(t *testing.T) {
+	b := NewBuilder()
+	snap := b.Var("snap", -1)
+	work := b.Clock("w")  // stopwatch under test
+	ref := b.Clock("ref") // never stopped
+	sc := b.Scope()
+
+	ab := sa.NewBuilder("A")
+	ab.OwnClock(work)
+	// Phase 1: run 3 ticks with w running, then 4 ticks stopped, then check.
+	p1 := ab.Loc("P1", sa.WithInvariant(mustInv(t, "ref <= 3", sc)))
+	p2 := ab.Loc("P2", sa.WithInvariant(mustInv(t, "ref <= 7", sc)), sa.Stops(work))
+	end := ab.Loc("End")
+	ab.Init(p1)
+	ab.Edge(p1, p2, sa.NewExprGuard(expr.MustParseResolve("ref == 3", sc, expr.TypeBool)), sa.None, nil)
+	ab.Edge(p2, end, sa.NewExprGuard(expr.MustParseResolve("ref == 7", sc, expr.TypeBool)), sa.None,
+		&sa.ExprUpdate{Stmts: expr.MustParseResolveUpdate("snap := w", sc)})
+	b.Add(ab.MustBuild())
+	net := b.MustBuild()
+
+	eng := NewEngine(net, Options{Horizon: 20})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.State().Vars[snap]; got != 3 {
+		t.Errorf("stopwatch value = %d, want 3 (stopped during [3,7])", got)
+	}
+	// The run is quiescent after End (no invariants, no enabled guards), so
+	// the engine stops at time 7 rather than idling to the horizon.
+	if got := eng.State().Clocks[ref]; got != 7 {
+		t.Errorf("ref clock = %d, want 7", got)
+	}
+}
+
+func TestTimeStopDeadlock(t *testing.T) {
+	b := NewBuilder()
+	ck := b.Clock("t")
+	ch := b.Chan("never")
+	sc := b.Scope()
+	ab := sa.NewBuilder("A")
+	ab.OwnClock(ck)
+	w := ab.Loc("W", sa.WithInvariant(mustInv(t, "t <= 2", sc)))
+	d := ab.Loc("D")
+	ab.Init(w)
+	ab.SendEdge(w, d, nil, ch, nil) // no receiver exists: blocked forever
+	b.Add(ab.MustBuild())
+	net := b.MustBuild()
+	_, _, err := Simulate(net, 10)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want time-stop deadlock", err)
+	}
+}
+
+func TestCommittedDeadlock(t *testing.T) {
+	b := NewBuilder()
+	ch := b.Chan("never")
+	ab := sa.NewBuilder("A")
+	c := ab.Loc("C", sa.Committed())
+	d := ab.Loc("D")
+	ab.Init(c)
+	ab.SendEdge(c, d, nil, ch, nil)
+	b.Add(ab.MustBuild())
+	net := b.MustBuild()
+	_, _, err := Simulate(net, 10)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want deadlock", err)
+	}
+}
+
+func TestDomainViolation(t *testing.T) {
+	b := NewBuilder()
+	b.BoundedVar("x", 0, 0, 1)
+	sc := b.Scope()
+	ab := sa.NewBuilder("A")
+	l0 := ab.Loc("L0")
+	l1 := ab.Loc("L1")
+	ab.Init(l0)
+	ab.Edge(l0, l1, nil, sa.None, &sa.ExprUpdate{Stmts: expr.MustParseResolveUpdate("x := 5", sc)})
+	b.Add(ab.MustBuild())
+	net := b.MustBuild()
+	_, _, err := Simulate(net, 10)
+	if err == nil || !strings.Contains(err.Error(), "domain") {
+		t.Errorf("err = %v, want domain violation", err)
+	}
+}
+
+func TestLivelockDetection(t *testing.T) {
+	b := NewBuilder()
+	ab := sa.NewBuilder("A")
+	l0 := ab.Loc("L0")
+	l1 := ab.Loc("L1")
+	ab.Init(l0)
+	ab.Edge(l0, l1, nil, sa.None, nil)
+	ab.Edge(l1, l0, nil, sa.None, nil)
+	b.Add(ab.MustBuild())
+	net := b.MustBuild()
+	eng := NewEngine(net, Options{Horizon: 10, MaxActionsPerInstant: 100})
+	_, err := eng.Run()
+	if err == nil || !strings.Contains(err.Error(), "livelock") {
+		t.Errorf("err = %v, want livelock", err)
+	}
+}
+
+func TestHorizonStopsPeriodicModel(t *testing.T) {
+	// A self-looping periodic automaton: fires every 5 ticks forever.
+	b := NewBuilder()
+	n := b.Var("n", 0)
+	ck := b.Clock("t")
+	sc := b.Scope()
+	ab := sa.NewBuilder("A")
+	ab.OwnClock(ck)
+	w := ab.Loc("W", sa.WithInvariant(mustInv(t, "t <= 5", sc)))
+	ab.Init(w)
+	ab.Edge(w, w, sa.NewExprGuard(expr.MustParseResolve("t == 5", sc, expr.TypeBool)), sa.None,
+		&sa.ExprUpdate{Stmts: expr.MustParseResolveUpdate("n := n + 1, t := 0", sc)})
+	b.Add(ab.MustBuild())
+	net := b.MustBuild()
+
+	eng := NewEngine(net, Options{Horizon: 23})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time != 23 {
+		t.Errorf("time = %d, want 23", res.Time)
+	}
+	if got := eng.State().Vars[n]; got != 4 {
+		t.Errorf("n = %d, want 4 (fires at 5,10,15,20)", got)
+	}
+	if res.Quiescent {
+		t.Error("periodic model is not quiescent")
+	}
+}
+
+func TestBuilderDeclarationsAndErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Var("x", 1)
+	b.Clock("t")
+	b.Chan("c")
+	b.Const("N", 9)
+	arr := b.VarArray("a", 3, 7)
+	if arr != 1 {
+		t.Errorf("array base = %d, want 1", arr)
+	}
+	sc := b.Scope()
+	if s, ok := sc.Lookup("a"); !ok || s.Len != 3 {
+		t.Errorf("array symbol = %+v, %t", s, ok)
+	}
+	if s, ok := sc.Lookup("N"); !ok || s.Const != 9 {
+		t.Errorf("const symbol = %+v, %t", s, ok)
+	}
+	if _, ok := sc.Lookup("zz"); ok {
+		t.Error("zz should not resolve")
+	}
+	net := b.MustBuild()
+	if len(net.Vars) != 4 {
+		t.Errorf("vars = %d, want 4", len(net.Vars))
+	}
+	st := net.InitialState()
+	if st.Vars[1] != 7 || st.Vars[3] != 7 {
+		t.Errorf("array initial values wrong: %v", st.Vars)
+	}
+
+	b2 := NewBuilder()
+	b2.Var("x", 0)
+	b2.Clock("x")
+	if _, err := b2.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("err = %v, want duplicate", err)
+	}
+
+	b3 := NewBuilder()
+	b3.BoundedVar("x", 5, 0, 1)
+	if _, err := b3.Build(); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("err = %v, want bounds error", err)
+	}
+}
+
+func TestCloneAndKey(t *testing.T) {
+	net, _ := pingPong(t, 3, false)
+	s := net.InitialState()
+	c := s.Clone()
+	c.Vars[0] = 99
+	if s.Vars[0] == 99 {
+		t.Error("Clone aliases Vars")
+	}
+	k1 := s.AppendKey(nil)
+	k2 := s.Clone().AppendKey(nil)
+	if string(k1) != string(k2) {
+		t.Error("equal states produced different keys")
+	}
+	k3 := c.AppendKey(nil)
+	if string(k1) == string(k3) {
+		t.Error("different states produced equal keys")
+	}
+}
+
+func TestAutomatonIndex(t *testing.T) {
+	net, _ := pingPong(t, 3, false)
+	if net.AutomatonIndex("B") != 1 {
+		t.Errorf("index of B = %d", net.AutomatonIndex("B"))
+	}
+	if net.AutomatonIndex("nope") != -1 {
+		t.Error("missing automaton should be -1")
+	}
+}
+
+func TestTransitionString(t *testing.T) {
+	net, _ := pingPong(t, 3, false)
+	s := net.InitialState()
+	s.Clocks[0] = 3
+	cands := net.EnabledTransitions(s, nil)
+	if len(cands) != 1 {
+		t.Fatalf("cands = %d, want 1", len(cands))
+	}
+	if got := cands[0].String(net); !strings.Contains(got, "ping") {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,427 @@
+package nsa
+
+import (
+	"fmt"
+	"strings"
+
+	"stopwatchsim/internal/expr"
+	"stopwatchsim/internal/sa"
+)
+
+// TransKind classifies action transitions.
+type TransKind uint8
+
+// Transition kinds.
+const (
+	Internal   TransKind = iota // single automaton, no synchronization
+	BinarySync                  // sender + receiver on a binary channel
+	Broadcast                   // sender + all enabled receivers on a broadcast channel
+)
+
+// Part identifies one participating automaton and the edge it takes.
+type Part struct {
+	Aut  int
+	Edge int
+}
+
+// Transition is an enabled action transition. Parts are in firing order:
+// the single automaton for Internal; sender then receiver for BinarySync;
+// sender then receivers in ascending automaton order for Broadcast.
+type Transition struct {
+	Kind  TransKind
+	Chan  sa.ChanID // NoChan for Internal
+	Parts []Part
+}
+
+// String renders the transition for diagnostics against net.
+func (t *Transition) String(net *Network) string {
+	var b strings.Builder
+	switch t.Kind {
+	case Internal:
+		p := t.Parts[0]
+		fmt.Fprintf(&b, "%s: %s", net.Automata[p.Aut].Name, net.Automata[p.Aut].EdgeString(p.Edge))
+	case BinarySync:
+		fmt.Fprintf(&b, "%s: %s ! -> %s", net.ChanName(t.Chan),
+			net.Automata[t.Parts[0].Aut].Name, net.Automata[t.Parts[1].Aut].Name)
+	case Broadcast:
+		fmt.Fprintf(&b, "%s: %s ! ->", net.ChanName(t.Chan), net.Automata[t.Parts[0].Aut].Name)
+		for _, p := range t.Parts[1:] {
+			fmt.Fprintf(&b, " %s", net.Automata[p.Aut].Name)
+		}
+	}
+	return b.String()
+}
+
+func guardHolds(g sa.Guard, env expr.Env) bool {
+	return g == nil || g.Holds(env)
+}
+
+// half is one side of a potential synchronization: an automaton and the
+// enabled edge it would take.
+type half struct{ aut, edge int }
+
+// enabledEdge reports whether edge e of automaton ai is enabled in s
+// disregarding synchronization availability.
+func (n *Network) enabledEdge(env expr.Env, ai, ei int) bool {
+	return guardHolds(n.Automata[ai].Edges[ei].Guard, env)
+}
+
+// committedAt reports whether automaton ai currently occupies a committed
+// location.
+func (n *Network) committedAt(s *State, ai int) bool {
+	return n.Automata[ai].Locations[s.Locs[ai]].Committed
+}
+
+// anyCommitted reports whether any automaton occupies a committed location.
+func (n *Network) anyCommitted(s *State) bool {
+	for ai := range n.Automata {
+		if n.committedAt(s, ai) {
+			return true
+		}
+	}
+	return false
+}
+
+// EnabledTransitions appends every action transition enabled in s to buf and
+// returns it, in a canonical deterministic order: internal transitions by
+// (automaton, edge), then binary synchronizations by (sender automaton,
+// sender edge, receiver automaton, receiver edge), then broadcasts by
+// (sender automaton, sender edge, receiver edge combination). When any
+// automaton occupies a committed location, only transitions involving at
+// least one committed participant are enabled (the UPPAAL committed rule).
+// Of the remaining transitions, only those of the highest process-priority
+// class (the maximum sa.Automaton.Priority over participants) are returned.
+func (n *Network) EnabledTransitions(s *State, buf []Transition) []Transition {
+	buf = n.enabledTransitionsRaw(s, buf)
+	// Process-priority filter.
+	best := 0
+	hasLower := false
+	for i := range buf {
+		p := n.transPriority(&buf[i])
+		if p > best {
+			if i > 0 {
+				hasLower = true
+			}
+			best = p
+		} else if p < best {
+			hasLower = true
+		}
+	}
+	if !hasLower {
+		return buf
+	}
+	out := buf[:0]
+	for i := range buf {
+		if n.transPriority(&buf[i]) == best {
+			out = append(out, buf[i])
+		}
+	}
+	return out
+}
+
+// transPriority is the highest participant priority of a transition.
+func (n *Network) transPriority(t *Transition) int {
+	best := n.Automata[t.Parts[0].Aut].Priority
+	for _, p := range t.Parts[1:] {
+		if q := n.Automata[p.Aut].Priority; q > best {
+			best = q
+		}
+	}
+	return best
+}
+
+func (n *Network) enabledTransitionsRaw(s *State, buf []Transition) []Transition {
+	env := n.Env(s)
+	committed := n.anyCommitted(s)
+
+	// Pre-scan enabled sends and receives per channel.
+	var sends, recvs map[sa.ChanID][]half
+	for ai, a := range n.Automata {
+		for _, ei := range a.EdgesFrom(s.Locs[ai]) {
+			e := &a.Edges[ei]
+			switch e.Sync.Dir {
+			case sa.NoSync:
+				if committed && !n.committedAt(s, ai) {
+					continue
+				}
+				if n.enabledEdge(env, ai, ei) {
+					buf = append(buf, Transition{Kind: Internal, Chan: sa.NoChan, Parts: []Part{{ai, ei}}})
+				}
+			case sa.Send:
+				if n.enabledEdge(env, ai, ei) {
+					if sends == nil {
+						sends = make(map[sa.ChanID][]half)
+					}
+					sends[e.Sync.Chan] = append(sends[e.Sync.Chan], half{ai, ei})
+				}
+			case sa.Recv:
+				if n.enabledEdge(env, ai, ei) {
+					if recvs == nil {
+						recvs = make(map[sa.ChanID][]half)
+					}
+					recvs[e.Sync.Chan] = append(recvs[e.Sync.Chan], half{ai, ei})
+				}
+			}
+		}
+	}
+
+	// Binary synchronizations, in canonical order.
+	for ch := range n.Chans {
+		cid := sa.ChanID(ch)
+		if n.Chans[ch].Broadcast {
+			continue
+		}
+		for _, snd := range sends[cid] {
+			for _, rcv := range recvs[cid] {
+				if rcv.aut == snd.aut {
+					continue
+				}
+				if committed && !n.committedAt(s, snd.aut) && !n.committedAt(s, rcv.aut) {
+					continue
+				}
+				buf = append(buf, Transition{
+					Kind:  BinarySync,
+					Chan:  cid,
+					Parts: []Part{{snd.aut, snd.edge}, {rcv.aut, rcv.edge}},
+				})
+			}
+		}
+	}
+
+	// Broadcast synchronizations: every automaton with an enabled receiving
+	// edge participates; if an automaton has several enabled receiving
+	// edges, each choice yields a distinct transition (cartesian product).
+	for ch := range n.Chans {
+		cid := sa.ChanID(ch)
+		if !n.Chans[ch].Broadcast {
+			continue
+		}
+		for _, snd := range sends[cid] {
+			// Group enabled receive edges by automaton, excluding the sender.
+			var groups [][]half
+			committedOK := !committed || n.committedAt(s, snd.aut)
+			lastAut := -1
+			for _, rcv := range recvs[cid] {
+				if rcv.aut == snd.aut {
+					continue
+				}
+				if rcv.aut != lastAut {
+					groups = append(groups, nil)
+					lastAut = rcv.aut
+				}
+				groups[len(groups)-1] = append(groups[len(groups)-1], rcv)
+				if committed && n.committedAt(s, rcv.aut) {
+					committedOK = true
+				}
+			}
+			if !committedOK {
+				continue
+			}
+			buf = appendBroadcastCombos(buf, cid, snd.aut, snd.edge, groups)
+		}
+	}
+	return buf
+}
+
+// appendBroadcastCombos expands the cartesian product of per-automaton
+// receive-edge choices into transitions.
+func appendBroadcastCombos(buf []Transition, ch sa.ChanID, sndAut, sndEdge int, groups [][]half) []Transition {
+	parts := make([]Part, 1, 1+len(groups))
+	parts[0] = Part{sndAut, sndEdge}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(groups) {
+			cp := make([]Part, len(parts))
+			copy(cp, parts)
+			buf = append(buf, Transition{Kind: Broadcast, Chan: ch, Parts: cp})
+			return
+		}
+		for _, h := range groups[i] {
+			parts = append(parts, Part{h.aut, h.edge})
+			rec(i + 1)
+			parts = parts[:len(parts)-1]
+		}
+	}
+	rec(0)
+	return buf
+}
+
+// SemanticsError reports a violation of model well-formedness detected
+// during interpretation (target invariant violated, domain violation, time
+// stop, livelock).
+type SemanticsError struct {
+	Time int64
+	Msg  string
+}
+
+func (e *SemanticsError) Error() string {
+	return fmt.Sprintf("nsa: at time %d: %s", e.Time, e.Msg)
+}
+
+// Fire applies tr to s in place: participants change locations and updates
+// run in firing order (sender first). It returns an error if an update
+// violates a variable domain or a participant's target invariant fails
+// afterwards, both of which indicate a malformed model.
+func (n *Network) Fire(s *State, tr *Transition) (err error) {
+	env := n.Env(s)
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(*expr.RuntimeError)
+			if !ok {
+				panic(r)
+			}
+			err = &SemanticsError{Time: s.Time, Msg: fmt.Sprintf("firing %s: %v", tr.String(n), re)}
+		}
+	}()
+	for _, p := range tr.Parts {
+		e := &n.Automata[p.Aut].Edges[p.Edge]
+		s.Locs[p.Aut] = e.Dst
+		if e.Update != nil {
+			e.Update.Apply(env)
+		}
+	}
+	for _, p := range tr.Parts {
+		loc := &n.Automata[p.Aut].Locations[s.Locs[p.Aut]]
+		if loc.Invariant != nil && !loc.Invariant.Holds(env) {
+			return &SemanticsError{
+				Time: s.Time,
+				Msg: fmt.Sprintf("transition %s leaves automaton %q in location %q violating invariant %s",
+					tr.String(n), n.Automata[p.Aut].Name, loc.Name, loc.Invariant),
+			}
+		}
+	}
+	return nil
+}
+
+// DelayInfo describes the delay options from a state with no pending forced
+// action.
+type DelayInfo struct {
+	// Max is the largest admissible delay (bounded by invariants), or
+	// expr.NoBound when invariants allow unbounded delay.
+	Max int64
+	// Wake is the earliest delay at which a currently disabled
+	// clock-dependent guard may become enabled, or expr.NoBound.
+	Wake int64
+	// Blocked is true when no delay at all is admissible: a committed
+	// location is occupied or an urgent synchronization is enabled.
+	Blocked bool
+}
+
+// Step returns min(Max, Wake): the delay the maximal-progress interpretation
+// takes, jumping directly to the next forced event or guard wake-up point.
+func (d DelayInfo) Step() int64 {
+	if d.Wake < d.Max {
+		return d.Wake
+	}
+	return d.Max
+}
+
+// DelayBound computes the admissible delay information in s. The caller is
+// expected to have found no enabled transitions it wants to fire first;
+// urgency is still reported via Blocked.
+func (n *Network) DelayBound(s *State) DelayInfo {
+	env := n.Env(s)
+	if n.anyCommitted(s) {
+		return DelayInfo{Blocked: true}
+	}
+	if n.urgentEnabled(s, env) {
+		return DelayInfo{Blocked: true}
+	}
+	var stoppedBuf []bool
+	stopped := n.StoppedClocks(s, stoppedBuf)
+	running := func(c int) bool { return !stopped[c] }
+
+	info := DelayInfo{Max: expr.NoBound, Wake: expr.NoBound}
+	for ai, a := range n.Automata {
+		loc := &a.Locations[s.Locs[ai]]
+		if loc.Invariant != nil {
+			if d := loc.Invariant.MaxDelay(env, running); d < info.Max {
+				info.Max = d
+			}
+		}
+		// Wake-up points from currently disabled clock-dependent guards.
+		for _, ei := range a.EdgesFrom(s.Locs[ai]) {
+			g := a.Edges[ei].Guard
+			if g == nil || g.Holds(env) {
+				continue
+			}
+			if w, ok := g.(sa.Waker); ok {
+				if d := w.NextEnable(env, running); d >= 1 && d < info.Wake {
+					info.Wake = d
+				}
+			}
+		}
+	}
+	return info
+}
+
+// urgentEnabled reports whether any synchronization over an urgent channel
+// is enabled (sender+receiver for binary channels; an enabled sender suffices
+// for broadcast channels).
+func (n *Network) urgentEnabled(s *State, env expr.Env) bool {
+	type half struct{ aut, edge int }
+	var sends, recvs map[sa.ChanID][]half
+	for ai, a := range n.Automata {
+		for _, ei := range a.EdgesFrom(s.Locs[ai]) {
+			e := &a.Edges[ei]
+			if e.Sync.Dir == sa.NoSync || !n.Chans[e.Sync.Chan].Urgent {
+				continue
+			}
+			if !n.enabledEdge(env, ai, ei) {
+				continue
+			}
+			if e.Sync.Dir == sa.Send && n.Chans[e.Sync.Chan].Broadcast {
+				return true
+			}
+			if e.Sync.Dir == sa.Send {
+				if sends == nil {
+					sends = make(map[sa.ChanID][]half)
+				}
+				sends[e.Sync.Chan] = append(sends[e.Sync.Chan], half{ai, ei})
+			} else {
+				if recvs == nil {
+					recvs = make(map[sa.ChanID][]half)
+				}
+				recvs[e.Sync.Chan] = append(recvs[e.Sync.Chan], half{ai, ei})
+			}
+		}
+	}
+	for ch, ss := range sends {
+		for _, snd := range ss {
+			for _, rcv := range recvs[ch] {
+				if rcv.aut != snd.aut {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Advance moves time forward by d: every running clock and the model time
+// increase by d. It returns an error when d exceeds an invariant bound
+// (callers normally pass DelayBound results, which cannot).
+func (n *Network) Advance(s *State, d int64) error {
+	if d < 0 {
+		return &SemanticsError{Time: s.Time, Msg: fmt.Sprintf("negative delay %d", d)}
+	}
+	stopped := n.StoppedClocks(s, nil)
+	for c := range s.Clocks {
+		if !stopped[c] {
+			s.Clocks[c] += d
+		}
+	}
+	s.Time += d
+	env := n.Env(s)
+	for ai, a := range n.Automata {
+		loc := &a.Locations[s.Locs[ai]]
+		if loc.Invariant != nil && !loc.Invariant.Holds(env) {
+			return &SemanticsError{
+				Time: s.Time,
+				Msg: fmt.Sprintf("delay %d violates invariant %s of %q in %q",
+					d, loc.Invariant, a.Name, loc.Name),
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package observer
+
+import (
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+)
+
+func TestNoExecPastDeadlineFlagsLateDispatch(t *testing.T) {
+	sys := flowSystem()
+	m := model.MustBuild(sys)
+	o := NoExecPastDeadline(m)
+	s := m.Net.InitialState()
+	execHi, _ := m.TaskChans(config.TaskRef{Part: 0, Task: 0}) // Hi: P=5, D=5
+	tr := &nsa.Transition{Kind: nsa.BinarySync, Chan: execHi, Parts: []nsa.Part{{Aut: 0, Edge: 0}, {Aut: 1, Edge: 0}}}
+	// Job 0's absolute deadline is 5; dispatch at 6 is a violation.
+	if _, bad := o.Step(o.Init(), 6, tr, m.Net, s); !strings.Contains(bad, "past deadline") {
+		t.Fatalf("late dispatch not flagged: %q", bad)
+	}
+	// Dispatch exactly at the deadline instant is tolerated (zero width).
+	if _, bad := o.Step(o.Init(), 5, tr, m.Net, s); bad != "" {
+		t.Fatalf("boundary dispatch flagged: %q", bad)
+	}
+}
+
+func TestWCETBoundFlagsOverrun(t *testing.T) {
+	sys := flowSystem()
+	m := model.MustBuild(sys)
+	o := WCETBound(m)
+	s := m.Net.InitialState()
+	execHi, preemptHi := m.TaskChans(config.TaskRef{Part: 0, Task: 0}) // Hi: C=1
+	ex := &nsa.Transition{Kind: nsa.BinarySync, Chan: execHi, Parts: []nsa.Part{{Aut: 0, Edge: 0}, {Aut: 1, Edge: 0}}}
+	pr := &nsa.Transition{Kind: nsa.BinarySync, Chan: preemptHi, Parts: []nsa.Part{{Aut: 0, Edge: 0}, {Aut: 1, Edge: 0}}}
+	ms := o.Init()
+	ms, bad := o.Step(ms, 0, ex, m.Net, s)
+	if bad != "" {
+		t.Fatal(bad)
+	}
+	// Executing for 3 ticks with WCET 1: flagged at the preemption.
+	if _, bad = o.Step(ms, 3, pr, m.Net, s); !strings.Contains(bad, "> WCET") {
+		t.Fatalf("overrun not flagged: %q", bad)
+	}
+}
+
+func TestExecOnlyInWindowsFlagsSleepingExec(t *testing.T) {
+	sys := flowSystem()
+	m := model.MustBuild(sys)
+	o := ExecOnlyInWindows(m)
+	s := m.Net.InitialState()
+	execHi, _ := m.TaskChans(config.TaskRef{Part: 0, Task: 0})
+	tr := &nsa.Transition{Kind: nsa.BinarySync, Chan: execHi, Parts: []nsa.Part{{Aut: 0, Edge: 0}, {Aut: 1, Edge: 0}}}
+	// No wakeup was observed: the partition is asleep.
+	if _, bad := o.Step(o.Init(), 0, tr, m.Net, s); !strings.Contains(bad, "outside a window") {
+		t.Fatalf("sleeping exec not flagged: %q", bad)
+	}
+}
+
+func TestSendAfterCompletionFlagsSpontaneousSend(t *testing.T) {
+	sys := flowSystem()
+	m := model.MustBuild(sys)
+	o := SendAfterCompletion(m)
+	s := m.Net.InitialState()
+	send := &nsa.Transition{Kind: nsa.Broadcast,
+		Chan: m.SendChan(config.TaskRef{Part: 0, Task: 1}), Parts: []nsa.Part{{Aut: 0, Edge: 0}}}
+	if _, bad := o.Step(o.Init(), 3, send, m.Net, s); !strings.Contains(bad, "without a completed job") {
+		t.Fatalf("spontaneous send not flagged: %q", bad)
+	}
+}
+
+func TestRuntimeCollectsViolations(t *testing.T) {
+	sys := flowSystem()
+	m := model.MustBuild(sys)
+	rt := NewRuntime(OneJobPerPartition(m))
+	execHi, _ := m.TaskChans(config.TaskRef{Part: 0, Task: 0})
+	execLo, _ := m.TaskChans(config.TaskRef{Part: 0, Task: 1})
+	s := m.Net.InitialState()
+	tr1 := &nsa.Transition{Kind: nsa.BinarySync, Chan: execHi, Parts: []nsa.Part{{Aut: 0, Edge: 0}, {Aut: 1, Edge: 0}}}
+	tr2 := &nsa.Transition{Kind: nsa.BinarySync, Chan: execLo, Parts: []nsa.Part{{Aut: 0, Edge: 0}, {Aut: 1, Edge: 0}}}
+	rt.OnTransition(0, tr1, m.Net, s)
+	rt.OnTransition(1, tr2, m.Net, s)
+	if len(rt.Violations) != 1 {
+		t.Fatalf("violations = %v", rt.Violations)
+	}
+}

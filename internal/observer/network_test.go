@@ -1,0 +1,98 @@
+package observer
+
+import (
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+)
+
+func switchedSystem() *config.System {
+	return &config.System{
+		Name:      "obs-net",
+		CoreTypes: []string{"std"},
+		Cores: []config.Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 0, Module: 2},
+		},
+		Partitions: []config.Partition{
+			{Name: "TX", Core: 0, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "S1", Priority: 2, WCET: []int64{1}, Period: 20, Deadline: 20},
+					{Name: "S2", Priority: 1, WCET: []int64{1}, Period: 20, Deadline: 20},
+				},
+				Windows: []config.Window{{Start: 0, End: 20}}},
+			{Name: "RX", Core: 1, Policy: config.EDF,
+				Tasks: []config.Task{
+					{Name: "R1", Priority: 1, WCET: []int64{2}, Period: 20, Deadline: 20},
+					{Name: "R2", Priority: 1, WCET: []int64{2}, Period: 20, Deadline: 18},
+				},
+				Windows: []config.Window{{Start: 0, End: 20}}},
+		},
+		Messages: []config.Message{
+			{Name: "m1", SrcPart: 0, SrcTask: 0, DstPart: 1, DstTask: 0, TxTime: 2},
+			{Name: "m2", SrcPart: 0, SrcTask: 1, DstPart: 1, DstTask: 1, TxTime: 2},
+		},
+		Net: &config.Topology{
+			Ports:  []config.Port{{Name: "out"}},
+			Routes: [][]int{{0}, {0}},
+		},
+	}
+}
+
+// TestNetworkObserversAllRuns: the full observer library — including the
+// switched-network minimum-latency monitor — holds in every run of a
+// contended switched system.
+func TestNetworkObserversAllRuns(t *testing.T) {
+	sys := switchedSystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := model.MustBuild(sys)
+	bad, res, err := VerifyAllRuns(m, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != "" {
+		t.Fatalf("violation: %s", bad)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete exploration")
+	}
+	t.Logf("verified %d states", res.States)
+}
+
+func TestMinLinkDelayDetectsEarlyDelivery(t *testing.T) {
+	sys := switchedSystem()
+	m := model.MustBuild(sys)
+	o := MinLinkDelay(m)
+	s := m.Net.InitialState()
+
+	sendCh := m.SendChan(config.TaskRef{Part: 0, Task: 0})
+	recvCh := m.ReceiveChan(0)
+
+	ms := o.Init()
+	send := &nsa.Transition{Kind: nsa.Broadcast, Chan: sendCh, Parts: []nsa.Part{{Aut: 0, Edge: 0}}}
+	ms, bad := o.Step(ms, 4, send, m.Net, s)
+	if bad != "" {
+		t.Fatal(bad)
+	}
+	// Minimum latency is 1 hop × 2 ticks; delivery at 5 is impossible.
+	recv := &nsa.Transition{Kind: nsa.Broadcast, Chan: recvCh, Parts: []nsa.Part{{Aut: 0, Edge: 0}}}
+	if _, bad = o.Step(ms, 5, recv, m.Net, s); !strings.Contains(bad, "impossible before 6") {
+		t.Fatalf("early delivery not flagged: %q", bad)
+	}
+}
+
+func TestMinLinkDelayDetectsSpuriousDelivery(t *testing.T) {
+	sys := switchedSystem()
+	m := model.MustBuild(sys)
+	o := MinLinkDelay(m)
+	s := m.Net.InitialState()
+	recv := &nsa.Transition{Kind: nsa.Broadcast, Chan: m.ReceiveChan(0), Parts: []nsa.Part{{Aut: 0, Edge: 0}}}
+	if _, bad := o.Step(o.Init(), 9, recv, m.Net, s); !strings.Contains(bad, "without a pending send") {
+		t.Fatalf("spurious delivery not flagged: %q", bad)
+	}
+}

@@ -1,0 +1,528 @@
+// Package observer implements the paper's §3 correctness requirements as
+// deterministic observers over synchronization events. Each observer is an
+// mc.Monitor: composed with the network product during exhaustive
+// exploration it decides "bad location reachable in some run" exactly —
+// the same question the paper answers with UPPAAL observer automata — and
+// attached to the simulator via Runtime it checks single runs.
+//
+// Requirements provided (derived from ARINC 653 as in the paper):
+//
+//   - OneJobPerPartition (the Fig. 2 observer): at any time at most one job
+//     of a partition executes.
+//   - OneJobPerCore: at any time at most one job executes on a core.
+//   - ExecOnlyInWindows: jobs execute only inside their partition's windows.
+//   - SendAfterCompletion: a job's data broadcast happens exactly at its
+//     completion.
+//   - ExactLinkDelay: every delivery happens exactly the worst-case
+//     transfer delay after its transfer started.
+//   - NoExecBeforeData: a receiver job never executes before all its
+//     messages are delivered.
+//   - NoExecPastDeadline: no execution interval extends past the job's
+//     absolute deadline.
+//   - WCETBound: no job accumulates more processor time than its WCET.
+package observer
+
+import (
+	"fmt"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+)
+
+// event is the decoded system-level meaning of a transition, shared by all
+// observers.
+type event struct {
+	role model.ChanRole
+	task config.TaskRef // exec/preempt/send
+	part int            // ready/finished/wakeup/sleep
+	link int            // receive
+	fin  config.TaskRef // finished: which task (from last_finished)
+	job  int            // current job index of the task concerned
+	ok   bool
+}
+
+func decode(m *model.Model, tr *nsa.Transition, s *nsa.State) event {
+	if tr.Kind == nsa.Internal {
+		return event{}
+	}
+	info := m.ChanInfos[tr.Chan]
+	ev := event{role: info.Role, task: info.Task, part: info.Part, link: info.Link, ok: true}
+	switch info.Role {
+	case model.RoleExec, model.RolePreempt, model.RoleSend:
+		ev.job = m.JobOf(info.Task, s)
+	case model.RoleFinished:
+		ti := int(s.Vars[m.LastFinishedVar(info.Part)])
+		ev.fin = config.TaskRef{Part: info.Part, Task: ti}
+		ev.job = m.JobOf(ev.fin, s)
+	}
+	return ev
+}
+
+// Observer is an mc.Monitor bound to a model.
+type Observer struct {
+	name string
+	m    *model.Model
+	init []int64
+	step func(ms []int64, time int64, ev event, s *nsa.State) ([]int64, string)
+}
+
+// Name implements mc.Monitor.
+func (o *Observer) Name() string { return o.name }
+
+// Init implements mc.Monitor.
+func (o *Observer) Init() []int64 {
+	out := make([]int64, len(o.init))
+	copy(out, o.init)
+	return out
+}
+
+// Step implements mc.Monitor.
+func (o *Observer) Step(ms []int64, time int64, tr *nsa.Transition, _ *nsa.Network, s *nsa.State) ([]int64, string) {
+	ev := decode(o.m, tr, s)
+	if !ev.ok {
+		return ms, ""
+	}
+	return o.step(ms, time, ev, s)
+}
+
+// taskIndex flattens (partition, task) to a dense index.
+func taskIndex(sys *config.System) (map[config.TaskRef]int, int) {
+	idx := make(map[config.TaskRef]int)
+	n := 0
+	for pi := range sys.Partitions {
+		for ti := range sys.Partitions[pi].Tasks {
+			idx[config.TaskRef{Part: pi, Task: ti}] = n
+			n++
+		}
+	}
+	return idx, n
+}
+
+func cp(ms []int64) []int64 {
+	out := make([]int64, len(ms))
+	copy(out, ms)
+	return out
+}
+
+// OneJobPerPartition is the Fig. 2 observer: any exec_jk must be followed by
+// preempt_jk or finished_j before another exec of the same partition.
+// State: per partition, the executing task index + 1 (0 = none).
+func OneJobPerPartition(m *model.Model) *Observer {
+	np := len(m.Sys.Partitions)
+	return &Observer{
+		name: "one-job-per-partition",
+		m:    m,
+		init: make([]int64, np),
+		step: func(ms []int64, _ int64, ev event, _ *nsa.State) ([]int64, string) {
+			switch ev.role {
+			case model.RoleExec:
+				if ms[ev.task.Part] != 0 {
+					return ms, fmt.Sprintf("partition %s: exec of %s while task %d executing",
+						m.Sys.Partitions[ev.task.Part].Name, m.Sys.TaskName(ev.task), ms[ev.task.Part]-1)
+				}
+				ms = cp(ms)
+				ms[ev.task.Part] = int64(ev.task.Task) + 1
+			case model.RolePreempt:
+				if ms[ev.task.Part] != int64(ev.task.Task)+1 {
+					return ms, fmt.Sprintf("preempt of %s which is not executing", m.Sys.TaskName(ev.task))
+				}
+				ms = cp(ms)
+				ms[ev.task.Part] = 0
+			case model.RoleFinished:
+				if ms[ev.part] == int64(ev.fin.Task)+1 {
+					ms = cp(ms)
+					ms[ev.part] = 0
+				}
+			}
+			return ms, ""
+		},
+	}
+}
+
+// OneJobPerCore checks the core-level mutual exclusion that the window
+// schedule plus the schedulers must guarantee.
+// State: per core, flattened executing task index + 1 (0 = none).
+func OneJobPerCore(m *model.Model) *Observer {
+	idx, _ := taskIndex(m.Sys)
+	nc := len(m.Sys.Cores)
+	coreOf := func(r config.TaskRef) int { return m.Sys.Partitions[r.Part].Core }
+	return &Observer{
+		name: "one-job-per-core",
+		m:    m,
+		init: make([]int64, nc),
+		step: func(ms []int64, _ int64, ev event, _ *nsa.State) ([]int64, string) {
+			switch ev.role {
+			case model.RoleExec:
+				c := coreOf(ev.task)
+				if ms[c] != 0 {
+					return ms, fmt.Sprintf("core %s: exec of %s while another job executes",
+						m.Sys.Cores[c].Name, m.Sys.TaskName(ev.task))
+				}
+				ms = cp(ms)
+				ms[c] = int64(idx[ev.task]) + 1
+			case model.RolePreempt:
+				c := coreOf(ev.task)
+				if ms[c] == int64(idx[ev.task])+1 {
+					ms = cp(ms)
+					ms[c] = 0
+				}
+			case model.RoleFinished:
+				c := coreOf(ev.fin)
+				if ms[c] == int64(idx[ev.fin])+1 {
+					ms = cp(ms)
+					ms[c] = 0
+				}
+			}
+			return ms, ""
+		},
+	}
+}
+
+// ExecOnlyInWindows checks that every exec_jk happens while the partition's
+// window is open, and that execution stops (at the same instant) when the
+// window closes.
+// State: per partition: [awake flag, executing task + 1, window close time].
+func ExecOnlyInWindows(m *model.Model) *Observer {
+	np := len(m.Sys.Partitions)
+	init := make([]int64, 3*np)
+	for pi := 0; pi < np; pi++ {
+		init[3*pi+2] = -1
+	}
+	return &Observer{
+		name: "exec-only-in-windows",
+		m:    m,
+		init: init,
+		step: func(ms []int64, time int64, ev event, _ *nsa.State) ([]int64, string) {
+			check := func(pi int) string {
+				// A job still marked executing after the window closed is a
+				// violation only if time has advanced past the close.
+				if ms[3*pi] == 0 && ms[3*pi+1] != 0 && time > ms[3*pi+2] {
+					return fmt.Sprintf("partition %s: execution continued past window close at %d",
+						m.Sys.Partitions[pi].Name, ms[3*pi+2])
+				}
+				return ""
+			}
+			for pi := 0; pi < np; pi++ {
+				if bad := check(pi); bad != "" {
+					return ms, bad
+				}
+			}
+			switch ev.role {
+			case model.RoleWakeup:
+				ms = cp(ms)
+				ms[3*ev.part] = 1
+			case model.RoleSleep:
+				ms = cp(ms)
+				ms[3*ev.part] = 0
+				ms[3*ev.part+2] = time
+			case model.RoleExec:
+				pi := ev.task.Part
+				if ms[3*pi] == 0 {
+					return ms, fmt.Sprintf("exec of %s outside a window", m.Sys.TaskName(ev.task))
+				}
+				ms = cp(ms)
+				ms[3*pi+1] = int64(ev.task.Task) + 1
+			case model.RolePreempt:
+				ms = cp(ms)
+				ms[3*ev.task.Part+1] = 0
+			case model.RoleFinished:
+				if ms[3*ev.part+1] == int64(ev.fin.Task)+1 {
+					ms = cp(ms)
+					ms[3*ev.part+1] = 0
+				}
+			}
+			return ms, ""
+		},
+	}
+}
+
+// SendAfterCompletion checks requirement 1 of the §3 proof: every job's
+// data broadcast happens exactly at (time of) its completion, and only once.
+// State: per task: completion time + 1 of the last completed job with a
+// pending send (0 = none pending).
+func SendAfterCompletion(m *model.Model) *Observer {
+	idx, nt := taskIndex(m.Sys)
+	return &Observer{
+		name: "send-after-completion",
+		m:    m,
+		init: make([]int64, nt),
+		step: func(ms []int64, time int64, ev event, s *nsa.State) ([]int64, string) {
+			switch ev.role {
+			case model.RoleFinished:
+				// Completion, not a deadline kill: the task reached x == C.
+				if m.IsCompletion(ev.fin, s) {
+					ms = cp(ms)
+					ms[idx[ev.fin]] = time + 1
+				}
+			case model.RoleSend:
+				i := idx[ev.task]
+				if ms[i] == 0 {
+					return ms, fmt.Sprintf("send of %s without a completed job", m.Sys.TaskName(ev.task))
+				}
+				if ms[i]-1 != time {
+					return ms, fmt.Sprintf("send of %s at %d, completion was at %d",
+						m.Sys.TaskName(ev.task), time, ms[i]-1)
+				}
+				ms = cp(ms)
+				ms[i] = 0
+			}
+			return ms, ""
+		},
+	}
+}
+
+// ExactLinkDelay checks requirement 2 of the §3 proof: each delivery on a
+// fixed-delay link happens exactly Delay ticks after its transfer started
+// (the send, or the previous delivery when transfers queue). Routed
+// messages (switched-network extension) are excluded — their delay depends
+// on port contention and is checked by MinLinkDelay instead.
+// State: per link: [#sends, #deliveries, transfer start time of the message
+// in flight].
+func ExactLinkDelay(m *model.Model) *Observer {
+	nl := len(m.Sys.Messages)
+	routed := make([]bool, nl)
+	for h := 0; h < nl; h++ {
+		routed[h] = len(m.Sys.RouteOf(h)) > 0
+	}
+	return &Observer{
+		name: "exact-link-delay",
+		m:    m,
+		init: make([]int64, 3*nl),
+		step: func(ms []int64, time int64, ev event, _ *nsa.State) ([]int64, string) {
+			switch ev.role {
+			case model.RoleSend:
+				// One send may feed several links (all outgoing links of the
+				// task); attribute it to each of them.
+				ms = cp(ms)
+				for _, h := range m.Sys.OutgoingMessages(ev.task) {
+					if routed[h] {
+						continue
+					}
+					if ms[3*h] == ms[3*h+1] { // link idle: transfer starts now
+						ms[3*h+2] = time
+					}
+					ms[3*h]++
+				}
+			case model.RoleReceive:
+				h := ev.link
+				if routed[h] {
+					return ms, ""
+				}
+				delay := m.Sys.Delay(&m.Sys.Messages[h])
+				if time != ms[3*h+2]+delay {
+					return ms, fmt.Sprintf("link %s delivered at %d, expected %d",
+						m.Sys.Messages[h].Name, time, ms[3*h+2]+delay)
+				}
+				ms = cp(ms)
+				ms[3*h+1]++
+				if ms[3*h] > ms[3*h+1] { // queued transfer starts immediately
+					ms[3*h+2] = time
+				}
+			}
+			return ms, ""
+		},
+	}
+}
+
+// MinLinkDelay checks the switched-network invariant: a routed message is
+// never delivered earlier than its uncontended end-to-end latency
+// (hops × TxTime) after its send, and sends/deliveries stay balanced.
+// State: per routed link: [#sends, #deliveries, time of the oldest
+// undelivered send].
+func MinLinkDelay(m *model.Model) *Observer {
+	nl := len(m.Sys.Messages)
+	minLat := make([]int64, nl)
+	for h := 0; h < nl; h++ {
+		route := m.Sys.RouteOf(h)
+		minLat[h] = int64(len(route)) * m.Sys.Messages[h].TxTime
+	}
+	return &Observer{
+		name: "min-link-delay",
+		m:    m,
+		init: make([]int64, 3*nl),
+		step: func(ms []int64, time int64, ev event, _ *nsa.State) ([]int64, string) {
+			switch ev.role {
+			case model.RoleSend:
+				ms = cp(ms)
+				for _, h := range m.Sys.OutgoingMessages(ev.task) {
+					if minLat[h] == 0 {
+						continue
+					}
+					if ms[3*h] == ms[3*h+1] {
+						ms[3*h+2] = time // oldest in-flight send
+					}
+					ms[3*h]++
+				}
+			case model.RoleReceive:
+				h := ev.link
+				if minLat[h] == 0 {
+					return ms, ""
+				}
+				if ms[3*h] <= ms[3*h+1] {
+					return ms, fmt.Sprintf("link %s delivered without a pending send", m.Sys.Messages[h].Name)
+				}
+				if time < ms[3*h+2]+minLat[h] {
+					return ms, fmt.Sprintf("link %s delivered at %d, impossible before %d",
+						m.Sys.Messages[h].Name, time, ms[3*h+2]+minLat[h])
+				}
+				ms = cp(ms)
+				ms[3*h+1]++
+				if ms[3*h] > ms[3*h+1] {
+					ms[3*h+2] = time // conservative restart for the next frame
+				}
+			}
+			return ms, ""
+		},
+	}
+}
+
+// NoExecBeforeData checks requirement 3 of the §3 proof: job k of a
+// receiver executes only after delivery k of every incoming link.
+// State: per link, the delivery count.
+func NoExecBeforeData(m *model.Model) *Observer {
+	nl := len(m.Sys.Messages)
+	return &Observer{
+		name: "no-exec-before-data",
+		m:    m,
+		init: make([]int64, nl),
+		step: func(ms []int64, _ int64, ev event, _ *nsa.State) ([]int64, string) {
+			switch ev.role {
+			case model.RoleReceive:
+				ms = cp(ms)
+				ms[ev.link]++
+			case model.RoleExec:
+				for _, h := range m.Sys.IncomingMessages(ev.task) {
+					if ms[h] < int64(ev.job)+1 {
+						return ms, fmt.Sprintf("%s job %d executed with only %d deliveries on %s",
+							m.Sys.TaskName(ev.task), ev.job, ms[h], m.Sys.Messages[h].Name)
+					}
+				}
+			}
+			return ms, ""
+		},
+	}
+}
+
+// NoExecPastDeadline checks that no execution interval extends beyond the
+// job's absolute deadline.
+// State: per task: interval start time + 1 (0 = not executing) and job.
+func NoExecPastDeadline(m *model.Model) *Observer {
+	idx, nt := taskIndex(m.Sys)
+	deadlineOf := func(r config.TaskRef, job int) int64 {
+		t := &m.Sys.Partitions[r.Part].Tasks[r.Task]
+		return int64(job)*t.Period + t.Deadline
+	}
+	return &Observer{
+		name: "no-exec-past-deadline",
+		m:    m,
+		init: make([]int64, 2*nt),
+		step: func(ms []int64, time int64, ev event, _ *nsa.State) ([]int64, string) {
+			end := func(r config.TaskRef, job int) string {
+				i := idx[r]
+				if ms[i] == 0 {
+					return ""
+				}
+				if d := deadlineOf(r, job); time > d {
+					return fmt.Sprintf("%s job %d executed until %d, past deadline %d",
+						m.Sys.TaskName(r), job, time, d)
+				}
+				return ""
+			}
+			switch ev.role {
+			case model.RoleExec:
+				i := idx[ev.task]
+				if d := deadlineOf(ev.task, ev.job); time > d {
+					return ms, fmt.Sprintf("%s job %d dispatched at %d, past deadline %d",
+						m.Sys.TaskName(ev.task), ev.job, time, d)
+				}
+				ms = cp(ms)
+				ms[i] = time + 1
+				ms[nt+i] = int64(ev.job)
+			case model.RolePreempt:
+				if bad := end(ev.task, ev.job); bad != "" {
+					return ms, bad
+				}
+				ms = cp(ms)
+				ms[idx[ev.task]] = 0
+			case model.RoleFinished:
+				if bad := end(ev.fin, ev.job); bad != "" {
+					return ms, bad
+				}
+				ms = cp(ms)
+				ms[idx[ev.fin]] = 0
+			}
+			return ms, ""
+		},
+	}
+}
+
+// WCETBound checks that no job accumulates more processor time than its
+// WCET, and that completions account for exactly the WCET.
+// State: per task: [interval start + 1, accumulated, job].
+func WCETBound(m *model.Model) *Observer {
+	idx, nt := taskIndex(m.Sys)
+	return &Observer{
+		name: "wcet-bound",
+		m:    m,
+		init: make([]int64, 3*nt),
+		step: func(ms []int64, time int64, ev event, s *nsa.State) ([]int64, string) {
+			accumulate := func(r config.TaskRef) ([]int64, string) {
+				i := idx[r]
+				if ms[3*i] == 0 {
+					return ms, ""
+				}
+				c := m.Sys.WCETOn(r)
+				next := cp(ms)
+				next[3*i+1] += time - (ms[3*i] - 1)
+				next[3*i] = 0
+				if next[3*i+1] > c {
+					return next, fmt.Sprintf("%s job %d accumulated %d > WCET %d",
+						m.Sys.TaskName(r), next[3*i+2], next[3*i+1], c)
+				}
+				return next, ""
+			}
+			switch ev.role {
+			case model.RoleExec:
+				i := idx[ev.task]
+				ms = cp(ms)
+				if ms[3*i+2] != int64(ev.job) { // new job: reset accumulator
+					ms[3*i+2] = int64(ev.job)
+					ms[3*i+1] = 0
+				}
+				ms[3*i] = time + 1
+			case model.RolePreempt:
+				return accumulate(ev.task)
+			case model.RoleFinished:
+				next, bad := accumulate(ev.fin)
+				if bad != "" {
+					return next, bad
+				}
+				i := idx[ev.fin]
+				if m.IsCompletion(ev.fin, s) {
+					if c := m.Sys.WCETOn(ev.fin); next[3*i+1] != c {
+						return next, fmt.Sprintf("%s job %d completed with %d ticks, WCET %d",
+							m.Sys.TaskName(ev.fin), next[3*i+2], next[3*i+1], c)
+					}
+				}
+				return next, ""
+			}
+			return ms, ""
+		},
+	}
+}
+
+// All returns every observer in the library for m.
+func All(m *model.Model) []*Observer {
+	return []*Observer{
+		OneJobPerPartition(m),
+		OneJobPerCore(m),
+		ExecOnlyInWindows(m),
+		SendAfterCompletion(m),
+		ExactLinkDelay(m),
+		MinLinkDelay(m),
+		NoExecBeforeData(m),
+		NoExecPastDeadline(m),
+		WCETBound(m),
+	}
+}

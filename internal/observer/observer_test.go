@@ -1,0 +1,204 @@
+package observer
+
+import (
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/mc"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/trace"
+)
+
+func flowSystem() *config.System {
+	return &config.System{
+		Name:      "obs",
+		CoreTypes: []string{"std"},
+		Cores: []config.Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 0, Module: 2},
+		},
+		Partitions: []config.Partition{
+			{Name: "P1", Core: 0, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "Hi", Priority: 2, WCET: []int64{1}, Period: 5, Deadline: 5},
+					{Name: "Lo", Priority: 1, WCET: []int64{5}, Period: 10, Deadline: 10},
+				},
+				Windows: []config.Window{{Start: 0, End: 8}}},
+			{Name: "P2", Core: 1, Policy: config.EDF,
+				Tasks: []config.Task{
+					{Name: "R", Priority: 1, WCET: []int64{2}, Period: 10, Deadline: 10},
+				},
+				Windows: []config.Window{{Start: 0, End: 10}}},
+		},
+		Messages: []config.Message{
+			{Name: "m", SrcPart: 0, SrcTask: 1, DstPart: 1, DstTask: 0, MemDelay: 1, NetDelay: 3},
+		},
+	}
+}
+
+func TestLibrarySatisfiedOnRun(t *testing.T) {
+	sys := flowSystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := model.MustBuild(sys)
+	violations, err := VerifyRun(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("violations: %v", violations)
+	}
+}
+
+// TestLibrarySatisfiedOnAllRuns is the paper's observer verification: the
+// "bad" locations of every observer are unreachable across all runs.
+func TestLibrarySatisfiedOnAllRuns(t *testing.T) {
+	m := model.MustBuild(flowSystem())
+	bad, res, err := VerifyAllRuns(m, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != "" {
+		t.Fatalf("violation: %s", bad)
+	}
+	if !res.Complete {
+		t.Fatal("exploration incomplete")
+	}
+	t.Logf("verified over %d states, %d transitions", res.States, res.Transitions)
+}
+
+// TestLibrarySatisfiedUnderOverload: the requirements must hold even for
+// unschedulable configurations (deadline kills follow the spec too).
+func TestLibrarySatisfiedUnderOverload(t *testing.T) {
+	sys := flowSystem()
+	sys.Partitions[0].Tasks[1].WCET = []int64{9} // Lo overloads its window
+	m := model.MustBuild(sys)
+	bad, _, err := VerifyAllRuns(m, 5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != "" {
+		t.Fatalf("violation: %s", bad)
+	}
+	// Sanity: it is indeed unschedulable.
+	tr, _, err := model.MustBuild(sys).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := trace.Analyze(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedulable {
+		t.Error("overloaded configuration should be unschedulable")
+	}
+}
+
+// TestParametricSweep runs the observer verification across a grid of small
+// parameter combinations, mirroring the paper's "observer sets each
+// parameter non-deterministically" by enumeration.
+func TestParametricSweep(t *testing.T) {
+	policies := []config.Policy{config.FPPS, config.FPNPS, config.EDF}
+	type cfg struct {
+		c1, c2 int64
+		d1     int64
+		window int64
+	}
+	grid := []cfg{
+		{1, 3, 4, 8},
+		{2, 2, 6, 8},
+		{3, 1, 8, 5},
+		{4, 4, 8, 6},
+	}
+	for _, pol := range policies {
+		for _, g := range grid {
+			sys := &config.System{
+				Name:      "sweep",
+				CoreTypes: []string{"std"},
+				Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+				Partitions: []config.Partition{
+					{Name: "P1", Core: 0, Policy: pol,
+						Tasks: []config.Task{
+							{Name: "A", Priority: 2, WCET: []int64{g.c1}, Period: 8, Deadline: g.d1},
+							{Name: "B", Priority: 1, WCET: []int64{g.c2}, Period: 8, Deadline: 8},
+						},
+						Windows: []config.Window{{Start: 0, End: g.window}}},
+				},
+			}
+			if err := sys.Validate(); err != nil {
+				t.Fatalf("%s %+v: %v", pol, g, err)
+			}
+			m := model.MustBuild(sys)
+			bad, res, err := VerifyAllRuns(m, 2_000_000)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", pol, g, err)
+			}
+			if bad != "" {
+				t.Errorf("%s %+v: violation %s", pol, g, bad)
+			}
+			if !res.Complete {
+				t.Errorf("%s %+v: incomplete", pol, g)
+			}
+		}
+	}
+}
+
+// brokenSendModel wires an observer against a hand-built violating stream
+// to prove observers actually reject bad behaviour.
+func TestObserversDetectViolations(t *testing.T) {
+	sys := flowSystem()
+	m := model.MustBuild(sys)
+
+	// Synthetic transitions: an exec of Lo while Hi executes.
+	execHi, _ := m.TaskChans(config.TaskRef{Part: 0, Task: 0})
+	execLo, _ := m.TaskChans(config.TaskRef{Part: 0, Task: 1})
+	s := m.Net.InitialState()
+
+	o := OneJobPerPartition(m)
+	ms := o.Init()
+	tr1 := &nsa.Transition{Kind: nsa.BinarySync, Chan: execHi, Parts: []nsa.Part{{Aut: 0, Edge: 0}, {Aut: 1, Edge: 0}}}
+	ms, bad := o.Step(ms, 0, tr1, m.Net, s)
+	if bad != "" {
+		t.Fatalf("first exec flagged: %s", bad)
+	}
+	tr2 := &nsa.Transition{Kind: nsa.BinarySync, Chan: execLo, Parts: []nsa.Part{{Aut: 0, Edge: 0}, {Aut: 1, Edge: 0}}}
+	_, bad = o.Step(ms, 1, tr2, m.Net, s)
+	if !strings.Contains(bad, "while") {
+		t.Fatalf("second exec not flagged: %q", bad)
+	}
+}
+
+func TestExactLinkDelayDetectsEarlyDelivery(t *testing.T) {
+	sys := flowSystem()
+	m := model.MustBuild(sys)
+	o := ExactLinkDelay(m)
+	s := m.Net.InitialState()
+
+	sendCh := m.SendChan(config.TaskRef{Part: 0, Task: 1})
+	recvCh := m.ReceiveChan(0)
+
+	ms := o.Init()
+	send := &nsa.Transition{Kind: nsa.Broadcast, Chan: sendCh, Parts: []nsa.Part{{Aut: 0, Edge: 0}}}
+	ms, bad := o.Step(ms, 4, send, m.Net, s)
+	if bad != "" {
+		t.Fatal(bad)
+	}
+	recv := &nsa.Transition{Kind: nsa.Broadcast, Chan: recvCh, Parts: []nsa.Part{{Aut: 0, Edge: 0}}}
+	// Delivery at 5 but the network delay is 3 (cross-module): expect 7.
+	_, bad = o.Step(ms, 5, recv, m.Net, s)
+	if !strings.Contains(bad, "expected 7") {
+		t.Fatalf("early delivery not flagged: %q", bad)
+	}
+}
+
+func TestMonitorsAdapter(t *testing.T) {
+	m := model.MustBuild(flowSystem())
+	mons := Monitors(All(m)...)
+	if len(mons) != 9 {
+		t.Fatalf("monitors = %d, want 9", len(mons))
+	}
+	var _ []mc.Monitor = mons
+}

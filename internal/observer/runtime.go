@@ -1,0 +1,75 @@
+package observer
+
+import (
+	"fmt"
+
+	"stopwatchsim/internal/mc"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+)
+
+// Runtime attaches observers to a simulation run as an nsa.Listener and
+// records violations.
+type Runtime struct {
+	observers []*Observer
+	states    [][]int64
+	// Violations lists every observer violation seen during the run.
+	Violations []string
+}
+
+// NewRuntime returns a listener advancing the given observers.
+func NewRuntime(observers ...*Observer) *Runtime {
+	r := &Runtime{observers: observers, states: make([][]int64, len(observers))}
+	for i, o := range observers {
+		r.states[i] = o.Init()
+	}
+	return r
+}
+
+// OnTransition implements nsa.Listener.
+func (r *Runtime) OnTransition(time int64, tr *nsa.Transition, net *nsa.Network, s *nsa.State) {
+	for i, o := range r.observers {
+		next, bad := o.Step(r.states[i], time, tr, net, s)
+		r.states[i] = next
+		if bad != "" {
+			r.Violations = append(r.Violations, fmt.Sprintf("%s: %s", o.Name(), bad))
+		}
+	}
+}
+
+// Monitors converts the observers to mc.Monitor values for exhaustive
+// verification.
+func Monitors(observers ...*Observer) []mc.Monitor {
+	out := make([]mc.Monitor, len(observers))
+	for i, o := range observers {
+		out[i] = o
+	}
+	return out
+}
+
+// VerifyAllRuns exhaustively explores the model with the whole observer
+// library composed in — the paper's §3 verification that no "bad" location
+// is reachable in any run. It returns the first violation witness ("" if
+// the requirements hold in every run).
+func VerifyAllRuns(m *model.Model, maxStates int) (string, mc.Result, error) {
+	res, err := mc.Explore(m.Net, mc.Options{
+		Horizon:   m.Horizon,
+		Monitors:  Monitors(All(m)...),
+		MaxStates: maxStates,
+	})
+	if err != nil {
+		return "", res, err
+	}
+	return res.Bad, res, nil
+}
+
+// VerifyRun simulates the model once with all observers attached and
+// returns any violations.
+func VerifyRun(m *model.Model) ([]string, error) {
+	rt := NewRuntime(All(m)...)
+	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: m.Horizon, Listeners: []nsa.Listener{rt}})
+	if _, err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return rt.Violations, nil
+}

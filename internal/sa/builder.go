@@ -1,0 +1,117 @@
+package sa
+
+import "fmt"
+
+// Builder constructs an Automaton incrementally. Errors are accumulated and
+// reported by Build, so construction code stays linear.
+type Builder struct {
+	a    Automaton
+	locs map[string]LocID
+	err  error
+}
+
+// NewBuilder returns a builder for an automaton with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{a: Automaton{Name: name, Initial: -1}, locs: make(map[string]LocID)}
+}
+
+// OwnClock registers a clock (global index) as owned by the automaton so
+// locations may stop it.
+func (b *Builder) OwnClock(c ClockID) *Builder {
+	b.a.Clocks = append(b.a.Clocks, c)
+	return b
+}
+
+// Priority sets the automaton's process priority (see Automaton.Priority).
+func (b *Builder) Priority(p int) *Builder {
+	b.a.Priority = p
+	return b
+}
+
+// LocOption configures a location added with Loc.
+type LocOption func(*Location)
+
+// Committed marks the location committed (no delay may elapse there).
+func Committed() LocOption { return func(l *Location) { l.Committed = true } }
+
+// WithInvariant attaches a location invariant.
+func WithInvariant(inv Invariant) LocOption {
+	return func(l *Location) { l.Invariant = inv }
+}
+
+// Stops declares clocks stopped in the location.
+func Stops(clocks ...ClockID) LocOption {
+	return func(l *Location) { l.Stopped = append(l.Stopped, clocks...) }
+}
+
+// Loc adds a location and returns its ID. Duplicate names are an error.
+func (b *Builder) Loc(name string, opts ...LocOption) LocID {
+	if _, dup := b.locs[name]; dup {
+		b.fail(fmt.Errorf("sa: automaton %q: duplicate location %q", b.a.Name, name))
+	}
+	l := Location{Name: name}
+	for _, o := range opts {
+		o(&l)
+	}
+	id := LocID(len(b.a.Locations))
+	b.a.Locations = append(b.a.Locations, l)
+	b.locs[name] = id
+	return id
+}
+
+// Init marks l as the initial location.
+func (b *Builder) Init(l LocID) *Builder {
+	if b.a.Initial >= 0 {
+		b.fail(fmt.Errorf("sa: automaton %q: initial location set twice", b.a.Name))
+	}
+	b.a.Initial = l
+	return b
+}
+
+// Edge adds an action transition. guard and update may be nil; use None for
+// an internal transition.
+func (b *Builder) Edge(src, dst LocID, guard Guard, sync Sync, update Update) *Builder {
+	b.a.Edges = append(b.a.Edges, Edge{Src: src, Dst: dst, Guard: guard, Sync: sync, Update: update})
+	return b
+}
+
+// SendEdge adds an edge sending on ch.
+func (b *Builder) SendEdge(src, dst LocID, guard Guard, ch ChanID, update Update) *Builder {
+	return b.Edge(src, dst, guard, Sync{Chan: ch, Dir: Send}, update)
+}
+
+// RecvEdge adds an edge receiving on ch.
+func (b *Builder) RecvEdge(src, dst LocID, guard Guard, ch ChanID, update Update) *Builder {
+	return b.Edge(src, dst, guard, Sync{Chan: ch, Dir: Recv}, update)
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build validates and returns the automaton.
+func (b *Builder) Build() (*Automaton, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.a.Initial < 0 {
+		return nil, fmt.Errorf("sa: automaton %q: no initial location", b.a.Name)
+	}
+	a := b.a
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// MustBuild is Build panicking on error, for construction code whose inputs
+// are statically known to be valid.
+func (b *Builder) MustBuild() *Automaton {
+	a, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

@@ -1,0 +1,233 @@
+package sa
+
+import (
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/expr"
+)
+
+type env struct {
+	vars   []int64
+	clocks []int64
+}
+
+func (e env) Var(i int) int64   { return e.vars[i] }
+func (e env) Clock(i int) int64 { return e.clocks[i] }
+
+func scope() expr.MapScope {
+	return expr.MapScope{
+		"x": {Kind: expr.SymVar, Index: 0},
+		"t": {Kind: expr.SymClock, Index: 0},
+		"u": {Kind: expr.SymClock, Index: 1},
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("demo")
+	b.OwnClock(0)
+	idle := b.Loc("Idle", Stops(0))
+	run := b.Loc("Run", WithInvariant(expr.MustCompileInvariant(
+		expr.MustParseResolve("t <= 5", scope(), expr.TypeBool))))
+	dec := b.Loc("Decide", Committed())
+	b.Init(idle)
+	b.Edge(idle, dec, nil, None, nil)
+	b.SendEdge(dec, run, nil, 0, nil)
+	b.RecvEdge(run, idle, NewExprGuard(expr.MustParseResolve("t == 5", scope(), expr.TypeBool)), 1, nil)
+	a, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Locations) != 3 || len(a.Edges) != 3 {
+		t.Fatalf("got %d locations, %d edges", len(a.Locations), len(a.Edges))
+	}
+	if !a.Locations[dec].Committed {
+		t.Error("Decide should be committed")
+	}
+	if got := a.EdgesFrom(idle); len(got) != 1 || got[0] != 0 {
+		t.Errorf("EdgesFrom(Idle) = %v", got)
+	}
+	if a.LocationName(run) != "Run" {
+		t.Errorf("LocationName = %q", a.LocationName(run))
+	}
+	if a.LocationName(99) != "loc#99" {
+		t.Errorf("out-of-range LocationName = %q", a.LocationName(99))
+	}
+	if s := a.EdgeString(2); !strings.Contains(s, "t == 5") || !strings.Contains(s, "ch1?") {
+		t.Errorf("EdgeString = %q", s)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("duplicate location", func(t *testing.T) {
+		b := NewBuilder("d")
+		b.Loc("A")
+		b.Loc("A")
+		b.Init(0)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("no initial", func(t *testing.T) {
+		b := NewBuilder("d")
+		b.Loc("A")
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("double init", func(t *testing.T) {
+		b := NewBuilder("d")
+		l := b.Loc("A")
+		b.Init(l)
+		b.Init(l)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+	t.Run("unowned stopped clock", func(t *testing.T) {
+		b := NewBuilder("d")
+		l := b.Loc("A", Stops(3))
+		b.Init(l)
+		if _, err := b.Build(); err == nil {
+			t.Error("expected error")
+		}
+	})
+}
+
+func TestValidateEdgeErrors(t *testing.T) {
+	a := &Automaton{
+		Name:      "bad",
+		Locations: []Location{{Name: "A"}},
+		Initial:   0,
+		Edges:     []Edge{{Src: 0, Dst: 5}},
+	}
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v", err)
+	}
+	a.Edges = []Edge{{Src: 0, Dst: 0, Sync: Sync{Chan: 3, Dir: NoSync}}}
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "without direction") {
+		t.Errorf("err = %v", err)
+	}
+	a.Edges = []Edge{{Src: 0, Dst: 0, Sync: Sync{Chan: NoChan, Dir: Send}}}
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "without channel") {
+		t.Errorf("err = %v", err)
+	}
+	a.Edges = nil
+	a.Initial = 7
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "initial") {
+		t.Errorf("err = %v", err)
+	}
+	a.Locations = nil
+	if err := a.Validate(); err == nil || !strings.Contains(err.Error(), "no locations") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExprGuard(t *testing.T) {
+	sc := scope()
+	g := NewExprGuard(expr.MustParseResolve("x > 0 && t >= 3", sc, expr.TypeBool))
+	if g.ClockFree() {
+		t.Error("guard references a clock")
+	}
+	e := env{vars: []int64{1}, clocks: []int64{1, 0}}
+	if g.Holds(e) {
+		t.Error("guard should be false at t=1")
+	}
+	all := func(int) bool { return true }
+	if d := g.NextEnable(e, all); d != 2 {
+		t.Errorf("NextEnable = %d, want 2", d)
+	}
+	// Stopped clock: never enabled by delay.
+	none := func(int) bool { return false }
+	if d := g.NextEnable(e, none); d != expr.NoBound {
+		t.Errorf("NextEnable (stopped) = %d, want NoBound", d)
+	}
+
+	cf := NewExprGuard(expr.MustParseResolve("x > 0", sc, expr.TypeBool))
+	if !cf.ClockFree() {
+		t.Error("variable-only guard is clock-free")
+	}
+	if d := cf.NextEnable(e, all); d != expr.NoBound {
+		t.Errorf("clock-free NextEnable = %d, want NoBound", d)
+	}
+}
+
+func TestExprGuardEqualityWake(t *testing.T) {
+	sc := scope()
+	// t == 7: from t=3 the atom flips at delay 4 (and back off at 5);
+	// NextEnable must report 4.
+	g := NewExprGuard(expr.MustParseResolve("t == 7", sc, expr.TypeBool))
+	e := env{vars: []int64{0}, clocks: []int64{3, 0}}
+	if d := g.NextEnable(e, func(int) bool { return true }); d != 4 {
+		t.Errorf("NextEnable = %d, want 4", d)
+	}
+	// Already past: no wake-up.
+	e2 := env{vars: []int64{0}, clocks: []int64{9, 0}}
+	if d := g.NextEnable(e2, func(int) bool { return true }); d != expr.NoBound {
+		t.Errorf("NextEnable past = %d, want NoBound", d)
+	}
+}
+
+func TestExprGuardUpperBoundWake(t *testing.T) {
+	sc := scope()
+	// t < 7 is currently false only if t >= 7; delay can't re-enable it,
+	// but the scan may still propose crossings; they must all be >= 1 or
+	// NoBound — soundness, not precision, is required.
+	g := NewExprGuard(expr.MustParseResolve("t < 7", sc, expr.TypeBool))
+	e := env{vars: []int64{0}, clocks: []int64{9, 0}}
+	if d := g.NextEnable(e, func(int) bool { return true }); d < 1 {
+		t.Errorf("NextEnable = %d, want >= 1", d)
+	}
+}
+
+func TestGuardFunc(t *testing.T) {
+	g := &GuardFunc{Desc: "x is even", F: func(e expr.Env) bool { return e.Var(0)%2 == 0 }}
+	if !g.Holds(env{vars: []int64{4}}) || g.Holds(env{vars: []int64{3}}) {
+		t.Error("GuardFunc misbehaves")
+	}
+	if g.String() != "x is even" {
+		t.Errorf("String = %q", g.String())
+	}
+	if d := g.NextEnable(env{vars: []int64{3}}, func(int) bool { return true }); d != expr.NoBound {
+		t.Errorf("default NextEnable = %d", d)
+	}
+	g2 := &GuardFunc{Desc: "hint", F: func(expr.Env) bool { return false },
+		NextEnableF: func(expr.Env, func(int) bool) int64 { return 42 }}
+	if d := g2.NextEnable(env{}, func(int) bool { return true }); d != 42 {
+		t.Errorf("hinted NextEnable = %d", d)
+	}
+}
+
+func TestUpdateFuncAndExprUpdate(t *testing.T) {
+	sc := scope()
+	u := &ExprUpdate{Stmts: expr.MustParseResolveUpdate("x := x + 1", sc)}
+	m := &mutableEnv{vars: []int64{1}, clocks: []int64{0, 0}}
+	u.Apply(m)
+	if m.vars[0] != 2 {
+		t.Errorf("x = %d, want 2", m.vars[0])
+	}
+	if u.String() != "x := x + 1" {
+		t.Errorf("String = %q", u.String())
+	}
+	uf := &UpdateFunc{Desc: "reset", F: func(e expr.MutableEnv) { e.SetVar(0, 0) }}
+	uf.Apply(m)
+	if m.vars[0] != 0 {
+		t.Errorf("x = %d, want 0", m.vars[0])
+	}
+}
+
+type mutableEnv struct {
+	vars   []int64
+	clocks []int64
+}
+
+func (e *mutableEnv) Var(i int) int64         { return e.vars[i] }
+func (e *mutableEnv) Clock(i int) int64       { return e.clocks[i] }
+func (e *mutableEnv) SetVar(i int, v int64)   { e.vars[i] = v }
+func (e *mutableEnv) SetClock(i int, v int64) { e.clocks[i] = v }
+
+func TestSyncDirString(t *testing.T) {
+	if Send.String() != "!" || Recv.String() != "?" || NoSync.String() != "" {
+		t.Error("SyncDir strings wrong")
+	}
+}

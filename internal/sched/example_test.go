@@ -1,0 +1,43 @@
+package sched_test
+
+import (
+	"fmt"
+	"log"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/sched"
+)
+
+// Example searches bindings and window schedules for a two-core design
+// problem, using the stopwatch-automata model as the schedulability test on
+// every candidate — the §4 workflow.
+func Example() {
+	problem := &sched.Problem{
+		Name:      "example",
+		CoreTypes: []string{"cpu"},
+		Cores: []config.Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 0, Module: 1},
+		},
+		Partitions: []sched.PartitionSpec{
+			{Name: "A", Policy: config.FPPS, Tasks: []config.Task{
+				{Name: "a1", Priority: 1, WCET: []int64{4}, Period: 10, Deadline: 10},
+			}},
+			{Name: "B", Policy: config.FPPS, Tasks: []config.Task{
+				{Name: "b1", Priority: 1, WCET: []int64{4}, Period: 10, Deadline: 10},
+			}},
+			{Name: "C", Policy: config.EDF, Tasks: []config.Task{
+				{Name: "c1", Priority: 1, WCET: []int64{4}, Period: 10, Deadline: 10},
+			}},
+		},
+	}
+	res, err := sched.Search(problem, sched.Options{Candidates: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found schedulable: %t\n", res.Best != nil)
+	fmt.Printf("best is valid: %t\n", res.Best.Sys.Validate() == nil)
+	// Output:
+	// found schedulable: true
+	// best is valid: true
+}

@@ -1,0 +1,287 @@
+// Package sched is the configuration-search substrate of §4 (the paper's
+// ref [8] scheduling tool): given a design problem — cores, partitions with
+// tasks, and a data-flow graph, but no binding or windows — it searches
+// candidate configurations, using the stopwatch-automata model as the
+// schedulability test on every iteration, and returns the best schedulable
+// configuration found.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/trace"
+)
+
+// PartitionSpec is a partition before binding and window assignment.
+type PartitionSpec struct {
+	Name   string
+	Tasks  []config.Task
+	Policy config.Policy
+}
+
+// Problem is a configuration design problem.
+type Problem struct {
+	Name       string
+	CoreTypes  []string
+	Cores      []config.Core
+	Partitions []PartitionSpec
+	Messages   []config.Message // indices refer to Partitions order
+}
+
+// Objective scores a schedulable candidate; lower is better. The default
+// maximizes the minimum relative slack across jobs.
+type Objective func(sys *config.System, a *trace.Analysis) float64
+
+// MinSlackObjective returns the negated minimum relative laxity
+// (deadline − finish)/(deadline − release) over all jobs: configurations
+// whose tightest job has more headroom score better (lower).
+func MinSlackObjective(sys *config.System, a *trace.Analysis) float64 {
+	minSlack := 1.0
+	for i := range a.Jobs {
+		j := &a.Jobs[i]
+		span := float64(j.Deadline - j.Release)
+		if span <= 0 {
+			continue
+		}
+		slack := float64(j.Deadline-j.Finish) / span
+		if slack < minSlack {
+			minSlack = slack
+		}
+	}
+	return -minSlack
+}
+
+// Options configure the search.
+type Options struct {
+	// Candidates bounds the number of bindings tried (default 32).
+	Candidates int
+	// Seed drives the randomized bindings beyond the deterministic
+	// heuristics.
+	Seed int64
+	// Objective scores schedulable candidates (default MinSlackObjective).
+	Objective Objective
+}
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	Sys         *config.System
+	Analysis    *trace.Analysis
+	Score       float64
+	Schedulable bool
+	// Binding[i] is the core index of partition i.
+	Binding []int
+}
+
+// Result summarizes a search.
+type Result struct {
+	Best        *Candidate // nil when nothing schedulable was found
+	Tried       int
+	Schedulable int
+}
+
+// Search runs the configuration search.
+func Search(p *Problem, opts Options) (*Result, error) {
+	if len(p.Partitions) == 0 || len(p.Cores) == 0 {
+		return nil, fmt.Errorf("sched: empty problem")
+	}
+	if opts.Candidates == 0 {
+		opts.Candidates = 32
+	}
+	if opts.Objective == nil {
+		opts.Objective = MinSlackObjective
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+
+	res := &Result{}
+	seen := make(map[string]bool)
+	for _, binding := range candidateBindings(p, opts.Candidates, r) {
+		key := fmt.Sprint(binding)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+
+		sys, err := Realize(p, binding)
+		if err != nil {
+			continue // infeasible window synthesis; try the next binding
+		}
+		res.Tried++
+		m, err := model.Build(sys)
+		if err != nil {
+			return nil, fmt.Errorf("sched: building model for %v: %w", binding, err)
+		}
+		tr, _, err := m.Simulate()
+		if err != nil {
+			return nil, fmt.Errorf("sched: simulating %v: %w", binding, err)
+		}
+		a, err := trace.Analyze(sys, tr)
+		if err != nil {
+			return nil, fmt.Errorf("sched: analyzing %v: %w", binding, err)
+		}
+		cand := &Candidate{Sys: sys, Analysis: a, Schedulable: a.Schedulable, Binding: binding}
+		if !a.Schedulable {
+			continue // discarded, as in the paper's workflow
+		}
+		res.Schedulable++
+		cand.Score = opts.Objective(sys, a)
+		if res.Best == nil || cand.Score < res.Best.Score {
+			res.Best = cand
+		}
+	}
+	return res, nil
+}
+
+// utilization of a partition on a core type.
+func specUtil(spec *PartitionSpec, coreType int) float64 {
+	u := 0.0
+	for i := range spec.Tasks {
+		u += float64(spec.Tasks[i].WCET[coreType]) / float64(spec.Tasks[i].Period)
+	}
+	return u
+}
+
+// candidateBindings yields deterministic heuristic bindings (first-fit
+// decreasing, worst-fit/balancing, round-robin) followed by random ones.
+func candidateBindings(p *Problem, n int, r *rand.Rand) [][]int {
+	np, nc := len(p.Partitions), len(p.Cores)
+	var out [][]int
+
+	order := make([]int, np)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return specUtil(&p.Partitions[order[a]], 0) > specUtil(&p.Partitions[order[b]], 0)
+	})
+
+	// First-fit decreasing by utilization.
+	ffd := make([]int, np)
+	load := make([]float64, nc)
+	for _, pi := range order {
+		best := 0
+		for c := 1; c < nc; c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		// first core that keeps load ≤ 1, else the least-loaded
+		chosen := -1
+		for c := 0; c < nc; c++ {
+			if load[c]+specUtil(&p.Partitions[pi], p.Cores[c].Type) <= 1.0 {
+				chosen = c
+				break
+			}
+		}
+		if chosen < 0 {
+			chosen = best
+		}
+		ffd[pi] = chosen
+		load[chosen] += specUtil(&p.Partitions[pi], p.Cores[chosen].Type)
+	}
+	out = append(out, ffd)
+
+	// Worst-fit (balance load).
+	wf := make([]int, np)
+	load = make([]float64, nc)
+	for _, pi := range order {
+		best := 0
+		for c := 1; c < nc; c++ {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		wf[pi] = best
+		load[best] += specUtil(&p.Partitions[pi], p.Cores[best].Type)
+	}
+	out = append(out, wf)
+
+	// Round-robin.
+	rr := make([]int, np)
+	for i := range rr {
+		rr[i] = i % nc
+	}
+	out = append(out, rr)
+
+	for len(out) < n {
+		b := make([]int, np)
+		for i := range b {
+			b[i] = r.Intn(nc)
+		}
+		out = append(out, b)
+	}
+	return out[:n]
+}
+
+// Realize turns a binding into a full configuration by synthesizing a
+// window schedule: each core's timeline is divided into frames of the GCD
+// of its partitions' periods, and every frame is split into one window per
+// partition with lengths proportional to utilization (each partition gets
+// at least one tick). It returns an error when the frame cannot fit the
+// demanded window lengths.
+func Realize(p *Problem, binding []int) (*config.System, error) {
+	sys := &config.System{
+		Name:      p.Name,
+		CoreTypes: p.CoreTypes,
+		Cores:     p.Cores,
+		Messages:  p.Messages,
+	}
+	for i, spec := range p.Partitions {
+		sys.Partitions = append(sys.Partitions, config.Partition{
+			Name:   spec.Name,
+			Tasks:  spec.Tasks,
+			Policy: spec.Policy,
+			Core:   binding[i],
+		})
+	}
+	l := sys.Hyperperiod()
+
+	for c := range sys.Cores {
+		var parts []int
+		for pi := range sys.Partitions {
+			if sys.Partitions[pi].Core == c {
+				parts = append(parts, pi)
+			}
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		frame := int64(0)
+		for _, pi := range parts {
+			for _, t := range sys.Partitions[pi].Tasks {
+				frame = config.GCD(frame, t.Period)
+			}
+		}
+		// Window length per partition: ceil(frame · U) plus an extra tick,
+		// clamped so everything fits.
+		lens := make([]int64, len(parts))
+		var total int64
+		for i, pi := range parts {
+			u := specUtil(&p.Partitions[pi], sys.Cores[c].Type)
+			lens[i] = int64(float64(frame)*u) + 1
+			total += lens[i]
+		}
+		if total > frame {
+			return nil, fmt.Errorf("sched: core %d: windows demand %d > frame %d", c, total, frame)
+		}
+		// Distribute leftover ticks round-robin (more slack per window).
+		for left := frame - total; left > 0; left-- {
+			lens[int(left)%len(lens)]++
+		}
+		for f := int64(0); f < l/frame; f++ {
+			off := f * frame
+			for i, pi := range parts {
+				sys.Partitions[pi].Windows = append(sys.Partitions[pi].Windows,
+					config.Window{Start: off, End: off + lens[i]})
+				off += lens[i]
+			}
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"testing"
+
+	"stopwatchsim/internal/config"
+)
+
+func problem() *Problem {
+	return &Problem{
+		Name:      "design",
+		CoreTypes: []string{"std"},
+		Cores: []config.Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 0, Module: 2},
+		},
+		Partitions: []PartitionSpec{
+			{Name: "P1", Policy: config.FPPS, Tasks: []config.Task{
+				{Name: "A", Priority: 2, WCET: []int64{2}, Period: 10, Deadline: 10},
+				{Name: "B", Priority: 1, WCET: []int64{3}, Period: 20, Deadline: 20},
+			}},
+			{Name: "P2", Policy: config.FPPS, Tasks: []config.Task{
+				{Name: "C", Priority: 1, WCET: []int64{4}, Period: 10, Deadline: 10},
+			}},
+			{Name: "P3", Policy: config.EDF, Tasks: []config.Task{
+				{Name: "D", Priority: 1, WCET: []int64{2}, Period: 20, Deadline: 20},
+			}},
+		},
+	}
+}
+
+func TestSearchFindsSchedulable(t *testing.T) {
+	res, err := Search(problem(), Options{Candidates: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatalf("no schedulable configuration found (%d tried, %d schedulable)", res.Tried, res.Schedulable)
+	}
+	if !res.Best.Schedulable || !res.Best.Analysis.Schedulable {
+		t.Error("best candidate not schedulable")
+	}
+	if err := res.Best.Sys.Validate(); err != nil {
+		t.Errorf("best config invalid: %v", err)
+	}
+	if res.Schedulable == 0 || res.Tried == 0 {
+		t.Errorf("result = %+v", res)
+	}
+	// Score must be the minimum across schedulable candidates by
+	// construction; at least verify it is a sensible slack value.
+	if res.Best.Score > 0 {
+		t.Errorf("best score %f > 0 (negative slack)", res.Best.Score)
+	}
+}
+
+func TestSearchOverloadedProblem(t *testing.T) {
+	p := problem()
+	// Make total demand far exceed both cores.
+	for i := range p.Partitions {
+		for j := range p.Partitions[i].Tasks {
+			p.Partitions[i].Tasks[j].WCET = []int64{p.Partitions[i].Tasks[j].Period}
+		}
+	}
+	res, err := Search(p, Options{Candidates: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil {
+		t.Error("overloaded problem cannot have a schedulable configuration")
+	}
+}
+
+func TestRealizeBindingRespected(t *testing.T) {
+	p := problem()
+	sys, err := Realize(p, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Partitions[0].Core != 0 || sys.Partitions[1].Core != 1 || sys.Partitions[2].Core != 0 {
+		t.Errorf("binding not respected: %+v", sys.Partitions)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Frame on core 0: gcd(10,20,20) = 10; windows of P1 and P3 tile it.
+	if len(sys.Partitions[0].Windows) != int(sys.Hyperperiod()/10) {
+		t.Errorf("P1 windows = %d", len(sys.Partitions[0].Windows))
+	}
+}
+
+func TestRealizeInfeasibleFrame(t *testing.T) {
+	p := &Problem{
+		Name:      "tight",
+		CoreTypes: []string{"std"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []PartitionSpec{
+			// Five partitions, frame gcd = 2: five windows of ≥1 tick each
+			// cannot fit a 2-tick frame.
+			{Name: "P1", Policy: config.FPPS, Tasks: []config.Task{{Name: "A", Priority: 1, WCET: []int64{1}, Period: 2, Deadline: 2}}},
+			{Name: "P2", Policy: config.FPPS, Tasks: []config.Task{{Name: "B", Priority: 1, WCET: []int64{1}, Period: 2, Deadline: 2}}},
+			{Name: "P3", Policy: config.FPPS, Tasks: []config.Task{{Name: "C", Priority: 1, WCET: []int64{1}, Period: 2, Deadline: 2}}},
+			{Name: "P4", Policy: config.FPPS, Tasks: []config.Task{{Name: "D", Priority: 1, WCET: []int64{1}, Period: 2, Deadline: 2}}},
+			{Name: "P5", Policy: config.FPPS, Tasks: []config.Task{{Name: "E", Priority: 1, WCET: []int64{1}, Period: 2, Deadline: 2}}},
+		},
+	}
+	if _, err := Realize(p, []int{0, 0, 0, 0, 0}); err == nil {
+		t.Error("expected infeasible window synthesis")
+	}
+}
+
+func TestSearchEmptyProblem(t *testing.T) {
+	if _, err := Search(&Problem{}, Options{}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestSearchWithMessages(t *testing.T) {
+	p := problem()
+	p.Messages = []config.Message{
+		{Name: "m", SrcPart: 0, SrcTask: 1, DstPart: 2, DstTask: 0, MemDelay: 1, NetDelay: 2},
+	}
+	res, err := Search(p, Options{Candidates: 24, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatalf("no schedulable configuration found with data flow (%d tried)", res.Tried)
+	}
+}

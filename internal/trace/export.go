@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"stopwatchsim/internal/config"
+)
+
+// WriteCSV writes the trace as CSV rows (time, event, partition, task, job)
+// with a header, using configured names.
+func (tr *Trace) WriteCSV(w io.Writer, sys *config.System) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "event", "partition", "task", "job"}); err != nil {
+		return err
+	}
+	for _, ev := range tr.Events {
+		rec := []string{
+			strconv.FormatInt(ev.Time, 10),
+			ev.Type.String(),
+			sys.Partitions[ev.Job.Part].Name,
+			sys.Partitions[ev.Job.Part].Tasks[ev.Job.Task].Name,
+			strconv.Itoa(ev.Job.Job),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonEvent is the JSON wire form of an event.
+type jsonEvent struct {
+	Time      int64  `json:"time"`
+	Event     string `json:"event"`
+	Partition string `json:"partition"`
+	Task      string `json:"task"`
+	Job       int    `json:"job"`
+}
+
+// jsonJob is the JSON wire form of a job statistic.
+type jsonJob struct {
+	Partition   string `json:"partition"`
+	Task        string `json:"task"`
+	Job         int    `json:"job"`
+	Release     int64  `json:"release"`
+	Deadline    int64  `json:"deadline"`
+	WCET        int64  `json:"wcet"`
+	Start       int64  `json:"start"`
+	Finish      int64  `json:"finish"`
+	ExecTime    int64  `json:"execTime"`
+	Response    int64  `json:"response"`
+	Preemptions int    `json:"preemptions"`
+	Completed   bool   `json:"completed"`
+}
+
+// jsonReport is the JSON wire form of a full analysis report.
+type jsonReport struct {
+	System      string      `json:"system"`
+	Hyperperiod int64       `json:"hyperperiod"`
+	Schedulable bool        `json:"schedulable"`
+	Events      []jsonEvent `json:"events"`
+	Jobs        []jsonJob   `json:"jobs"`
+}
+
+// WriteJSON writes the trace and its analysis as one JSON document.
+func WriteJSON(w io.Writer, sys *config.System, tr *Trace, a *Analysis) error {
+	rep := jsonReport{
+		System:      sys.Name,
+		Hyperperiod: sys.Hyperperiod(),
+		Schedulable: a.Schedulable,
+	}
+	for _, ev := range tr.Events {
+		rep.Events = append(rep.Events, jsonEvent{
+			Time:      ev.Time,
+			Event:     ev.Type.String(),
+			Partition: sys.Partitions[ev.Job.Part].Name,
+			Task:      sys.Partitions[ev.Job.Part].Tasks[ev.Job.Task].Name,
+			Job:       ev.Job.Job,
+		})
+	}
+	for i := range a.Jobs {
+		j := &a.Jobs[i]
+		rep.Jobs = append(rep.Jobs, jsonJob{
+			Partition:   sys.Partitions[j.Job.Part].Name,
+			Task:        sys.Partitions[j.Job.Part].Tasks[j.Job.Task].Name,
+			Job:         j.Job.Job,
+			Release:     j.Release,
+			Deadline:    j.Deadline,
+			WCET:        j.WCET,
+			Start:       j.Start,
+			Finish:      j.Finish,
+			ExecTime:    j.ExecTime,
+			Response:    j.ResponseTime(),
+			Preemptions: j.Preemptions,
+			Completed:   j.Completed,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

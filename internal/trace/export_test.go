@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	sys := oneCore()
+	tr := goodTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 7 { // header + 6 events
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "time" || recs[1][1] != "EX" || recs[1][3] != "T2" {
+		t.Errorf("rows = %v", recs[:2])
+	}
+	if recs[4][1] != "FIN" || recs[4][0] != "7" {
+		t.Errorf("row 4 = %v", recs[4])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	sys := oneCore()
+	tr := goodTrace()
+	a, err := Analyze(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sys, tr, a); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		System      string `json:"system"`
+		Hyperperiod int64  `json:"hyperperiod"`
+		Schedulable bool   `json:"schedulable"`
+		Events      []struct {
+			Time  int64  `json:"time"`
+			Event string `json:"event"`
+			Task  string `json:"task"`
+		} `json:"events"`
+		Jobs []struct {
+			Task      string `json:"task"`
+			Response  int64  `json:"response"`
+			Completed bool   `json:"completed"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if rep.System != "one" || rep.Hyperperiod != 20 || !rep.Schedulable {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Events) != 6 || rep.Events[0].Event != "EX" || rep.Events[0].Task != "T2" {
+		t.Errorf("events = %+v", rep.Events)
+	}
+	if len(rep.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(rep.Jobs))
+	}
+	for _, j := range rep.Jobs {
+		if !j.Completed || j.Response < 0 {
+			t.Errorf("job = %+v", j)
+		}
+	}
+	if !strings.Contains(buf.String(), "\"preemptions\"") {
+		t.Error("missing preemptions field")
+	}
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stopwatchsim/internal/config"
+)
+
+// Gantt renders an ASCII chart of the trace: one row per core, one column
+// per scale ticks, each cell showing the task executing there (first letter
+// rows legend below) or '.' for idle. Intended for examples and debugging,
+// not for huge traces.
+func Gantt(sys *config.System, tr *Trace, scale int64) string {
+	if scale <= 0 {
+		scale = 1
+	}
+	l := sys.Hyperperiod()
+	cols := int((l + scale - 1) / scale)
+
+	// Assign a rune to every task, in declaration order: A, B, ... a, b, ...
+	glyphs := []rune("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")
+	type key struct{ p, t int }
+	sym := make(map[key]rune)
+	var legend []string
+	gi := 0
+	for pi := range sys.Partitions {
+		for ti := range sys.Partitions[pi].Tasks {
+			g := rune('?')
+			if gi < len(glyphs) {
+				g = glyphs[gi]
+			}
+			gi++
+			sym[key{pi, ti}] = g
+			legend = append(legend, fmt.Sprintf("%c=%s", g, sys.TaskName(config.TaskRef{Part: pi, Task: ti})))
+		}
+	}
+
+	rows := make([][]rune, len(sys.Cores))
+	for i := range rows {
+		rows[i] = []rune(strings.Repeat(".", cols))
+	}
+
+	// Replay intervals.
+	running := make(map[JobID]int64)
+	paint := func(job JobID, from, to int64) {
+		core := sys.Partitions[job.Part].Core
+		g := sym[key{job.Part, job.Task}]
+		for c := from / scale; c*scale < to && int(c) < cols; c++ {
+			rows[core][c] = g
+		}
+	}
+	for _, ev := range tr.Events {
+		switch ev.Type {
+		case EX:
+			running[ev.Job] = ev.Time
+		case PR, FIN:
+			if st, ok := running[ev.Job]; ok {
+				paint(ev.Job, st, ev.Time)
+				delete(running, ev.Job)
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0..%d, %d ticks/column\n", l, scale)
+	for ci := range sys.Cores {
+		fmt.Fprintf(&b, "%-8s |%s|\n", sys.Cores[ci].Name, string(rows[ci]))
+	}
+	b.WriteString("legend: " + strings.Join(legend, " ") + "\n")
+	return b.String()
+}
+
+// Format renders the trace as one line per event, for golden tests and the
+// command-line tools.
+func (tr *Trace) Format(sys *config.System) string {
+	var b strings.Builder
+	for _, ev := range tr.Events {
+		fmt.Fprintf(&b, "%6d %s %s#%d\n", ev.Time, ev.Type,
+			sys.TaskName(config.TaskRef{Part: ev.Job.Part, Task: ev.Job.Task}), ev.Job.Job)
+	}
+	return b.String()
+}
+
+// Summary renders a human-readable analysis report.
+func (a *Analysis) Summary(sys *config.System) string {
+	var b strings.Builder
+	verdict := "SCHEDULABLE"
+	if !a.Schedulable {
+		verdict = "NOT SCHEDULABLE"
+	}
+	fmt.Fprintf(&b, "%s: %d jobs, %d preemptions\n", verdict, len(a.Jobs), a.TotalPreemptions)
+	for _, st := range a.TaskStats() {
+		name := sys.TaskName(st.Task)
+		if st.Completed == st.Jobs {
+			fmt.Fprintf(&b, "  %-20s %3d/%-3d jobs ok, response best/avg/worst = %d/%.1f/%d\n",
+				name, st.Completed, st.Jobs, st.BCRT, st.AvgRT, st.WCRT)
+		} else {
+			fmt.Fprintf(&b, "  %-20s %3d/%-3d jobs ok  ** MISSED **\n", name, st.Completed, st.Jobs)
+		}
+	}
+	if len(a.Unschedulable) > 0 {
+		names := make([]string, 0, len(a.Unschedulable))
+		for _, j := range a.Unschedulable {
+			names = append(names, fmt.Sprintf("%s#%d",
+				sys.TaskName(config.TaskRef{Part: j.Part, Task: j.Task}), j.Job))
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "  violating jobs: %s\n", strings.Join(names, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package trace
+
+// Normalize returns a canonical form of the trace for equivalence
+// comparison, per the paper's notion that traces are "equivalent for
+// schedulability analysis purposes": zero-effect event patterns arising
+// from different interleavings of simultaneous transitions are removed.
+// Four rewrite rules are applied per job to a fixpoint:
+//
+//  1. EX@t directly followed by PR@t (a zero-length executing interval that
+//     is preempted) — both dropped;
+//  2. PR@t directly followed by EX@t (a preemption undone at the same
+//     instant) — both dropped, merging the two intervals;
+//  3. PR@t directly followed by FIN@t (a preemption immediately before the
+//     job finishes) — the PR dropped;
+//  4. a FIN whose job retains no EX (every executing interval was
+//     zero-width) — dropped, making the job's subtrace empty like that of
+//     a job that never executed.
+//
+// None of the rules changes any job's set of non-degenerate executing
+// intervals, so Analyze yields the same verdict on the normalized trace.
+// Events keep their global time order.
+func (tr *Trace) Normalize() *Trace {
+	// Work on per-job subsequences of indices into Events.
+	perJob := make(map[JobID][]int)
+	for i, ev := range tr.Events {
+		perJob[ev.Job] = append(perJob[ev.Job], i)
+	}
+	drop := make([]bool, len(tr.Events))
+	for _, idxs := range perJob {
+		changed := true
+		for changed {
+			changed = false
+			// live view of the job's remaining events
+			var live []int
+			for _, i := range idxs {
+				if !drop[i] {
+					live = append(live, i)
+				}
+			}
+			for k := 0; k+1 < len(live); k++ {
+				a, b := tr.Events[live[k]], tr.Events[live[k+1]]
+				if a.Time != b.Time {
+					continue
+				}
+				switch {
+				case a.Type == EX && b.Type == PR:
+					drop[live[k]], drop[live[k+1]] = true, true
+					changed = true
+				case a.Type == PR && b.Type == EX:
+					drop[live[k]], drop[live[k+1]] = true, true
+					changed = true
+				case a.Type == PR && b.Type == FIN:
+					drop[live[k]] = true
+					changed = true
+				}
+				if changed {
+					break
+				}
+			}
+		}
+		// Rule 4: a FIN without any surviving EX.
+		hasEX := false
+		for _, i := range idxs {
+			if !drop[i] && tr.Events[i].Type == EX {
+				hasEX = true
+				break
+			}
+		}
+		if !hasEX {
+			for _, i := range idxs {
+				if !drop[i] && tr.Events[i].Type == FIN {
+					drop[i] = true
+				}
+			}
+		}
+	}
+	out := &Trace{}
+	for i, ev := range tr.Events {
+		if !drop[i] {
+			out.Events = append(out.Events, ev)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two traces contain identical event sequences.
+func (tr *Trace) Equal(other *Trace) bool {
+	if len(tr.Events) != len(other.Events) {
+		return false
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != other.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualAsSets reports whether two traces contain the same multiset of
+// events, ignoring order among same-time events. This is the equivalence
+// the determinism theorem asserts across interpretation orders.
+func (tr *Trace) EqualAsSets(other *Trace) bool {
+	if len(tr.Events) != len(other.Events) {
+		return false
+	}
+	count := make(map[Event]int, len(tr.Events))
+	for _, ev := range tr.Events {
+		count[ev]++
+	}
+	for _, ev := range other.Events {
+		count[ev]--
+		if count[ev] < 0 {
+			return false
+		}
+	}
+	return true
+}

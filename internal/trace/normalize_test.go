@@ -1,0 +1,167 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeZeroWidthExPr(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(EX, j(0, 0, 0), 5)
+	tr.Append(PR, j(0, 0, 0), 5) // zero-width interval: dropped
+	tr.Append(EX, j(0, 0, 0), 6)
+	tr.Append(FIN, j(0, 0, 0), 8)
+	n := tr.Normalize()
+	if len(n.Events) != 2 || n.Events[0].Time != 6 || n.Events[1].Type != FIN {
+		t.Errorf("normalized = %+v", n.Events)
+	}
+}
+
+func TestNormalizePrExMerge(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(EX, j(0, 0, 0), 1)
+	tr.Append(PR, j(0, 0, 0), 4)
+	tr.Append(EX, j(0, 0, 0), 4) // resumed at the same instant: merged
+	tr.Append(FIN, j(0, 0, 0), 7)
+	n := tr.Normalize()
+	if len(n.Events) != 2 {
+		t.Fatalf("normalized = %+v", n.Events)
+	}
+	if n.Events[0] != (Event{EX, j(0, 0, 0), 1}) || n.Events[1] != (Event{FIN, j(0, 0, 0), 7}) {
+		t.Errorf("normalized = %+v", n.Events)
+	}
+}
+
+func TestNormalizePrFin(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(EX, j(0, 0, 0), 1)
+	tr.Append(PR, j(0, 0, 0), 6)
+	tr.Append(FIN, j(0, 0, 0), 6) // preempt right before kill: PR dropped
+	n := tr.Normalize()
+	if len(n.Events) != 2 || n.Events[1].Type != FIN {
+		t.Errorf("normalized = %+v", n.Events)
+	}
+}
+
+func TestNormalizeCascade(t *testing.T) {
+	// EX@3 PR@3 EX@3 PR@5: first pair drops, then PR@3/EX@3... the rules
+	// cascade to a single non-degenerate interval.
+	tr := &Trace{}
+	tr.Append(EX, j(0, 0, 0), 3)
+	tr.Append(PR, j(0, 0, 0), 3)
+	tr.Append(EX, j(0, 0, 0), 3)
+	tr.Append(PR, j(0, 0, 0), 5)
+	tr.Append(EX, j(0, 0, 0), 5)
+	tr.Append(FIN, j(0, 0, 0), 9)
+	n := tr.Normalize()
+	if len(n.Events) != 2 {
+		t.Fatalf("normalized = %+v", n.Events)
+	}
+}
+
+func TestNormalizeKeepsDistinctJobsApart(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(EX, j(0, 0, 0), 5)
+	tr.Append(PR, j(0, 1, 0), 5) // different task: must not pair with EX above
+	tr.Append(EX, j(0, 1, 0), 5)
+	tr.Append(FIN, j(0, 1, 0), 6)
+	tr.Append(FIN, j(0, 0, 0), 7)
+	// For job (0,1,0): PR@5 then EX@5 are adjacent within the job and merge;
+	// but the PR had no preceding EX for that job, so they still merge as a
+	// degenerate pair — Normalize only guarantees interval preservation.
+	n := tr.Normalize()
+	for _, ev := range n.Events {
+		if ev.Job == j(0, 0, 0) && ev.Type == PR {
+			t.Errorf("job (0,0,0) gained a PR: %+v", n.Events)
+		}
+	}
+}
+
+func TestEqualAndEqualAsSets(t *testing.T) {
+	a := &Trace{}
+	a.Append(EX, j(0, 0, 0), 0)
+	a.Append(EX, j(0, 1, 0), 0)
+	b := &Trace{}
+	b.Append(EX, j(0, 1, 0), 0)
+	b.Append(EX, j(0, 0, 0), 0)
+	if a.Equal(b) {
+		t.Error("order differs; Equal must be false")
+	}
+	if !a.EqualAsSets(b) {
+		t.Error("same multiset; EqualAsSets must be true")
+	}
+	c := &Trace{}
+	c.Append(EX, j(0, 1, 0), 0)
+	if a.EqualAsSets(c) || a.Equal(c) {
+		t.Error("different lengths must not compare equal")
+	}
+	d := &Trace{}
+	d.Append(EX, j(0, 1, 0), 0)
+	d.Append(EX, j(0, 1, 0), 0)
+	if a.EqualAsSets(d) {
+		t.Error("different multiplicities must not compare equal")
+	}
+	if !a.Equal(a) {
+		t.Error("Equal must be reflexive")
+	}
+}
+
+// Property: normalization preserves every job's total executed time and
+// finish time, so Analyze verdicts cannot change.
+func TestQuickNormalizePreservesExecTime(t *testing.T) {
+	type step struct {
+		Kind uint8 // 0 run-interval, 1 zero-width bounce
+		Dur  uint8
+	}
+	f := func(steps []step, gap uint8) bool {
+		tr := &Trace{}
+		time := int64(0)
+		execTotal := int64(0)
+		running := false
+		for _, s := range steps {
+			if s.Kind%2 == 0 {
+				if running {
+					tr.Append(PR, j(0, 0, 0), time)
+					running = false
+				}
+				tr.Append(EX, j(0, 0, 0), time)
+				d := int64(s.Dur % 7)
+				time += d
+				execTotal += d
+				tr.Append(PR, j(0, 0, 0), time)
+			} else {
+				// zero-width bounce
+				tr.Append(EX, j(0, 0, 0), time)
+				tr.Append(PR, j(0, 0, 0), time)
+			}
+			time += int64(gap%3) + 1
+		}
+		tr.Append(EX, j(0, 0, 0), time)
+		tr.Append(FIN, j(0, 0, 0), time+2)
+		execTotal += 2
+
+		n := tr.Normalize()
+		// Re-derive exec time from the normalized trace.
+		var got int64
+		var start int64 = -1
+		for _, ev := range n.Events {
+			switch ev.Type {
+			case EX:
+				if start >= 0 {
+					return false // malformed normalization
+				}
+				start = ev.Time
+			case PR, FIN:
+				if start < 0 {
+					return false
+				}
+				got += ev.Time - start
+				start = -1
+			}
+		}
+		return got == execTotal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package trace defines system operation traces — sequences of job
+// execution events — and implements the paper's schedulability criterion
+// over them: a configuration is schedulable iff every job's execution
+// intervals sum to its WCET (§2.1).
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"stopwatchsim/internal/config"
+)
+
+// EventType is the type of a system operation event.
+type EventType uint8
+
+// Event types from the paper: EX marks the start or resumption of a job's
+// execution, PR its preemption, FIN its finish (completion or deadline).
+const (
+	EX EventType = iota
+	PR
+	FIN
+)
+
+var eventNames = [...]string{EX: "EX", PR: "PR", FIN: "FIN"}
+
+func (t EventType) String() string {
+	if int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(t))
+}
+
+// JobID identifies the Job-th job (0-based) of a task.
+type JobID struct {
+	Part, Task int
+	Job        int
+}
+
+// Event is one trace event ⟨Type, Src, t⟩.
+type Event struct {
+	Type EventType
+	Job  JobID
+	Time int64
+}
+
+// Trace is a system operation trace: events appended in the order they were
+// generated, with non-decreasing timestamps.
+type Trace struct {
+	Events []Event
+}
+
+// Append records an event.
+func (tr *Trace) Append(t EventType, job JobID, time int64) {
+	tr.Events = append(tr.Events, Event{Type: t, Job: job, Time: time})
+}
+
+// JobStat summarizes one job's behaviour in a trace.
+type JobStat struct {
+	Job      JobID
+	Release  int64 // k·P
+	Deadline int64 // k·P + D
+	WCET     int64 // required execution time on the bound core
+
+	ExecTime    int64 // Σ executed interval lengths
+	Start       int64 // first EX, or -1
+	Finish      int64 // FIN, or -1
+	Preemptions int
+	Completed   bool // finished with ExecTime == WCET within the deadline
+}
+
+// ResponseTime returns Finish-Release for completed jobs and -1 otherwise.
+func (j *JobStat) ResponseTime() int64 {
+	if !j.Completed {
+		return -1
+	}
+	return j.Finish - j.Release
+}
+
+// Analysis is the result of checking a trace against the schedulability
+// criterion.
+type Analysis struct {
+	Jobs        []JobStat
+	Schedulable bool
+	// Unschedulable lists the jobs violating the criterion, in job order.
+	Unschedulable []JobID
+	// TotalPreemptions across all jobs.
+	TotalPreemptions int
+}
+
+// StructureError reports a malformed trace (bad event alternation or
+// ordering), which indicates a defective model rather than an unschedulable
+// configuration.
+type StructureError struct {
+	Index int
+	Msg   string
+}
+
+func (e *StructureError) Error() string {
+	return fmt.Sprintf("trace: event %d: %s", e.Index, e.Msg)
+}
+
+// Analyze checks tr against the schedulability criterion for sys. The trace
+// must cover one hyperperiod starting at time 0. It returns an error only
+// for structurally invalid traces; an unschedulable configuration is a
+// valid result.
+func Analyze(sys *config.System, tr *Trace) (*Analysis, error) {
+	if err := tr.checkStructure(); err != nil {
+		return nil, err
+	}
+	l := sys.Hyperperiod()
+
+	// Index stats per job.
+	idx := make(map[JobID]int)
+	a := &Analysis{}
+	for pi := range sys.Partitions {
+		p := &sys.Partitions[pi]
+		for ti := range p.Tasks {
+			t := &p.Tasks[ti]
+			wcet := sys.WCETOn(config.TaskRef{Part: pi, Task: ti})
+			for k := int64(0); k < l/t.Period; k++ {
+				job := JobID{Part: pi, Task: ti, Job: int(k)}
+				idx[job] = len(a.Jobs)
+				a.Jobs = append(a.Jobs, JobStat{
+					Job:      job,
+					Release:  k * t.Period,
+					Deadline: k*t.Period + t.Deadline,
+					WCET:     wcet,
+					Start:    -1,
+					Finish:   -1,
+				})
+			}
+		}
+	}
+
+	running := make(map[JobID]int64) // job -> time of last EX
+	for i, ev := range tr.Events {
+		ji, ok := idx[ev.Job]
+		if !ok {
+			return nil, &StructureError{Index: i, Msg: fmt.Sprintf("event for unknown job %+v", ev.Job)}
+		}
+		js := &a.Jobs[ji]
+		switch ev.Type {
+		case EX:
+			if _, r := running[ev.Job]; r {
+				return nil, &StructureError{Index: i, Msg: fmt.Sprintf("EX for already executing job %+v", ev.Job)}
+			}
+			if js.Finish >= 0 {
+				return nil, &StructureError{Index: i, Msg: fmt.Sprintf("EX after FIN for job %+v", ev.Job)}
+			}
+			running[ev.Job] = ev.Time
+			if js.Start < 0 {
+				js.Start = ev.Time
+			}
+		case PR:
+			st, r := running[ev.Job]
+			if !r {
+				return nil, &StructureError{Index: i, Msg: fmt.Sprintf("PR for non-executing job %+v", ev.Job)}
+			}
+			delete(running, ev.Job)
+			js.ExecTime += ev.Time - st
+			js.Preemptions++
+		case FIN:
+			if js.Finish >= 0 {
+				return nil, &StructureError{Index: i, Msg: fmt.Sprintf("duplicate FIN for job %+v", ev.Job)}
+			}
+			if st, r := running[ev.Job]; r {
+				delete(running, ev.Job)
+				js.ExecTime += ev.Time - st
+			}
+			js.Finish = ev.Time
+		}
+	}
+	if len(running) != 0 {
+		return nil, &StructureError{Index: len(tr.Events), Msg: fmt.Sprintf("%d jobs still executing at end of trace", len(running))}
+	}
+
+	a.Schedulable = true
+	for i := range a.Jobs {
+		js := &a.Jobs[i]
+		js.Completed = js.Finish >= 0 && js.ExecTime == js.WCET && js.Finish <= js.Deadline
+		a.TotalPreemptions += js.Preemptions
+		if !js.Completed {
+			a.Schedulable = false
+			a.Unschedulable = append(a.Unschedulable, js.Job)
+		}
+	}
+	return a, nil
+}
+
+// checkStructure validates global event ordering and per-job alternation.
+func (tr *Trace) checkStructure() error {
+	last := int64(0)
+	state := make(map[JobID]uint8) // 0 idle, 1 executing, 2 finished
+	for i, ev := range tr.Events {
+		if ev.Time < last {
+			return &StructureError{Index: i, Msg: fmt.Sprintf("timestamp %d before previous %d", ev.Time, last)}
+		}
+		last = ev.Time
+		switch ev.Type {
+		case EX:
+			if state[ev.Job] != 0 {
+				return &StructureError{Index: i, Msg: fmt.Sprintf("EX while job %+v in state %d", ev.Job, state[ev.Job])}
+			}
+			state[ev.Job] = 1
+		case PR:
+			if state[ev.Job] != 1 {
+				return &StructureError{Index: i, Msg: fmt.Sprintf("PR while job %+v in state %d", ev.Job, state[ev.Job])}
+			}
+			state[ev.Job] = 0
+		case FIN:
+			if state[ev.Job] == 2 {
+				return &StructureError{Index: i, Msg: fmt.Sprintf("FIN while job %+v already finished", ev.Job)}
+			}
+			state[ev.Job] = 2
+		default:
+			return &StructureError{Index: i, Msg: fmt.Sprintf("unknown event type %d", ev.Type)}
+		}
+	}
+	return nil
+}
+
+// TaskStat aggregates response-time statistics of one task over a trace.
+type TaskStat struct {
+	Task      config.TaskRef
+	Jobs      int
+	Completed int
+	WCRT      int64 // worst-case observed response time, -1 when no job completed
+	BCRT      int64 // best-case observed response time, -1 when no job completed
+	AvgRT     float64
+}
+
+// TaskStats aggregates the analysis per task, in (partition, task) order.
+func (a *Analysis) TaskStats() []TaskStat {
+	type key struct{ p, t int }
+	m := make(map[key]*TaskStat)
+	var order []key
+	for i := range a.Jobs {
+		js := &a.Jobs[i]
+		k := key{js.Job.Part, js.Job.Task}
+		st, ok := m[k]
+		if !ok {
+			st = &TaskStat{Task: config.TaskRef{Part: k.p, Task: k.t}, WCRT: -1, BCRT: -1}
+			m[k] = st
+			order = append(order, k)
+		}
+		st.Jobs++
+		if rt := js.ResponseTime(); rt >= 0 {
+			st.Completed++
+			if st.WCRT < rt {
+				st.WCRT = rt
+			}
+			if st.BCRT < 0 || rt < st.BCRT {
+				st.BCRT = rt
+			}
+			st.AvgRT += float64(rt)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].p != order[j].p {
+			return order[i].p < order[j].p
+		}
+		return order[i].t < order[j].t
+	})
+	out := make([]TaskStat, 0, len(order))
+	for _, k := range order {
+		st := m[k]
+		if st.Completed > 0 {
+			st.AvgRT /= float64(st.Completed)
+		}
+		out = append(out, *st)
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/config"
+)
+
+// oneCore returns a single-core system: P1 has tasks T1 (P=20, D=20, C=5)
+// and T2 (P=10, D=10, C=2); full window.
+func oneCore() *config.System {
+	return &config.System{
+		Name:      "one",
+		CoreTypes: []string{"std"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []config.Partition{
+			{
+				Name: "P1", Core: 0, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "T1", Priority: 1, WCET: []int64{5}, Period: 20, Deadline: 20},
+					{Name: "T2", Priority: 2, WCET: []int64{2}, Period: 10, Deadline: 10},
+				},
+				Windows: []config.Window{{Start: 0, End: 20}},
+			},
+		},
+	}
+}
+
+func j(p, t, k int) JobID { return JobID{Part: p, Task: t, Job: k} }
+
+// goodTrace builds a schedulable trace for oneCore:
+// T2#0 runs [0,2); T1#0 runs [2,7); T2#1 runs [10,12).
+func goodTrace() *Trace {
+	tr := &Trace{}
+	tr.Append(EX, j(0, 1, 0), 0)
+	tr.Append(FIN, j(0, 1, 0), 2)
+	tr.Append(EX, j(0, 0, 0), 2)
+	tr.Append(FIN, j(0, 0, 0), 7)
+	tr.Append(EX, j(0, 1, 1), 10)
+	tr.Append(FIN, j(0, 1, 1), 12)
+	return tr
+}
+
+func TestAnalyzeSchedulable(t *testing.T) {
+	sys := oneCore()
+	a, err := Analyze(sys, goodTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Schedulable {
+		t.Fatalf("should be schedulable: %+v", a.Unschedulable)
+	}
+	if len(a.Jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(a.Jobs))
+	}
+	for _, js := range a.Jobs {
+		if !js.Completed {
+			t.Errorf("job %+v not completed", js.Job)
+		}
+	}
+}
+
+func TestAnalyzeWithPreemption(t *testing.T) {
+	sys := oneCore()
+	// T1#0 starts at 0, preempted at 1 by T2#0, resumes at 3, finishes at 7.
+	tr := &Trace{}
+	tr.Append(EX, j(0, 0, 0), 0)
+	tr.Append(PR, j(0, 0, 0), 1)
+	tr.Append(EX, j(0, 1, 0), 1)
+	tr.Append(FIN, j(0, 1, 0), 3)
+	tr.Append(EX, j(0, 0, 0), 3)
+	tr.Append(FIN, j(0, 0, 0), 7)
+	tr.Append(EX, j(0, 1, 1), 10)
+	tr.Append(FIN, j(0, 1, 1), 12)
+	a, err := Analyze(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Schedulable {
+		t.Fatalf("should be schedulable: %+v", a.Unschedulable)
+	}
+	js := a.Jobs[0] // T1#0
+	if js.ExecTime != 5 || js.Preemptions != 1 || js.Start != 0 || js.Finish != 7 {
+		t.Errorf("T1#0 = %+v", js)
+	}
+	if rt := js.ResponseTime(); rt != 7 {
+		t.Errorf("response = %d, want 7", rt)
+	}
+	if a.TotalPreemptions != 1 {
+		t.Errorf("preemptions = %d", a.TotalPreemptions)
+	}
+}
+
+func TestAnalyzeMissingJob(t *testing.T) {
+	sys := oneCore()
+	tr := goodTrace()
+	tr.Events = tr.Events[:4] // drop T2#1 entirely
+	a, err := Analyze(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedulable {
+		t.Fatal("missing job must make the trace unschedulable")
+	}
+	if len(a.Unschedulable) != 1 || a.Unschedulable[0] != j(0, 1, 1) {
+		t.Errorf("unschedulable = %+v", a.Unschedulable)
+	}
+}
+
+func TestAnalyzeShortExecution(t *testing.T) {
+	sys := oneCore()
+	// T1#0 gets only 3 of its 5 ticks before FIN (deadline kill).
+	tr := &Trace{}
+	tr.Append(EX, j(0, 1, 0), 0)
+	tr.Append(FIN, j(0, 1, 0), 2)
+	tr.Append(EX, j(0, 0, 0), 2)
+	tr.Append(PR, j(0, 0, 0), 5)
+	tr.Append(FIN, j(0, 0, 0), 20)
+	tr.Append(EX, j(0, 1, 1), 10)
+	tr.Append(FIN, j(0, 1, 1), 12)
+	_, err := Analyze(sys, tr)
+	if err == nil {
+		t.Fatal("expected structure error: FIN after PR at later time with EX missing is fine, but timestamps go backwards here")
+	}
+}
+
+func TestAnalyzeDeadlineKill(t *testing.T) {
+	sys := oneCore()
+	tr := &Trace{}
+	tr.Append(EX, j(0, 1, 0), 0)
+	tr.Append(FIN, j(0, 1, 0), 2)
+	tr.Append(EX, j(0, 0, 0), 2)
+	tr.Append(PR, j(0, 0, 0), 5) // only 3 ticks executed
+	tr.Append(EX, j(0, 1, 1), 10)
+	tr.Append(FIN, j(0, 1, 1), 12)
+	tr.Append(FIN, j(0, 0, 0), 20) // killed at deadline
+	a, err := Analyze(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedulable {
+		t.Fatal("short job must be unschedulable")
+	}
+	if a.Jobs[0].ExecTime != 3 || a.Jobs[0].Completed {
+		t.Errorf("T1#0 = %+v", a.Jobs[0])
+	}
+}
+
+func TestAnalyzeLateCompletion(t *testing.T) {
+	sys := oneCore()
+	// T2#1 released at 10, deadline 20, finishes at 21 with full exec: late.
+	tr := goodTrace()
+	tr.Events[5].Time = 21
+	tr.Events[4].Time = 19
+	a, err := Analyze(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedulable {
+		t.Fatal("late job must be unschedulable")
+	}
+}
+
+func TestStructureErrors(t *testing.T) {
+	sys := oneCore()
+	cases := []struct {
+		name string
+		evs  []Event
+		sub  string
+	}{
+		{"double EX", []Event{{EX, j(0, 0, 0), 0}, {EX, j(0, 0, 0), 1}}, "EX while"},
+		{"PR without EX", []Event{{PR, j(0, 0, 0), 0}}, "PR while"},
+		{"double FIN", []Event{{EX, j(0, 0, 0), 0}, {FIN, j(0, 0, 0), 1}, {FIN, j(0, 0, 0), 2}}, "already finished"},
+		{"time reversal", []Event{{EX, j(0, 0, 0), 5}, {FIN, j(0, 0, 0), 1}}, "before previous"},
+		{"unknown job", []Event{{EX, j(5, 5, 5), 0}}, "unknown job"},
+		{"EX after FIN", []Event{{EX, j(0, 0, 0), 0}, {FIN, j(0, 0, 0), 1}, {EX, j(0, 0, 0), 2}}, "EX while"},
+		{"dangling EX", []Event{{EX, j(0, 0, 0), 0}}, "still executing"},
+	}
+	for _, c := range cases {
+		tr := &Trace{Events: c.evs}
+		_, err := Analyze(sys, tr)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.sub)
+		}
+	}
+}
+
+func TestUnknownJobOutOfRange(t *testing.T) {
+	sys := oneCore()
+	tr := &Trace{}
+	tr.Append(EX, JobID{Part: 0, Task: 0, Job: 99}, 0) // job index beyond L/P
+	tr.Append(FIN, JobID{Part: 0, Task: 0, Job: 99}, 5)
+	_, err := Analyze(sys, tr)
+	if err == nil || !strings.Contains(err.Error(), "unknown job") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTaskStats(t *testing.T) {
+	sys := oneCore()
+	a, err := Analyze(sys, goodTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := a.TaskStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d, want 2", len(stats))
+	}
+	t1 := stats[0]
+	if t1.Jobs != 1 || t1.Completed != 1 || t1.WCRT != 7 || t1.BCRT != 7 {
+		t.Errorf("T1 stats = %+v", t1)
+	}
+	t2 := stats[1]
+	if t2.Jobs != 2 || t2.WCRT != 2 || t2.BCRT != 2 || t2.AvgRT != 2 {
+		t.Errorf("T2 stats = %+v", t2)
+	}
+}
+
+func TestGanttAndFormat(t *testing.T) {
+	sys := oneCore()
+	tr := goodTrace()
+	g := Gantt(sys, tr, 1)
+	if !strings.Contains(g, "c1") || !strings.Contains(g, "legend") {
+		t.Errorf("gantt = %q", g)
+	}
+	// Column 0-1 must show T2 (glyph B), 2-6 T1 (glyph A), 7 idle.
+	line := strings.Split(g, "\n")[1]
+	cells := line[strings.Index(line, "|")+1:]
+	if cells[0] != 'B' || cells[2] != 'A' || cells[7] != '.' {
+		t.Errorf("gantt row = %q", line)
+	}
+
+	f := tr.Format(sys)
+	if !strings.Contains(f, "EX P1.T2#0") || !strings.Contains(f, "FIN P1.T1#0") {
+		t.Errorf("format = %q", f)
+	}
+
+	a, _ := Analyze(sys, tr)
+	sum := a.Summary(sys)
+	if !strings.Contains(sum, "SCHEDULABLE") {
+		t.Errorf("summary = %q", sum)
+	}
+
+	tr.Events = tr.Events[:4]
+	a2, _ := Analyze(sys, tr)
+	sum2 := a2.Summary(sys)
+	if !strings.Contains(sum2, "NOT SCHEDULABLE") || !strings.Contains(sum2, "violating jobs") {
+		t.Errorf("summary2 = %q", sum2)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EX.String() != "EX" || PR.String() != "PR" || FIN.String() != "FIN" {
+		t.Error("event names wrong")
+	}
+	if !strings.Contains(EventType(9).String(), "9") {
+		t.Error("unknown event name")
+	}
+}

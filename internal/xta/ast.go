@@ -1,0 +1,92 @@
+package xta
+
+// File is a parsed XTA model.
+type File struct {
+	Decls     []Decl
+	Processes []*Process
+	Insts     []*Inst   // named instantiations: Name = Template(args);
+	System    []SysItem // the system line
+}
+
+// DeclKind enumerates global/local declaration kinds.
+type DeclKind uint8
+
+// Declaration kinds.
+const (
+	DeclConst DeclKind = iota
+	DeclInt
+	DeclClock
+	DeclChan
+)
+
+// Decl is a declaration. For DeclInt: Len > 0 means an array, HasBounds
+// selects a domain [Min,Max]. For DeclChan: Broadcast/Urgent qualify it.
+// Init is the initial value (consts require it; ints default to 0).
+type Decl struct {
+	Kind      DeclKind
+	Name      string
+	Init      int64
+	HasInit   bool
+	Min, Max  int64
+	HasBounds bool
+	Len       int // array length, 0 for scalars
+	Broadcast bool
+	Urgent    bool
+	Line, Col int
+}
+
+// Param is a process template parameter (a compile-time integer constant).
+type Param struct {
+	Name string
+}
+
+// State is a declared location with an optional raw invariant expression.
+type State struct {
+	Name      string
+	Invariant string // raw expression text, "" if none
+	Line, Col int
+}
+
+// Trans is one edge of a template.
+type Trans struct {
+	Src, Dst  string
+	Guard     string // raw expression text, "" if none
+	SyncChan  string // "" for internal transitions
+	SyncSend  bool   // true for ch!, false for ch?
+	Assign    string // raw statement-list text, "" if none
+	Line, Col int
+}
+
+// Process is a parametric automaton template.
+type Process struct {
+	Name      string
+	Params    []Param
+	Locals    []Decl // clocks, ints and consts
+	States    []State
+	Committed []string            // state names marked commit
+	Stopwatch map[string][]string // clock name -> state names it is stopped in
+	Init      string
+	Trans     []Trans
+	Line, Col int
+}
+
+// Inst is a named instantiation: Name = Template(args).
+type Inst struct {
+	Name      string
+	Template  string
+	Args      []string // raw constant expressions
+	Line, Col int
+}
+
+// SysItem is one entry on the system line: either a named instance
+// reference or a direct Template(args) instantiation. Priority is the
+// item's process-priority group: "system A, B < C;" gives A and B group 0
+// and C group 1 (higher fires first at simultaneous instants), following
+// UPPAAL's system-line priorities.
+type SysItem struct {
+	Ref       string   // named instance, or template name when Direct
+	Direct    bool     // true for Template(args) inline
+	Args      []string // raw constant expressions for Direct items
+	Priority  int
+	Line, Col int
+}

@@ -1,0 +1,348 @@
+package xta
+
+import (
+	"fmt"
+	"strconv"
+
+	"stopwatchsim/internal/expr"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/sa"
+)
+
+// Model is an elaborated XTA file: a ready-to-interpret network plus name
+// maps for tests and tooling.
+type Model struct {
+	Net *nsa.Network
+	// Chans maps channel names to their IDs.
+	Chans map[string]sa.ChanID
+	// Vars maps global variable names (and instance-qualified locals,
+	// "Inst.x") to their indices.
+	Vars map[string]sa.VarID
+	// Clocks likewise for clocks.
+	Clocks map[string]sa.ClockID
+	// Instances lists the instantiated automata in system order.
+	Instances []string
+}
+
+// instScope resolves identifiers inside one instance: parameters and locals
+// shadow globals.
+type instScope struct {
+	params map[string]int64
+	local  expr.MapScope
+	global expr.Scope
+}
+
+func (s *instScope) Lookup(name string) (expr.Symbol, bool) {
+	if v, ok := s.params[name]; ok {
+		return expr.Symbol{Kind: expr.SymConst, Const: v}, true
+	}
+	if sym, ok := s.local.Lookup(name); ok {
+		return sym, true
+	}
+	return s.global.Lookup(name)
+}
+
+// Elaborate compiles a parsed file into a network.
+func Elaborate(f *File) (*Model, error) {
+	m := &Model{
+		Chans:  make(map[string]sa.ChanID),
+		Vars:   make(map[string]sa.VarID),
+		Clocks: make(map[string]sa.ClockID),
+	}
+	nb := nsa.NewBuilder()
+
+	// Global declarations.
+	procNames := make(map[string]*Process)
+	for _, proc := range f.Processes {
+		if procNames[proc.Name] != nil {
+			return nil, &Error{Line: proc.Line, Col: proc.Col, Msg: fmt.Sprintf("duplicate process %q", proc.Name)}
+		}
+		procNames[proc.Name] = proc
+	}
+	consts := make(map[string]int64)
+	for _, d := range f.Decls {
+		switch d.Kind {
+		case DeclConst:
+			nb.Const(d.Name, d.Init)
+			consts[d.Name] = d.Init
+		case DeclInt:
+			if err := declareInt(nb, m, "", d); err != nil {
+				return nil, err
+			}
+		case DeclClock:
+			m.Clocks[d.Name] = nb.Clock(d.Name)
+		case DeclChan:
+			var id sa.ChanID
+			switch {
+			case d.Broadcast && d.Urgent:
+				id = nb.UrgentBroadcastChan(d.Name)
+			case d.Broadcast:
+				id = nb.BroadcastChan(d.Name)
+			case d.Urgent:
+				id = nb.UrgentChan(d.Name)
+			default:
+				id = nb.Chan(d.Name)
+			}
+			m.Chans[d.Name] = id
+		}
+	}
+
+	// Resolve the system line into (instance name, template, args).
+	type instantiation struct {
+		name      string
+		proc      *Process
+		args      []int64
+		prio      int
+		line, col int
+	}
+	namedInsts := make(map[string]*Inst)
+	for _, in := range f.Insts {
+		if namedInsts[in.Name] != nil {
+			return nil, &Error{Line: in.Line, Col: in.Col, Msg: fmt.Sprintf("duplicate instance %q", in.Name)}
+		}
+		namedInsts[in.Name] = in
+	}
+	evalArg := func(raw string, line, col int) (int64, error) {
+		if v, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			return v, nil
+		}
+		if v, ok := consts[raw]; ok {
+			return v, nil
+		}
+		return 0, &Error{Line: line, Col: col, Msg: fmt.Sprintf("argument %q is not an integer or constant", raw)}
+	}
+	var todo []instantiation
+	ordinal := make(map[string]int)
+	for _, item := range f.System {
+		switch {
+		case item.Direct:
+			proc := procNames[item.Ref]
+			if proc == nil {
+				return nil, &Error{Line: item.Line, Col: item.Col, Msg: fmt.Sprintf("unknown process %q", item.Ref)}
+			}
+			ordinal[item.Ref]++
+			inst := instantiation{
+				name: fmt.Sprintf("%s%d", item.Ref, ordinal[item.Ref]),
+				proc: proc, prio: item.Priority, line: item.Line, col: item.Col,
+			}
+			for _, a := range item.Args {
+				v, err := evalArg(a, item.Line, item.Col)
+				if err != nil {
+					return nil, err
+				}
+				inst.args = append(inst.args, v)
+			}
+			todo = append(todo, inst)
+		default:
+			named := namedInsts[item.Ref]
+			if named == nil {
+				return nil, &Error{Line: item.Line, Col: item.Col, Msg: fmt.Sprintf("unknown instance %q", item.Ref)}
+			}
+			proc := procNames[named.Template]
+			if proc == nil {
+				return nil, &Error{Line: named.Line, Col: named.Col, Msg: fmt.Sprintf("unknown process %q", named.Template)}
+			}
+			inst := instantiation{name: named.Name, proc: proc, prio: item.Priority, line: named.Line, col: named.Col}
+			for _, a := range named.Args {
+				v, err := evalArg(a, named.Line, named.Col)
+				if err != nil {
+					return nil, err
+				}
+				inst.args = append(inst.args, v)
+			}
+			todo = append(todo, inst)
+		}
+	}
+
+	for _, inst := range todo {
+		if err := elaborateInstance(nb, m, inst.name, inst.proc, inst.args, inst.prio, inst.line, inst.col); err != nil {
+			return nil, err
+		}
+		m.Instances = append(m.Instances, inst.name)
+	}
+
+	net, err := nb.Build()
+	if err != nil {
+		return nil, err
+	}
+	m.Net = net
+	return m, nil
+}
+
+func declareInt(nb *nsa.Builder, m *Model, prefix string, d Decl) error {
+	name := prefix + d.Name
+	switch {
+	case d.Len > 0:
+		if d.HasBounds {
+			return &Error{Line: d.Line, Col: d.Col, Msg: "bounded arrays are not supported"}
+		}
+		m.Vars[name] = nb.VarArray(name, d.Len, d.Init)
+	case d.HasBounds:
+		m.Vars[name] = nb.BoundedVar(name, d.Init, d.Min, d.Max)
+	default:
+		m.Vars[name] = nb.Var(name, d.Init)
+	}
+	return nil
+}
+
+func elaborateInstance(nb *nsa.Builder, m *Model, name string, proc *Process, args []int64, prio int, line, col int) error {
+	fail := func(l, c int, format string, a ...any) error {
+		return &Error{Line: l, Col: c, Msg: fmt.Sprintf("instance %s: %s", name, fmt.Sprintf(format, a...))}
+	}
+	if len(args) != len(proc.Params) {
+		return fail(line, col, "process %s takes %d parameters, got %d", proc.Name, len(proc.Params), len(args))
+	}
+	scope := &instScope{
+		params: make(map[string]int64, len(proc.Params)),
+		local:  expr.MapScope{},
+		global: nb.Scope(),
+	}
+	for i, p := range proc.Params {
+		scope.params[p.Name] = args[i]
+	}
+
+	// Instance-local declarations get globally unique prefixed names but
+	// resolve unqualified inside the instance.
+	localClocks := make(map[string]sa.ClockID)
+	for _, d := range proc.Locals {
+		qualified := name + "." + d.Name
+		switch d.Kind {
+		case DeclConst:
+			scope.local[d.Name] = expr.Symbol{Kind: expr.SymConst, Const: d.Init}
+		case DeclClock:
+			id := nb.Clock(qualified)
+			m.Clocks[qualified] = id
+			localClocks[d.Name] = id
+			scope.local[d.Name] = expr.Symbol{Kind: expr.SymClock, Index: int(id)}
+		case DeclInt:
+			if err := declareInt(nb, m, name+".", d); err != nil {
+				return err
+			}
+			scope.local[d.Name] = expr.Symbol{
+				Kind: expr.SymVar, Index: int(m.Vars[qualified]), Len: d.Len,
+			}
+		}
+	}
+
+	// Stopwatch map: state name -> stopped clock IDs.
+	stoppedIn := make(map[string][]sa.ClockID)
+	for clock, states := range proc.Stopwatch {
+		id, ok := localClocks[clock]
+		if !ok {
+			return fail(proc.Line, proc.Col, "stopwatch %q is not a local clock", clock)
+		}
+		for _, st := range states {
+			stoppedIn[st] = append(stoppedIn[st], id)
+		}
+	}
+	committed := make(map[string]bool)
+	for _, st := range proc.Committed {
+		committed[st] = true
+	}
+
+	b := sa.NewBuilder(name)
+	b.Priority(prio)
+	for _, id := range localClocks {
+		b.OwnClock(id)
+	}
+	locs := make(map[string]sa.LocID, len(proc.States))
+	for _, st := range proc.States {
+		var opts []sa.LocOption
+		if committed[st.Name] {
+			opts = append(opts, sa.Committed())
+		}
+		if st.Invariant != "" {
+			inv, err := expr.ParseInvariant(st.Invariant, scope)
+			if err != nil {
+				return fail(st.Line, st.Col, "invariant of %s: %v", st.Name, err)
+			}
+			opts = append(opts, sa.WithInvariant(inv))
+		}
+		if stopped := stoppedIn[st.Name]; len(stopped) > 0 {
+			opts = append(opts, sa.Stops(stopped...))
+		}
+		locs[st.Name] = b.Loc(st.Name, opts...)
+	}
+	for st := range stoppedIn {
+		if _, ok := locs[st]; !ok {
+			return fail(proc.Line, proc.Col, "stopwatch references unknown state %q", st)
+		}
+	}
+	for _, st := range proc.Committed {
+		if _, ok := locs[st]; !ok {
+			return fail(proc.Line, proc.Col, "commit references unknown state %q", st)
+		}
+	}
+	if proc.Init == "" {
+		return fail(proc.Line, proc.Col, "process %s has no init state", proc.Name)
+	}
+	initLoc, ok := locs[proc.Init]
+	if !ok {
+		return fail(proc.Line, proc.Col, "init references unknown state %q", proc.Init)
+	}
+	b.Init(initLoc)
+
+	for _, tr := range proc.Trans {
+		src, ok := locs[tr.Src]
+		if !ok {
+			return fail(tr.Line, tr.Col, "unknown state %q", tr.Src)
+		}
+		dst, ok := locs[tr.Dst]
+		if !ok {
+			return fail(tr.Line, tr.Col, "unknown state %q", tr.Dst)
+		}
+		var guard sa.Guard
+		if tr.Guard != "" {
+			n, err := expr.Parse(tr.Guard)
+			if err != nil {
+				return fail(tr.Line, tr.Col, "guard: %v", err)
+			}
+			r, err := expr.Resolve(n, scope, expr.TypeBool)
+			if err != nil {
+				return fail(tr.Line, tr.Col, "guard: %v", err)
+			}
+			guard = sa.NewExprGuard(r)
+		}
+		sync := sa.None
+		if tr.SyncChan != "" {
+			ch, ok := m.Chans[tr.SyncChan]
+			if !ok {
+				return fail(tr.Line, tr.Col, "unknown channel %q", tr.SyncChan)
+			}
+			dir := sa.Recv
+			if tr.SyncSend {
+				dir = sa.Send
+			}
+			sync = sa.Sync{Chan: ch, Dir: dir}
+		}
+		var update sa.Update
+		if tr.Assign != "" {
+			stmts, err := expr.ParseUpdate(tr.Assign)
+			if err != nil {
+				return fail(tr.Line, tr.Col, "assign: %v", err)
+			}
+			resolved, err := expr.ResolveUpdate(stmts, scope)
+			if err != nil {
+				return fail(tr.Line, tr.Col, "assign: %v", err)
+			}
+			update = &sa.ExprUpdate{Stmts: resolved}
+		}
+		b.Edge(src, dst, guard, sync, update)
+	}
+
+	a, err := b.Build()
+	if err != nil {
+		return fail(proc.Line, proc.Col, "%v", err)
+	}
+	nb.Add(a)
+	return nil
+}
+
+// Compile parses and elaborates XTA source in one step.
+func Compile(src string) (*Model, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Elaborate(f)
+}

@@ -1,0 +1,45 @@
+package xta_test
+
+import (
+	"fmt"
+	"log"
+
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/xta"
+)
+
+// Example compiles a small XTA model and interprets it: a periodic emitter
+// synchronizing with a counter over a channel.
+func Example() {
+	const src = `
+const int PERIOD = 3;
+int count = 0;
+chan tick;
+
+process Emitter() {
+    clock t;
+    state W { t <= PERIOD };
+    init W;
+    trans W -> W { guard t == PERIOD; sync tick!; assign t := 0; };
+}
+
+process Counter() {
+    state C;
+    init C;
+    trans C -> C { sync tick?; assign count := count + 1; };
+}
+
+system Emitter(), Counter();
+`
+	m, err := xta.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: 10})
+	if _, err := eng.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ticks: %d\n", eng.State().Vars[m.Vars["count"]])
+	// Output:
+	// ticks: 3
+}

@@ -1,0 +1,600 @@
+package xta
+
+import "fmt"
+
+// Parser builds the XTA AST from tokens, capturing expression text spans
+// verbatim for the expr package.
+type Parser struct {
+	sc  *Scanner
+	tok Token
+}
+
+// Parse parses a complete XTA model.
+func Parse(src string) (*File, error) {
+	p := &Parser{sc: NewScanner(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return p.parseFile()
+}
+
+func (p *Parser) next() error {
+	t, err := p.sc.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return &Error{Line: p.tok.Line, Col: p.tok.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, p.errf("expected %s, found %s %q", k, p.tok.Kind, p.tok.Text)
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for {
+		switch p.tok.Kind {
+		case EOF:
+			if len(f.System) == 0 {
+				return nil, p.errf("model has no system line")
+			}
+			return f, nil
+		case KWCONST, KWINT, KWCLOCK, KWCHAN, KWBROADCAST, KWURGENT:
+			d, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Decls = append(f.Decls, d)
+		case KWPROCESS:
+			proc, err := p.parseProcess()
+			if err != nil {
+				return nil, err
+			}
+			f.Processes = append(f.Processes, proc)
+		case KWSYSTEM:
+			if err := p.parseSystem(f); err != nil {
+				return nil, err
+			}
+		case IDENT:
+			inst, err := p.parseInst()
+			if err != nil {
+				return nil, err
+			}
+			f.Insts = append(f.Insts, inst)
+		default:
+			return nil, p.errf("unexpected %s %q at top level", p.tok.Kind, p.tok.Text)
+		}
+	}
+}
+
+// parseDecl handles const/int/clock/chan declarations (global and local).
+func (p *Parser) parseDecl() (Decl, error) {
+	d := Decl{Line: p.tok.Line, Col: p.tok.Col}
+	switch p.tok.Kind {
+	case KWCONST:
+		if err := p.next(); err != nil {
+			return d, err
+		}
+		if _, err := p.expect(KWINT); err != nil {
+			return d, err
+		}
+		d.Kind = DeclConst
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return d, err
+		}
+		d.Name = name.Text
+		if _, err := p.expect(ASSIGN); err != nil {
+			return d, err
+		}
+		v, err := p.parseSignedInt()
+		if err != nil {
+			return d, err
+		}
+		d.Init, d.HasInit = v, true
+		_, err = p.expect(SEMI)
+		return d, err
+	case KWINT:
+		if err := p.next(); err != nil {
+			return d, err
+		}
+		d.Kind = DeclInt
+		if p.tok.Kind == LBRACKET { // int[lo,hi]
+			if err := p.next(); err != nil {
+				return d, err
+			}
+			lo, err := p.parseSignedInt()
+			if err != nil {
+				return d, err
+			}
+			if _, err := p.expect(COMMA); err != nil {
+				return d, err
+			}
+			hi, err := p.parseSignedInt()
+			if err != nil {
+				return d, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return d, err
+			}
+			d.Min, d.Max, d.HasBounds = lo, hi, true
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return d, err
+		}
+		d.Name = name.Text
+		if p.tok.Kind == LBRACKET { // array
+			if err := p.next(); err != nil {
+				return d, err
+			}
+			n, err := p.expect(INT)
+			if err != nil {
+				return d, err
+			}
+			if n.Val <= 0 {
+				return d, p.errf("array %q must have positive length", d.Name)
+			}
+			d.Len = int(n.Val)
+			if _, err := p.expect(RBRACKET); err != nil {
+				return d, err
+			}
+		}
+		if p.tok.Kind == ASSIGN {
+			if err := p.next(); err != nil {
+				return d, err
+			}
+			v, err := p.parseSignedInt()
+			if err != nil {
+				return d, err
+			}
+			d.Init, d.HasInit = v, true
+		}
+		_, err = p.expect(SEMI)
+		return d, err
+	case KWCLOCK:
+		if err := p.next(); err != nil {
+			return d, err
+		}
+		d.Kind = DeclClock
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return d, err
+		}
+		d.Name = name.Text
+		_, err = p.expect(SEMI)
+		return d, err
+	case KWBROADCAST, KWURGENT, KWCHAN:
+		for p.tok.Kind == KWBROADCAST || p.tok.Kind == KWURGENT {
+			if p.tok.Kind == KWBROADCAST {
+				d.Broadcast = true
+			} else {
+				d.Urgent = true
+			}
+			if err := p.next(); err != nil {
+				return d, err
+			}
+		}
+		if _, err := p.expect(KWCHAN); err != nil {
+			return d, err
+		}
+		d.Kind = DeclChan
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return d, err
+		}
+		d.Name = name.Text
+		_, err = p.expect(SEMI)
+		return d, err
+	}
+	return d, p.errf("expected declaration")
+}
+
+func (p *Parser) parseSignedInt() (int64, error) {
+	neg := false
+	if p.tok.Kind == MINUS {
+		neg = true
+		if err := p.next(); err != nil {
+			return 0, err
+		}
+	}
+	if p.tok.Kind != INT {
+		return 0, p.errf("expected integer, found %s %q", p.tok.Kind, p.tok.Text)
+	}
+	v := p.tok.Val
+	if err := p.next(); err != nil {
+		return 0, err
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *Parser) parseProcess() (*Process, error) {
+	proc := &Process{Line: p.tok.Line, Col: p.tok.Col, Stopwatch: map[string][]string{}}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	proc.Name = name.Text
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != RPAREN {
+		if _, err := p.expect(KWCONST); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWINT); err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		proc.Params = append(proc.Params, Param{Name: pn.Text})
+		if p.tok.Kind == COMMA {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.next(); err != nil { // consume ')'
+		return nil, err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != RBRACE {
+		switch p.tok.Kind {
+		case KWCONST, KWINT, KWCLOCK:
+			d, err := p.parseDecl()
+			if err != nil {
+				return nil, err
+			}
+			proc.Locals = append(proc.Locals, d)
+		case KWCHAN, KWBROADCAST, KWURGENT:
+			return nil, p.errf("channels must be declared globally")
+		case KWSTATE:
+			if err := p.parseStates(proc); err != nil {
+				return nil, err
+			}
+		case KWCOMMIT:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			for {
+				n, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				proc.Committed = append(proc.Committed, n.Text)
+				if p.tok.Kind != COMMA {
+					break
+				}
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		case KWSTOPWATCH:
+			if err := p.parseStopwatch(proc); err != nil {
+				return nil, err
+			}
+		case KWINIT:
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			n, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if proc.Init != "" {
+				return nil, p.errf("init declared twice")
+			}
+			proc.Init = n.Text
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		case KWTRANS:
+			if err := p.parseTrans(proc); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected %s %q in process body", p.tok.Kind, p.tok.Text)
+		}
+	}
+	return proc, p.next() // consume '}'
+}
+
+func (p *Parser) parseStates(proc *Process) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	for {
+		n, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		st := State{Name: n.Text, Line: n.Line, Col: n.Col}
+		if p.tok.Kind == LBRACE {
+			// Invariant: capture raw text up to the matching '}'.
+			inv, err := p.sc.CaptureUntil('}')
+			if err != nil {
+				return err
+			}
+			// The parser's lookahead token was '{'; re-sync past '}'.
+			if err := p.next(); err != nil { // now at '}'... consume it
+				return err
+			}
+			if p.tok.Kind != RBRACE {
+				return p.errf("internal: expected '}' after invariant")
+			}
+			if err := p.next(); err != nil {
+				return err
+			}
+			st.Invariant = inv
+		}
+		proc.States = append(proc.States, st)
+		if p.tok.Kind == COMMA {
+			if err := p.next(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	_, err := p.expect(SEMI)
+	return err
+}
+
+func (p *Parser) parseStopwatch(proc *Process) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	clock, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(KWIN); err != nil {
+		return err
+	}
+	for {
+		st, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		proc.Stopwatch[clock.Text] = append(proc.Stopwatch[clock.Text], st.Text)
+		if p.tok.Kind != COMMA {
+			break
+		}
+		if err := p.next(); err != nil {
+			return err
+		}
+	}
+	_, err = p.expect(SEMI)
+	return err
+}
+
+func (p *Parser) parseTrans(proc *Process) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	for {
+		src, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(ARROW); err != nil {
+			return err
+		}
+		dst, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		tr := Trans{Src: src.Text, Dst: dst.Text, Line: src.Line, Col: src.Col}
+		if _, err := p.expect(LBRACE); err != nil {
+			return err
+		}
+		for p.tok.Kind != RBRACE {
+			switch p.tok.Kind {
+			case KWGUARD:
+				if tr.Guard != "" {
+					return p.errf("duplicate guard")
+				}
+				g, err := p.sc.CaptureUntil(';')
+				if err != nil {
+					return err
+				}
+				tr.Guard = g
+				if err := p.next(); err != nil { // lookahead was 'guard'; now ';'
+					return err
+				}
+				if p.tok.Kind != SEMI {
+					return p.errf("internal: expected ';' after guard")
+				}
+				if err := p.next(); err != nil {
+					return err
+				}
+			case KWSYNC:
+				if tr.SyncChan != "" {
+					return p.errf("duplicate sync")
+				}
+				if err := p.next(); err != nil {
+					return err
+				}
+				ch, err := p.expect(IDENT)
+				if err != nil {
+					return err
+				}
+				tr.SyncChan = ch.Text
+				switch p.tok.Kind {
+				case BANG:
+					tr.SyncSend = true
+				case QUESTION:
+					tr.SyncSend = false
+				default:
+					return p.errf("expected '!' or '?' after channel name")
+				}
+				if err := p.next(); err != nil {
+					return err
+				}
+				if _, err := p.expect(SEMI); err != nil {
+					return err
+				}
+			case KWASSIGN:
+				if tr.Assign != "" {
+					return p.errf("duplicate assign")
+				}
+				a, err := p.sc.CaptureUntil(';')
+				if err != nil {
+					return err
+				}
+				tr.Assign = a
+				if err := p.next(); err != nil {
+					return err
+				}
+				if p.tok.Kind != SEMI {
+					return p.errf("internal: expected ';' after assign")
+				}
+				if err := p.next(); err != nil {
+					return err
+				}
+			default:
+				return p.errf("unexpected %s %q in transition", p.tok.Kind, p.tok.Text)
+			}
+		}
+		if err := p.next(); err != nil { // consume '}'
+			return err
+		}
+		proc.Trans = append(proc.Trans, tr)
+		if p.tok.Kind == COMMA {
+			if err := p.next(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	_, err := p.expect(SEMI)
+	return err
+}
+
+// parseInst handles "Name = Template(args);".
+func (p *Parser) parseInst() (*Inst, error) {
+	name := p.tok
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	inst := &Inst{Name: name.Text, Line: name.Line, Col: name.Col}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	tmpl, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	inst.Template = tmpl.Text
+	args, err := p.parseArgs()
+	if err != nil {
+		return nil, err
+	}
+	inst.Args = args
+	_, err = p.expect(SEMI)
+	return inst, err
+}
+
+// parseArgs parses "(arg, arg, ...)" where each argument is an integer
+// literal (possibly negated) or the name of a declared constant.
+func (p *Parser) parseArgs() ([]string, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var args []string
+	if p.tok.Kind == RPAREN {
+		return args, p.next()
+	}
+	for {
+		switch p.tok.Kind {
+		case INT, MINUS:
+			v, err := p.parseSignedInt()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, fmt.Sprintf("%d", v))
+		case IDENT:
+			args = append(args, p.tok.Text)
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected integer or constant name, found %s %q", p.tok.Kind, p.tok.Text)
+		}
+		if p.tok.Kind == COMMA {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return args, nil
+	}
+}
+
+// parseSystem parses the system line. Commas separate items within a
+// priority group; '<' starts the next, higher-priority group (UPPAAL's
+// system-line process priorities).
+func (p *Parser) parseSystem(f *File) error {
+	if err := p.next(); err != nil {
+		return err
+	}
+	group := 0
+	for {
+		n, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		item := SysItem{Ref: n.Text, Priority: group, Line: n.Line, Col: n.Col}
+		if p.tok.Kind == LPAREN {
+			item.Direct = true
+			args, err := p.parseArgs()
+			if err != nil {
+				return err
+			}
+			item.Args = args
+		}
+		f.System = append(f.System, item)
+		switch p.tok.Kind {
+		case COMMA:
+			if err := p.next(); err != nil {
+				return err
+			}
+			continue
+		case LT:
+			group++
+			if err := p.next(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	_, err := p.expect(SEMI)
+	return err
+}

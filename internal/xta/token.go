@@ -1,0 +1,300 @@
+// Package xta implements a textual automata language in the style of
+// UPPAAL's XTA format, extended with a stopwatch declaration. It plays the
+// role of the paper's "translator from UPPAAL to C++ automata
+// representation": models written in the language are compiled into
+// sa/nsa structures and interpreted by the same engine as the built-in
+// component library.
+//
+// A model consists of global declarations, parametric process templates and
+// a system instantiation line:
+//
+//	const int N = 2;
+//	int x = 0;
+//	int[0,10] bounded = 1;
+//	int arr[3] = 0;
+//	clock g;
+//	chan go; broadcast chan bang; urgent chan now;
+//
+//	process Worker(const int id, const int limit) {
+//	    clock t;
+//	    int count = 0;
+//	    state Idle { t <= limit }, Run, Done;
+//	    commit Run;
+//	    stopwatch t in Done;
+//	    init Idle;
+//	    trans
+//	        Idle -> Run  { guard t == limit; sync go?; assign count := count + 1; },
+//	        Run  -> Done { sync bang!; assign x := x + id; };
+//	}
+//
+//	W1 = Worker(1, 5);
+//	system W1, Worker(2, 7);
+//
+// Guards, invariants and assignments use the expression language of package
+// expr. Process parameters are compile-time integer constants substituted
+// at instantiation.
+package xta
+
+import "fmt"
+
+// Kind enumerates scanner token kinds.
+type Kind uint8
+
+// Token kinds. Keywords get their own kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	COMMA    // ,
+	SEMI     // ;
+	ASSIGN   // =
+	ARROW    // ->
+	BANG     // !
+	QUESTION // ?
+	MINUS    // - (only in constant positions; expressions are captured raw)
+	LT       // < (priority separator on the system line)
+	// keywords
+	KWCONST
+	KWINT
+	KWCLOCK
+	KWCHAN
+	KWBROADCAST
+	KWURGENT
+	KWPROCESS
+	KWSTATE
+	KWCOMMIT
+	KWINIT
+	KWTRANS
+	KWGUARD
+	KWSYNC
+	KWASSIGN
+	KWSYSTEM
+	KWSTOPWATCH
+	KWIN
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "integer",
+	LPAREN: "'('", RPAREN: "')'", LBRACE: "'{'", RBRACE: "'}'",
+	LBRACKET: "'['", RBRACKET: "']'", COMMA: "','", SEMI: "';'",
+	ASSIGN: "'='", ARROW: "'->'", BANG: "'!'", QUESTION: "'?'", MINUS: "'-'", LT: "'<'",
+	KWCONST: "'const'", KWINT: "'int'", KWCLOCK: "'clock'", KWCHAN: "'chan'",
+	KWBROADCAST: "'broadcast'", KWURGENT: "'urgent'", KWPROCESS: "'process'",
+	KWSTATE: "'state'", KWCOMMIT: "'commit'", KWINIT: "'init'", KWTRANS: "'trans'",
+	KWGUARD: "'guard'", KWSYNC: "'sync'", KWASSIGN: "'assign'", KWSYSTEM: "'system'",
+	KWSTOPWATCH: "'stopwatch'", KWIN: "'in'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"const": KWCONST, "int": KWINT, "clock": KWCLOCK, "chan": KWCHAN,
+	"broadcast": KWBROADCAST, "urgent": KWURGENT, "process": KWPROCESS,
+	"state": KWSTATE, "commit": KWCOMMIT, "init": KWINIT, "trans": KWTRANS,
+	"guard": KWGUARD, "sync": KWSYNC, "assign": KWASSIGN, "system": KWSYSTEM,
+	"stopwatch": KWSTOPWATCH, "in": KWIN,
+}
+
+// Token is one scanner token.
+type Token struct {
+	Kind Kind
+	Text string
+	Val  int64
+	Line int
+	Col  int
+}
+
+// Error is an XTA front-end error with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("xta:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Scanner tokenizes XTA source. Comments: // to end of line and /* ... */.
+type Scanner struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewScanner returns a scanner over src.
+func NewScanner(src string) *Scanner {
+	return &Scanner{src: src, line: 1, col: 1}
+}
+
+func (s *Scanner) errf(format string, args ...any) error {
+	return &Error{Line: s.line, Col: s.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Scanner) advance() byte {
+	c := s.src[s.pos]
+	s.pos++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+func (s *Scanner) skipSpaceAndComments() error {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			s.advance()
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '/':
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.advance()
+			}
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '*':
+			s.advance()
+			s.advance()
+			closed := false
+			for s.pos+1 < len(s.src) {
+				if s.src[s.pos] == '*' && s.src[s.pos+1] == '/' {
+					s.advance()
+					s.advance()
+					closed = true
+					break
+				}
+				s.advance()
+			}
+			if !closed {
+				return s.errf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next returns the next token.
+func (s *Scanner) Next() (Token, error) {
+	if err := s.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: s.line, Col: s.col}
+	if s.pos >= len(s.src) {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := s.src[s.pos]
+	switch {
+	case isDigit(c):
+		start := s.pos
+		var v int64
+		for s.pos < len(s.src) && isDigit(s.src[s.pos]) {
+			v = v*10 + int64(s.src[s.pos]-'0')
+			s.advance()
+		}
+		tok.Kind, tok.Val, tok.Text = INT, v, s.src[start:s.pos]
+		return tok, nil
+	case isIdentStart(c):
+		start := s.pos
+		for s.pos < len(s.src) && isIdentCont(s.src[s.pos]) {
+			s.advance()
+		}
+		tok.Text = s.src[start:s.pos]
+		if k, ok := keywords[tok.Text]; ok {
+			tok.Kind = k
+		} else {
+			tok.Kind = IDENT
+		}
+		return tok, nil
+	}
+	s.advance()
+	switch c {
+	case '(':
+		tok.Kind = LPAREN
+	case ')':
+		tok.Kind = RPAREN
+	case '{':
+		tok.Kind = LBRACE
+	case '}':
+		tok.Kind = RBRACE
+	case '[':
+		tok.Kind = LBRACKET
+	case ']':
+		tok.Kind = RBRACKET
+	case ',':
+		tok.Kind = COMMA
+	case ';':
+		tok.Kind = SEMI
+	case '=':
+		tok.Kind = ASSIGN
+	case '!':
+		tok.Kind = BANG
+	case '?':
+		tok.Kind = QUESTION
+	case '<':
+		tok.Kind = LT
+	case '-':
+		if s.pos < len(s.src) && s.src[s.pos] == '>' {
+			s.advance()
+			tok.Kind = ARROW
+			tok.Text = "->"
+			return tok, nil
+		}
+		tok.Kind = MINUS
+		tok.Text = "-"
+		return tok, nil
+	default:
+		return Token{}, s.errf("unexpected character %q", c)
+	}
+	tok.Text = string(c)
+	return tok, nil
+}
+
+// CaptureUntil returns the raw source text from the current position up to
+// (not including) the first occurrence of stop at brace/bracket/paren
+// nesting level zero, consuming it. Used to hand expression text to the
+// expr parser verbatim.
+func (s *Scanner) CaptureUntil(stop byte) (string, error) {
+	if err := s.skipSpaceAndComments(); err != nil {
+		return "", err
+	}
+	start := s.pos
+	depth := 0
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if depth == 0 && c == stop {
+			return s.src[start:s.pos], nil
+		}
+		switch c {
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			if depth == 0 && c != stop {
+				return "", s.errf("unbalanced %q while scanning expression", c)
+			}
+			depth--
+		}
+		s.advance()
+	}
+	return "", s.errf("expected %q before end of file", stop)
+}

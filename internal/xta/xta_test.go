@@ -1,0 +1,321 @@
+package xta
+
+import (
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/nsa"
+)
+
+const pingPongSrc = `
+// Two processes synchronizing over a channel at a parameterized time.
+const int DELAY = 7;
+int done = 0;
+chan ping;
+
+process Sender(const int at) {
+    clock t;
+    state Wait { t <= at }, Sent;
+    init Wait;
+    trans Wait -> Sent { guard t == at; sync ping!; };
+}
+
+process Receiver() {
+    state Idle, Got;
+    init Idle;
+    trans Idle -> Got { sync ping?; assign done := done + 1; };
+}
+
+system Sender(DELAY), Receiver();
+`
+
+func TestCompilePingPong(t *testing.T) {
+	m, err := Compile(pingPongSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Net.Automata) != 2 {
+		t.Fatalf("automata = %d", len(m.Net.Automata))
+	}
+	if m.Instances[0] != "Sender1" || m.Instances[1] != "Receiver1" {
+		t.Errorf("instances = %v", m.Instances)
+	}
+	tr, res, err := nsa.Simulate(m.Net, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].Time != 7 {
+		t.Fatalf("events = %+v", tr.Events)
+	}
+	if !res.Quiescent {
+		t.Error("expected quiescence")
+	}
+	st := nsa.NewEngine(m.Net, nsa.Options{Horizon: 100})
+	if _, err := st.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.State().Vars[m.Vars["done"]]; got != 1 {
+		t.Errorf("done = %d", got)
+	}
+}
+
+const stopwatchSrc = `
+int snap = -100;
+
+process Stopper() {
+    clock w;
+    clock ref;
+    state P1 { ref <= 3 }, P2 { ref <= 7 }, End;
+    stopwatch w in P2, End;
+    init P1;
+    trans
+        P1 -> P2 { guard ref == 3; },
+        P2 -> End { guard ref == 7; assign snap := w; };
+}
+
+system Stopper();
+`
+
+func TestCompileStopwatch(t *testing.T) {
+	m, err := Compile(stopwatchSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: 20})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.State().Vars[m.Vars["snap"]]; got != 3 {
+		t.Errorf("snap = %d, want 3 (w stopped during [3,7])", got)
+	}
+	if _, ok := m.Clocks["Stopper1.w"]; !ok {
+		t.Error("qualified clock name missing")
+	}
+}
+
+const committedBroadcastSrc = `
+int order = 0;
+broadcast chan bang;
+
+process Shout() {
+    state S0, S1;
+    commit S0;
+    init S0;
+    trans S0 -> S1 { sync bang!; };
+}
+
+process Hear(const int id) {
+    state H0, H1;
+    init H0;
+    trans H0 -> H1 { sync bang?; assign order := order * 10 + id; };
+}
+
+system Shout(), Hear(1), Hear(2);
+`
+
+func TestCompileBroadcastAndCommit(t *testing.T) {
+	m, err := Compile(committedBroadcastSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: 5})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Broadcast reaches both hearers in one transition at time 0.
+	if got := eng.State().Vars[m.Vars["order"]]; got != 12 {
+		t.Errorf("order = %d, want 12", got)
+	}
+	if res.Time != 0 {
+		t.Errorf("time = %d", res.Time)
+	}
+}
+
+const namedInstSrc = `
+const int N = 4;
+int total = 0;
+urgent chan go;
+
+process Counter(const int inc) {
+    int mine = 0;
+    state A, B;
+    init A;
+    trans A -> B { sync go?; assign mine := inc, total := total + inc; };
+}
+
+process Kick() {
+    state K0, K1, K2;
+    init K0;
+    trans K0 -> K1 { sync go!; }, K1 -> K2 { sync go!; };
+}
+
+C1 = Counter(N);
+C2 = Counter(10);
+system Kick(), C1, C2;
+`
+
+func TestCompileNamedInstancesAndLocals(t *testing.T) {
+	m, err := Compile(namedInstSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Instances[1] != "C1" || m.Instances[2] != "C2" {
+		t.Errorf("instances = %v", m.Instances)
+	}
+	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: 10})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.State()
+	if got := s.Vars[m.Vars["total"]]; got != 14 {
+		t.Errorf("total = %d, want 14", got)
+	}
+	if got := s.Vars[m.Vars["C1.mine"]]; got != 4 {
+		t.Errorf("C1.mine = %d, want 4", got)
+	}
+	if got := s.Vars[m.Vars["C2.mine"]]; got != 10 {
+		t.Errorf("C2.mine = %d, want 10", got)
+	}
+}
+
+const arrayBoundedSrc = `
+int[0,3] level = 1;
+int hist[4] = 0;
+
+process Bump() {
+    state A { }, B;
+    commit A;
+    init A;
+    trans A -> B { assign hist[level] := 9, level := level + 1; };
+}
+
+system Bump();
+`
+
+func TestCompileArraysAndBounds(t *testing.T) {
+	m, err := Compile(arrayBoundedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: 5})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.State()
+	base := int(m.Vars["hist"])
+	if s.Vars[base+1] != 9 {
+		t.Errorf("hist[1] = %d", s.Vars[base+1])
+	}
+	if s.Vars[m.Vars["level"]] != 2 {
+		t.Errorf("level = %d", s.Vars[m.Vars["level"]])
+	}
+}
+
+func TestCompileComments(t *testing.T) {
+	src := "/* block\ncomment */\n" + pingPongSrc + "// trailing comment\n"
+	if _, err := Compile(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, sub string }{
+		{"no system", "int x;", "no system line"},
+		{"bad char", "int x @;", "unexpected character"},
+		{"bad decl", "process P() { chan c; }", "declared globally"},
+		{"unterminated comment", "/* nope", "unterminated"},
+		{"missing semi", "int x = 1", "expected ';'"},
+		{"bad array len", "int a[0]; system X;", "positive length"},
+		{"bad sync", "process P() { state A; init A; trans A -> A { sync c; }; } system P();", "'!' or '?'"},
+		{"dup guard", "process P() { state A; init A; trans A -> A { guard 1 > 0; guard 2 > 0; }; } system P();", "duplicate guard"},
+		{"double init", "process P() { state A, B; init A; init B; } system P();", "init declared twice"},
+		{"unterminated args", "process P(const int a) { state A; init A; } system P(1", "expected ')'"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.name, c.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.sub)
+		}
+	}
+}
+
+func TestElaborateErrors(t *testing.T) {
+	cases := []struct{ name, src, sub string }{
+		{"unknown process", "system Nope;", "unknown instance"},
+		{"unknown direct", "system Nope();", "unknown process"},
+		{"arg count", "process P(const int a) { state A; init A; } system P();", "takes 1 parameters"},
+		{"bad arg", "process P(const int a) { state A; init A; } system P(zz);", "not an integer or constant"},
+		{"unknown chan", "process P() { state A; init A; trans A -> A { sync zz!; }; } system P();", "unknown channel"},
+		{"unknown state", "process P() { state A; init A; trans A -> B { }; } system P();", "unknown state"},
+		{"bad guard", "process P() { state A; init A; trans A -> A { guard zz > 0; }; } system P();", "undefined name"},
+		{"bad invariant", "process P() { clock t; state A { t >= 3 }; init A; } system P();", "upper bound"},
+		{"no init", "process P() { state A; } system P();", "no init state"},
+		{"bad stopwatch clock", "process P() { state A; stopwatch z in A; init A; } system P();", "not a local clock"},
+		{"bad stopwatch state", "process P() { clock t; state A; stopwatch t in Z; init A; } system P();", "unknown state"},
+		{"bad commit", "process P() { state A; commit Z; init A; } system P();", "unknown state"},
+		{"dup process", "process P() { state A; init A; } process P() { state A; init A; } system P();", "duplicate process"},
+		{"dup instance", "process P() { state A; init A; } X = P(); X = P(); system X;", "duplicate instance"},
+		{"bad init ref", "process P() { state A; init Z; } system P();", "unknown state"},
+		{"bounded array", "int[0,1] a[3]; process P() { state A; init A; } system P();", "bounded arrays"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error containing %q", c.name, c.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.sub)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Compile("int x;\nint y @;\nsystem P;")
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if e.Line != 2 {
+		t.Errorf("line = %d, want 2", e.Line)
+	}
+}
+
+const prioritySrc = `
+int order = 0;
+
+process Mark(const int id) {
+    state A, B;
+    commit A;
+    init A;
+    trans A -> B { assign order := order * 10 + id; };
+}
+
+system Mark(1), Mark(2) < Mark(3);
+`
+
+// TestSystemPriorities: the '<' groups on the system line map to process
+// priorities — the higher group's transition fires first even though its
+// automaton comes later in declaration order.
+func TestSystemPriorities(t *testing.T) {
+	m, err := Compile(prioritySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Net.Automata[0].Priority != 0 || m.Net.Automata[2].Priority != 1 {
+		t.Fatalf("priorities = %d,%d,%d", m.Net.Automata[0].Priority,
+			m.Net.Automata[1].Priority, m.Net.Automata[2].Priority)
+	}
+	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: 5})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.State().Vars[m.Vars["order"]]; got != 312 {
+		t.Errorf("order = %d, want 312 (Mark(3) first)", got)
+	}
+}
