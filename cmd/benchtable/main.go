@@ -8,46 +8,57 @@
 // Absolute times depend on the host; the reproduced result is the shape:
 // Model Checking roughly doubles per added job while the proposed approach
 // stays flat, and an industrial-scale configuration simulates in seconds.
+//
+// The shared resource-limit flags bound the Model Checking runs (they grow
+// exponentially with the job count); a column whose exploration exceeds the
+// budget is reported as "n/a" instead of hanging the table.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
+	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/gen"
 	"stopwatchsim/internal/mc"
 	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/trace"
 )
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "regenerate Table 1")
-		scale  = flag.Bool("scale", false, "run the industrial-scale experiment")
-		minJ   = flag.Int("min", 10, "Table 1 minimum job count")
-		maxJ   = flag.Int("max", 18, "Table 1 maximum job count")
+		table1    = flag.Bool("table1", false, "regenerate Table 1")
+		scale     = flag.Bool("scale", false, "run the industrial-scale experiment")
+		minJ      = flag.Int("min", 10, "Table 1 minimum job count")
+		maxJ      = flag.Int("max", 18, "Table 1 maximum job count")
+		maxStates = flag.Int("max-states", 0, "state bound per Model Checking run (0 = default bound)")
 	)
+	budget := diag.BudgetFlags()
 	flag.Parse()
 	if !*table1 && !*scale {
 		*table1, *scale = true, true
 	}
+	ctx, stop := diag.SignalContext()
+	defer stop()
+	b := budget()
+	b.MaxStates = *maxStates
 	if *table1 {
-		if err := runTable1(*minJ, *maxJ); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtable:", err)
-			os.Exit(1)
+		if err := runTable1(ctx, *minJ, *maxJ, b); err != nil {
+			diag.Exit("benchtable", err, nil, "")
 		}
 	}
 	if *scale {
-		if err := runScale(); err != nil {
-			fmt.Fprintln(os.Stderr, "benchtable:", err)
-			os.Exit(1)
+		if err := runScale(ctx, b); err != nil {
+			diag.Exit("benchtable", err, nil, "")
 		}
 	}
 }
 
-func runTable1(minJ, maxJ int) error {
+func runTable1(ctx context.Context, minJ, maxJ int, b nsa.Budget) error {
 	fmt.Println("Table 1. Execution times for various number of jobs")
 	fmt.Printf("%-28s", "Number of jobs")
 	for j := minJ; j <= maxJ; j++ {
@@ -55,7 +66,7 @@ func runTable1(minJ, maxJ int) error {
 	}
 	fmt.Println()
 
-	mcTimes := make([]time.Duration, 0, maxJ-minJ+1)
+	mcTimes := make([]time.Duration, 0, maxJ-minJ+1) // -1 marks a budget abort
 	simTimes := make([]time.Duration, 0, maxJ-minJ+1)
 	for j := minJ; j <= maxJ; j++ {
 		sys := gen.Table1Config(j)
@@ -65,18 +76,26 @@ func runTable1(minJ, maxJ int) error {
 			return err
 		}
 		start := time.Now()
-		okMC, _, err := mc.CheckSchedulability(m, 0)
-		if err != nil {
+		okMC, _, err := mc.CheckSchedulabilityContext(ctx, m, b)
+		var rerr *nsa.RunError
+		aborted := errors.As(err, &rerr)
+		if aborted {
+			if rerr.Reason == nsa.StopCanceled {
+				return err
+			}
+			mcTimes = append(mcTimes, -1)
+		} else if err != nil {
 			return err
+		} else {
+			mcTimes = append(mcTimes, time.Since(start))
 		}
-		mcTimes = append(mcTimes, time.Since(start))
 
 		start = time.Now()
 		m2, err := model.Build(sys)
 		if err != nil {
 			return err
 		}
-		tr, _, err := m2.Simulate()
+		tr, _, err := m2.SimulateContext(ctx, nil, b)
 		if err != nil {
 			return err
 		}
@@ -85,13 +104,17 @@ func runTable1(minJ, maxJ int) error {
 			return err
 		}
 		simTimes = append(simTimes, time.Since(start))
-		if okMC != a.Schedulable {
+		if !aborted && okMC != a.Schedulable {
 			return fmt.Errorf("jobs=%d: MC verdict %t != simulation verdict %t", j, okMC, a.Schedulable)
 		}
 	}
 	fmt.Printf("%-28s", "Model Checking (seconds)")
 	for _, d := range mcTimes {
-		fmt.Printf(" %9.3f", d.Seconds())
+		if d < 0 {
+			fmt.Printf(" %9s", "n/a")
+		} else {
+			fmt.Printf(" %9.3f", d.Seconds())
+		}
 	}
 	fmt.Println()
 	fmt.Printf("%-28s", "Proposed Approach (seconds)")
@@ -102,7 +125,7 @@ func runTable1(minJ, maxJ int) error {
 	return nil
 }
 
-func runScale() error {
+func runScale(ctx context.Context, b nsa.Budget) error {
 	sys := gen.IndustrialConfig()
 	fmt.Printf("\nIndustrial-scale experiment (§4): %d jobs, %d tasks, %d partitions, %d cores, L=%d\n",
 		sys.JobCount(), sys.TaskCount(), len(sys.Partitions), len(sys.Cores), sys.Hyperperiod())
@@ -115,7 +138,7 @@ func runScale() error {
 	build := time.Since(start)
 
 	start = time.Now()
-	tr, res, err := m.Simulate()
+	tr, res, err := m.SimulateContext(ctx, nil, b)
 	if err != nil {
 		return err
 	}

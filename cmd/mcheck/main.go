@@ -4,68 +4,81 @@
 // its cost can be compared directly against cmd/simulate on the same
 // configuration.
 //
+// Exit codes follow internal/diag: 0 schedulable, 1 operational error,
+// 2 usage, 3 not schedulable, 4 budget exhausted or interrupted (verdict
+// partial), 5 model diagnostic, 6 invalid configuration.
+//
 // Usage:
 //
-//	mcheck -config system.xml [-max-states N]
+//	mcheck -config system.xml [-max-states N] [-max-steps N] [-timeout D]
+//	       [-max-mem-mb N] [-report out.json]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/mc"
 	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
 )
 
 func main() {
 	var (
 		configPath = flag.String("config", "", "system configuration XML (required)")
 		maxStates  = flag.Int("max-states", 0, "abort after this many states (0 = default bound)")
+		report     = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
 	)
+	budget := diag.BudgetFlags()
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(diag.ExitUsage)
 	}
-	if err := run(*configPath, *maxStates); err != nil {
-		fmt.Fprintln(os.Stderr, "mcheck:", err)
-		os.Exit(1)
-	}
-}
 
-func run(path string, maxStates int) error {
-	f, err := os.Open(path)
+	f, err := os.Open(*configPath)
 	if err != nil {
-		return err
+		diag.Exit("mcheck", err, nil, *report)
 	}
 	defer f.Close()
 	sys, err := config.ReadXML(f)
 	if err != nil {
-		return err
+		diag.Exit("mcheck", err, nil, *report)
 	}
 	m, err := model.Build(sys)
 	if err != nil {
-		return err
+		diag.Exit("mcheck", err, nil, *report)
 	}
+
+	ctx, stop := diag.SignalContext()
+	defer stop()
+	b := budget()
+	b.MaxStates = *maxStates
+
 	start := time.Now()
-	ok, res, err := mc.CheckSchedulability(m, maxStates)
-	if err != nil {
-		return err
-	}
+	ok, res, err := mc.CheckSchedulabilityContext(ctx, m, b)
 	elapsed := time.Since(start)
+	var rerr *nsa.RunError
+	if errors.As(err, &rerr) {
+		fmt.Printf("explored %d states, %d transitions, %d leaves in %v\n",
+			res.States, res.Transitions, res.Leaves, elapsed)
+		fmt.Println("exploration stopped by the resource budget; verdict is partial")
+		diag.Exit("mcheck", err, m.Net, *report)
+	}
+	if err != nil {
+		diag.Exit("mcheck", err, m.Net, *report)
+	}
 	fmt.Printf("explored %d states, %d transitions, %d leaves in %v\n",
 		res.States, res.Transitions, res.Leaves, elapsed)
-	if !res.Complete {
-		fmt.Println("exploration ABORTED at the state bound; verdict is partial")
-	}
 	if ok {
 		fmt.Println("SCHEDULABLE (no run reaches a deadline failure)")
-		return nil
+		return
 	}
 	fmt.Printf("NOT SCHEDULABLE: %s\n", res.Bad)
-	os.Exit(3)
-	return nil
+	os.Exit(diag.ExitVerdict)
 }

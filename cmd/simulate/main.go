@@ -3,18 +3,28 @@
 // reports the schedulability verdict, per-task response-time statistics
 // and, optionally, the full trace and an ASCII Gantt chart.
 //
+// The run honours the shared resource-limit flags and maps failures onto
+// the exit-code scheme documented in internal/diag: 0 schedulable,
+// 1 operational error, 2 usage, 3 not schedulable, 4 budget exhausted or
+// interrupted, 5 model diagnostic (timelock/livelock/semantics), 6 invalid
+// configuration.
+//
 // Usage:
 //
 //	simulate -config system.xml [-trace] [-gantt] [-scale N] [-observers]
+//	         [-max-steps N] [-timeout D] [-max-mem-mb N] [-report out.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/observer"
 	"stopwatchsim/internal/trace"
 )
@@ -28,40 +38,47 @@ func main() {
 		observers  = flag.Bool("observers", false, "check the §3 correctness requirements during the run")
 		jsonOut    = flag.String("json", "", "write the trace and analysis as JSON to this file")
 		csvOut     = flag.String("csv", "", "write the trace as CSV to this file")
+		report     = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
 	)
+	budget := diag.BudgetFlags()
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(diag.ExitUsage)
 	}
-	if err := run(*configPath, *showTrace, *showGantt, *scale, *observers, *jsonOut, *csvOut); err != nil {
-		fmt.Fprintln(os.Stderr, "simulate:", err)
-		os.Exit(1)
-	}
+	ctx, stop := diag.SignalContext()
+	defer stop()
+	run(ctx, *configPath, *showTrace, *showGantt, *scale, *observers, *jsonOut, *csvOut, *report, budget())
 }
 
-func run(path string, showTrace, showGantt bool, scale int64, withObservers bool, jsonOut, csvOut string) error {
+// fail routes any error through the diag classifier (printing, optional
+// JSON report, exit code) and is a no-op on nil.
+func fail(err error, net *nsa.Network, reportPath string) {
+	diag.Exit("simulate", err, net, reportPath)
+}
+
+func run(ctx context.Context, path string, showTrace, showGantt bool, scale int64, withObservers bool, jsonOut, csvOut, reportPath string, b nsa.Budget) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		fail(err, nil, reportPath)
 	}
 	defer f.Close()
 	sys, err := config.ReadXML(f)
 	if err != nil {
-		return err
+		fail(err, nil, reportPath)
 	}
 	m, err := model.Build(sys)
 	if err != nil {
-		return err
+		fail(err, nil, reportPath)
 	}
 	fmt.Printf("system %q: %d cores, %d partitions, %d tasks, %d messages, L=%d, %d jobs\n",
 		sys.Name, len(sys.Cores), len(sys.Partitions), sys.TaskCount(), len(sys.Messages),
 		sys.Hyperperiod(), sys.JobCount())
 
 	if withObservers {
-		violations, err := observer.VerifyRun(m)
+		violations, err := observer.VerifyRunContext(ctx, m, b)
 		if err != nil {
-			return err
+			fail(err, m.Net, reportPath)
 		}
 		if len(violations) == 0 {
 			fmt.Println("observers: all §3 requirements satisfied on this run")
@@ -73,17 +90,17 @@ func run(path string, showTrace, showGantt bool, scale int64, withObservers bool
 		// Rebuild for a clean run below.
 		m, err = model.Build(sys)
 		if err != nil {
-			return err
+			fail(err, nil, reportPath)
 		}
 	}
 
-	tr, res, err := m.Simulate()
+	tr, res, err := m.SimulateContext(ctx, nil, b)
 	if err != nil {
-		return err
+		fail(err, m.Net, reportPath)
 	}
 	a, err := trace.Analyze(sys, tr)
 	if err != nil {
-		return err
+		fail(err, m.Net, reportPath)
 	}
 	fmt.Printf("run: %d actions, %d delays, stopped at t=%d\n", res.Actions, res.Delays, res.Time)
 	fmt.Print(a.Summary(sys))
@@ -96,31 +113,30 @@ func run(path string, showTrace, showGantt bool, scale int64, withObservers bool
 	if jsonOut != "" {
 		w, err := os.Create(jsonOut)
 		if err != nil {
-			return err
+			fail(err, m.Net, reportPath)
 		}
 		if err := trace.WriteJSON(w, sys, tr, a); err != nil {
 			w.Close()
-			return err
+			fail(err, m.Net, reportPath)
 		}
 		if err := w.Close(); err != nil {
-			return err
+			fail(err, m.Net, reportPath)
 		}
 	}
 	if csvOut != "" {
 		w, err := os.Create(csvOut)
 		if err != nil {
-			return err
+			fail(err, m.Net, reportPath)
 		}
 		if err := tr.WriteCSV(w, sys); err != nil {
 			w.Close()
-			return err
+			fail(err, m.Net, reportPath)
 		}
 		if err := w.Close(); err != nil {
-			return err
+			fail(err, m.Net, reportPath)
 		}
 	}
 	if !a.Schedulable {
-		os.Exit(3)
+		os.Exit(diag.ExitVerdict)
 	}
-	return nil
 }

@@ -5,20 +5,29 @@
 // mirroring the paper's non-deterministic parameter choice by enumeration;
 // with -config it verifies one concrete configuration exhaustively.
 //
+// Exit codes follow internal/diag: 0 all requirements hold, 1 operational
+// error, 2 usage, 3 violation found, 4 budget exhausted or interrupted
+// before a verdict, 5 model diagnostic, 6 invalid configuration.
+//
 // Usage:
 //
-//	verify [-config system.xml] [-max-states N]
+//	verify [-config system.xml] [-max-states N] [-max-steps N] [-timeout D]
+//	       [-max-mem-mb N] [-report out.json]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/gen"
 	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/observer"
 )
 
@@ -27,79 +36,100 @@ func main() {
 		configPath = flag.String("config", "", "verify this configuration instead of the parametric sweep")
 		maxStates  = flag.Int("max-states", 5_000_000, "state bound per exploration")
 		seeds      = flag.Int("sweep", 24, "number of random parametric instantiations in sweep mode")
+		report     = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
 	)
+	budget := diag.BudgetFlags()
 	flag.Parse()
-	if err := run(*configPath, *maxStates, *seeds); err != nil {
-		fmt.Fprintln(os.Stderr, "verify:", err)
-		os.Exit(1)
+	ctx, stop := diag.SignalContext()
+	defer stop()
+	b := budget()
+	b.MaxStates = *maxStates
+	if *configPath != "" {
+		verifyOne(ctx, *configPath, b, *report)
+		return
 	}
+	sweep(ctx, *seeds, b, *report)
 }
 
-func run(path string, maxStates, seeds int) error {
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		sys, err := config.ReadXML(f)
-		if err != nil {
-			return err
-		}
-		return verifyOne(sys, maxStates)
-	}
-
-	// Parametric sweep over random small configurations.
+func sweep(ctx context.Context, seeds int, b nsa.Budget, report string) {
 	p := gen.DefaultRandomParams()
-	failures := 0
+	failures, incomplete := 0, 0
 	for seed := int64(0); seed < int64(seeds); seed++ {
 		sys := gen.Random(seed, p)
 		m, err := model.Build(sys)
 		if err != nil {
-			return err
+			diag.Exit("verify", err, nil, report)
 		}
 		start := time.Now()
-		bad, res, err := observer.VerifyAllRuns(m, maxStates)
-		if err != nil {
-			return err
+		bad, res, err := observer.VerifyAllRunsContext(ctx, m, b)
+		var rerr *nsa.RunError
+		stopped := errors.As(err, &rerr)
+		if err != nil && !stopped {
+			diag.Exit("verify", err, m.Net, report)
 		}
 		status := "OK"
-		if bad != "" {
+		switch {
+		case bad != "":
 			status = "VIOLATION: " + bad
 			failures++
-		} else if !res.Complete {
+		case stopped:
+			status = "incomplete (" + rerr.Reason.String() + ")"
+			incomplete++
+		case !res.Complete:
 			status = "incomplete (state bound)"
+			incomplete++
 		}
 		fmt.Printf("seed %3d: %4d tasks-states %8d states %8v  %s\n",
 			seed, sys.TaskCount(), res.States, time.Since(start).Round(time.Millisecond), status)
+		if stopped && rerr.Reason == nsa.StopCanceled {
+			diag.Exit("verify", err, m.Net, report)
+		}
 	}
 	if failures > 0 {
 		fmt.Printf("%d instantiations violated a requirement\n", failures)
-		os.Exit(3)
+		os.Exit(diag.ExitVerdict)
+	}
+	if incomplete > 0 {
+		fmt.Printf("%d of %d instantiations not fully explored; the rest satisfy every §3 requirement\n",
+			incomplete, seeds)
+		os.Exit(diag.ExitBudget)
 	}
 	fmt.Printf("all %d instantiations satisfy every §3 requirement in every run\n", seeds)
-	return nil
 }
 
-func verifyOne(sys *config.System, maxStates int) error {
+func verifyOne(ctx context.Context, path string, b nsa.Budget, report string) {
+	f, err := os.Open(path)
+	if err != nil {
+		diag.Exit("verify", err, nil, report)
+	}
+	defer f.Close()
+	sys, err := config.ReadXML(f)
+	if err != nil {
+		diag.Exit("verify", err, nil, report)
+	}
 	m, err := model.Build(sys)
 	if err != nil {
-		return err
+		diag.Exit("verify", err, nil, report)
 	}
 	start := time.Now()
-	bad, res, err := observer.VerifyAllRuns(m, maxStates)
-	if err != nil {
-		return err
+	bad, res, err := observer.VerifyAllRunsContext(ctx, m, b)
+	var rerr *nsa.RunError
+	stopped := errors.As(err, &rerr)
+	if err != nil && !stopped {
+		diag.Exit("verify", err, m.Net, report)
 	}
 	fmt.Printf("explored %d states in %v\n", res.States, time.Since(start))
 	if bad != "" {
 		fmt.Println("VIOLATION:", bad)
-		os.Exit(3)
+		os.Exit(diag.ExitVerdict)
+	}
+	if stopped {
+		fmt.Println("exploration stopped by the resource budget; no violation found so far")
+		diag.Exit("verify", err, m.Net, report)
 	}
 	if !res.Complete {
 		fmt.Println("incomplete exploration (state bound reached); no violation found so far")
-		return nil
+		os.Exit(diag.ExitBudget)
 	}
 	fmt.Println("all §3 requirements hold in every run")
-	return nil
 }

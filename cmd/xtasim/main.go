@@ -3,9 +3,14 @@
 // synchronization trace — the front end the paper's architecture uses to
 // bring user-defined component models into the simulation library.
 //
+// Exit codes follow internal/diag: 0 clean run, 1 operational error,
+// 2 usage, 4 budget exhausted or interrupted, 5 model diagnostic
+// (timelock, livelock, semantics error).
+//
 // Usage:
 //
-//	xtasim -model file.xta -horizon 100 [-trace]
+//	xtasim -model file.xta -horizon 100 [-trace] [-max-steps N]
+//	       [-timeout D] [-max-mem-mb N] [-report out.json]
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/sa"
 	"stopwatchsim/internal/xta"
@@ -23,35 +29,33 @@ func main() {
 		path    = flag.String("model", "", "XTA model file (required)")
 		horizon = flag.Int64("horizon", 1000, "model-time horizon")
 		show    = flag.Bool("trace", true, "print the synchronization trace")
+		report  = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
 	)
+	budget := diag.BudgetFlags()
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(diag.ExitUsage)
 	}
-	if err := run(*path, *horizon, *show); err != nil {
-		fmt.Fprintln(os.Stderr, "xtasim:", err)
-		os.Exit(1)
-	}
-}
 
-func run(path string, horizon int64, show bool) error {
-	src, err := os.ReadFile(path)
+	src, err := os.ReadFile(*path)
 	if err != nil {
-		return err
+		diag.Exit("xtasim", err, nil, *report)
 	}
 	m, err := xta.Compile(string(src))
 	if err != nil {
-		return err
+		diag.Exit("xtasim", err, nil, *report)
 	}
 	fmt.Printf("compiled %d automata, %d channels, %d variables, %d clocks\n",
 		len(m.Net.Automata), len(m.Net.Chans), len(m.Net.Vars), len(m.Net.Clocks))
 
-	tr, res, err := nsa.Simulate(m.Net, horizon)
+	ctx, stop := diag.SignalContext()
+	defer stop()
+	tr, res, err := nsa.SimulateContext(ctx, m.Net, *horizon, budget())
 	if err != nil {
-		return err
+		diag.Exit("xtasim", err, m.Net, *report)
 	}
-	if show {
+	if *show {
 		for _, ev := range tr.Events {
 			switch ev.Kind {
 			case nsa.Internal:
@@ -70,12 +74,11 @@ func run(path string, horizon int64, show bool) error {
 
 	// Final variable values, a convenient way to read results off a model.
 	fmt.Println("final variables:")
-	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: horizon})
-	if _, err := eng.Run(); err != nil {
-		return err
+	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: *horizon, Budget: budget()})
+	if _, err := eng.RunContext(ctx); err != nil {
+		diag.Exit("xtasim", err, m.Net, *report)
 	}
 	for i, v := range m.Net.Vars {
 		fmt.Printf("  %-24s = %d\n", v.Name, eng.State().Vars[i])
 	}
-	return nil
 }

@@ -197,17 +197,32 @@ func GCD(a, b int64) int64 {
 	return a
 }
 
-// LCM returns the least common multiple of a and b. It panics on overflow,
-// which indicates pathological period choices.
-func LCM(a, b int64) int64 {
+// LCMChecked returns the least common multiple of a and b, or an error when
+// the result overflows int64. Validate uses it to reject configurations
+// whose periods produce an unrepresentable hyperperiod before any analysis
+// runs on them.
+func LCMChecked(a, b int64) (int64, error) {
 	if a == 0 || b == 0 {
-		return 0
+		return 0, nil
 	}
 	g := GCD(a, b)
 	q := a / g
 	r := q * b
 	if r/b != q {
-		panic(fmt.Sprintf("config: hyperperiod overflow computing lcm(%d,%d)", a, b))
+		return 0, fmt.Errorf("config: hyperperiod overflow computing lcm(%d,%d)", a, b)
+	}
+	return r, nil
+}
+
+// LCM returns the least common multiple of a and b. It panics on overflow;
+// all user-supplied period sets pass through Validate, which rejects
+// overflowing combinations with a proper error first, so a panic here
+// indicates a programmer error (Hyperperiod called on an unvalidated
+// configuration).
+func LCM(a, b int64) int64 {
+	r, err := LCMChecked(a, b)
+	if err != nil {
+		panic(err.Error())
 	}
 	return r
 }

@@ -1,0 +1,66 @@
+package config
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLCMChecked(t *testing.T) {
+	if v, err := LCMChecked(4, 6); err != nil || v != 12 {
+		t.Errorf("LCMChecked(4,6) = %d, %v", v, err)
+	}
+	if v, err := LCMChecked(0, 5); err != nil || v != 0 {
+		t.Errorf("LCMChecked(0,5) = %d, %v", v, err)
+	}
+	if _, err := LCMChecked(1<<62, 3); err == nil {
+		t.Error("LCMChecked(2^62, 3) must overflow")
+	}
+}
+
+func TestLCMPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LCM on an overflowing pair must panic (programmer error)")
+		}
+	}()
+	LCM(1<<62, 3)
+}
+
+// TestValidateHyperperiodOverflow: a period combination whose LCM is not
+// representable must be rejected by Validate with an error naming the two
+// periods involved — not crash the process later in Hyperperiod.
+func TestValidateHyperperiodOverflow(t *testing.T) {
+	huge := int64(1) << 62
+	s := &System{
+		Name:      "overflow",
+		CoreTypes: []string{"std"},
+		Cores:     []Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []Partition{
+			{Name: "P1", Core: 0, Policy: FPPS,
+				Tasks: []Task{
+					{Name: "Big", Priority: 2, WCET: []int64{1}, Period: huge, Deadline: huge},
+					{Name: "Odd", Priority: 1, WCET: []int64{1}, Period: 3, Deadline: 3},
+				},
+				Windows: []Window{{Start: 0, End: 1}}},
+		},
+	}
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("overflowing hyperperiod must not validate")
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("err = %T, want *ValidationError", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "hyperperiod overflows") {
+		t.Errorf("message = %q, want overflow explanation", msg)
+	}
+	// Both offending periods and their task names must be identified.
+	for _, want := range []string{"4611686018427387904", "P1.Big", "3", "P1.Odd"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message = %q, want it to name %q", msg, want)
+		}
+	}
+}

@@ -108,9 +108,40 @@ func (s *System) Validate() error {
 		}
 	}
 
+	// Hyperperiod: the LCM of all periods must be representable. On
+	// overflow, name the concrete pair of periods responsible (or, when
+	// only the combination of several periods overflows, the accumulated
+	// LCM) so the user knows which tasks to adjust.
+	type periodOf struct {
+		period int64
+		task   string
+	}
+	var periods []periodOf
+	l := int64(1)
+	for i := range s.Partitions {
+		p := &s.Partitions[i]
+		for j := range p.Tasks {
+			t := &p.Tasks[j]
+			name := p.Name + "." + t.Name
+			nl, err := LCMChecked(l, t.Period)
+			if err != nil {
+				for _, prev := range periods {
+					if _, perr := LCMChecked(prev.period, t.Period); perr != nil {
+						return verr("task "+name,
+							"hyperperiod overflows int64: lcm of period %d (task %s) and period %d (task %s) is not representable",
+							prev.period, prev.task, t.Period, name)
+					}
+				}
+				return verr("task "+name,
+					"hyperperiod overflows int64: lcm of accumulated hyperperiod %d and period %d is not representable", l, t.Period)
+			}
+			l = nl
+			periods = append(periods, periodOf{t.Period, name})
+		}
+	}
+
 	// Windows: each inside [0, L], start < end, sorted per partition, and
 	// non-overlapping across partitions sharing a core.
-	l := s.Hyperperiod()
 	type cw struct {
 		Window
 		part string

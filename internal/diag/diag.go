@@ -1,0 +1,246 @@
+// Package diag turns the typed failures of the analysis pipeline — budget
+// exhaustion, cancellation, timelocks, livelocks, expression semantics
+// errors and configuration defects — into a uniform Report that the command
+// line tools print, serialize as JSON and map onto distinct exit codes.
+//
+// The exit-code contract shared by cmd/simulate, cmd/mcheck and cmd/verify:
+//
+//	0  analysis completed, verdict positive
+//	1  operational error (I/O, malformed input, internal failure)
+//	2  usage error (bad flags)
+//	3  analysis completed, verdict negative (not schedulable / violation)
+//	4  resource budget exhausted or run canceled; result is partial
+//	5  model diagnostic: timelock, livelock or expression semantics error
+//	6  invalid configuration (rejected by validation)
+package diag
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/sa"
+)
+
+// Exit codes of the analysis tools. Verdict codes are not produced by
+// FromError (an unfavourable verdict is not an error); tools use them
+// directly.
+const (
+	ExitOK         = 0
+	ExitError      = 1
+	ExitUsage      = 2
+	ExitVerdict    = 3 // verdict negative: not schedulable, observer violation
+	ExitBudget     = 4 // budget exhausted or canceled; partial result
+	ExitDiagnostic = 5 // timelock, livelock or semantics error in the model
+	ExitConfig     = 6 // configuration rejected by validation
+)
+
+// Kind classifies a report for machine consumption.
+type Kind string
+
+// Report kinds.
+const (
+	KindError     Kind = "error"
+	KindBudget    Kind = "budget-exhausted"
+	KindCanceled  Kind = "canceled"
+	KindDeadlock  Kind = "deadlock"
+	KindSemantics Kind = "semantics-error"
+	KindConfig    Kind = "invalid-config"
+)
+
+// TraceEvent is one rendered synchronization event of a counterexample or
+// partial-run prefix.
+type TraceEvent struct {
+	Time  int64  `json:"time"`
+	Event string `json:"event"`
+}
+
+// Blocked mirrors nsa.BlockedAutomaton for serialization.
+type Blocked struct {
+	Automaton  string   `json:"automaton"`
+	Location   string   `json:"location"`
+	Committed  bool     `json:"committed,omitempty"`
+	Invariant  string   `json:"invariant,omitempty"`
+	UrgentChan string   `json:"urgent_chan,omitempty"`
+	Edges      []string `json:"edges,omitempty"`
+}
+
+// Report is the structured failure description a tool emits on stderr and,
+// with -report, as JSON.
+type Report struct {
+	Tool     string `json:"tool"`
+	Kind     Kind   `json:"kind"`
+	ExitCode int    `json:"exit_code"`
+	Message  string `json:"message"`
+
+	// Budget / cancellation detail (KindBudget, KindCanceled).
+	Reason string `json:"reason,omitempty"`
+	Steps  int64  `json:"steps,omitempty"`
+	States int    `json:"states,omitempty"`
+
+	// Model time reached or at which the failure occurred.
+	Time int64 `json:"model_time"`
+
+	// Deadlock detail (KindDeadlock).
+	DeadlockKind string    `json:"deadlock_kind,omitempty"`
+	Blocked      []Blocked `json:"blocked,omitempty"`
+
+	// Semantics detail (KindSemantics).
+	Automaton string `json:"automaton,omitempty"`
+	Location  string `json:"location,omitempty"`
+	Expr      string `json:"expr,omitempty"`
+
+	// Configuration detail (KindConfig).
+	Where string `json:"where,omitempty"`
+
+	// Trace is the bounded synchronization-event suffix leading to the
+	// failure, oldest first.
+	Trace []TraceEvent `json:"trace,omitempty"`
+}
+
+// renderEvent names an event's channel and participants against net; with a
+// nil network it falls back to indices.
+func renderEvent(ev nsa.SyncEvent, net *nsa.Network) string {
+	if net == nil {
+		return fmt.Sprintf("chan#%d parts=%v", ev.Chan, ev.Parts)
+	}
+	tr := nsa.Transition{Kind: ev.Kind, Chan: sa.ChanID(ev.Chan), Parts: ev.Parts}
+	return tr.String(net)
+}
+
+// RenderTrace converts raw synchronization events into display form.
+func RenderTrace(events []nsa.SyncEvent, net *nsa.Network) []TraceEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]TraceEvent, len(events))
+	for i, ev := range events {
+		out[i] = TraceEvent{Time: ev.Time, Event: renderEvent(ev, net)}
+	}
+	return out
+}
+
+// FromError classifies err into a Report, or returns nil when err is nil.
+// net, when non-nil, is used to render trace prefixes with automaton and
+// channel names; pass nil when the failure predates model construction.
+func FromError(tool string, err error, net *nsa.Network) *Report {
+	if err == nil {
+		return nil
+	}
+	r := &Report{Tool: tool, Kind: KindError, ExitCode: ExitError, Message: err.Error()}
+
+	var rerr *nsa.RunError
+	var derr *nsa.DeadlockError
+	var serr *nsa.SemanticsError
+	var verr *config.ValidationError
+	switch {
+	case errors.As(err, &rerr):
+		r.Kind = KindBudget
+		if rerr.Reason == nsa.StopCanceled {
+			r.Kind = KindCanceled
+		}
+		r.ExitCode = ExitBudget
+		r.Reason = rerr.Reason.String()
+		r.Steps = rerr.Steps
+		r.States = rerr.States
+		r.Time = rerr.Time
+		r.Trace = RenderTrace(rerr.Trace, net)
+	case errors.As(err, &derr):
+		r.Kind = KindDeadlock
+		r.ExitCode = ExitDiagnostic
+		r.Time = derr.Time
+		r.DeadlockKind = derr.Kind.String()
+		for i := range derr.Blocked {
+			b := &derr.Blocked[i]
+			r.Blocked = append(r.Blocked, Blocked{
+				Automaton:  b.Automaton,
+				Location:   b.Location,
+				Committed:  b.Committed,
+				Invariant:  b.Invariant,
+				UrgentChan: b.UrgentChan,
+				Edges:      b.Edges,
+			})
+		}
+		r.Trace = RenderTrace(derr.Trace, net)
+	case errors.As(err, &serr):
+		r.Kind = KindSemantics
+		r.ExitCode = ExitDiagnostic
+		r.Time = serr.Time
+		r.Automaton = serr.Automaton
+		r.Location = serr.Location
+		r.Expr = serr.Expr
+	case errors.As(err, &verr):
+		r.Kind = KindConfig
+		r.ExitCode = ExitConfig
+		r.Where = verr.Where
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText prints a human-readable rendering to w: the message, any
+// blocked-automaton detail, and the trace prefix.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", r.Tool, r.Message)
+	for i := range r.Blocked {
+		b := &r.Blocked[i]
+		fmt.Fprintf(w, "  blocked: %s in %q\n", b.Automaton, b.Location)
+		if b.Committed {
+			fmt.Fprintf(w, "    committed location forbids delay\n")
+		}
+		if b.Invariant != "" {
+			fmt.Fprintf(w, "    invariant %s forbids delay\n", b.Invariant)
+		}
+		if b.UrgentChan != "" {
+			fmt.Fprintf(w, "    urgent channel %q pending\n", b.UrgentChan)
+		}
+		for _, e := range b.Edges {
+			fmt.Fprintf(w, "    %s\n", e)
+		}
+	}
+	if len(r.Trace) > 0 {
+		fmt.Fprintf(w, "  trace prefix (last %d events):\n", len(r.Trace))
+		for _, ev := range r.Trace {
+			fmt.Fprintf(w, "    t=%-6d %s\n", ev.Time, ev.Event)
+		}
+	}
+}
+
+// Exit prints the report for err to stderr, writes the JSON report to
+// reportPath when non-empty, and terminates the process with the mapped
+// exit code. A nil err is a no-op so callers can invoke it unconditionally.
+func Exit(tool string, err error, net *nsa.Network, reportPath string) {
+	r := FromError(tool, err, net)
+	if r == nil {
+		return
+	}
+	r.WriteText(os.Stderr)
+	if reportPath != "" {
+		if werr := writeReportFile(reportPath, r); werr != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing report: %v\n", tool, werr)
+		}
+	}
+	os.Exit(r.ExitCode)
+}
+
+func writeReportFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

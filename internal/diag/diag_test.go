@@ -1,0 +1,96 @@
+package diag
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/nsa"
+)
+
+func TestFromErrorNil(t *testing.T) {
+	if FromError("tool", nil, nil) != nil {
+		t.Error("nil error must produce no report")
+	}
+}
+
+func TestFromErrorClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		kind Kind
+		code int
+	}{
+		{&nsa.RunError{Reason: nsa.StopSteps, Time: 7, Steps: 100}, KindBudget, ExitBudget},
+		{&nsa.RunError{Reason: nsa.StopCanceled, Cause: context.Canceled}, KindCanceled, ExitBudget},
+		{&nsa.DeadlockError{Kind: nsa.Timelock, Time: 2, Msg: "stuck",
+			Blocked: []nsa.BlockedAutomaton{{Automaton: "A", Location: "W", Invariant: "t <= 2"}}},
+			KindDeadlock, ExitDiagnostic},
+		{&nsa.SemanticsError{Time: 3, Msg: "division by zero", Automaton: "A", Expr: "1/x"},
+			KindSemantics, ExitDiagnostic},
+		{&config.ValidationError{Where: "task P1.T", Msg: "bad period"}, KindConfig, ExitConfig},
+		{errors.New("open foo: no such file"), KindError, ExitError},
+		{fmt.Errorf("wrapped: %w", &nsa.RunError{Reason: nsa.StopWallTime}), KindBudget, ExitBudget},
+	}
+	for i, c := range cases {
+		r := FromError("tool", c.err, nil)
+		if r.Kind != c.kind || r.ExitCode != c.code {
+			t.Errorf("case %d: kind=%s code=%d, want %s/%d", i, r.Kind, r.ExitCode, c.kind, c.code)
+		}
+		if r.Message == "" {
+			t.Errorf("case %d: empty message", i)
+		}
+	}
+}
+
+func TestReportDetailAndJSON(t *testing.T) {
+	err := &nsa.DeadlockError{
+		Kind: nsa.Timelock, Time: 2, Msg: "no delay, no action enabled",
+		Blocked: []nsa.BlockedAutomaton{{
+			Automaton: "A", Location: "W", Invariant: "t <= 2",
+			Edges: []string{`edge W -> D: no partner ready on channel "never"`},
+		}},
+	}
+	r := FromError("mcheck", err, nil)
+	if r.DeadlockKind != "time-stop deadlock" || r.Time != 2 {
+		t.Errorf("report = %+v", r)
+	}
+	if len(r.Blocked) != 1 || r.Blocked[0].Automaton != "A" || r.Blocked[0].Invariant != "t <= 2" {
+		t.Errorf("blocked = %+v", r.Blocked)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.ExitCode != ExitDiagnostic || decoded.Blocked[0].Location != "W" {
+		t.Errorf("decoded = %+v", decoded)
+	}
+
+	var txt bytes.Buffer
+	r.WriteText(&txt)
+	for _, want := range []string{"mcheck:", "blocked: A", "t <= 2", "never"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text = %q, want %q", txt.String(), want)
+		}
+	}
+}
+
+func TestRenderTraceFallback(t *testing.T) {
+	events := []nsa.SyncEvent{{Time: 5, Chan: 2}}
+	got := RenderTrace(events, nil)
+	if len(got) != 1 || got[0].Time != 5 || !strings.Contains(got[0].Event, "2") {
+		t.Errorf("rendered = %+v", got)
+	}
+	if RenderTrace(nil, nil) != nil {
+		t.Error("empty trace must render to nil")
+	}
+}

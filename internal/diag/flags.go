@@ -1,0 +1,34 @@
+package diag
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"stopwatchsim/internal/nsa"
+)
+
+// BudgetFlags registers the shared resource-limit flags (-max-steps,
+// -timeout, -max-mem-mb) on the default flag set and returns a function
+// that assembles the nsa.Budget once flag.Parse has run.
+func BudgetFlags() func() nsa.Budget {
+	steps := flag.Int64("max-steps", 0, "stop after this many transitions (0 = unlimited)")
+	wall := flag.Duration("timeout", 0, "stop after this much wall time, e.g. 30s (0 = unlimited)")
+	mem := flag.Int64("max-mem-mb", 0, "stop when the Go heap exceeds this many MiB (0 = unlimited)")
+	return func() nsa.Budget {
+		b := nsa.Budget{MaxSteps: *steps, MaxWallTime: *wall}
+		if *mem > 0 {
+			b.MaxMemoryBytes = uint64(*mem) << 20
+		}
+		return b
+	}
+}
+
+// SignalContext returns a context canceled on SIGINT or SIGTERM, so an
+// interrupted analysis stops at the next budget checkpoint and reports its
+// partial progress instead of dying mid-run.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

@@ -1,0 +1,98 @@
+package expr
+
+import "testing"
+
+// fuzzScope mirrors the symbol kinds a real model exposes: scalars, an
+// array, clocks and a constant, so resolution exercises every lookup path.
+func fuzzScope() MapScope {
+	return MapScope{
+		"x":   {Kind: SymVar, Index: 0},
+		"y":   {Kind: SymVar, Index: 1},
+		"arr": {Kind: SymVar, Index: 2, Len: 3},
+		"t":   {Kind: SymClock, Index: 0},
+		"N":   {Kind: SymConst, Const: 10},
+	}
+}
+
+// FuzzParseResolve asserts the expression front end never panics: any input
+// either parses and resolves or is rejected with an error.
+func FuzzParseResolve(f *testing.F) {
+	for _, seed := range []string{
+		"x + y * 2",
+		"t <= 10 && x == 0",
+		"arr[x % 3] - N",
+		"-(x / (y + 1))",
+		"!(x > 0) || t == N",
+		"x<y?x:-y", // not in the grammar; must error, not panic
+		"((((x))))",
+		"1 +",
+		"arr[",
+		"x & y | 3",
+		"\x00\xff",
+		"999999999999999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	sc := fuzzScope()
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Resolution of a syntactically valid expression may fail (unknown
+		// names, type errors) but must never panic.
+		for _, want := range []Type{TypeInt, TypeBool} {
+			if _, err := Resolve(n, sc, want); err != nil {
+				continue
+			}
+		}
+	})
+}
+
+// FuzzParseUpdate covers the statement-list grammar (comma-separated
+// assignments) and its resolver.
+func FuzzParseUpdate(f *testing.F) {
+	for _, seed := range []string{
+		"x := 1",
+		"x := x + 1, y := 0",
+		"arr[x] := arr[y] + N, t := 0",
+		"x := y / (x - x)",
+		"x :=",
+		":= 3",
+		"x := 1,",
+	} {
+		f.Add(seed)
+	}
+	sc := fuzzScope()
+	f.Fuzz(func(t *testing.T, src string) {
+		list, err := ParseUpdate(src)
+		if err != nil {
+			return
+		}
+		if _, err := ResolveUpdate(list, sc); err != nil {
+			return
+		}
+	})
+}
+
+// FuzzParseInvariant covers the invariant sub-grammar (conjunctions of
+// clock bounds) used by location invariants.
+func FuzzParseInvariant(f *testing.F) {
+	for _, seed := range []string{
+		"t <= 10",
+		"t <= N && t <= x + 1",
+		"t < 2",
+		"t >= 3", // wrong direction for an upper bound; must error cleanly
+		"x <= 10",
+		"t <=",
+		"true",
+	} {
+		f.Add(seed)
+	}
+	sc := fuzzScope()
+	f.Fuzz(func(t *testing.T, src string) {
+		if _, err := ParseInvariant(src, sc); err != nil {
+			return
+		}
+	})
+}

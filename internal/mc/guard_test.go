@@ -1,0 +1,79 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"stopwatchsim/internal/gen"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+)
+
+// bigModel returns a model whose state space is far too large to exhaust
+// quickly: the paper's Table 1 configuration with 18 jobs, whose exhaustive
+// exploration takes on the order of seconds.
+func bigModel(t *testing.T) *model.Model {
+	t.Helper()
+	return model.MustBuild(gen.Table1Config(18))
+}
+
+func TestExploreContextCancelPrompt(t *testing.T) {
+	m := bigModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := ExploreContext(ctx, m.Net, Options{Horizon: m.Horizon, MaxStates: 1 << 30})
+	elapsed := time.Since(start)
+	var rerr *nsa.RunError
+	if !errors.As(err, &rerr) || rerr.Reason != nsa.StopCanceled {
+		t.Fatalf("err = %v (after %v), want cancellation RunError", err, elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("RunError must unwrap to context.Canceled")
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v to stop the exploration", elapsed)
+	}
+	if res.Complete {
+		t.Error("canceled exploration must not claim completeness")
+	}
+	if res.States == 0 {
+		t.Error("partial result reports no explored states")
+	}
+}
+
+func TestExploreWallTimeBudget(t *testing.T) {
+	m := bigModel(t)
+	res, err := ExploreContext(context.Background(), m.Net, Options{
+		Horizon: m.Horizon, MaxStates: 1 << 30,
+		Budget: nsa.Budget{MaxWallTime: 30 * time.Millisecond},
+	})
+	var rerr *nsa.RunError
+	if !errors.As(err, &rerr) || rerr.Reason != nsa.StopWallTime {
+		t.Fatalf("err = %v, want wall-time RunError", err)
+	}
+	if res.Complete {
+		t.Error("budget-stopped exploration must not claim completeness")
+	}
+}
+
+func TestCheckSchedulabilityContextBudget(t *testing.T) {
+	m := bigModel(t)
+	_, res, err := CheckSchedulabilityContext(context.Background(), m,
+		nsa.Budget{MaxStates: 100})
+	var rerr *nsa.RunError
+	if !errors.As(err, &rerr) || rerr.Reason != nsa.StopStates {
+		t.Fatalf("err = %v, want state-budget RunError", err)
+	}
+	if res.Complete || res.States == 0 {
+		t.Errorf("partial result = %+v", res)
+	}
+	if rerr.States != res.States {
+		t.Errorf("RunError.States = %d, result = %d", rerr.States, res.States)
+	}
+}

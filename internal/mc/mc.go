@@ -12,6 +12,7 @@
 package mc
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -43,11 +44,16 @@ type Options struct {
 	// Monitors observe every action transition.
 	Monitors []Monitor
 	// MaxStates aborts the exploration when exceeded (0 = 50 million).
+	// Exhaustion returns a *nsa.RunError carrying the partial Result.
+	// Budget.MaxStates, when set, takes precedence.
 	MaxStates int
 	// NoDedup disables visited-state de-duplication, turning the search
 	// into a full run-tree walk. Only sensible for tiny models (used by
 	// trace-equivalence tests).
 	NoDedup bool
+	// Budget bounds the exploration's resources (states, transitions, wall
+	// time, memory); the zero value leaves only the MaxStates default.
+	Budget nsa.Budget
 }
 
 // Result summarizes an exploration.
@@ -81,17 +87,44 @@ type frame struct {
 // violations), mirroring the simulator. The visited set stores 128-bit
 // FNV-1a hashes of the product state (network state × monitor states), so
 // memory stays proportional to the number of distinct states, not their
-// size.
+// size. It is ExploreContext under context.Background().
 func Explore(net *nsa.Network, opts Options) (Result, error) {
+	return ExploreContext(context.Background(), net, opts)
+}
+
+// ExploreContext is Explore with cancellation and resource budgets. When
+// the state cap, a Budget dimension or the context stops the search, the
+// partial Result (Complete == false) is returned together with a typed
+// *nsa.RunError reporting states explored, transitions fired and the model
+// time of the state being expanded. Timelocks found during exploration are
+// reported as *nsa.DeadlockError naming the blocked automata.
+func ExploreContext(ctx context.Context, net *nsa.Network, opts Options) (res Result, err error) {
 	if opts.Horizon <= 0 {
 		return Result{}, fmt.Errorf("mc: non-positive horizon %d", opts.Horizon)
 	}
 	maxStates := opts.MaxStates
+	if opts.Budget.MaxStates > 0 {
+		maxStates = opts.Budget.MaxStates
+	}
 	if maxStates == 0 {
 		maxStates = 50_000_000
 	}
-
-	var res Result
+	tracker := opts.Budget.Tracker(ctx)
+	var curTime int64 // model time of the state being expanded, for reports
+	defer func() {
+		// Explorer boundary: expression-evaluation panics escaping Fire's
+		// per-transition recovery become structured errors, mirroring the
+		// engine. Non-RuntimeError panics are programmer errors.
+		if r := recover(); r != nil {
+			re, ok := r.(*expr.RuntimeError)
+			if !ok {
+				panic(r)
+			}
+			res.Complete = false
+			err = &nsa.SemanticsError{Time: curTime, Expr: re.Expr,
+				Msg: fmt.Sprintf("during exploration: %v", re)}
+		}
+	}()
 	visited := make(map[[16]byte]struct{})
 	var keyBuf []byte
 	hasher := fnv.New128a()
@@ -135,14 +168,16 @@ func Explore(net *nsa.Network, opts Options) (Result, error) {
 		// No actions: delay in place until an action becomes enabled, or
 		// terminate, exactly like the simulator.
 		for {
+			curTime = s.Time
 			if s.Time >= opts.Horizon {
 				res.Leaves++
 				return nil, nil
 			}
 			info := net.DelayBound(s)
 			if info.Blocked {
-				return nil, &nsa.SemanticsError{Time: s.Time,
-					Msg: "time-stop deadlock during exploration (" + net.LocationString(s) + ")"}
+				return nil, &nsa.DeadlockError{Kind: nsa.Timelock, Time: s.Time,
+					Msg:     "exploration reached a state where a committed location or urgent synchronization forbids delay with no transition enabled",
+					Blocked: net.BlockedReport(s)}
 			}
 			d := info.Step()
 			if d == expr.NoBound {
@@ -150,8 +185,14 @@ func Explore(net *nsa.Network, opts Options) (Result, error) {
 				return nil, nil
 			}
 			if d <= 0 {
-				return nil, &nsa.SemanticsError{Time: s.Time,
-					Msg: fmt.Sprintf("time-stop deadlock: invariant bound %d with no enabled transition", d)}
+				return nil, &nsa.DeadlockError{Kind: nsa.Timelock, Time: s.Time,
+					Msg:     fmt.Sprintf("exploration reached a state where an invariant bounds delay at %d with no enabled transition", d),
+					Blocked: net.BlockedReport(s)}
+			}
+			if rerr := tracker.Step(s.Time); rerr != nil {
+				rerr.States = res.States
+				res.Complete = false
+				return nil, rerr
 			}
 			if remaining := opts.Horizon - s.Time; d > remaining {
 				d = remaining
@@ -189,14 +230,22 @@ func Explore(net *nsa.Network, opts Options) (Result, error) {
 	}
 
 	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		curTime = top.s.Time
 		if res.States > maxStates {
 			res.Complete = false
-			return res, nil
+			rerr := &nsa.RunError{Reason: nsa.StopStates, Time: top.s.Time,
+				Steps: tracker.Steps(), States: res.States}
+			return res, rerr
 		}
-		top := stack[len(stack)-1]
 		if top.next >= len(top.cands) {
 			stack = stack[:len(stack)-1]
 			continue
+		}
+		if rerr := tracker.Step(top.s.Time); rerr != nil {
+			rerr.States = res.States
+			res.Complete = false
+			return res, rerr
 		}
 		tr := top.cands[top.next]
 		top.next++

@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -217,11 +218,21 @@ func TestMaxStatesAborts(t *testing.T) {
 	})
 	m := model.MustBuild(sys)
 	res, err := Explore(m.Net, Options{Horizon: m.Horizon, MaxStates: 3})
-	if err != nil {
-		t.Fatal(err)
+	var rerr *nsa.RunError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %v, want *nsa.RunError", err)
+	}
+	if rerr.Reason != nsa.StopStates {
+		t.Errorf("reason = %v, want state budget exhausted", rerr.Reason)
+	}
+	if rerr.States <= 3 {
+		t.Errorf("RunError.States = %d, want > 3", rerr.States)
 	}
 	if res.Complete {
 		t.Error("exploration should have been aborted")
+	}
+	if res.States != rerr.States {
+		t.Errorf("partial result states = %d, RunError states = %d", res.States, rerr.States)
 	}
 }
 

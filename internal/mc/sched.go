@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 
 	"stopwatchsim/internal/expr"
@@ -14,6 +15,14 @@ import (
 // state (in any run, up to the hyperperiod) records a deadline failure.
 // This is the Model Checking column of Table 1.
 func CheckSchedulability(m *model.Model, maxStates int) (bool, Result, error) {
+	return CheckSchedulabilityContext(context.Background(), m, nsa.Budget{MaxStates: maxStates})
+}
+
+// CheckSchedulabilityContext is CheckSchedulability with cancellation and a
+// full resource budget. On budget exhaustion the error is a *nsa.RunError
+// and the partial Result (Complete == false) reports the states explored;
+// the boolean verdict is only meaningful when err is nil.
+func CheckSchedulabilityContext(ctx context.Context, m *model.Model, b nsa.Budget) (bool, Result, error) {
 	failed := m.FailedVars()
 	bad := func(s *nsa.State) string {
 		for _, v := range failed {
@@ -23,10 +32,10 @@ func CheckSchedulability(m *model.Model, maxStates int) (bool, Result, error) {
 		}
 		return ""
 	}
-	res, err := Explore(m.Net, Options{
-		Horizon:   m.Horizon,
-		BadState:  bad,
-		MaxStates: maxStates,
+	res, err := ExploreContext(ctx, m.Net, Options{
+		Horizon:  m.Horizon,
+		BadState: bad,
+		Budget:   b,
 	})
 	if err != nil {
 		return false, res, err

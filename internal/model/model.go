@@ -6,6 +6,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
 	"stopwatchsim/internal/config"
@@ -107,14 +108,28 @@ func Build(sys *config.System) (*Model, error) {
 // wraps every L. One cycle decides schedulability (the schedule repeats
 // identically, which TestTracePeriodicity verifies); longer horizons exist
 // for studying the repetition itself.
-func BuildCycles(sys *config.System, cycles int64) (*Model, error) {
+func BuildCycles(sys *config.System, cycles int64) (m *Model, err error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
 	if cycles < 1 {
 		return nil, fmt.Errorf("model: non-positive cycle count %d", cycles)
 	}
-	m := &Model{
+	// Construction boundary: the component builders compile internally
+	// generated expression sources with Must* helpers, which panic with
+	// error values. A validated configuration should never trip them, but a
+	// construction bug must surface as a diagnosable error to the caller
+	// rather than crash a service. Non-error panics still propagate.
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(error)
+			if !ok {
+				panic(r)
+			}
+			m, err = nil, fmt.Errorf("model: internal construction failure for configuration %q: %w", sys.Name, re)
+		}
+	}()
+	m = &Model{
 		Sys:     sys,
 		Horizon: cycles * sys.Hyperperiod(),
 		tasks:   make(map[config.TaskRef]*taskVars),
@@ -293,15 +308,25 @@ func (m *Model) Simulate() (*trace.Trace, nsa.Result, error) {
 // SimulateWith interprets the model with the given chooser (nil for the
 // deterministic default), returning the system operation trace.
 func (m *Model) SimulateWith(ch nsa.Chooser) (*trace.Trace, nsa.Result, error) {
+	return m.SimulateContext(context.Background(), ch, nsa.Budget{})
+}
+
+// SimulateContext interprets the model under a context and resource budget.
+// On cancellation or budget exhaustion the error is a *nsa.RunError and the
+// returned trace holds the prefix of system events produced before the
+// stop, so callers can report partial progress (jobs completed, model time
+// reached).
+func (m *Model) SimulateContext(ctx context.Context, ch nsa.Chooser, b nsa.Budget) (*trace.Trace, nsa.Result, error) {
 	tb := m.NewTraceBuilder()
 	eng := nsa.NewEngine(m.Net, nsa.Options{
 		Horizon:   m.Horizon,
 		Chooser:   ch,
 		Listeners: []nsa.Listener{tb},
+		Budget:    b,
 	})
-	res, err := eng.Run()
+	res, err := eng.RunContext(ctx)
 	if err != nil {
-		return nil, res, err
+		return tb.Trace(), res, err
 	}
 	return tb.Trace(), res, nil
 }

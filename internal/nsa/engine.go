@@ -1,6 +1,7 @@
 package nsa
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -76,8 +77,18 @@ type Options struct {
 	// Listeners observe fired transitions.
 	Listeners []Listener
 	// MaxActionsPerInstant bounds action transitions at one time point to
-	// detect livelocks; 0 means the default of 10 million.
+	// detect livelocks; 0 means the default of 10 million. Livelocks are
+	// normally caught much earlier by state-recurrence detection, which
+	// starts probing after a fraction of this bound.
 	MaxActionsPerInstant int
+	// Budget bounds the run's resources; the zero value is unlimited.
+	// Exhaustion stops the run cleanly with a *RunError carrying partial
+	// results.
+	Budget Budget
+	// DiagTraceDepth is the number of trailing synchronization events kept
+	// for error diagnostics (counterexample prefixes). 0 means
+	// DefaultDiagTraceDepth; negative disables the recording.
+	DiagTraceDepth int
 }
 
 // Result summarizes a completed run.
@@ -116,26 +127,115 @@ func NewEngine(net *Network, opts Options) *Engine {
 func (e *Engine) State() *State { return e.s }
 
 // Run interprets the network until the horizon, quiescence, or an error
-// (time-stop deadlock, livelock, or a semantics violation).
-func (e *Engine) Run() (Result, error) {
+// (time-stop deadlock, livelock, or a semantics violation). It is
+// RunContext under context.Background().
+func (e *Engine) Run() (Result, error) { return e.RunContext(context.Background()) }
+
+// livelockProbe returns the per-instant action count after which the engine
+// starts hashing states to detect recurrence (the precise livelock test);
+// MaxActionsPerInstant stays as the hard cap for non-recurring livelocks
+// (e.g. an unbounded counter growing at one instant).
+func livelockProbe(maxActions int) int {
+	const probe = 512
+	if maxActions/2 < probe {
+		return maxActions/2 + 1
+	}
+	return probe
+}
+
+// livelockParticipants names the automata that fired at the current instant
+// (from the recent-event ring) with their current locations.
+func livelockParticipants(n *Network, s *State, events []SyncEvent) []BlockedAutomaton {
+	seen := make(map[int]bool)
+	for _, ev := range events {
+		if ev.Time != s.Time {
+			continue
+		}
+		for _, p := range ev.Parts {
+			seen[p.Aut] = true
+		}
+	}
+	var out []BlockedAutomaton
+	for ai, a := range n.Automata {
+		if !seen[ai] {
+			continue
+		}
+		out = append(out, BlockedAutomaton{Automaton: a.Name, Location: a.LocationName(s.Locs[ai])})
+	}
+	return out
+}
+
+// RunContext interprets the network until the horizon, quiescence, an
+// error, context cancellation or budget exhaustion. Cancellation and
+// budget exhaustion return a *RunError carrying the partial Result (also
+// returned directly) and a bounded trace prefix; progress failures return a
+// *DeadlockError naming the blocked automata.
+func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 	if e.opts.Horizon <= 0 {
 		return Result{}, fmt.Errorf("nsa: non-positive horizon %d", e.opts.Horizon)
 	}
-	var res Result
+	tracker := e.opts.Budget.Tracker(ctx)
+	ring := newTraceRing(e.opts.DiagTraceDepth)
+	defer func() {
+		// Engine boundary: expression-evaluation panics that escape Fire's
+		// per-transition recovery (guard and invariant evaluation inside
+		// EnabledTransitions / DelayBound) become structured errors instead
+		// of crashing the caller. Non-RuntimeError panics are programmer
+		// errors and propagate.
+		if r := recover(); r != nil {
+			re, ok := r.(*expr.RuntimeError)
+			if !ok {
+				panic(r)
+			}
+			res.Time = e.s.Time
+			err = &SemanticsError{Time: e.s.Time,
+				Msg: fmt.Sprintf("evaluating %s: %v", e.net.LocationString(e.s), re)}
+		}
+	}()
 	var cands []Transition
+	var keyBuf []byte
 	instant := e.s.Time
 	actionsThisInstant := 0
+	probeAfter := livelockProbe(e.opts.MaxActionsPerInstant)
+	var instantSeen map[string]struct{}
+	stopped := func(rerr *RunError) (Result, error) {
+		rerr.Time = e.s.Time
+		rerr.Trace = ring.snapshot()
+		res.Time = e.s.Time
+		return res, rerr
+	}
 	for {
 		cands = e.net.EnabledTransitions(e.s, cands[:0])
 		if len(cands) > 0 {
 			if e.s.Time != instant {
 				instant = e.s.Time
 				actionsThisInstant = 0
+				instantSeen = nil
 			}
 			actionsThisInstant++
 			if actionsThisInstant > e.opts.MaxActionsPerInstant {
-				return res, &SemanticsError{Time: e.s.Time,
-					Msg: fmt.Sprintf("livelock: more than %d actions at one instant", e.opts.MaxActionsPerInstant)}
+				return res, &DeadlockError{Kind: Livelock, Time: e.s.Time,
+					Msg:     fmt.Sprintf("more than %d actions at one instant", e.opts.MaxActionsPerInstant),
+					Blocked: livelockParticipants(e.net, e.s, ring.snapshot()),
+					Trace:   ring.snapshot()}
+			}
+			if actionsThisInstant >= probeAfter {
+				// Recurrence probe: an action-transition cycle that revisits
+				// a state at one instant can never make time progress.
+				if instantSeen == nil {
+					instantSeen = make(map[string]struct{})
+				}
+				keyBuf = e.s.AppendKey(keyBuf[:0])
+				if _, dup := instantSeen[string(keyBuf)]; dup {
+					return res, &DeadlockError{Kind: Livelock, Time: e.s.Time,
+						Msg:     "state recurs without time progress",
+						Blocked: livelockParticipants(e.net, e.s, ring.snapshot()),
+						Trace:   ring.snapshot()}
+				}
+				instantSeen[string(keyBuf)] = struct{}{}
+			}
+			if rerr := tracker.Step(e.s.Time); rerr != nil {
+				return stopped(rerr)
 			}
 			idx := e.opts.Chooser.Choose(e.s, cands)
 			if idx < 0 || idx >= len(cands) {
@@ -147,6 +247,7 @@ func (e *Engine) Run() (Result, error) {
 				return res, err
 			}
 			res.Actions++
+			ring.record(SyncEvent{Time: fireTime, Kind: tr.Kind, Chan: int(tr.Chan), Parts: tr.Parts})
 			for _, l := range e.opts.Listeners {
 				l.OnTransition(fireTime, &tr, e.net, e.s)
 			}
@@ -158,8 +259,10 @@ func (e *Engine) Run() (Result, error) {
 		}
 		info := e.net.DelayBound(e.s)
 		if info.Blocked {
-			return res, &SemanticsError{Time: e.s.Time,
-				Msg: fmt.Sprintf("time-stop deadlock: committed location or urgent sync pending but no transition enabled (%s)", e.net.LocationString(e.s))}
+			return res, &DeadlockError{Kind: Timelock, Time: e.s.Time,
+				Msg:     "no transition enabled but a committed location or urgent synchronization forbids delay",
+				Blocked: e.net.BlockedReport(e.s),
+				Trace:   ring.snapshot()}
 		}
 		d := info.Step()
 		if d == expr.NoBound {
@@ -169,8 +272,13 @@ func (e *Engine) Run() (Result, error) {
 			return res, nil
 		}
 		if d <= 0 {
-			return res, &SemanticsError{Time: e.s.Time,
-				Msg: fmt.Sprintf("time-stop deadlock: invariant bound %d with no enabled transition (%s)", d, e.net.LocationString(e.s))}
+			return res, &DeadlockError{Kind: Timelock, Time: e.s.Time,
+				Msg:     fmt.Sprintf("invariant bounds delay at %d with no enabled transition", d),
+				Blocked: e.net.BlockedReport(e.s),
+				Trace:   ring.snapshot()}
+		}
+		if rerr := tracker.Step(e.s.Time); rerr != nil {
+			return stopped(rerr)
 		}
 		if remaining := e.opts.Horizon - e.s.Time; d > remaining {
 			d = remaining
@@ -185,8 +293,15 @@ func (e *Engine) Run() (Result, error) {
 // Simulate is a convenience wrapper: build an engine, attach a SyncTrace,
 // run, and return the trace alongside the result.
 func Simulate(net *Network, horizon int64) (*SyncTrace, Result, error) {
+	return SimulateContext(context.Background(), net, horizon, Budget{})
+}
+
+// SimulateContext is Simulate with a context and budget. On budget
+// exhaustion or cancellation the returned trace holds the prefix produced
+// so far and the error is a *RunError.
+func SimulateContext(ctx context.Context, net *Network, horizon int64, b Budget) (*SyncTrace, Result, error) {
 	tr := &SyncTrace{}
-	eng := NewEngine(net, Options{Horizon: horizon, Listeners: []Listener{tr}})
-	res, err := eng.Run()
+	eng := NewEngine(net, Options{Horizon: horizon, Listeners: []Listener{tr}, Budget: b})
+	res, err := eng.RunContext(ctx)
 	return tr, res, err
 }

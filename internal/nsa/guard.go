@@ -1,0 +1,409 @@
+package nsa
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"stopwatchsim/internal/expr"
+	"stopwatchsim/internal/sa"
+)
+
+// Budget bounds the resources a run or exploration may consume. The zero
+// value means "unlimited" for every dimension. Budgets make the engine and
+// the model checker safe to expose to arbitrary user-supplied models: no
+// input can hang the process (wall time), exhaust memory (states, bytes) or
+// spin forever (steps).
+type Budget struct {
+	// MaxSteps bounds the number of transitions taken: action plus delay
+	// transitions for the interpreter, fired transitions for the explorer.
+	MaxSteps int64
+	// MaxStates bounds the number of distinct states an exploration may
+	// expand. Ignored by the single-run interpreter.
+	MaxStates int
+	// MaxWallTime bounds the real time of the run.
+	MaxWallTime time.Duration
+	// MaxMemoryBytes bounds the Go heap (runtime.MemStats.HeapAlloc),
+	// checked periodically. The check is approximate: allocation between two
+	// checkpoints can overshoot the bound.
+	MaxMemoryBytes uint64
+}
+
+// IsZero reports whether every dimension is unlimited.
+func (b Budget) IsZero() bool {
+	return b.MaxSteps == 0 && b.MaxStates == 0 && b.MaxWallTime == 0 && b.MaxMemoryBytes == 0
+}
+
+// StopReason says which budget dimension stopped a run early.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopNone     StopReason = iota
+	StopCanceled            // context canceled or deadline exceeded
+	StopSteps               // Budget.MaxSteps exhausted
+	StopStates              // Budget.MaxStates exhausted
+	StopWallTime            // Budget.MaxWallTime exhausted
+	StopMemory              // Budget.MaxMemoryBytes exceeded
+)
+
+var stopReasonNames = [...]string{
+	StopNone:     "none",
+	StopCanceled: "canceled",
+	StopSteps:    "step budget exhausted",
+	StopStates:   "state budget exhausted",
+	StopWallTime: "wall-time budget exhausted",
+	StopMemory:   "memory budget exceeded",
+}
+
+func (r StopReason) String() string {
+	if int(r) < len(stopReasonNames) {
+		return stopReasonNames[r]
+	}
+	return fmt.Sprintf("reason(%d)", uint8(r))
+}
+
+// RunError reports that a run or exploration was stopped by its Budget or
+// context before completing. It carries the partial progress made so the
+// caller can report or resume: states explored, steps taken, the model time
+// reached, and a bounded suffix of the synchronization trace.
+type RunError struct {
+	// Reason is the budget dimension (or cancellation) that stopped the run.
+	Reason StopReason
+	// Time is the model time reached when the run stopped.
+	Time int64
+	// Steps is the number of transitions taken before stopping.
+	Steps int64
+	// States is the number of states expanded before stopping (explorations
+	// only; 0 for single runs).
+	States int
+	// Trace is the most recent synchronization events before the stop (up
+	// to Options.DiagTraceDepth), oldest first.
+	Trace []SyncEvent
+	// Cause is the context error for StopCanceled, nil otherwise.
+	Cause error
+}
+
+func (e *RunError) Error() string {
+	msg := fmt.Sprintf("nsa: run stopped: %s at model time %d after %d steps", e.Reason, e.Time, e.Steps)
+	if e.States > 0 {
+		msg += fmt.Sprintf(", %d states explored", e.States)
+	}
+	if e.Cause != nil {
+		msg += " (" + e.Cause.Error() + ")"
+	}
+	return msg
+}
+
+// Unwrap exposes the context error so errors.Is(err, context.Canceled)
+// works on cancellation stops.
+func (e *RunError) Unwrap() error { return e.Cause }
+
+// DeadlockKind classifies structured progress-failure diagnostics.
+type DeadlockKind uint8
+
+// Deadlock kinds.
+const (
+	// Timelock: neither a delay nor an action transition is enabled before
+	// the horizon — time cannot progress and nothing can fire.
+	Timelock DeadlockKind = iota
+	// Livelock: action transitions keep firing without time progressing
+	// (a state recurred at one instant, or the per-instant action cap hit).
+	Livelock
+)
+
+func (k DeadlockKind) String() string {
+	if k == Livelock {
+		return "livelock"
+	}
+	return "time-stop deadlock"
+}
+
+// BlockedAutomaton describes one automaton's contribution to a timelock or
+// livelock: where it is, which constraint forbids delay, and why each of its
+// outgoing edges cannot fire.
+type BlockedAutomaton struct {
+	// Automaton and Location name the automaton and its current location.
+	Automaton string
+	Location  string
+	// Committed is true when the location is committed (forbids delay).
+	Committed bool
+	// Invariant is the location invariant that has run out of delay room
+	// ("" when the invariant still admits delay or there is none).
+	Invariant string
+	// UrgentChan names an urgent channel with an enabled half-synchronization
+	// from this location ("" if none). Urgency forbids delay.
+	UrgentChan string
+	// Edges explains, per outgoing edge, why it cannot fire: a failing
+	// guard, or a missing synchronization partner.
+	Edges []string
+}
+
+func (b *BlockedAutomaton) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s in %q", b.Automaton, b.Location)
+	var why []string
+	if b.Committed {
+		why = append(why, "committed")
+	}
+	if b.Invariant != "" {
+		why = append(why, "invariant "+b.Invariant+" forbids delay")
+	}
+	if b.UrgentChan != "" {
+		why = append(why, "urgent channel "+b.UrgentChan+" pending")
+	}
+	why = append(why, b.Edges...)
+	if len(why) > 0 {
+		sb.WriteString(" (" + strings.Join(why, "; ") + ")")
+	}
+	return sb.String()
+}
+
+// DeadlockError is the structured diagnostic for timelocks and livelocks:
+// which automata block progress, why, and the synchronization-trace prefix
+// that led there (a counterexample the user can replay).
+type DeadlockError struct {
+	Kind DeadlockKind
+	// Time is the model time at which progress stopped.
+	Time int64
+	// Msg is a one-line summary.
+	Msg string
+	// Blocked lists the automata that prevent progress with their locations
+	// and failing constraints.
+	Blocked []BlockedAutomaton
+	// Trace is the most recent synchronization events before the failure
+	// (bounded by Options.DiagTraceDepth), oldest first.
+	Trace []SyncEvent
+}
+
+func (e *DeadlockError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "nsa: %s at time %d: %s", e.Kind, e.Time, e.Msg)
+	if len(e.Blocked) > 0 {
+		parts := make([]string, len(e.Blocked))
+		for i := range e.Blocked {
+			parts[i] = e.Blocked[i].String()
+		}
+		sb.WriteString("; blocked: " + strings.Join(parts, ", "))
+	}
+	return sb.String()
+}
+
+// safeHolds evaluates a guard defensively: an evaluation panic (e.g. a
+// division by zero in a diagnostic path) counts as "does not hold" rather
+// than tearing down the report builder.
+func safeHolds(g sa.Guard, env expr.Env) (holds bool) {
+	defer func() {
+		if recover() != nil {
+			holds = false
+		}
+	}()
+	return g == nil || g.Holds(env)
+}
+
+func safeMaxDelay(inv sa.Invariant, env expr.Env, running func(int) bool) (d int64) {
+	defer func() {
+		if recover() != nil {
+			d = 0
+		}
+	}()
+	return inv.MaxDelay(env, running)
+}
+
+// BlockedReport inspects a state in which no action transition is enabled
+// and explains, per automaton, what forbids progress. Automata that neither
+// forbid delay nor have outgoing edges are omitted; when nothing stands out
+// every automaton with outgoing edges is reported.
+func (n *Network) BlockedReport(s *State) []BlockedAutomaton {
+	env := n.Env(s)
+	stopped := n.StoppedClocks(s, nil)
+	running := func(c int) bool { return !stopped[c] }
+
+	var out, fallback []BlockedAutomaton
+	for ai, a := range n.Automata {
+		loc := &a.Locations[s.Locs[ai]]
+		ba := BlockedAutomaton{Automaton: a.Name, Location: loc.Name, Committed: loc.Committed}
+		forbidsDelay := loc.Committed
+		if loc.Invariant != nil && safeMaxDelay(loc.Invariant, env, running) <= 0 {
+			ba.Invariant = loc.Invariant.String()
+			forbidsDelay = true
+		}
+		for _, ei := range a.EdgesFrom(s.Locs[ai]) {
+			e := &a.Edges[ei]
+			desc := a.EdgeString(ei)
+			if !safeHolds(e.Guard, env) {
+				ba.Edges = append(ba.Edges, fmt.Sprintf("edge %s: guard not satisfied", desc))
+				continue
+			}
+			if e.Sync.Dir != sa.NoSync {
+				if n.Chans[e.Sync.Chan].Urgent {
+					ba.UrgentChan = n.Chans[e.Sync.Chan].Name
+					forbidsDelay = true
+				}
+				ba.Edges = append(ba.Edges, fmt.Sprintf("edge %s: no partner ready on channel %q", desc, n.ChanName(e.Sync.Chan)))
+			} else {
+				ba.Edges = append(ba.Edges, fmt.Sprintf("edge %s: excluded by a committed location elsewhere", desc))
+			}
+		}
+		if forbidsDelay {
+			out = append(out, ba)
+		} else if len(ba.Edges) > 0 {
+			fallback = append(fallback, ba)
+		}
+	}
+	if len(out) == 0 {
+		return fallback
+	}
+	return out
+}
+
+// How often the tracker performs its expensive checks: context and wall
+// time every trackerCheckEvery steps, heap size every trackerMemEvery.
+const (
+	trackerCheckEvery = 256
+	trackerMemEvery   = 1 << 16
+)
+
+// Tracker enforces a Budget against a context during a run. One Tracker
+// instruments one run; create it with Budget.Tracker.
+type Tracker struct {
+	ctx       context.Context
+	b         Budget
+	start     time.Time
+	steps     int64
+	sinceChk  int
+	sinceMem  int
+	checkCtx  bool
+	checkMem  bool
+	checkWall bool
+}
+
+// Tracker returns a budget tracker for one run under ctx. A nil ctx counts
+// as context.Background().
+func (b Budget) Tracker(ctx context.Context) *Tracker {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Tracker{
+		ctx:       ctx,
+		b:         b,
+		start:     time.Now(),
+		checkCtx:  ctx.Done() != nil,
+		checkMem:  b.MaxMemoryBytes > 0,
+		checkWall: b.MaxWallTime > 0,
+	}
+}
+
+// Steps returns the number of steps recorded so far.
+func (t *Tracker) Steps() int64 { return t.steps }
+
+// Step records one unit of work at the given model time and returns a
+// non-nil *RunError when the budget is exhausted or the context is done.
+// Cheap checks (step count) run on every call; context and wall time every
+// trackerCheckEvery calls (and on the first); memory every trackerMemEvery.
+func (t *Tracker) Step(modelTime int64) *RunError {
+	t.steps++
+	if t.b.MaxSteps > 0 && t.steps > t.b.MaxSteps {
+		return t.stop(StopSteps, modelTime, nil)
+	}
+	t.sinceChk--
+	if t.sinceChk > 0 {
+		return nil
+	}
+	t.sinceChk = trackerCheckEvery
+	if t.checkCtx {
+		if err := t.ctx.Err(); err != nil {
+			return t.stop(StopCanceled, modelTime, err)
+		}
+	}
+	if t.checkWall && time.Since(t.start) > t.b.MaxWallTime {
+		return t.stop(StopWallTime, modelTime, nil)
+	}
+	if t.checkMem {
+		t.sinceMem--
+		if t.sinceMem <= 0 {
+			t.sinceMem = trackerMemEvery / trackerCheckEvery
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > t.b.MaxMemoryBytes {
+				return t.stop(StopMemory, modelTime, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// States checks the state budget against the given count (explorations).
+func (t *Tracker) States(states int, modelTime int64) *RunError {
+	if t.b.MaxStates > 0 && states > t.b.MaxStates {
+		err := t.stop(StopStates, modelTime, nil)
+		err.States = states
+		return err
+	}
+	return nil
+}
+
+func (t *Tracker) stop(r StopReason, modelTime int64, cause error) *RunError {
+	// The step that tripped the budget was not performed by the caller.
+	steps := t.steps
+	if r == StopSteps && steps > 0 {
+		steps--
+	}
+	return &RunError{Reason: r, Time: modelTime, Steps: steps, Cause: cause}
+}
+
+// traceRing keeps the most recent synchronization events of a run so that
+// errors can carry a bounded counterexample prefix without the engine
+// retaining the whole trace.
+type traceRing struct {
+	depth  int
+	events []SyncEvent
+	next   int
+	full   bool
+}
+
+// DefaultDiagTraceDepth is the number of trailing synchronization events
+// attached to RunError and DeadlockError diagnostics by default.
+const DefaultDiagTraceDepth = 64
+
+func newTraceRing(depth int) *traceRing {
+	if depth == 0 {
+		depth = DefaultDiagTraceDepth
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &traceRing{depth: depth}
+}
+
+func (r *traceRing) record(ev SyncEvent) {
+	if r.depth == 0 {
+		return
+	}
+	if len(r.events) < r.depth {
+		r.events = append(r.events, ev)
+		r.next = len(r.events) % r.depth
+		r.full = len(r.events) == r.depth
+		return
+	}
+	r.events[r.next] = ev
+	r.next = (r.next + 1) % r.depth
+	r.full = true
+}
+
+// snapshot returns the recorded events oldest-first.
+func (r *traceRing) snapshot() []SyncEvent {
+	if len(r.events) == 0 {
+		return nil
+	}
+	out := make([]SyncEvent, 0, len(r.events))
+	if r.full {
+		out = append(out, r.events[r.next:]...)
+		out = append(out, r.events[:r.next]...)
+	} else {
+		out = append(out, r.events...)
+	}
+	return out
+}

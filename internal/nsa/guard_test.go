@@ -1,0 +1,249 @@
+package nsa
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"stopwatchsim/internal/expr"
+	"stopwatchsim/internal/sa"
+)
+
+// ticker builds a network whose single automaton fires one internal
+// transition per model tick forever (guard t == 1, reset t, count up), so
+// runs are bounded only by the horizon or the budget.
+func ticker(t *testing.T) (*Network, sa.VarID) {
+	t.Helper()
+	b := NewBuilder()
+	n := b.Var("n", 0)
+	ck := b.Clock("t")
+	sc := b.Scope()
+
+	ab := sa.NewBuilder("Tick")
+	ab.OwnClock(ck)
+	l := ab.Loc("L", sa.WithInvariant(mustInv(t, "t <= 1", sc)))
+	ab.Init(l)
+	ab.Edge(l, l, sa.NewExprGuard(expr.MustParseResolve("t == 1", sc, expr.TypeBool)), sa.None,
+		&sa.ExprUpdate{Stmts: expr.MustParseResolveUpdate("t := 0, n := n + 1", sc)})
+	b.Add(ab.MustBuild())
+	return b.MustBuild(), n
+}
+
+func TestBudgetMaxStepsPartialResult(t *testing.T) {
+	net, _ := ticker(t)
+	eng := NewEngine(net, Options{Horizon: 1_000_000, Budget: Budget{MaxSteps: 100}})
+	res, err := eng.RunContext(context.Background())
+	var rerr *RunError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if rerr.Reason != StopSteps {
+		t.Errorf("reason = %v, want step budget", rerr.Reason)
+	}
+	if rerr.Steps != 100 {
+		t.Errorf("steps = %d, want 100", rerr.Steps)
+	}
+	if rerr.Time == 0 || rerr.Time != res.Time {
+		t.Errorf("RunError.Time = %d, Result.Time = %d; want equal nonzero partial progress",
+			rerr.Time, res.Time)
+	}
+	if len(rerr.Trace) == 0 {
+		t.Error("RunError.Trace is empty, want a counterexample prefix")
+	}
+	// The partial result must still report the work done before the stop.
+	if res.Actions == 0 {
+		t.Errorf("partial result = %+v, want nonzero actions", res)
+	}
+}
+
+func TestBudgetTracePrefixBounded(t *testing.T) {
+	net, _ := ticker(t)
+	eng := NewEngine(net, Options{Horizon: 1_000_000, Budget: Budget{MaxSteps: 500}, DiagTraceDepth: 8})
+	_, err := eng.RunContext(context.Background())
+	var rerr *RunError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if len(rerr.Trace) != 8 {
+		t.Fatalf("trace depth = %d, want 8", len(rerr.Trace))
+	}
+	for i := 1; i < len(rerr.Trace); i++ {
+		if rerr.Trace[i].Time < rerr.Trace[i-1].Time {
+			t.Fatalf("trace not oldest-first: %+v", rerr.Trace)
+		}
+	}
+}
+
+func TestBudgetWallTime(t *testing.T) {
+	net, _ := ticker(t)
+	eng := NewEngine(net, Options{Horizon: 1 << 40, Budget: Budget{MaxWallTime: time.Millisecond}})
+	start := time.Now()
+	_, err := eng.RunContext(context.Background())
+	elapsed := time.Since(start)
+	var rerr *RunError
+	if !errors.As(err, &rerr) || rerr.Reason != StopWallTime {
+		t.Fatalf("err = %v, want wall-time RunError", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("took %v to honour a 1ms wall budget", elapsed)
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	net, _ := ticker(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := NewEngine(net, Options{Horizon: 1 << 40})
+	_, err := eng.RunContext(ctx)
+	var rerr *RunError
+	if !errors.As(err, &rerr) || rerr.Reason != StopCanceled {
+		t.Fatalf("err = %v, want cancellation RunError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("RunError must unwrap to context.Canceled")
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	net, _ := ticker(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	eng := NewEngine(net, Options{Horizon: 1 << 40})
+	start := time.Now()
+	_, err := eng.RunContext(ctx)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %v to take effect", elapsed)
+	}
+	var rerr *RunError
+	if !errors.As(err, &rerr) || rerr.Reason != StopCanceled {
+		t.Fatalf("err = %v, want cancellation RunError", err)
+	}
+}
+
+// TestTimelockDiagnostic reproduces the classic timelock — an invariant
+// expires while the only outgoing edge waits on a channel nobody serves —
+// and checks the structured diagnostic names the culprit.
+func TestTimelockDiagnostic(t *testing.T) {
+	b := NewBuilder()
+	ck := b.Clock("t")
+	ch := b.Chan("never")
+	sc := b.Scope()
+	ab := sa.NewBuilder("A")
+	ab.OwnClock(ck)
+	w := ab.Loc("W", sa.WithInvariant(mustInv(t, "t <= 2", sc)))
+	d := ab.Loc("D")
+	ab.Init(w)
+	ab.SendEdge(w, d, nil, ch, nil)
+	b.Add(ab.MustBuild())
+	net := b.MustBuild()
+
+	_, _, err := Simulate(net, 10)
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if derr.Kind != Timelock {
+		t.Errorf("kind = %v, want timelock", derr.Kind)
+	}
+	if derr.Time != 2 {
+		t.Errorf("time = %d, want 2 (invariant boundary)", derr.Time)
+	}
+	if len(derr.Blocked) != 1 {
+		t.Fatalf("blocked = %+v, want one automaton", derr.Blocked)
+	}
+	ba := derr.Blocked[0]
+	if ba.Automaton != "A" || ba.Location != "W" {
+		t.Errorf("blocked automaton = %s in %q, want A in W", ba.Automaton, ba.Location)
+	}
+	if !strings.Contains(ba.Invariant, "t <= 2") {
+		t.Errorf("invariant = %q, want t <= 2", ba.Invariant)
+	}
+	if len(ba.Edges) == 0 || !strings.Contains(ba.Edges[0], "never") {
+		t.Errorf("edges = %v, want the missing partner on channel never named", ba.Edges)
+	}
+	// The rendered message keeps the historical "deadlock" keyword.
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("message = %q, want 'deadlock'", err)
+	}
+}
+
+// TestLivelockDiagnostic: two automata exchange a token forever without
+// time progressing. The state-recurrence probe must detect the cycle well
+// before the per-instant action cap.
+func TestLivelockDiagnostic(t *testing.T) {
+	b := NewBuilder()
+	ping := b.Chan("ping")
+	pong := b.Chan("pong")
+
+	ab := sa.NewBuilder("A")
+	a0 := ab.Loc("A0")
+	a1 := ab.Loc("A1")
+	ab.Init(a0)
+	ab.SendEdge(a0, a1, nil, ping, nil)
+	ab.RecvEdge(a1, a0, nil, pong, nil)
+	b.Add(ab.MustBuild())
+
+	bb := sa.NewBuilder("B")
+	b0 := bb.Loc("B0")
+	b1 := bb.Loc("B1")
+	bb.Init(b0)
+	bb.RecvEdge(b0, b1, nil, ping, nil)
+	bb.SendEdge(b1, b0, nil, pong, nil)
+	b.Add(bb.MustBuild())
+	net := b.MustBuild()
+
+	_, _, err := Simulate(net, 10)
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("err = %v, want *DeadlockError", err)
+	}
+	if derr.Kind != Livelock {
+		t.Errorf("kind = %v, want livelock", derr.Kind)
+	}
+	if !strings.Contains(err.Error(), "livelock") {
+		t.Errorf("message = %q, want 'livelock'", err)
+	}
+	if len(derr.Trace) == 0 {
+		t.Error("livelock diagnostic carries no trace prefix")
+	}
+	names := make(map[string]bool)
+	for _, ba := range derr.Blocked {
+		names[ba.Automaton] = true
+	}
+	if !names["A"] || !names["B"] {
+		t.Errorf("blocked = %+v, want both token-passing automata named", derr.Blocked)
+	}
+}
+
+func TestBudgetZeroIsUnlimited(t *testing.T) {
+	net, n := ticker(t)
+	eng := NewEngine(net, Options{Horizon: 50, Budget: Budget{}})
+	if _, err := eng.RunContext(context.Background()); err != nil {
+		t.Fatalf("unlimited budget errored: %v", err)
+	}
+	if got := eng.State().Vars[n]; got != 50 {
+		t.Errorf("ticks = %d, want 50", got)
+	}
+	if !(Budget{}).IsZero() {
+		t.Error("zero budget must report IsZero")
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := newTraceRing(3)
+	for i := int64(0); i < 5; i++ {
+		r.record(SyncEvent{Time: i})
+	}
+	got := r.snapshot()
+	if len(got) != 3 || got[0].Time != 2 || got[2].Time != 4 {
+		t.Errorf("snapshot = %+v, want times 2,3,4", got)
+	}
+	if newTraceRing(-1).snapshot() != nil {
+		t.Error("disabled ring must stay empty")
+	}
+}

@@ -2,6 +2,7 @@ package nsa
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"stopwatchsim/internal/expr"
@@ -247,15 +248,57 @@ func appendBroadcastCombos(buf []Transition, ch sa.ChanID, sndAut, sndEdge int, 
 }
 
 // SemanticsError reports a violation of model well-formedness detected
-// during interpretation (target invariant violated, domain violation, time
-// stop, livelock).
+// during interpretation (target invariant violated, domain violation,
+// expression runtime error). Automaton, Location and Expr localize the
+// failure when known; they may be empty.
 type SemanticsError struct {
 	Time int64
 	Msg  string
+	// Automaton and Location name where the violation happened ("" when the
+	// failure is not attributable to a single automaton).
+	Automaton string
+	Location  string
+	// Expr is the guard/update/invariant source involved, if any.
+	Expr string
 }
 
 func (e *SemanticsError) Error() string {
-	return fmt.Sprintf("nsa: at time %d: %s", e.Time, e.Msg)
+	where := ""
+	if e.Automaton != "" {
+		where = " in automaton " + strconv.Quote(e.Automaton)
+		if e.Location != "" {
+			where += " location " + strconv.Quote(e.Location)
+		}
+	}
+	return fmt.Sprintf("nsa: at time %d%s: %s", e.Time, where, e.Msg)
+}
+
+// applyUpdate runs one participant's edge update, converting expression
+// runtime panics (domain violations, division by zero, bad array indices)
+// into a SemanticsError that names the firing transition, the automaton and
+// the edge. Panics that are not *expr.RuntimeError are programmer errors;
+// they are re-raised with the same context attached instead of raw.
+func (n *Network) applyUpdate(env expr.MutableEnv, s *State, tr *Transition, p Part, upd sa.Update) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a := n.Automata[p.Aut]
+			re, ok := r.(*expr.RuntimeError)
+			if !ok {
+				panic(fmt.Sprintf("nsa: internal panic in update of automaton %q edge %s while firing %s: %v",
+					a.Name, a.EdgeString(p.Edge), tr.String(n), r))
+			}
+			err = &SemanticsError{
+				Time:      s.Time,
+				Automaton: a.Name,
+				Location:  a.LocationName(s.Locs[p.Aut]),
+				Expr:      re.Expr,
+				Msg: fmt.Sprintf("firing %s: update of edge %s: %v",
+					tr.String(n), a.EdgeString(p.Edge), re),
+			}
+		}
+	}()
+	upd.Apply(env)
+	return nil
 }
 
 // Fire applies tr to s in place: participants change locations and updates
@@ -264,33 +307,60 @@ func (e *SemanticsError) Error() string {
 // afterwards, both of which indicate a malformed model.
 func (n *Network) Fire(s *State, tr *Transition) (err error) {
 	env := n.Env(s)
+	for _, p := range tr.Parts {
+		e := &n.Automata[p.Aut].Edges[p.Edge]
+		s.Locs[p.Aut] = e.Dst
+		if e.Update != nil {
+			if err := n.applyUpdate(env, s, tr, p, e.Update); err != nil {
+				return err
+			}
+		}
+	}
+	for _, p := range tr.Parts {
+		a := n.Automata[p.Aut]
+		loc := &a.Locations[s.Locs[p.Aut]]
+		if loc.Invariant == nil {
+			continue
+		}
+		holds, herr := n.holdsGuarded(env, s, tr, p, loc)
+		if herr != nil {
+			return herr
+		}
+		if !holds {
+			return &SemanticsError{
+				Time:      s.Time,
+				Automaton: a.Name,
+				Location:  loc.Name,
+				Expr:      loc.Invariant.String(),
+				Msg: fmt.Sprintf("transition %s leaves automaton %q in location %q violating invariant %s",
+					tr.String(n), a.Name, loc.Name, loc.Invariant),
+			}
+		}
+	}
+	return nil
+}
+
+// holdsGuarded evaluates a target-location invariant, converting expression
+// runtime panics into a localized SemanticsError.
+func (n *Network) holdsGuarded(env expr.Env, s *State, tr *Transition, p Part, loc *sa.Location) (holds bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			re, ok := r.(*expr.RuntimeError)
 			if !ok {
 				panic(r)
 			}
-			err = &SemanticsError{Time: s.Time, Msg: fmt.Sprintf("firing %s: %v", tr.String(n), re)}
-		}
-	}()
-	for _, p := range tr.Parts {
-		e := &n.Automata[p.Aut].Edges[p.Edge]
-		s.Locs[p.Aut] = e.Dst
-		if e.Update != nil {
-			e.Update.Apply(env)
-		}
-	}
-	for _, p := range tr.Parts {
-		loc := &n.Automata[p.Aut].Locations[s.Locs[p.Aut]]
-		if loc.Invariant != nil && !loc.Invariant.Holds(env) {
-			return &SemanticsError{
-				Time: s.Time,
-				Msg: fmt.Sprintf("transition %s leaves automaton %q in location %q violating invariant %s",
-					tr.String(n), n.Automata[p.Aut].Name, loc.Name, loc.Invariant),
+			a := n.Automata[p.Aut]
+			err = &SemanticsError{
+				Time:      s.Time,
+				Automaton: a.Name,
+				Location:  loc.Name,
+				Expr:      re.Expr,
+				Msg: fmt.Sprintf("firing %s: invariant %s of %q: %v",
+					tr.String(n), loc.Invariant, a.Name, re),
 			}
 		}
-	}
-	return nil
+	}()
+	return loc.Invariant.Holds(env), nil
 }
 
 // DelayInfo describes the delay options from a state with no pending forced
@@ -417,7 +487,10 @@ func (n *Network) Advance(s *State, d int64) error {
 		loc := &a.Locations[s.Locs[ai]]
 		if loc.Invariant != nil && !loc.Invariant.Holds(env) {
 			return &SemanticsError{
-				Time: s.Time,
+				Time:      s.Time,
+				Automaton: a.Name,
+				Location:  loc.Name,
+				Expr:      loc.Invariant.String(),
 				Msg: fmt.Sprintf("delay %d violates invariant %s of %q in %q",
 					d, loc.Invariant, a.Name, loc.Name),
 			}

@@ -1,6 +1,7 @@
 package observer
 
 import (
+	"context"
 	"fmt"
 
 	"stopwatchsim/internal/mc"
@@ -52,13 +53,21 @@ func Monitors(observers ...*Observer) []mc.Monitor {
 // is reachable in any run. It returns the first violation witness ("" if
 // the requirements hold in every run).
 func VerifyAllRuns(m *model.Model, maxStates int) (string, mc.Result, error) {
-	res, err := mc.Explore(m.Net, mc.Options{
-		Horizon:   m.Horizon,
-		Monitors:  Monitors(All(m)...),
-		MaxStates: maxStates,
+	return VerifyAllRunsContext(context.Background(), m, nsa.Budget{MaxStates: maxStates})
+}
+
+// VerifyAllRunsContext is VerifyAllRuns with cancellation and a full
+// resource budget. Budget exhaustion returns the partial result together
+// with a *nsa.RunError; any violation found before the stop is still
+// reported in the witness string.
+func VerifyAllRunsContext(ctx context.Context, m *model.Model, b nsa.Budget) (string, mc.Result, error) {
+	res, err := mc.ExploreContext(ctx, m.Net, mc.Options{
+		Horizon:  m.Horizon,
+		Monitors: Monitors(All(m)...),
+		Budget:   b,
 	})
 	if err != nil {
-		return "", res, err
+		return res.Bad, res, err
 	}
 	return res.Bad, res, nil
 }
@@ -66,10 +75,21 @@ func VerifyAllRuns(m *model.Model, maxStates int) (string, mc.Result, error) {
 // VerifyRun simulates the model once with all observers attached and
 // returns any violations.
 func VerifyRun(m *model.Model) ([]string, error) {
+	return VerifyRunContext(context.Background(), m, nsa.Budget{})
+}
+
+// VerifyRunContext is VerifyRun with cancellation and a resource budget.
+// Violations observed before a budget stop are returned alongside the
+// *nsa.RunError.
+func VerifyRunContext(ctx context.Context, m *model.Model, b nsa.Budget) ([]string, error) {
 	rt := NewRuntime(All(m)...)
-	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: m.Horizon, Listeners: []nsa.Listener{rt}})
-	if _, err := eng.Run(); err != nil {
-		return nil, err
+	eng := nsa.NewEngine(m.Net, nsa.Options{
+		Horizon:   m.Horizon,
+		Listeners: []nsa.Listener{rt},
+		Budget:    b,
+	})
+	if _, err := eng.RunContext(ctx); err != nil {
+		return rt.Violations, err
 	}
 	return rt.Violations, nil
 }

@@ -1,0 +1,68 @@
+package xta
+
+import "testing"
+
+// FuzzCompile asserts the XTA front end never panics: any input either
+// compiles into a network or is rejected with a parse or elaboration
+// error. The seeds cover the grammar's surface — declarations, templates,
+// parameters, urgency, broadcast, committed locations — plus malformed
+// fragments that must fail cleanly.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		`
+const int PERIOD = 3;
+int count = 0;
+chan tick;
+
+process Emitter() {
+    clock t;
+    state W { t <= PERIOD };
+    init W;
+    trans W -> W { guard t == PERIOD; sync tick!; assign t := 0; };
+}
+
+process Counter() {
+    state C;
+    init C;
+    trans C -> C { sync tick?; assign count := count + 1; };
+}
+
+system Emitter(), Counter();
+`,
+		`
+int x[3];
+urgent chan go;
+broadcast chan all;
+
+process P(const int id) {
+    state A, B;
+    commit A;
+    init A;
+    trans A -> B { sync go!; assign x[id] := id; };
+    trans B -> A { sync all?; };
+}
+
+system P(0), P(1);
+`,
+		"process P() { state A; init A; }\nsystem P();",
+		"process P() { state A; init A; }\nsystem Q();", // unknown template
+		"int x = ;",
+		"process P( {",
+		"chan chan;",
+		"system ;",
+		"",
+		"\x00",
+		"process P() { clock c; state A { c <= }; init A; } system P();",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Elaborate(file); err != nil {
+			return
+		}
+	})
+}
