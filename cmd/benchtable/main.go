@@ -12,13 +12,21 @@
 // The shared resource-limit flags bound the Model Checking runs (they grow
 // exponentially with the job count); a column whose exploration exceeds the
 // budget is reported as "n/a" instead of hanging the table.
+//
+// -json <path> additionally writes the measurements as a machine-readable
+// report (name, ns/op, allocs/op, events/sec); "-json auto" names the file
+// BENCH_<date>.json, the convention the CI bench job archives and that
+// BENCH_baseline.json (the committed pre-optimization snapshot) follows.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
 	"time"
 
 	"stopwatchsim/internal/diag"
@@ -29,6 +37,53 @@ import (
 	"stopwatchsim/internal/trace"
 )
 
+// benchRow is one machine-readable measurement in the -json report,
+// mirroring the columns of `go test -bench` plus the engine's own
+// throughput metric.
+type benchRow struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	AllocsOp  uint64  `json:"allocs_per_op,omitempty"`
+	EventsSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// benchReport is the top-level -json document; the file name defaults to
+// BENCH_<date>.json so CI can archive one artifact per run.
+type benchReport struct {
+	Date   string     `json:"date"`
+	GoOS   string     `json:"goos"`
+	GoArch string     `json:"goarch"`
+	Rows   []benchRow `json:"rows"`
+}
+
+var report *benchReport
+
+// mallocs samples the process-wide cumulative allocation counter; pairs of
+// samples around a run yield its allocs/op.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// addRow records one measurement when -json reporting is active. events is
+// the number of engine actions fired during the run (0 omits the
+// throughput column).
+func addRow(name string, elapsed time.Duration, allocs uint64, events int) {
+	if report == nil {
+		return
+	}
+	row := benchRow{
+		Name:     name,
+		NsPerOp:  float64(elapsed.Nanoseconds()),
+		AllocsOp: allocs,
+	}
+	if events > 0 && elapsed > 0 {
+		row.EventsSec = float64(events) / elapsed.Seconds()
+	}
+	report.Rows = append(report.Rows, row)
+}
+
 func main() {
 	var (
 		table1    = flag.Bool("table1", false, "regenerate Table 1")
@@ -36,6 +91,7 @@ func main() {
 		minJ      = flag.Int("min", 10, "Table 1 minimum job count")
 		maxJ      = flag.Int("max", 18, "Table 1 maximum job count")
 		maxStates = flag.Int("max-states", 0, "state bound per Model Checking run (0 = default bound)")
+		jsonOut   = flag.String("json", "", `write measurements as JSON ("auto" = BENCH_<date>.json)`)
 	)
 	budget := diag.BudgetFlags()
 	flag.Parse()
@@ -46,6 +102,13 @@ func main() {
 	defer stop()
 	b := budget()
 	b.MaxStates = *maxStates
+	if *jsonOut != "" {
+		report = &benchReport{
+			Date:   time.Now().UTC().Format("2006-01-02"),
+			GoOS:   runtime.GOOS,
+			GoArch: runtime.GOARCH,
+		}
+	}
 	if *table1 {
 		if err := runTable1(ctx, *minJ, *maxJ, b); err != nil {
 			diag.Exit("benchtable", err, nil, "")
@@ -55,6 +118,20 @@ func main() {
 		if err := runScale(ctx, b); err != nil {
 			diag.Exit("benchtable", err, nil, "")
 		}
+	}
+	if report != nil {
+		path := *jsonOut
+		if path == "auto" {
+			path = fmt.Sprintf("BENCH_%s.json", report.Date)
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			diag.Exit("benchtable", err, nil, "")
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			diag.Exit("benchtable", err, nil, "")
+		}
+		fmt.Printf("wrote %s (%d measurements)\n", path, len(report.Rows))
 	}
 }
 
@@ -75,6 +152,7 @@ func runTable1(ctx context.Context, minJ, maxJ int, b nsa.Budget) error {
 		if err != nil {
 			return err
 		}
+		a0 := mallocs()
 		start := time.Now()
 		okMC, _, err := mc.CheckSchedulabilityContext(ctx, m, b)
 		var rerr *nsa.RunError
@@ -87,15 +165,18 @@ func runTable1(ctx context.Context, minJ, maxJ int, b nsa.Budget) error {
 		} else if err != nil {
 			return err
 		} else {
-			mcTimes = append(mcTimes, time.Since(start))
+			d := time.Since(start)
+			mcTimes = append(mcTimes, d)
+			addRow(fmt.Sprintf("Table1/ModelChecking/jobs=%d", j), d, mallocs()-a0, 0)
 		}
 
+		a0 = mallocs()
 		start = time.Now()
 		m2, err := model.Build(sys)
 		if err != nil {
 			return err
 		}
-		tr, _, err := m2.SimulateContext(ctx, nil, b)
+		tr, res, err := m2.SimulateContext(ctx, nil, b)
 		if err != nil {
 			return err
 		}
@@ -103,7 +184,9 @@ func runTable1(ctx context.Context, minJ, maxJ int, b nsa.Budget) error {
 		if err != nil {
 			return err
 		}
-		simTimes = append(simTimes, time.Since(start))
+		d := time.Since(start)
+		simTimes = append(simTimes, d)
+		addRow(fmt.Sprintf("Table1/Proposed/jobs=%d", j), d, mallocs()-a0, res.Actions)
 		if !aborted && okMC != a.Schedulable {
 			return fmt.Errorf("jobs=%d: MC verdict %t != simulation verdict %t", j, okMC, a.Schedulable)
 		}
@@ -130,19 +213,23 @@ func runScale(ctx context.Context, b nsa.Budget) error {
 	fmt.Printf("\nIndustrial-scale experiment (§4): %d jobs, %d tasks, %d partitions, %d cores, L=%d\n",
 		sys.JobCount(), sys.TaskCount(), len(sys.Partitions), len(sys.Cores), sys.Hyperperiod())
 
+	a0 := mallocs()
 	start := time.Now()
 	m, err := model.Build(sys)
 	if err != nil {
 		return err
 	}
 	build := time.Since(start)
+	addRow("IndustrialScale/construction", build, mallocs()-a0, 0)
 
+	a0 = mallocs()
 	start = time.Now()
 	tr, res, err := m.SimulateContext(ctx, nil, b)
 	if err != nil {
 		return err
 	}
 	interp := time.Since(start)
+	addRow("IndustrialScale/interpretation", interp, mallocs()-a0, res.Actions)
 
 	a, err := trace.Analyze(sys, tr)
 	if err != nil {

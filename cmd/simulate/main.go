@@ -12,7 +12,8 @@
 // Usage:
 //
 //	simulate -config system.xml [-trace] [-gantt] [-scale N] [-observers]
-//	         [-max-steps N] [-timeout D] [-max-mem-mb N] [-report out.json]
+//	         [-check-engine] [-max-steps N] [-timeout D] [-max-mem-mb N]
+//	         [-report out.json]
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		jsonOut    = flag.String("json", "", "write the trace and analysis as JSON to this file")
 		csvOut     = flag.String("csv", "", "write the trace as CSV to this file")
 		report     = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
+		checkEng   = flag.Bool("check-engine", false, "differentially verify the event-driven engine against naive re-enumeration at every step (slow)")
 	)
 	budget := diag.BudgetFlags()
 	flag.Parse()
@@ -48,7 +50,7 @@ func main() {
 	}
 	ctx, stop := diag.SignalContext()
 	defer stop()
-	run(ctx, *configPath, *showTrace, *showGantt, *scale, *observers, *jsonOut, *csvOut, *report, budget())
+	run(ctx, *configPath, *showTrace, *showGantt, *scale, *observers, *jsonOut, *csvOut, *report, budget(), *checkEng)
 }
 
 // fail routes any error through the diag classifier (printing, optional
@@ -57,7 +59,7 @@ func fail(err error, net *nsa.Network, reportPath string) {
 	diag.Exit("simulate", err, net, reportPath)
 }
 
-func run(ctx context.Context, path string, showTrace, showGantt bool, scale int64, withObservers bool, jsonOut, csvOut, reportPath string, b nsa.Budget) {
+func run(ctx context.Context, path string, showTrace, showGantt bool, scale int64, withObservers bool, jsonOut, csvOut, reportPath string, b nsa.Budget, checkEngine bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err, nil, reportPath)
@@ -94,9 +96,12 @@ func run(ctx context.Context, path string, showTrace, showGantt bool, scale int6
 		}
 	}
 
-	tr, res, err := m.SimulateContext(ctx, nil, b)
+	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b, CheckEngine: checkEngine})
 	if err != nil {
 		fail(err, m.Net, reportPath)
+	}
+	if checkEngine {
+		fmt.Println("check-engine: optimized and naive interpretations agreed at every step")
 	}
 	a, err := trace.Analyze(sys, tr)
 	if err != nil {

@@ -1,0 +1,119 @@
+package stopwatchsim
+
+import (
+	"fmt"
+	"testing"
+
+	"stopwatchsim/internal/gen"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+)
+
+// TestEngineDifferential is the property test backing the event-driven
+// runtime: across a spread of random configurations — fixed-priority and
+// round-robin schedulers, data-flow messages (broadcast send/receive
+// channels), switched networks with port FIFOs, and stopwatch execution
+// clocks throughout — the optimized engine must produce a SyncTrace
+// byte-identical to the naive full-re-enumeration engine, end in the same
+// state, and report the same result.
+func TestEngineDifferential(t *testing.T) {
+	paramSets := []gen.RandomParams{
+		gen.DefaultRandomParams(),
+		{MaxCores: 2, MaxPartitions: 3, MaxTasks: 3,
+			Periods: []int64{20, 40, 80}, MaxUtil: 0.9, Messages: 3},
+		{MaxCores: 1, MaxPartitions: 2, MaxTasks: 4,
+			Periods: []int64{10, 20}, MaxUtil: 0.95, Messages: 2},
+	}
+	const seeds = 20 // 20 seeds × 3 param sets = 60 configurations
+	for si, params := range paramSets {
+		for seed := int64(0); seed < seeds; seed++ {
+			name := fmt.Sprintf("params=%d/seed=%d", si, seed)
+			sys := gen.Random(seed, params)
+			if seed%2 == 1 {
+				// Odd seeds route messages through switch ports,
+				// covering the port automata's guard functions and
+				// wake hints.
+				sys = gen.RandomSwitched(seed, params)
+			}
+			m, err := model.Build(sys)
+			if err != nil {
+				t.Fatalf("%s: build: %v", name, err)
+			}
+
+			run := func(naive bool) (*nsa.SyncTrace, *nsa.State, nsa.Result, error) {
+				tr := &nsa.SyncTrace{}
+				eng := nsa.NewEngine(m.Net, nsa.Options{
+					Horizon:   m.Horizon,
+					Listeners: []nsa.Listener{tr},
+					Naive:     naive,
+					// Every third configuration also runs the per-step
+					// differential check inside the engine itself.
+					CheckEngine: !naive && seed%3 == 0,
+				})
+				res, err := eng.Run()
+				return tr, eng.State(), res, err
+			}
+			wantTr, wantS, wantRes, wantErr := run(true)
+			gotTr, gotS, gotRes, gotErr := run(false)
+
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s: naive err %v, optimized err %v", name, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("%s: err mismatch:\n naive:     %v\n optimized: %v", name, wantErr, gotErr)
+				}
+				continue
+			}
+			if gotRes != wantRes {
+				t.Errorf("%s: result %+v, naive %+v", name, gotRes, wantRes)
+			}
+			diffTraces(t, name, wantTr, gotTr)
+			diffStates(t, name, wantS, gotS)
+		}
+	}
+}
+
+func diffTraces(t *testing.T, name string, want, got *nsa.SyncTrace) {
+	t.Helper()
+	if len(got.Events) != len(want.Events) {
+		t.Errorf("%s: %d events, naive %d", name, len(got.Events), len(want.Events))
+		return
+	}
+	for i := range want.Events {
+		w, g := &want.Events[i], &got.Events[i]
+		if w.Time != g.Time || w.Kind != g.Kind || w.Chan != g.Chan || len(w.Parts) != len(g.Parts) {
+			t.Errorf("%s: event %d: got %+v, naive %+v", name, i, *g, *w)
+			return
+		}
+		for j := range w.Parts {
+			if w.Parts[j] != g.Parts[j] {
+				t.Errorf("%s: event %d part %d: got %+v, naive %+v",
+					name, i, j, g.Parts[j], w.Parts[j])
+				return
+			}
+		}
+	}
+}
+
+func diffStates(t *testing.T, name string, want, got *nsa.State) {
+	t.Helper()
+	if got.Time != want.Time {
+		t.Errorf("%s: final time %d, naive %d", name, got.Time, want.Time)
+	}
+	for i := range want.Locs {
+		if got.Locs[i] != want.Locs[i] {
+			t.Errorf("%s: aut %d final loc %d, naive %d", name, i, got.Locs[i], want.Locs[i])
+		}
+	}
+	for i := range want.Clocks {
+		if got.Clocks[i] != want.Clocks[i] {
+			t.Errorf("%s: clock %d = %d, naive %d", name, i, got.Clocks[i], want.Clocks[i])
+		}
+	}
+	for i := range want.Vars {
+		if got.Vars[i] != want.Vars[i] {
+			t.Errorf("%s: var %d = %d, naive %d", name, i, got.Vars[i], want.Vars[i])
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package expr
+
+// Compiled evaluation: resolved ASTs are flattened into closure chains that
+// read the raw variable and clock arrays directly, bypassing both the
+// interface dispatch of Node.EvalBool/EvalInt and the Env indirection. The
+// interpretation hot loop evaluates the same small guard expressions millions
+// of times, so the dominant shapes (clock cmp const, var cmp const) get
+// dedicated single-closure fast paths.
+//
+// Compiled functions preserve the dynamic semantics of the tree walkers
+// exactly, including *RuntimeError panics for division/modulo by zero and
+// array indices out of range.
+
+// BoolFn is a compiled boolean expression, evaluated against the raw
+// variable and clock value arrays (the backing slices of a network state).
+type BoolFn func(vars, clocks []int64) bool
+
+// IntFn is a compiled integer expression.
+type IntFn func(vars, clocks []int64) int64
+
+// CompileBool compiles a resolved bool-typed node. The returned function
+// panics with *RuntimeError exactly where EvalBool would.
+func CompileBool(n Node) BoolFn {
+	switch n := n.(type) {
+	case *BoolLit:
+		v := n.Val
+		return func([]int64, []int64) bool { return v }
+	case *Unary:
+		if n.Op == OpNot {
+			x := CompileBool(n.X)
+			return func(vars, clocks []int64) bool { return !x(vars, clocks) }
+		}
+	case *Binary:
+		switch n.Op {
+		case OpAnd:
+			x, y := CompileBool(n.X), CompileBool(n.Y)
+			return func(vars, clocks []int64) bool { return x(vars, clocks) && y(vars, clocks) }
+		case OpOr:
+			x, y := CompileBool(n.X), CompileBool(n.Y)
+			return func(vars, clocks []int64) bool { return x(vars, clocks) || y(vars, clocks) }
+		case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE:
+			if n.X.Type() == TypeBool {
+				x, y := CompileBool(n.X), CompileBool(n.Y)
+				if n.Op == OpEQ {
+					return func(vars, clocks []int64) bool { return x(vars, clocks) == y(vars, clocks) }
+				}
+				return func(vars, clocks []int64) bool { return x(vars, clocks) != y(vars, clocks) }
+			}
+			return compileCmp(n)
+		}
+	case *Cond:
+		c, a, b := CompileBool(n.C), CompileBool(n.A), CompileBool(n.B)
+		return func(vars, clocks []int64) bool {
+			if c(vars, clocks) {
+				return a(vars, clocks)
+			}
+			return b(vars, clocks)
+		}
+	}
+	// Ident and mistyped nodes: defer to the tree walker, which raises the
+	// canonical *RuntimeError for them.
+	nn := n
+	return func([]int64, []int64) bool { return nn.EvalBool(nopEnv{}) }
+}
+
+// compileCmp compiles an integer comparison, with fast paths for the guard
+// shapes that dominate interpretation: clock cmp const and var cmp const.
+func compileCmp(n *Binary) BoolFn {
+	// clock cmp const / const cmp clock.
+	if cr, ok := n.X.(*ClockRef); ok {
+		if lit, ok := n.Y.(*IntLit); ok {
+			return clockConstCmp(n.Op, cr.Index, lit.Val)
+		}
+	}
+	if lit, ok := n.X.(*IntLit); ok {
+		if cr, ok := n.Y.(*ClockRef); ok {
+			if op, ok := mirrorCmp(n.Op); ok {
+				return clockConstCmp(op, cr.Index, lit.Val)
+			}
+		}
+	}
+	// var cmp const / const cmp var.
+	if vr, ok := n.X.(*VarRef); ok {
+		if lit, ok := n.Y.(*IntLit); ok {
+			return varConstCmp(n.Op, vr.Index, lit.Val)
+		}
+	}
+	if lit, ok := n.X.(*IntLit); ok {
+		if vr, ok := n.Y.(*VarRef); ok {
+			if op, ok := mirrorCmp(n.Op); ok {
+				return varConstCmp(op, vr.Index, lit.Val)
+			}
+		}
+	}
+	x, y := CompileInt(n.X), CompileInt(n.Y)
+	switch n.Op {
+	case OpLT:
+		return func(vars, clocks []int64) bool { return x(vars, clocks) < y(vars, clocks) }
+	case OpLE:
+		return func(vars, clocks []int64) bool { return x(vars, clocks) <= y(vars, clocks) }
+	case OpGT:
+		return func(vars, clocks []int64) bool { return x(vars, clocks) > y(vars, clocks) }
+	case OpGE:
+		return func(vars, clocks []int64) bool { return x(vars, clocks) >= y(vars, clocks) }
+	case OpEQ:
+		return func(vars, clocks []int64) bool { return x(vars, clocks) == y(vars, clocks) }
+	default: // OpNE
+		return func(vars, clocks []int64) bool { return x(vars, clocks) != y(vars, clocks) }
+	}
+}
+
+// mirrorCmp maps "const op x" onto the equivalent "x op' const".
+func mirrorCmp(op Op) (Op, bool) {
+	switch op {
+	case OpLT:
+		return OpGT, true
+	case OpLE:
+		return OpGE, true
+	case OpGT:
+		return OpLT, true
+	case OpGE:
+		return OpLE, true
+	case OpEQ, OpNE:
+		return op, true
+	}
+	return op, false
+}
+
+func clockConstCmp(op Op, i int, k int64) BoolFn {
+	switch op {
+	case OpLT:
+		return func(_, clocks []int64) bool { return clocks[i] < k }
+	case OpLE:
+		return func(_, clocks []int64) bool { return clocks[i] <= k }
+	case OpGT:
+		return func(_, clocks []int64) bool { return clocks[i] > k }
+	case OpGE:
+		return func(_, clocks []int64) bool { return clocks[i] >= k }
+	case OpEQ:
+		return func(_, clocks []int64) bool { return clocks[i] == k }
+	default: // OpNE
+		return func(_, clocks []int64) bool { return clocks[i] != k }
+	}
+}
+
+func varConstCmp(op Op, i int, k int64) BoolFn {
+	switch op {
+	case OpLT:
+		return func(vars, _ []int64) bool { return vars[i] < k }
+	case OpLE:
+		return func(vars, _ []int64) bool { return vars[i] <= k }
+	case OpGT:
+		return func(vars, _ []int64) bool { return vars[i] > k }
+	case OpGE:
+		return func(vars, _ []int64) bool { return vars[i] >= k }
+	case OpEQ:
+		return func(vars, _ []int64) bool { return vars[i] == k }
+	default: // OpNE
+		return func(vars, _ []int64) bool { return vars[i] != k }
+	}
+}
+
+// CompileInt compiles a resolved int-typed node. The returned function
+// panics with *RuntimeError exactly where EvalInt would.
+func CompileInt(n Node) IntFn {
+	switch n := n.(type) {
+	case *IntLit:
+		v := n.Val
+		return func([]int64, []int64) int64 { return v }
+	case *VarRef:
+		i := n.Index
+		return func(vars, _ []int64) int64 { return vars[i] }
+	case *ClockRef:
+		i := n.Index
+		return func(_, clocks []int64) int64 { return clocks[i] }
+	case *DynVarRef:
+		idx := CompileInt(n.Index)
+		base, length, node := n.Base, int64(n.Len), n
+		return func(vars, clocks []int64) int64 {
+			i := idx(vars, clocks)
+			if i < 0 || i >= length {
+				rtErr(node, "array index %d out of range [0,%d)", i, length)
+			}
+			return vars[base+int(i)]
+		}
+	case *Unary:
+		if n.Op == OpNeg {
+			x := CompileInt(n.X)
+			return func(vars, clocks []int64) int64 { return -x(vars, clocks) }
+		}
+	case *Binary:
+		x, y := CompileInt(n.X), CompileInt(n.Y)
+		switch n.Op {
+		case OpAdd:
+			return func(vars, clocks []int64) int64 { return x(vars, clocks) + y(vars, clocks) }
+		case OpSub:
+			return func(vars, clocks []int64) int64 { return x(vars, clocks) - y(vars, clocks) }
+		case OpMul:
+			return func(vars, clocks []int64) int64 { return x(vars, clocks) * y(vars, clocks) }
+		case OpDiv:
+			node := n
+			return func(vars, clocks []int64) int64 {
+				d := y(vars, clocks)
+				if d == 0 {
+					rtErr(node, "division by zero")
+				}
+				return x(vars, clocks) / d
+			}
+		case OpMod:
+			node := n
+			return func(vars, clocks []int64) int64 {
+				d := y(vars, clocks)
+				if d == 0 {
+					rtErr(node, "modulo by zero")
+				}
+				return x(vars, clocks) % d
+			}
+		}
+	case *Cond:
+		c := CompileBool(n.C)
+		a, b := CompileInt(n.A), CompileInt(n.B)
+		return func(vars, clocks []int64) int64 {
+			if c(vars, clocks) {
+				return a(vars, clocks)
+			}
+			return b(vars, clocks)
+		}
+	}
+	nn := n
+	return func([]int64, []int64) int64 { return nn.EvalInt(nopEnv{}) }
+}
+
+// nopEnv backs the compile fallbacks for malformed nodes, whose evaluation
+// raises a *RuntimeError before touching the environment.
+type nopEnv struct{}
+
+func (nopEnv) Var(int) int64   { return 0 }
+func (nopEnv) Clock(int) int64 { return 0 }
+
+// Vars appends the global indices of all variables n may read to dst and
+// returns it; duplicates are possible. A DynVarRef contributes its whole
+// array range, since the element read is only known at evaluation time.
+func Vars(n Node, dst []int) []int {
+	switch n := n.(type) {
+	case *VarRef:
+		return append(dst, n.Index)
+	case *DynVarRef:
+		for i := 0; i < n.Len; i++ {
+			dst = append(dst, n.Base+i)
+		}
+		return Vars(n.Index, dst)
+	case *Unary:
+		return Vars(n.X, dst)
+	case *Binary:
+		return Vars(n.Y, Vars(n.X, dst))
+	case *Cond:
+		return Vars(n.B, Vars(n.A, Vars(n.C, dst)))
+	}
+	return dst
+}

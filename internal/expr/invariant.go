@@ -29,6 +29,9 @@ type invAtom struct {
 	strict bool // clock < bound rather than clock <= bound
 	bound  Node // clock-free int expression (nil for clock-free atoms)
 	free   Node // the original clock-free boolean atom
+
+	boundFn IntFn  // compiled bound (clock atoms)
+	freeFn  BoolFn // compiled free atom (clock-free atoms)
 }
 
 // Invariant is a checked location invariant supporting both satisfaction
@@ -85,7 +88,7 @@ func (inv *Invariant) collect(n Node) error {
 	}
 	clocks := Clocks(n, nil)
 	if len(clocks) == 0 {
-		inv.atoms = append(inv.atoms, invAtom{clock: -1, free: n})
+		inv.atoms = append(inv.atoms, invAtom{clock: -1, free: n, freeFn: CompileBool(n)})
 		return nil
 	}
 	b, ok := n.(*Binary)
@@ -111,7 +114,7 @@ func (inv *Invariant) collect(n Node) error {
 	if len(Clocks(boundSide, nil)) != 0 {
 		return &InvariantError{Expr: inv.src, Msg: fmt.Sprintf("bound of clock atom %q must be clock-free", n)}
 	}
-	inv.atoms = append(inv.atoms, invAtom{clock: cr.Index, strict: strict, bound: boundSide})
+	inv.atoms = append(inv.atoms, invAtom{clock: cr.Index, strict: strict, bound: boundSide, boundFn: CompileInt(boundSide)})
 	return nil
 }
 
@@ -161,6 +164,70 @@ func (inv *Invariant) MaxDelay(env Env, running func(clock int) bool) int64 {
 		}
 	}
 	return d
+}
+
+// HoldsRaw is Holds evaluated directly against the raw variable and clock
+// arrays through the compiled atom functions.
+func (inv *Invariant) HoldsRaw(vars, clocks []int64) bool {
+	for i := range inv.atoms {
+		a := &inv.atoms[i]
+		if a.clock < 0 {
+			if !a.freeFn(vars, clocks) {
+				return false
+			}
+			continue
+		}
+		c := clocks[a.clock]
+		b := a.boundFn(vars, clocks)
+		if a.strict {
+			if c >= b {
+				return false
+			}
+		} else if c > b {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDelayRaw is MaxDelay evaluated against the raw arrays, with the running
+// status of each clock given as a stopped bitmap (stopped[c] true means clock
+// c does not advance under delay).
+func (inv *Invariant) MaxDelayRaw(vars, clocks []int64, stopped []bool) int64 {
+	d := NoBound
+	for i := range inv.atoms {
+		a := &inv.atoms[i]
+		if a.clock < 0 || stopped[a.clock] {
+			continue
+		}
+		c := clocks[a.clock]
+		b := a.boundFn(vars, clocks)
+		room := b - c
+		if a.strict {
+			room--
+		}
+		if room < d {
+			d = room
+		}
+	}
+	return d
+}
+
+// AppendDeps appends the global indices of the variables and clocks the
+// invariant reads to vars and clocks (duplicates possible) and returns both.
+// Bound expressions are clock-free by construction, so the only clocks are
+// the bounded ones.
+func (inv *Invariant) AppendDeps(vars, clocks []int) ([]int, []int) {
+	for i := range inv.atoms {
+		a := &inv.atoms[i]
+		if a.clock < 0 {
+			vars = Vars(a.free, vars)
+			continue
+		}
+		clocks = append(clocks, a.clock)
+		vars = Vars(a.bound, vars)
+	}
+	return vars, clocks
 }
 
 // HasClockBound reports whether the invariant constrains at least one clock.

@@ -73,6 +73,7 @@ func TestExploreDeadlockSurfaces(t *testing.T) {
 	// u <= 0 cannot be discharged.
 	csIdx := m.Net.AutomatonIndex("CS_c1")
 	m.Net.Automata[csIdx].Edges = nil
+	m.Net.Reindex()
 	_, err := Explore(m.Net, Options{Horizon: m.Horizon})
 	if err == nil || !strings.Contains(err.Error(), "deadlock") {
 		t.Errorf("err = %v", err)

@@ -128,6 +128,10 @@ func ExploreContext(ctx context.Context, net *nsa.Network, opts Options) (res Re
 	visited := make(map[[16]byte]struct{})
 	var keyBuf []byte
 	hasher := fnv.New128a()
+	// enum computes enabled transitions through the network's static
+	// interpretation index (pre-classified edges, compiled guards); each call
+	// returns freshly allocated transitions, which DFS frames retain.
+	enum := nsa.NewEnumerator(net)
 
 	seen := func(s *nsa.State, ms [][]int64) bool {
 		keyBuf = s.AppendKey(keyBuf[:0])
@@ -161,7 +165,7 @@ func ExploreContext(ctx context.Context, net *nsa.Network, opts Options) (res Re
 				res.Bad = bad
 			}
 		}
-		cands := net.EnabledTransitions(s, nil)
+		cands := enum.Enabled(s)
 		if len(cands) > 0 {
 			return &frame{s: s, ms: ms, cands: cands}, nil
 		}
@@ -209,7 +213,7 @@ func ExploreContext(ctx context.Context, net *nsa.Network, opts Options) (res Re
 					res.Bad = bad
 				}
 			}
-			cands = net.EnabledTransitions(s, nil)
+			cands = enum.Enabled(s)
 			if len(cands) > 0 {
 				return &frame{s: s, ms: ms, cands: cands}, nil
 			}

@@ -317,13 +317,18 @@ func (m *Model) SimulateWith(ch nsa.Chooser) (*trace.Trace, nsa.Result, error) {
 // stop, so callers can report partial progress (jobs completed, model time
 // reached).
 func (m *Model) SimulateContext(ctx context.Context, ch nsa.Chooser, b nsa.Budget) (*trace.Trace, nsa.Result, error) {
+	return m.SimulateEngine(ctx, nsa.Options{Chooser: ch, Budget: b})
+}
+
+// SimulateEngine interprets the model with caller-supplied engine options
+// (e.g. Naive or CheckEngine for differential validation of the
+// event-driven runtime). The model fills in its horizon and appends the
+// trace-building listener; the remaining options pass through.
+func (m *Model) SimulateEngine(ctx context.Context, opts nsa.Options) (*trace.Trace, nsa.Result, error) {
 	tb := m.NewTraceBuilder()
-	eng := nsa.NewEngine(m.Net, nsa.Options{
-		Horizon:   m.Horizon,
-		Chooser:   ch,
-		Listeners: []nsa.Listener{tb},
-		Budget:    b,
-	})
+	opts.Horizon = m.Horizon
+	opts.Listeners = append(opts.Listeners, tb)
+	eng := nsa.NewEngine(m.Net, opts)
 	res, err := eng.RunContext(ctx)
 	if err != nil {
 		return tb.Trace(), res, err

@@ -82,13 +82,20 @@ func (m *Model) buildPort(nb *nsa.Builder, p int, fwd map[config.PortHop]sa.Chan
 		ref := config.TaskRef{Part: msg.SrcPart, Task: msg.SrcTask}
 		firstHop[ref] = append(firstHop[ref], ph.Message)
 	}
+	// Declared footprints: the FIFO rings as whole ranges, since enqueue and
+	// dequeue touch data-dependent slots.
+	ring := make([]sa.VarID, 0, 2*capacity)
+	for i := 0; i < capacity; i++ {
+		ring = append(ring, sa.VarID(ps.qmsg+i), sa.VarID(ps.qtime+i))
+	}
+	enqueueWrites := &sa.Deps{Vars: append(append([]sa.VarID(nil), ring...), sa.VarID(ps.qlen))}
 	addInput := func(loc sa.LocID, ch sa.ChanID, msgs []int, desc string) {
 		msgs = append([]int(nil), msgs...)
 		u := &sa.UpdateFunc{Desc: desc, F: func(env expr.MutableEnv) {
 			for _, h := range msgs {
 				ps.enqueue(env, int64(h))
 			}
-		}}
+		}, Writes: enqueueWrites}
 		b.RecvEdge(loc, loc, nil, ch, u)
 	}
 	for ti := range sys.Partitions {
@@ -117,13 +124,19 @@ func (m *Model) buildPort(nb *nsa.Builder, p int, fwd map[config.PortHop]sa.Chan
 		txOf[int64(ph.Message)] = sys.Messages[ph.Message].TxTime
 	}
 	b.Edge(idle, busy,
-		&sa.GuardFunc{Desc: name + "_len > 0", F: func(env expr.Env) bool { return env.Var(ps.qlen) > 0 }},
+		&sa.GuardFunc{Desc: name + "_len > 0",
+			F:     func(env expr.Env) bool { return env.Var(ps.qlen) > 0 },
+			Reads: &sa.Deps{Vars: []sa.VarID{sa.VarID(ps.qlen)}}},
 		sa.None,
 		&sa.UpdateFunc{Desc: name + ": start service", F: func(env expr.MutableEnv) {
 			h := ps.dequeue(env)
 			env.SetVar(ps.cur, h)
 			env.SetVar(ps.txcur, txOf[h])
 			env.SetClock(int(y), 0)
+		}, Writes: &sa.Deps{
+			Vars: append(append([]sa.VarID(nil), ring...),
+				sa.VarID(ps.head), sa.VarID(ps.qlen), sa.VarID(ps.cur), sa.VarID(ps.txcur)),
+			Clocks: []sa.ClockID{y},
 		}})
 
 	// Service completion: forward to the next hop or deliver.
@@ -136,6 +149,10 @@ func (m *Model) buildPort(nb *nsa.Builder, p int, fwd map[config.PortHop]sa.Chan
 			F: func(env expr.Env) bool {
 				return env.Var(ps.cur) == int64(ph.Message) &&
 					env.Clock(int(y)) == env.Var(ps.txcur)
+			},
+			Reads: &sa.Deps{
+				Vars:   []sa.VarID{sa.VarID(ps.cur), sa.VarID(ps.txcur)},
+				Clocks: []sa.ClockID{y},
 			},
 			NextEnableF: func(env expr.Env, running func(int) bool) int64 {
 				if env.Var(ps.cur) != int64(ph.Message) || !running(int(y)) {
@@ -154,12 +171,14 @@ func (m *Model) buildPort(nb *nsa.Builder, p int, fwd map[config.PortHop]sa.Chan
 					F: func(env expr.MutableEnv) {
 						env.SetVar(drID, env.Var(drID)+1)
 						clearCur(env)
-					}})
+					},
+					Writes: &sa.Deps{Vars: []sa.VarID{sa.VarID(drID), sa.VarID(ps.cur)}}})
 		} else {
 			next := fwd[config.PortHop{Message: ph.Message, Hop: ph.Hop + 1}]
 			b.SendEdge(busy, idle, g, next,
 				&sa.UpdateFunc{Desc: fmt.Sprintf("%s: forward %s", name, sys.Messages[ph.Message].Name),
-					F: func(env expr.MutableEnv) { clearCur(env) }})
+					F:      func(env expr.MutableEnv) { clearCur(env) },
+					Writes: &sa.Deps{Vars: []sa.VarID{sa.VarID(ps.cur)}}})
 		}
 	}
 	return b.Build()

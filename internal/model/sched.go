@@ -11,14 +11,21 @@ import (
 )
 
 // policyLogic abstracts the dispatch/preemption decisions that differ
-// between the TS implementations. All decisions read only shared variables
-// (is_ready, prio, deadline, cur), so the guards are clock-free.
+// between the TS implementations. Decisions read the shared readiness,
+// priority, deadline and cur variables plus the per-task response-time
+// clocks (the aliveness test compares rt against the relative deadline);
+// the read footprints are declared so the event-driven interpreter
+// re-evaluates scheduler guards only when one of those inputs changes.
 type policyLogic struct {
 	// pick returns the task index to dispatch, or -1 when none is ready.
 	pick func(env expr.Env) int
 	// preempts reports whether some ready task should preempt the current
 	// one; nil for non-preemptive policies.
 	preempts func(env expr.Env) bool
+	// pickReads and preemptsReads are the read footprints of the two
+	// decisions (preempts additionally reads cur).
+	pickReads     sa.Deps
+	preemptsReads sa.Deps
 }
 
 // policyFor builds the dispatch/preemption logic for non-RR policies;
@@ -79,6 +86,15 @@ func (m *Model) policyFor(pi int) policyLogic {
 	}
 
 	logic := policyLogic{pick: pick}
+	for ti := 0; ti < k; ti++ {
+		logic.pickReads.Vars = append(logic.pickReads.Vars,
+			sa.VarID(ready[ti]), sa.VarID(prio[ti]), sa.VarID(dl[ti]))
+		logic.pickReads.Clocks = append(logic.pickReads.Clocks, sa.ClockID(rt[ti]))
+	}
+	logic.preemptsReads = sa.Deps{
+		Vars:   append(append([]sa.VarID(nil), logic.pickReads.Vars...), sa.VarID(cur)),
+		Clocks: logic.pickReads.Clocks,
+	}
 	if p.Policy == config.FPPS || p.Policy == config.EDF {
 		// Strict preemption test: the challenger must beat the current job
 		// without the tie-breaker (equal priority/deadline does not preempt).
@@ -152,12 +168,17 @@ func (m *Model) buildScheduler(nb *nsa.Builder, pi int) (*sa.Automaton, error) {
 	}
 	b.Init(asleep)
 
+	finDeps := &sa.Deps{Vars: []sa.VarID{sa.VarID(lastFinID), sa.VarID(curID)}}
+	curDeps := &sa.Deps{Vars: []sa.VarID{sa.VarID(curID)}}
 	gFinCur := &sa.GuardFunc{Desc: fmt.Sprintf("last_finished_%d == cur_%d", pi, pi),
-		F: func(env expr.Env) bool { return env.Var(lastFinID) == env.Var(curID) }}
+		F:     func(env expr.Env) bool { return env.Var(lastFinID) == env.Var(curID) },
+		Reads: finDeps}
 	gFinOther := &sa.GuardFunc{Desc: fmt.Sprintf("last_finished_%d != cur_%d", pi, pi),
-		F: func(env expr.Env) bool { return env.Var(lastFinID) != env.Var(curID) }}
+		F:     func(env expr.Env) bool { return env.Var(lastFinID) != env.Var(curID) },
+		Reads: finDeps}
 	clearCur := &sa.UpdateFunc{Desc: fmt.Sprintf("cur_%d := -1", pi),
-		F: func(env expr.MutableEnv) { env.SetVar(curID, -1) }}
+		F:      func(env expr.MutableEnv) { env.SetVar(curID, -1) },
+		Writes: curDeps}
 
 	// Asleep: hear releases and kills, wake on the window start.
 	b.RecvEdge(asleep, asleep, nil, pv.readyCh, nil)
@@ -170,14 +191,17 @@ func (m *Model) buildScheduler(nb *nsa.Builder, pi int) (*sa.Automaton, error) {
 	for ti := 0; ti < k; ti++ {
 		ti := ti
 		g := &sa.GuardFunc{Desc: fmt.Sprintf("pick_%d == %d", pi, ti),
-			F: func(env expr.Env) bool { return logic.pick(env) == ti }}
+			F:     func(env expr.Env) bool { return logic.pick(env) == ti },
+			Reads: &logic.pickReads}
 		u := &sa.UpdateFunc{Desc: fmt.Sprintf("cur_%d := %d", pi, ti),
-			F: func(env expr.MutableEnv) { env.SetVar(curID, int64(ti)) }}
+			F:      func(env expr.MutableEnv) { env.SetVar(curID, int64(ti)) },
+			Writes: curDeps}
 		b.SendEdge(dispatch, running, g, m.tasks[config.TaskRef{Part: pi, Task: ti}].execCh, u)
 	}
 	b.Edge(dispatch, idle,
 		&sa.GuardFunc{Desc: fmt.Sprintf("pick_%d == -1", pi),
-			F: func(env expr.Env) bool { return logic.pick(env) < 0 }},
+			F:     func(env expr.Env) bool { return logic.pick(env) < 0 },
+			Reads: &logic.pickReads},
 		sa.None, nil)
 
 	// Idle: react to releases (and, defensively, kills), sleep on demand.
@@ -209,13 +233,15 @@ func (m *Model) buildScheduler(nb *nsa.Builder, pi int) (*sa.Automaton, error) {
 			g := &sa.GuardFunc{Desc: fmt.Sprintf("cur_%d == %d && preempts_%d", pi, ti, pi),
 				F: func(env expr.Env) bool {
 					return env.Var(curID) == int64(ti) && logic.preempts(env)
-				}}
+				},
+				Reads: &logic.preemptsReads}
 			b.SendEdge(preemptCheck, dispatch, g,
 				m.tasks[config.TaskRef{Part: pi, Task: ti}].preemptCh, clearCur)
 		}
 		b.Edge(preemptCheck, running,
 			&sa.GuardFunc{Desc: fmt.Sprintf("!preempts_%d", pi),
-				F: func(env expr.Env) bool { return !logic.preempts(env) }},
+				F:     func(env expr.Env) bool { return !logic.preempts(env) },
+				Reads: &logic.preemptsReads},
 			sa.None, nil)
 		b.Edge(preemptCheckFin, dispatch, gFinCur, sa.None, clearCur)
 		b.Edge(preemptCheckFin, preemptCheck, gFinOther, sa.None, nil)
@@ -227,7 +253,8 @@ func (m *Model) buildScheduler(nb *nsa.Builder, pi int) (*sa.Automaton, error) {
 	for ti := 0; ti < k; ti++ {
 		ti := ti
 		g := &sa.GuardFunc{Desc: fmt.Sprintf("cur_%d == %d", pi, ti),
-			F: func(env expr.Env) bool { return env.Var(curID) == int64(ti) }}
+			F:     func(env expr.Env) bool { return env.Var(curID) == int64(ti) },
+			Reads: curDeps}
 		b.SendEdge(preSleep, asleep, g,
 			m.tasks[config.TaskRef{Part: pi, Task: ti}].preemptCh, clearCur)
 	}

@@ -52,6 +52,11 @@ func (m *Model) buildSchedulerRR(nb *nsa.Builder, pi int) (*sa.Automaton, error)
 		}
 		return -1
 	}
+	pickReads := &sa.Deps{Vars: []sa.VarID{sa.VarID(rrLastID)}}
+	for ti := 0; ti < k; ti++ {
+		pickReads.Vars = append(pickReads.Vars, sa.VarID(ready[ti]))
+		pickReads.Clocks = append(pickReads.Clocks, sa.ClockID(rt[ti]))
+	}
 
 	b := sa.NewBuilder(fmt.Sprintf("TS_RR_%s", p.Name))
 	b.OwnClock(q)
@@ -69,12 +74,17 @@ func (m *Model) buildSchedulerRR(nb *nsa.Builder, pi int) (*sa.Automaton, error)
 	preSleepFin := b.Loc("PreSleepFin", sa.Committed(), stopQ)
 	b.Init(asleep)
 
+	finDeps := &sa.Deps{Vars: []sa.VarID{sa.VarID(lastFinID), sa.VarID(curID)}}
+	curDeps := &sa.Deps{Vars: []sa.VarID{sa.VarID(curID)}}
 	gFinCur := &sa.GuardFunc{Desc: fmt.Sprintf("last_finished_%d == cur_%d", pi, pi),
-		F: func(env expr.Env) bool { return env.Var(lastFinID) == env.Var(curID) }}
+		F:     func(env expr.Env) bool { return env.Var(lastFinID) == env.Var(curID) },
+		Reads: finDeps}
 	gFinOther := &sa.GuardFunc{Desc: fmt.Sprintf("last_finished_%d != cur_%d", pi, pi),
-		F: func(env expr.Env) bool { return env.Var(lastFinID) != env.Var(curID) }}
+		F:     func(env expr.Env) bool { return env.Var(lastFinID) != env.Var(curID) },
+		Reads: finDeps}
 	clearCur := &sa.UpdateFunc{Desc: fmt.Sprintf("cur_%d := -1", pi),
-		F: func(env expr.MutableEnv) { env.SetVar(curID, -1) }}
+		F:      func(env expr.MutableEnv) { env.SetVar(curID, -1) },
+		Writes: curDeps}
 
 	// Asleep.
 	b.RecvEdge(asleep, asleep, nil, pv.readyCh, nil)
@@ -86,18 +96,21 @@ func (m *Model) buildSchedulerRR(nb *nsa.Builder, pi int) (*sa.Automaton, error)
 	for ti := 0; ti < k; ti++ {
 		ti := ti
 		g := &sa.GuardFunc{Desc: fmt.Sprintf("rr_pick_%d == %d", pi, ti),
-			F: func(env expr.Env) bool { return pick(env) == ti }}
+			F:     func(env expr.Env) bool { return pick(env) == ti },
+			Reads: pickReads}
 		u := &sa.UpdateFunc{Desc: fmt.Sprintf("cur_%d := %d, rr_last_%d := %d, %s := 0", pi, ti, pi, ti, qName),
 			F: func(env expr.MutableEnv) {
 				env.SetVar(curID, int64(ti))
 				env.SetVar(rrLastID, int64(ti))
 				env.SetClock(int(q), 0)
-			}}
+			},
+			Writes: &sa.Deps{Vars: []sa.VarID{sa.VarID(curID), sa.VarID(rrLastID)}, Clocks: []sa.ClockID{q}}}
 		b.SendEdge(dispatch, running, g, m.tasks[config.TaskRef{Part: pi, Task: ti}].execCh, u)
 	}
 	b.Edge(dispatch, idle,
 		&sa.GuardFunc{Desc: fmt.Sprintf("rr_pick_%d == -1", pi),
-			F: func(env expr.Env) bool { return pick(env) < 0 }},
+			F:     func(env expr.Env) bool { return pick(env) < 0 },
+			Reads: pickReads},
 		sa.None, nil)
 
 	// Idle.
@@ -120,7 +133,8 @@ func (m *Model) buildSchedulerRR(nb *nsa.Builder, pi int) (*sa.Automaton, error)
 	for ti := 0; ti < k; ti++ {
 		ti := ti
 		g := &sa.GuardFunc{Desc: fmt.Sprintf("cur_%d == %d", pi, ti),
-			F: func(env expr.Env) bool { return env.Var(curID) == int64(ti) }}
+			F:     func(env expr.Env) bool { return env.Var(curID) == int64(ti) },
+			Reads: curDeps}
 		b.SendEdge(rotate, dispatch, g,
 			m.tasks[config.TaskRef{Part: pi, Task: ti}].preemptCh, clearCur)
 	}
@@ -132,7 +146,8 @@ func (m *Model) buildSchedulerRR(nb *nsa.Builder, pi int) (*sa.Automaton, error)
 	for ti := 0; ti < k; ti++ {
 		ti := ti
 		g := &sa.GuardFunc{Desc: fmt.Sprintf("cur_%d == %d", pi, ti),
-			F: func(env expr.Env) bool { return env.Var(curID) == int64(ti) }}
+			F:     func(env expr.Env) bool { return env.Var(curID) == int64(ti) },
+			Reads: curDeps}
 		b.SendEdge(preSleep, asleep, g,
 			m.tasks[config.TaskRef{Part: pi, Task: ti}].preemptCh, clearCur)
 	}

@@ -97,9 +97,14 @@ func (m *Model) buildTask(nb *nsa.Builder, ref config.TaskRef) (*sa.Automaton, e
 		}
 		return true
 	}
-	gData := &sa.GuardFunc{Desc: name("all_data_ready"), F: dataReady}
+	dataDeps := &sa.Deps{Vars: []sa.VarID{tv.job}}
+	for _, h := range incoming {
+		dataDeps.Vars = append(dataDeps.Vars, m.dataReady[h])
+	}
+	gData := &sa.GuardFunc{Desc: name("all_data_ready"), F: dataReady, Reads: dataDeps}
 	gNoData := &sa.GuardFunc{Desc: "!" + name("all_data_ready"),
-		F: func(env expr.Env) bool { return !dataReady(env) }}
+		F:     func(env expr.Env) bool { return !dataReady(env) },
+		Reads: dataDeps}
 
 	becomeReady := exprUpdate(nb, fmt.Sprintf("is_ready_%d_%d := 1", pi, ti))
 

@@ -27,13 +27,20 @@ func (FirstChooser) Choose(*State, []Transition) int { return 0 }
 // source, for determinism testing.
 type RandomChooser struct{ Rng *rand.Rand }
 
-// Choose implements Chooser.
+// Choose implements Chooser. With no candidates it returns -1 ("no choice")
+// instead of panicking; the engine only consults choosers when at least one
+// transition is enabled, but direct callers may not.
 func (c RandomChooser) Choose(_ *State, cands []Transition) int {
+	if len(cands) == 0 {
+		return -1
+	}
 	return c.Rng.Intn(len(cands))
 }
 
 // Listener observes fired transitions. Time is the model time at firing and
 // s is the state after the transition; listeners must not mutate it.
+// tr.Parts may be backed by a buffer the engine reuses on the next step:
+// listeners that retain parts beyond the callback must copy them.
 type Listener interface {
 	OnTransition(time int64, tr *Transition, net *Network, s *State)
 }
@@ -58,13 +65,19 @@ type SyncEvent struct {
 // SyncTrace records all transitions of a run, the NSA trace of the paper.
 type SyncTrace struct {
 	Events []SyncEvent
+
+	// parts is a flat arena backing Events[i].Parts: one growing allocation
+	// for the whole trace instead of one slice per event. When the arena
+	// grows, earlier events keep pointing into the old backing array.
+	parts []Part
 }
 
 // OnTransition implements Listener.
 func (t *SyncTrace) OnTransition(time int64, tr *Transition, _ *Network, _ *State) {
-	parts := make([]Part, len(tr.Parts))
-	copy(parts, tr.Parts)
-	t.Events = append(t.Events, SyncEvent{Time: time, Kind: tr.Kind, Chan: int(tr.Chan), Parts: parts})
+	start := len(t.parts)
+	t.parts = append(t.parts, tr.Parts...)
+	end := len(t.parts)
+	t.Events = append(t.Events, SyncEvent{Time: time, Kind: tr.Kind, Chan: int(tr.Chan), Parts: t.parts[start:end:end]})
 }
 
 // Options configure a run.
@@ -89,6 +102,15 @@ type Options struct {
 	// for error diagnostics (counterexample prefixes). 0 means
 	// DefaultDiagTraceDepth; negative disables the recording.
 	DiagTraceDepth int
+	// Naive disables the event-driven runtime: every step re-enumerates all
+	// transitions through Network.EnabledTransitions / DelayBound. Mostly
+	// useful for differential testing and performance comparison.
+	Naive bool
+	// CheckEngine runs both interpretation paths and verifies after every
+	// step that the event-driven runtime produced exactly the naive
+	// enumeration's candidate list and delay bounds, failing the run on any
+	// divergence. Implies the cost of both paths. Ignored under Naive.
+	CheckEngine bool
 }
 
 // Result summarizes a completed run.
@@ -192,6 +214,10 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 				Msg: fmt.Sprintf("evaluating %s: %v", e.net.LocationString(e.s), re)}
 		}
 	}()
+	var rt *engineRuntime
+	if !e.opts.Naive {
+		rt = newEngineRuntime(e.net, e.s)
+	}
 	var cands []Transition
 	var keyBuf []byte
 	instant := e.s.Time
@@ -205,7 +231,16 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 		return res, rerr
 	}
 	for {
-		cands = e.net.EnabledTransitions(e.s, cands[:0])
+		if rt != nil {
+			cands = rt.enabled(cands[:0])
+			if e.opts.CheckEngine {
+				if err := e.checkEnabled(cands); err != nil {
+					return res, err
+				}
+			}
+		} else {
+			cands = e.net.EnabledTransitions(e.s, cands[:0])
+		}
 		if len(cands) > 0 {
 			if e.s.Time != instant {
 				instant = e.s.Time
@@ -243,8 +278,14 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 			}
 			tr := cands[idx]
 			fireTime := e.s.Time
-			if err := e.net.Fire(e.s, &tr); err != nil {
-				return res, err
+			var ferr error
+			if rt != nil {
+				ferr = rt.fire(&tr)
+			} else {
+				ferr = e.net.Fire(e.s, &tr)
+			}
+			if ferr != nil {
+				return res, ferr
 			}
 			res.Actions++
 			ring.record(SyncEvent{Time: fireTime, Kind: tr.Kind, Chan: int(tr.Chan), Parts: tr.Parts})
@@ -257,7 +298,17 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 			res.Time = e.s.Time
 			return res, nil
 		}
-		info := e.net.DelayBound(e.s)
+		var info DelayInfo
+		if rt != nil {
+			info = rt.delayBound()
+			if e.opts.CheckEngine {
+				if want := e.net.DelayBound(e.s); want != info {
+					return res, fmt.Errorf("nsa: engine check: at time %d delay divergence: optimized %+v, naive %+v", e.s.Time, info, want)
+				}
+			}
+		} else {
+			info = e.net.DelayBound(e.s)
+		}
 		if info.Blocked {
 			return res, &DeadlockError{Kind: Timelock, Time: e.s.Time,
 				Msg:     "no transition enabled but a committed location or urgent synchronization forbids delay",
@@ -283,11 +334,60 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 		if remaining := e.opts.Horizon - e.s.Time; d > remaining {
 			d = remaining
 		}
-		if err := e.net.Advance(e.s, d); err != nil {
-			return res, err
+		var aerr error
+		if rt != nil {
+			aerr = rt.advance(d)
+		} else {
+			aerr = e.net.Advance(e.s, d)
+		}
+		if aerr != nil {
+			return res, aerr
 		}
 		res.Delays++
 	}
+}
+
+// checkEnabled compares the event-driven runtime's candidate list against a
+// fresh naive enumeration of the same state (CheckEngine mode).
+func (e *Engine) checkEnabled(cands []Transition) error {
+	want := e.net.EnabledTransitions(e.s, nil)
+	mismatch := len(want) != len(cands)
+	if !mismatch {
+		for i := range want {
+			if !sameTransition(&want[i], &cands[i]) {
+				mismatch = true
+				break
+			}
+		}
+	}
+	if !mismatch {
+		return nil
+	}
+	format := func(ts []Transition) string {
+		out := ""
+		for i := range ts {
+			if i > 0 {
+				out += "; "
+			}
+			out += ts[i].String(e.net)
+		}
+		return "[" + out + "]"
+	}
+	return fmt.Errorf("nsa: engine check: at time %d enabled-set divergence:\noptimized (%d): %s\nnaive     (%d): %s",
+		e.s.Time, len(cands), format(cands), len(want), format(want))
+}
+
+// sameTransition reports structural equality of two transitions.
+func sameTransition(a, b *Transition) bool {
+	if a.Kind != b.Kind || a.Chan != b.Chan || len(a.Parts) != len(b.Parts) {
+		return false
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Simulate is a convenience wrapper: build an engine, attach a SyncTrace,

@@ -378,22 +378,30 @@ func newTraceRing(depth int) *traceRing {
 	return &traceRing{depth: depth}
 }
 
+// record stores ev, copying Parts into the slot's reusable buffer: callers
+// (the engine) hand in Parts backed by an arena that is overwritten on the
+// next step.
 func (r *traceRing) record(ev SyncEvent) {
 	if r.depth == 0 {
 		return
 	}
 	if len(r.events) < r.depth {
+		ev.Parts = append([]Part(nil), ev.Parts...)
 		r.events = append(r.events, ev)
 		r.next = len(r.events) % r.depth
 		r.full = len(r.events) == r.depth
 		return
 	}
-	r.events[r.next] = ev
+	slot := &r.events[r.next]
+	parts := append(slot.Parts[:0], ev.Parts...)
+	*slot = ev
+	slot.Parts = parts
 	r.next = (r.next + 1) % r.depth
 	r.full = true
 }
 
-// snapshot returns the recorded events oldest-first.
+// snapshot returns the recorded events oldest-first, with Parts deep-copied
+// so the result stays valid as the ring keeps recording.
 func (r *traceRing) snapshot() []SyncEvent {
 	if len(r.events) == 0 {
 		return nil
@@ -404,6 +412,9 @@ func (r *traceRing) snapshot() []SyncEvent {
 		out = append(out, r.events[:r.next]...)
 	} else {
 		out = append(out, r.events...)
+	}
+	for i := range out {
+		out[i].Parts = append([]Part(nil), out[i].Parts...)
 	}
 	return out
 }

@@ -46,6 +46,11 @@ type Network struct {
 
 	consts map[string]int64
 	scope  expr.Scope
+
+	// idx is the static interpretation index (see index.go), built by
+	// Builder.Build and shared by all engines and enumerators over this
+	// network.
+	idx *netIndex
 }
 
 // Builder allocates the global variable/clock/channel index spaces and
@@ -235,6 +240,7 @@ func (b *Builder) Build() (*Network, error) {
 	}
 	net.consts = b.consts
 	net.scope = builderScope{b}
+	net.idx = buildIndex(&net)
 	return &net, nil
 }
 
@@ -246,6 +252,11 @@ func (b *Builder) MustBuild() *Network {
 	}
 	return n
 }
+
+// Reindex rebuilds the interpretation index. Build constructs the index
+// once; callers that mutate automata afterwards (test sabotage helpers)
+// must reindex before interpreting the network again.
+func (n *Network) Reindex() { n.idx = buildIndex(n) }
 
 // Scope resolves names declared in the network.
 func (n *Network) Scope() expr.Scope { return n.scope }

@@ -1,0 +1,490 @@
+package nsa
+
+import (
+	"sort"
+
+	"stopwatchsim/internal/expr"
+	"stopwatchsim/internal/sa"
+)
+
+// halfRef is a cached enabled synchronization half of one automaton: the
+// edge index and the channel it synchronizes on.
+type halfRef struct {
+	edge int32
+	ch   sa.ChanID
+}
+
+// autSet is a sorted set of automaton indices with O(1) membership tests,
+// iterated in ascending order (the canonical enumeration order).
+type autSet struct {
+	list   []int32
+	member []bool
+}
+
+func newAutSet(n int) autSet { return autSet{member: make([]bool, n)} }
+
+func (s *autSet) insert(ai int32) {
+	if s.member[ai] {
+		return
+	}
+	s.member[ai] = true
+	i := sort.Search(len(s.list), func(i int) bool { return s.list[i] >= ai })
+	s.list = append(s.list, 0)
+	copy(s.list[i+1:], s.list[i:])
+	s.list[i] = ai
+}
+
+func (s *autSet) remove(ai int32) {
+	if !s.member[ai] {
+		return
+	}
+	s.member[ai] = false
+	i := sort.Search(len(s.list), func(i int) bool { return s.list[i] >= ai })
+	s.list = append(s.list[:i], s.list[i+1:]...)
+}
+
+// heapEntry is a pending deadline of one automaton in absolute model time.
+// Entries are invalidated lazily: gen must match the automaton's current
+// generation to count.
+type heapEntry struct {
+	abs int64
+	aut int32
+	gen uint32
+}
+
+// timeHeap is a min-heap of absolute deadlines with generation-based lazy
+// deletion: superseded entries stay in the heap until they surface at the
+// top (min) or a wholesale compaction removes them.
+type timeHeap struct{ e []heapEntry }
+
+func (h *timeHeap) push(abs int64, aut int32, gen uint32) {
+	h.e = append(h.e, heapEntry{abs, aut, gen})
+	i := len(h.e) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.e[p].abs <= h.e[i].abs {
+			break
+		}
+		h.e[p], h.e[i] = h.e[i], h.e[p]
+		i = p
+	}
+}
+
+func (h *timeHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.e) && h.e[l].abs < h.e[m].abs {
+			m = l
+		}
+		if r < len(h.e) && h.e[r].abs < h.e[m].abs {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.e[i], h.e[m] = h.e[m], h.e[i]
+		i = m
+	}
+}
+
+func (h *timeHeap) pop() {
+	last := len(h.e) - 1
+	h.e[0] = h.e[last]
+	h.e = h.e[:last]
+	if last > 0 {
+		h.down(0)
+	}
+}
+
+// min drops stale (superseded-generation) entries from the top and returns
+// the smallest valid absolute deadline.
+func (h *timeHeap) min(gens []uint32) (int64, bool) {
+	for len(h.e) > 0 {
+		top := h.e[0]
+		if gens[top.aut] == top.gen {
+			return top.abs, true
+		}
+		h.pop()
+	}
+	return 0, false
+}
+
+// compact removes stale entries wholesale and re-heapifies. Each automaton
+// contributes at most one valid entry per heap, so compaction bounds the heap
+// at the automaton count between growth bursts.
+func (h *timeHeap) compact(gens []uint32) {
+	keep := h.e[:0]
+	for _, en := range h.e {
+		if gens[en.aut] == en.gen {
+			keep = append(keep, en)
+		}
+	}
+	h.e = keep
+	for i := len(h.e)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// engineRuntime is the event-driven interpretation hot path used by Engine.
+// It mirrors Network.EnabledTransitions / DelayBound / Fire / Advance but
+// re-evaluates, after each step, only the automata the step may have
+// affected: transition participants, readers of the variables and clocks the
+// transition wrote (per the static write footprints in netIndex), readers of
+// clocks whose stopped status flipped, and — after a delay — the automata
+// whose current location has a clock-dependent guard. Per-automaton enabled
+// edge sets are cached between steps; invariant expiries and guard wake-up
+// points live in lazily-invalidated min-heaps keyed by absolute model time.
+//
+// The runtime owns its State for the duration of a run: all mutations must
+// go through fire and advance, or the caches go stale.
+type engineRuntime struct {
+	net *Network
+	idx *netIndex
+	s   *State
+	env stateEnv
+
+	// Cached per-automaton enabled sets, valid unless dirty.
+	enInternal [][]int32   // enabled internal edges, ascending
+	enSend     [][]halfRef // enabled send halves, edge-ascending
+	enRecv     [][]halfRef // enabled receive halves, edge-ascending
+
+	// gen[ai] is bumped on every recompute of ai, invalidating its heap
+	// entries.
+	gen []uint32
+
+	isDirty []bool
+	dirty   []int32
+
+	activeInternal autSet // automata with ≥1 enabled internal edge
+	activeSync     autSet // automata with ≥1 enabled sync half
+	clockSens      autSet // automata whose current location is clock-sensitive
+
+	cl    *chanLists
+	arena partsArena
+
+	// Incrementally maintained stopped-clock state: stopCount[c] is the
+	// number of automata whose current location stops clock c.
+	stopCount []int32
+	stopped   []bool
+	running   func(int) bool
+
+	committedCount int
+
+	expiry timeHeap // invariant expiry deadlines (absolute)
+	wakes  timeHeap // guard wake-up points (absolute)
+
+	oldLocs []sa.LocID // scratch for fire
+}
+
+func newEngineRuntime(net *Network, s *State) *engineRuntime {
+	na := len(net.Automata)
+	r := &engineRuntime{
+		net:        net,
+		idx:        net.index(),
+		s:          s,
+		env:        stateEnv{n: net, s: s},
+		enInternal: make([][]int32, na),
+		enSend:     make([][]halfRef, na),
+		enRecv:     make([][]halfRef, na),
+		gen:        make([]uint32, na),
+		isDirty:    make([]bool, na),
+
+		activeInternal: newAutSet(na),
+		activeSync:     newAutSet(na),
+		clockSens:      newAutSet(na),
+
+		cl:        newChanLists(len(net.Chans)),
+		stopCount: make([]int32, len(net.Clocks)),
+		stopped:   make([]bool, len(net.Clocks)),
+	}
+	r.running = func(c int) bool { return !r.stopped[c] }
+	for ai := range net.Automata {
+		loc := int(s.Locs[ai])
+		li := &r.idx.locs[ai][loc]
+		if li.committed {
+			r.committedCount++
+		}
+		if li.clockSensitive {
+			r.clockSens.insert(int32(ai))
+		}
+		for _, c := range net.Automata[ai].Locations[loc].Stopped {
+			r.stopCount[c]++
+			r.stopped[c] = true
+		}
+		r.markDirty(int32(ai))
+	}
+	return r
+}
+
+func (r *engineRuntime) markDirty(ai int32) {
+	if !r.isDirty[ai] {
+		r.isDirty[ai] = true
+		r.dirty = append(r.dirty, ai)
+	}
+}
+
+func (r *engineRuntime) dirtyList(ais []int32) {
+	for _, ai := range ais {
+		r.markDirty(ai)
+	}
+}
+
+func (r *engineRuntime) dirtyAll() {
+	for ai := range r.isDirty {
+		r.markDirty(int32(ai))
+	}
+}
+
+// recompute re-evaluates every guard of automaton ai's current location once,
+// refreshing its cached enabled sets, its active-set membership, and its heap
+// deadlines (invariant expiry and earliest guard wake-up, both absolute).
+func (r *engineRuntime) recompute(ai int32) {
+	s := r.s
+	li := &r.idx.locs[ai][s.Locs[ai]]
+	r.gen[ai]++
+	if len(r.expiry.e)+len(r.wakes.e) > 2*len(r.gen)+64 {
+		r.expiry.compact(r.gen)
+		r.wakes.compact(r.gen)
+	}
+
+	wasInt := len(r.enInternal[ai]) > 0
+	wasSync := len(r.enSend[ai])+len(r.enRecv[ai]) > 0
+	r.enInternal[ai] = r.enInternal[ai][:0]
+	r.enSend[ai] = r.enSend[ai][:0]
+	r.enRecv[ai] = r.enRecv[ai][:0]
+
+	vars, clocks := s.Vars, s.Clocks
+	wake := expr.NoBound
+	for i := range li.edges {
+		e := &li.edges[i]
+		if e.evalGuard(vars, clocks, &r.env) {
+			switch e.dir {
+			case sa.NoSync:
+				r.enInternal[ai] = append(r.enInternal[ai], e.edge)
+			case sa.Send:
+				r.enSend[ai] = append(r.enSend[ai], halfRef{e.edge, e.ch})
+			case sa.Recv:
+				r.enRecv[ai] = append(r.enRecv[ai], halfRef{e.edge, e.ch})
+			}
+		} else if e.waker != nil {
+			if d := e.waker.NextEnable(&r.env, r.running); d >= 1 && d < wake {
+				wake = d
+			}
+		}
+	}
+
+	if nowInt := len(r.enInternal[ai]) > 0; nowInt != wasInt {
+		if nowInt {
+			r.activeInternal.insert(ai)
+		} else {
+			r.activeInternal.remove(ai)
+		}
+	}
+	if nowSync := len(r.enSend[ai])+len(r.enRecv[ai]) > 0; nowSync != wasSync {
+		if nowSync {
+			r.activeSync.insert(ai)
+		} else {
+			r.activeSync.remove(ai)
+		}
+	}
+
+	if li.inv != nil {
+		var d int64
+		if li.fastInv != nil {
+			d = li.fastInv.MaxDelayRaw(vars, clocks, r.stopped)
+		} else {
+			d = li.inv.MaxDelay(&r.env, r.running)
+		}
+		if d != expr.NoBound {
+			r.expiry.push(s.Time+d, ai, r.gen[ai])
+		}
+	}
+	if wake != expr.NoBound {
+		r.wakes.push(s.Time+wake, ai, r.gen[ai])
+	}
+}
+
+// enabled computes the enabled transitions of the current state into buf,
+// in the canonical order of Network.EnabledTransitions, re-evaluating only
+// dirty automata. Parts are allocated from the runtime's arena and are only
+// valid until the next enabled call.
+func (r *engineRuntime) enabled(buf []Transition) []Transition {
+	for _, ai := range r.idx.alwaysDirty {
+		r.markDirty(ai)
+	}
+	for _, ai := range r.dirty {
+		r.recompute(ai)
+		r.isDirty[ai] = false
+	}
+	r.dirty = r.dirty[:0]
+
+	// Rebuild the per-channel half lists from the cached per-automaton sets.
+	// Iterating automata ascending with edge-ascending halves keeps every
+	// per-channel list sorted by (aut, edge) — the canonical order.
+	r.cl.reset()
+	r.arena.reset()
+	for _, ai := range r.activeSync.list {
+		for _, h := range r.enSend[ai] {
+			r.cl.addSend(r.net, h.ch, half{int(ai), int(h.edge)})
+		}
+		for _, h := range r.enRecv[ai] {
+			r.cl.addRecv(r.net, h.ch, half{int(ai), int(h.edge)})
+		}
+	}
+
+	committed := r.committedCount > 0
+	for _, ai := range r.activeInternal.list {
+		if committed && !r.idx.locs[ai][r.s.Locs[ai]].committed {
+			continue
+		}
+		for _, ei := range r.enInternal[ai] {
+			buf = append(buf, Transition{Kind: Internal, Chan: sa.NoChan, Parts: r.arena.one(Part{int(ai), int(ei)})})
+		}
+	}
+	buf = r.net.emitSyncs(buf, r.s, r.cl, committed, &r.arena)
+	return r.net.filterPriority(buf)
+}
+
+// fire applies tr through Network.Fire and dirties exactly the automata the
+// firing may have affected.
+func (r *engineRuntime) fire(tr *Transition) error {
+	s := r.s
+	r.oldLocs = r.oldLocs[:0]
+	for _, p := range tr.Parts {
+		r.oldLocs = append(r.oldLocs, s.Locs[p.Aut])
+	}
+	if err := r.net.Fire(s, tr); err != nil {
+		return err
+	}
+	for i, p := range tr.Parts {
+		r.markDirty(int32(p.Aut))
+		if old, now := r.oldLocs[i], s.Locs[p.Aut]; old != now {
+			r.locChanged(p.Aut, old, now)
+		}
+		if r.idx.writeUnknown[p.Aut][p.Edge] {
+			r.dirtyAll()
+			continue
+		}
+		for _, v := range r.idx.writeVars[p.Aut][p.Edge] {
+			r.dirtyList(r.idx.varReaders[v])
+		}
+		for _, c := range r.idx.writeClocks[p.Aut][p.Edge] {
+			r.dirtyList(r.idx.clockReaders[c])
+		}
+	}
+	return nil
+}
+
+// locChanged maintains the committed count, the stopped-clock counters and
+// the clock-sensitive set across a location change of automaton ai. Readers
+// of a clock whose rate flips are dirtied: their cached wake-ups and expiry
+// deadlines assumed the old rate.
+func (r *engineRuntime) locChanged(ai int, old, now sa.LocID) {
+	a := r.net.Automata[ai]
+	lold, lnew := &a.Locations[old], &a.Locations[now]
+	if lold.Committed != lnew.Committed {
+		if lnew.Committed {
+			r.committedCount++
+		} else {
+			r.committedCount--
+		}
+	}
+	for _, c := range lold.Stopped {
+		r.stopCount[c]--
+		if r.stopCount[c] == 0 {
+			r.stopped[c] = false
+			r.dirtyList(r.idx.clockReaders[c])
+		}
+	}
+	for _, c := range lnew.Stopped {
+		r.stopCount[c]++
+		if r.stopCount[c] == 1 {
+			r.stopped[c] = true
+			r.dirtyList(r.idx.clockReaders[c])
+		}
+	}
+	so := r.idx.locs[ai][old].clockSensitive
+	sn := r.idx.locs[ai][now].clockSensitive
+	if so != sn {
+		if sn {
+			r.clockSens.insert(int32(ai))
+		} else {
+			r.clockSens.remove(int32(ai))
+		}
+	}
+}
+
+// delayBound returns the delay information of the current state. It must be
+// called directly after enabled (the urgent check reads the channel lists
+// that call built). Expiry deadlines pushed at earlier times stay exact:
+// a uniform advance shrinks every running clock's remaining room equally,
+// and every other change (variable writes, clock resets, rate flips,
+// location changes) dirties the affected automata through the reader index,
+// which refreshes their entries before the next query.
+func (r *engineRuntime) delayBound() DelayInfo {
+	if r.committedCount > 0 {
+		return DelayInfo{Blocked: true}
+	}
+	if r.urgentBlocked() {
+		return DelayInfo{Blocked: true}
+	}
+	info := DelayInfo{Max: expr.NoBound, Wake: expr.NoBound}
+	if abs, ok := r.expiry.min(r.gen); ok {
+		info.Max = abs - r.s.Time
+	}
+	if abs, ok := r.wakes.min(r.gen); ok {
+		info.Wake = abs - r.s.Time
+	}
+	return info
+}
+
+// urgentBlocked reports whether a synchronization over an urgent channel is
+// enabled, from the channel lists of the last enabled call: an enabled
+// sender suffices on broadcast channels, binary channels need a
+// cross-automaton sender/receiver pair.
+func (r *engineRuntime) urgentBlocked() bool {
+	for _, ch := range r.cl.urgent {
+		if r.net.Chans[ch].Broadcast {
+			if len(r.cl.sends[ch]) > 0 {
+				return true
+			}
+			continue
+		}
+		for _, snd := range r.cl.sends[ch] {
+			for _, rcv := range r.cl.recvs[ch] {
+				if rcv.aut != snd.aut {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// advance moves time forward by d, which must not exceed the last
+// delayBound's admissible maximum. Invariants need no re-check then — d ≤ Max
+// guarantees every bound still holds — except when some automaton has an
+// opaque (non-expression) invariant, where the full checking path runs
+// instead. Clock-sensitive automata are dirtied: their guards may have
+// changed truth value under the advance.
+func (r *engineRuntime) advance(d int64) error {
+	if len(r.idx.alwaysDirty) > 0 {
+		// Opaque guards or invariants present: use the checked path.
+		if err := r.net.Advance(r.s, d); err != nil {
+			return err
+		}
+	} else {
+		s := r.s
+		for c := range s.Clocks {
+			if !r.stopped[c] {
+				s.Clocks[c] += d
+			}
+		}
+		s.Time += d
+	}
+	for _, ai := range r.clockSens.list {
+		r.markDirty(ai)
+	}
+	return nil
+}

@@ -93,8 +93,13 @@ func (n *Network) anyCommitted(s *State) bool {
 // Of the remaining transitions, only those of the highest process-priority
 // class (the maximum sa.Automaton.Priority over participants) are returned.
 func (n *Network) EnabledTransitions(s *State, buf []Transition) []Transition {
-	buf = n.enabledTransitionsRaw(s, buf)
-	// Process-priority filter.
+	return n.filterPriority(n.enabledTransitionsRaw(s, buf))
+}
+
+// filterPriority keeps only the transitions of the highest process-priority
+// class, in place. It is shared by the naive and the indexed enumeration
+// paths so both apply the identical filter.
+func (n *Network) filterPriority(buf []Transition) []Transition {
 	best := 0
 	hasLower := false
 	for i := range buf {

@@ -98,12 +98,25 @@ type Invariant interface {
 	String() string
 }
 
+// Deps declares the variable and clock footprint of an opaque Go function
+// (GuardFunc, UpdateFunc). Expression-based guards and updates have their
+// footprints extracted from the AST; function-backed ones must declare them
+// to let the interpretation engine re-evaluate only what a transition may
+// have changed. A nil *Deps means "unknown": the engine then conservatively
+// re-evaluates the owning automaton after every step.
+type Deps struct {
+	Vars   []VarID
+	Clocks []ClockID
+}
+
 // GuardFunc is a Guard backed by a Go function. F must not depend on clock
-// values unless NextEnableF is also provided.
+// values unless NextEnableF is also provided. Reads, when non-nil, declares
+// every variable and clock F (and NextEnableF) may read.
 type GuardFunc struct {
 	Desc        string
 	F           func(env expr.Env) bool
 	NextEnableF func(env expr.Env, running func(clock int) bool) int64
+	Reads       *Deps
 }
 
 // Holds implements Guard.
@@ -120,10 +133,12 @@ func (g *GuardFunc) NextEnable(env expr.Env, running func(clock int) bool) int64
 	return g.NextEnableF(env, running)
 }
 
-// UpdateFunc is an Update backed by a Go function.
+// UpdateFunc is an Update backed by a Go function. Writes, when non-nil,
+// declares every variable and clock F may assign.
 type UpdateFunc struct {
-	Desc string
-	F    func(env expr.MutableEnv)
+	Desc   string
+	F      func(env expr.MutableEnv)
+	Writes *Deps
 }
 
 // Apply implements Update.
@@ -221,6 +236,72 @@ func clockAtom(b *expr.Binary) (clock int, bound expr.Node, ok bool) {
 	return 0, nil, false
 }
 
+// GuardReads appends the global variable and clock indices guard g may read
+// to vars and clocks. ok is false when the footprint is unknown (an opaque
+// guard without a Reads declaration); callers must then assume g reads
+// everything.
+func GuardReads(g Guard, vars, clocks []int) (v, c []int, ok bool) {
+	switch g := g.(type) {
+	case nil:
+		return vars, clocks, true
+	case *ExprGuard:
+		return expr.Vars(g.Node, vars), expr.Clocks(g.Node, clocks), true
+	case *GuardFunc:
+		if g.Reads == nil {
+			return vars, clocks, false
+		}
+		for _, vi := range g.Reads.Vars {
+			vars = append(vars, int(vi))
+		}
+		for _, ci := range g.Reads.Clocks {
+			clocks = append(clocks, int(ci))
+		}
+		return vars, clocks, true
+	default:
+		return vars, clocks, false
+	}
+}
+
+// UpdateWrites appends the global variable and clock indices update u may
+// assign to vars and clocks. ok is false when the footprint is unknown;
+// callers must then assume u writes everything. Assignments through a
+// dynamic array index contribute the whole array range.
+func UpdateWrites(u Update, vars, clocks []int) (v, c []int, ok bool) {
+	switch u := u.(type) {
+	case nil:
+		return vars, clocks, true
+	case *ExprUpdate:
+		for _, s := range u.Stmts {
+			switch t := s.Target.(type) {
+			case *expr.VarRef:
+				vars = append(vars, t.Index)
+			case *expr.ClockRef:
+				clocks = append(clocks, t.Index)
+			case *expr.DynVarRef:
+				for i := 0; i < t.Len; i++ {
+					vars = append(vars, t.Base+i)
+				}
+			default:
+				return vars, clocks, false
+			}
+		}
+		return vars, clocks, true
+	case *UpdateFunc:
+		if u.Writes == nil {
+			return vars, clocks, false
+		}
+		for _, vi := range u.Writes.Vars {
+			vars = append(vars, int(vi))
+		}
+		for _, ci := range u.Writes.Clocks {
+			clocks = append(clocks, int(ci))
+		}
+		return vars, clocks, true
+	default:
+		return vars, clocks, false
+	}
+}
+
 // ExprUpdate adapts a resolved statement list to Update.
 type ExprUpdate struct {
 	Stmts expr.StmtList
@@ -268,15 +349,19 @@ type Automaton struct {
 	// instant are processed before scheduling decisions at that instant.
 	Priority int
 
-	// edgesFrom[l] lists indices into Edges of edges leaving location l.
-	edgesFrom [][]int
+	// edgesFrom[l] lists indices into Edges of edges leaving location l;
+	// edgesIndexed is the edge count it was built from, so the index
+	// refreshes when edges are added or removed after first use.
+	edgesFrom    [][]int
+	edgesIndexed int
 }
 
 // EdgesFrom returns the indices of edges leaving location l, computing the
-// index on first use.
+// index on first use and recomputing it when the edge count has changed.
 func (a *Automaton) EdgesFrom(l LocID) []int {
-	if a.edgesFrom == nil {
+	if a.edgesFrom == nil || a.edgesIndexed != len(a.Edges) {
 		a.edgesFrom = make([][]int, len(a.Locations))
+		a.edgesIndexed = len(a.Edges)
 		for i, e := range a.Edges {
 			a.edgesFrom[e.Src] = append(a.edgesFrom[e.Src], i)
 		}
