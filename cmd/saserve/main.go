@@ -1,0 +1,85 @@
+// Command saserve runs the schedulability analysis service: an HTTP API
+// over a bounded worker pool with a content-addressed result cache. The
+// paper's central property — one deterministic NSA interpretation decides
+// a configuration — makes the service shape natural: runs are pure
+// functions of the submitted configuration, so they batch, parallelize
+// and cache like any content-addressed computation.
+//
+//	POST   /v1/jobs          submit XML/JSON configuration or XTA model
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}     status, verdict, structured diagnostics
+//	DELETE /v1/jobs/{id}     cancel
+//	GET    /v1/jobs/{id}/trace  trace export (json, csv, text)
+//	GET    /v1/jobs/{id}/gantt  ASCII Gantt chart
+//	GET    /metrics          Prometheus-style metrics
+//	GET    /healthz          liveness
+//
+// Per-job resource budgets come from the shared flags (-max-steps,
+// -timeout, -max-mem-mb) as defaults, overridable per submission with
+// ?max-steps= and ?timeout= query parameters. SIGINT/SIGTERM drains the
+// pool and exits.
+//
+// Usage:
+//
+//	saserve [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	        [-max-steps N] [-timeout D] [-max-mem-mb N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"stopwatchsim/internal/diag"
+	"stopwatchsim/internal/jobs"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", runtime.NumCPU(), "concurrent analysis runs")
+		queue   = flag.Int("queue", 256, "bounded job queue depth (backpressure beyond)")
+		cache   = flag.Int("cache", 1024, "result cache entries (negative disables)")
+	)
+	budget := diag.BudgetFlags()
+	flag.Parse()
+
+	pool := jobs.New(jobs.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		Budget:     budget(),
+		Tool:       "saserve",
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(pool),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := diag.SignalContext()
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("saserve: listening on %s (%d workers, queue %d, cache %d)\n",
+		*addr, *workers, *queue, *cache)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "saserve:", err)
+		os.Exit(diag.ExitError)
+	case <-ctx.Done():
+	}
+	fmt.Println("saserve: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "saserve: shutdown:", err)
+	}
+	pool.Close()
+}

@@ -1,0 +1,376 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"time"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/diag"
+	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/trace"
+)
+
+// maxBodyBytes bounds submitted configurations.
+const maxBodyBytes = 8 << 20
+
+// defaultXTAHorizon is the model-time horizon of XTA submissions that do
+// not pass ?horizon=N.
+const defaultXTAHorizon = 1000
+
+// server holds the HTTP handlers over one jobs.Pool.
+type server struct {
+	pool    *jobs.Pool
+	started time.Time
+}
+
+// newMux wires the REST API:
+//
+//	POST   /v1/jobs          submit a configuration (XML/JSON) or XTA model
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}     job status, verdict and diagnostics
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace  stream the trace (json, csv, text)
+//	GET    /v1/jobs/{id}/gantt  ASCII Gantt chart
+//	GET    /metrics          Prometheus-style counters
+//	GET    /healthz          liveness
+func newMux(pool *jobs.Pool) *http.ServeMux {
+	s := &server{pool: pool, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.list)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
+	mux.HandleFunc("GET /v1/jobs/{id}/gantt", s.gantt)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", s.health)
+	return mux
+}
+
+// jobDoc is the JSON wire form of a job snapshot.
+type jobDoc struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Status      string `json:"status"`
+	CacheHit    bool   `json:"cache_hit"`
+	Submitted   string `json:"submitted"`
+	Started     string `json:"started,omitempty"`
+	Finished    string `json:"finished,omitempty"`
+
+	// Completed runs.
+	Verdict   string `json:"verdict,omitempty"`
+	System    string `json:"system,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	Actions   int    `json:"engine_actions,omitempty"`
+	JobsTotal int    `json:"jobs_total,omitempty"`
+	JobsLate  int    `json:"jobs_unschedulable,omitempty"`
+
+	// Failed or canceled runs.
+	Report *diag.Report `json:"report,omitempty"`
+}
+
+func toDoc(jb jobs.Job) jobDoc {
+	d := jobDoc{
+		ID:          jb.ID,
+		Fingerprint: jb.Key,
+		Status:      string(jb.Status),
+		CacheHit:    jb.CacheHit,
+		Submitted:   jb.Submitted.UTC().Format(time.RFC3339Nano),
+		Report:      jb.Report,
+	}
+	if !jb.Started.IsZero() {
+		d.Started = jb.Started.UTC().Format(time.RFC3339Nano)
+	}
+	if !jb.Finished.IsZero() {
+		d.Finished = jb.Finished.UTC().Format(time.RFC3339Nano)
+	}
+	if out := jb.Outcome; out != nil {
+		d.Verdict = string(out.Verdict)
+		d.ElapsedMS = out.Elapsed.Milliseconds()
+		d.Actions = out.Engine.Actions
+		if out.Sys != nil {
+			d.System = out.Sys.Name
+		}
+		if out.Analysis != nil {
+			d.JobsTotal = len(out.Analysis.Jobs)
+			d.JobsLate = len(out.Analysis.Unschedulable)
+		}
+	}
+	return d
+}
+
+// submit accepts a system configuration (application/xml or
+// application/json) or an XTA model (application/x-xta, ?horizon=N) and
+// enqueues the analysis. ?wait=true blocks until the run completes.
+// Budget overrides: ?max-steps=N and ?timeout=30s bound the run.
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "configuration exceeds %d bytes", maxBodyBytes)
+		return
+	}
+	budget, err := budgetFromQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	var runner jobs.Runner
+	switch ct {
+	case "application/json":
+		sys, err := config.ReadJSON(bytesReader(body))
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		runner = jobs.ConfigRun{Sys: sys}
+	case "application/x-xta", "text/x-xta":
+		horizon := int64(defaultXTAHorizon)
+		if hs := r.URL.Query().Get("horizon"); hs != "" {
+			horizon, err = strconv.ParseInt(hs, 10, 64)
+			if err != nil || horizon <= 0 {
+				httpError(w, http.StatusBadRequest, "bad horizon %q", hs)
+				return
+			}
+		}
+		runner = jobs.XTARun{Src: string(body), Horizon: horizon}
+	default: // XML is the default and the documented Content-Type: application/xml
+		sys, err := config.ReadXML(bytesReader(body))
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		runner = jobs.ConfigRun{Sys: sys}
+	}
+
+	var jb jobs.Job
+	if budget.IsZero() { // no per-job override: inherit the pool default
+		jb, err = s.pool.Submit(runner)
+	} else {
+		jb, err = s.pool.SubmitBudget(runner, budget)
+	}
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, "queue full, retry later")
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	if r.URL.Query().Get("wait") == "true" {
+		done, err := s.pool.Wait(r.Context(), jb.ID)
+		if err != nil {
+			httpError(w, http.StatusGatewayTimeout, "waiting for %s: %v", jb.ID, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toDoc(done))
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+jb.ID)
+	writeJSON(w, http.StatusAccepted, toDoc(jb))
+}
+
+func (s *server) list(w http.ResponseWriter, r *http.Request) {
+	all := s.pool.List()
+	docs := make([]jobDoc, len(all))
+	for i, jb := range all {
+		docs[i] = toDoc(jb)
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.pool.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, toDoc(jb))
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.pool.Get(id); !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if !s.pool.Cancel(id) {
+		httpError(w, http.StatusConflict, "job %s already terminal", id)
+		return
+	}
+	jb, _ := s.pool.Get(id)
+	writeJSON(w, http.StatusOK, toDoc(jb))
+}
+
+// completedOutcome fetches the job and requires a completed run.
+func (s *server) completedOutcome(w http.ResponseWriter, r *http.Request) *jobs.Outcome {
+	jb, ok := s.pool.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return nil
+	}
+	if jb.Status != jobs.StatusDone || jb.Outcome == nil {
+		httpError(w, http.StatusConflict, "job %s is %s, not done", jb.ID, jb.Status)
+		return nil
+	}
+	return jb.Outcome
+}
+
+// trace streams the completed run's trace: for configuration runs the
+// system operation trace as JSON (default), CSV or rendered text; for XTA
+// runs the synchronization trace as JSON or text.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	out := s.completedOutcome(w, r)
+	if out == nil {
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if out.Trace == nil { // XTA run: synchronization trace only
+		switch format {
+		case "json":
+			writeJSON(w, http.StatusOK, out.Sync)
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, ev := range out.Sync {
+				fmt.Fprintf(w, "t=%-6d %s\n", ev.Time, ev.Event)
+			}
+		default:
+			httpError(w, http.StatusBadRequest, "format %q not available for XTA runs", format)
+		}
+		return
+	}
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteJSON(w, out.Sys, out.Trace, out.Analysis); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		if err := out.Trace.WriteCSV(w, out.Sys); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, out.Trace.Format(out.Sys))
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (json, csv, text)", format)
+	}
+}
+
+// gantt renders the ASCII Gantt chart of a completed configuration run;
+// ?scale=N sets ticks per column.
+func (s *server) gantt(w http.ResponseWriter, r *http.Request) {
+	out := s.completedOutcome(w, r)
+	if out == nil {
+		return
+	}
+	if out.Trace == nil {
+		httpError(w, http.StatusConflict, "job has no system trace (XTA run)")
+		return
+	}
+	scale := int64(1)
+	if ss := r.URL.Query().Get("scale"); ss != "" {
+		v, err := strconv.ParseInt(ss, 10, 64)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "bad scale %q", ss)
+			return
+		}
+		scale = v
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, trace.Gantt(out.Sys, out.Trace, scale))
+}
+
+// metrics exposes pool counters in the Prometheus text format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	m := s.pool.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP saserve_%s %s\n# TYPE saserve_%s counter\nsaserve_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP saserve_%s %s\n# TYPE saserve_%s gauge\nsaserve_%s %g\n", name, help, name, name, v)
+	}
+	counter("jobs_submitted_total", "Jobs accepted for analysis.", m.Submitted)
+	gauge("jobs_queued", "Jobs waiting for a worker.", float64(m.Queued))
+	gauge("jobs_running", "Jobs currently interpreting.", float64(m.Running))
+	counter("jobs_done_total", "Jobs completed successfully.", m.Done)
+	counter("jobs_failed_total", "Jobs failed (diagnostics or budget).", m.Failed)
+	counter("jobs_canceled_total", "Jobs canceled.", m.Canceled)
+	counter("cache_hits_total", "Submissions served from the result cache.", m.CacheHits)
+	counter("cache_misses_total", "Submissions that required a run.", m.CacheMisses)
+	gauge("cache_hit_rate", "Cache hits over all keyed submissions.", m.CacheHitRate)
+	fmt.Fprintf(w, "# HELP saserve_run_latency_seconds Run latency quantiles over recent runs.\n# TYPE saserve_run_latency_seconds summary\n")
+	fmt.Fprintf(w, "saserve_run_latency_seconds{quantile=\"0.5\"} %g\n", m.LatencyP50.Seconds())
+	fmt.Fprintf(w, "saserve_run_latency_seconds{quantile=\"0.99\"} %g\n", m.LatencyP99.Seconds())
+	gauge("engine_events_per_second", "Interpretation throughput: transitions fired per second of engine wall time.", m.EventsPerSec)
+	gauge("uptime_seconds", "Seconds since the service started.", time.Since(s.started).Seconds())
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// budgetFromQuery assembles a per-job budget from ?max-steps and ?timeout.
+func budgetFromQuery(r *http.Request) (nsa.Budget, error) {
+	var b nsa.Budget
+	q := r.URL.Query()
+	if v := q.Get("max-steps"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return b, fmt.Errorf("bad max-steps %q", v)
+		}
+		b.MaxSteps = n
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return b, fmt.Errorf("bad timeout %q", v)
+		}
+		b.MaxWallTime = d
+	}
+	return b, nil
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// errorDoc is the JSON error envelope.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,348 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stopwatchsim/internal/jobs"
+)
+
+const quickstartXML = `
+<system name="quickstart">
+  <coreType name="cpu"/>
+  <module id="1">
+    <core name="c1" type="cpu"/>
+  </module>
+  <partition name="P1" core="c1" policy="FPPS">
+    <task name="control" priority="2" period="10" deadline="10" wcet="2"/>
+    <task name="logging" priority="1" period="20" deadline="20" wcet="9"/>
+    <window start="0" end="20"/>
+  </partition>
+</system>
+`
+
+const quickstartJSON = `{
+  "Name": "quickstart",
+  "CoreTypes": ["cpu"],
+  "Cores": [{"Name": "c1", "Type": 0, "Module": 1}],
+  "Partitions": [{
+    "Name": "P1", "Core": 0, "Policy": "FPPS", "Quantum": 0,
+    "Tasks": [
+      {"Name": "control", "Priority": 2, "WCET": [2], "Period": 10, "Deadline": 10},
+      {"Name": "logging", "Priority": 1, "WCET": [9], "Period": 20, "Deadline": 20}
+    ],
+    "Windows": [{"Start": 0, "End": 20}]
+  }],
+  "Messages": null,
+  "Net": null
+}`
+
+const counterXTA = `
+const int PERIOD = 3;
+int count = 0;
+chan tick;
+
+process Emitter() {
+    clock t;
+    state W { t <= PERIOD };
+    init W;
+    trans W -> W { guard t == PERIOD; sync tick!; assign t := 0; };
+}
+
+process Counter() {
+    state C;
+    init C;
+    trans C -> C { sync tick?; assign count := count + 1; };
+}
+
+system Emitter(), Counter();
+`
+
+func newTestServer(t *testing.T, opts jobs.Options) *httptest.Server {
+	t.Helper()
+	if opts.Tool == "" {
+		opts.Tool = "saserve"
+	}
+	pool := jobs.New(opts)
+	ts := httptest.NewServer(newMux(pool))
+	t.Cleanup(func() {
+		ts.Close()
+		pool.Close()
+	})
+	return ts
+}
+
+func postConfig(t *testing.T, ts *httptest.Server, body, contentType, query string) (int, jobDoc) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs"+query, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc jobDoc
+	raw, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("decoding %s: %v", raw, err)
+	}
+	return resp.StatusCode, doc
+}
+
+func TestSubmitWaitAndCacheHit(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 2})
+
+	code, doc := postConfig(t, ts, quickstartXML, "application/xml", "?wait=true")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, doc = %+v", code, doc)
+	}
+	if doc.Status != "done" || doc.Verdict != "schedulable" {
+		t.Fatalf("doc = %+v, want done/schedulable", doc)
+	}
+	if doc.CacheHit {
+		t.Fatal("first submission reported a cache hit")
+	}
+	if doc.System != "quickstart" || doc.JobsTotal != 3 || doc.JobsLate != 0 {
+		t.Fatalf("analysis summary wrong: %+v", doc)
+	}
+	if doc.Fingerprint == "" {
+		t.Fatal("no fingerprint")
+	}
+
+	// Identical resubmission: cached verdict, no re-run.
+	code, again := postConfig(t, ts, quickstartXML, "application/xml", "?wait=true")
+	if code != http.StatusOK || !again.CacheHit {
+		t.Fatalf("resubmission not cached: %d %+v", code, again)
+	}
+	if again.Fingerprint != doc.Fingerprint || again.Verdict != "schedulable" {
+		t.Fatalf("cached doc diverges: %+v vs %+v", again, doc)
+	}
+
+	// The JSON form of the same configuration is the same content.
+	code, jd := postConfig(t, ts, quickstartJSON, "application/json", "?wait=true")
+	if code != http.StatusOK {
+		t.Fatalf("JSON submit: %d %+v", code, jd)
+	}
+	if jd.Fingerprint != doc.Fingerprint || !jd.CacheHit {
+		t.Fatalf("JSON submission did not hit the XML run's cache entry: %+v", jd)
+	}
+
+	// Metrics reflect two hits and one miss.
+	body := getText(t, ts, "/metrics", http.StatusOK)
+	for _, want := range []string{
+		"saserve_cache_hits_total 2",
+		"saserve_cache_misses_total 1",
+		"saserve_jobs_done_total 3",
+		"saserve_jobs_failed_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestAsyncSubmitPollTraceGantt(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 1})
+	code, doc := postConfig(t, ts, quickstartXML, "application/xml", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("status = %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cur jobDoc
+		getJSON(t, ts, "/v1/jobs/"+doc.ID, http.StatusOK, &cur)
+		if cur.Status == "done" {
+			break
+		}
+		if cur.Status == "failed" || cur.Status == "canceled" {
+			t.Fatalf("job ended %s: %+v", cur.Status, cur)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", cur.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var rep struct {
+		System      string `json:"system"`
+		Schedulable bool   `json:"schedulable"`
+		Events      []any  `json:"events"`
+	}
+	getJSON(t, ts, "/v1/jobs/"+doc.ID+"/trace", http.StatusOK, &rep)
+	if rep.System != "quickstart" || !rep.Schedulable || len(rep.Events) == 0 {
+		t.Fatalf("trace report = %+v", rep)
+	}
+
+	csv := getText(t, ts, "/v1/jobs/"+doc.ID+"/trace?format=csv", http.StatusOK)
+	if !strings.HasPrefix(csv, "time,event,partition,task,job") {
+		t.Fatalf("csv header missing:\n%s", csv)
+	}
+	text := getText(t, ts, "/v1/jobs/"+doc.ID+"/trace?format=text", http.StatusOK)
+	if !strings.Contains(text, "P1.control") {
+		t.Fatalf("text trace missing task:\n%s", text)
+	}
+	gantt := getText(t, ts, "/v1/jobs/"+doc.ID+"/gantt", http.StatusOK)
+	if !strings.Contains(gantt, "A=P1.control") {
+		t.Fatalf("gantt legend missing:\n%s", gantt)
+	}
+
+	// Unknown and invalid requests.
+	getText(t, ts, "/v1/jobs/j999999", http.StatusNotFound)
+	getText(t, ts, "/v1/jobs/"+doc.ID+"/trace?format=yaml", http.StatusBadRequest)
+	getText(t, ts, "/v1/jobs/"+doc.ID+"/gantt?scale=0", http.StatusBadRequest)
+}
+
+func TestSubmitXTA(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 1})
+	code, doc := postConfig(t, ts, counterXTA, "application/x-xta", "?wait=true&horizon=9")
+	if code != http.StatusOK || doc.Verdict != "completed" {
+		t.Fatalf("XTA run: %d %+v", code, doc)
+	}
+	text := getText(t, ts, "/v1/jobs/"+doc.ID+"/trace?format=text", http.StatusOK)
+	if !strings.Contains(text, "tick") {
+		t.Fatalf("sync trace missing channel:\n%s", text)
+	}
+	// No Gantt for raw NSA runs.
+	getText(t, ts, "/v1/jobs/"+doc.ID+"/gantt", http.StatusConflict)
+}
+
+func TestSubmitRejectsBadInput(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 1})
+	if code, _ := postConfig(t, ts, "<system", "application/xml", ""); code != http.StatusUnprocessableEntity {
+		t.Fatalf("malformed XML accepted: %d", code)
+	}
+	if code, _ := postConfig(t, ts, `{"Name":"x"}`, "application/json", ""); code != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid JSON config accepted: %d", code)
+	}
+	if code, _ := postConfig(t, ts, quickstartXML, "application/xml", "?max-steps=nope"); code != http.StatusBadRequest {
+		t.Fatalf("bad budget accepted: %d", code)
+	}
+	if code, _ := postConfig(t, ts, counterXTA, "application/x-xta", "?horizon=-1"); code != http.StatusBadRequest {
+		t.Fatalf("bad horizon accepted: %d", code)
+	}
+}
+
+func TestSubmitBudgetExhaustion(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 1})
+	code, doc := postConfig(t, ts, quickstartXML, "application/xml", "?wait=true&max-steps=1")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if doc.Status != "failed" || doc.Report == nil || doc.Report.Kind != "budget-exhausted" {
+		t.Fatalf("doc = %+v, want failed with budget report", doc)
+	}
+}
+
+func TestCancelEndpoint(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 4})
+	// A long horizon keeps the XTA run busy; queue a second job behind it.
+	code, running := postConfig(t, ts, counterXTA, "application/x-xta", "?horizon=100000000")
+	if code != http.StatusAccepted {
+		t.Fatalf("status = %d", code)
+	}
+	code, queued := postConfig(t, ts, quickstartXML, "application/xml", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("status = %d", code)
+	}
+	del := func(id string) (int, jobDoc) {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc jobDoc
+		json.NewDecoder(resp.Body).Decode(&doc)
+		return resp.StatusCode, doc
+	}
+	if code, doc := del(queued.ID); code != http.StatusOK || doc.Status != "canceled" {
+		t.Fatalf("cancel queued: %d %+v", code, doc)
+	}
+	if code, _ := del(running.ID); code != http.StatusOK {
+		t.Fatalf("cancel running: %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cur jobDoc
+		getJSON(t, ts, "/v1/jobs/"+running.ID, http.StatusOK, &cur)
+		if cur.Status == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("running job not canceled: %+v", cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code, _ := del("j999999"); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown: %d", code)
+	}
+}
+
+func TestQueueBackpressure429(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 1})
+	// Fill: one running (long horizon), one queued.
+	if code, _ := postConfig(t, ts, counterXTA, "application/x-xta", "?horizon=100000000"); code != http.StatusAccepted {
+		t.Fatal("first submit rejected")
+	}
+	waitForRunning(t, ts)
+	if code, _ := postConfig(t, ts, quickstartXML, "application/xml", ""); code != http.StatusAccepted {
+		t.Fatal("second submit rejected")
+	}
+	code, _ := postConfig(t, ts, counterXTA, "application/x-xta", "?horizon=99999999")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", code)
+	}
+}
+
+func TestListAndHealth(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 1})
+	postConfig(t, ts, quickstartXML, "application/xml", "?wait=true")
+	var docs []jobDoc
+	getJSON(t, ts, "/v1/jobs", http.StatusOK, &docs)
+	if len(docs) != 1 || docs[0].Status != "done" {
+		t.Fatalf("list = %+v", docs)
+	}
+	var h map[string]string
+	getJSON(t, ts, "/healthz", http.StatusOK, &h)
+	if h["status"] != "ok" {
+		t.Fatalf("health = %v", h)
+	}
+}
+
+// waitForRunning polls /metrics until a job is running.
+func waitForRunning(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(getText(t, ts, "/metrics", http.StatusOK), "saserve_jobs_running 1") {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no job started running")
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, wantCode int, v any) {
+	t.Helper()
+	raw := getText(t, ts, path, wantCode)
+	if err := json.Unmarshal([]byte(raw), v); err != nil {
+		t.Fatalf("decoding %s: %v\n%s", path, err, raw)
+	}
+}
+
+func getText(t *testing.T, ts *httptest.Server, path string, wantCode int) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d\n%s", path, resp.StatusCode, wantCode, body)
+	}
+	return string(body)
+}

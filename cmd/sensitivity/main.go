@@ -1,69 +1,213 @@
 // Command sensitivity performs WCET sensitivity analysis on a
-// configuration: the largest percentage by which every task's WCET can be
-// scaled while the configuration stays schedulable, found by binary search
-// with the stopwatch-automata model as the oracle on every probe — the
-// same use-the-model-as-a-subroutine pattern as the §4 scheduling tool.
+// configuration with the stopwatch-automata model as the oracle on every
+// probe — the same use-the-model-as-a-subroutine pattern as the §4
+// scheduling tool. Two modes:
+//
+//   - Binary search (default): the largest percentage by which every WCET
+//     can be scaled while the configuration stays schedulable.
+//   - Grid sweep (-sweep lo:hi:step or -points a,b,c): evaluate every
+//     scaling point, fanned across a bounded worker pool (-parallel N)
+//     with a content-addressed result cache, so an 8-point sweep on four
+//     cores takes roughly two serial runs of wall clock instead of eight.
+//
+// Exit codes follow internal/diag: 0 the unscaled configuration is
+// schedulable, 1 operational error, 2 usage, 3 the unscaled configuration
+// is not schedulable, 4 budget exhausted or interrupted, 5 model
+// diagnostic, 6 invalid configuration.
 //
 // Usage:
 //
-//	sensitivity -config system.xml [-max 400]
+//	sensitivity -config system.xml [-max 400] [-sweep lo:hi:step]
+//	            [-points 60,80,120] [-parallel N] [-json out.json]
+//	            [-max-steps N] [-timeout D] [-max-mem-mb N]
+//	            [-report out.json]
 package main
 
 import (
-	"flag"
+	"context"
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
+
+	"flag"
 
 	"stopwatchsim/internal/analysis"
 	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/diag"
+	"stopwatchsim/internal/nsa"
 )
 
 func main() {
 	var (
 		configPath = flag.String("config", "", "system configuration XML (required)")
-		maxPct     = flag.Int64("max", 400, "upper bound of the search, in percent")
+		maxPct     = flag.Int64("max", 400, "upper bound of the binary search, in percent")
+		sweep      = flag.String("sweep", "", "evaluate a lo:hi:step percentage grid instead of binary search")
+		points     = flag.String("points", "", "comma-separated percentage points to evaluate")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent analysis runs in sweep mode")
+		jsonOut    = flag.String("json", "", "write the analysis result as JSON to this file")
+		report     = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
 	)
+	budget := diag.BudgetFlags()
 	flag.Parse()
-	if *configPath == "" {
+	if *configPath == "" || (*sweep != "" && *points != "") {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(diag.ExitUsage)
 	}
-	if err := run(*configPath, *maxPct); err != nil {
-		fmt.Fprintln(os.Stderr, "sensitivity:", err)
-		os.Exit(1)
+	ctx, stop := diag.SignalContext()
+	defer stop()
+	run(ctx, *configPath, *maxPct, *sweep, *points, *parallel, *jsonOut, *report, budget())
+}
+
+// resultDoc is the -json output: the verdict document of one sensitivity
+// analysis.
+type resultDoc struct {
+	System      string                `json:"system"`
+	Fingerprint string                `json:"fingerprint"`
+	Baseline    bool                  `json:"baseline_schedulable"`
+	CriticalPct int64                 `json:"critical_pct"`
+	MaxPct      int64                 `json:"max_pct,omitempty"`
+	Parallel    int                   `json:"parallel,omitempty"`
+	Points      []analysis.SweepPoint `json:"points,omitempty"`
+	ElapsedMS   int64                 `json:"elapsed_ms"`
+}
+
+// fail routes err through the diag classifier and terminates; no-op on nil.
+func fail(err error, reportPath string) {
+	diag.Exit("sensitivity", err, nil, reportPath)
+}
+
+func run(ctx context.Context, path string, maxPct int64, sweepSpec, pointsSpec string, parallel int, jsonOut, reportPath string, b nsa.Budget) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err, reportPath)
+	}
+	sys, err := config.ReadXML(f)
+	f.Close()
+	if err != nil {
+		fail(err, reportPath)
+	}
+	doc := resultDoc{System: sys.Name, Fingerprint: sys.Fingerprint(), MaxPct: maxPct}
+	start := time.Now()
+
+	if sweepSpec != "" || pointsSpec != "" {
+		grid, err := parseGrid(sweepSpec, pointsSpec)
+		if err != nil {
+			fail(err, reportPath)
+		}
+		// The unscaled configuration anchors the verdict (and the exit
+		// code); evaluate it as part of the grid so the pool caches it.
+		if !contains(grid, 100) {
+			grid = append([]int64{100}, grid...)
+		}
+		sweep, err := analysis.SweepWCET(ctx, sys, grid, parallel, b)
+		if err != nil {
+			fail(err, reportPath)
+		}
+		doc.Parallel = parallel
+		doc.Points = sweep
+		doc.CriticalPct = analysis.CriticalFromSweep(sweep)
+		fmt.Printf("sweep of %d points, %d parallel workers (%v):\n", len(sweep), parallel, time.Since(start).Round(time.Millisecond))
+		for _, p := range sweep {
+			mark := "not schedulable"
+			if p.Schedulable {
+				mark = "schedulable"
+			}
+			cached := ""
+			if p.CacheHit {
+				cached = " (cached)"
+			}
+			fmt.Printf("  %4d%%  %-15s %8s%s\n", p.Pct, mark, p.Elapsed.Round(time.Microsecond), cached)
+			if p.Pct == 100 {
+				doc.Baseline = p.Schedulable
+			}
+		}
+		fmt.Printf("largest schedulable point: %d%%\n", doc.CriticalPct)
+	} else {
+		base, err := analysis.Schedulable(sys)
+		if err != nil {
+			fail(err, reportPath)
+		}
+		doc.Baseline = base
+		fmt.Printf("baseline (100%%): schedulable=%t\n", base)
+		pct, err := analysis.CriticalScaling(sys, maxPct)
+		if err != nil {
+			fail(err, reportPath)
+		}
+		doc.CriticalPct = pct
+		fmt.Printf("critical WCET scaling: %d%% (search bound %d%%, %v)\n",
+			pct, maxPct, time.Since(start).Round(time.Millisecond))
+		switch {
+		case pct == 0:
+			fmt.Println("the configuration is unschedulable even with minimal WCETs")
+		case pct < 100:
+			fmt.Println("the configuration is overloaded: WCETs must shrink to fit")
+		default:
+			fmt.Printf("WCET headroom: ×%.2f before a deadline miss\n", float64(pct)/100)
+		}
+	}
+	doc.ElapsedMS = time.Since(start).Milliseconds()
+
+	if jsonOut != "" {
+		if err := writeResult(jsonOut, &doc); err != nil {
+			fail(err, reportPath)
+		}
+	}
+	if !doc.Baseline {
+		os.Exit(diag.ExitVerdict)
 	}
 }
 
-func run(path string, maxPct int64) error {
-	f, err := os.Open(path)
+// parseGrid turns -sweep lo:hi:step or -points a,b,c into the point list.
+func parseGrid(sweepSpec, pointsSpec string) ([]int64, error) {
+	if sweepSpec != "" {
+		parts := strings.Split(sweepSpec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("sensitivity: -sweep wants lo:hi:step, got %q", sweepSpec)
+		}
+		var v [3]int64
+		for i, p := range parts {
+			n, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sensitivity: -sweep %q: %w", sweepSpec, err)
+			}
+			v[i] = n
+		}
+		return analysis.SweepRange(v[0], v[1], v[2])
+	}
+	var pts []int64
+	for _, p := range strings.Split(pointsSpec, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: -points %q: %w", pointsSpec, err)
+		}
+		pts = append(pts, n)
+	}
+	return pts, nil
+}
+
+func contains(pts []int64, v int64) bool {
+	for _, p := range pts {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+func writeResult(path string, doc *resultDoc) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	sys, err := config.ReadXML(f)
-	if err != nil {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
 		return err
 	}
-	base, err := analysis.Schedulable(sys)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("baseline (100%%): schedulable=%t\n", base)
-	start := time.Now()
-	pct, err := analysis.CriticalScaling(sys, maxPct)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("critical WCET scaling: %d%% (search bound %d%%, %v)\n",
-		pct, maxPct, time.Since(start).Round(time.Millisecond))
-	switch {
-	case pct == 0:
-		fmt.Println("the configuration is unschedulable even with minimal WCETs")
-	case pct < 100:
-		fmt.Println("the configuration is overloaded: WCETs must shrink to fit")
-	default:
-		fmt.Printf("WCET headroom: ×%.2f before a deadline miss\n", float64(pct)/100)
-	}
-	return nil
+	return f.Close()
 }

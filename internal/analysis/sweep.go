@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/nsa"
+)
+
+// SweepPoint is the verdict at one WCET scaling percentage.
+type SweepPoint struct {
+	Pct         int64         `json:"pct"`
+	Schedulable bool          `json:"schedulable"`
+	CacheHit    bool          `json:"cache_hit"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+}
+
+// SweepWCET evaluates schedulability at every scaling percentage in
+// points, fanning the runs across a bounded jobs.Pool with parallel
+// workers — the paper's one-interpretation-per-configuration property is
+// what lets a sweep parallelize trivially: each point is an independent
+// deterministic run. Duplicate points (and any point matching a
+// previously cached configuration) are served from the pool's
+// content-addressed cache. Results are returned in the order of points.
+// The first failed run aborts the sweep with that run's error.
+func SweepWCET(ctx context.Context, sys *config.System, points []int64, parallel int, b nsa.Budget) ([]SweepPoint, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	for _, pct := range points {
+		if pct < 1 {
+			return nil, fmt.Errorf("analysis: non-positive scaling point %d", pct)
+		}
+	}
+	pool := jobs.New(jobs.Options{
+		Workers:    parallel,
+		QueueDepth: len(points),
+		Budget:     b,
+		Tool:       "sensitivity",
+	})
+	defer pool.Close()
+
+	ids := make([]string, len(points))
+	for i, pct := range points {
+		jb, err := pool.Submit(jobs.ConfigRun{Sys: ScaleWCET(sys, pct)})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: submitting point %d%%: %w", pct, err)
+		}
+		ids[i] = jb.ID
+	}
+	out := make([]SweepPoint, len(points))
+	for i, id := range ids {
+		jb, err := pool.Wait(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if jb.Err != nil {
+			return nil, fmt.Errorf("analysis: point %d%%: %w", points[i], jb.Err)
+		}
+		out[i] = SweepPoint{
+			Pct:         points[i],
+			Schedulable: jb.Outcome.Verdict == jobs.VerdictSchedulable,
+			CacheHit:    jb.CacheHit,
+			Elapsed:     jb.Outcome.Elapsed,
+		}
+	}
+	return out, nil
+}
+
+// SweepRange builds the inclusive point grid lo, lo+step, … capped at hi.
+func SweepRange(lo, hi, step int64) ([]int64, error) {
+	if lo < 1 || hi < lo || step < 1 {
+		return nil, fmt.Errorf("analysis: bad sweep range %d:%d:%d", lo, hi, step)
+	}
+	var pts []int64
+	for p := lo; p <= hi; p += step {
+		pts = append(pts, p)
+	}
+	return pts, nil
+}
+
+// CriticalFromSweep returns the largest scaling percentage the sweep found
+// schedulable, 0 when none is. It assumes (but does not require) the
+// monotonicity CriticalScaling relies on; with non-monotone verdicts it
+// still reports the largest schedulable point.
+func CriticalFromSweep(points []SweepPoint) int64 {
+	var best int64
+	for _, p := range points {
+		if p.Schedulable && p.Pct > best {
+			best = p.Pct
+		}
+	}
+	return best
+}

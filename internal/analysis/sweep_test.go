@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"context"
+	"testing"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/nsa"
+)
+
+// sweepSystem is schedulable at 100% with headroom that runs out well
+// before 400%: hi C=2/P=10 and lo C=9/P=20 on one core.
+func sweepSystem() *config.System {
+	return &config.System{
+		Name:      "sweep",
+		CoreTypes: []string{"cpu"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []config.Partition{
+			{
+				Name: "P1", Core: 0, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "hi", Priority: 2, WCET: []int64{2}, Period: 10, Deadline: 10},
+					{Name: "lo", Priority: 1, WCET: []int64{9}, Period: 20, Deadline: 20},
+				},
+				Windows: []config.Window{{Start: 0, End: 20}},
+			},
+		},
+	}
+}
+
+// TestSweepMatchesSerialOracle checks every sweep point against the
+// serial Schedulable oracle, across parallelism degrees.
+func TestSweepMatchesSerialOracle(t *testing.T) {
+	sys := sweepSystem()
+	points, err := SweepRange(40, 180, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]bool, len(points))
+	for i, pct := range points {
+		ok, err := Schedulable(ScaleWCET(sys, pct))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ok
+	}
+	for _, parallel := range []int{1, 4} {
+		got, err := SweepWCET(context.Background(), sys, points, parallel, nsa.Budget{})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i := range points {
+			if got[i].Pct != points[i] || got[i].Schedulable != want[i] {
+				t.Errorf("parallel=%d point %d%%: got %+v, want schedulable=%t",
+					parallel, points[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSweepCachesDuplicatePoints(t *testing.T) {
+	sys := sweepSystem()
+	got, err := SweepWCET(context.Background(), sys, []int64{100, 120, 100}, 1, nsa.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[2].CacheHit {
+		t.Fatalf("duplicate point did not hit the cache: %+v", got)
+	}
+	if got[0].CacheHit {
+		t.Fatalf("first point reported a cache hit: %+v", got[0])
+	}
+	if got[0].Schedulable != got[2].Schedulable {
+		t.Fatalf("cached verdict diverges: %+v", got)
+	}
+}
+
+func TestSweepAgreesWithCriticalScaling(t *testing.T) {
+	sys := sweepSystem()
+	exact, err := CriticalScaling(sys, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := SweepRange(1, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := SweepWCET(context.Background(), sys, points, 8, nsa.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CriticalFromSweep(sweep); got != exact {
+		t.Fatalf("exhaustive sweep critical point %d%% != binary search %d%%", got, exact)
+	}
+}
+
+func TestSweepRejectsBadInput(t *testing.T) {
+	if _, err := SweepWCET(context.Background(), sweepSystem(), []int64{0}, 1, nsa.Budget{}); err == nil {
+		t.Fatal("non-positive point accepted")
+	}
+	if _, err := SweepRange(10, 5, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if pts, err := SweepWCET(context.Background(), sweepSystem(), nil, 1, nsa.Budget{}); err != nil || pts != nil {
+		t.Fatalf("empty sweep: %v %v", pts, err)
+	}
+}

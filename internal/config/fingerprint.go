@@ -1,0 +1,121 @@
+package config
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Fingerprint returns a stable content address of the configuration: the
+// hex SHA-256 of a canonical binary encoding of every semantically
+// significant field (names, core types, bindings, policies, task
+// parameters, windows, messages and the network topology). Two System
+// values that describe the same configuration — however they were
+// constructed — hash identically, and any change that could alter the
+// analysis verdict or its rendered outputs changes the hash. The analysis
+// service uses it as the key of its content-addressed result cache, so a
+// sweep or a second client submitting an identical configuration reuses
+// the completed run instead of re-interpreting the model.
+//
+// The encoding is versioned by a leading tag; bump fpVersion when the
+// canonical form changes so stale cache entries cannot alias new ones.
+func (s *System) Fingerprint() string {
+	h := sha256.New()
+	e := fpEncoder{h: h}
+	e.str(fpVersion)
+	e.str(s.Name)
+	e.list(len(s.CoreTypes))
+	for _, ct := range s.CoreTypes {
+		e.str(ct)
+	}
+	e.list(len(s.Cores))
+	for i := range s.Cores {
+		c := &s.Cores[i]
+		e.str(c.Name)
+		e.num(int64(c.Type))
+		e.num(int64(c.Module))
+	}
+	e.list(len(s.Partitions))
+	for i := range s.Partitions {
+		p := &s.Partitions[i]
+		e.str(p.Name)
+		e.num(int64(p.Policy))
+		e.num(int64(p.Core))
+		e.num(p.Quantum)
+		e.list(len(p.Tasks))
+		for j := range p.Tasks {
+			t := &p.Tasks[j]
+			e.str(t.Name)
+			e.num(int64(t.Priority))
+			e.num(t.Period)
+			e.num(t.Deadline)
+			e.list(len(t.WCET))
+			for _, c := range t.WCET {
+				e.num(c)
+			}
+		}
+		e.list(len(p.Windows))
+		for j := range p.Windows {
+			e.num(p.Windows[j].Start)
+			e.num(p.Windows[j].End)
+		}
+	}
+	e.list(len(s.Messages))
+	for i := range s.Messages {
+		m := &s.Messages[i]
+		e.str(m.Name)
+		e.num(int64(m.SrcPart))
+		e.num(int64(m.SrcTask))
+		e.num(int64(m.DstPart))
+		e.num(int64(m.DstTask))
+		e.num(m.MemDelay)
+		e.num(m.NetDelay)
+		e.num(m.TxTime)
+	}
+	if s.Net == nil {
+		e.list(-1)
+	} else {
+		e.list(len(s.Net.Ports))
+		for i := range s.Net.Ports {
+			e.str(s.Net.Ports[i].Name)
+		}
+		e.list(len(s.Net.Routes))
+		for _, route := range s.Net.Routes {
+			e.list(len(route))
+			for _, p := range route {
+				e.num(int64(p))
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+const fpVersion = "stopwatchsim/config/v1"
+
+// fpEncoder writes an unambiguous byte stream: every integer is a tagged
+// fixed-width value and every string is length-prefixed, so no two
+// distinct field sequences can produce the same bytes.
+type fpEncoder struct {
+	h   hash.Hash
+	buf [9]byte
+}
+
+func (e *fpEncoder) num(v int64) {
+	e.buf[0] = 'i'
+	binary.BigEndian.PutUint64(e.buf[1:], uint64(v))
+	e.h.Write(e.buf[:])
+}
+
+func (e *fpEncoder) list(n int) {
+	e.buf[0] = 'l'
+	binary.BigEndian.PutUint64(e.buf[1:], uint64(int64(n)))
+	e.h.Write(e.buf[:])
+}
+
+func (e *fpEncoder) str(s string) {
+	e.buf[0] = 's'
+	binary.BigEndian.PutUint64(e.buf[1:], uint64(len(s)))
+	e.h.Write(e.buf[:])
+	e.h.Write([]byte(s))
+}

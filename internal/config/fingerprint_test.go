@@ -1,0 +1,163 @@
+package config
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fpSystem builds the reference two-partition configuration the fingerprint
+// tests mutate. A fresh value is returned on every call so mutations cannot
+// leak between subtests.
+func fpSystem() *System {
+	return &System{
+		Name:      "fp",
+		CoreTypes: []string{"fast", "slow"},
+		Cores: []Core{
+			{Name: "c1", Type: 0, Module: 1},
+			{Name: "c2", Type: 1, Module: 2},
+		},
+		Partitions: []Partition{
+			{
+				Name: "P1", Core: 0, Policy: FPPS,
+				Tasks: []Task{
+					{Name: "a", Priority: 2, WCET: []int64{2, 4}, Period: 10, Deadline: 10},
+					{Name: "b", Priority: 1, WCET: []int64{3, 6}, Period: 20, Deadline: 15},
+				},
+				Windows: []Window{{Start: 0, End: 20}},
+			},
+			{
+				Name: "P2", Core: 1, Policy: EDF,
+				Tasks: []Task{
+					{Name: "c", Priority: 0, WCET: []int64{1, 2}, Period: 20, Deadline: 20},
+				},
+				Windows: []Window{{Start: 0, End: 20}},
+			},
+		},
+		Messages: []Message{
+			{Name: "m", SrcPart: 0, SrcTask: 1, DstPart: 1, DstTask: 0, MemDelay: 1, NetDelay: 4},
+		},
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a, b := fpSystem(), fpSystem()
+	fa, fb := a.Fingerprint(), b.Fingerprint()
+	if fa != fb {
+		t.Fatalf("identical configs hash differently: %s vs %s", fa, fb)
+	}
+	if fa != a.Fingerprint() {
+		t.Fatal("hashing the same value twice differs")
+	}
+	if len(fa) != 64 || strings.Trim(fa, "0123456789abcdef") != "" {
+		t.Fatalf("fingerprint is not hex sha256: %q", fa)
+	}
+}
+
+// TestFingerprintRebuildPerturbed reconstructs the same logical
+// configuration through an order-perturbing path — tasks gathered from a Go
+// map (randomized iteration order) and then sorted back into canonical
+// declaration order — and through an XML round trip. Both must hash
+// identically to the directly built value.
+func TestFingerprintRebuildPerturbed(t *testing.T) {
+	ref := fpSystem()
+	want := ref.Fingerprint()
+
+	for trial := 0; trial < 8; trial++ {
+		sys := fpSystem()
+		for pi := range sys.Partitions {
+			byName := make(map[string]Task)
+			for _, task := range sys.Partitions[pi].Tasks {
+				byName[task.Name] = task
+			}
+			rebuilt := make([]Task, 0, len(byName))
+			for _, task := range byName { // map order: randomized
+				rebuilt = append(rebuilt, task)
+			}
+			sort.Slice(rebuilt, func(i, j int) bool { return rebuilt[i].Name < rebuilt[j].Name })
+			sys.Partitions[pi].Tasks = rebuilt
+		}
+		if got := sys.Fingerprint(); got != want {
+			t.Fatalf("trial %d: map-rebuilt config hashes %s, want %s", trial, got, want)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := ref.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	round, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := round.Fingerprint(); got != want {
+		t.Fatalf("XML round trip hashes %s, want %s", got, want)
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	ref := fpSystem().Fingerprint()
+	cases := []struct {
+		name   string
+		mutate func(*System)
+	}{
+		{"wcet", func(s *System) { s.Partitions[0].Tasks[0].WCET[0]++ }},
+		{"wcet other core type", func(s *System) { s.Partitions[0].Tasks[1].WCET[1]++ }},
+		{"period", func(s *System) { s.Partitions[0].Tasks[1].Period = 40 }},
+		{"deadline", func(s *System) { s.Partitions[0].Tasks[1].Deadline = 12 }},
+		{"priority", func(s *System) { s.Partitions[0].Tasks[0].Priority = 7 }},
+		{"binding", func(s *System) { s.Partitions[1].Core = 0 }},
+		{"policy", func(s *System) { s.Partitions[0].Policy = FPNPS }},
+		{"quantum", func(s *System) { s.Partitions[0].Quantum = 5 }},
+		{"window", func(s *System) { s.Partitions[0].Windows[0].End = 15 }},
+		{"message delay", func(s *System) { s.Messages[0].NetDelay = 9 }},
+		{"message endpoint", func(s *System) { s.Messages[0].DstTask = 0; s.Messages[0].DstPart = 0 }},
+		{"core module", func(s *System) { s.Cores[1].Module = 1 }},
+		{"name", func(s *System) { s.Partitions[0].Tasks[0].Name = "z" }},
+		{"topology", func(s *System) {
+			s.Net = &Topology{Ports: []Port{{Name: "sw0"}}, Routes: [][]int{{0}}}
+			s.Messages[0].TxTime = 2
+		}},
+	}
+	seen := map[string]string{ref: "reference"}
+	for _, tc := range cases {
+		sys := fpSystem()
+		tc.mutate(sys)
+		got := sys.Fingerprint()
+		if got == ref {
+			t.Errorf("%s: mutation did not change the fingerprint", tc.name)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s: collides with %s", tc.name, prev)
+		}
+		seen[got] = tc.name
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	sys := fpSystem()
+	var buf bytes.Buffer
+	if err := sys.WriteJSONConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	round, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := round.Fingerprint(), sys.Fingerprint(); got != want {
+		t.Fatalf("JSON round trip hashes %s, want %s", got, want)
+	}
+	if round.Partitions[0].Policy != FPPS || round.Partitions[1].Policy != EDF {
+		t.Fatalf("policies lost in round trip: %+v", round.Partitions)
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"Name":"x","Partitions":[{"Name":"P","Policy":"NOPE"}]}`)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"Name":"x"}`)); err == nil {
+		t.Fatal("empty system accepted (validation skipped)")
+	}
+}

@@ -1,0 +1,63 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON configuration format is the direct wire form of the Go structs:
+// partitions reference cores by index, messages reference partitions and
+// tasks by index, and scheduling policies are spelled by name ("FPPS",
+// "FPNPS", "EDF", "RR"). It is the programmatic mirror of the XML schema,
+// intended for clients of the analysis service that already hold a
+// structured configuration; the XML format remains the human-authored one.
+
+// MarshalJSON renders the policy by name.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON accepts a policy name ("FPPS") or its numeric value.
+func (p *Policy) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := ParsePolicy(s)
+		if err != nil {
+			return err
+		}
+		*p = v
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("config: policy must be a name or number, got %s", b)
+	}
+	if int(n) >= len(policyNames) {
+		return fmt.Errorf("config: unknown scheduling policy %d", n)
+	}
+	*p = Policy(n)
+	return nil
+}
+
+// ReadJSON decodes and validates a system configuration from JSON.
+func ReadJSON(r io.Reader) (*System, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	s := &System{}
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("config: decoding JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteJSONConfig writes the configuration as indented JSON in the form
+// ReadJSON accepts.
+func (s *System) WriteJSONConfig(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

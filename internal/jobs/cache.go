@@ -1,0 +1,79 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a bounded, thread-safe, content-addressed result cache with LRU
+// eviction. Keys are canonical content hashes (config.Fingerprint for
+// configuration runs), so a hit is sound by construction: the paper's
+// deterministic interpretation makes the outcome a pure function of the
+// key. A nil *Cache is valid and never hits, which is how caching is
+// disabled.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key string
+	out *Outcome
+}
+
+// NewCache returns a cache bounded to capacity entries; capacity <= 0
+// returns nil (caching disabled).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Cache{cap: capacity, m: make(map[string]*list.Element), ll: list.New()}
+}
+
+// Get returns the cached outcome for key and marks it recently used.
+func (c *Cache) Get(key string) (*Outcome, bool) {
+	if c == nil || key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+// Put stores the outcome under key, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache) Put(key string, out *Outcome) {
+	if c == nil || key == "" || out == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).out = out
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, out: out})
+	if c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

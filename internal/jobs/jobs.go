@@ -1,0 +1,195 @@
+// Package jobs is the core of the concurrent analysis service: a bounded
+// worker pool executing schedulability runs, a job registry with per-job
+// resource budgets and cancellation (the PR 1 guarded-interpretation
+// plumbing), and a content-addressed result cache keyed by the canonical
+// configuration fingerprint. The paper's central property — one
+// deterministic NSA interpretation decides a configuration — is what makes
+// the cache sound: a configuration's verdict, trace and statistics are a
+// pure function of its content, so identical submissions (across a sweep,
+// or across clients of cmd/saserve) can share one completed run.
+package jobs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"time"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/diag"
+	"stopwatchsim/internal/model"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/trace"
+	"stopwatchsim/internal/xta"
+)
+
+// Status is the lifecycle state of a job.
+type Status string
+
+// Job lifecycle states. A job moves queued → running → one of the three
+// terminal states; a cache hit is born done.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether a status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Verdict is the analysis conclusion of a successfully completed run.
+type Verdict string
+
+// Verdicts. Configuration runs conclude schedulable or unschedulable; raw
+// NSA runs (XTA models have no schedulability criterion) conclude
+// completed when the interpretation reaches its horizon cleanly.
+const (
+	VerdictSchedulable   Verdict = "schedulable"
+	VerdictUnschedulable Verdict = "unschedulable"
+	VerdictCompleted     Verdict = "completed"
+)
+
+// Outcome is the product of a successful run. Once published on a job it
+// is immutable and may be shared between jobs through the cache.
+type Outcome struct {
+	Verdict Verdict
+
+	// Sys, Trace and Analysis are set for configuration runs: the system
+	// the run analyzed, its operation trace and the schedulability
+	// statistics.
+	Sys      *config.System
+	Trace    *trace.Trace
+	Analysis *trace.Analysis
+
+	// Sync is the rendered synchronization trace of a raw NSA run.
+	Sync []diag.TraceEvent
+
+	// Engine summarizes the interpretation (actions, delays, stop time).
+	Engine nsa.Result
+
+	// Elapsed is the wall time the run itself took (excluding queueing).
+	Elapsed time.Duration
+}
+
+// Runner is one unit of analysis work submitted to a Pool.
+type Runner interface {
+	// Key is the content address of the work: runs with equal keys produce
+	// interchangeable Outcomes. An empty key disables caching for the job.
+	Key() string
+	// Run executes the work under a context and resource budget. The
+	// returned error is classified by internal/diag into the structured
+	// report stored on the job.
+	Run(ctx context.Context, b nsa.Budget) (*Outcome, error)
+}
+
+// ConfigRun is the standard pipeline on a system configuration: build the
+// NSA instance (Algorithm 1), interpret one hyperperiod, check the
+// schedulability criterion over the trace.
+type ConfigRun struct {
+	Sys *config.System
+}
+
+// Key returns the canonical configuration fingerprint.
+func (r ConfigRun) Key() string { return r.Sys.Fingerprint() }
+
+// Run executes the pipeline.
+func (r ConfigRun) Run(ctx context.Context, b nsa.Budget) (*Outcome, error) {
+	start := time.Now()
+	m, err := model.Build(r.Sys)
+	if err != nil {
+		return nil, err
+	}
+	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b})
+	if err != nil {
+		return nil, err
+	}
+	a, err := trace.Analyze(r.Sys, tr)
+	if err != nil {
+		return nil, err
+	}
+	v := VerdictUnschedulable
+	if a.Schedulable {
+		v = VerdictSchedulable
+	}
+	return &Outcome{
+		Verdict:  v,
+		Sys:      r.Sys,
+		Trace:    tr,
+		Analysis: a,
+		Engine:   res,
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// XTARun compiles a model written in the XTA-like language and interprets
+// it to the given horizon, the cmd/xtasim pipeline as a service job.
+type XTARun struct {
+	Src     string
+	Horizon int64
+}
+
+// Key hashes the source and horizon; the interpretation is deterministic,
+// so equal sources at equal horizons yield interchangeable outcomes.
+func (r XTARun) Key() string {
+	h := sha256.New()
+	var hz [8]byte
+	binary.BigEndian.PutUint64(hz[:], uint64(r.Horizon))
+	h.Write(hz[:])
+	h.Write([]byte(r.Src))
+	return "xta-" + hex.EncodeToString(h.Sum(nil))
+}
+
+// Run compiles and interprets the model.
+func (r XTARun) Run(ctx context.Context, b nsa.Budget) (*Outcome, error) {
+	start := time.Now()
+	m, err := xta.Compile(r.Src)
+	if err != nil {
+		return nil, err
+	}
+	tr, res, err := nsa.SimulateContext(ctx, m.Net, r.Horizon, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Verdict: VerdictCompleted,
+		Sync:    diag.RenderTrace(tr.Events, m.Net),
+		Engine:  res,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// Job is the registry record of one submitted run. Values returned by the
+// Pool are snapshots: safe to read without synchronization, stale the
+// moment they are taken.
+type Job struct {
+	ID       string
+	Key      string
+	Status   Status
+	CacheHit bool
+
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+
+	// Outcome is set when Status is done. It may be shared with other
+	// jobs via the cache; treat it as immutable.
+	Outcome *Outcome
+
+	// Err and Report are set when Status is failed or canceled: the raw
+	// error and its structured diag classification.
+	Err    error
+	Report *diag.Report
+
+	runner Runner
+	budget nsa.Budget
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }

@@ -1,0 +1,173 @@
+package jobs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent run latencies the quantile estimator
+// retains.
+const latencyWindow = 1024
+
+// Metrics aggregates pool activity for the /metrics endpoint: job
+// lifecycle counters, cache effectiveness, and run-latency quantiles over
+// a sliding window of recent runs.
+type Metrics struct {
+	mu sync.Mutex
+
+	submitted int64
+	queued    int64 // gauge
+	running   int64 // gauge
+	done      int64
+	failed    int64
+	canceled  int64
+
+	cacheHits   int64
+	cacheMisses int64
+
+	// Engine throughput: total synchronization transitions fired over the
+	// total wall time spent interpreting.
+	events int64
+	busy   time.Duration
+
+	lat  [latencyWindow]time.Duration // ring of recent run latencies
+	latN int64                        // total recorded (ring index = latN % window)
+}
+
+// Snapshot is a consistent copy of the metrics with derived statistics.
+type Snapshot struct {
+	Submitted int64 `json:"submitted"`
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// LatencyP50/P99 are run-latency quantiles over the recent window,
+	// zero until a run completes.
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+
+	// EventsPerSec is the aggregate interpretation throughput:
+	// synchronization transitions fired per second of engine wall time.
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func (m *Metrics) jobQueued() {
+	m.mu.Lock()
+	m.submitted++
+	m.queued++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobDequeued() {
+	m.mu.Lock()
+	m.queued--
+	m.running++
+	m.mu.Unlock()
+}
+
+// jobCanceledQueued accounts for a job canceled before it started running.
+func (m *Metrics) jobCanceledQueued() {
+	m.mu.Lock()
+	m.queued--
+	m.canceled++
+	m.mu.Unlock()
+}
+
+// jobFinished records a terminal transition of a running job. events is the
+// number of engine transitions the run fired; elapsed its wall time.
+func (m *Metrics) jobFinished(st Status, elapsed time.Duration, events int64) {
+	m.mu.Lock()
+	m.running--
+	switch st {
+	case StatusFailed:
+		m.failed++
+	case StatusCanceled:
+		m.canceled++
+	default:
+		m.done++
+	}
+	m.events += events
+	m.busy += elapsed
+	m.lat[m.latN%latencyWindow] = elapsed
+	m.latN++
+	m.mu.Unlock()
+}
+
+// cacheHit accounts for a submission served entirely from the cache.
+func (m *Metrics) cacheHit() {
+	m.mu.Lock()
+	m.submitted++
+	m.done++
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+// lateCacheHit accounts for a queued job served from the cache at dequeue
+// time (an identical run completed while it waited).
+func (m *Metrics) lateCacheHit() {
+	m.mu.Lock()
+	m.queued--
+	m.done++
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) cacheMiss() {
+	m.mu.Lock()
+	m.cacheMisses++
+	m.mu.Unlock()
+}
+
+// Snapshot returns a consistent copy with derived quantiles and rates.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Submitted:   m.submitted,
+		Queued:      m.queued,
+		Running:     m.running,
+		Done:        m.done,
+		Failed:      m.failed,
+		Canceled:    m.canceled,
+		CacheHits:   m.cacheHits,
+		CacheMisses: m.cacheMisses,
+	}
+	if total := m.cacheHits + m.cacheMisses; total > 0 {
+		s.CacheHitRate = float64(m.cacheHits) / float64(total)
+	}
+	n := m.latN
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	if n > 0 {
+		window := make([]time.Duration, n)
+		copy(window, m.lat[:n])
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		s.LatencyP50 = window[quantileIndex(int(n), 0.50)]
+		s.LatencyP99 = window[quantileIndex(int(n), 0.99)]
+	}
+	if m.busy > 0 {
+		s.EventsPerSec = float64(m.events) / m.busy.Seconds()
+	}
+	return s
+}
+
+// quantileIndex maps a quantile q onto an index of a sorted sample of
+// size n (nearest-rank, clamped).
+func quantileIndex(n int, q float64) int {
+	i := int(q * float64(n-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

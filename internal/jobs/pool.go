@@ -1,0 +1,324 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"stopwatchsim/internal/diag"
+	"stopwatchsim/internal/nsa"
+)
+
+// Pool errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity — the service's backpressure signal (HTTP 429 upstream).
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("jobs: pool closed")
+	// ErrUnknownJob is returned for job IDs the registry does not hold.
+	ErrUnknownJob = errors.New("jobs: unknown job")
+)
+
+// Options configure a Pool. The zero value is usable: GOMAXPROCS workers,
+// a queue of 64, a 256-entry cache, unlimited per-job budget.
+type Options struct {
+	// Workers is the number of concurrent analysis runs; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; <= 0 means 64.
+	// A full queue rejects submissions with ErrQueueFull rather than
+	// letting latency grow without bound.
+	QueueDepth int
+	// CacheSize bounds the result cache in entries; 0 means 256, negative
+	// disables caching.
+	CacheSize int
+	// Budget is the default per-job resource budget; jobs submitted with
+	// SubmitBudget override it. The pool adds its own cancellation on top.
+	Budget nsa.Budget
+	// Tool names the diag reports of failed jobs; "" means "jobs".
+	Tool string
+}
+
+// Pool is a bounded worker pool with a job registry and a shared result
+// cache. Create one with New; it is safe for concurrent use.
+type Pool struct {
+	opts    Options
+	cache   *Cache
+	metrics *Metrics
+	queue   chan *Job
+
+	ctx  context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	seq    int64
+	closed bool
+}
+
+// New starts a pool with opts.Workers workers.
+func New(opts Options) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 256
+	}
+	if opts.Tool == "" {
+		opts.Tool = "jobs"
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	p := &Pool{
+		opts:    opts,
+		cache:   NewCache(opts.CacheSize), // nil when CacheSize < 0
+		metrics: &Metrics{},
+		queue:   make(chan *Job, opts.QueueDepth),
+		ctx:     ctx,
+		stop:    stop,
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues r under the pool's default budget.
+func (p *Pool) Submit(r Runner) (Job, error) {
+	return p.SubmitBudget(r, p.opts.Budget)
+}
+
+// SubmitBudget enqueues r with a per-job resource budget. When the
+// runner's key is cached the job completes immediately with the shared
+// outcome and CacheHit set; otherwise it is queued, or rejected with
+// ErrQueueFull when the queue is at capacity. The returned Job is a
+// snapshot; poll with Get or block with Wait.
+func (p *Pool) SubmitBudget(r Runner, b nsa.Budget) (Job, error) {
+	key := r.Key()
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return Job{}, ErrClosed
+	}
+	p.seq++
+	jb := &Job{
+		ID:        fmt.Sprintf("j%06d", p.seq),
+		Key:       key,
+		Status:    StatusQueued,
+		Submitted: now,
+		runner:    r,
+		budget:    b,
+		done:      make(chan struct{}),
+	}
+	if out, ok := p.cache.Get(key); ok {
+		jb.Status = StatusDone
+		jb.CacheHit = true
+		jb.Outcome = out
+		jb.Started, jb.Finished = now, now
+		close(jb.done)
+		p.jobs[jb.ID] = jb
+		p.metrics.cacheHit()
+		return *jb, nil
+	}
+	select {
+	case p.queue <- jb:
+	default:
+		p.seq-- // job was never registered; reuse the ID
+		return Job{}, ErrQueueFull
+	}
+	p.jobs[jb.ID] = jb
+	p.metrics.jobQueued()
+	return *jb, nil
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (p *Pool) Get(id string) (Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	jb, ok := p.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *jb, true
+}
+
+// List returns snapshots of all registered jobs in submission order.
+func (p *Pool) List() []Job {
+	p.mu.Lock()
+	out := make([]Job, 0, len(p.jobs))
+	for _, jb := range p.jobs {
+		out = append(out, *jb)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done, and
+// returns the terminal snapshot.
+func (p *Pool) Wait(ctx context.Context, id string) (Job, error) {
+	p.mu.Lock()
+	jb, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	select {
+	case <-jb.done:
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
+	snap, _ := p.Get(id)
+	return snap, nil
+}
+
+// Cancel requests cancellation of a job: a queued job is terminated
+// immediately; a running job's context is canceled so its interpretation
+// stops at the next budget checkpoint with a partial-result RunError. It
+// returns false when the job is unknown or already terminal.
+func (p *Pool) Cancel(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	jb, ok := p.jobs[id]
+	if !ok {
+		return false
+	}
+	switch jb.Status {
+	case StatusQueued:
+		p.finishLocked(jb, nil, context.Canceled)
+		p.metrics.jobCanceledQueued()
+		return true
+	case StatusRunning:
+		jb.cancel()
+		return true
+	}
+	return false
+}
+
+// Metrics returns a consistent snapshot of the pool's counters.
+func (p *Pool) Metrics() Snapshot { return p.metrics.Snapshot() }
+
+// CacheLen returns the number of cached outcomes.
+func (p *Pool) CacheLen() int { return p.cache.Len() }
+
+// Close stops accepting submissions, cancels running jobs, marks queued
+// jobs canceled and waits for the workers to exit.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.stop()
+	p.wg.Wait()
+	// Workers are gone; drain jobs still sitting in the queue.
+	for {
+		select {
+		case jb := <-p.queue:
+			p.mu.Lock()
+			if jb.Status == StatusQueued {
+				p.finishLocked(jb, nil, context.Canceled)
+				p.metrics.jobCanceledQueued()
+			}
+			p.mu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case jb := <-p.queue:
+			p.run(jb)
+		}
+	}
+}
+
+// run executes one dequeued job.
+func (p *Pool) run(jb *Job) {
+	p.mu.Lock()
+	if jb.Status != StatusQueued { // canceled while queued
+		p.mu.Unlock()
+		return
+	}
+	// Re-check the cache at dequeue time: an identical job submitted while
+	// this one sat in the queue may have completed in the meantime, so
+	// duplicate points of a sweep coalesce onto one run.
+	if out, ok := p.cache.Get(jb.Key); ok {
+		jb.CacheHit = true
+		p.finishLocked(jb, out, nil)
+		p.mu.Unlock()
+		p.metrics.lateCacheHit()
+		return
+	}
+	jb.Status = StatusRunning
+	jb.Started = time.Now()
+	ctx, cancel := context.WithCancel(p.ctx)
+	jb.cancel = cancel
+	runner, budget := jb.runner, jb.budget
+	p.mu.Unlock()
+	p.metrics.jobDequeued()
+	if jb.Key != "" {
+		p.metrics.cacheMiss()
+	}
+
+	out, err := runner.Run(ctx, budget)
+	cancel()
+
+	p.mu.Lock()
+	p.finishLocked(jb, out, err)
+	st, elapsed := jb.Status, jb.Finished.Sub(jb.Started)
+	p.mu.Unlock()
+	var events int64
+	if out != nil {
+		events = int64(out.Engine.Actions + out.Engine.Delays)
+	}
+	p.metrics.jobFinished(st, elapsed, events)
+}
+
+// finishLocked moves jb to its terminal state. Callers hold p.mu.
+func (p *Pool) finishLocked(jb *Job, out *Outcome, err error) {
+	jb.Finished = time.Now()
+	if jb.Started.IsZero() {
+		jb.Started = jb.Finished
+	}
+	switch {
+	case err != nil:
+		jb.Err = err
+		jb.Report = diag.FromError(p.opts.Tool, err, nil)
+		jb.Status = StatusFailed
+		if wasCanceled(err) {
+			jb.Status = StatusCanceled
+		}
+	default:
+		jb.Status = StatusDone
+		jb.Outcome = out
+		p.cache.Put(jb.Key, out)
+	}
+	close(jb.done)
+}
+
+// wasCanceled reports whether err stems from cancellation rather than a
+// defect: a direct context error or a RunError whose stop reason is
+// StopCanceled.
+func wasCanceled(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var rerr *nsa.RunError
+	return errors.As(err, &rerr) && rerr.Reason == nsa.StopCanceled
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// The golden files pin the exact bytes of the trace export formats — the
+// wire contract of cmd/saserve's streaming endpoints (and of cmd/simulate's
+// -json/-csv flags). A diff here means the HTTP API changed shape: update
+// the goldens deliberately with `go test ./internal/trace -update` and
+// treat it as an API change, not a refactor.
+func TestGoldenExports(t *testing.T) {
+	sys := oneCore()
+	tr := goodTrace()
+	a, err := Analyze(sys, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		render func() ([]byte, error)
+	}{
+		{"gantt.golden", func() ([]byte, error) {
+			return []byte(Gantt(sys, tr, 1)), nil
+		}},
+		{"format.golden", func() ([]byte, error) {
+			return []byte(tr.Format(sys)), nil
+		}},
+		{"summary.golden", func() ([]byte, error) {
+			return []byte(a.Summary(sys)), nil
+		}},
+		{"report.json.golden", func() ([]byte, error) {
+			var buf bytes.Buffer
+			err := WriteJSON(&buf, sys, tr, a)
+			return buf.Bytes(), err
+		}},
+		{"trace.csv.golden", func() ([]byte, error) {
+			var buf bytes.Buffer
+			err := tr.WriteCSV(&buf, sys)
+			return buf.Bytes(), err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name)
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/trace -update` to create it)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", tc.name, got, want)
+			}
+		})
+	}
+}
