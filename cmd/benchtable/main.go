@@ -34,8 +34,15 @@ import (
 	"stopwatchsim/internal/mc"
 	"stopwatchsim/internal/model"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/trace"
 )
+
+// probe collects the engine hot-path counters across every measured
+// interpretation; the aggregate lands in the -json report so CI can assert
+// the instrumented engine actually counted (nonzero steps, consistent
+// action/delay split).
+var probe = &obs.Probe{}
 
 // benchRow is one machine-readable measurement in the -json report,
 // mirroring the columns of `go test -bench` plus the engine's own
@@ -54,6 +61,10 @@ type benchReport struct {
 	GoOS   string     `json:"goos"`
 	GoArch string     `json:"goarch"`
 	Rows   []benchRow `json:"rows"`
+
+	// EngineCounters aggregates the probe over every measured
+	// interpretation run.
+	EngineCounters obs.Counters `json:"engine_counters"`
 }
 
 var report *benchReport
@@ -94,12 +105,22 @@ func main() {
 		jsonOut   = flag.String("json", "", `write measurements as JSON ("auto" = BENCH_<date>.json)`)
 	)
 	budget := diag.BudgetFlags()
+	profile := obs.ProfileFlags()
 	flag.Parse()
 	if !*table1 && !*scale {
 		*table1, *scale = true, true
 	}
 	ctx, stop := diag.SignalContext()
 	defer stop()
+	stopProf, err := profile()
+	if err != nil {
+		diag.Exit("benchtable", err, nil, "")
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtable:", err)
+		}
+	}()
 	b := budget()
 	b.MaxStates = *maxStates
 	if *jsonOut != "" {
@@ -120,6 +141,7 @@ func main() {
 		}
 	}
 	if report != nil {
+		report.EngineCounters = probe.Snapshot()
 		path := *jsonOut
 		if path == "auto" {
 			path = fmt.Sprintf("BENCH_%s.json", report.Date)
@@ -176,7 +198,7 @@ func runTable1(ctx context.Context, minJ, maxJ int, b nsa.Budget) error {
 		if err != nil {
 			return err
 		}
-		tr, res, err := m2.SimulateContext(ctx, nil, b)
+		tr, res, err := m2.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe})
 		if err != nil {
 			return err
 		}
@@ -224,7 +246,7 @@ func runScale(ctx context.Context, b nsa.Budget) error {
 
 	a0 = mallocs()
 	start = time.Now()
-	tr, res, err := m.SimulateContext(ctx, nil, b)
+	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe})
 	if err != nil {
 		return err
 	}

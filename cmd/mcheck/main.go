@@ -26,6 +26,7 @@ import (
 	"stopwatchsim/internal/mc"
 	"stopwatchsim/internal/model"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 )
 
 func main() {
@@ -35,7 +36,9 @@ func main() {
 		report     = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
 	)
 	budget := diag.BudgetFlags()
+	logger := obs.LogFlags()
 	flag.Parse()
+	logger() // install the structured default logger (-log-level, -log-format)
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(diag.ExitUsage)

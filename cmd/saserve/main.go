@@ -11,17 +11,21 @@
 //	DELETE /v1/jobs/{id}     cancel
 //	GET    /v1/jobs/{id}/trace  trace export (json, csv, text)
 //	GET    /v1/jobs/{id}/gantt  ASCII Gantt chart
+//	GET    /v1/jobs/{id}/report telemetry RunReport of a completed run
 //	GET    /metrics          Prometheus-style metrics
 //	GET    /healthz          liveness
+//	GET    /debug/pprof/*    runtime profiles (only with -pprof)
 //
 // Per-job resource budgets come from the shared flags (-max-steps,
 // -timeout, -max-mem-mb) as defaults, overridable per submission with
 // ?max-steps= and ?timeout= query parameters. SIGINT/SIGTERM drains the
-// pool and exits.
+// pool and exits. Logging is structured (-log-level, -log-format); every
+// job-lifecycle record carries the job ID and configuration fingerprint.
 //
 // Usage:
 //
-//	saserve [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	saserve [-addr :8080] [-workers N] [-queue N] [-cache N] [-pprof]
+//	        [-log-level info] [-log-format text]
 //	        [-max-steps N] [-timeout D] [-max-mem-mb N]
 package main
 
@@ -37,17 +41,21 @@ import (
 
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/obs"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", runtime.NumCPU(), "concurrent analysis runs")
-		queue   = flag.Int("queue", 256, "bounded job queue depth (backpressure beyond)")
-		cache   = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", runtime.NumCPU(), "concurrent analysis runs")
+		queue     = flag.Int("queue", 256, "bounded job queue depth (backpressure beyond)")
+		cache     = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		pprofFlag = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 	)
 	budget := diag.BudgetFlags()
+	logger := obs.LogFlags()
 	flag.Parse()
+	lg := logger()
 
 	pool := jobs.New(jobs.Options{
 		Workers:    *workers,
@@ -55,10 +63,11 @@ func main() {
 		CacheSize:  *cache,
 		Budget:     budget(),
 		Tool:       "saserve",
+		Logger:     lg,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(pool),
+		Handler:           newMux(pool, *pprofFlag),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -66,16 +75,16 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("saserve: listening on %s (%d workers, queue %d, cache %d)\n",
-		*addr, *workers, *queue, *cache)
+	lg.Info("listening", "addr", *addr, "workers", *workers,
+		"queue", *queue, "cache", *cache, "pprof", *pprofFlag)
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "saserve:", err)
+		lg.Error("serve failed", "error", err)
 		os.Exit(diag.ExitError)
 	case <-ctx.Done():
 	}
-	fmt.Println("saserve: draining")
+	lg.Info("draining")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

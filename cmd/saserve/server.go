@@ -8,6 +8,8 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"net/http/pprof"
+	"sort"
 	"strconv"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/trace"
 )
 
@@ -39,9 +42,14 @@ type server struct {
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	GET    /v1/jobs/{id}/trace  stream the trace (json, csv, text)
 //	GET    /v1/jobs/{id}/gantt  ASCII Gantt chart
+//	GET    /v1/jobs/{id}/report telemetry RunReport of a completed run
 //	GET    /metrics          Prometheus-style counters
 //	GET    /healthz          liveness
-func newMux(pool *jobs.Pool) *http.ServeMux {
+//
+// enablePprof additionally mounts the runtime profiling handlers under
+// /debug/pprof/ (opt-in: profiles expose internals, so they are off unless
+// the operator asks).
+func newMux(pool *jobs.Pool, enablePprof bool) *http.ServeMux {
 	s := &server{pool: pool, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
@@ -50,8 +58,16 @@ func newMux(pool *jobs.Pool) *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
 	mux.HandleFunc("GET /v1/jobs/{id}/gantt", s.gantt)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", s.health)
+	if enablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -305,6 +321,32 @@ func (s *server) gantt(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, trace.Gantt(out.Sys, out.Trace, scale))
 }
 
+// report returns the telemetry RunReport of a terminal job: phase
+// durations plus the engine hot-path counters of the run. Failed runs that
+// produced telemetry up to the failure serve it from their diag report.
+func (s *server) report(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.pool.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !jb.Status.Terminal() {
+		httpError(w, http.StatusConflict, "job %s is %s; report available once terminal", jb.ID, jb.Status)
+		return
+	}
+	var run *obs.RunReport
+	switch {
+	case jb.Outcome != nil && jb.Outcome.Telemetry != nil:
+		run = jb.Outcome.Telemetry
+	case jb.Report != nil && jb.Report.Telemetry != nil:
+		run = jb.Report.Telemetry
+	default:
+		httpError(w, http.StatusNotFound, "job %s has no telemetry (cached outcome predating probes?)", jb.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, run)
+}
+
 // metrics exposes pool counters in the Prometheus text format.
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	m := s.pool.Metrics()
@@ -326,8 +368,48 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	gauge("cache_hit_rate", "Cache hits over all keyed submissions.", m.CacheHitRate)
 	fmt.Fprintf(w, "# HELP saserve_run_latency_seconds Run latency quantiles over recent runs.\n# TYPE saserve_run_latency_seconds summary\n")
 	fmt.Fprintf(w, "saserve_run_latency_seconds{quantile=\"0.5\"} %g\n", m.LatencyP50.Seconds())
+	fmt.Fprintf(w, "saserve_run_latency_seconds{quantile=\"0.9\"} %g\n", m.LatencyP90.Seconds())
 	fmt.Fprintf(w, "saserve_run_latency_seconds{quantile=\"0.99\"} %g\n", m.LatencyP99.Seconds())
 	gauge("engine_events_per_second", "Interpretation throughput: transitions fired per second of engine wall time.", m.EventsPerSec)
+
+	// Engine hot-path counters aggregated over every completed run.
+	c := m.Engine
+	counter("engine_steps_total", "Interpretation steps (action + delay transitions).", c.Steps)
+	counter("engine_actions_total", "Action transitions fired.", c.Actions)
+	counter("engine_delays_total", "Delay transitions taken.", c.Delays)
+	counter("engine_sync_internal_total", "Internal (non-synchronizing) transitions fired.", c.SyncInternal)
+	counter("engine_sync_binary_total", "Binary channel synchronizations fired.", c.SyncBinary)
+	counter("engine_sync_broadcast_total", "Broadcast synchronizations fired.", c.SyncBroadcast)
+	counter("engine_guard_evals_total", "Guard evaluations on the enumeration hot path.", c.GuardEvals)
+	counter("engine_guard_compiled_total", "Guard evaluations through compiled closures.", c.GuardCompiled)
+	counter("engine_guard_opaque_total", "Guard evaluations through the opaque interface path.", c.GuardOpaque)
+	counter("engine_enabled_calls_total", "Enabled-set queries.", c.EnabledCalls)
+	counter("engine_recomputes_total", "Per-automaton enabled-set recomputations (dirty).", c.Recomputes)
+	counter("engine_cache_reuses_total", "Per-automaton enabled-set cache reuses (clean).", c.CacheReuses)
+	counter("engine_heap_pushes_total", "Deadline heap pushes.", c.HeapPushes)
+	counter("engine_heap_pops_total", "Stale deadline entries popped lazily.", c.HeapPops)
+	counter("engine_heap_stale_total", "Stale deadline entries dropped by compaction.", c.HeapStale)
+
+	// Per-phase latency histograms (windowed, Prometheus cumulative form).
+	phases := s.pool.PhaseLatencies()
+	if len(phases) > 0 {
+		names := make([]string, 0, len(phases))
+		for name := range phases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# HELP saserve_phase_latency_seconds Pipeline phase latency over recent runs.\n# TYPE saserve_phase_latency_seconds histogram\n")
+		for _, name := range names {
+			h := phases[name]
+			for i, b := range h.Bounds {
+				fmt.Fprintf(w, "saserve_phase_latency_seconds_bucket{phase=%q,le=%q} %d\n",
+					name, strconv.FormatFloat(b.Seconds(), 'g', -1, 64), h.Cumulative[i])
+			}
+			fmt.Fprintf(w, "saserve_phase_latency_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", name, h.Cumulative[len(h.Cumulative)-1])
+			fmt.Fprintf(w, "saserve_phase_latency_seconds_sum{phase=%q} %g\n", name, h.Sum.Seconds())
+			fmt.Fprintf(w, "saserve_phase_latency_seconds_count{phase=%q} %d\n", name, h.Count)
+		}
+	}
 	gauge("uptime_seconds", "Seconds since the service started.", time.Since(s.started).Seconds())
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/obs"
 )
 
 const quickstartXML = `
@@ -69,7 +70,7 @@ func newTestServer(t *testing.T, opts jobs.Options) *httptest.Server {
 		opts.Tool = "saserve"
 	}
 	pool := jobs.New(opts)
-	ts := httptest.NewServer(newMux(pool))
+	ts := httptest.NewServer(newMux(pool, false))
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()
@@ -345,4 +346,111 @@ func getText(t *testing.T, ts *httptest.Server, path string, wantCode int) strin
 		t.Fatalf("GET %s = %d, want %d\n%s", path, resp.StatusCode, wantCode, body)
 	}
 	return string(body)
+}
+
+// TestJobReportEndpoint checks GET /v1/jobs/{id}/report returns a
+// well-formed RunReport: named phases, consistent engine counters.
+func TestJobReportEndpoint(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 1})
+
+	code, doc := postConfig(t, ts, quickstartXML, "application/xml", "?wait=true")
+	if code != http.StatusOK || doc.Status != "done" {
+		t.Fatalf("submit: %d %+v", code, doc)
+	}
+	var run obs.RunReport
+	getJSON(t, ts, "/v1/jobs/"+doc.ID+"/report", http.StatusOK, &run)
+	if run.Tool == "" {
+		t.Error("report missing tool name")
+	}
+	if len(run.Phases) == 0 {
+		t.Fatal("report has no phase spans")
+	}
+	names := make(map[string]bool)
+	for _, ph := range run.Phases {
+		names[ph.Name] = true
+		if ph.DurNS < 0 {
+			t.Errorf("phase %s has negative duration", ph.Name)
+		}
+	}
+	for _, want := range []string{obs.PhaseBuild, obs.PhaseInterpret, obs.PhaseCheck} {
+		if !names[want] {
+			t.Errorf("report missing phase %q (got %v)", want, names)
+		}
+	}
+	c := run.Counters
+	if c.Steps == 0 {
+		t.Fatal("report counters all zero")
+	}
+	if c.Steps != c.Actions+c.Delays {
+		t.Errorf("Steps %d != Actions %d + Delays %d", c.Steps, c.Actions, c.Delays)
+	}
+	if run.TotalNS <= 0 {
+		t.Errorf("TotalNS = %d, want > 0", run.TotalNS)
+	}
+
+	// Unknown job and non-terminal status map to 404.
+	getText(t, ts, "/v1/jobs/zzz/report", http.StatusNotFound)
+}
+
+// TestMetricsEngineCountersAndPhases checks the /metrics exposition grows
+// the engine counter families and per-phase latency histograms after a
+// completed run.
+func TestMetricsEngineCountersAndPhases(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 1})
+	if code, doc := postConfig(t, ts, quickstartXML, "application/xml", "?wait=true"); code != http.StatusOK {
+		t.Fatalf("submit: %d %+v", code, doc)
+	}
+	body := getText(t, ts, "/metrics", http.StatusOK)
+	for _, family := range []string{
+		"saserve_engine_steps_total",
+		"saserve_engine_actions_total",
+		"saserve_engine_delays_total",
+		"saserve_engine_guard_evals_total",
+		"saserve_engine_enabled_calls_total",
+		"saserve_engine_heap_pushes_total",
+		"saserve_run_latency_seconds{quantile=\"0.9\"}",
+		"saserve_phase_latency_seconds_bucket{phase=\"interpret\",le=\"+Inf\"}",
+		"saserve_phase_latency_seconds_count{phase=\"build\"}",
+	} {
+		if !strings.Contains(body, family) {
+			t.Errorf("metrics missing %q", family)
+		}
+	}
+	// The quickstart run fires transitions, so steps must be nonzero.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "saserve_engine_steps_total ") {
+			if strings.TrimPrefix(line, "saserve_engine_steps_total ") == "0" {
+				t.Errorf("engine steps counter is zero after a completed run")
+			}
+			return
+		}
+	}
+	t.Error("saserve_engine_steps_total sample line not found")
+}
+
+// TestPprofOptIn checks the /debug/pprof/ routes exist only when enabled.
+func TestPprofOptIn(t *testing.T) {
+	pool := jobs.New(jobs.Options{Workers: 1, Tool: "saserve"})
+	defer pool.Close()
+	on := httptest.NewServer(newMux(pool, true))
+	defer on.Close()
+	resp, err := http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof enabled: GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+
+	off := httptest.NewServer(newMux(pool, false))
+	defer off.Close()
+	resp, err = http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled: GET /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
 }

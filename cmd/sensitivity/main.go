@@ -39,6 +39,7 @@ import (
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 )
 
 func main() {
@@ -52,7 +53,9 @@ func main() {
 		report     = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
 	)
 	budget := diag.BudgetFlags()
+	logger := obs.LogFlags()
 	flag.Parse()
+	logger() // install the structured default logger (-log-level, -log-format)
 	if *configPath == "" || (*sweep != "" && *points != "") {
 		flag.Usage()
 		os.Exit(diag.ExitUsage)

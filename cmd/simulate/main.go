@@ -9,23 +9,34 @@
 // interrupted, 5 model diagnostic (timelock/livelock/semantics), 6 invalid
 // configuration.
 //
+// Every run is probed and phase-timed: -report writes a JSON document with
+// the structured diagnostics (on failure) or a success record, either way
+// embedding the telemetry RunReport (phase durations, engine hot-path
+// counters). -profile cpu|mem|trace writes a standard pprof/trace file
+// over the run. -log-level debug logs every fired transition with the
+// chooser seed and chosen candidate index, so a -check-engine divergence
+// is reproducible from the log alone.
+//
 // Usage:
 //
 //	simulate -config system.xml [-trace] [-gantt] [-scale N] [-observers]
-//	         [-check-engine] [-max-steps N] [-timeout D] [-max-mem-mb N]
-//	         [-report out.json]
+//	         [-check-engine] [-seed N] [-max-steps N] [-timeout D]
+//	         [-max-mem-mb N] [-report out.json] [-profile cpu|mem|trace]
+//	         [-log-level info] [-log-format text]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/model"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/observer"
 	"stopwatchsim/internal/trace"
 )
@@ -39,10 +50,13 @@ func main() {
 		observers  = flag.Bool("observers", false, "check the §3 correctness requirements during the run")
 		jsonOut    = flag.String("json", "", "write the trace and analysis as JSON to this file")
 		csvOut     = flag.String("csv", "", "write the trace as CSV to this file")
-		report     = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
+		report     = flag.String("report", "", "write a JSON report (diagnostics + telemetry) to this file")
 		checkEng   = flag.Bool("check-engine", false, "differentially verify the event-driven engine against naive re-enumeration at every step (slow)")
+		seed       = flag.Int64("seed", -1, "resolve nondeterminism with a seeded random chooser (default: first in canonical order)")
 	)
 	budget := diag.BudgetFlags()
+	logger := obs.LogFlags()
+	profile := obs.ProfileFlags()
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
@@ -50,28 +64,57 @@ func main() {
 	}
 	ctx, stop := diag.SignalContext()
 	defer stop()
-	run(ctx, *configPath, *showTrace, *showGantt, *scale, *observers, *jsonOut, *csvOut, *report, budget(), *checkEng)
+	r := runner{
+		lg:         logger(),
+		tl:         obs.NewTimeline(),
+		probe:      &obs.Probe{},
+		reportPath: *report,
+	}
+	stopProf, err := profile()
+	if err != nil {
+		r.fail(err, nil)
+	}
+	r.run(ctx, *configPath, *showTrace, *showGantt, *scale, *observers, *jsonOut, *csvOut, budget(), *checkEng, *seed)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+	}
 }
 
-// fail routes any error through the diag classifier (printing, optional
-// JSON report, exit code) and is a no-op on nil.
-func fail(err error, net *nsa.Network, reportPath string) {
-	diag.Exit("simulate", err, net, reportPath)
+// runner carries the run's telemetry so failures at any pipeline stage can
+// attach the phases and counters collected so far.
+type runner struct {
+	lg         *slog.Logger
+	tl         *obs.Timeline
+	probe      *obs.Probe
+	reportPath string
 }
 
-func run(ctx context.Context, path string, showTrace, showGantt bool, scale int64, withObservers bool, jsonOut, csvOut, reportPath string, b nsa.Budget, checkEngine bool) {
+// fail routes any error through the diag classifier (printing, JSON report
+// with telemetry, exit code) and is a no-op on nil.
+func (r *runner) fail(err error, net *nsa.Network) {
+	if err == nil {
+		return
+	}
+	diag.ExitWith("simulate", err, net, r.reportPath, r.tl.Report("simulate", r.probe))
+}
+
+func (r *runner) run(ctx context.Context, path string, showTrace, showGantt bool, scale int64, withObservers bool, jsonOut, csvOut string, b nsa.Budget, checkEngine bool, seed int64) {
+	sp := r.tl.Start(obs.PhaseParse)
 	f, err := os.Open(path)
 	if err != nil {
-		fail(err, nil, reportPath)
+		r.fail(err, nil)
 	}
 	defer f.Close()
 	sys, err := config.ReadXML(f)
+	sp.End()
 	if err != nil {
-		fail(err, nil, reportPath)
+		r.fail(err, nil)
 	}
+	sp = r.tl.Start(obs.PhaseBuild)
 	m, err := model.Build(sys)
+	sp.End()
 	if err != nil {
-		fail(err, nil, reportPath)
+		r.fail(err, nil)
 	}
 	fmt.Printf("system %q: %d cores, %d partitions, %d tasks, %d messages, L=%d, %d jobs\n",
 		sys.Name, len(sys.Cores), len(sys.Partitions), sys.TaskCount(), len(sys.Messages),
@@ -80,7 +123,7 @@ func run(ctx context.Context, path string, showTrace, showGantt bool, scale int6
 	if withObservers {
 		violations, err := observer.VerifyRunContext(ctx, m, b)
 		if err != nil {
-			fail(err, m.Net, reportPath)
+			r.fail(err, m.Net)
 		}
 		if len(violations) == 0 {
 			fmt.Println("observers: all §3 requirements satisfied on this run")
@@ -92,20 +135,28 @@ func run(ctx context.Context, path string, showTrace, showGantt bool, scale int6
 		// Rebuild for a clean run below.
 		m, err = model.Build(sys)
 		if err != nil {
-			fail(err, nil, reportPath)
+			r.fail(err, nil)
 		}
 	}
 
-	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b, CheckEngine: checkEngine})
+	opts := nsa.Options{Budget: b, CheckEngine: checkEngine, Probe: r.probe, Logger: r.lg}
+	if seed >= 0 {
+		opts.Chooser = nsa.NewRandomChooser(seed)
+	}
+	sp = r.tl.Start(obs.PhaseInterpret)
+	tr, res, err := m.SimulateEngine(ctx, opts)
+	sp.End()
 	if err != nil {
-		fail(err, m.Net, reportPath)
+		r.fail(err, m.Net)
 	}
 	if checkEngine {
 		fmt.Println("check-engine: optimized and naive interpretations agreed at every step")
 	}
+	sp = r.tl.Start(obs.PhaseCheck)
 	a, err := trace.Analyze(sys, tr)
+	sp.End()
 	if err != nil {
-		fail(err, m.Net, reportPath)
+		r.fail(err, m.Net)
 	}
 	fmt.Printf("run: %d actions, %d delays, stopped at t=%d\n", res.Actions, res.Delays, res.Time)
 	fmt.Print(a.Summary(sys))
@@ -115,31 +166,38 @@ func run(ctx context.Context, path string, showTrace, showGantt bool, scale int6
 	if showTrace {
 		fmt.Print(tr.Format(sys))
 	}
-	if jsonOut != "" {
-		w, err := os.Create(jsonOut)
-		if err != nil {
-			fail(err, m.Net, reportPath)
+	if jsonOut != "" || csvOut != "" {
+		sp = r.tl.Start(obs.PhaseExport)
+		if jsonOut != "" {
+			w, err := os.Create(jsonOut)
+			if err != nil {
+				r.fail(err, m.Net)
+			}
+			if err := trace.WriteJSON(w, sys, tr, a); err != nil {
+				w.Close()
+				r.fail(err, m.Net)
+			}
+			if err := w.Close(); err != nil {
+				r.fail(err, m.Net)
+			}
 		}
-		if err := trace.WriteJSON(w, sys, tr, a); err != nil {
-			w.Close()
-			fail(err, m.Net, reportPath)
+		if csvOut != "" {
+			w, err := os.Create(csvOut)
+			if err != nil {
+				r.fail(err, m.Net)
+			}
+			if err := tr.WriteCSV(w, sys); err != nil {
+				w.Close()
+				r.fail(err, m.Net)
+			}
+			if err := w.Close(); err != nil {
+				r.fail(err, m.Net)
+			}
 		}
-		if err := w.Close(); err != nil {
-			fail(err, m.Net, reportPath)
-		}
+		sp.End()
 	}
-	if csvOut != "" {
-		w, err := os.Create(csvOut)
-		if err != nil {
-			fail(err, m.Net, reportPath)
-		}
-		if err := tr.WriteCSV(w, sys); err != nil {
-			w.Close()
-			fail(err, m.Net, reportPath)
-		}
-		if err := w.Close(); err != nil {
-			fail(err, m.Net, reportPath)
-		}
+	if err := diag.WriteSuccess("simulate", r.reportPath, r.tl.Report("simulate", r.probe)); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate: writing report:", err)
 	}
 	if !a.Schedulable {
 		os.Exit(diag.ExitVerdict)

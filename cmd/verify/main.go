@@ -28,6 +28,7 @@ import (
 	"stopwatchsim/internal/gen"
 	"stopwatchsim/internal/model"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/observer"
 )
 
@@ -39,7 +40,9 @@ func main() {
 		report     = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
 	)
 	budget := diag.BudgetFlags()
+	logger := obs.LogFlags()
 	flag.Parse()
+	logger() // install the structured default logger (-log-level, -log-format)
 	ctx, stop := diag.SignalContext()
 	defer stop()
 	b := budget()

@@ -20,6 +20,7 @@ import (
 
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/sa"
 	"stopwatchsim/internal/xta"
 )
@@ -32,11 +33,13 @@ func main() {
 		report  = flag.String("report", "", "write a JSON error/diagnostic report to this file on failure")
 	)
 	budget := diag.BudgetFlags()
+	logger := obs.LogFlags()
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
 		os.Exit(diag.ExitUsage)
 	}
+	lg := logger()
 
 	src, err := os.ReadFile(*path)
 	if err != nil {
@@ -51,7 +54,14 @@ func main() {
 
 	ctx, stop := diag.SignalContext()
 	defer stop()
-	tr, res, err := nsa.SimulateContext(ctx, m.Net, *horizon, budget())
+	tr := &nsa.SyncTrace{}
+	mainEng := nsa.NewEngine(m.Net, nsa.Options{
+		Horizon:   *horizon,
+		Listeners: []nsa.Listener{tr},
+		Budget:    budget(),
+		Logger:    lg, // -log-level debug logs every fired transition
+	})
+	res, err := mainEng.RunContext(ctx)
 	if err != nil {
 		diag.Exit("xtasim", err, m.Net, *report)
 	}

@@ -23,6 +23,7 @@ import (
 
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/sa"
 )
 
@@ -44,6 +45,7 @@ type Kind string
 
 // Report kinds.
 const (
+	KindOK        Kind = "ok"
 	KindError     Kind = "error"
 	KindBudget    Kind = "budget-exhausted"
 	KindCanceled  Kind = "canceled"
@@ -100,6 +102,11 @@ type Report struct {
 	// Trace is the bounded synchronization-event suffix leading to the
 	// failure, oldest first.
 	Trace []TraceEvent `json:"trace,omitempty"`
+
+	// Telemetry is the run's RunReport (phase durations and engine
+	// hot-path counters) up to the point of failure, when the tool
+	// collected one.
+	Telemetry *obs.RunReport `json:"telemetry,omitempty"`
 }
 
 // renderEvent names an event's channel and participants against net; with a
@@ -220,10 +227,18 @@ func (r *Report) WriteText(w io.Writer) {
 // reportPath when non-empty, and terminates the process with the mapped
 // exit code. A nil err is a no-op so callers can invoke it unconditionally.
 func Exit(tool string, err error, net *nsa.Network, reportPath string) {
+	ExitWith(tool, err, net, reportPath, nil)
+}
+
+// ExitWith is Exit with the run's telemetry attached to the report, so a
+// failed run's -report JSON still carries its phase timings and engine
+// counters up to the failure.
+func ExitWith(tool string, err error, net *nsa.Network, reportPath string, run *obs.RunReport) {
 	r := FromError(tool, err, net)
 	if r == nil {
 		return
 	}
+	r.Telemetry = run
 	r.WriteText(os.Stderr)
 	if reportPath != "" {
 		if werr := writeReportFile(reportPath, r); werr != nil {
@@ -231,6 +246,18 @@ func Exit(tool string, err error, net *nsa.Network, reportPath string) {
 		}
 	}
 	os.Exit(r.ExitCode)
+}
+
+// WriteSuccess writes a success report to reportPath: kind "ok", exit code
+// 0, with the run's telemetry. It makes -report useful on clean runs —
+// before, the flag only produced a file on failure.
+func WriteSuccess(tool, reportPath string, run *obs.RunReport) error {
+	if reportPath == "" {
+		return nil
+	}
+	r := &Report{Tool: tool, Kind: KindOK, ExitCode: ExitOK,
+		Message: "analysis completed", Telemetry: run}
+	return writeReportFile(reportPath, r)
 }
 
 func writeReportFile(path string, r *Report) error {

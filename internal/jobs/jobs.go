@@ -20,6 +20,7 @@ import (
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/model"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/trace"
 	"stopwatchsim/internal/xta"
 )
@@ -72,6 +73,10 @@ type Outcome struct {
 	// Engine summarizes the interpretation (actions, delays, stop time).
 	Engine nsa.Result
 
+	// Telemetry is the run's RunReport: per-phase durations plus the
+	// engine hot-path counters collected by the run's probe.
+	Telemetry *obs.RunReport
+
 	// Elapsed is the wall time the run itself took (excluding queueing).
 	Elapsed time.Duration
 }
@@ -97,18 +102,27 @@ type ConfigRun struct {
 // Key returns the canonical configuration fingerprint.
 func (r ConfigRun) Key() string { return r.Sys.Fingerprint() }
 
-// Run executes the pipeline.
+// Run executes the pipeline under a phase timeline and an engine probe;
+// the resulting RunReport is attached to the outcome.
 func (r ConfigRun) Run(ctx context.Context, b nsa.Budget) (*Outcome, error) {
 	start := time.Now()
+	tl := obs.NewTimeline()
+	probe := &obs.Probe{}
+	sp := tl.Start(obs.PhaseBuild)
 	m, err := model.Build(r.Sys)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b})
+	sp = tl.Start(obs.PhaseInterpret)
+	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tl.Start(obs.PhaseCheck)
 	a, err := trace.Analyze(r.Sys, tr)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -117,12 +131,13 @@ func (r ConfigRun) Run(ctx context.Context, b nsa.Budget) (*Outcome, error) {
 		v = VerdictSchedulable
 	}
 	return &Outcome{
-		Verdict:  v,
-		Sys:      r.Sys,
-		Trace:    tr,
-		Analysis: a,
-		Engine:   res,
-		Elapsed:  time.Since(start),
+		Verdict:   v,
+		Sys:       r.Sys,
+		Trace:     tr,
+		Analysis:  a,
+		Engine:    res,
+		Telemetry: tl.Report("jobs", probe),
+		Elapsed:   time.Since(start),
 	}, nil
 }
 
@@ -144,22 +159,40 @@ func (r XTARun) Key() string {
 	return "xta-" + hex.EncodeToString(h.Sum(nil))
 }
 
-// Run compiles and interprets the model.
+// Run compiles and interprets the model, probed and phase-timed like
+// ConfigRun (compilation counts as the build phase).
 func (r XTARun) Run(ctx context.Context, b nsa.Budget) (*Outcome, error) {
 	start := time.Now()
+	tl := obs.NewTimeline()
+	probe := &obs.Probe{}
+	sp := tl.Start(obs.PhaseBuild)
 	m, err := xta.Compile(r.Src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	tr, res, err := nsa.SimulateContext(ctx, m.Net, r.Horizon, b)
+	tr := &nsa.SyncTrace{}
+	eng := nsa.NewEngine(m.Net, nsa.Options{
+		Horizon:   r.Horizon,
+		Listeners: []nsa.Listener{tr},
+		Budget:    b,
+		Probe:     probe,
+	})
+	sp = tl.Start(obs.PhaseInterpret)
+	res, err := eng.RunContext(ctx)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tl.Start(obs.PhaseExport)
+	sync := diag.RenderTrace(tr.Events, m.Net)
+	sp.End()
 	return &Outcome{
-		Verdict: VerdictCompleted,
-		Sync:    diag.RenderTrace(tr.Events, m.Net),
-		Engine:  res,
-		Elapsed: time.Since(start),
+		Verdict:   VerdictCompleted,
+		Sync:      sync,
+		Engine:    res,
+		Telemetry: tl.Report("jobs", probe),
+		Elapsed:   time.Since(start),
 	}, nil
 }
 

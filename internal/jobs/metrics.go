@@ -1,18 +1,27 @@
 package jobs
 
 import (
-	"sort"
 	"sync"
 	"time"
+
+	"stopwatchsim/internal/obs"
 )
 
-// latencyWindow is how many recent run latencies the quantile estimator
-// retains.
-const latencyWindow = 1024
+// Latency quantiles cover the most recent metricsWindow of runs, tracked
+// in metricsSubWindows rotating sub-windows (see obs.Histogram). The old
+// fixed-size ring mixed ancient runs with recent ones and sorted a sample
+// on every snapshot; the windowed histogram shares its bucket layout with
+// the per-phase Prometheus histograms.
+const (
+	metricsWindow     = 5 * time.Minute
+	metricsSubWindows = 5
+)
 
 // Metrics aggregates pool activity for the /metrics endpoint: job
-// lifecycle counters, cache effectiveness, and run-latency quantiles over
-// a sliding window of recent runs.
+// lifecycle counters, cache effectiveness, run-latency quantiles over a
+// sliding window of recent runs, aggregate engine hot-path counters, and
+// per-phase latency histograms merged from the RunReports of completed
+// jobs.
 type Metrics struct {
 	mu sync.Mutex
 
@@ -31,8 +40,20 @@ type Metrics struct {
 	events int64
 	busy   time.Duration
 
-	lat  [latencyWindow]time.Duration // ring of recent run latencies
-	latN int64                        // total recorded (ring index = latN % window)
+	runLat *obs.Histogram // windowed run-latency estimator
+
+	// engine accumulates the hot-path counters of every completed run;
+	// phases holds one windowed latency histogram per pipeline phase.
+	// Both are fed by recordTelemetry from the runs' RunReports.
+	engine obs.Probe
+	phases map[string]*obs.Histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		runLat: obs.NewHistogram(metricsWindow, metricsSubWindows, nil),
+		phases: make(map[string]*obs.Histogram),
+	}
 }
 
 // Snapshot is a consistent copy of the metrics with derived statistics.
@@ -48,14 +69,18 @@ type Snapshot struct {
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 
-	// LatencyP50/P99 are run-latency quantiles over the recent window,
-	// zero until a run completes.
+	// LatencyP50/P90/P99 are run-latency quantiles over the recent
+	// window, zero until a run completes (or after the window drains).
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP90 time.Duration `json:"latency_p90_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
 
 	// EventsPerSec is the aggregate interpretation throughput:
 	// synchronization transitions fired per second of engine wall time.
 	EventsPerSec float64 `json:"events_per_sec"`
+
+	// Engine is the sum of the hot-path counters of every completed run.
+	Engine obs.Counters `json:"engine"`
 }
 
 func (m *Metrics) jobQueued() {
@@ -95,9 +120,50 @@ func (m *Metrics) jobFinished(st Status, elapsed time.Duration, events int64) {
 	}
 	m.events += events
 	m.busy += elapsed
-	m.lat[m.latN%latencyWindow] = elapsed
-	m.latN++
 	m.mu.Unlock()
+	m.runLat.Observe(elapsed)
+}
+
+// recordTelemetry merges one run's RunReport into the aggregates: counters
+// into the engine probe, phase durations into the per-phase histograms.
+// Nil-safe: jobs that failed before producing a report contribute nothing.
+func (m *Metrics) recordTelemetry(r *obs.RunReport) {
+	if r == nil {
+		return
+	}
+	m.engine.Merge(r.Counters)
+	for _, ph := range r.Phases {
+		if ph.Depth > 0 {
+			continue // top-level phases only; nested spans would double-count
+		}
+		m.mu.Lock()
+		if m.phases == nil {
+			m.phases = make(map[string]*obs.Histogram)
+		}
+		h := m.phases[ph.Name]
+		if h == nil {
+			h = obs.NewHistogram(metricsWindow, metricsSubWindows, nil)
+			m.phases[ph.Name] = h
+		}
+		m.mu.Unlock()
+		h.Observe(time.Duration(ph.DurNS))
+	}
+}
+
+// PhaseLatencies returns a merged snapshot of every per-phase latency
+// histogram, keyed by phase name.
+func (m *Metrics) PhaseLatencies() map[string]obs.HistSnapshot {
+	m.mu.Lock()
+	hs := make(map[string]*obs.Histogram, len(m.phases))
+	for name, h := range m.phases {
+		hs[name] = h
+	}
+	m.mu.Unlock()
+	out := make(map[string]obs.HistSnapshot, len(hs))
+	for name, h := range hs {
+		out[name] = h.Snapshot()
+	}
+	return out
 }
 
 // cacheHit accounts for a submission served entirely from the cache.
@@ -128,7 +194,6 @@ func (m *Metrics) cacheMiss() {
 // Snapshot returns a consistent copy with derived quantiles and rates.
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := Snapshot{
 		Submitted:   m.submitted,
 		Queued:      m.queued,
@@ -142,32 +207,13 @@ func (m *Metrics) Snapshot() Snapshot {
 	if total := m.cacheHits + m.cacheMisses; total > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(total)
 	}
-	n := m.latN
-	if n > latencyWindow {
-		n = latencyWindow
-	}
-	if n > 0 {
-		window := make([]time.Duration, n)
-		copy(window, m.lat[:n])
-		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-		s.LatencyP50 = window[quantileIndex(int(n), 0.50)]
-		s.LatencyP99 = window[quantileIndex(int(n), 0.99)]
-	}
 	if m.busy > 0 {
 		s.EventsPerSec = float64(m.events) / m.busy.Seconds()
 	}
+	m.mu.Unlock()
+	s.LatencyP50 = m.runLat.Quantile(0.50)
+	s.LatencyP90 = m.runLat.Quantile(0.90)
+	s.LatencyP99 = m.runLat.Quantile(0.99)
+	s.Engine = m.engine.Snapshot()
 	return s
-}
-
-// quantileIndex maps a quantile q onto an index of a sorted sample of
-// size n (nearest-rank, clamped).
-func quantileIndex(n int, q float64) int {
-	i := int(q * float64(n-1))
-	if i < 0 {
-		i = 0
-	}
-	if i >= n {
-		i = n - 1
-	}
-	return i
 }

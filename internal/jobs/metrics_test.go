@@ -1,0 +1,157 @@
+package jobs
+
+import (
+	"bytes"
+	stdctx "context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stopwatchsim/internal/obs"
+)
+
+// TestMetricsQuantiles feeds the windowed estimator a known latency
+// distribution and checks the three exposed quantiles order correctly and
+// land near the samples (bucketed estimation, so bounds are loose).
+func TestMetricsQuantiles(t *testing.T) {
+	m := newMetrics()
+	for i := 0; i < 90; i++ {
+		m.jobFinished(StatusDone, 2*time.Millisecond, 1)
+	}
+	for i := 0; i < 10; i++ {
+		m.jobFinished(StatusDone, 200*time.Millisecond, 1)
+	}
+	s := m.Snapshot()
+	if s.LatencyP50 <= 0 || s.LatencyP90 <= 0 || s.LatencyP99 <= 0 {
+		t.Fatalf("quantiles not populated: %+v", s)
+	}
+	if !(s.LatencyP50 <= s.LatencyP90 && s.LatencyP90 <= s.LatencyP99) {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", s.LatencyP50, s.LatencyP90, s.LatencyP99)
+	}
+	if s.LatencyP50 > 10*time.Millisecond {
+		t.Errorf("p50 = %v, want near 2ms", s.LatencyP50)
+	}
+	if s.LatencyP99 < 50*time.Millisecond {
+		t.Errorf("p99 = %v, want near 200ms", s.LatencyP99)
+	}
+}
+
+// TestSnapshotJSONHasP90 pins the Snapshot wire contract: all three
+// latency keys and the engine counter block.
+func TestSnapshotJSONHasP90(t *testing.T) {
+	m := newMetrics()
+	m.jobFinished(StatusDone, time.Millisecond, 1)
+	data, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"latency_p50_ns", "latency_p90_ns", "latency_p99_ns", `"engine"`, `"steps"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("snapshot JSON missing %s:\n%s", key, data)
+		}
+	}
+}
+
+// TestRecordTelemetryAggregates merges two RunReports and checks the
+// engine counters sum and the per-phase histograms fill.
+func TestRecordTelemetryAggregates(t *testing.T) {
+	m := newMetrics()
+	m.recordTelemetry(nil) // must not panic
+	m.recordTelemetry(&obs.RunReport{
+		Phases: []obs.PhaseSpan{
+			{Name: obs.PhaseBuild, DurNS: int64(time.Millisecond)},
+			{Name: obs.PhaseInterpret, DurNS: int64(5 * time.Millisecond)},
+			{Name: obs.PhaseIndex, Depth: 1, DurNS: int64(time.Millisecond)}, // nested: skipped
+		},
+		Counters: obs.Counters{Steps: 10, Actions: 7, Delays: 3, DirtyMax: 2},
+	})
+	m.recordTelemetry(&obs.RunReport{
+		Phases:   []obs.PhaseSpan{{Name: obs.PhaseBuild, DurNS: int64(2 * time.Millisecond)}},
+		Counters: obs.Counters{Steps: 4, Actions: 4, DirtyMax: 5},
+	})
+	s := m.Snapshot()
+	if s.Engine.Steps != 14 || s.Engine.Actions != 11 || s.Engine.Delays != 3 {
+		t.Errorf("aggregated counters = %+v", s.Engine)
+	}
+	if s.Engine.DirtyMax != 5 {
+		t.Errorf("DirtyMax = %d, want max-merge 5", s.Engine.DirtyMax)
+	}
+	phases := m.PhaseLatencies()
+	if got := phases[obs.PhaseBuild].Count; got != 2 {
+		t.Errorf("build phase observations = %d, want 2", got)
+	}
+	if got := phases[obs.PhaseInterpret].Count; got != 1 {
+		t.Errorf("interpret phase observations = %d, want 1", got)
+	}
+	if _, ok := phases[obs.PhaseIndex]; ok {
+		t.Error("nested (depth>0) span must not feed the phase histograms")
+	}
+}
+
+// TestPoolAttachesTelemetry runs a real job through the pool and checks
+// the outcome carries a RunReport whose counters are internally
+// consistent, and that the pool merged them into its metrics.
+func TestPoolAttachesTelemetry(t *testing.T) {
+	p := New(Options{Workers: 1})
+	defer p.Close()
+	jb, err := p.Submit(ConfigRun{Sys: testSystem(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := p.Wait(stdctx.Background(), jb.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Outcome == nil || done.Outcome.Telemetry == nil {
+		t.Fatalf("outcome missing telemetry: %+v", done.Outcome)
+	}
+	run := done.Outcome.Telemetry
+	c := run.Counters
+	if c.Steps == 0 || c.Steps != c.Actions+c.Delays {
+		t.Errorf("inconsistent counters: %+v", c)
+	}
+	if run.PhaseDur(obs.PhaseInterpret) <= 0 {
+		t.Errorf("interpret phase missing: %+v", run.Phases)
+	}
+	if s := p.Metrics(); s.Engine.Steps != c.Steps {
+		t.Errorf("pool aggregate %d != run counters %d", s.Engine.Steps, c.Steps)
+	}
+}
+
+// TestPoolLoggerCarriesJobAttrs checks every lifecycle record names the
+// job and fingerprint.
+func TestPoolLoggerCarriesJobAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	mw := &lockedWriter{buf: &buf}
+	lg := slog.New(slog.NewTextHandler(mw, nil))
+	p := New(Options{Workers: 1, Logger: lg})
+	jb, err := p.Submit(ConfigRun{Sys: testSystem(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(stdctx.Background(), jb.ID); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	out := buf.String()
+	for _, want := range []string{"job queued", "job started", "job finished", "job=" + jb.ID, "fingerprint=" + jb.Key} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// lockedWriter serializes concurrent handler writes in tests.
+type lockedWriter struct {
+	mu  sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}

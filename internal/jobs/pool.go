@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -11,6 +12,7 @@ import (
 
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 )
 
 // Pool errors.
@@ -42,6 +44,10 @@ type Options struct {
 	Budget nsa.Budget
 	// Tool names the diag reports of failed jobs; "" means "jobs".
 	Tool string
+	// Logger receives structured job-lifecycle events (queued, started,
+	// finished, cache hits); each record carries the job ID and the
+	// configuration fingerprint. Nil disables logging.
+	Logger *slog.Logger
 }
 
 // Pool is a bounded worker pool with a job registry and a shared result
@@ -80,7 +86,7 @@ func New(opts Options) *Pool {
 	p := &Pool{
 		opts:    opts,
 		cache:   NewCache(opts.CacheSize), // nil when CacheSize < 0
-		metrics: &Metrics{},
+		metrics: newMetrics(),
 		queue:   make(chan *Job, opts.QueueDepth),
 		ctx:     ctx,
 		stop:    stop,
@@ -129,6 +135,9 @@ func (p *Pool) SubmitBudget(r Runner, b nsa.Budget) (Job, error) {
 		close(jb.done)
 		p.jobs[jb.ID] = jb
 		p.metrics.cacheHit()
+		if lg := p.jobLogger(jb); lg != nil {
+			lg.Info("job served from cache")
+		}
 		return *jb, nil
 	}
 	select {
@@ -139,7 +148,19 @@ func (p *Pool) SubmitBudget(r Runner, b nsa.Budget) (Job, error) {
 	}
 	p.jobs[jb.ID] = jb
 	p.metrics.jobQueued()
+	if lg := p.jobLogger(jb); lg != nil {
+		lg.Info("job queued")
+	}
 	return *jb, nil
+}
+
+// jobLogger returns the pool logger scoped to one job (job ID and
+// configuration fingerprint attrs), or nil when logging is disabled.
+func (p *Pool) jobLogger(jb *Job) *slog.Logger {
+	if p.opts.Logger == nil {
+		return nil
+	}
+	return p.opts.Logger.With(slog.String("job", jb.ID), slog.String("fingerprint", jb.Key))
 }
 
 // Get returns a snapshot of the job with the given ID.
@@ -209,6 +230,10 @@ func (p *Pool) Cancel(id string) bool {
 // Metrics returns a consistent snapshot of the pool's counters.
 func (p *Pool) Metrics() Snapshot { return p.metrics.Snapshot() }
 
+// PhaseLatencies returns windowed per-phase latency histograms merged
+// from the RunReports of completed jobs, keyed by phase name.
+func (p *Pool) PhaseLatencies() map[string]obs.HistSnapshot { return p.metrics.PhaseLatencies() }
+
 // CacheLen returns the number of cached outcomes.
 func (p *Pool) CacheLen() int { return p.cache.Len() }
 
@@ -263,6 +288,9 @@ func (p *Pool) run(jb *Job) {
 		p.finishLocked(jb, out, nil)
 		p.mu.Unlock()
 		p.metrics.lateCacheHit()
+		if lg := p.jobLogger(jb); lg != nil {
+			lg.Info("job served from cache at dequeue")
+		}
 		return
 	}
 	jb.Status = StatusRunning
@@ -275,6 +303,10 @@ func (p *Pool) run(jb *Job) {
 	if jb.Key != "" {
 		p.metrics.cacheMiss()
 	}
+	lg := p.jobLogger(jb)
+	if lg != nil {
+		lg.Info("job started")
+	}
 
 	out, err := runner.Run(ctx, budget)
 	cancel()
@@ -286,8 +318,18 @@ func (p *Pool) run(jb *Job) {
 	var events int64
 	if out != nil {
 		events = int64(out.Engine.Actions + out.Engine.Delays)
+		p.metrics.recordTelemetry(out.Telemetry)
 	}
 	p.metrics.jobFinished(st, elapsed, events)
+	if lg != nil {
+		if err != nil {
+			lg.Warn("job finished", slog.String("status", string(st)),
+				slog.Duration("elapsed", elapsed), slog.String("error", err.Error()))
+		} else {
+			lg.Info("job finished", slog.String("status", string(st)),
+				slog.Duration("elapsed", elapsed), slog.Int64("events", events))
+		}
+	}
 }
 
 // finishLocked moves jb to its terminal state. Callers hold p.mu.

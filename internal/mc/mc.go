@@ -19,6 +19,7 @@ import (
 
 	"stopwatchsim/internal/expr"
 	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
 )
 
 // Monitor is a deterministic observer over synchronization transitions.
@@ -54,6 +55,10 @@ type Options struct {
 	// Budget bounds the exploration's resources (states, transitions, wall
 	// time, memory); the zero value leaves only the MaxStates default.
 	Budget nsa.Budget
+	// Probe, when non-nil, collects hot-path counters (transitions fired
+	// by kind, delays, enabled-set queries and guard evaluations through
+	// the shared Enumerator). Nil disables probing at one branch per step.
+	Probe *obs.Probe
 }
 
 // Result summarizes an exploration.
@@ -132,6 +137,7 @@ func ExploreContext(ctx context.Context, net *nsa.Network, opts Options) (res Re
 	// interpretation index (pre-classified edges, compiled guards); each call
 	// returns freshly allocated transitions, which DFS frames retain.
 	enum := nsa.NewEnumerator(net)
+	enum.Probe = opts.Probe
 
 	seen := func(s *nsa.State, ms [][]int64) bool {
 		keyBuf = s.AppendKey(keyBuf[:0])
@@ -204,6 +210,10 @@ func ExploreContext(ctx context.Context, net *nsa.Network, opts Options) (res Re
 			if err := net.Advance(s, d); err != nil {
 				return nil, err
 			}
+			if p := opts.Probe; p != nil {
+				p.Steps.Add(1)
+				p.Delays.Add(1)
+			}
 			if !opts.NoDedup && seen(s, ms) {
 				return nil, nil
 			}
@@ -260,6 +270,18 @@ func ExploreContext(ctx context.Context, net *nsa.Network, opts Options) (res Re
 			return res, err
 		}
 		res.Transitions++
+		if p := opts.Probe; p != nil {
+			p.Steps.Add(1)
+			p.Actions.Add(1)
+			switch tr.Kind {
+			case nsa.Internal:
+				p.SyncInternal.Add(1)
+			case nsa.BinarySync:
+				p.SyncBinary.Add(1)
+			default:
+				p.SyncBroadcast.Add(1)
+			}
+		}
 		ms := top.ms
 		if len(opts.Monitors) > 0 {
 			ms = make([][]int64, len(opts.Monitors))

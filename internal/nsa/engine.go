@@ -3,9 +3,11 @@ package nsa
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 
 	"stopwatchsim/internal/expr"
+	"stopwatchsim/internal/obs"
 )
 
 // Chooser selects which of the enabled transitions to fire. The paper proves
@@ -23,9 +25,31 @@ type FirstChooser struct{}
 // Choose implements Chooser.
 func (FirstChooser) Choose(*State, []Transition) int { return 0 }
 
+// Seeded is implemented by choosers built from a known random seed. The
+// engine includes the seed in its per-step debug log, so a divergence
+// found under random choice (e.g. by simulate -check-engine) can be
+// replayed exactly from the logs alone.
+type Seeded interface {
+	ChooserSeed() int64
+}
+
 // RandomChooser picks a uniformly random enabled transition from a seeded
-// source, for determinism testing.
-type RandomChooser struct{ Rng *rand.Rand }
+// source, for determinism testing. Seed is informational: construct with
+// NewRandomChooser to keep it in sync with the source, so per-step debug
+// logs can name the seed that reproduces the run.
+type RandomChooser struct {
+	Rng  *rand.Rand
+	Seed int64
+}
+
+// NewRandomChooser returns a RandomChooser over rand.NewSource(seed) that
+// remembers the seed for diagnostics.
+func NewRandomChooser(seed int64) RandomChooser {
+	return RandomChooser{Rng: rand.New(rand.NewSource(seed)), Seed: seed}
+}
+
+// ChooserSeed implements Seeded.
+func (c RandomChooser) ChooserSeed() int64 { return c.Seed }
 
 // Choose implements Chooser. With no candidates it returns -1 ("no choice")
 // instead of panicking; the engine only consults choosers when at least one
@@ -111,6 +135,17 @@ type Options struct {
 	// enumeration's candidate list and delay bounds, failing the run on any
 	// divergence. Implies the cost of both paths. Ignored under Naive.
 	CheckEngine bool
+	// Probe, when non-nil, collects hot-path counters (transitions by
+	// kind, guard evaluations, enabled-cache effectiveness, deadline-heap
+	// activity) during the run. A nil probe costs one predictable branch
+	// per step. The probe may be shared across concurrent runs; its
+	// counters are atomic.
+	Probe *obs.Probe
+	// Logger, when non-nil, receives structured engine events. At Debug
+	// level every fired transition is logged with the chooser's candidate
+	// index (and seed, for Seeded choosers), making nondeterministic runs
+	// reproducible from logs alone.
+	Logger *slog.Logger
 }
 
 // Result summarizes a completed run.
@@ -214,9 +249,18 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 				Msg: fmt.Sprintf("evaluating %s: %v", e.net.LocationString(e.s), re)}
 		}
 	}()
+	probe := e.opts.Probe
+	var lg *slog.Logger
+	if e.opts.Logger != nil && e.opts.Logger.Enabled(ctx, slog.LevelDebug) {
+		lg = e.opts.Logger
+		if sd, ok := e.opts.Chooser.(Seeded); ok {
+			lg = lg.With(slog.Int64("chooser_seed", sd.ChooserSeed()))
+		}
+	}
 	var rt *engineRuntime
 	if !e.opts.Naive {
-		rt = newEngineRuntime(e.net, e.s)
+		rt = newEngineRuntime(e.net, e.s, probe)
+		defer rt.flushStats()
 	}
 	var cands []Transition
 	var keyBuf []byte
@@ -288,6 +332,26 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 				return res, ferr
 			}
 			res.Actions++
+			if probe != nil {
+				probe.Steps.Add(1)
+				probe.Actions.Add(1)
+				switch tr.Kind {
+				case Internal:
+					probe.SyncInternal.Add(1)
+				case BinarySync:
+					probe.SyncBinary.Add(1)
+				default:
+					probe.SyncBroadcast.Add(1)
+				}
+			}
+			if lg != nil {
+				lg.LogAttrs(ctx, slog.LevelDebug, "fire",
+					slog.Int64("time", fireTime),
+					slog.String("kind", tr.Kind.String()),
+					slog.Int("chan", int(tr.Chan)),
+					slog.Int("choice", idx),
+					slog.Int("candidates", len(cands)))
+			}
 			ring.record(SyncEvent{Time: fireTime, Kind: tr.Kind, Chan: int(tr.Chan), Parts: tr.Parts})
 			for _, l := range e.opts.Listeners {
 				l.OnTransition(fireTime, &tr, e.net, e.s)
@@ -344,6 +408,15 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 			return res, aerr
 		}
 		res.Delays++
+		if probe != nil {
+			probe.Steps.Add(1)
+			probe.Delays.Add(1)
+		}
+		if lg != nil {
+			lg.LogAttrs(ctx, slog.LevelDebug, "delay",
+				slog.Int64("time", e.s.Time),
+				slog.Int64("delta", d))
+		}
 	}
 }
 

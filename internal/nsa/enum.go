@@ -3,6 +3,7 @@ package nsa
 import (
 	"slices"
 
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/sa"
 )
 
@@ -174,6 +175,11 @@ type Enumerator struct {
 	idx *netIndex
 	cl  *chanLists
 	env stateEnv
+
+	// Probe, when non-nil, counts enabled-set queries and guard
+	// evaluations (the exploration analogue of the engine's hot-path
+	// probe). Set it before the first Enabled call.
+	Probe *obs.Probe
 }
 
 // NewEnumerator returns an enumerator over net.
@@ -193,15 +199,25 @@ func (en *Enumerator) Enabled(s *State) []Transition {
 	var arena partsArena // fresh per call: results are retained by callers
 	var buf []Transition
 	vars, clocks := s.Vars, s.Clocks
+	counting := en.Probe != nil
+	var evals, fast, opaque int64
 	for ai := range n.Automata {
 		li := &en.idx.locs[ai][s.Locs[ai]]
 		for i := range li.edges {
 			e := &li.edges[i]
+			if e.dir == sa.NoSync && committed && !li.committed {
+				continue
+			}
+			if counting {
+				evals++
+				if e.fast != nil {
+					fast++
+				} else if e.slow != nil {
+					opaque++
+				}
+			}
 			switch e.dir {
 			case sa.NoSync:
-				if committed && !li.committed {
-					continue
-				}
 				if e.evalGuard(vars, clocks, &en.env) {
 					buf = append(buf, Transition{Kind: Internal, Chan: sa.NoChan, Parts: arena.one(Part{ai, int(e.edge)})})
 				}
@@ -217,5 +233,11 @@ func (en *Enumerator) Enabled(s *State) []Transition {
 		}
 	}
 	buf = n.emitSyncs(buf, s, en.cl, committed, &arena)
+	if p := en.Probe; p != nil {
+		p.EnabledCalls.Add(1)
+		p.GuardEvals.Add(evals)
+		p.GuardCompiled.Add(fast)
+		p.GuardOpaque.Add(opaque)
+	}
 	return n.filterPriority(buf)
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"stopwatchsim/internal/expr"
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/sa"
 )
 
@@ -54,8 +55,13 @@ type heapEntry struct {
 
 // timeHeap is a min-heap of absolute deadlines with generation-based lazy
 // deletion: superseded entries stay in the heap until they surface at the
-// top (min) or a wholesale compaction removes them.
-type timeHeap struct{ e []heapEntry }
+// top (min) or a wholesale compaction removes them. pops and stale count
+// those two flavours of lazy deletion for the probe; the runtime drains
+// them in flushStats (plain int64s: a heap belongs to one run).
+type timeHeap struct {
+	e           []heapEntry
+	pops, stale int64
+}
 
 func (h *timeHeap) push(abs int64, aut int32, gen uint32) {
 	h.e = append(h.e, heapEntry{abs, aut, gen})
@@ -106,6 +112,7 @@ func (h *timeHeap) min(gens []uint32) (int64, bool) {
 			return top.abs, true
 		}
 		h.pop()
+		h.pops++
 	}
 	return 0, false
 }
@@ -115,12 +122,14 @@ func (h *timeHeap) min(gens []uint32) (int64, bool) {
 // at the automaton count between growth bursts.
 func (h *timeHeap) compact(gens []uint32) {
 	keep := h.e[:0]
+	before := len(h.e)
 	for _, en := range h.e {
 		if gens[en.aut] == en.gen {
 			keep = append(keep, en)
 		}
 	}
 	h.e = keep
+	h.stale += int64(before - len(h.e))
 	for i := len(h.e)/2 - 1; i >= 0; i-- {
 		h.down(i)
 	}
@@ -175,9 +184,17 @@ type engineRuntime struct {
 	wakes  timeHeap // guard wake-up points (absolute)
 
 	oldLocs []sa.LocID // scratch for fire
+
+	// probe, when non-nil, receives the hot-path counters. Guard
+	// evaluations and heap pushes accumulate in the stat* fields (plain
+	// locals of this single-threaded runtime) and are flushed to the
+	// atomic probe once per enabled() call, so enabling the probe adds
+	// one predictable branch per guard evaluation, not an atomic op.
+	probe                                   *obs.Probe
+	statGuard, statFast, statSlow, statPush int64
 }
 
-func newEngineRuntime(net *Network, s *State) *engineRuntime {
+func newEngineRuntime(net *Network, s *State, probe *obs.Probe) *engineRuntime {
 	na := len(net.Automata)
 	r := &engineRuntime{
 		net:        net,
@@ -197,6 +214,7 @@ func newEngineRuntime(net *Network, s *State) *engineRuntime {
 		cl:        newChanLists(len(net.Chans)),
 		stopCount: make([]int32, len(net.Clocks)),
 		stopped:   make([]bool, len(net.Clocks)),
+		probe:     probe,
 	}
 	r.running = func(c int) bool { return !r.stopped[c] }
 	for ai := range net.Automata {
@@ -255,9 +273,18 @@ func (r *engineRuntime) recompute(ai int32) {
 	r.enRecv[ai] = r.enRecv[ai][:0]
 
 	vars, clocks := s.Vars, s.Clocks
+	counting := r.probe != nil
 	wake := expr.NoBound
 	for i := range li.edges {
 		e := &li.edges[i]
+		if counting {
+			r.statGuard++
+			if e.fast != nil {
+				r.statFast++
+			} else if e.slow != nil {
+				r.statSlow++
+			}
+		}
 		if e.evalGuard(vars, clocks, &r.env) {
 			switch e.dir {
 			case sa.NoSync:
@@ -298,10 +325,43 @@ func (r *engineRuntime) recompute(ai int32) {
 		}
 		if d != expr.NoBound {
 			r.expiry.push(s.Time+d, ai, r.gen[ai])
+			if counting {
+				r.statPush++
+			}
 		}
 	}
 	if wake != expr.NoBound {
 		r.wakes.push(s.Time+wake, ai, r.gen[ai])
+		if counting {
+			r.statPush++
+		}
+	}
+}
+
+// flushStats drains the accumulated guard/heap statistics into the probe.
+// Called once per enabled() query and at run end; a nil probe is a no-op.
+func (r *engineRuntime) flushStats() {
+	p := r.probe
+	if p == nil {
+		return
+	}
+	if r.statGuard > 0 {
+		p.GuardEvals.Add(r.statGuard)
+		p.GuardCompiled.Add(r.statFast)
+		p.GuardOpaque.Add(r.statSlow)
+		r.statGuard, r.statFast, r.statSlow = 0, 0, 0
+	}
+	if r.statPush > 0 {
+		p.HeapPushes.Add(r.statPush)
+		r.statPush = 0
+	}
+	if n := r.expiry.pops + r.wakes.pops; n > 0 {
+		p.HeapPops.Add(n)
+		r.expiry.pops, r.wakes.pops = 0, 0
+	}
+	if n := r.expiry.stale + r.wakes.stale; n > 0 {
+		p.HeapStale.Add(n)
+		r.expiry.stale, r.wakes.stale = 0, 0
 	}
 }
 
@@ -313,11 +373,20 @@ func (r *engineRuntime) enabled(buf []Transition) []Transition {
 	for _, ai := range r.idx.alwaysDirty {
 		r.markDirty(ai)
 	}
+	nd := len(r.dirty)
 	for _, ai := range r.dirty {
 		r.recompute(ai)
 		r.isDirty[ai] = false
 	}
 	r.dirty = r.dirty[:0]
+	if p := r.probe; p != nil {
+		p.EnabledCalls.Add(1)
+		p.Recomputes.Add(int64(nd))
+		p.CacheReuses.Add(int64(len(r.isDirty) - nd))
+		p.DirtyTotal.Add(int64(nd))
+		p.RaiseDirtyMax(int64(nd))
+		r.flushStats()
+	}
 
 	// Rebuild the per-channel half lists from the cached per-automaton sets.
 	// Iterating automata ascending with edge-ascending halves keeps every

@@ -117,7 +117,7 @@ func TestRuntimeDeadlineHeapStopResume(t *testing.T) {
 func TestRuntimeDelayBoundsStopResume(t *testing.T) {
 	net := stopResumeNet(t)
 	s := net.InitialState()
-	rt := newEngineRuntime(net, s)
+	rt := newEngineRuntime(net, s, nil)
 
 	check := func(stage string, wantMax int64) {
 		t.Helper()

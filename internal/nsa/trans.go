@@ -19,6 +19,19 @@ const (
 	Broadcast                   // sender + all enabled receivers on a broadcast channel
 )
 
+// String names the kind for logs and metric labels.
+func (k TransKind) String() string {
+	switch k {
+	case Internal:
+		return "internal"
+	case BinarySync:
+		return "binary"
+	case Broadcast:
+		return "broadcast"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
 // Part identifies one participating automaton and the edge it takes.
 type Part struct {
 	Aut  int

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultHistBounds are the exponential bucket upper bounds used for run
+// and phase latencies: 100µs doubling up to ~1.7 minutes, with an
+// implicit +Inf bucket above. Analysis runs span five orders of
+// magnitude (microsecond XTA toys to minute-long industrial sweeps), so
+// doubling buckets keep the relative quantile error bounded at ~2× worst
+// case while the whole histogram stays 22 counters wide.
+func DefaultHistBounds() []time.Duration {
+	bounds := make([]time.Duration, 0, 21)
+	for d := 100 * time.Microsecond; d <= 105*time.Second; d *= 2 {
+		bounds = append(bounds, d)
+	}
+	return bounds
+}
+
+// Histogram is a sliding-window latency histogram: observations land in
+// fixed exponential buckets inside the current sub-window, and the
+// window of the last numWindows sub-windows rotates as time passes, so
+// quantiles and rates reflect recent behaviour instead of the whole
+// process lifetime. This replaces the old fixed-size latency ring in the
+// job metrics (which sorted a sample on every snapshot and silently
+// mixed ancient runs with recent ones) and doubles as the Prometheus
+// histogram backing for per-phase latencies.
+//
+// It is mutex-guarded: observations happen at job/phase completion
+// (thousands per second at most), never inside the interpretation loop.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []time.Duration // bucket i counts d <= bounds[i]; +Inf implicit
+
+	win    [][]uint64 // [window][bucket] counts, last bucket is +Inf
+	sums   []time.Duration
+	counts []uint64
+
+	cur  int // index of the current sub-window
+	last time.Time
+	step time.Duration // sub-window length
+
+	now func() time.Time // injectable for tests
+}
+
+// NewHistogram returns a histogram whose quantiles cover the most recent
+// `window` of time, tracked in numWindows rotating sub-windows (more
+// sub-windows = smoother expiry). A zero window disables rotation, making
+// the histogram cumulative since creation.
+func NewHistogram(window time.Duration, numWindows int, bounds []time.Duration) *Histogram {
+	if numWindows < 1 {
+		numWindows = 1
+	}
+	if len(bounds) == 0 {
+		bounds = DefaultHistBounds()
+	}
+	h := &Histogram{
+		bounds: bounds,
+		win:    make([][]uint64, numWindows),
+		sums:   make([]time.Duration, numWindows),
+		counts: make([]uint64, numWindows),
+		now:    time.Now,
+	}
+	for i := range h.win {
+		h.win[i] = make([]uint64, len(bounds)+1)
+	}
+	if window > 0 {
+		h.step = window / time.Duration(numWindows)
+		if h.step <= 0 {
+			h.step = time.Nanosecond
+		}
+	}
+	h.last = h.now()
+	return h
+}
+
+// rotate advances the current sub-window pointer, clearing every
+// sub-window that expired since the last call. Callers hold h.mu.
+func (h *Histogram) rotate() {
+	if h.step == 0 {
+		return
+	}
+	elapsed := h.now().Sub(h.last)
+	if elapsed < h.step {
+		return
+	}
+	steps := int(elapsed / h.step)
+	if steps > len(h.win) {
+		steps = len(h.win)
+	}
+	for i := 0; i < steps; i++ {
+		h.cur = (h.cur + 1) % len(h.win)
+		clear(h.win[h.cur])
+		h.sums[h.cur] = 0
+		h.counts[h.cur] = 0
+	}
+	h.last = h.last.Add(time.Duration(steps) * h.step)
+	if h.now().Sub(h.last) >= time.Duration(len(h.win))*h.step {
+		h.last = h.now() // fell far behind; re-anchor
+	}
+}
+
+// bucket returns the index of the bucket d falls in (binary search; the
+// bound slice is sorted ascending).
+func (h *Histogram) bucket(d time.Duration) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo // == len(bounds) means +Inf
+}
+
+// Observe records one duration. Nil-safe no-op.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.rotate()
+	h.win[h.cur][h.bucket(d)]++
+	h.sums[h.cur] += d
+	h.counts[h.cur]++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a merged view over the window: cumulative bucket counts
+// in Prometheus `le` form plus total count and sum.
+type HistSnapshot struct {
+	// Bounds[i] is the upper bound of Cumulative[i]; the final entry of
+	// Cumulative (one longer than Bounds) is the +Inf count == Count.
+	Bounds     []time.Duration
+	Cumulative []uint64
+	Count      uint64
+	Sum        time.Duration
+}
+
+// Snapshot merges the live sub-windows into cumulative bucket counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rotate()
+	s := HistSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.bounds)+1),
+	}
+	for w := range h.win {
+		for b, c := range h.win[w] {
+			s.Cumulative[b] += c
+		}
+		s.Count += h.counts[w]
+		s.Sum += h.sums[w]
+	}
+	for b := 1; b < len(s.Cumulative); b++ {
+		s.Cumulative[b] += s.Cumulative[b-1]
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) over the window by
+// linear interpolation inside the bucket holding the target rank. It
+// returns 0 when the window is empty. The error is bounded by the bucket
+// width (≤2× with the default doubling bounds).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var below uint64
+	for b, cum := range s.Cumulative {
+		if float64(cum) >= rank {
+			var lo time.Duration
+			if b > 0 {
+				lo = s.Bounds[b-1]
+			}
+			hi := 2 * lo // +Inf bucket: extrapolate one doubling
+			if b < len(s.Bounds) {
+				hi = s.Bounds[b]
+			}
+			inBucket := cum - below
+			if inBucket == 0 {
+				return hi
+			}
+			frac := (rank - float64(below)) / float64(inBucket)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		below = cum
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

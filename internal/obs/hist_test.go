@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a histogram's rotation deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func withClock(h *Histogram, c *fakeClock) *Histogram {
+	h.now = c.now
+	h.last = c.now()
+	return h
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(0, 1, nil) // cumulative, no rotation
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond) // bucket (0.8ms, 1.6ms]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 110 {
+		t.Fatalf("Count = %d, want 110", s.Count)
+	}
+	if want := 100*time.Millisecond + 10*100*time.Millisecond; s.Sum != want {
+		t.Errorf("Sum = %v, want %v", s.Sum, want)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 800*time.Microsecond || p50 > 1600*time.Microsecond {
+		t.Errorf("p50 = %v, want within the ~1ms bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 50*time.Millisecond || p99 > 205*time.Millisecond {
+		t.Errorf("p99 = %v, want within the ~100ms bucket", p99)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if s := nilH.Snapshot(); s.Count != 0 {
+		t.Errorf("nil Snapshot count = %d", s.Count)
+	}
+	h := NewHistogram(time.Minute, 4, nil)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistogramWindowRotation(t *testing.T) {
+	clk := newFakeClock()
+	h := withClock(NewHistogram(4*time.Second, 4, nil), clk)
+	h.Observe(time.Millisecond)
+	if s := h.Snapshot(); s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	// Advance past one sub-window: the old observation survives (3 of 4
+	// sub-windows still live).
+	clk.advance(1100 * time.Millisecond)
+	h.Observe(10 * time.Millisecond)
+	if s := h.Snapshot(); s.Count != 2 {
+		t.Fatalf("after one rotation Count = %d, want 2", s.Count)
+	}
+	// Advance past the whole window: everything expires.
+	clk.advance(5 * time.Second)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("after full window Count = %d, want 0", s.Count)
+	}
+	h.Observe(time.Second)
+	if s := h.Snapshot(); s.Count != 1 {
+		t.Errorf("fresh observation Count = %d, want 1", s.Count)
+	}
+}
+
+func TestHistogramCumulativeForm(t *testing.T) {
+	h := NewHistogram(0, 1, []time.Duration{time.Millisecond, time.Second})
+	h.Observe(time.Microsecond)       // bucket 0
+	h.Observe(500 * time.Millisecond) // bucket 1
+	h.Observe(time.Hour)              // +Inf bucket
+	s := h.Snapshot()
+	if len(s.Cumulative) != 3 {
+		t.Fatalf("len(Cumulative) = %d, want 3", len(s.Cumulative))
+	}
+	want := []uint64{1, 2, 3}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("Cumulative[%d] = %d, want %d", i, s.Cumulative[i], w)
+		}
+	}
+	if s.Cumulative[2] != s.Count {
+		t.Errorf("+Inf bucket %d != Count %d", s.Cumulative[2], s.Count)
+	}
+}

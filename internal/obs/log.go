@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w at the given level
+// ("debug", "info", "warn", "error") and format ("text", "json").
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text, json)", format)
+	}
+}
+
+// LogFlags registers the shared -log-level and -log-format flags on the
+// default flag set and returns a function that, once flag.Parse has run,
+// builds the logger (stderr), installs it as the slog default and
+// returns it. A flag error is reported on stderr and falls back to the
+// info-level text logger, so misconfigured logging never aborts an
+// analysis.
+func LogFlags() func() *slog.Logger {
+	level := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	format := flag.String("log-format", "text", "log output format: text, json")
+	return func() *slog.Logger {
+		log, err := NewLogger(os.Stderr, *level, *format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			log = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
+		slog.SetDefault(log)
+		return log
+	}
+}

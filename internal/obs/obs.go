@@ -1,0 +1,13 @@
+// Package obs is the zero-dependency telemetry layer of the analysis
+// engine: hot-path counters (Probe), phase spans (Timeline, RunReport),
+// a windowed latency histogram shared by the job pool and the HTTP
+// exposition, structured-logging flag helpers around log/slog, and pprof
+// profiling helpers for the CLIs.
+//
+// The design constraint throughout is that disabled telemetry must cost
+// nothing measurable inside the interpretation loop: every engine call
+// site guards on a nil *Probe (one predictable branch), counters are
+// plain atomics so enabling a probe never introduces a lock into the hot
+// path, and span bookkeeping happens only at pipeline-phase granularity
+// (a handful of timestamps per run, never per transition).
+package obs

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestProbeConcurrentCounts hammers one probe from many goroutines and
+// checks the totals; run under -race this also proves the counters are
+// data-race free (the reason they are atomics, not plain ints).
+func TestProbeConcurrentCounts(t *testing.T) {
+	p := &Probe{}
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				p.Steps.Add(1)
+				p.GuardEvals.Add(2)
+				p.RaiseDirtyMax(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := p.Snapshot()
+	if want := int64(workers * perWorker); c.Steps != want {
+		t.Errorf("Steps = %d, want %d", c.Steps, want)
+	}
+	if want := int64(2 * workers * perWorker); c.GuardEvals != want {
+		t.Errorf("GuardEvals = %d, want %d", c.GuardEvals, want)
+	}
+	if want := int64(workers*perWorker - 1); c.DirtyMax != want {
+		t.Errorf("DirtyMax = %d, want %d", c.DirtyMax, want)
+	}
+}
+
+func TestProbeNilSafe(t *testing.T) {
+	var p *Probe
+	if c := p.Snapshot(); c != (Counters{}) {
+		t.Errorf("nil Snapshot = %+v, want zero", c)
+	}
+	p.Merge(Counters{Steps: 5}) // must not panic
+	p.RaiseDirtyMax(7)          // must not panic
+}
+
+func TestProbeMerge(t *testing.T) {
+	p := &Probe{}
+	p.Merge(Counters{Steps: 3, Actions: 2, Delays: 1, DirtyMax: 4})
+	p.Merge(Counters{Steps: 2, DirtyMax: 2})
+	c := p.Snapshot()
+	if c.Steps != 5 || c.Actions != 2 || c.Delays != 1 {
+		t.Errorf("merged counters = %+v", c)
+	}
+	if c.DirtyMax != 4 {
+		t.Errorf("DirtyMax = %d, want max-merge 4", c.DirtyMax)
+	}
+}
+
+// TestDisabledProbeAllocationFree pins the zero-cost claim for the
+// disabled path: touching a nil probe the way the engine does must not
+// allocate.
+func TestDisabledProbeAllocationFree(t *testing.T) {
+	var p *Probe
+	allocs := testing.AllocsPerRun(1000, func() {
+		if p != nil { // the engine's guard pattern
+			p.Steps.Add(1)
+		}
+		_ = p.Snapshot()
+		p.Merge(Counters{})
+		p.RaiseDirtyMax(1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled probe path allocates %v per run, want 0", allocs)
+	}
+}

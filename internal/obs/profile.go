@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfile begins collecting a profile of the given kind into path
+// and returns a stop function that finalizes the file. Kinds:
+//
+//   - "cpu":   a pprof CPU profile over the instrumented interval
+//   - "mem":   a pprof heap profile captured at stop (after a GC)
+//   - "trace": a runtime execution trace over the interval
+//
+// An empty path defaults to <kind>.pprof ("trace" to trace.out). The
+// files are standard `go tool pprof` / `go tool trace` inputs.
+func StartProfile(kind, path string) (stop func() error, err error) {
+	if path == "" {
+		path = kind + ".pprof"
+		if kind == "trace" {
+			path = "trace.out"
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: profile output: %w", err)
+	}
+	switch kind {
+	case "cpu":
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		return func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		}, nil
+	case "mem":
+		return func() error {
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			return f.Close()
+		}, nil
+	case "trace":
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: execution trace: %w", err)
+		}
+		return func() error {
+			trace.Stop()
+			return f.Close()
+		}, nil
+	default:
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("obs: unknown profile kind %q (cpu, mem, trace)", kind)
+	}
+}
+
+// ProfileFlags registers the shared -profile and -profile-out flags and
+// returns a function that, after flag.Parse, starts the requested
+// profile (no-op when -profile is unset) and returns the stop function
+// to defer.
+func ProfileFlags() func() (stop func() error, err error) {
+	kind := flag.String("profile", "", "write a profile: cpu, mem, or trace")
+	out := flag.String("profile-out", "", "profile output path (default <kind>.pprof, trace.out)")
+	return func() (func() error, error) {
+		if *kind == "" {
+			return func() error { return nil }, nil
+		}
+		return StartProfile(*kind, *out)
+	}
+}

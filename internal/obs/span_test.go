@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTimelineNesting(t *testing.T) {
+	tl := NewTimeline()
+	outer := tl.Start(PhaseBuild)
+	inner := tl.Start(PhaseIndex)
+	inner.End()
+	outer.End()
+	after := tl.Start(PhaseInterpret)
+	after.End()
+
+	spans := tl.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != PhaseBuild || spans[0].Depth != 0 {
+		t.Errorf("outer span = %+v, want depth 0", spans[0])
+	}
+	if spans[1].Name != PhaseIndex || spans[1].Depth != 1 {
+		t.Errorf("inner span = %+v, want depth 1", spans[1])
+	}
+	if spans[2].Name != PhaseInterpret || spans[2].Depth != 0 {
+		t.Errorf("post-nesting span = %+v, want depth 0 again", spans[2])
+	}
+	for i, sp := range spans {
+		if sp.DurNS < 0 || sp.StartNS < 0 {
+			t.Errorf("span %d has negative timing: %+v", i, sp)
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tl := NewTimeline()
+	sp := tl.Start(PhaseParse)
+	d1 := sp.End()
+	time.Sleep(time.Millisecond)
+	if d2 := sp.End(); d2 != 0 {
+		t.Errorf("second End = %v, want 0", d2)
+	}
+	if got := time.Duration(tl.Spans()[0].DurNS); got != d1 {
+		t.Errorf("recorded duration %v, want first End %v", got, d1)
+	}
+}
+
+func TestNilTimelineAndSpan(t *testing.T) {
+	var tl *Timeline
+	sp := tl.Start(PhaseParse)
+	if sp.End() != 0 {
+		t.Error("nil span End should be 0")
+	}
+	if tl.Spans() != nil {
+		t.Error("nil timeline Spans should be nil")
+	}
+	r := tl.Report("tool", nil)
+	if r == nil || len(r.Phases) != 0 || r.TotalNS != 0 {
+		t.Errorf("nil timeline Report = %+v", r)
+	}
+}
+
+func TestReportPhaseDurAndJSON(t *testing.T) {
+	tl := NewTimeline()
+	tl.Start(PhaseBuild).End()
+	tl.Start(PhaseInterpret).End()
+	p := &Probe{}
+	p.Steps.Add(10)
+	p.Actions.Add(7)
+	p.Delays.Add(3)
+	r := tl.Report("test", p)
+	if r.Tool != "test" || len(r.Phases) != 2 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Counters.Steps != 10 || r.Counters.Actions+r.Counters.Delays != r.Counters.Steps {
+		t.Errorf("counters = %+v", r.Counters)
+	}
+	if r.PhaseDur(PhaseBuild) != time.Duration(r.Phases[0].DurNS) {
+		t.Errorf("PhaseDur(build) = %v", r.PhaseDur(PhaseBuild))
+	}
+	if r.PhaseDur("missing") != 0 {
+		t.Error("PhaseDur of absent phase should be 0")
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters != r.Counters || len(back.Phases) != len(r.Phases) {
+		t.Errorf("JSON round trip mismatch: %+v vs %+v", back, *r)
+	}
+}

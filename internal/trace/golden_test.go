@@ -2,10 +2,13 @@ package trace
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"stopwatchsim/internal/obs"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
@@ -45,6 +48,34 @@ func TestGoldenExports(t *testing.T) {
 			var buf bytes.Buffer
 			err := tr.WriteCSV(&buf, sys)
 			return buf.Bytes(), err
+		}},
+		// The RunReport schema is the wire contract of GET
+		// /v1/jobs/{id}/report and of the telemetry block embedded in
+		// the -report JSON of the CLIs. Pinned from a fixed literal (not
+		// a live run) so the bytes are deterministic.
+		{"runreport.json.golden", func() ([]byte, error) {
+			run := &obs.RunReport{
+				Tool: "simulate",
+				Phases: []obs.PhaseSpan{
+					{Name: obs.PhaseParse, StartNS: 1_000, DurNS: 120_000},
+					{Name: obs.PhaseBuild, StartNS: 125_000, DurNS: 480_000},
+					{Name: obs.PhaseIndex, Depth: 1, StartNS: 130_000, DurNS: 90_000},
+					{Name: obs.PhaseInterpret, StartNS: 610_000, DurNS: 2_400_000},
+					{Name: obs.PhaseCheck, StartNS: 3_015_000, DurNS: 55_000},
+					{Name: obs.PhaseExport, StartNS: 3_075_000, DurNS: 30_000},
+				},
+				Counters: obs.Counters{
+					Steps: 31, Actions: 26, Delays: 5,
+					SyncInternal: 4, SyncBinary: 22, SyncBroadcast: 0,
+					GuardEvals: 210, GuardCompiled: 195, GuardOpaque: 15,
+					EnabledCalls: 32, Recomputes: 64, CacheReuses: 30,
+					DirtyTotal: 64, DirtyMax: 4,
+					HeapPushes: 38, HeapPops: 6, HeapStale: 2,
+				},
+				TotalNS: 3_110_000,
+			}
+			b, err := json.MarshalIndent(run, "", "  ")
+			return append(b, '\n'), err
 		}},
 	}
 	for _, tc := range cases {
