@@ -1,0 +1,101 @@
+package main
+
+import (
+	"io"
+	"net/http"
+
+	"stopwatchsim/internal/campaign"
+)
+
+// campaignDoc is the list/status wire form: the campaign state with the
+// point list elided from listings (it can be large) but kept in the
+// per-campaign view.
+type campaignDoc struct {
+	campaign.State
+	PointsDone int `json:"points_done"`
+}
+
+func toCampaignDoc(st campaign.State, withPoints bool) campaignDoc {
+	d := campaignDoc{State: st, PointsDone: len(st.Points)}
+	if !withPoints {
+		d.Points = nil
+	}
+	return d
+}
+
+// campaignStart parses a campaign spec (application/json) and starts it.
+// Campaigns are content-addressed: re-posting the same spec returns the
+// existing (possibly completed) campaign instead of launching a duplicate.
+// ?wait=true blocks until the campaign reaches a terminal state.
+func (s *server) campaignStart(w http.ResponseWriter, r *http.Request) {
+	spec, err := campaign.ParseSpec(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	st, err := s.camps.Start(spec)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "true" {
+		final, err := s.camps.Wait(r.Context(), st.ID)
+		if err != nil {
+			httpError(w, http.StatusGatewayTimeout, "waiting for %s: %v", st.ID, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toCampaignDoc(final, true))
+		return
+	}
+	w.Header().Set("Location", "/v1/campaigns/"+st.ID)
+	code := http.StatusAccepted
+	if st.Status != campaign.StatusRunning {
+		code = http.StatusOK // content-addressed replay of a finished campaign
+	}
+	writeJSON(w, code, toCampaignDoc(st, false))
+}
+
+func (s *server) campaignList(w http.ResponseWriter, r *http.Request) {
+	all := s.camps.List()
+	docs := make([]campaignDoc, len(all))
+	for i, st := range all {
+		docs[i] = toCampaignDoc(st, false)
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+func (s *server) campaignStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.camps.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, toCampaignDoc(st, true))
+}
+
+func (s *server) campaignCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.camps.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	if !s.camps.Cancel(id) {
+		httpError(w, http.StatusConflict, "campaign %s already %s", id, st.Status)
+		return
+	}
+	st, _ = s.camps.Get(id)
+	writeJSON(w, http.StatusOK, toCampaignDoc(st, false))
+}
+
+// campaignResult serves the export summary: point accounting, critical
+// point or frontier table, convergence counters. Available at any time —
+// a running campaign reports its progress so far.
+func (s *server) campaignResult(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.camps.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Summarize())
+}

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/store"
+)
+
+// newStoreServer builds a server over a persistent store, returning the
+// pieces so tests can simulate restarts.
+func newStoreServer(t *testing.T, dir string) (*httptest.Server, *jobs.Pool, *campaign.Engine, *store.Store) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{PinnedKinds: []string{campaign.StoreKind()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := jobs.New(jobs.Options{Workers: 2, Tool: "saserve", Store: st})
+	eng := campaign.NewEngine(pool, st, nil)
+	eng.ResumeAll()
+	ts := httptest.NewServer(newMux(pool, eng, false))
+	return ts, pool, eng, st
+}
+
+func campaignSpecJSON(t *testing.T) []byte {
+	t.Helper()
+	sys, err := config.ReadXML(strings.NewReader(quickstartXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &campaign.Spec{
+		Name:     "http-grid",
+		Strategy: campaign.StrategyGrid,
+		Base:     sys,
+		Axes: []campaign.Axis{
+			{Param: campaign.ParamWCETPct, Min: 100, Max: 200, Step: 50},
+		},
+		Parallel: 2,
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestCampaignEndpoints(t *testing.T) {
+	ts, pool, _, st := newStoreServer(t, t.TempDir())
+	defer func() { ts.Close(); pool.Close(); st.Close() }()
+
+	// Malformed specs are rejected with a diagnosis.
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"name":"x","strategy":"anneal"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad spec: status %d", resp.StatusCode)
+	}
+
+	// Start and wait.
+	raw := campaignSpecJSON(t)
+	resp, err = http.Post(ts.URL+"/v1/campaigns?wait=true", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc campaignDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || doc.Status != campaign.StatusDone {
+		t.Fatalf("wait=true: status %d, campaign %s", resp.StatusCode, doc.Status)
+	}
+	if doc.PointsDone != 3 || len(doc.Points) != 3 {
+		t.Fatalf("points_done = %d, points = %d, want 3", doc.PointsDone, len(doc.Points))
+	}
+
+	// List elides the point bodies but keeps the count.
+	resp, err = http.Get(ts.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []campaignDoc
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != doc.ID || list[0].PointsDone != 3 || len(list[0].Points) != 0 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Status view includes the points.
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + doc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one campaignDoc
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if one.Status != campaign.StatusDone || len(one.Points) != 3 {
+		t.Fatalf("status view = %+v", one)
+	}
+
+	// Result summary carries the pinned schema version and point counts.
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + doc.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum campaign.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sum.SchemaVersion != "campaign/summary/v1" || sum.Points.Total != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	// Quickstart's WCET headroom is 166%: 100 and 150 are schedulable,
+	// 200 is not.
+	if sum.Points.Schedulable != 2 || sum.Points.Unschedulable != 1 {
+		t.Fatalf("verdict counts = %+v", sum.Points)
+	}
+
+	// Re-posting the same spec replays the finished campaign (200, not 202).
+	resp, err = http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay status = %d, want 200", resp.StatusCode)
+	}
+
+	// Canceling a finished campaign conflicts; unknown IDs 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+doc.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel done: status %d, want 409", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/campaigns/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown campaign: status %d, want 404", resp.StatusCode)
+	}
+
+	// Metrics expose the campaign and store families.
+	body := getText(t, ts, "/metrics", http.StatusOK)
+	for _, want := range []string{
+		"saserve_campaign_started_total 1",
+		"saserve_campaign_done_total 1",
+		"saserve_store_puts_total",
+		"saserve_store_objects",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestRestartServesFromDisk is the service-level persistence contract: a
+// restarted server (fresh pool and memory cache, same store directory)
+// answers a previously computed configuration from the disk tier, and its
+// interrupted campaigns resume to completion.
+func TestRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+
+	ts1, pool1, _, st1 := newStoreServer(t, dir)
+	code, first := postConfig(t, ts1, quickstartXML, "application/xml", "?wait=true")
+	if code != http.StatusOK || first.CacheHit {
+		t.Fatalf("first run: %d %+v", code, first)
+	}
+	raw := campaignSpecJSON(t)
+	resp, err := http.Post(ts1.URL+"/v1/campaigns?wait=true", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var camp campaignDoc
+	json.NewDecoder(resp.Body).Decode(&camp)
+	resp.Body.Close()
+	if camp.Status != campaign.StatusDone {
+		t.Fatalf("campaign %s", camp.Status)
+	}
+	ts1.Close()
+	pool1.Close()
+	st1.Close()
+
+	// "Restart": everything rebuilt over the same directory.
+	ts2, pool2, _, st2 := newStoreServer(t, dir)
+	defer func() { ts2.Close(); pool2.Close(); st2.Close() }()
+
+	code, again := postConfig(t, ts2, quickstartXML, "application/xml", "?wait=true")
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: %d", code)
+	}
+	if !again.CacheHit || !again.DiskHit {
+		t.Fatalf("resubmit not served from disk: %+v", again)
+	}
+	if again.Verdict != first.Verdict || again.System != "quickstart" ||
+		again.JobsTotal != first.JobsTotal {
+		t.Fatalf("disk-served doc diverges: %+v vs %+v", again, first)
+	}
+
+	// Traces are not persisted; the API says so rather than 500ing.
+	resp, err = http.Get(ts2.URL + "/v1/jobs/" + again.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("trace of disk-served job: status %d, want 410", resp.StatusCode)
+	}
+
+	// The finished campaign is queryable after restart without re-running.
+	resp, err = http.Get(ts2.URL + "/v1/campaigns/" + camp.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum campaign.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sum.Status != campaign.StatusDone || sum.Points.Total != 3 {
+		t.Fatalf("restarted campaign result: %d %+v", resp.StatusCode, sum)
+	}
+}

@@ -12,9 +12,20 @@
 //	GET    /v1/jobs/{id}/trace  trace export (json, csv, text)
 //	GET    /v1/jobs/{id}/gantt  ASCII Gantt chart
 //	GET    /v1/jobs/{id}/report telemetry RunReport of a completed run
+//	POST   /v1/campaigns     start (or resume) a design-space campaign
+//	GET    /v1/campaigns     list campaigns
+//	GET    /v1/campaigns/{id}        campaign state and progress
+//	DELETE /v1/campaigns/{id}        cancel a running campaign
+//	GET    /v1/campaigns/{id}/result campaign summary (frontier table)
 //	GET    /metrics          Prometheus-style metrics
 //	GET    /healthz          liveness
 //	GET    /debug/pprof/*    runtime profiles (only with -pprof)
+//
+// With -store DIR, results and campaign checkpoints persist in a
+// crash-safe on-disk artifact store: completed outcomes form a second
+// cache tier under the in-memory LRU (memory miss → disk hit → compute),
+// and campaigns interrupted by a crash resume on restart, skipping every
+// point whose configuration fingerprint is already on disk.
 //
 // Per-job resource budgets come from the shared flags (-max-steps,
 // -timeout, -max-mem-mb) as defaults, overridable per submission with
@@ -25,6 +36,7 @@
 // Usage:
 //
 //	saserve [-addr :8080] [-workers N] [-queue N] [-cache N] [-pprof]
+//	        [-store DIR] [-store-max-mb N]
 //	        [-log-level info] [-log-format text]
 //	        [-max-steps N] [-timeout D] [-max-mem-mb N]
 package main
@@ -39,23 +51,44 @@ import (
 	"runtime"
 	"time"
 
+	"stopwatchsim/internal/campaign"
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/obs"
+	"stopwatchsim/internal/store"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", runtime.NumCPU(), "concurrent analysis runs")
-		queue     = flag.Int("queue", 256, "bounded job queue depth (backpressure beyond)")
-		cache     = flag.Int("cache", 1024, "result cache entries (negative disables)")
-		pprofFlag = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", runtime.NumCPU(), "concurrent analysis runs")
+		queue      = flag.Int("queue", 256, "bounded job queue depth (backpressure beyond)")
+		cache      = flag.Int("cache", 1024, "result cache entries (negative disables)")
+		pprofFlag  = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
+		storeDir   = flag.String("store", "", "persistent artifact store directory (empty disables)")
+		storeMaxMB = flag.Int64("store-max-mb", 0, "artifact store size bound in MiB before GC (0 = unbounded)")
 	)
 	budget := diag.BudgetFlags()
 	logger := obs.LogFlags()
 	flag.Parse()
 	lg := logger()
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{
+			MaxBytes:    *storeMaxMB << 20,
+			PinnedKinds: []string{campaign.StoreKind()},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "saserve:", err)
+			os.Exit(diag.ExitUsage)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		lg.Info("store open", "dir", *storeDir, "objects", stats.Objects, "bytes", stats.Bytes,
+			"recovered_records", stats.RecoveredRecords, "truncated_bytes", stats.TruncatedBytes)
+	}
 
 	pool := jobs.New(jobs.Options{
 		Workers:    *workers,
@@ -64,10 +97,15 @@ func main() {
 		Budget:     budget(),
 		Tool:       "saserve",
 		Logger:     lg,
+		Store:      st,
 	})
+	camps := campaign.NewEngine(pool, st, lg)
+	if resumed := camps.ResumeAll(); len(resumed) > 0 {
+		lg.Info("campaigns resumed", "count", len(resumed), "ids", resumed)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(pool, *pprofFlag),
+		Handler:           newMux(pool, camps, *pprofFlag),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -76,7 +114,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	lg.Info("listening", "addr", *addr, "workers", *workers,
-		"queue", *queue, "cache", *cache, "pprof", *pprofFlag)
+		"queue", *queue, "cache", *cache, "store", *storeDir, "pprof", *pprofFlag)
 
 	select {
 	case err := <-errc:

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"stopwatchsim/internal/campaign"
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/jobs"
@@ -28,9 +29,11 @@ const maxBodyBytes = 8 << 20
 // not pass ?horizon=N.
 const defaultXTAHorizon = 1000
 
-// server holds the HTTP handlers over one jobs.Pool.
+// server holds the HTTP handlers over one jobs.Pool and one
+// campaign.Engine.
 type server struct {
 	pool    *jobs.Pool
+	camps   *campaign.Engine
 	started time.Time
 }
 
@@ -43,14 +46,19 @@ type server struct {
 //	GET    /v1/jobs/{id}/trace  stream the trace (json, csv, text)
 //	GET    /v1/jobs/{id}/gantt  ASCII Gantt chart
 //	GET    /v1/jobs/{id}/report telemetry RunReport of a completed run
+//	POST   /v1/campaigns     start (or resume) a design-space campaign
+//	GET    /v1/campaigns     list campaigns
+//	GET    /v1/campaigns/{id}        campaign state and progress
+//	DELETE /v1/campaigns/{id}        cancel a running campaign
+//	GET    /v1/campaigns/{id}/result campaign summary (frontier table)
 //	GET    /metrics          Prometheus-style counters
 //	GET    /healthz          liveness
 //
 // enablePprof additionally mounts the runtime profiling handlers under
 // /debug/pprof/ (opt-in: profiles expose internals, so they are off unless
 // the operator asks).
-func newMux(pool *jobs.Pool, enablePprof bool) *http.ServeMux {
-	s := &server{pool: pool, started: time.Now()}
+func newMux(pool *jobs.Pool, camps *campaign.Engine, enablePprof bool) *http.ServeMux {
+	s := &server{pool: pool, camps: camps, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
@@ -59,6 +67,11 @@ func newMux(pool *jobs.Pool, enablePprof bool) *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
 	mux.HandleFunc("GET /v1/jobs/{id}/gantt", s.gantt)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
+	mux.HandleFunc("POST /v1/campaigns", s.campaignStart)
+	mux.HandleFunc("GET /v1/campaigns", s.campaignList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.campaignStatus)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.campaignCancel)
+	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.campaignResult)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", s.health)
 	if enablePprof {
@@ -77,9 +90,11 @@ type jobDoc struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	Status      string `json:"status"`
 	CacheHit    bool   `json:"cache_hit"`
-	Submitted   string `json:"submitted"`
-	Started     string `json:"started,omitempty"`
-	Finished    string `json:"finished,omitempty"`
+	// DiskHit marks cache hits served by the persistent store tier.
+	DiskHit   bool   `json:"disk_hit,omitempty"`
+	Submitted string `json:"submitted"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
 
 	// Completed runs.
 	Verdict   string `json:"verdict,omitempty"`
@@ -99,6 +114,7 @@ func toDoc(jb jobs.Job) jobDoc {
 		Fingerprint: jb.Key,
 		Status:      string(jb.Status),
 		CacheHit:    jb.CacheHit,
+		DiskHit:     jb.DiskHit,
 		Submitted:   jb.Submitted.UTC().Format(time.RFC3339Nano),
 		Report:      jb.Report,
 	}
@@ -118,6 +134,13 @@ func toDoc(jb jobs.Job) jobDoc {
 		if out.Analysis != nil {
 			d.JobsTotal = len(out.Analysis.Jobs)
 			d.JobsLate = len(out.Analysis.Unschedulable)
+		}
+		// Disk-served outcomes carry a compact summary instead of the
+		// full trace and analysis.
+		if p := out.Persisted; p != nil {
+			d.System = p.System
+			d.JobsTotal = p.JobsTotal
+			d.JobsLate = p.JobsLate
 		}
 	}
 	return d
@@ -260,6 +283,10 @@ func (s *server) trace(w http.ResponseWriter, r *http.Request) {
 	if out == nil {
 		return
 	}
+	if out.Persisted != nil {
+		httpError(w, http.StatusGone, "outcome was restored from the persistent store; traces are not retained on disk")
+		return
+	}
 	format := r.URL.Query().Get("format")
 	if format == "" {
 		format = "json"
@@ -302,6 +329,10 @@ func (s *server) trace(w http.ResponseWriter, r *http.Request) {
 func (s *server) gantt(w http.ResponseWriter, r *http.Request) {
 	out := s.completedOutcome(w, r)
 	if out == nil {
+		return
+	}
+	if out.Persisted != nil {
+		httpError(w, http.StatusGone, "outcome was restored from the persistent store; traces are not retained on disk")
 		return
 	}
 	if out.Trace == nil {
@@ -366,6 +397,39 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("cache_hits_total", "Submissions served from the result cache.", m.CacheHits)
 	counter("cache_misses_total", "Submissions that required a run.", m.CacheMisses)
 	gauge("cache_hit_rate", "Cache hits over all keyed submissions.", m.CacheHitRate)
+
+	// Persistent store tier (present only when -store is set).
+	if st := s.pool.Store(); st != nil {
+		ss := st.Stats()
+		counter("store_hits_total", "Memory-cache misses served by the persistent store tier.", m.StoreHits)
+		counter("store_gets_hit_total", "Store reads that found the object.", ss.Hits)
+		counter("store_gets_miss_total", "Store reads that missed.", ss.Misses)
+		counter("store_puts_total", "Objects written to the store.", ss.Puts)
+		counter("store_deletes_total", "Objects deleted from the store.", ss.Deletes)
+		counter("store_evictions_total", "Objects evicted by the size-bound GC.", ss.Evictions)
+		counter("store_recovered_records_total", "Journal records replayed at open.", ss.RecoveredRecords)
+		counter("store_truncated_bytes_total", "Torn journal tail bytes truncated at open.", ss.TruncatedBytes)
+		counter("store_dropped_entries_total", "Journal entries dropped (missing object files).", ss.DroppedEntries)
+		counter("store_orphans_swept_total", "Unreferenced object files removed at open.", ss.OrphansSwept)
+		gauge("store_objects", "Objects currently in the store.", float64(ss.Objects))
+		gauge("store_bytes", "Bytes currently in the store.", float64(ss.Bytes))
+	}
+
+	// Campaign engine counters.
+	cm := s.camps.Metrics()
+	counter("campaign_started_total", "Campaigns started fresh.", cm.Started)
+	counter("campaign_resumed_total", "Campaigns resumed from a checkpoint.", cm.Resumed)
+	counter("campaign_done_total", "Campaigns completed.", cm.Done)
+	counter("campaign_failed_total", "Campaigns failed.", cm.Failed)
+	counter("campaign_canceled_total", "Campaigns canceled.", cm.Canceled)
+	counter("campaign_points_computed_total", "Campaign points answered by a fresh run.", cm.PointsComputed)
+	counter("campaign_points_cache_memory_total", "Campaign points answered by the memory cache.", cm.PointsCacheMemory)
+	counter("campaign_points_cache_disk_total", "Campaign points answered by the persistent tier.", cm.PointsCacheDisk)
+	counter("campaign_points_checkpoint_total", "Campaign points answered by resumed checkpoints.", cm.PointsCheckpoint)
+	counter("campaign_points_failed_total", "Campaign points whose runs failed.", cm.PointsFailed)
+	counter("campaign_bisect_iterations_total", "Interior bisection iterations across campaigns.", cm.BisectIterations)
+	counter("campaign_frontier_rows_total", "Frontier rows completed across campaigns.", cm.FrontierRows)
+	counter("campaign_bracket_reuses_total", "Frontier rows whose bisection bracket was seeded adaptively.", cm.BracketReuses)
 	fmt.Fprintf(w, "# HELP saserve_run_latency_seconds Run latency quantiles over recent runs.\n# TYPE saserve_run_latency_seconds summary\n")
 	fmt.Fprintf(w, "saserve_run_latency_seconds{quantile=\"0.5\"} %g\n", m.LatencyP50.Seconds())
 	fmt.Fprintf(w, "saserve_run_latency_seconds{quantile=\"0.9\"} %g\n", m.LatencyP90.Seconds())

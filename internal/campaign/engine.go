@@ -1,0 +1,524 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/store"
+)
+
+// Engine errors.
+var (
+	// ErrUnknownCampaign is returned for IDs the registry does not hold.
+	ErrUnknownCampaign = errors.New("campaign: unknown campaign")
+)
+
+// Engine orchestrates campaigns over a shared jobs.Pool, checkpointing
+// state to an artifact store after every completed point. The store may be
+// nil, in which case campaigns run memory-only (no resume across
+// restarts). One Engine serves many concurrent campaigns; each runs in
+// its own goroutine and fans its points through the pool.
+type Engine struct {
+	pool *jobs.Pool
+	st   *store.Store
+	lg   *slog.Logger
+
+	mu      sync.Mutex
+	camps   map[string]*Campaign
+	metrics EngineMetrics
+}
+
+// EngineMetrics are the campaign-level telemetry counters, exposed by
+// cmd/saserve as the saserve_campaign_* metric families.
+type EngineMetrics struct {
+	Started  int64 `json:"started"`
+	Resumed  int64 `json:"resumed"`
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
+
+	PointsComputed    int64 `json:"points_computed"`
+	PointsCacheMemory int64 `json:"points_cache_memory"`
+	PointsCacheDisk   int64 `json:"points_cache_disk"`
+	PointsCheckpoint  int64 `json:"points_checkpoint"`
+	PointsFailed      int64 `json:"points_failed"`
+
+	BisectIterations int64 `json:"bisect_iterations"`
+	FrontierRows     int64 `json:"frontier_rows"`
+	BracketReuses    int64 `json:"bracket_reuses"`
+}
+
+// Campaign is one registered exploration.
+type Campaign struct {
+	eng *Engine
+
+	mu        sync.Mutex
+	state     *State
+	completed map[string]*PointResult // fingerprint → recorded result
+	recorded  map[string]bool         // Point.Key() → present in state.Points
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewEngine creates an engine over the pool, checkpointing to st (nil
+// disables persistence). The logger may be nil.
+func NewEngine(pool *jobs.Pool, st *store.Store, lg *slog.Logger) *Engine {
+	return &Engine{pool: pool, st: st, lg: lg, camps: make(map[string]*Campaign)}
+}
+
+// StoreKind returns the store kind campaign checkpoints are written
+// under; stores backing an Engine should pin it.
+func StoreKind() string { return stateKind }
+
+// Start registers and launches the campaign described by spec, returning
+// a snapshot of its state. Campaigns are content-addressed: starting a
+// spec whose fingerprint matches a live campaign returns that campaign,
+// and one matching a checkpoint in the store resumes or returns it
+// (completed campaigns are served from their stored state without
+// re-running anything).
+func (e *Engine) Start(spec *Spec) (State, error) {
+	if err := spec.Validate(); err != nil {
+		return State{}, err
+	}
+	id := spec.Fingerprint()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c := e.camps[id]; c != nil {
+		return c.snapshot(), nil
+	}
+	st := e.loadState(id)
+	resumed := st != nil
+	if st == nil {
+		st = &State{
+			Version:  stateVersion,
+			ID:       id,
+			Name:     spec.Name,
+			Strategy: spec.Strategy,
+			Status:   StatusRunning,
+			Spec:     spec,
+		}
+	}
+	c := e.registerLocked(st)
+	if st.Status == StatusRunning {
+		if resumed {
+			e.metrics.Resumed++
+		} else {
+			e.metrics.Started++
+		}
+		e.launchLocked(c)
+	}
+	return c.snapshot(), nil
+}
+
+// ResumeAll loads every campaign checkpoint from the store into the
+// registry and relaunches the ones a crash interrupted (status still
+// "running"). It returns the IDs of relaunched campaigns. Campaigns that
+// had finished are registered inert so their state and summary remain
+// queryable after a restart.
+func (e *Engine) ResumeAll() []string {
+	if e.st == nil {
+		return nil
+	}
+	var resumed []string
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, id := range e.st.Keys(stateKind) {
+		if e.camps[id] != nil {
+			continue
+		}
+		st := e.loadState(id)
+		if st == nil {
+			continue
+		}
+		c := e.registerLocked(st)
+		if st.Status == StatusRunning {
+			e.metrics.Resumed++
+			e.launchLocked(c)
+			resumed = append(resumed, id)
+		}
+	}
+	sort.Strings(resumed)
+	return resumed
+}
+
+// RegisterAll loads every campaign checkpoint into the registry without
+// relaunching any — the read-only counterpart of ResumeAll, for status and
+// export tooling. Checkpoints still marked running register as inert too;
+// Wait on them would block, so callers should only inspect state.
+func (e *Engine) RegisterAll() {
+	if e.st == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, id := range e.st.Keys(stateKind) {
+		if e.camps[id] != nil {
+			continue
+		}
+		if st := e.loadState(id); st != nil {
+			c := e.registerLocked(st)
+			if st.Status == StatusRunning {
+				// Not launched: mark done so Wait callers cannot hang on a
+				// campaign nobody is running.
+				close(c.done)
+			}
+		}
+	}
+}
+
+// loadState reads a checkpoint, nil when absent, unreadable, or a foreign
+// schema version.
+func (e *Engine) loadState(id string) *State {
+	if e.st == nil {
+		return nil
+	}
+	var st State
+	ok, err := e.st.Get(stateKind, id, &st)
+	if err != nil || !ok || st.Version != stateVersion || st.Spec == nil {
+		return nil
+	}
+	return &st
+}
+
+// registerLocked adds a campaign for st to the registry. Terminal states
+// get an already-closed done channel. Callers hold e.mu.
+func (e *Engine) registerLocked(st *State) *Campaign {
+	c := &Campaign{
+		eng:       e,
+		state:     st,
+		completed: make(map[string]*PointResult, len(st.Points)),
+		recorded:  make(map[string]bool, len(st.Points)),
+		done:      make(chan struct{}),
+	}
+	for i := range st.Points {
+		pr := &st.Points[i]
+		if pr.Source != SourceFailed {
+			c.completed[pr.Fingerprint] = pr
+		}
+		c.recorded[pr.Point.Key()] = true
+	}
+	if st.Status != StatusRunning {
+		close(c.done)
+	}
+	e.camps[st.ID] = c
+	return c
+}
+
+// launchLocked starts the campaign goroutine. Callers hold e.mu.
+func (e *Engine) launchLocked(c *Campaign) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	go c.run(ctx)
+}
+
+// Get returns a snapshot of the campaign's state.
+func (e *Engine) Get(id string) (State, bool) {
+	e.mu.Lock()
+	c := e.camps[id]
+	e.mu.Unlock()
+	if c == nil {
+		return State{}, false
+	}
+	return c.snapshot(), true
+}
+
+// List returns snapshots of all registered campaigns, ordered by ID.
+func (e *Engine) List() []State {
+	e.mu.Lock()
+	cs := make([]*Campaign, 0, len(e.camps))
+	for _, c := range e.camps {
+		cs = append(cs, c)
+	}
+	e.mu.Unlock()
+	out := make([]State, len(cs))
+	for i, c := range cs {
+		out[i] = c.snapshot()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Cancel requests cancellation of a running campaign. It returns false
+// when the campaign is unknown or already terminal.
+func (e *Engine) Cancel(id string) bool {
+	e.mu.Lock()
+	c := e.camps[id]
+	e.mu.Unlock()
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	running := c.state.Status == StatusRunning && c.cancel != nil
+	c.mu.Unlock()
+	if running {
+		c.cancel()
+	}
+	return running
+}
+
+// Wait blocks until the campaign reaches a terminal state or ctx is done.
+func (e *Engine) Wait(ctx context.Context, id string) (State, error) {
+	e.mu.Lock()
+	c := e.camps[id]
+	e.mu.Unlock()
+	if c == nil {
+		return State{}, ErrUnknownCampaign
+	}
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		return State{}, ctx.Err()
+	}
+	return c.snapshot(), nil
+}
+
+// Metrics returns a snapshot of the campaign-level counters.
+func (e *Engine) Metrics() EngineMetrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.metrics
+}
+
+func (e *Engine) count(f func(*EngineMetrics)) {
+	e.mu.Lock()
+	f(&e.metrics)
+	e.mu.Unlock()
+}
+
+func (c *Campaign) snapshot() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state.clone()
+}
+
+// checkpoint persists the current state (after stamping UpdatedAt) so a
+// crash at any later instant resumes from here. Persistence failures are
+// logged, not fatal: the campaign still completes in memory.
+func (c *Campaign) checkpoint() {
+	c.mu.Lock()
+	c.state.UpdatedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	snap := c.state.clone()
+	c.mu.Unlock()
+	if c.eng.st == nil {
+		return
+	}
+	if err := c.eng.st.Put(stateKind, snap.ID, &snap); err != nil && c.eng.lg != nil {
+		c.eng.lg.Warn("campaign checkpoint failed", "campaign", snap.ID, "error", err.Error())
+	}
+}
+
+// run executes the campaign's strategy to a terminal state.
+func (c *Campaign) run(ctx context.Context) {
+	defer close(c.done)
+	c.mu.Lock()
+	if c.state.StartedAt == "" {
+		c.state.StartedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	spec := c.state.Spec
+	c.mu.Unlock()
+	c.checkpoint()
+	lg := c.logger()
+	if lg != nil {
+		lg.Info("campaign running", "strategy", spec.Strategy, "points_done", len(c.snapshot().Points))
+	}
+
+	var err error
+	switch spec.Strategy {
+	case StrategyGrid:
+		err = c.runGrid(ctx, spec)
+	case StrategyBisect:
+		err = c.runBisect(ctx, spec)
+	case StrategyFrontier:
+		err = c.runFrontier(ctx, spec)
+	default:
+		err = fmt.Errorf("campaign: unknown strategy %q", spec.Strategy)
+	}
+
+	status := StatusDone
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		status = StatusCanceled
+	default:
+		status = StatusFailed
+	}
+	c.mu.Lock()
+	c.state.Status = status
+	if err != nil && status == StatusFailed {
+		c.state.Error = err.Error()
+	}
+	c.mu.Unlock()
+	c.checkpoint()
+	c.eng.count(func(m *EngineMetrics) {
+		switch status {
+		case StatusDone:
+			m.Done++
+		case StatusFailed:
+			m.Failed++
+		case StatusCanceled:
+			m.Canceled++
+		}
+	})
+	if lg != nil {
+		if err != nil {
+			lg.Warn("campaign finished", "status", status, "error", err.Error())
+		} else {
+			lg.Info("campaign finished", "status", status, "points", len(c.snapshot().Points))
+		}
+	}
+}
+
+func (c *Campaign) logger() *slog.Logger {
+	if c.eng.lg == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.eng.lg.With(slog.String("campaign", c.state.ID), slog.String("name", c.state.Name))
+}
+
+// evaluate answers one point: from the resumed checkpoint when its
+// fingerprint is already recorded, otherwise through the pool (which
+// consults its memory and disk tiers before interpreting). A returned
+// *PointResult with Source == SourceFailed carries a failed run; the
+// error return is reserved for campaign-level aborts (cancellation,
+// materialization bugs, pool shutdown).
+func (c *Campaign) evaluate(ctx context.Context, spec *Spec, pt Point) (*PointResult, error) {
+	sys, err := Materialize(spec, pt)
+	if err != nil {
+		return nil, err
+	}
+	fp := sys.Fingerprint()
+	if pr, ok := c.checkpointHit(pt, fp); ok {
+		return pr, nil
+	}
+	jb, err := c.submit(ctx, sys)
+	if err != nil {
+		return nil, err
+	}
+	done, err := c.eng.pool.Wait(ctx, jb.ID)
+	if err != nil {
+		return nil, err // ctx canceled while waiting
+	}
+	return c.record(pt, fp, done)
+}
+
+// checkpointHit answers a point whose fingerprint is already recorded —
+// from the resumed checkpoint, or from an earlier point of this run that
+// materialized to the same configuration (e.g. WCET percentages that
+// truncate to the same scaled values) — skipping the pool entirely. A hit
+// at coordinates not yet in the state is recorded as a SourceCheckpoint
+// point, so grid summaries cover every grid point even when several alias
+// one configuration.
+func (c *Campaign) checkpointHit(pt Point, fp string) (*PointResult, bool) {
+	c.mu.Lock()
+	pr := c.completed[fp]
+	var fresh bool
+	if pr != nil {
+		c.state.Convergence.CheckpointHits++
+		prCopy := *pr
+		prCopy.Point = pt
+		if key := pt.Key(); !c.recorded[key] {
+			fresh = true
+			prCopy.Source = SourceCheckpoint
+			prCopy.ElapsedNS = 0
+			c.state.Points = append(c.state.Points, prCopy)
+			c.recorded[key] = true
+		}
+		pr = &prCopy
+	}
+	c.mu.Unlock()
+	if pr == nil {
+		return nil, false
+	}
+	c.eng.count(func(m *EngineMetrics) { m.PointsCheckpoint++ })
+	if fresh {
+		c.checkpoint()
+	}
+	return pr, true
+}
+
+// record translates a finished job into the point's result, appends it to
+// the state, checkpoints, and bumps the counters. Cancellation surfaces
+// as context.Canceled so strategies unwind uniformly.
+func (c *Campaign) record(pt Point, fp string, done jobs.Job) (*PointResult, error) {
+	pr := &PointResult{Point: pt, Fingerprint: fp}
+	switch {
+	case done.Status == jobs.StatusDone:
+		pr.Schedulable = done.Outcome.Verdict == jobs.VerdictSchedulable
+		pr.ElapsedNS = int64(done.Outcome.Elapsed)
+		switch {
+		case done.DiskHit:
+			pr.Source = SourceDisk
+		case done.CacheHit:
+			pr.Source = SourceMemory
+		default:
+			pr.Source = SourceComputed
+		}
+	case done.Status == jobs.StatusCanceled:
+		return nil, context.Canceled
+	default:
+		pr.Source = SourceFailed
+		if done.Err != nil {
+			pr.Error = done.Err.Error()
+		} else {
+			pr.Error = "run failed"
+		}
+	}
+
+	c.mu.Lock()
+	c.state.Convergence.Evaluations++
+	if pr.Source == SourceFailed {
+		c.state.Convergence.Failed++
+	}
+	c.state.Points = append(c.state.Points, *pr)
+	c.recorded[pt.Key()] = true
+	if pr.Source != SourceFailed {
+		c.completed[fp] = &c.state.Points[len(c.state.Points)-1]
+	}
+	c.mu.Unlock()
+	c.eng.count(func(m *EngineMetrics) {
+		switch pr.Source {
+		case SourceComputed:
+			m.PointsComputed++
+		case SourceMemory:
+			m.PointsCacheMemory++
+		case SourceDisk:
+			m.PointsCacheDisk++
+		case SourceFailed:
+			m.PointsFailed++
+		}
+	})
+	c.checkpoint()
+	return pr, nil
+}
+
+// submit enqueues the run, backing off briefly when the pool signals
+// backpressure (campaigns yield to interactive submissions rather than
+// failing).
+func (c *Campaign) submit(ctx context.Context, sys *config.System) (jobs.Job, error) {
+	for {
+		jb, err := c.eng.pool.Submit(jobs.ConfigRun{Sys: sys})
+		switch {
+		case err == nil:
+			return jb, nil
+		case errors.Is(err, jobs.ErrQueueFull):
+			select {
+			case <-ctx.Done():
+				return jobs.Job{}, ctx.Err()
+			case <-time.After(10 * time.Millisecond):
+			}
+		default:
+			return jobs.Job{}, err
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"stopwatchsim/internal/analysis"
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/gen"
+)
+
+// Point is one location in the design space: a value per axis parameter.
+type Point map[string]float64
+
+// Key renders the point canonically (params sorted) for logs and
+// checkpoint labels.
+func (p Point) Key() string {
+	params := make([]string, 0, len(p))
+	for k := range p {
+		params = append(params, k)
+	}
+	sort.Strings(params)
+	parts := make([]string, len(params))
+	for i, k := range params {
+		parts[i] = fmt.Sprintf("%s=%g", k, p[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// Materialize builds the concrete system configuration at a point. Points
+// over synthetic axes (util, tasks) generate a UUniFast task set from the
+// spec's Generator; points over base axes (wcet_pct, quantum) mutate a
+// copy of the spec's base system. A synthetic point can additionally be
+// scaled/mutated when both kinds of axes appear. Materialization is
+// deterministic: the same spec and point always yield the same system,
+// hence the same config.Fingerprint — the invariant resume and the
+// persistent cache tier rest on.
+func Materialize(s *Spec, pt Point) (*config.System, error) {
+	util, haveUtil := pt[ParamUtil]
+	tasks, haveTasks := pt[ParamTasks]
+
+	var sys *config.System
+	switch {
+	case haveUtil || haveTasks:
+		g := s.Generator
+		if g == nil {
+			return nil, fmt.Errorf("campaign: point %s needs a generator", pt.Key())
+		}
+		n := g.Tasks
+		if haveTasks {
+			n = int(math.Round(tasks))
+		}
+		u := g.Util
+		if haveUtil {
+			u = util
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("campaign: point %s has no tasks", pt.Key())
+		}
+		if u <= 0 {
+			return nil, fmt.Errorf("campaign: point %s has non-positive utilization", pt.Key())
+		}
+		sys = gen.UtilizationConfig(g.Seed, n, u, g.Periods)
+	case s.Base != nil:
+		sys = s.Base
+	default:
+		return nil, fmt.Errorf("campaign: point %s matches neither base nor generator", pt.Key())
+	}
+
+	// ScaleWCET deep-copies the partition and task slices, so the returned
+	// system is safe to mutate further and the spec's base stays pristine.
+	pct := int64(100)
+	if v, ok := pt[ParamWCETPct]; ok {
+		pct = int64(math.Round(v))
+		if pct < 1 {
+			return nil, fmt.Errorf("campaign: point %s scales WCET to %d%%", pt.Key(), pct)
+		}
+	}
+	sys = analysis.ScaleWCET(sys, pct)
+
+	if v, ok := pt[ParamQuantum]; ok {
+		q := int64(math.Round(v))
+		if q < 1 {
+			return nil, fmt.Errorf("campaign: point %s has non-positive quantum", pt.Key())
+		}
+		for i := range sys.Partitions {
+			if sys.Partitions[i].Policy == config.RR {
+				sys.Partitions[i].Quantum = q
+			}
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: point %s: %w", pt.Key(), err)
+	}
+	return sys, nil
+}

@@ -1,0 +1,245 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// The strategies. Each maps the design space with a different budget of
+// oracle runs:
+//
+//   - grid evaluates every cross-product point — the ground truth, at
+//     exponential cost in axis count;
+//   - bisect finds the breakdown value of one parameter in O(log range)
+//     runs, generalizing analysis.CriticalScaling to any scalar axis;
+//   - frontier traces the schedulable/unschedulable boundary over two
+//     parameters by bisecting one axis per grid row of the other, seeding
+//     each row's bracket from the neighbor row's critical point (the
+//     boundary is continuous in practice, so the seeded probe usually
+//     halves the bracket immediately).
+//
+// All three assume what the paper's model guarantees for WCET-like
+// parameters: the verdict is deterministic per point; bisect and frontier
+// additionally assume schedulability is monotone non-increasing along the
+// bisected axis (true for WCET scale and utilization under
+// work-conserving schedulers on a fixed window schedule).
+
+// runGrid evaluates the full cross product, fanning spec.Parallel points
+// at a time through the pool and checkpointing as each completes. Failed
+// points are recorded and skipped — one pathological corner of a sweep
+// must not void the rest of the map.
+func (c *Campaign) runGrid(ctx context.Context, spec *Spec) error {
+	pts := gridPoints(spec.Axes)
+	par := spec.parallel()
+	for lo := 0; lo < len(pts); lo += par {
+		hi := min(lo+par, len(pts))
+		type pending struct {
+			pt     Point
+			fp, id string
+		}
+		var batch []pending
+		for _, pt := range pts[lo:hi] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			// Checkpoint hits are answered synchronously; everything else
+			// is submitted up front and awaited below so the batch's
+			// evaluations overlap in the pool.
+			sys, err := Materialize(spec, pt)
+			if err != nil {
+				return err
+			}
+			fp := sys.Fingerprint()
+			if _, ok := c.checkpointHit(pt, fp); ok {
+				continue
+			}
+			jb, err := c.submit(ctx, sys)
+			if err != nil {
+				return err
+			}
+			batch = append(batch, pending{pt: pt, fp: fp, id: jb.ID})
+		}
+		for _, pn := range batch {
+			done, err := c.eng.pool.Wait(ctx, pn.id)
+			if err != nil {
+				return err
+			}
+			if _, err := c.record(pn.pt, pn.fp, done); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// gridPoints expands the axes' cross product in row-major order (last
+// axis fastest), matching the order a nested sweep loop would visit.
+func gridPoints(axes []Axis) []Point {
+	pts := []Point{{}}
+	for i := range axes {
+		a := &axes[i]
+		var next []Point
+		for _, base := range pts {
+			for _, v := range a.gridValues() {
+				pt := make(Point, len(base)+1)
+				for k, bv := range base {
+					pt[k] = bv
+				}
+				pt[a.Param] = v
+				next = append(next, pt)
+			}
+		}
+		pts = next
+	}
+	return pts
+}
+
+// runBisect finds the critical value of the single axis and records it in
+// state.Critical.
+func (c *Campaign) runBisect(ctx context.Context, spec *Spec) error {
+	crit, _, err := c.bisectAxis(ctx, spec, Point{}, &spec.Axes[0], bracket{})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.state.Critical = crit
+	c.mu.Unlock()
+	return nil
+}
+
+// runFrontier grids the row axis and bisects the column axis per row,
+// seeding brackets adaptively, building state.Frontier.
+func (c *Campaign) runFrontier(ctx context.Context, spec *Spec) error {
+	rowAxis, colAxis := &spec.Axes[0], &spec.Axes[1]
+	var prev *float64
+	for _, row := range rowAxis.gridValues() {
+		base := Point{rowAxis.Param: row}
+		before := c.snapshot().Convergence.Evaluations
+
+		var br bracket
+		if prev != nil && *prev > colAxis.Min && *prev < colAxis.Max {
+			// Adaptive seeding: probe the neighbor row's critical point
+			// first; whichever way it lands, it halves the bracket.
+			pr, err := c.evalAt(ctx, spec, base, colAxis.Param, *prev)
+			if err != nil {
+				return err
+			}
+			if pr.Schedulable {
+				br.lo, br.loKnown = *prev, true
+			} else {
+				br.hi, br.hiKnown = *prev, true
+			}
+			c.mu.Lock()
+			c.state.Convergence.BracketReuses++
+			c.mu.Unlock()
+			c.eng.count(func(m *EngineMetrics) { m.BracketReuses++ })
+		}
+
+		crit, _, err := c.bisectAxis(ctx, spec, base, colAxis, br)
+		if err != nil {
+			return err
+		}
+		evals := c.snapshot().Convergence.Evaluations - before
+		c.mu.Lock()
+		c.state.Frontier = append(c.state.Frontier, FrontierRow{Row: row, Critical: crit, Evaluations: evals})
+		c.state.Convergence.FrontierRows++
+		c.mu.Unlock()
+		c.eng.count(func(m *EngineMetrics) { m.FrontierRows++ })
+		c.checkpoint()
+		prev = crit
+	}
+	return nil
+}
+
+// bracket carries pre-verified bisection bounds: loKnown asserts lo is
+// schedulable, hiKnown that hi is unschedulable.
+type bracket struct {
+	lo, hi           float64
+	loKnown, hiKnown bool
+}
+
+// bisectAxis finds the largest schedulable value of axis a (at resolution
+// a.tol()) over the base point, returning nil when even the minimum is
+// unschedulable. The returned int counts interior iterations. A failed
+// oracle run aborts the search: a breakdown result computed around a hole
+// would be silently wrong.
+func (c *Campaign) bisectAxis(ctx context.Context, spec *Spec, base Point, a *Axis, br bracket) (*float64, int, error) {
+	lo, hi := a.Min, a.Max
+	loKnown, hiKnown := false, false
+	if br.loKnown {
+		lo, loKnown = br.lo, true
+	}
+	if br.hiKnown {
+		hi, hiKnown = br.hi, true
+	}
+
+	if !loKnown {
+		pr, err := c.evalAt(ctx, spec, base, a.Param, lo)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !pr.Schedulable {
+			return nil, 0, nil // nothing schedulable at or above the minimum
+		}
+	}
+	if !hiKnown {
+		pr, err := c.evalAt(ctx, spec, base, a.Param, hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		if pr.Schedulable {
+			v := hi
+			return &v, 0, nil // the whole interval is schedulable
+		}
+	}
+
+	tol := a.tol()
+	iters := 0
+	for hi-lo > tol {
+		// Snap the midpoint onto the tol grid anchored at the axis
+		// minimum so bisect probes the same lattice a step-tol grid
+		// would, then nudge it inside the open interval.
+		mid := a.Min + math.Floor((lo+hi-2*a.Min)/2/tol)*tol
+		if mid <= lo {
+			mid = lo + tol
+		}
+		if mid >= hi {
+			break
+		}
+		pr, err := c.evalAt(ctx, spec, base, a.Param, mid)
+		if err != nil {
+			return nil, iters, err
+		}
+		iters++
+		c.mu.Lock()
+		c.state.Convergence.BisectIterations++
+		c.mu.Unlock()
+		c.eng.count(func(m *EngineMetrics) { m.BisectIterations++ })
+		if pr.Schedulable {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	v := lo
+	return &v, iters, nil
+}
+
+// evalAt evaluates base extended with param=v, treating a failed run as a
+// strategy-aborting error.
+func (c *Campaign) evalAt(ctx context.Context, spec *Spec, base Point, param string, v float64) (*PointResult, error) {
+	pt := make(Point, len(base)+1)
+	for k, bv := range base {
+		pt[k] = bv
+	}
+	pt[param] = v
+	pr, err := c.evaluate(ctx, spec, pt)
+	if err != nil {
+		return nil, err
+	}
+	if pr.Source == SourceFailed {
+		return nil, fmt.Errorf("campaign: point %s failed: %s", pt.Key(), pr.Error)
+	}
+	return pr, nil
+}

@@ -1,0 +1,104 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestSummaryGolden pins the campaign summary export schema — the body of
+// GET /v1/campaigns/{id}/result and of `campaign export`. A diff here
+// means the export contract changed: bump summarySchemaVersion and
+// regenerate with -update.
+func TestSummaryGolden(t *testing.T) {
+	crit := 409.0
+	rowCrit := 380.0
+	st := &State{
+		Version:  stateVersion,
+		ID:       "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+		Name:     "golden",
+		Strategy: StrategyFrontier,
+		Status:   StatusDone,
+		Spec: &Spec{
+			Name:     "golden",
+			Strategy: StrategyFrontier,
+			Generator: &Generator{
+				Seed: 1, Tasks: 4, Util: 0.5, Periods: []int64{10, 20, 40},
+			},
+			Axes: []Axis{
+				{Param: ParamTasks, Min: 2, Max: 3, Step: 1},
+				{Param: ParamWCETPct, Min: 100, Max: 500, Tol: 1},
+			},
+		},
+		Points: []PointResult{
+			{
+				Point:       Point{ParamTasks: 2, ParamWCETPct: 100},
+				Fingerprint: "1111111111111111111111111111111111111111111111111111111111111111",
+				Schedulable: true,
+				Source:      SourceComputed,
+				ElapsedNS:   1500000,
+			},
+			{
+				Point:       Point{ParamTasks: 2, ParamWCETPct: 500},
+				Fingerprint: "2222222222222222222222222222222222222222222222222222222222222222",
+				Schedulable: false,
+				Source:      SourceDisk,
+				ElapsedNS:   2000,
+			},
+			{
+				Point:       Point{ParamTasks: 3, ParamWCETPct: 300},
+				Fingerprint: "3333333333333333333333333333333333333333333333333333333333333333",
+				Schedulable: true,
+				Source:      SourceCheckpoint,
+			},
+			{
+				Point:       Point{ParamTasks: 3, ParamWCETPct: 500},
+				Fingerprint: "4444444444444444444444444444444444444444444444444444444444444444",
+				Source:      SourceFailed,
+				Error:       "run failed",
+			},
+		},
+		Frontier: []FrontierRow{
+			{Row: 2, Critical: &crit, Evaluations: 9},
+			{Row: 3, Critical: &rowCrit, Evaluations: 5},
+		},
+		Convergence: Converge{
+			Evaluations:      14,
+			CheckpointHits:   1,
+			BisectIterations: 10,
+			FrontierRows:     2,
+			BracketReuses:    1,
+			Failed:           1,
+		},
+		StartedAt: "2026-01-02T03:04:05Z",
+		UpdatedAt: "2026-01-02T03:05:06Z",
+	}
+
+	got, err := json.MarshalIndent(st.Summarize(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "summary.json.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("summary export drifted from golden file (run with -update after a deliberate schema change):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -77,6 +77,11 @@ type Outcome struct {
 	// engine hot-path counters collected by the run's probe.
 	Telemetry *obs.RunReport
 
+	// Persisted is set on outcomes restored from the persistent store,
+	// carrying the analysis counts of the original run; the full trace is
+	// not retained on disk, so Sys, Trace and Analysis are nil.
+	Persisted *OutcomeSummary
+
 	// Elapsed is the wall time the run itself took (excluding queueing).
 	Elapsed time.Duration
 }
@@ -204,6 +209,9 @@ type Job struct {
 	Key      string
 	Status   Status
 	CacheHit bool
+	// DiskHit marks a cache hit served from the persistent tier rather
+	// than the in-memory cache (CacheHit is set in both cases).
+	DiskHit bool
 
 	Submitted time.Time
 	Started   time.Time

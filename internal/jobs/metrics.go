@@ -34,6 +34,7 @@ type Metrics struct {
 
 	cacheHits   int64
 	cacheMisses int64
+	storeHits   int64 // cache hits served by the persistent tier
 
 	// Engine throughput: total synchronization transitions fired over the
 	// total wall time spent interpreting.
@@ -68,6 +69,9 @@ type Snapshot struct {
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// StoreHits counts the subset of CacheHits served by the persistent
+	// tier (an in-memory miss that a store lookup satisfied).
+	StoreHits int64 `json:"store_hits"`
 
 	// LatencyP50/P90/P99 are run-latency quantiles over the recent
 	// window, zero until a run completes (or after the window drains).
@@ -166,12 +170,16 @@ func (m *Metrics) PhaseLatencies() map[string]obs.HistSnapshot {
 	return out
 }
 
-// cacheHit accounts for a submission served entirely from the cache.
-func (m *Metrics) cacheHit() {
+// cacheHit accounts for a submission served entirely from the cache;
+// disk marks a hit satisfied by the persistent tier.
+func (m *Metrics) cacheHit(disk bool) {
 	m.mu.Lock()
 	m.submitted++
 	m.done++
 	m.cacheHits++
+	if disk {
+		m.storeHits++
+	}
 	m.mu.Unlock()
 }
 
@@ -203,6 +211,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Canceled:    m.canceled,
 		CacheHits:   m.cacheHits,
 		CacheMisses: m.cacheMisses,
+		StoreHits:   m.storeHits,
 	}
 	if total := m.cacheHits + m.cacheMisses; total > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(total)

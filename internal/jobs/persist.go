@@ -1,0 +1,113 @@
+package jobs
+
+import (
+	"time"
+
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
+	"stopwatchsim/internal/store"
+)
+
+// The persistent tier. When a Pool is given a store.Store, completed
+// outcomes are written to disk under their content address and looked up
+// on every cache miss, so the lookup order becomes memory → disk →
+// compute. What persists is a compact outcome document — verdict, analysis
+// counts, engine result and telemetry — not the full operation trace:
+// verdicts and telemetry are what sweeps, campaigns and restarted services
+// need, while traces remain a product of fresh runs (the service's trace
+// endpoints say so explicitly for disk-served outcomes).
+
+// outcomeKind is the store kind of persisted outcome documents.
+const outcomeKind = "outcome"
+
+// outcomeDocVersion tags the document schema; bump it when the layout
+// changes so stale documents read as misses instead of mis-decoding.
+const outcomeDocVersion = "jobs/outcome/v1"
+
+// outcomeDoc is the JSON document persisted per completed run.
+type outcomeDoc struct {
+	Version   string         `json:"version"`
+	Verdict   Verdict        `json:"verdict"`
+	System    string         `json:"system,omitempty"`
+	JobsTotal int            `json:"jobs_total,omitempty"`
+	JobsLate  int            `json:"jobs_unschedulable,omitempty"`
+	Engine    nsa.Result     `json:"engine"`
+	Telemetry *obs.RunReport `json:"telemetry,omitempty"`
+	ElapsedNS int64          `json:"elapsed_ns"`
+}
+
+// OutcomeSummary carries the analysis counts of an outcome restored from
+// the persistent store, where the full trace and Analysis are not
+// retained. A non-nil Persisted on an Outcome marks it disk-restored.
+type OutcomeSummary struct {
+	System    string
+	JobsTotal int
+	JobsLate  int
+}
+
+// docFromOutcome compacts a freshly computed outcome for persistence.
+func docFromOutcome(out *Outcome) *outcomeDoc {
+	d := &outcomeDoc{
+		Version:   outcomeDocVersion,
+		Verdict:   out.Verdict,
+		Engine:    out.Engine,
+		Telemetry: out.Telemetry,
+		ElapsedNS: int64(out.Elapsed),
+	}
+	switch {
+	case out.Persisted != nil: // disk hit re-persisted (shouldn't happen, but lossless)
+		d.System = out.Persisted.System
+		d.JobsTotal = out.Persisted.JobsTotal
+		d.JobsLate = out.Persisted.JobsLate
+	default:
+		if out.Sys != nil {
+			d.System = out.Sys.Name
+		}
+		if out.Analysis != nil {
+			d.JobsTotal = len(out.Analysis.Jobs)
+			d.JobsLate = len(out.Analysis.Unschedulable)
+		}
+	}
+	return d
+}
+
+// outcomeFromDoc inflates a persisted document into a servable Outcome.
+func outcomeFromDoc(d *outcomeDoc) *Outcome {
+	return &Outcome{
+		Verdict:   d.Verdict,
+		Engine:    d.Engine,
+		Telemetry: d.Telemetry,
+		Elapsed:   time.Duration(d.ElapsedNS),
+		Persisted: &OutcomeSummary{System: d.System, JobsTotal: d.JobsTotal, JobsLate: d.JobsLate},
+	}
+}
+
+// storeGet looks key up in the persistent tier. Version-mismatched or
+// unreadable documents read as misses — the store's hit was optimistic,
+// the outcome will simply be recomputed and re-persisted.
+func (p *Pool) storeGet(key string) *Outcome {
+	if p.store == nil || key == "" {
+		return nil
+	}
+	var d outcomeDoc
+	ok, err := p.store.Get(outcomeKind, key, &d)
+	if err != nil || !ok || d.Version != outcomeDocVersion {
+		return nil
+	}
+	return outcomeFromDoc(&d)
+}
+
+// storePut persists a freshly computed outcome. Persistence is
+// best-effort: a full disk degrades the service to memory-only caching,
+// it does not fail runs.
+func (p *Pool) storePut(key string, out *Outcome) {
+	if p.store == nil || key == "" || out == nil {
+		return
+	}
+	if err := p.store.Put(outcomeKind, key, docFromOutcome(out)); err != nil && p.opts.Logger != nil {
+		p.opts.Logger.Warn("persisting outcome failed", "fingerprint", key, "error", err.Error())
+	}
+}
+
+// Store returns the pool's persistent tier, nil when running memory-only.
+func (p *Pool) Store() *store.Store { return p.store }

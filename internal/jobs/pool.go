@@ -13,6 +13,7 @@ import (
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/obs"
+	"stopwatchsim/internal/store"
 )
 
 // Pool errors.
@@ -48,6 +49,11 @@ type Options struct {
 	// finished, cache hits); each record carries the job ID and the
 	// configuration fingerprint. Nil disables logging.
 	Logger *slog.Logger
+	// Store, when non-nil, is the persistent second cache tier: completed
+	// outcomes are written to it under their content address and looked up
+	// on every in-memory miss (memory → disk → compute), so results
+	// survive process restarts.
+	Store *store.Store
 }
 
 // Pool is a bounded worker pool with a job registry and a shared result
@@ -55,6 +61,7 @@ type Options struct {
 type Pool struct {
 	opts    Options
 	cache   *Cache
+	store   *store.Store
 	metrics *Metrics
 	queue   chan *Job
 
@@ -86,6 +93,7 @@ func New(opts Options) *Pool {
 	p := &Pool{
 		opts:    opts,
 		cache:   NewCache(opts.CacheSize), // nil when CacheSize < 0
+		store:   opts.Store,
 		metrics: newMetrics(),
 		queue:   make(chan *Job, opts.QueueDepth),
 		ctx:     ctx,
@@ -105,13 +113,25 @@ func (p *Pool) Submit(r Runner) (Job, error) {
 }
 
 // SubmitBudget enqueues r with a per-job resource budget. When the
-// runner's key is cached the job completes immediately with the shared
-// outcome and CacheHit set; otherwise it is queued, or rejected with
-// ErrQueueFull when the queue is at capacity. The returned Job is a
-// snapshot; poll with Get or block with Wait.
+// runner's key is cached — in memory, or on disk when the pool has a
+// persistent store — the job completes immediately with the shared
+// outcome and CacheHit set (DiskHit additionally for the persistent
+// tier); otherwise it is queued, or rejected with ErrQueueFull when the
+// queue is at capacity. The returned Job is a snapshot; poll with Get or
+// block with Wait.
 func (p *Pool) SubmitBudget(r Runner, b nsa.Budget) (Job, error) {
 	key := r.Key()
 	now := time.Now()
+	// Tiered lookup before the registry lock: the memory cache is its own
+	// lock, and the disk read must not stall every other submission.
+	out, memHit := p.cache.Get(key)
+	var diskHit bool
+	if !memHit {
+		if out = p.storeGet(key); out != nil {
+			diskHit = true
+			p.cache.Put(key, out) // promote to the memory tier
+		}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -127,16 +147,21 @@ func (p *Pool) SubmitBudget(r Runner, b nsa.Budget) (Job, error) {
 		budget:    b,
 		done:      make(chan struct{}),
 	}
-	if out, ok := p.cache.Get(key); ok {
+	if out != nil {
 		jb.Status = StatusDone
 		jb.CacheHit = true
+		jb.DiskHit = diskHit
 		jb.Outcome = out
 		jb.Started, jb.Finished = now, now
 		close(jb.done)
 		p.jobs[jb.ID] = jb
-		p.metrics.cacheHit()
+		p.metrics.cacheHit(diskHit)
 		if lg := p.jobLogger(jb); lg != nil {
-			lg.Info("job served from cache")
+			if diskHit {
+				lg.Info("job served from persistent store")
+			} else {
+				lg.Info("job served from cache")
+			}
 		}
 		return *jb, nil
 	}
@@ -315,6 +340,11 @@ func (p *Pool) run(jb *Job) {
 	p.finishLocked(jb, out, err)
 	st, elapsed := jb.Status, jb.Finished.Sub(jb.Started)
 	p.mu.Unlock()
+	if err == nil {
+		// Persist the fresh outcome outside the registry lock: the write
+		// fsyncs, and nothing in the registry depends on it landing.
+		p.storePut(jb.Key, out)
+	}
 	var events int64
 	if out != nil {
 		events = int64(out.Engine.Actions + out.Engine.Delays)

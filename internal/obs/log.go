@@ -43,8 +43,14 @@ func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
 // info-level text logger, so misconfigured logging never aborts an
 // analysis.
 func LogFlags() func() *slog.Logger {
-	level := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
-	format := flag.String("log-format", "text", "log output format: text, json")
+	return LogFlagsFor(flag.CommandLine)
+}
+
+// LogFlagsFor is LogFlags on an explicit flag set, for subcommand-style
+// tools that parse their own sets.
+func LogFlagsFor(fs *flag.FlagSet) func() *slog.Logger {
+	level := fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	format := fs.String("log-format", "text", "log output format: text, json")
 	return func() *slog.Logger {
 		log, err := NewLogger(os.Stderr, *level, *format)
 		if err != nil {

@@ -1,0 +1,268 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// The journal is the store's append-only index: one checksummed record per
+// mutation. Each record is framed as
+//
+//	[4 bytes big-endian payload length][4 bytes CRC-32 (IEEE) of payload][payload JSON]
+//
+// and fsynced after every append. Because appends are the only writes, a
+// crash can corrupt at most the final record; recovery reads records until
+// the first short read, oversized length, or checksum mismatch and
+// truncates the file there, so the journal is always a prefix of fully
+// acknowledged mutations.
+
+// Journal operations.
+const (
+	opPut = "put"
+	opDel = "del"
+)
+
+// maxRecordLen bounds a record payload; a larger length field is treated
+// as a torn tail rather than an allocation request.
+const maxRecordLen = 1 << 20
+
+// journalRec is the JSON payload of one journal record.
+type journalRec struct {
+	Op   string `json:"op"`
+	Kind string `json:"kind"`
+	Key  string `json:"key"`
+	File string `json:"file,omitempty"`
+	Size int64  `json:"size,omitempty"`
+}
+
+// appendRecord frames, appends and fsyncs one record. Callers hold s.mu.
+func (s *Store) appendRecord(rec journalRec) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding journal record: %w", err)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := s.journal.Write(append(hdr[:], payload...)); err != nil {
+		return fmt.Errorf("store: appending journal record: %w", err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("store: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// recover replays the journal into the in-memory index, truncating any
+// torn tail, dropping entries whose object file is missing, sweeping
+// orphaned object files, and compacting the journal when dead records
+// outnumber live ones.
+func (s *Store) recover() error {
+	path := filepath.Join(s.dir, journalName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening journal: %w", err)
+	}
+	s.journal = f
+
+	good, err := s.replay(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: stat journal: %w", err)
+	}
+	if fi.Size() > good {
+		// Torn tail: drop the partial record so the next append starts at
+		// a clean frame boundary.
+		s.stats.TruncatedBytes = fi.Size() - good
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncating torn journal tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: syncing truncated journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seeking journal end: %w", err)
+	}
+
+	s.reconcile()
+	s.sweepOrphans()
+
+	if s.dead > s.live && s.dead > 64 {
+		if err := s.compact(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replay reads records from the journal into the index and returns the
+// offset of the last fully valid record. Truncation decisions are the
+// caller's; replay never fails on a torn tail.
+func (s *Store) replay(f *os.File) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("store: seeking journal: %w", err)
+	}
+	r := newByteCounter(f)
+	var good int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return good, nil // clean EOF or torn header: stop at last good record
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if n > maxRecordLen {
+			return good, nil // absurd length: torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return good, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return good, nil // checksum mismatch: corrupt tail
+		}
+		var rec journalRec
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return good, nil // framing valid but payload not ours: treat as corrupt tail
+		}
+		good = r.n
+		s.stats.RecoveredRecords++
+		s.applyRecord(rec)
+	}
+}
+
+// applyRecord folds one replayed record into the index.
+func (s *Store) applyRecord(rec journalRec) {
+	ik := indexKey(rec.Kind, rec.Key)
+	switch rec.Op {
+	case opPut:
+		if old := s.index[ik]; old != nil {
+			s.accountRemove(old)
+			s.order.Remove(old.elem)
+			s.dead++
+			s.live--
+		}
+		e := &entry{kind: rec.Kind, key: rec.Key, file: rec.File, size: rec.Size, pinned: s.pinned(rec.Kind)}
+		e.elem = s.order.PushBack(e)
+		s.index[ik] = e
+		s.accountAdd(e)
+		s.live++
+	case opDel:
+		if e := s.index[ik]; e != nil {
+			delete(s.index, ik)
+			s.order.Remove(e.elem)
+			s.accountRemove(e)
+			s.dead += 2
+			s.live--
+		} else {
+			s.dead++
+		}
+	default:
+		s.dead++ // unknown op from a future version: ignore but count as garbage
+	}
+}
+
+// reconcile drops index entries whose object file is missing — the journal
+// record survived a crash that the (earlier) object write did not reach
+// disk for, which cannot happen in the normal order but can after manual
+// tampering or partial restores.
+func (s *Store) reconcile() {
+	for ik, e := range s.index {
+		if _, err := os.Stat(filepath.Join(s.dir, e.file)); err != nil {
+			delete(s.index, ik)
+			s.order.Remove(e.elem)
+			s.accountRemove(e)
+			s.dead++
+			s.live--
+			s.stats.DroppedEntries++
+		}
+	}
+}
+
+// sweepOrphans removes object files (and stray temp files) not referenced
+// by the index: the residue of a crash between the object write and its
+// journal append.
+func (s *Store) sweepOrphans() {
+	referenced := make(map[string]bool, len(s.index))
+	for _, e := range s.index {
+		referenced[filepath.Join(s.dir, e.file)] = true
+	}
+	root := filepath.Join(s.dir, objectsDir)
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if !referenced[path] {
+			if os.Remove(path) == nil {
+				s.stats.OrphansSwept++
+			}
+		}
+		return nil
+	})
+}
+
+// compact rewrites the journal to contain exactly the live index, using
+// the same atomic write-then-rename pattern as objects. Callers run it
+// from Open only, before the store is visible to other goroutines.
+func (s *Store) compact() error {
+	tmpPath := filepath.Join(s.dir, journalName+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating compacted journal: %w", err)
+	}
+	old := s.journal
+	s.journal = tmp
+	// Re-append every live record in age order; appendRecord syncs each,
+	// which is acceptable at compaction frequency (once per open, at most).
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if err := s.appendRecord(journalRec{Op: opPut, Kind: e.kind, Key: e.key, File: e.file, Size: e.size}); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			s.journal = old
+			return err
+		}
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, journalName)); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		s.journal = old
+		return fmt.Errorf("store: publishing compacted journal: %w", err)
+	}
+	old.Close()
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.dead = 0
+	return nil
+}
+
+// byteCounter counts bytes consumed from the underlying reader so replay
+// knows the offset of the last fully valid record.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func newByteCounter(r io.Reader) *byteCounter { return &byteCounter{r: r} }
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}

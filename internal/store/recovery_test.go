@@ -1,0 +1,200 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The recovery tests simulate the crash modes the journal design promises
+// to survive: a torn tail (partial final record), a corrupted final
+// record, and garbage appended past the last valid frame. In every case
+// reopening must recover exactly the fully acknowledged prefix and leave
+// the journal ready for further appends.
+
+// writeStore creates a store with n outcomes and returns the journal path.
+func writeStore(t *testing.T, dir string, n int) string {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put("outcome", fmt.Sprintf("key%02d", i), doc{Verdict: "schedulable", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, journalName)
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	journal := writeStore(t, dir, 4)
+	fi, err := os.Stat(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop 3 bytes off the final record, as if the machine died mid-append.
+	if err := os.Truncate(journal, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir, Options{})
+	st := s.Stats()
+	if st.RecoveredRecords != 3 {
+		t.Fatalf("recovered %d records, want 3", st.RecoveredRecords)
+	}
+	if st.TruncatedBytes == 0 {
+		t.Fatal("no bytes reported truncated")
+	}
+	if s.Has("outcome", "key03") {
+		t.Fatal("torn record's key present after recovery")
+	}
+	if !s.Has("outcome", "key02") {
+		t.Fatal("intact record lost in recovery")
+	}
+	// The torn object file is now an orphan and must have been swept.
+	if st.OrphansSwept != 1 {
+		t.Fatalf("swept %d orphans, want 1 (the torn record's object)", st.OrphansSwept)
+	}
+
+	// The journal must be clean for further appends: write, reopen, read.
+	if err := s.Put("outcome", "after-crash", doc{N: 99}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, Options{})
+	var got doc
+	if ok, err := s2.Get("outcome", "after-crash", &got); !ok || err != nil || got.N != 99 {
+		t.Fatalf("post-recovery append lost: ok=%v err=%v got=%+v", ok, err, got)
+	}
+	if n := s2.Stats().Objects; n != 4 {
+		t.Fatalf("store holds %d objects, want 4", n)
+	}
+}
+
+func TestRecoveryDropsCorruptedTailRecord(t *testing.T) {
+	dir := t.TempDir()
+	journal := writeStore(t, dir, 4)
+	fi, err := os.Stat(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the final record's payload: the frame is intact
+	// but the CRC no longer matches.
+	f, err := os.OpenFile(journal, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s := mustOpen(t, dir, Options{})
+	st := s.Stats()
+	if st.RecoveredRecords != 3 {
+		t.Fatalf("recovered %d records, want 3", st.RecoveredRecords)
+	}
+	if s.Has("outcome", "key03") {
+		t.Fatal("corrupt record's key present after recovery")
+	}
+	if !s.Has("outcome", "key00") || !s.Has("outcome", "key01") || !s.Has("outcome", "key02") {
+		t.Fatal("intact prefix lost in recovery")
+	}
+}
+
+func TestRecoveryIgnoresGarbageTail(t *testing.T) {
+	dir := t.TempDir()
+	journal := writeStore(t, dir, 2)
+	// Append garbage that decodes to an absurd record length.
+	f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xde, 0xad, 0xbe, 0xef, 0x01})
+	f.Close()
+
+	s := mustOpen(t, dir, Options{})
+	if st := s.Stats(); st.RecoveredRecords != 2 || st.TruncatedBytes != 9 {
+		t.Fatalf("recovery stats %+v, want 2 records and 9 truncated bytes", st)
+	}
+	if !s.Has("outcome", "key00") || !s.Has("outcome", "key01") {
+		t.Fatal("valid prefix lost")
+	}
+}
+
+func TestRecoveryEmptyAndHeaderOnlyJournal(t *testing.T) {
+	// Truncating to an empty journal (crash before the first append).
+	dir := t.TempDir()
+	writeStore(t, dir, 1)
+	if err := os.Truncate(filepath.Join(dir, journalName), 0); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	if st := s.Stats(); st.Objects != 0 || st.OrphansSwept != 1 {
+		t.Fatalf("empty-journal recovery stats %+v, want 0 objects and 1 orphan swept", st)
+	}
+	s.Close()
+
+	// A journal holding only a partial header.
+	dir2 := t.TempDir()
+	writeStore(t, dir2, 1)
+	if err := os.Truncate(filepath.Join(dir2, journalName), 5); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir2, Options{})
+	if st := s2.Stats(); st.Objects != 0 || st.TruncatedBytes != 5 {
+		t.Fatalf("header-only recovery stats %+v", st)
+	}
+}
+
+// TestCompaction checks that a journal bloated by overwrites is rewritten
+// on open to hold only the live records.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 keys overwritten 20 times each: 200 records, 190 dead.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 10; i++ {
+			if err := s.Put("outcome", fmt.Sprintf("key%02d", i), doc{N: round}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.Close()
+	before, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	after, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("journal not compacted: %d -> %d bytes", before.Size(), after.Size())
+	}
+	for i := 0; i < 10; i++ {
+		var got doc
+		key := fmt.Sprintf("key%02d", i)
+		if ok, err := s2.Get("outcome", key, &got); !ok || err != nil || got.N != 19 {
+			t.Fatalf("%s after compaction: ok=%v err=%v got=%+v", key, ok, err, got)
+		}
+	}
+	s2.Close()
+
+	// The compacted journal replays cleanly.
+	s3 := mustOpen(t, dir, Options{})
+	if st := s3.Stats(); st.Objects != 10 || st.RecoveredRecords != 10 {
+		t.Fatalf("replay of compacted journal: %+v", st)
+	}
+}

@@ -1,0 +1,463 @@
+// Package store is a crash-safe, content-addressed artifact store on the
+// local filesystem: the persistent second tier under the analysis
+// service's in-memory result cache, and the checkpoint substrate of the
+// campaign engine. The paper's determinism is what makes it sound — an
+// outcome is a pure function of the configuration fingerprint — so the
+// store only has to guarantee that what it says it holds, it actually
+// holds, across crashes:
+//
+//   - Objects are JSON documents written with the classic atomic pattern:
+//     temp file in the destination directory, write, fsync, rename, fsync
+//     the directory. A crash leaves either the old object, the new object,
+//     or an orphan temp file — never a torn visible object.
+//   - The index is an append-only journal of checksummed, length-prefixed
+//     records, fsynced per append. A crash can only tear the tail;
+//     recovery-on-open truncates the torn tail and drops index entries
+//     whose object file is missing, so the surviving index is exactly the
+//     set of fully persisted objects.
+//   - An object write lands before its journal record, so every index
+//     entry refers to a complete object; orphaned objects (crash between
+//     the two steps) are swept on open.
+//
+// The store is size-bounded: when the unpinned payload exceeds
+// Options.MaxBytes the oldest unpinned objects are garbage-collected.
+// Kinds listed in Options.PinnedKinds (campaign checkpoints) are exempt.
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Errors returned by the store.
+var (
+	// ErrClosed is returned by operations on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrBadKey is returned for keys that are empty or not filesystem-safe.
+	ErrBadKey = errors.New("store: bad key")
+	// ErrLocked is returned by Open when another live process holds the
+	// store directory.
+	ErrLocked = errors.New("store: directory locked by another process")
+)
+
+// Options configure a Store. The zero value is usable: unbounded size, no
+// pinned kinds.
+type Options struct {
+	// MaxBytes bounds the total payload bytes of unpinned objects; when a
+	// Put pushes the total past the bound, the oldest unpinned objects are
+	// evicted until it fits. <= 0 means unbounded.
+	MaxBytes int64
+	// PinnedKinds lists kinds exempt from GC (campaign checkpoints must
+	// survive however many outcomes flow through).
+	PinnedKinds []string
+}
+
+// Stats are the store's monotonic counters and current gauges, exposed by
+// cmd/saserve as the saserve_store_* metric families.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Deletes   int64 `json:"deletes"`
+	Evictions int64 `json:"evictions"`
+
+	// Recovery-on-open results: journal records replayed, bytes truncated
+	// from a torn tail, index entries dropped for missing objects, orphan
+	// object files swept.
+	RecoveredRecords int64 `json:"recovered_records"`
+	TruncatedBytes   int64 `json:"truncated_bytes"`
+	DroppedEntries   int64 `json:"dropped_entries"`
+	OrphansSwept     int64 `json:"orphans_swept"`
+
+	// Gauges.
+	Objects int   `json:"objects"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// entry is one live index record.
+type entry struct {
+	kind, key string
+	file      string // object path relative to the store root
+	size      int64
+	pinned    bool
+	elem      *list.Element // position in age order (front = oldest)
+}
+
+// Store is a content-addressed artifact store rooted at one directory.
+// Safe for concurrent use by one process; cross-process exclusion is
+// enforced with a liveness-checked lock file.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	journal  *os.File
+	index    map[string]*entry // kind + "\x00" + key
+	order    *list.List        // *entry, oldest at front
+	unpinned int64             // payload bytes subject to the bound
+	total    int64             // payload bytes of all live objects
+	live     int               // live journal records
+	dead     int               // superseded/deleted journal records
+	stats    Stats
+	closed   bool
+}
+
+// Open opens (creating if needed) the store rooted at dir, replays the
+// journal, truncates any torn tail, reconciles the index against the
+// object files on disk, sweeps orphans, and compacts the journal when it
+// has accumulated more dead records than live ones.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	if err := acquireLock(dir); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		index: make(map[string]*entry),
+		order: list.New(),
+	}
+	if err := s.recover(); err != nil {
+		releaseLock(dir)
+		return nil, err
+	}
+	return s, nil
+}
+
+const (
+	objectsDir  = "objects"
+	journalName = "journal"
+	lockName    = "lock"
+)
+
+// pinned reports whether kind is exempt from GC.
+func (s *Store) pinned(kind string) bool {
+	for _, k := range s.opts.PinnedKinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// validKey reports whether k is non-empty and filesystem-safe.
+func validKey(k string) bool {
+	if k == "" || len(k) > 256 {
+		return false
+	}
+	for _, r := range k {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(k, ".")
+}
+
+// objectPath returns the object file path for (kind, key) relative to the
+// store root, sharding by the first two key characters to keep directory
+// fanout bounded.
+func objectPath(kind, key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(objectsDir, kind, shard, key+".json")
+}
+
+func indexKey(kind, key string) string { return kind + "\x00" + key }
+
+// Put stores v (JSON-marshaled) under (kind, key), atomically replacing
+// any previous object, journaling the update with an fsync, and then
+// garbage-collecting oldest unpinned objects if the size bound is
+// exceeded.
+func (s *Store) Put(kind, key string, v any) error {
+	if !validKey(kind) || !validKey(key) {
+		return fmt.Errorf("%w: %q/%q", ErrBadKey, kind, key)
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s/%s: %w", kind, key, err)
+	}
+	rel := objectPath(kind, key)
+	if err := s.writeObject(rel, payload); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.appendRecord(journalRec{Op: opPut, Kind: kind, Key: key, File: rel, Size: int64(len(payload))}); err != nil {
+		return err
+	}
+	ik := indexKey(kind, key)
+	if old := s.index[ik]; old != nil {
+		s.accountRemove(old)
+		s.order.Remove(old.elem)
+		s.dead++
+		s.live--
+	}
+	e := &entry{kind: kind, key: key, file: rel, size: int64(len(payload)), pinned: s.pinned(kind)}
+	e.elem = s.order.PushBack(e)
+	s.index[ik] = e
+	s.accountAdd(e)
+	s.live++
+	s.stats.Puts++
+	return s.gcLocked()
+}
+
+// Get unmarshals the object stored under (kind, key) into v and reports
+// whether it was present. A missing object is not an error.
+func (s *Store) Get(kind, key string, v any) (bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	e, ok := s.index[indexKey(kind, key)]
+	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return false, nil
+	}
+	s.stats.Hits++
+	file := filepath.Join(s.dir, e.file)
+	s.mu.Unlock()
+
+	payload, err := os.ReadFile(file)
+	if err != nil {
+		return false, fmt.Errorf("store: reading %s/%s: %w", kind, key, err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return false, fmt.Errorf("store: decoding %s/%s: %w", kind, key, err)
+	}
+	return true, nil
+}
+
+// Has reports whether (kind, key) is present without touching the object
+// or the hit/miss counters.
+func (s *Store) Has(kind, key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[indexKey(kind, key)]
+	return ok
+}
+
+// Keys returns the keys of every live object of the given kind, sorted.
+func (s *Store) Keys(kind string) []string {
+	s.mu.Lock()
+	var out []string
+	for _, e := range s.index {
+		if e.kind == kind {
+			out = append(out, e.key)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes (kind, key); deleting an absent object is a no-op.
+func (s *Store) Delete(kind, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e, ok := s.index[indexKey(kind, key)]
+	if !ok {
+		return nil
+	}
+	if err := s.appendRecord(journalRec{Op: opDel, Kind: kind, Key: key}); err != nil {
+		return err
+	}
+	s.removeLocked(e)
+	s.stats.Deletes++
+	return nil
+}
+
+// removeLocked drops e from the index and deletes its object file.
+func (s *Store) removeLocked(e *entry) {
+	delete(s.index, indexKey(e.kind, e.key))
+	s.order.Remove(e.elem)
+	s.accountRemove(e)
+	s.dead += 2 // the put record and the del record are both dead weight
+	s.live--
+	os.Remove(filepath.Join(s.dir, e.file))
+}
+
+func (s *Store) accountAdd(e *entry) {
+	s.total += e.size
+	if !e.pinned {
+		s.unpinned += e.size
+	}
+}
+
+func (s *Store) accountRemove(e *entry) {
+	s.total -= e.size
+	if !e.pinned {
+		s.unpinned -= e.size
+	}
+}
+
+// gcLocked evicts oldest unpinned objects until the unpinned payload fits
+// the bound. Eviction records are journaled (one fsync for the batch).
+func (s *Store) gcLocked() error {
+	if s.opts.MaxBytes <= 0 || s.unpinned <= s.opts.MaxBytes {
+		return nil
+	}
+	for el := s.order.Front(); el != nil && s.unpinned > s.opts.MaxBytes; {
+		e := el.Value.(*entry)
+		el = el.Next()
+		if e.pinned {
+			continue
+		}
+		if err := s.appendRecord(journalRec{Op: opDel, Kind: e.kind, Key: e.key}); err != nil {
+			return err
+		}
+		s.removeLocked(e)
+		s.stats.Evictions++
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the store's counters and gauges.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Objects = len(s.index)
+	st.Bytes = s.total
+	return st
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close syncs and closes the journal and releases the directory lock.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.journal != nil {
+		if serr := s.journal.Sync(); serr != nil {
+			err = serr
+		}
+		if cerr := s.journal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	releaseLock(s.dir)
+	return err
+}
+
+// writeObject atomically writes payload to rel (relative to the store
+// root): temp file in the same directory, fsync, rename, fsync directory.
+func (s *Store) writeObject(rel string, payload []byte) error {
+	abs := filepath.Join(s.dir, rel)
+	parent := filepath.Dir(abs)
+	if err := os.MkdirAll(parent, 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", parent, err)
+	}
+	tmp, err := os.CreateTemp(parent, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file in %s: %w", parent, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(payload); err != nil {
+		cleanup()
+		return fmt.Errorf("store: writing %s: %w", rel, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: syncing %s: %w", rel, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: closing %s: %w", rel, err)
+	}
+	if err := os.Rename(tmpName, abs); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: publishing %s: %w", rel, err)
+	}
+	return syncDir(parent)
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: opening dir %s: %w", path, err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("store: syncing dir %s: %w", path, err)
+	}
+	return nil
+}
+
+// acquireLock takes the store directory's single-process lock. A lock file
+// left by a dead process (SIGKILL mid-campaign is the expected crash mode)
+// is detected by probing the recorded pid and stolen.
+func acquireLock(dir string) error {
+	path := filepath.Join(dir, lockName)
+	for tries := 0; tries < 2; tries++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			f.Sync()
+			f.Close()
+			return nil
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("store: creating lock: %w", err)
+		}
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue // holder released between our attempts
+			}
+			return fmt.Errorf("store: reading lock: %w", rerr)
+		}
+		pid, perr := strconv.Atoi(strings.TrimSpace(string(b)))
+		if perr == nil && pid > 0 && pid != os.Getpid() && processAlive(pid) {
+			return fmt.Errorf("%w (pid %d)", ErrLocked, pid)
+		}
+		// Holder is dead (or the file is garbage): steal the lock.
+		os.Remove(path)
+	}
+	return fmt.Errorf("%w (lock contention)", ErrLocked)
+}
+
+func releaseLock(dir string) { os.Remove(filepath.Join(dir, lockName)) }
+
+// processAlive probes pid with signal 0.
+func processAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -1,0 +1,267 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+type doc struct {
+	Verdict string `json:"verdict"`
+	N       int    `json:"n"`
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put("outcome", fmt.Sprintf("key%02d", i), doc{Verdict: "schedulable", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got doc
+	ok, err := s.Get("outcome", "key03", &got)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if got.N != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	st := s2.Stats()
+	if st.Objects != 5 {
+		t.Fatalf("reopened store holds %d objects, want 5", st.Objects)
+	}
+	if st.RecoveredRecords != 5 {
+		t.Fatalf("recovered %d records, want 5", st.RecoveredRecords)
+	}
+	got = doc{}
+	ok, err = s2.Get("outcome", "key04", &got)
+	if err != nil || !ok || got.N != 4 {
+		t.Fatalf("Get after reopen: ok=%v err=%v got=%+v", ok, err, got)
+	}
+	if keys := s2.Keys("outcome"); len(keys) != 5 || keys[0] != "key00" || keys[4] != "key04" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestOverwriteKeepsOneObject(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("outcome", "k1", doc{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("outcome", "k1", doc{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var got doc
+	if ok, err := s.Get("outcome", "k1", &got); !ok || err != nil || got.N != 2 {
+		t.Fatalf("Get: ok=%v err=%v got=%+v", ok, err, got)
+	}
+	if st := s.Stats(); st.Objects != 1 {
+		t.Fatalf("overwrite left %d objects, want 1", st.Objects)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("outcome", "gone", doc{N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("outcome", "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("outcome", "gone") {
+		t.Fatal("deleted key still present")
+	}
+	if err := s.Delete("outcome", "never-there"); err != nil {
+		t.Fatalf("deleting absent key: %v", err)
+	}
+	s.Close()
+	s2 := mustOpen(t, dir, Options{})
+	if s2.Has("outcome", "gone") {
+		t.Fatal("deleted key resurrected on reopen")
+	}
+}
+
+func TestMissIsNotAnError(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	var got doc
+	ok, err := s.Get("outcome", "absent", &got)
+	if err != nil {
+		t.Fatalf("miss returned error: %v", err)
+	}
+	if ok {
+		t.Fatal("miss reported present")
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats after miss: %+v", st)
+	}
+}
+
+func TestBadKeysRejected(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for _, key := range []string{"", "a/b", "..", ".hidden", "sp ace", "semi;colon"} {
+		if err := s.Put("outcome", key, doc{}); err == nil {
+			t.Errorf("key %q accepted", key)
+		}
+	}
+	if err := s.Put("outcome", "fine-Key_1.v2", doc{}); err != nil {
+		t.Errorf("valid key rejected: %v", err)
+	}
+}
+
+// TestGCRespectsBoundAndPins fills a size-bounded store and checks that
+// the oldest unpinned objects are evicted while pinned kinds survive.
+func TestGCRespectsBoundAndPins(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxBytes: 256, PinnedKinds: []string{"campaign"}})
+	if err := s.Put("campaign", "state", doc{Verdict: "running", N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put("outcome", fmt.Sprintf("o%02d", i), doc{Verdict: "schedulable", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the bound")
+	}
+	if !s.Has("campaign", "state") {
+		t.Fatal("pinned campaign state evicted")
+	}
+	if s.Has("outcome", "o00") {
+		t.Fatal("oldest unpinned object survived GC")
+	}
+	if !s.Has("outcome", "o19") {
+		t.Fatal("newest object evicted")
+	}
+
+	// The bound holds across a reopen too (recovery re-accounts sizes).
+	s.Close()
+	s2 := mustOpen(t, dir, Options{MaxBytes: 256, PinnedKinds: []string{"campaign"}})
+	if !s2.Has("campaign", "state") {
+		t.Fatal("pinned state lost across reopen")
+	}
+}
+
+func TestOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("outcome", "live", doc{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash between object write and journal append: an object
+	// file exists that no journal record references.
+	orphan := filepath.Join(dir, objectsDir, "outcome", "or", "orphan.json")
+	if err := os.MkdirAll(filepath.Dir(orphan), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(orphan, []byte(`{"n":9}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	if st := s2.Stats(); st.OrphansSwept != 1 {
+		t.Fatalf("swept %d orphans, want 1", st.OrphansSwept)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphan object still on disk")
+	}
+	if !s2.Has("outcome", "live") {
+		t.Fatal("live object swept")
+	}
+}
+
+func TestLockExcludesSecondProcessAndStealsStale(t *testing.T) {
+	dir := t.TempDir()
+
+	// A live foreign pid holds the lock: Open must refuse. Pid 1 (init) is
+	// always alive and never this test.
+	if err := os.MkdirAll(filepath.Join(dir, objectsDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, lockName), []byte("1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded despite live lock holder")
+	}
+
+	// A dead pid's lock is stale: Open steals it. Pick an extremely
+	// unlikely-to-exist pid.
+	if err := os.WriteFile(filepath.Join(dir, lockName), []byte("999999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open did not steal stale lock: %v", err)
+	}
+	s.Close()
+	if _, err := os.Stat(filepath.Join(dir, lockName)); !os.IsNotExist(err) {
+		t.Fatal("Close did not release the lock")
+	}
+}
+
+// TestConcurrentAccess exercises the store under parallel readers and
+// writers (run with -race in CI).
+func TestConcurrentAccess(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("g%d-%02d", g, i)
+				if err := s.Put("outcome", key, doc{N: i}); err != nil {
+					t.Errorf("Put %s: %v", key, err)
+					return
+				}
+				var got doc
+				if ok, err := s.Get("outcome", key, &got); !ok || err != nil || got.N != i {
+					t.Errorf("Get %s: ok=%v err=%v got=%+v", key, ok, err, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Objects != 80 {
+		t.Fatalf("store holds %d objects, want 80", st.Objects)
+	}
+}
+
+func TestStatsSnapshotIsCopy(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	a := s.Stats()
+	s.Put("outcome", "k1", doc{})
+	b := s.Stats()
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("stats did not change after Put")
+	}
+	if b.Puts != a.Puts+1 {
+		t.Fatalf("puts %d -> %d", a.Puts, b.Puts)
+	}
+}
