@@ -1,0 +1,340 @@
+// Command chaos is the fault-injection soak harness: it runs a real
+// design-space campaign against the crash-safe store with the
+// deterministic fault injector armed, optionally SIGKILLs itself mid-run,
+// and writes a machine-readable report of every point's verdict plus the
+// resilience counters. A second invocation compares two reports, proving
+// the self-healing contract: under any injected fault mix, every point
+// that is not quarantined must carry exactly the verdict a fault-free run
+// computes.
+//
+// Subcommands:
+//
+//	chaos run     -store DIR [-points N] [-rate F | -faults PLAN] [-seed N]
+//	              [-workers N] [-kill-after-points N] [-resume] [-o report.json]
+//	chaos compare -ref clean.json -got chaos.json [-exact] [-require-clean]
+//
+// run starts (or, with -resume, resumes) the built-in N-point breakdown
+// sweep. -rate arms the canonical randomized chaos plan at that rate;
+// -faults arms an explicit rule list (see internal/fault.ParsePlan); rate
+// 0 with no plan runs fault-free — the reference run. -kill-after-points
+// hard-kills the process (SIGKILL, no cleanup) once that many points are
+// checkpointed, simulating a crash for the resume path to absorb.
+//
+// compare checks the got report against the fault-free reference: every
+// non-quarantined point must match the reference verdict exactly.
+// -require-clean additionally fails if anything was quarantined (the 0%%
+// injection soak must be spotless); -exact demands byte-identical summary
+// documents (used to verify that an armed-but-empty injector is a no-op).
+//
+// Exit codes follow internal/diag: 0 success/match, 1 mismatch or
+// operational error, 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+	"time"
+
+	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/diag"
+	"stopwatchsim/internal/fault"
+	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/obs"
+	"stopwatchsim/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(diag.ExitUsage)
+	}
+	var code int
+	switch os.Args[1] {
+	case "run":
+		code = cmdRun(os.Args[2:])
+	case "compare":
+		code = cmdCompare(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "chaos: unknown subcommand %q\n", os.Args[1])
+		usage()
+		code = diag.ExitUsage
+	}
+	os.Exit(code)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  chaos run     -store DIR [-points N] [-rate F | -faults PLAN] [-seed N]
+                [-workers N] [-kill-after-points N] [-resume] [-o report.json]
+  chaos compare -ref clean.json -got chaos.json [-exact] [-require-clean]
+`)
+}
+
+// soakSpec is the built-in campaign: an n-point breakdown sweep of one
+// task's WCET scale. Every point is an independent, deterministic oracle
+// run, so the sweep exercises the full store/pool/campaign stack while
+// its expected verdicts stay trivially checkable (schedulable iff
+// wcet_pct truncates within the deadline).
+func soakSpec(points int) *campaign.Spec {
+	return &campaign.Spec{
+		Name:     "chaos-soak",
+		Strategy: campaign.StrategyGrid,
+		Base: &config.System{
+			Name:      "soak",
+			CoreTypes: []string{"cpu"},
+			Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+			Partitions: []config.Partition{{
+				Name: "P1", Core: 0, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "T", Priority: 1, WCET: []int64{10}, Period: 40, Deadline: 40},
+				},
+				Windows: []config.Window{{Start: 0, End: 40}},
+			}},
+		},
+		Axes: []campaign.Axis{{
+			Param: campaign.ParamWCETPct,
+			Min:   100, Max: float64(100 + points - 1), Step: 1,
+		}},
+		Parallel:       8,
+		MaxPoints:      points,
+		RetryBackoffMS: 5, // keep soak retries brisk; correctness is timing-independent
+	}
+}
+
+// pointVerdict is one point's outcome in the report, keyed by Point.Key().
+type pointVerdict struct {
+	Schedulable bool   `json:"schedulable"`
+	Failed      bool   `json:"failed"`
+	Source      string `json:"source"`
+}
+
+// report is the soak run's machine-readable result document.
+type report struct {
+	Rate       float64                        `json:"rate"`
+	Seed       int64                          `json:"seed"`
+	Resumed    bool                           `json:"resumed"`
+	Summary    *campaign.Summary              `json:"summary"`
+	Points     map[string]pointVerdict        `json:"points"`
+	Resilience obs.ResilienceCounters         `json:"resilience"`
+	Faults     map[fault.Site]fault.SiteStats `json:"faults,omitempty"`
+}
+
+func fail(err error) int {
+	rep := diag.FromError("chaos", err, nil)
+	fmt.Fprintln(os.Stderr, "chaos:", rep.Message)
+	return rep.ExitCode
+}
+
+func cmdRun(args []string) int {
+	fs := flag.NewFlagSet("chaos run", flag.ExitOnError)
+	storeDir := fs.String("store", "", "artifact store directory (required)")
+	points := fs.Int("points", 500, "grid points in the built-in sweep")
+	rate := fs.Float64("rate", 0, "randomized chaos plan rate (0 disables)")
+	faults := fs.String("faults", "", "explicit fault plan (overrides -rate; see internal/fault)")
+	seed := fs.Int64("seed", 1, "fault injection RNG seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "concurrent analysis runs")
+	killAfter := fs.Int("kill-after-points", 0, "SIGKILL this process once N points are checkpointed (0 disables)")
+	resume := fs.Bool("resume", false, "resume the interrupted campaign instead of starting one")
+	out := fs.String("o", "", "report output file (default stdout)")
+	stuckAfter := fs.Duration("stuck-after", 0, "watchdog deadline for wedged runs (0 disables)")
+	logger := obs.LogFlagsFor(fs)
+	fs.Parse(args)
+	lg := logger()
+	if *storeDir == "" || *points < 1 {
+		fs.Usage()
+		return diag.ExitUsage
+	}
+
+	plan := fault.ChaosPlan(*seed, *rate)
+	if *faults != "" {
+		var err error
+		plan, err = fault.ParsePlan(*faults, *seed)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	inj := fault.New(plan)
+
+	st, err := store.Open(*storeDir, store.Options{
+		PinnedKinds: []string{campaign.StoreKind()},
+		Faults:      inj,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer st.Close()
+	pool := jobs.New(jobs.Options{
+		Workers:    *workers,
+		Tool:       "chaos",
+		Logger:     lg,
+		Store:      st,
+		Faults:     inj,
+		StuckAfter: *stuckAfter,
+	})
+	defer pool.Close()
+	eng := campaign.NewEngine(pool, st, lg)
+
+	var id string
+	if *resume {
+		ids := eng.ResumeAll()
+		if len(ids) != 1 {
+			return fail(fmt.Errorf("resume found %d interrupted campaigns, want exactly 1", len(ids)))
+		}
+		id = ids[0]
+	} else {
+		started, err := eng.Start(soakSpec(*points))
+		if err != nil {
+			return fail(err)
+		}
+		id = started.ID
+	}
+
+	if *killAfter > 0 {
+		go func(n int) {
+			for {
+				if cs, ok := eng.Get(id); ok && len(cs.Points) >= n {
+					// A real crash, not a drain: no checkpoint flush, no
+					// store close, no deferred anything.
+					syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(*killAfter)
+	}
+
+	ctx, stop := diag.SignalContext()
+	defer stop()
+	final, err := eng.Wait(ctx, id)
+	if err != nil {
+		return fail(err)
+	}
+	if final.Status != campaign.StatusDone {
+		return fail(fmt.Errorf("campaign %s finished %s: %s", id[:12], final.Status, final.Error))
+	}
+
+	rep := &report{
+		Rate:       *rate,
+		Seed:       *seed,
+		Resumed:    *resume,
+		Summary:    final.Summarize(),
+		Points:     make(map[string]pointVerdict, len(final.Points)),
+		Resilience: pool.Resilience().Snapshot(),
+		Faults:     inj.Stats(),
+	}
+	for _, p := range final.Points {
+		rep.Points[p.Point.Key()] = pointVerdict{
+			Schedulable: p.Schedulable,
+			Failed:      p.Source == campaign.SourceFailed,
+			Source:      p.Source,
+		}
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "chaos: campaign %s done — %d points, %d quarantined, %d injected faults\n",
+		id[:12], rep.Summary.Points.Total, rep.Summary.Points.Failed, inj.TotalInjected())
+	return diag.ExitOK
+}
+
+func loadReport(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// comparePoints checks got against the fault-free reference ref: every
+// point present in both and not quarantined in got must carry the
+// reference verdict. It returns the number of quarantined (skipped)
+// points and the list of mismatch descriptions.
+func comparePoints(ref, got *report) (quarantined int, mismatches []string) {
+	for key, rv := range ref.Points {
+		if rv.Failed {
+			mismatches = append(mismatches, fmt.Sprintf("reference point %s is itself failed — reference run was not clean", key))
+			continue
+		}
+		gv, ok := got.Points[key]
+		switch {
+		case !ok:
+			mismatches = append(mismatches, fmt.Sprintf("point %s missing from chaos run", key))
+		case gv.Failed:
+			quarantined++
+		case gv.Schedulable != rv.Schedulable:
+			mismatches = append(mismatches, fmt.Sprintf("point %s: chaos verdict schedulable=%v, reference %v",
+				key, gv.Schedulable, rv.Schedulable))
+		}
+	}
+	for key := range got.Points {
+		if _, ok := ref.Points[key]; !ok {
+			mismatches = append(mismatches, fmt.Sprintf("point %s present only in chaos run", key))
+		}
+	}
+	return quarantined, mismatches
+}
+
+func cmdCompare(args []string) int {
+	fs := flag.NewFlagSet("chaos compare", flag.ExitOnError)
+	refPath := fs.String("ref", "", "fault-free reference report (required)")
+	gotPath := fs.String("got", "", "chaos run report (required)")
+	exact := fs.Bool("exact", false, "require byte-identical summary documents")
+	requireClean := fs.Bool("require-clean", false, "fail if any point was quarantined")
+	fs.Parse(args)
+	if *refPath == "" || *gotPath == "" {
+		fs.Usage()
+		return diag.ExitUsage
+	}
+	ref, err := loadReport(*refPath)
+	if err != nil {
+		return fail(err)
+	}
+	got, err := loadReport(*gotPath)
+	if err != nil {
+		return fail(err)
+	}
+
+	if *exact {
+		rb, _ := json.Marshal(ref.Summary)
+		gb, _ := json.Marshal(got.Summary)
+		if string(rb) != string(gb) {
+			fmt.Fprintf(os.Stderr, "chaos: summaries differ\n  ref: %s\n  got: %s\n", rb, gb)
+			return diag.ExitError
+		}
+	}
+	quarantined, mismatches := comparePoints(ref, got)
+	for _, m := range mismatches {
+		fmt.Fprintln(os.Stderr, "chaos: MISMATCH:", m)
+	}
+	if len(mismatches) > 0 {
+		return diag.ExitError
+	}
+	if *requireClean && quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "chaos: %d points quarantined but -require-clean is set\n", quarantined)
+		return diag.ExitError
+	}
+	fmt.Fprintf(os.Stderr, "chaos: %d points match (%d quarantined, skipped)\n",
+		len(ref.Points)-quarantined, quarantined)
+	return diag.ExitOK
+}

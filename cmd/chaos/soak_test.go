@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// The soak test re-executes its own test binary as the chaos child so the
+// mid-run SIGKILL lands on a disposable process: the child runs `chaos
+// run -kill-after-points N` and dies mid-campaign, then the parent
+// resumes the same store in-process and checks the healed result against
+// a fault-free reference.
+
+const (
+	childEnv = "CHAOS_SOAK_CHILD"
+	argsEnv  = "CHAOS_SOAK_ARGS"
+	argsSep  = "\n"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) == "1" {
+		os.Exit(cmdRun(strings.Split(os.Getenv(argsEnv), argsSep)))
+	}
+	os.Exit(m.Run())
+}
+
+// runChild executes `chaos run args...` in a subprocess and reports how
+// it ended.
+func runChild(t *testing.T, args ...string) error {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), childEnv+"=1", argsEnv+"="+strings.Join(args, argsSep))
+	cmd.Stderr = os.Stderr
+	return cmd.Run()
+}
+
+// TestSoakKillResumeMatchesCleanRun is the chaos-soak acceptance run: a
+// 500-point campaign at 5% fault injection, SIGKILLed mid-run, resumed to
+// completion, must agree with a fault-free run on every non-quarantined
+// point's verdict.
+func TestSoakKillResumeMatchesCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run; skipped with -short")
+	}
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.json")
+	gotPath := filepath.Join(dir, "got.json")
+	const points = 500
+
+	// Fault-free reference, in-process.
+	if code := cmdRun([]string{
+		"-store", filepath.Join(dir, "clean"), "-points", strconv.Itoa(points),
+		"-o", refPath, "-log-level", "error",
+	}); code != 0 {
+		t.Fatalf("reference run exit %d", code)
+	}
+
+	// Chaos run in a child process, SIGKILLed once 150 points are in.
+	chaosStore := filepath.Join(dir, "chaos")
+	err := runChild(t,
+		"-store", chaosStore, "-points", strconv.Itoa(points),
+		"-rate", "0.05", "-seed", "7", "-kill-after-points", "150",
+		"-o", gotPath, "-log-level", "error")
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("child was not killed: err=%v", err)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child ended %v, want SIGKILL", ee)
+	}
+
+	// Resume the torn store in-process, faults still armed (different
+	// seed: the fault schedule need not repeat for recovery to hold).
+	if code := cmdRun([]string{
+		"-store", chaosStore, "-resume", "-rate", "0.05", "-seed", "8",
+		"-o", gotPath, "-log-level", "error",
+	}); code != 0 {
+		t.Fatalf("resume run exit %d", code)
+	}
+
+	ref, err := loadReport(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadReport(gotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Summary.Points.Total != points || got.Summary.Points.Total != points {
+		t.Fatalf("totals: ref=%d got=%d, want %d", ref.Summary.Points.Total, got.Summary.Points.Total, points)
+	}
+	if ref.Summary.Points.Failed != 0 {
+		t.Fatalf("reference run quarantined %d points", ref.Summary.Points.Failed)
+	}
+	quarantined, mismatches := comparePoints(ref, got)
+	for _, m := range mismatches {
+		t.Error(m)
+	}
+	t.Logf("chaos run: %d/%d points quarantined, %d faults injected, resilience %+v",
+		quarantined, points, got.Summary.Points.Failed, got.Resilience)
+	if !got.Resumed {
+		t.Error("got report does not mark the resumed run")
+	}
+}
+
+// TestZeroRateRunIsExactNoop: with the injector armed at rate 0 it must
+// change nothing — two independent fault-free runs of the same spec
+// produce byte-identical summary documents and inject zero faults.
+func TestZeroRateRunIsExactNoop(t *testing.T) {
+	dir := t.TempDir()
+	var reps [2]*report
+	for i := range reps {
+		out := filepath.Join(dir, "run"+strconv.Itoa(i)+".json")
+		if code := cmdRun([]string{
+			"-store", filepath.Join(dir, "store"+strconv.Itoa(i)),
+			"-points", "60", "-rate", "0", "-o", out, "-log-level", "error",
+		}); code != 0 {
+			t.Fatalf("run %d exit %d", i, code)
+		}
+		rep, err := loadReport(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	a, _ := json.Marshal(reps[0].Summary)
+	b, _ := json.Marshal(reps[1].Summary)
+	if string(a) != string(b) {
+		t.Errorf("summaries differ:\n%s\n%s", a, b)
+	}
+	for i, rep := range reps {
+		if rep.Summary.Points.Failed != 0 {
+			t.Errorf("run %d quarantined %d points, want 0", i, rep.Summary.Points.Failed)
+		}
+		for site, st := range rep.Faults {
+			if st.Injected != 0 {
+				t.Errorf("run %d: site %s injected %d faults at rate 0", i, site, st.Injected)
+			}
+		}
+	}
+}

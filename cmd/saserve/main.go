@@ -19,6 +19,7 @@
 //	GET    /v1/campaigns/{id}/result campaign summary (frontier table)
 //	GET    /metrics          Prometheus-style metrics
 //	GET    /healthz          liveness
+//	GET    /readyz           readiness (503 while the store tier is degraded)
 //	GET    /debug/pprof/*    runtime profiles (only with -pprof)
 //
 // With -store DIR, results and campaign checkpoints persist in a
@@ -36,9 +37,20 @@
 // Usage:
 //
 //	saserve [-addr :8080] [-workers N] [-queue N] [-cache N] [-pprof]
-//	        [-store DIR] [-store-max-mb N]
+//	        [-store DIR] [-store-max-mb N] [-stuck-after D]
+//	        [-breaker-threshold N] [-faults PLAN] [-fault-seed N]
 //	        [-log-level info] [-log-format text]
 //	        [-max-steps N] [-timeout D] [-max-mem-mb N]
+//
+// Self-healing is always on: transient store failures are retried with
+// backoff, a persistently failing store trips a circuit breaker
+// (-breaker-threshold consecutive failures, default 5) into memory-only
+// degraded mode (visible on /readyz and the saserve_degraded gauge)
+// until a probe succeeds, and -stuck-after arms a watchdog that
+// kills and requeues wedged runs. -faults arms the deterministic fault
+// injector (chaos testing): either the canonical randomized plan
+// ("chaos:0.05") or an explicit rule list
+// ("store.journal.sync:p=0.05;jobs.worker.run:every=97,kind=panic").
 package main
 
 import (
@@ -49,10 +61,13 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"stopwatchsim/internal/campaign"
 	"stopwatchsim/internal/diag"
+	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/store"
@@ -67,11 +82,39 @@ func main() {
 		pprofFlag  = flag.Bool("pprof", false, "serve runtime profiles under /debug/pprof/")
 		storeDir   = flag.String("store", "", "persistent artifact store directory (empty disables)")
 		storeMaxMB = flag.Int64("store-max-mb", 0, "artifact store size bound in MiB before GC (0 = unbounded)")
+		faults     = flag.String("faults", "", "fault injection plan: 'chaos:RATE' or 'site:k=v,...;site:k=v,...' (chaos testing only)")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault injection RNG seed (deterministic per seed)")
+		stuckAfter = flag.Duration("stuck-after", 0, "watchdog deadline: kill and requeue jobs running longer than this (0 disables)")
+		breakAfter = flag.Int("breaker-threshold", 0, "consecutive store failures before the disk tier degrades to memory-only (0 = default 5)")
 	)
 	budget := diag.BudgetFlags()
 	logger := obs.LogFlags()
 	flag.Parse()
 	lg := logger()
+
+	// Fault injection is opt-in and loud: a service deliberately running
+	// under chaos should say so on every startup line it owns.
+	var inj *fault.Injector
+	if *faults != "" {
+		var plan fault.Plan
+		if rs, ok := strings.CutPrefix(*faults, "chaos:"); ok {
+			rate, err := strconv.ParseFloat(rs, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				fmt.Fprintf(os.Stderr, "saserve: bad chaos rate %q (want 0..1)\n", rs)
+				os.Exit(diag.ExitUsage)
+			}
+			plan = fault.ChaosPlan(*faultSeed, rate)
+		} else {
+			var err error
+			plan, err = fault.ParsePlan(*faults, *faultSeed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "saserve:", err)
+				os.Exit(diag.ExitUsage)
+			}
+		}
+		inj = fault.New(plan)
+		lg.Warn("fault injection armed", "plan", *faults, "seed", *faultSeed)
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
@@ -79,6 +122,7 @@ func main() {
 		st, err = store.Open(*storeDir, store.Options{
 			MaxBytes:    *storeMaxMB << 20,
 			PinnedKinds: []string{campaign.StoreKind()},
+			Faults:      inj,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "saserve:", err)
@@ -91,13 +135,16 @@ func main() {
 	}
 
 	pool := jobs.New(jobs.Options{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
-		Budget:     budget(),
-		Tool:       "saserve",
-		Logger:     lg,
-		Store:      st,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cache,
+		Budget:           budget(),
+		Tool:             "saserve",
+		Logger:           lg,
+		Store:            st,
+		Faults:           inj,
+		StuckAfter:       *stuckAfter,
+		BreakerThreshold: *breakAfter,
 	})
 	camps := campaign.NewEngine(pool, st, lg)
 	if resumed := camps.ResumeAll(); len(resumed) > 0 {

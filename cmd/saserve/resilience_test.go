@@ -1,0 +1,119 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/fault"
+	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/store"
+)
+
+// TestBackpressureSetsRetryAfter: the 429 on a full queue carries the
+// documented Retry-After header so clients know backpressure is
+// transient.
+func TestBackpressureSetsRetryAfter(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 1, QueueDepth: 1})
+	if code, _ := postConfig(t, ts, counterXTA, "application/x-xta", "?horizon=100000000"); code != http.StatusAccepted {
+		t.Fatal("first submit rejected")
+	}
+	waitForRunning(t, ts)
+	if code, _ := postConfig(t, ts, quickstartXML, "application/xml", ""); code != http.StatusAccepted {
+		t.Fatal("second submit rejected")
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/x-xta",
+		strings.NewReader(counterXTA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+}
+
+// TestReadyzTracksDegradedMode: /readyz answers 200 while the store tier
+// is healthy and 503 once persistent failures trip the breaker, with the
+// degraded gauge and resilience counters visible on /metrics.
+func TestReadyzTracksDegradedMode(t *testing.T) {
+	// One injector shared by the store and the pool, as main.go wires it.
+	inj := fault.New(fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Site: fault.SiteStoreJournalAppend, Kind: fault.KindError, Every: 1},
+	}})
+	st, err := store.Open(t.TempDir(), store.Options{
+		PinnedKinds: []string{campaign.StoreKind()},
+		Faults:      inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	pool := jobs.New(jobs.Options{
+		Workers:          1,
+		Store:            st,
+		Faults:           inj,
+		BreakerThreshold: 1,
+		Tool:             "saserve",
+	})
+	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, st, nil), false))
+	t.Cleanup(func() {
+		ts.Close()
+		pool.Close()
+	})
+
+	var h map[string]string
+	getJSON(t, ts, "/readyz", http.StatusOK, &h)
+	if h["status"] != "ok" {
+		t.Fatalf("ready = %v", h)
+	}
+
+	// A completed run tries to persist its outcome; every journal append
+	// is injected to fail, so the retries exhaust and the breaker trips.
+	// The put (and its retry backoff) runs after the job completes, so
+	// poll for the flip.
+	if code, doc := postConfig(t, ts, quickstartXML, "application/xml", "?wait=true"); code != http.StatusOK {
+		t.Fatalf("submit = %d %+v", code, doc)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never tripped; /readyz stayed 200")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	getJSON(t, ts, "/readyz", http.StatusServiceUnavailable, &h)
+	if h["status"] != "degraded" {
+		t.Fatalf("ready = %v, want degraded", h)
+	}
+	// Liveness is unaffected: a degraded service still answers.
+	getJSON(t, ts, "/healthz", http.StatusOK, &h)
+
+	metrics := getText(t, ts, "/metrics", http.StatusOK)
+	for _, want := range []string{
+		"saserve_degraded 1",
+		"saserve_resilience_breaker_trips_total 1",
+		"saserve_resilience_store_retries_total",
+		`saserve_fault_injected_total{site="store.journal.append"}`,
+		"saserve_store_journal_repairs_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

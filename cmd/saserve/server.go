@@ -16,6 +16,7 @@ import (
 	"stopwatchsim/internal/campaign"
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/diag"
+	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/obs"
@@ -53,6 +54,7 @@ type server struct {
 //	GET    /v1/campaigns/{id}/result campaign summary (frontier table)
 //	GET    /metrics          Prometheus-style counters
 //	GET    /healthz          liveness
+//	GET    /readyz           readiness (503 while the store tier is degraded)
 //
 // enablePprof additionally mounts the runtime profiling handlers under
 // /debug/pprof/ (opt-in: profiles expose internals, so they are off unless
@@ -74,6 +76,7 @@ func newMux(pool *jobs.Pool, camps *campaign.Engine, enablePprof bool) *http.Ser
 	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.campaignResult)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("GET /readyz", s.ready)
 	if enablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -206,6 +209,9 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
+		// Backpressure is transient by construction (the queue drains at
+		// worker speed); tell well-behaved clients when to come back.
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "queue full, retry later")
 		return
 	case errors.Is(err, jobs.ErrClosed):
@@ -411,6 +417,7 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 		counter("store_truncated_bytes_total", "Torn journal tail bytes truncated at open.", ss.TruncatedBytes)
 		counter("store_dropped_entries_total", "Journal entries dropped (missing object files).", ss.DroppedEntries)
 		counter("store_orphans_swept_total", "Unreferenced object files removed at open.", ss.OrphansSwept)
+		counter("store_journal_repairs_total", "Torn journal tails truncated back to the last acked record.", ss.JournalRepairs)
 		gauge("store_objects", "Objects currently in the store.", float64(ss.Objects))
 		gauge("store_bytes", "Bytes currently in the store.", float64(ss.Bytes))
 	}
@@ -430,6 +437,32 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("campaign_bisect_iterations_total", "Interior bisection iterations across campaigns.", cm.BisectIterations)
 	counter("campaign_frontier_rows_total", "Frontier rows completed across campaigns.", cm.FrontierRows)
 	counter("campaign_bracket_reuses_total", "Frontier rows whose bisection bracket was seeded adaptively.", cm.BracketReuses)
+
+	// Resilience: what the self-healing machinery absorbed.
+	res := m.Resilience
+	counter("resilience_store_retries_total", "Store operations retried after transient failures.", res.StoreRetries)
+	counter("resilience_breaker_trips_total", "Store circuit breaker trips into degraded mode.", res.BreakerTrips)
+	counter("resilience_breaker_resets_total", "Store circuit breaker recoveries.", res.BreakerResets)
+	counter("resilience_breaker_short_circuits_total", "Store operations skipped while the breaker was open.", res.BreakerShortCircuits)
+	counter("resilience_watchdog_requeues_total", "Stuck jobs killed and requeued by the watchdog.", res.WatchdogRequeues)
+	counter("resilience_panics_recovered_total", "Worker panics contained by the panic fence.", res.PanicsRecovered)
+	counter("resilience_point_retries_total", "Campaign point attempts retried before settling.", res.PointRetries)
+	counter("resilience_points_quarantined_total", "Campaign points quarantined after exhausting retries.", res.PointsQuarantined)
+	gauge("degraded", "1 while the persistent tier is suspended (breaker open), 0 otherwise.", float64(res.Degraded))
+
+	// Fault injection (chaos runs only; absent without -faults).
+	if inj := s.pool.Faults(); inj != nil {
+		stats := inj.Stats()
+		sites := make([]string, 0, len(stats))
+		for site := range stats {
+			sites = append(sites, string(site))
+		}
+		sort.Strings(sites)
+		fmt.Fprintf(w, "# HELP saserve_fault_injected_total Faults injected per site.\n# TYPE saserve_fault_injected_total counter\n")
+		for _, site := range sites {
+			fmt.Fprintf(w, "saserve_fault_injected_total{site=%q} %d\n", site, stats[fault.Site(site)].Injected)
+		}
+	}
 	fmt.Fprintf(w, "# HELP saserve_run_latency_seconds Run latency quantiles over recent runs.\n# TYPE saserve_run_latency_seconds summary\n")
 	fmt.Fprintf(w, "saserve_run_latency_seconds{quantile=\"0.5\"} %g\n", m.LatencyP50.Seconds())
 	fmt.Fprintf(w, "saserve_run_latency_seconds{quantile=\"0.9\"} %g\n", m.LatencyP90.Seconds())
@@ -478,6 +511,23 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ready is the readiness probe: it reports 503 while the persistent tier
+// is degraded (the store circuit breaker is open and outcomes are served
+// memory-only), so orchestrators can shed traffic to healthier replicas
+// while this one's breaker probes its way back. Liveness (/healthz) stays
+// green throughout: a degraded service still answers correctly, just
+// without durability.
+func (s *server) ready(w http.ResponseWriter, r *http.Request) {
+	if s.pool.Degraded() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"reason": "store circuit breaker open; persistent tier suspended",
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 

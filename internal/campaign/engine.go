@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/store"
 )
@@ -63,6 +64,7 @@ type Campaign struct {
 	state     *State
 	completed map[string]*PointResult // fingerprint → recorded result
 	recorded  map[string]bool         // Point.Key() → present in state.Points
+	failedAt  map[string]int          // Point.Key() → index of a quarantined record
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -197,12 +199,18 @@ func (e *Engine) registerLocked(st *State) *Campaign {
 		state:     st,
 		completed: make(map[string]*PointResult, len(st.Points)),
 		recorded:  make(map[string]bool, len(st.Points)),
+		failedAt:  make(map[string]int),
 		done:      make(chan struct{}),
 	}
 	for i := range st.Points {
 		pr := &st.Points[i]
 		if pr.Source != SourceFailed {
 			c.completed[pr.Fingerprint] = pr
+		} else {
+			// Quarantined points are re-evaluated on resume; remember where
+			// their stale record sits so a fresh result overwrites it in
+			// place instead of appending a duplicate.
+			c.failedAt[pr.Point.Key()] = i
 		}
 		c.recorded[pr.Point.Key()] = true
 	}
@@ -311,7 +319,15 @@ func (c *Campaign) checkpoint() {
 	if c.eng.st == nil {
 		return
 	}
-	if err := c.eng.st.Put(stateKind, snap.ID, &snap); err != nil && c.eng.lg != nil {
+	// Checkpoints ride through transient store faults on the same retry
+	// policy as the pool's disk tier; an exhausted failure is still only
+	// logged — the campaign completes in memory and the previous
+	// checkpoint stays authoritative for resume.
+	retries, err := fault.DefaultStoreRetry.Do(context.Background(), nil, func() error {
+		return c.eng.st.Put(stateKind, snap.ID, &snap)
+	})
+	c.eng.pool.Resilience().StoreRetries.Add(int64(retries))
+	if err != nil && c.eng.lg != nil {
 		c.eng.lg.Warn("campaign checkpoint failed", "campaign", snap.ID, "error", err.Error())
 	}
 }
@@ -401,15 +417,73 @@ func (c *Campaign) evaluate(ctx context.Context, spec *Spec, pt Point) (*PointRe
 	if pr, ok := c.checkpointHit(pt, fp); ok {
 		return pr, nil
 	}
-	jb, err := c.submit(ctx, sys)
+	done, err := c.attempt(ctx, sys)
 	if err != nil {
 		return nil, err
 	}
+	return c.settle(ctx, spec, sys, pt, fp, done)
+}
+
+// attempt runs one evaluation attempt through the pool, with the
+// campaign-level fault site applied first (an injected fault is a failed
+// attempt that never consumed a pool slot). When the wait dies — the
+// campaign was canceled or the engine is shutting down — the cancellation
+// is propagated into the pool so the in-flight job stops promptly instead
+// of running to completion for nobody.
+func (c *Campaign) attempt(ctx context.Context, sys *config.System) (jobs.Job, error) {
+	if f := c.eng.pool.Faults().Hit(fault.SiteCampaignPoint); f != nil {
+		return jobs.Job{Status: jobs.StatusFailed, Err: f.Err()}, nil
+	}
+	jb, err := c.submit(ctx, sys)
+	if err != nil {
+		return jobs.Job{}, err
+	}
 	done, err := c.eng.pool.Wait(ctx, jb.ID)
 	if err != nil {
-		return nil, err // ctx canceled while waiting
+		c.eng.pool.Cancel(jb.ID)
+		return jobs.Job{}, err
 	}
-	return c.record(pt, fp, done)
+	return done, nil
+}
+
+// settle resolves one point from its first attempt's terminal job,
+// retrying failed attempts (with doubling backoff) up to the spec's
+// quarantine budget before recording the final result. A point that
+// exhausts its retries is quarantined: recorded failed, counted, and the
+// campaign moves on.
+func (c *Campaign) settle(ctx context.Context, spec *Spec, sys *config.System, pt Point, fp string, done jobs.Job) (*PointResult, error) {
+	for attempt := 0; done.Status == jobs.StatusFailed && attempt < spec.retries(); attempt++ {
+		c.mu.Lock()
+		c.state.Convergence.Retries++
+		c.mu.Unlock()
+		c.eng.pool.Resilience().PointRetries.Add(1)
+		if lg := c.logger(); lg != nil {
+			msg := "run failed"
+			if done.Err != nil {
+				msg = done.Err.Error()
+			}
+			lg.Warn("point attempt failed; retrying", "point", pt.Key(), "attempt", attempt+1, "error", msg)
+		}
+		if err := fault.SleepContext(ctx, spec.retryBackoff()<<attempt); err != nil {
+			return nil, err
+		}
+		var err error
+		done, err = c.attempt(ctx, sys)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pr, err := c.record(pt, fp, done)
+	if err != nil {
+		return nil, err
+	}
+	if pr.Source == SourceFailed {
+		c.eng.pool.Resilience().PointsQuarantined.Add(1)
+		if lg := c.logger(); lg != nil {
+			lg.Warn("point quarantined", "point", pt.Key(), "error", pr.Error)
+		}
+	}
+	return pr, nil
 }
 
 // checkpointHit answers a point whose fingerprint is already recorded —
@@ -477,13 +551,27 @@ func (c *Campaign) record(pt Point, fp string, done jobs.Job) (*PointResult, err
 
 	c.mu.Lock()
 	c.state.Convergence.Evaluations++
-	if pr.Source == SourceFailed {
-		c.state.Convergence.Failed++
-	}
-	c.state.Points = append(c.state.Points, *pr)
-	c.recorded[pt.Key()] = true
-	if pr.Source != SourceFailed {
-		c.completed[fp] = &c.state.Points[len(c.state.Points)-1]
+	key := pt.Key()
+	if idx, stale := c.failedAt[key]; stale {
+		// A re-evaluation of a quarantined point (resume, or a checkpointed
+		// retry): overwrite the stale failed record in place so the state
+		// never holds two records for one point. A successful result heals
+		// the point; another failure just refreshes the error.
+		c.state.Points[idx] = *pr
+		if pr.Source != SourceFailed {
+			delete(c.failedAt, key)
+			c.state.Convergence.Failed--
+			c.completed[fp] = &c.state.Points[idx]
+		}
+	} else {
+		c.state.Points = append(c.state.Points, *pr)
+		c.recorded[key] = true
+		if pr.Source == SourceFailed {
+			c.state.Convergence.Failed++
+			c.failedAt[key] = len(c.state.Points) - 1
+		} else {
+			c.completed[fp] = &c.state.Points[len(c.state.Points)-1]
+		}
 	}
 	c.mu.Unlock()
 	c.eng.count(func(m *EngineMetrics) {

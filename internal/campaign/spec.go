@@ -26,6 +26,7 @@ import (
 	"hash"
 	"io"
 	"math"
+	"time"
 
 	"stopwatchsim/internal/config"
 )
@@ -114,6 +115,13 @@ type Spec struct {
 	// MaxPoints bounds the total number of evaluated points as a safety
 	// rail; <= 0 means 10000.
 	MaxPoints int `json:"max_points,omitempty"`
+	// Retries bounds re-evaluation attempts of a failed point before it is
+	// quarantined — recorded failed and (for grid) skipped; 0 means 2,
+	// negative disables retries. RetryBackoffMS is the backoff before the
+	// first retry, doubling per attempt; <= 0 means 50ms. Execution
+	// details: not part of the fingerprint.
+	Retries        int `json:"retries,omitempty"`
+	RetryBackoffMS int `json:"retry_backoff_ms,omitempty"`
 }
 
 const defaultMaxPoints = 10000
@@ -280,6 +288,26 @@ func (s *Spec) parallel() int {
 		return 4
 	}
 	return s.Parallel
+}
+
+// retries resolves the quarantine retry budget per failed point.
+func (s *Spec) retries() int {
+	switch {
+	case s.Retries < 0:
+		return 0
+	case s.Retries == 0:
+		return 2
+	default:
+		return s.Retries
+	}
+}
+
+// retryBackoff resolves the base backoff before the first retry.
+func (s *Spec) retryBackoff() time.Duration {
+	if s.RetryBackoffMS <= 0 {
+		return 50 * time.Millisecond
+	}
+	return time.Duration(s.RetryBackoffMS) * time.Millisecond
 }
 
 // fpVersion tags the canonical encoding of Spec.Fingerprint; bump it when

@@ -65,8 +65,11 @@ type Converge struct {
 	BisectIterations int `json:"bisect_iterations"`
 	FrontierRows     int `json:"frontier_rows"`
 	BracketReuses    int `json:"bracket_reuses"`
-	// Failed counts points whose runs failed.
-	Failed int `json:"failed_points"`
+	// Failed counts points currently recorded failed (quarantined); a
+	// point healed by a later re-evaluation no longer counts. Retries
+	// counts failed attempts that were retried before their point settled.
+	Failed  int `json:"failed_points"`
+	Retries int `json:"retries,omitempty"`
 }
 
 // State is the full campaign record: the checkpoint document and the body

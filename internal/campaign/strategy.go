@@ -4,6 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/fault"
+	"stopwatchsim/internal/jobs"
 )
 
 // The strategies. Each maps the design space with a different budget of
@@ -27,20 +31,37 @@ import (
 
 // runGrid evaluates the full cross product, fanning spec.Parallel points
 // at a time through the pool and checkpointing as each completes. Failed
-// points are recorded and skipped — one pathological corner of a sweep
-// must not void the rest of the map.
+// points are retried per the quarantine policy and then recorded and
+// skipped — one pathological corner of a sweep must not void the rest of
+// the map. On any abort (cancellation included) every in-flight batch job
+// is canceled in the pool so workers stop promptly.
 func (c *Campaign) runGrid(ctx context.Context, spec *Spec) error {
 	pts := gridPoints(spec.Axes)
 	par := spec.parallel()
 	for lo := 0; lo < len(pts); lo += par {
 		hi := min(lo+par, len(pts))
 		type pending struct {
-			pt     Point
-			fp, id string
+			pt  Point
+			fp  string
+			sys *config.System
+			id  string
+			// done carries an attempt settled without a pool job (an
+			// injected campaign-level fault).
+			done *jobs.Job
 		}
 		var batch []pending
+		// cancelBatch propagates an abort into the pool; canceling jobs
+		// already terminal is a harmless no-op.
+		cancelBatch := func() {
+			for _, pn := range batch {
+				if pn.id != "" {
+					c.eng.pool.Cancel(pn.id)
+				}
+			}
+		}
 		for _, pt := range pts[lo:hi] {
 			if err := ctx.Err(); err != nil {
+				cancelBatch()
 				return err
 			}
 			// Checkpoint hits are answered synchronously; everything else
@@ -48,24 +69,39 @@ func (c *Campaign) runGrid(ctx context.Context, spec *Spec) error {
 			// evaluations overlap in the pool.
 			sys, err := Materialize(spec, pt)
 			if err != nil {
+				cancelBatch()
 				return err
 			}
 			fp := sys.Fingerprint()
 			if _, ok := c.checkpointHit(pt, fp); ok {
 				continue
 			}
+			if f := c.eng.pool.Faults().Hit(fault.SiteCampaignPoint); f != nil {
+				batch = append(batch, pending{pt: pt, fp: fp, sys: sys,
+					done: &jobs.Job{Status: jobs.StatusFailed, Err: f.Err()}})
+				continue
+			}
 			jb, err := c.submit(ctx, sys)
 			if err != nil {
+				cancelBatch()
 				return err
 			}
-			batch = append(batch, pending{pt: pt, fp: fp, id: jb.ID})
+			batch = append(batch, pending{pt: pt, fp: fp, sys: sys, id: jb.ID})
 		}
 		for _, pn := range batch {
-			done, err := c.eng.pool.Wait(ctx, pn.id)
-			if err != nil {
-				return err
+			var done jobs.Job
+			if pn.done != nil {
+				done = *pn.done
+			} else {
+				var err error
+				done, err = c.eng.pool.Wait(ctx, pn.id)
+				if err != nil {
+					cancelBatch()
+					return err
+				}
 			}
-			if _, err := c.record(pn.pt, pn.fp, done); err != nil {
+			if _, err := c.settle(ctx, spec, pn.sys, pn.pt, pn.fp, done); err != nil {
+				cancelBatch()
 				return err
 			}
 		}

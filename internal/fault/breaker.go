@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's mode.
+type BreakerState string
+
+// Breaker states.
+const (
+	// BreakerClosed: the protected tier is healthy; operations flow.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: the tier tripped; operations short-circuit until the
+	// cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown elapsed; one probe operation is in
+	// flight to test recovery.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Breaker is a consecutive-failure circuit breaker. The jobs pool wraps
+// its persistent disk tier in one: when the store fails Threshold times in
+// a row (after per-operation retries), the breaker opens and the tier
+// degrades to memory-only — reads and writes short-circuit instead of
+// stalling workers behind a dead disk. After Cooldown, the next operation
+// is let through as a half-open probe; success closes the breaker,
+// failure re-opens it for another cooldown.
+//
+// A nil *Breaker never trips: Allow always true, Failure/Success no-ops.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test hook
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (<= 0 means 5) and probes for recovery after cooldown (<= 0
+// means 5s).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now, state: BreakerClosed}
+}
+
+// Allow reports whether the protected tier may be used right now. Open
+// breakers deny until the cooldown elapses, then admit exactly one probe
+// (half-open); further calls deny until that probe settles. Nil-safe
+// (always true).
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful operation. It returns true when the
+// success closed a tripped breaker (the tier recovered). Nil-safe.
+func (b *Breaker) Success() (recovered bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	recovered = b.state != BreakerClosed
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+	return recovered
+}
+
+// Failure records a failed operation. It returns true when this failure
+// tripped the breaker open (from closed, or a failed half-open probe).
+// Nil-safe.
+func (b *Breaker) Failure() (tripped bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails < b.threshold {
+			return false
+		}
+	case BreakerOpen:
+		return false // already open; cooldown keeps running
+	}
+	// Closed at threshold, or a failed half-open probe: (re-)open.
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+	return true
+}
+
+// State returns the breaker's current mode. An open breaker past its
+// cooldown still reports open until an Allow admits the probe. Nil-safe
+// (closed).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Tripped reports whether the breaker is not closed — the degraded-mode
+// flag surfaced by /readyz and the saserve_degraded metric. Nil-safe
+// (false).
+func (b *Breaker) Tripped() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != BreakerClosed
+}

@@ -1,0 +1,307 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var inj *Injector
+	if f := inj.Hit(SiteStoreRead); f != nil {
+		t.Fatalf("nil injector fired %v", f)
+	}
+	if err := inj.Fail(SiteWorkerRun); err != nil {
+		t.Fatalf("nil injector failed: %v", err)
+	}
+	if got := inj.Stats(); got != nil {
+		t.Fatalf("nil injector has stats %v", got)
+	}
+	if n := inj.TotalInjected(); n != 0 {
+		t.Fatalf("nil injector injected %d", n)
+	}
+}
+
+// The disabled path must add zero allocations to the hot paths it guards.
+func TestNilInjectorAllocs(t *testing.T) {
+	var inj *Injector
+	if n := testing.AllocsPerRun(1000, func() {
+		if inj.Hit(SiteStoreJournalSync) != nil {
+			t.Fatal("fired")
+		}
+		if inj.Fail(SiteStoreObjectWrite) != nil {
+			t.Fatal("failed")
+		}
+	}); n != 0 {
+		t.Fatalf("nil injector allocates %.1f per hook", n)
+	}
+}
+
+func TestSequencePointTrigger(t *testing.T) {
+	inj := New(Plan{Rules: []Rule{{Site: SiteStoreRead, Kind: KindError, Every: 3, After: 1, Limit: 2}}})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if f := inj.Hit(SiteStoreRead); f != nil {
+			fired = append(fired, i)
+			if f.Kind != KindError {
+				t.Fatalf("hit %d kind %s", i, f.Kind)
+			}
+		}
+	}
+	// After=1 skips hit 1; Every=3 then fires on hits 4, 7, 10…; Limit=2
+	// stops after two injections.
+	want := []int{4, 7}
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	st := inj.Stats()[SiteStoreRead]
+	if st.Hits != 12 || st.Injected != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if inj.TotalInjected() != 2 {
+		t.Fatalf("total %d", inj.TotalInjected())
+	}
+}
+
+func TestProbabilityTriggerIsSeededDeterministic(t *testing.T) {
+	run := func() []int {
+		inj := New(Plan{Seed: 42, Rules: []Rule{{Site: SiteWorkerRun, Kind: KindError, Prob: 0.3}}})
+		var fired []int
+		for i := 0; i < 100; i++ {
+			if inj.Hit(SiteWorkerRun) != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 100 {
+		t.Fatalf("p=0.3 over 100 hits fired %d times", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different firings:\n%v\n%v", a, b)
+	}
+	diff := New(Plan{Seed: 43, Rules: []Rule{{Site: SiteWorkerRun, Kind: KindError, Prob: 0.3}}})
+	var c []int
+	for i := 0; i < 100; i++ {
+		if diff.Hit(SiteWorkerRun) != nil {
+			c = append(c, i)
+		}
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds fired identically")
+	}
+}
+
+func TestInjectedErrorClassification(t *testing.T) {
+	inj := New(Plan{Rules: []Rule{
+		{Site: SiteStoreObjectWrite, Kind: KindShortWrite, Every: 1},
+		{Site: SiteStoreRead, Kind: KindError, Every: 1},
+	}})
+	werr := inj.Hit(SiteStoreObjectWrite).Err()
+	rerr := inj.Fail(SiteStoreRead)
+	wrapped := fmt.Errorf("store: writing object: %w", werr)
+	if !IsInjected(werr) || !IsInjected(rerr) || !IsInjected(wrapped) {
+		t.Fatalf("injected errors not classified: %v / %v", werr, rerr)
+	}
+	if !IsShortWrite(werr) || !IsShortWrite(wrapped) || IsShortWrite(rerr) {
+		t.Fatalf("short-write classification wrong: %v / %v", werr, rerr)
+	}
+	if IsInjected(errors.New("organic")) {
+		t.Fatal("organic error classified as injected")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan(" store.journal.sync:p=0.05 ; jobs.worker.run:every=97,kind=panic ; jobs.worker.latency:every=5,kind=latency,latency=250ms,after=2,limit=3 ", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Rules) != 3 {
+		t.Fatalf("plan %+v", p)
+	}
+	r := p.Rules[2]
+	if r.Site != SiteWorkerLatency || r.Kind != KindLatency || r.Latency != 250*time.Millisecond || r.After != 2 || r.Limit != 3 || r.Every != 5 {
+		t.Fatalf("rule %+v", r)
+	}
+	if p.Rules[0].Kind != KindError {
+		t.Fatalf("default kind %s", p.Rules[0].Kind)
+	}
+
+	for _, bad := range []string{
+		"nope.site:p=0.5",                 // unknown site
+		"store.read",                      // missing options
+		"store.read:p=2",                  // probability out of range
+		"store.read:kind=latency,every=1", // latency kind without latency=
+		"store.read:kind=weird,p=0.1",     // unknown kind
+		"store.read:limit=3",              // never fires
+		"store.read:p=x",                  // malformed number
+	} {
+		if _, err := ParsePlan(bad, 0); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+	if p, err := ParsePlan("", 1); err != nil || len(p.Rules) != 0 {
+		t.Fatalf("empty spec: %v %+v", err, p)
+	}
+}
+
+func TestChaosPlanZeroRateIsEmpty(t *testing.T) {
+	if p := ChaosPlan(1, 0); len(p.Rules) != 0 {
+		t.Fatalf("zero-rate chaos plan arms %d rules", len(p.Rules))
+	}
+	p := ChaosPlan(1, 0.05)
+	if len(p.Rules) == 0 {
+		t.Fatal("chaos plan armed nothing")
+	}
+	for _, r := range p.Rules {
+		if !knownSites[r.Site] {
+			t.Fatalf("chaos plan uses unknown site %q", r.Site)
+		}
+	}
+}
+
+func TestRetryPolicyDo(t *testing.T) {
+	// Succeeds on the third attempt: two retries.
+	calls := 0
+	retries, err := RetryPolicy{Attempts: 5, BaseDelay: time.Microsecond}.Do(context.Background(), nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || retries != 2 || calls != 3 {
+		t.Fatalf("retries=%d calls=%d err=%v", retries, calls, err)
+	}
+
+	// Exhausts attempts.
+	calls = 0
+	retries, err = RetryPolicy{Attempts: 3, BaseDelay: time.Microsecond}.Do(context.Background(), nil, func() error {
+		calls++
+		return errors.New("persistent")
+	})
+	if err == nil || retries != 2 || calls != 3 {
+		t.Fatalf("retries=%d calls=%d err=%v", retries, calls, err)
+	}
+
+	// Non-retryable errors return immediately.
+	fatal := errors.New("fatal")
+	calls = 0
+	retries, err = RetryPolicy{Attempts: 5, BaseDelay: time.Microsecond}.Do(context.Background(),
+		func(e error) bool { return !errors.Is(e, fatal) },
+		func() error { calls++; return fatal })
+	if !errors.Is(err, fatal) || retries != 0 || calls != 1 {
+		t.Fatalf("retries=%d calls=%d err=%v", retries, calls, err)
+	}
+
+	// Zero policy: one attempt.
+	calls = 0
+	if _, err := (RetryPolicy{}).Do(context.Background(), nil, func() error { calls++; return errors.New("x") }); err == nil || calls != 1 {
+		t.Fatalf("zero policy calls=%d err=%v", calls, err)
+	}
+
+	// Canceled context aborts the backoff promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = RetryPolicy{Attempts: 3, BaseDelay: time.Hour}.Do(ctx, nil, func() error { return errors.New("x") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+func TestFaultSleepIsContextAware(t *testing.T) {
+	inj := New(Plan{Rules: []Rule{{Site: SiteWorkerLatency, Kind: KindLatency, Every: 1, Latency: time.Hour}}})
+	f := inj.Hit(SiteWorkerLatency)
+	if f == nil || f.Kind != KindLatency {
+		t.Fatalf("fault %+v", f)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	if err := f.Sleep(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep err=%v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep ignored cancellation")
+	}
+	// Non-latency faults sleep nothing.
+	if err := (&Fault{Kind: KindError}).Sleep(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(3, time.Minute)
+	b.now = func() time.Time { return now }
+
+	if !b.Allow() || b.Tripped() || b.State() != BreakerClosed {
+		t.Fatal("fresh breaker not closed")
+	}
+	// Two failures: still closed. A success resets the streak.
+	b.Failure()
+	b.Failure()
+	if b.Tripped() {
+		t.Fatal("tripped below threshold")
+	}
+	if b.Success() {
+		t.Fatal("success on closed breaker reported recovery")
+	}
+	// Three consecutive failures trip it.
+	b.Failure()
+	b.Failure()
+	if tripped := b.Failure(); !tripped {
+		t.Fatal("threshold failure did not trip")
+	}
+	if b.State() != BreakerOpen || !b.Tripped() {
+		t.Fatalf("state %s after trip", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed inside cooldown")
+	}
+	// More failures while open don't re-trip.
+	if b.Failure() {
+		t.Fatal("open breaker re-tripped")
+	}
+
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %s, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Failed probe re-opens for another cooldown.
+	if !b.Failure() {
+		t.Fatal("failed probe did not re-open")
+	}
+	if b.Allow() {
+		t.Fatal("allowed right after failed probe")
+	}
+
+	// Next probe succeeds: recovered, closed, flowing again.
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe not admitted")
+	}
+	if !b.Success() {
+		t.Fatal("closing success did not report recovery")
+	}
+	if b.State() != BreakerClosed || b.Tripped() || !b.Allow() {
+		t.Fatal("breaker did not close after successful probe")
+	}
+}
+
+func TestNilBreaker(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() || b.Tripped() || b.Failure() || b.Success() || b.State() != BreakerClosed {
+		t.Fatal("nil breaker misbehaves")
+	}
+}

@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy bounds retry-with-exponential-backoff around a transient
+// operation. The zero value performs no retries (one attempt, no delay).
+type RetryPolicy struct {
+	// Attempts is the total number of attempts (first try included);
+	// <= 1 means no retries.
+	Attempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry. <= 0 with Attempts > 1 means 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff; <= 0 means 1s.
+	MaxDelay time.Duration
+}
+
+// DefaultStoreRetry is the policy the service layers apply around
+// persistent-store operations: three attempts, 10ms backoff doubling to
+// at most 250ms — enough to ride out transient I/O errors without
+// stalling a worker behind a genuinely dead disk.
+var DefaultStoreRetry = RetryPolicy{Attempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 250 * time.Millisecond}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts < 1 {
+		return 1
+	}
+	return p.Attempts
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 10 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxDelay <= 0 {
+		return time.Second
+	}
+	return p.MaxDelay
+}
+
+// Do runs op up to p.Attempts times, sleeping the exponential backoff
+// between attempts (context-aware: a canceled ctx aborts the wait and
+// returns ctx.Err wrapped over the last failure). retryable filters which
+// errors are worth retrying; nil means all. It returns the number of
+// retries performed (0 when the first attempt settled it) and the final
+// error.
+func (p RetryPolicy) Do(ctx context.Context, retryable func(error) bool, op func() error) (int, error) {
+	delay := p.base()
+	maxDelay := p.cap()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || attempt+1 >= p.attempts() || (retryable != nil && !retryable(err)) {
+			return attempt, err
+		}
+		if serr := SleepContext(ctx, delay); serr != nil {
+			return attempt, serr
+		}
+		delay *= 2
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+// SleepContext sleeps for d or until ctx is done, returning ctx.Err in
+// the latter case. Injected-latency hooks and retry backoffs both use it
+// so cancellation always propagates promptly through stalls.
+func SleepContext(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Sleep performs the fault's injected latency (context-aware). Non-latency
+// faults sleep nothing. Nil-safe.
+func (f *Fault) Sleep(ctx context.Context) error {
+	if f == nil || f.Kind != KindLatency {
+		return nil
+	}
+	return SleepContext(ctx, f.Latency)
+}

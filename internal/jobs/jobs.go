@@ -230,6 +230,14 @@ type Job struct {
 	budget nsa.Budget
 	cancel context.CancelFunc
 	done   chan struct{}
+
+	// Watchdog bookkeeping: attempts counts watchdog requeues so far,
+	// wedged marks the current attempt as deadlined, userCanceled
+	// distinguishes a user cancel (terminal) from a watchdog kill
+	// (requeueable). All guarded by the pool's registry lock.
+	attempts     int
+	wedged       bool
+	userCanceled bool
 }
 
 // Done returns a channel closed when the job reaches a terminal state.

@@ -85,6 +85,11 @@ type Snapshot struct {
 
 	// Engine is the sum of the hot-path counters of every completed run.
 	Engine obs.Counters `json:"engine"`
+
+	// Resilience is the pool's self-healing counters (store retries,
+	// breaker activity, watchdog requeues, recovered panics); filled in by
+	// Pool.Metrics, not by the Metrics collector itself.
+	Resilience obs.ResilienceCounters `json:"resilience"`
 }
 
 func (m *Metrics) jobQueued() {
@@ -98,6 +103,15 @@ func (m *Metrics) jobDequeued() {
 	m.mu.Lock()
 	m.queued--
 	m.running++
+	m.mu.Unlock()
+}
+
+// jobRequeued accounts for a running job the watchdog sent back to the
+// queue for a fresh attempt.
+func (m *Metrics) jobRequeued() {
+	m.mu.Lock()
+	m.running--
+	m.queued++
 	m.mu.Unlock()
 }
 

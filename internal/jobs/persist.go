@@ -1,8 +1,10 @@
 package jobs
 
 import (
+	"errors"
 	"time"
 
+	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/store"
@@ -82,31 +84,94 @@ func outcomeFromDoc(d *outcomeDoc) *Outcome {
 	}
 }
 
+// storeRetryable filters which store errors are worth retrying:
+// everything transient. A closed store or a malformed key will not heal
+// with backoff.
+func storeRetryable(err error) bool {
+	return !errors.Is(err, store.ErrClosed) && !errors.Is(err, store.ErrBadKey)
+}
+
+// storeFailure feeds one exhausted (post-retry) store failure to the
+// disk-tier breaker, logging the trip into degraded mode.
+func (p *Pool) storeFailure(err error) {
+	if p.breaker.Failure() {
+		p.res.BreakerTrips.Add(1)
+		p.res.SetDegraded(true)
+		if p.opts.Logger != nil {
+			p.opts.Logger.Warn("store breaker tripped; disk tier degraded to memory-only", "error", err.Error())
+		}
+	}
+}
+
+// storeSuccess feeds one successful store operation to the breaker,
+// logging a recovery when it closes a tripped breaker.
+func (p *Pool) storeSuccess() {
+	if p.breaker.Success() {
+		p.res.BreakerResets.Add(1)
+		p.res.SetDegraded(false)
+		if p.opts.Logger != nil {
+			p.opts.Logger.Info("store breaker reset; disk tier recovered")
+		}
+	}
+}
+
 // storeGet looks key up in the persistent tier. Version-mismatched or
 // unreadable documents read as misses — the store's hit was optimistic,
-// the outcome will simply be recomputed and re-persisted.
+// the outcome will simply be recomputed and re-persisted. Transient
+// failures are retried with backoff; exhausted failures count against the
+// breaker, and a tripped breaker short-circuits the lookup entirely.
 func (p *Pool) storeGet(key string) *Outcome {
 	if p.store == nil || key == "" {
 		return nil
 	}
+	if !p.breaker.Allow() {
+		p.res.BreakerShortCircuits.Add(1)
+		return nil
+	}
 	var d outcomeDoc
-	ok, err := p.store.Get(outcomeKind, key, &d)
-	if err != nil || !ok || d.Version != outcomeDocVersion {
+	var ok bool
+	retries, err := fault.DefaultStoreRetry.Do(p.ctx, storeRetryable, func() error {
+		d = outcomeDoc{}
+		var gerr error
+		ok, gerr = p.store.Get(outcomeKind, key, &d)
+		return gerr
+	})
+	p.res.StoreRetries.Add(int64(retries))
+	if err != nil {
+		p.storeFailure(err)
+		return nil
+	}
+	p.storeSuccess()
+	if !ok || d.Version != outcomeDocVersion {
 		return nil
 	}
 	return outcomeFromDoc(&d)
 }
 
 // storePut persists a freshly computed outcome. Persistence is
-// best-effort: a full disk degrades the service to memory-only caching,
-// it does not fail runs.
+// best-effort: a failing disk degrades the service to memory-only
+// caching (via retries and then the breaker), it does not fail runs.
 func (p *Pool) storePut(key string, out *Outcome) {
 	if p.store == nil || key == "" || out == nil {
 		return
 	}
-	if err := p.store.Put(outcomeKind, key, docFromOutcome(out)); err != nil && p.opts.Logger != nil {
-		p.opts.Logger.Warn("persisting outcome failed", "fingerprint", key, "error", err.Error())
+	if !p.breaker.Allow() {
+		p.res.BreakerShortCircuits.Add(1)
+		return
 	}
+	doc := docFromOutcome(out)
+	retries, err := fault.DefaultStoreRetry.Do(p.ctx, storeRetryable, func() error {
+		return p.store.Put(outcomeKind, key, doc)
+	})
+	p.res.StoreRetries.Add(int64(retries))
+	if err != nil {
+		p.storeFailure(err)
+		if p.opts.Logger != nil {
+			p.opts.Logger.Warn("persisting outcome failed", "fingerprint", key, "error", err.Error())
+		}
+		return
+	}
+	p.storeSuccess()
 }
 
 // Store returns the pool's persistent tier, nil when running memory-only.

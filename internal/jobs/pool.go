@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"stopwatchsim/internal/diag"
+	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/store"
@@ -25,6 +26,9 @@ var (
 	ErrClosed = errors.New("jobs: pool closed")
 	// ErrUnknownJob is returned for job IDs the registry does not hold.
 	ErrUnknownJob = errors.New("jobs: unknown job")
+	// ErrStuck marks a job the watchdog killed for exceeding the stuck
+	// deadline and could not (or may not) requeue.
+	ErrStuck = errors.New("jobs: job stuck")
 )
 
 // Options configure a Pool. The zero value is usable: GOMAXPROCS workers,
@@ -54,6 +58,29 @@ type Options struct {
 	// on every in-memory miss (memory → disk → compute), so results
 	// survive process restarts.
 	Store *store.Store
+	// Faults is an optional fault injector consulted at the worker sites
+	// (run errors, panics, injected latency). Nil — the normal
+	// configuration — is a zero-cost no-op. Store-site faults are armed on
+	// the store itself via store.Options.Faults.
+	Faults *fault.Injector
+	// Resilience collects the pool's self-healing counters (retries,
+	// breaker trips, watchdog requeues, recovered panics). Nil allocates a
+	// private collector; pass one to share it with the campaign engine and
+	// the metrics endpoint.
+	Resilience *obs.Resilience
+	// StuckAfter arms the watchdog: a job running longer than this is
+	// presumed wedged, its context canceled and the job requeued (up to
+	// MaxRequeues times). <= 0 disables the watchdog.
+	StuckAfter time.Duration
+	// MaxRequeues bounds watchdog requeues per job; 0 means 1, negative
+	// means kill without requeueing.
+	MaxRequeues int
+	// BreakerThreshold and BreakerCooldown tune the disk-tier circuit
+	// breaker: consecutive store failures before the tier degrades to
+	// memory-only, and how long before a recovery probe. Zero values take
+	// the fault.NewBreaker defaults (5 failures, 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // Pool is a bounded worker pool with a job registry and a shared result
@@ -64,6 +91,9 @@ type Pool struct {
 	store   *store.Store
 	metrics *Metrics
 	queue   chan *Job
+	faults  *fault.Injector
+	res     *obs.Resilience
+	breaker *fault.Breaker // guards the disk tier; nil when no store
 
 	ctx  context.Context
 	stop context.CancelFunc
@@ -89,6 +119,9 @@ func New(opts Options) *Pool {
 	if opts.Tool == "" {
 		opts.Tool = "jobs"
 	}
+	if opts.Resilience == nil {
+		opts.Resilience = &obs.Resilience{}
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	p := &Pool{
 		opts:    opts,
@@ -96,16 +129,35 @@ func New(opts Options) *Pool {
 		store:   opts.Store,
 		metrics: newMetrics(),
 		queue:   make(chan *Job, opts.QueueDepth),
+		faults:  opts.Faults,
+		res:     opts.Resilience,
 		ctx:     ctx,
 		stop:    stop,
 		jobs:    make(map[string]*Job),
+	}
+	if p.store != nil {
+		p.breaker = fault.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
 	}
+	if opts.StuckAfter > 0 {
+		p.wg.Add(1)
+		go p.watchdog()
+	}
 	return p
 }
+
+// Resilience returns the pool's self-healing counters (never nil).
+func (p *Pool) Resilience() *obs.Resilience { return p.res }
+
+// Faults returns the pool's worker-site fault injector, nil when disabled.
+func (p *Pool) Faults() *fault.Injector { return p.faults }
+
+// Degraded reports whether the disk tier is currently tripped into
+// memory-only mode — the /readyz signal.
+func (p *Pool) Degraded() bool { return p.breaker.Tripped() }
 
 // Submit enqueues r under the pool's default budget.
 func (p *Pool) Submit(r Runner) (Job, error) {
@@ -242,10 +294,14 @@ func (p *Pool) Cancel(id string) bool {
 	}
 	switch jb.Status {
 	case StatusQueued:
+		jb.userCanceled = true
 		p.finishLocked(jb, nil, context.Canceled)
 		p.metrics.jobCanceledQueued()
 		return true
 	case StatusRunning:
+		// Mark the cancellation as user-requested so the watchdog's requeue
+		// path leaves the job alone: a user cancel is terminal.
+		jb.userCanceled = true
 		jb.cancel()
 		return true
 	}
@@ -253,7 +309,11 @@ func (p *Pool) Cancel(id string) bool {
 }
 
 // Metrics returns a consistent snapshot of the pool's counters.
-func (p *Pool) Metrics() Snapshot { return p.metrics.Snapshot() }
+func (p *Pool) Metrics() Snapshot {
+	s := p.metrics.Snapshot()
+	s.Resilience = p.res.Snapshot()
+	return s
+}
 
 // PhaseLatencies returns windowed per-phase latency histograms merged
 // from the RunReports of completed jobs, keyed by phase name.
@@ -298,6 +358,61 @@ func (p *Pool) worker() {
 	}
 }
 
+// watchdog periodically sweeps for running jobs past the stuck deadline,
+// cancels them and lets run's requeue path give them a fresh attempt.
+func (p *Pool) watchdog() {
+	defer p.wg.Done()
+	interval := p.opts.StuckAfter / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-t.C:
+			p.sweepStuck()
+		}
+	}
+}
+
+// sweepStuck deadlines every running job older than StuckAfter. The
+// cancel is issued under the registry lock so it cannot race a requeue
+// replacing jb.cancel with a fresh attempt's context.
+func (p *Pool) sweepStuck() {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, jb := range p.jobs {
+		if jb.Status != StatusRunning || jb.wedged || jb.userCanceled {
+			continue
+		}
+		if now.Sub(jb.Started) <= p.opts.StuckAfter {
+			continue
+		}
+		jb.wedged = true
+		jb.cancel()
+		if lg := p.jobLogger(jb); lg != nil {
+			lg.Warn("watchdog deadlined stuck job",
+				slog.Duration("stuck_after", p.opts.StuckAfter), slog.Int("attempt", jb.attempts+1))
+		}
+	}
+}
+
+// maxRequeues resolves the per-job watchdog requeue budget.
+func (p *Pool) maxRequeues() int {
+	switch {
+	case p.opts.MaxRequeues < 0:
+		return 0
+	case p.opts.MaxRequeues == 0:
+		return 1
+	default:
+		return p.opts.MaxRequeues
+	}
+}
+
 // run executes one dequeued job.
 func (p *Pool) run(jb *Job) {
 	p.mu.Lock()
@@ -333,10 +448,33 @@ func (p *Pool) run(jb *Job) {
 		lg.Info("job started")
 	}
 
-	out, err := runner.Run(ctx, budget)
+	out, err := p.safeRun(ctx, runner, budget)
 	cancel()
 
 	p.mu.Lock()
+	if err != nil && jb.wedged && !jb.userCanceled {
+		// The watchdog killed this attempt. Requeue while the budget lasts;
+		// past it the job fails (not "canceled": nobody asked for it).
+		if jb.attempts < p.maxRequeues() {
+			select {
+			case p.queue <- jb:
+				jb.attempts++
+				jb.wedged = false
+				jb.Status = StatusQueued
+				attempt := jb.attempts
+				p.mu.Unlock()
+				p.metrics.jobRequeued()
+				p.res.WatchdogRequeues.Add(1)
+				if lg := p.jobLogger(jb); lg != nil {
+					lg.Warn("stuck job requeued", slog.Int("attempt", attempt+1))
+				}
+				return
+			default:
+				// Queue full: fall through to a terminal failure.
+			}
+		}
+		err = fmt.Errorf("%w: killed by watchdog after %s (%d attempts)", ErrStuck, p.opts.StuckAfter, jb.attempts+1)
+	}
 	p.finishLocked(jb, out, err)
 	st, elapsed := jb.Status, jb.Finished.Sub(jb.Started)
 	p.mu.Unlock()
@@ -360,6 +498,36 @@ func (p *Pool) run(jb *Job) {
 				slog.Duration("elapsed", elapsed), slog.Int64("events", events))
 		}
 	}
+}
+
+// safeRun executes the runner behind the worker fault sites and a panic
+// fence: a panicking run (injected, or an organic defect in an analysis
+// pipeline) is converted into a failed job instead of killing the worker
+// and, with it, the whole service.
+func (p *Pool) safeRun(ctx context.Context, r Runner, b nsa.Budget) (out *Outcome, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.res.PanicsRecovered.Add(1)
+			out = nil
+			if perr, ok := rec.(error); ok {
+				err = fmt.Errorf("jobs: worker panic recovered: %w", perr)
+			} else {
+				err = fmt.Errorf("jobs: worker panic recovered: %v", rec)
+			}
+		}
+	}()
+	if f := p.faults.Hit(fault.SiteWorkerLatency); f != nil {
+		if serr := f.Sleep(ctx); serr != nil {
+			return nil, serr
+		}
+	}
+	if f := p.faults.Hit(fault.SiteWorkerRun); f != nil {
+		if f.Kind == fault.KindPanic {
+			panic(f.Err())
+		}
+		return nil, f.Err()
+	}
+	return r.Run(ctx, b)
 }
 
 // finishLocked moves jb to its terminal state. Callers hold p.mu.

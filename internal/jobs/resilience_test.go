@@ -1,0 +1,269 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"stopwatchsim/internal/fault"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/store"
+)
+
+// Tests for the pool's self-healing machinery: the stuck-job watchdog,
+// the worker panic fence, the injected worker faults, and the disk-tier
+// retry + circuit breaker.
+
+// stubbornRunner ignores its context n times before yielding to it —
+// the shape of a wedged interpretation loop.
+type stubbornRunner struct {
+	key     string
+	stalls  *int // decremented per attempt; <= 0 behaves
+	release chan struct{}
+}
+
+func (r stubbornRunner) Key() string { return r.key }
+
+func (r stubbornRunner) Run(ctx context.Context, _ nsa.Budget) (*Outcome, error) {
+	*r.stalls--
+	if *r.stalls >= 0 {
+		<-r.release // wedged: deaf to ctx until externally released
+		return nil, ctx.Err()
+	}
+	return &Outcome{Verdict: VerdictCompleted}, nil
+}
+
+func TestWatchdogRequeuesStuckJob(t *testing.T) {
+	p := New(Options{Workers: 1, StuckAfter: 30 * time.Millisecond, MaxRequeues: 2})
+	defer p.Close()
+	stalls := 1
+	release := make(chan struct{})
+	jb, err := p.Submit(stubbornRunner{key: "", stalls: &stalls, release: release})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first attempt wedges; the watchdog cancels it, but the runner
+	// only returns once released — simulate the wedge clearing.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	snap, err := p.Wait(ctx, jb.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != StatusDone {
+		t.Fatalf("status %s (err %v), want done after requeue", snap.Status, snap.Err)
+	}
+	if got := p.Resilience().WatchdogRequeues.Load(); got != 1 {
+		t.Fatalf("WatchdogRequeues = %d, want 1", got)
+	}
+	m := p.Metrics()
+	if m.Queued != 0 || m.Running != 0 || m.Done != 1 {
+		t.Fatalf("metrics after requeue: %+v", m)
+	}
+}
+
+func TestWatchdogExhaustedRequeuesFailsJob(t *testing.T) {
+	p := New(Options{Workers: 1, StuckAfter: 20 * time.Millisecond, MaxRequeues: 1})
+	defer p.Close()
+	stalls := 5 // never behaves within the requeue budget
+	release := make(chan struct{})
+	jb, err := p.Submit(stubbornRunner{key: "", stalls: &stalls, release: release})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// Let each deadlined attempt return once its context is canceled.
+		for i := 0; i < 2; i++ {
+			time.Sleep(60 * time.Millisecond)
+			release <- struct{}{}
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	snap, err := p.Wait(ctx, jb.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != StatusFailed || !errors.Is(snap.Err, ErrStuck) {
+		t.Fatalf("status %s err %v, want failed with ErrStuck", snap.Status, snap.Err)
+	}
+}
+
+func TestWatchdogLeavesUserCancelAlone(t *testing.T) {
+	p := New(Options{Workers: 1, StuckAfter: time.Hour})
+	defer p.Close()
+	started := make(chan struct{})
+	jb, err := p.Submit(funcRunner{run: func(ctx context.Context) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !p.Cancel(jb.ID) {
+		t.Fatal("cancel refused")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	snap, err := p.Wait(ctx, jb.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != StatusCanceled {
+		t.Fatalf("status %s, want canceled (not requeued)", snap.Status)
+	}
+	if got := p.Resilience().WatchdogRequeues.Load(); got != 0 {
+		t.Fatalf("user cancel triggered %d requeues", got)
+	}
+}
+
+func TestWorkerPanicIsContained(t *testing.T) {
+	p := New(Options{Workers: 2})
+	defer p.Close()
+	jb, err := p.Submit(funcRunner{run: func(context.Context) error { panic("analysis blew up") }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	snap, err := p.Wait(ctx, jb.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != StatusFailed || snap.Err == nil {
+		t.Fatalf("status %s err %v, want failed", snap.Status, snap.Err)
+	}
+	if got := p.Resilience().PanicsRecovered.Load(); got != 1 {
+		t.Fatalf("PanicsRecovered = %d, want 1", got)
+	}
+	// The worker survived: the pool still runs jobs.
+	jb2, err := p.Submit(funcRunner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := p.Wait(ctx, jb2.ID); err != nil || snap.Status != StatusDone {
+		t.Fatalf("pool dead after panic: %+v %v", snap, err)
+	}
+}
+
+func TestInjectedWorkerFaults(t *testing.T) {
+	inj := fault.New(fault.Plan{Rules: []fault.Rule{
+		{Site: fault.SiteWorkerRun, Kind: fault.KindPanic, Every: 2, Limit: 1}, // second run panics
+	}})
+	p := New(Options{Workers: 1, Faults: inj})
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	jb1, _ := p.Submit(funcRunner{})
+	if snap, err := p.Wait(ctx, jb1.ID); err != nil || snap.Status != StatusDone {
+		t.Fatalf("first run: %+v %v", snap, err)
+	}
+	jb2, _ := p.Submit(funcRunner{})
+	snap, err := p.Wait(ctx, jb2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != StatusFailed || !fault.IsInjected(snap.Err) {
+		t.Fatalf("injected panic surfaced as %s / %v", snap.Status, snap.Err)
+	}
+	if p.Resilience().PanicsRecovered.Load() != 1 {
+		t.Fatal("injected panic not counted as recovered")
+	}
+}
+
+func TestDiskTierRetriesTransientFaults(t *testing.T) {
+	dir := t.TempDir()
+	// One injected journal-sync failure: the first Put attempt fails, the
+	// retry succeeds, nothing trips.
+	inj := fault.New(fault.Plan{Rules: []fault.Rule{
+		{Site: fault.SiteStoreJournalSync, Kind: fault.KindError, Every: 1, Limit: 1},
+	}})
+	st, err := store.Open(dir, store.Options{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	p := New(Options{Workers: 1, Store: st})
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	jb, _ := p.Submit(funcRunner{key: "retry-key"})
+	if snap, werr := p.Wait(ctx, jb.ID); werr != nil || snap.Status != StatusDone {
+		t.Fatalf("run: %+v %v", snap, werr)
+	}
+	waitFor(t, func() bool { return p.Resilience().StoreRetries.Load() >= 1 })
+	if p.Degraded() {
+		t.Fatal("a single transient fault degraded the tier")
+	}
+	// The retried write landed: a fresh pool on the same store serves it.
+	if !st.Has("outcome", "retry-key") {
+		t.Fatal("outcome not persisted despite retry")
+	}
+}
+
+func TestBreakerDegradesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	// Enough consecutive journal-sync failures to exhaust every retry of
+	// several puts in a row: the breaker trips.
+	inj := fault.New(fault.Plan{Rules: []fault.Rule{
+		{Site: fault.SiteStoreJournalSync, Kind: fault.KindError, Every: 1, Limit: 6},
+	}})
+	st, err := store.Open(dir, store.Options{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	p := New(Options{Workers: 1, Store: st, BreakerThreshold: 2, BreakerCooldown: 20 * time.Millisecond})
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	for i, key := range []string{"k1", "k2"} {
+		jb, _ := p.Submit(funcRunner{key: key})
+		if snap, werr := p.Wait(ctx, jb.ID); werr != nil || snap.Status != StatusDone {
+			t.Fatalf("run %d: %+v %v", i, snap, werr)
+		}
+	}
+	// Each put burned 3 attempts (6 injected faults total): two exhausted
+	// failures at threshold 2 trip the breaker into degraded mode.
+	waitFor(t, func() bool { return p.Degraded() })
+	if p.Resilience().BreakerTrips.Load() != 1 {
+		t.Fatalf("BreakerTrips = %d", p.Resilience().BreakerTrips.Load())
+	}
+
+	// Cooldown elapses; the injector is exhausted, so the next store
+	// operation is the half-open probe that heals the tier.
+	time.Sleep(30 * time.Millisecond)
+	jb, _ := p.Submit(funcRunner{key: "k3"})
+	if snap, werr := p.Wait(ctx, jb.ID); werr != nil || snap.Status != StatusDone {
+		t.Fatalf("probe run: %+v %v", snap, werr)
+	}
+	waitFor(t, func() bool { return !p.Degraded() })
+	if p.Resilience().BreakerResets.Load() != 1 {
+		t.Fatalf("BreakerResets = %d", p.Resilience().BreakerResets.Load())
+	}
+	if p.Metrics().Resilience.BreakerTrips != 1 {
+		t.Fatal("resilience counters missing from the metrics snapshot")
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

@@ -1,0 +1,82 @@
+package obs
+
+import "sync/atomic"
+
+// Resilience collects the self-healing counters of the service runtime:
+// what the fault-containment machinery (internal/fault retry/breaker, the
+// jobs watchdog, campaign quarantine) absorbed so the caller never saw
+// it. One Resilience is shared by the jobs pool and the campaign engine
+// of a process; cmd/saserve exposes it as the saserve_resilience_* metric
+// families and cmd/chaos folds it into its soak report.
+//
+// Like Probe, all fields are atomics and a nil *Resilience is the
+// disabled collector: every method returns after a nil check.
+//
+//   - StoreRetries: persistent-store operation retries that recovered (or
+//     exhausted) a transient failure.
+//   - BreakerTrips / BreakerResets: disk-tier circuit breaker openings
+//     and recoveries; BreakerShortCircuits counts operations skipped
+//     while the tier was degraded.
+//   - WatchdogRequeues: wedged running jobs deadlined and requeued.
+//   - PanicsRecovered: worker panics converted into failed jobs.
+//   - PointRetries: campaign point evaluations retried after a failed
+//     attempt; PointsQuarantined counts points recorded failed after the
+//     retry budget was exhausted.
+//   - Degraded: 0/1 gauge — the disk tier is currently tripped into
+//     memory-only mode (mirrors /readyz).
+type Resilience struct {
+	StoreRetries         atomic.Int64
+	BreakerTrips         atomic.Int64
+	BreakerResets        atomic.Int64
+	BreakerShortCircuits atomic.Int64
+	WatchdogRequeues     atomic.Int64
+	PanicsRecovered      atomic.Int64
+	PointRetries         atomic.Int64
+	PointsQuarantined    atomic.Int64
+	Degraded             atomic.Int64
+}
+
+// ResilienceCounters is the plain snapshot of a Resilience, the JSON wire
+// form used by the chaos report and the pool metrics snapshot.
+type ResilienceCounters struct {
+	StoreRetries         int64 `json:"store_retries"`
+	BreakerTrips         int64 `json:"breaker_trips"`
+	BreakerResets        int64 `json:"breaker_resets"`
+	BreakerShortCircuits int64 `json:"breaker_short_circuits"`
+	WatchdogRequeues     int64 `json:"watchdog_requeues"`
+	PanicsRecovered      int64 `json:"panics_recovered"`
+	PointRetries         int64 `json:"point_retries"`
+	PointsQuarantined    int64 `json:"points_quarantined"`
+	Degraded             int64 `json:"degraded"`
+}
+
+// Snapshot returns a copy of the counters; each field is loaded
+// atomically. Nil-safe: a nil collector snapshots to zeroes.
+func (r *Resilience) Snapshot() ResilienceCounters {
+	if r == nil {
+		return ResilienceCounters{}
+	}
+	return ResilienceCounters{
+		StoreRetries:         r.StoreRetries.Load(),
+		BreakerTrips:         r.BreakerTrips.Load(),
+		BreakerResets:        r.BreakerResets.Load(),
+		BreakerShortCircuits: r.BreakerShortCircuits.Load(),
+		WatchdogRequeues:     r.WatchdogRequeues.Load(),
+		PanicsRecovered:      r.PanicsRecovered.Load(),
+		PointRetries:         r.PointRetries.Load(),
+		PointsQuarantined:    r.PointsQuarantined.Load(),
+		Degraded:             r.Degraded.Load(),
+	}
+}
+
+// SetDegraded flips the degraded-mode gauge. Nil-safe no-op.
+func (r *Resilience) SetDegraded(on bool) {
+	if r == nil {
+		return
+	}
+	if on {
+		r.Degraded.Store(1)
+	} else {
+		r.Degraded.Store(0)
+	}
+}

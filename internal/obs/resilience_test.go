@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestResilienceNilSafe(t *testing.T) {
+	var r *Resilience
+	if got := r.Snapshot(); got != (ResilienceCounters{}) {
+		t.Fatalf("nil snapshot %+v", got)
+	}
+	r.SetDegraded(true) // must not panic
+}
+
+func TestResilienceSnapshotAndDegraded(t *testing.T) {
+	r := &Resilience{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.StoreRetries.Add(1)
+				r.PointsQuarantined.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	r.BreakerTrips.Add(2)
+	r.SetDegraded(true)
+	s := r.Snapshot()
+	if s.StoreRetries != 800 || s.PointsQuarantined != 800 || s.BreakerTrips != 2 || s.Degraded != 1 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	r.SetDegraded(false)
+	if r.Snapshot().Degraded != 0 {
+		t.Fatal("degraded gauge did not clear")
+	}
+}

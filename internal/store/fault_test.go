@@ -1,0 +1,282 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/fault"
+)
+
+// These tests drive the store through its fault-injection sites and check
+// the containment invariants: a failed append self-repairs the journal
+// tail, a torn object write leaves only sweepable residue, and injected
+// read errors surface classified without corrupting state.
+
+func injector(rules ...fault.Rule) *fault.Injector {
+	return fault.New(fault.Plan{Seed: 1, Rules: rules})
+}
+
+func TestInjectedJournalAppendSelfRepairs(t *testing.T) {
+	dir := t.TempDir()
+	inj := injector(fault.Rule{Site: fault.SiteStoreJournalAppend, Kind: fault.KindShortWrite, Every: 2, Limit: 1})
+	s := mustOpen(t, dir, Options{Faults: inj})
+	if err := s.Put("outcome", "first", doc{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Second append tears: half a frame lands, then the store rolls the
+	// tail back to the end of the first record.
+	err := s.Put("outcome", "torn", doc{N: 2})
+	if !fault.IsInjected(err) || !fault.IsShortWrite(err) {
+		t.Fatalf("want injected short write, got %v", err)
+	}
+	if st := s.Stats(); st.JournalRepairs != 1 {
+		t.Fatalf("JournalRepairs = %d, want 1", st.JournalRepairs)
+	}
+	if s.Has("outcome", "torn") {
+		t.Fatal("failed put visible in index")
+	}
+	// The repaired journal accepts further appends on a clean boundary.
+	if err := s.Put("outcome", "second", doc{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Reopen without faults: exactly the acknowledged records survive and
+	// no torn bytes were left for recovery to truncate.
+	s2 := mustOpen(t, dir, Options{})
+	st := s2.Stats()
+	if st.RecoveredRecords != 2 || st.TruncatedBytes != 0 {
+		t.Fatalf("recovery after self-repair: %+v", st)
+	}
+	if !s2.Has("outcome", "first") || !s2.Has("outcome", "second") || s2.Has("outcome", "torn") {
+		t.Fatal("index after self-repair wrong")
+	}
+}
+
+func TestInjectedJournalSyncRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	inj := injector(fault.Rule{Site: fault.SiteStoreJournalSync, Kind: fault.KindError, Every: 2, Limit: 1})
+	s := mustOpen(t, dir, Options{Faults: inj})
+	if err := s.Put("outcome", "first", doc{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The frame was written but the fsync "failed": the store cannot know
+	// whether it is durable, so it rolls the file back to stay in step
+	// with the index (which never saw the mutation).
+	if err := s.Put("outcome", "unsynced", doc{N: 2}); !fault.IsInjected(err) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if st := s.Stats(); st.JournalRepairs != 1 {
+		t.Fatalf("JournalRepairs = %d, want 1", st.JournalRepairs)
+	}
+	if err := s.Put("outcome", "second", doc{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	if st := s2.Stats(); st.RecoveredRecords != 2 || st.TruncatedBytes != 0 {
+		t.Fatalf("recovery stats %+v", st)
+	}
+	if s2.Has("outcome", "unsynced") {
+		t.Fatal("rolled-back record resurfaced")
+	}
+}
+
+func TestInjectedObjectWriteLeavesSweepableOrphan(t *testing.T) {
+	dir := t.TempDir()
+	inj := injector(fault.Rule{Site: fault.SiteStoreObjectWrite, Kind: fault.KindShortWrite, Every: 1, Limit: 1})
+	s := mustOpen(t, dir, Options{Faults: inj})
+	if err := s.Put("outcome", "torn", doc{N: 1}); !fault.IsShortWrite(err) {
+		t.Fatalf("want injected short write, got %v", err)
+	}
+	// The torn temp file stays behind, exactly like a crash mid-write.
+	var temps int
+	filepath.WalkDir(filepath.Join(dir, objectsDir), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasPrefix(filepath.Base(path), ".tmp-") {
+			temps++
+		}
+		return nil
+	})
+	if temps != 1 {
+		t.Fatalf("found %d torn temp files, want 1", temps)
+	}
+	// Rule limit exhausted: the retried put goes through.
+	if err := s.Put("outcome", "torn", doc{N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, Options{})
+	if st := s2.Stats(); st.OrphansSwept != 1 {
+		t.Fatalf("swept %d orphans, want 1 (the torn temp)", st.OrphansSwept)
+	}
+	var got doc
+	if ok, err := s2.Get("outcome", "torn", &got); !ok || err != nil || got.N != 2 {
+		t.Fatalf("ok=%v err=%v got=%+v", ok, err, got)
+	}
+}
+
+func TestInjectedReadErrorIsTransient(t *testing.T) {
+	dir := t.TempDir()
+	inj := injector(fault.Rule{Site: fault.SiteStoreRead, Kind: fault.KindError, Every: 1, Limit: 1})
+	s := mustOpen(t, dir, Options{Faults: inj})
+	if err := s.Put("outcome", "key", doc{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var got doc
+	if _, err := s.Get("outcome", "key", &got); !fault.IsInjected(err) {
+		t.Fatalf("want injected read error, got %v", err)
+	}
+	if ok, err := s.Get("outcome", "key", &got); !ok || err != nil || got.N != 7 {
+		t.Fatalf("retried read: ok=%v err=%v got=%+v", ok, err, got)
+	}
+}
+
+func TestInjectedRecoveryReadFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	writeStore(t, dir, 3)
+	inj := injector(fault.Rule{Site: fault.SiteStoreRecoveryRead, Kind: fault.KindError, Every: 2})
+	if _, err := Open(dir, Options{Faults: inj}); !fault.IsInjected(err) {
+		t.Fatalf("Open with failing recovery reads: err=%v, want injected", err)
+	}
+	// An I/O error during recovery must not have truncated good records.
+	s := mustOpen(t, dir, Options{})
+	if st := s.Stats(); st.RecoveredRecords != 3 || st.TruncatedBytes != 0 {
+		t.Fatalf("post-failure recovery stats %+v", st)
+	}
+}
+
+// TestJournalRecoveryProperty is the property-based recovery test: random
+// put/delete histories, the tail corrupted in random ways (truncation,
+// byte flips near the end, garbage appends), then reopened. Two
+// invariants must hold in every case:
+//
+//  1. Recovery never returns a corrupt object — every surviving key
+//     decodes to some version actually written for that key.
+//  2. The journal is always re-appendable — a put after recovery persists
+//     across one more reopen.
+func TestJournalRecoveryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	const iterations = 40
+	for iter := 0; iter < iterations; iter++ {
+		dir := t.TempDir()
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random history over a small key space so overwrites and deletes
+		// are common; remember every version ever written per key.
+		written := make(map[string]map[int]bool)
+		ops := 5 + rng.Intn(40)
+		for i := 0; i < ops; i++ {
+			key := fmt.Sprintf("key%02d", rng.Intn(8))
+			if rng.Intn(5) == 0 {
+				if err := s.Delete("outcome", key); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			version := rng.Intn(1 << 20)
+			if err := s.Put("outcome", key, doc{Verdict: key, N: version}); err != nil {
+				t.Fatal(err)
+			}
+			if written[key] == nil {
+				written[key] = make(map[int]bool)
+			}
+			written[key][version] = true
+		}
+		s.Close()
+
+		// Corrupt the tail.
+		journal := filepath.Join(dir, journalName)
+		fi, err := os.Stat(journal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch rng.Intn(3) {
+		case 0: // torn tail: drop a random suffix
+			if fi.Size() > 0 {
+				cut := int64(rng.Intn(int(fi.Size()))) + 1
+				if err := os.Truncate(journal, fi.Size()-cut); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 1: // bit rot near the end: flip bytes in the last ~64
+			f, err := os.OpenFile(journal, os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			span := int64(64)
+			if span > fi.Size() {
+				span = fi.Size()
+			}
+			for flips := 1 + rng.Intn(4); flips > 0 && span > 0; flips-- {
+				off := fi.Size() - 1 - int64(rng.Intn(int(span)))
+				f.WriteAt([]byte{byte(rng.Intn(256))}, off)
+			}
+			f.Close()
+		case 2: // garbage appended past the last valid frame
+			f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			junk := make([]byte, 1+rng.Intn(40))
+			rng.Read(junk)
+			f.Write(junk)
+			f.Close()
+		}
+
+		// Invariant 1: everything recovered decodes to a written version.
+		s2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("iter %d: reopen after corruption: %v", iter, err)
+		}
+		for _, key := range s2.Keys("outcome") {
+			var got doc
+			ok, err := s2.Get("outcome", key, &got)
+			if err != nil || !ok {
+				t.Fatalf("iter %d: recovered key %s unreadable: ok=%v err=%v", iter, key, ok, err)
+			}
+			if got.Verdict != key || !written[key][got.N] {
+				t.Fatalf("iter %d: key %s recovered corrupt value %+v", iter, key, got)
+			}
+		}
+
+		// Invariant 2: the journal accepts appends and they stick.
+		if err := s2.Put("outcome", "postcrash", doc{Verdict: "postcrash", N: iter}); err != nil {
+			t.Fatalf("iter %d: post-recovery put: %v", iter, err)
+		}
+		s2.Close()
+		s3, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("iter %d: final reopen: %v", iter, err)
+		}
+		var got doc
+		if ok, err := s3.Get("outcome", "postcrash", &got); !ok || err != nil || got.N != iter {
+			t.Fatalf("iter %d: post-recovery append lost: ok=%v err=%v got=%+v", iter, ok, err, got)
+		}
+		s3.Close()
+	}
+}
+
+// The disabled fault path must not add allocations to Has, the store's
+// cheapest hot-path probe, nor fail any operation.
+func TestNilFaultsZeroOverhead(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("outcome", "key", doc{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(500, func() {
+		if !s.Has("outcome", "key") {
+			t.Fatal("lost key")
+		}
+	}); n != 0 {
+		t.Fatalf("Has allocates %.1f with faults disabled", n)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"stopwatchsim/internal/fault"
 )
 
 // The journal is the store's append-only index: one checksummed record per
@@ -42,7 +44,19 @@ type journalRec struct {
 }
 
 // appendRecord frames, appends and fsyncs one record. Callers hold s.mu.
+//
+// A failed append must not poison the journal: whatever bytes the failure
+// left behind sit past goodEnd, and if a later append were written after
+// them the torn frame would be buried mid-file — replay stops at the
+// first bad frame, so everything appended afterwards would silently
+// vanish on the next open. Instead the tail is rolled back to goodEnd
+// (self-repair) before the journal is used again.
 func (s *Store) appendRecord(rec journalRec) error {
+	if s.badTail {
+		if err := s.repairTailLocked(); err != nil {
+			return fmt.Errorf("store: journal tail unrepaired: %w", err)
+		}
+	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("store: encoding journal record: %w", err)
@@ -50,12 +64,57 @@ func (s *Store) appendRecord(rec journalRec) error {
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := s.journal.Write(append(hdr[:], payload...)); err != nil {
+	frame := append(hdr[:], payload...)
+	if f := s.opts.Faults.Hit(fault.SiteStoreJournalAppend); f != nil {
+		if f.Kind == fault.KindShortWrite {
+			// Simulate a torn append: half the frame reaches the file.
+			s.journal.Write(frame[:len(frame)/2])
+		}
+		s.failTailLocked()
+		return fmt.Errorf("store: appending journal record: %w", f.Err())
+	}
+	if _, err := s.journal.Write(frame); err != nil {
+		s.failTailLocked()
 		return fmt.Errorf("store: appending journal record: %w", err)
 	}
-	if err := s.journal.Sync(); err != nil {
-		return fmt.Errorf("store: syncing journal: %w", err)
+	serr := s.opts.Faults.Fail(fault.SiteStoreJournalSync)
+	if serr == nil {
+		serr = s.journal.Sync()
 	}
+	if serr != nil {
+		// The frame may or may not have reached disk; since the caller will
+		// not apply the mutation, roll the file back to the last
+		// acknowledged record so append and index stay in step.
+		s.failTailLocked()
+		return fmt.Errorf("store: syncing journal: %w", serr)
+	}
+	s.goodEnd += int64(len(frame))
+	return nil
+}
+
+// failTailLocked marks the journal tail torn and attempts an immediate
+// in-place repair. If the repair itself fails the flag stays set and the
+// next append retries it before writing anything.
+func (s *Store) failTailLocked() {
+	s.badTail = true
+	s.repairTailLocked()
+}
+
+// repairTailLocked rolls the journal back to the last acknowledged
+// record: truncate to goodEnd, reposition the write offset, and fsync so
+// the rollback is durable. Callers hold s.mu.
+func (s *Store) repairTailLocked() error {
+	if err := s.journal.Truncate(s.goodEnd); err != nil {
+		return fmt.Errorf("truncating to %d: %w", s.goodEnd, err)
+	}
+	if _, err := s.journal.Seek(s.goodEnd, io.SeekStart); err != nil {
+		return fmt.Errorf("seeking to %d: %w", s.goodEnd, err)
+	}
+	if err := s.journal.Sync(); err != nil {
+		return fmt.Errorf("syncing repaired journal: %w", err)
+	}
+	s.badTail = false
+	s.stats.JournalRepairs++
 	return nil
 }
 
@@ -98,14 +157,16 @@ func (s *Store) recover() error {
 		f.Close()
 		return fmt.Errorf("store: seeking journal end: %w", err)
 	}
+	s.goodEnd = good
 
 	s.reconcile()
 	s.sweepOrphans()
 
 	if s.dead > s.live && s.dead > 64 {
-		if err := s.compact(); err != nil {
-			return err
-		}
+		// Compaction is an optimization; if it fails (a dying disk, or fault
+		// injection at the journal sites) the uncompacted journal is still a
+		// valid prefix of acknowledged mutations, so open anyway.
+		s.compact()
 	}
 	return nil
 }
@@ -121,6 +182,11 @@ func (s *Store) replay(f *os.File) (int64, error) {
 	var good int64
 	var hdr [8]byte
 	for {
+		if err := s.opts.Faults.Fail(fault.SiteStoreRecoveryRead); err != nil {
+			// An I/O error is not a torn tail: truncating here would discard
+			// acknowledged records, so refuse to open instead.
+			return good, fmt.Errorf("store: reading journal during recovery: %w", err)
+		}
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return good, nil // clean EOF or torn header: stop at last good record
 		}
@@ -226,22 +292,27 @@ func (s *Store) compact() error {
 		return fmt.Errorf("store: creating compacted journal: %w", err)
 	}
 	old := s.journal
+	oldGood := s.goodEnd
 	s.journal = tmp
+	s.goodEnd = 0
+	restore := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+		s.journal = old
+		s.goodEnd = oldGood
+		s.badTail = false // the torn tail (if any) died with the temp file
+	}
 	// Re-append every live record in age order; appendRecord syncs each,
 	// which is acceptable at compaction frequency (once per open, at most).
 	for el := s.order.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry)
 		if err := s.appendRecord(journalRec{Op: opPut, Kind: e.kind, Key: e.key, File: e.file, Size: e.size}); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
-			s.journal = old
+			restore()
 			return err
 		}
 	}
 	if err := os.Rename(tmpPath, filepath.Join(s.dir, journalName)); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
-		s.journal = old
+		restore()
 		return fmt.Errorf("store: publishing compacted journal: %w", err)
 	}
 	old.Close()

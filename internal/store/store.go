@@ -36,6 +36,8 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+
+	"stopwatchsim/internal/fault"
 )
 
 // Errors returned by the store.
@@ -59,6 +61,10 @@ type Options struct {
 	// PinnedKinds lists kinds exempt from GC (campaign checkpoints must
 	// survive however many outcomes flow through).
 	PinnedKinds []string
+	// Faults is an optional fault injector consulted at the store's I/O
+	// sites (object write/sync, journal append/sync, reads, recovery
+	// reads). Nil — the normal configuration — is a zero-cost no-op.
+	Faults *fault.Injector
 }
 
 // Stats are the store's monotonic counters and current gauges, exposed by
@@ -77,6 +83,11 @@ type Stats struct {
 	TruncatedBytes   int64 `json:"truncated_bytes"`
 	DroppedEntries   int64 `json:"dropped_entries"`
 	OrphansSwept     int64 `json:"orphans_swept"`
+
+	// JournalRepairs counts in-place tail rollbacks after a failed append:
+	// the journal was truncated back to the last acknowledged record so the
+	// failure could not bury a torn frame mid-file.
+	JournalRepairs int64 `json:"journal_repairs"`
 
 	// Gauges.
 	Objects int   `json:"objects"`
@@ -107,6 +118,8 @@ type Store struct {
 	total    int64             // payload bytes of all live objects
 	live     int               // live journal records
 	dead     int               // superseded/deleted journal records
+	goodEnd  int64             // journal offset just past the last acked record
+	badTail  bool              // a failed append left torn bytes past goodEnd
 	stats    Stats
 	closed   bool
 }
@@ -239,6 +252,9 @@ func (s *Store) Get(kind, key string, v any) (bool, error) {
 	file := filepath.Join(s.dir, e.file)
 	s.mu.Unlock()
 
+	if ferr := s.opts.Faults.Fail(fault.SiteStoreRead); ferr != nil {
+		return false, fmt.Errorf("store: reading %s/%s: %w", kind, key, ferr)
+	}
 	payload, err := os.ReadFile(file)
 	if err != nil {
 		return false, fmt.Errorf("store: reading %s/%s: %w", kind, key, err)
@@ -384,9 +400,24 @@ func (s *Store) writeObject(rel string, payload []byte) error {
 	}
 	tmpName := tmp.Name()
 	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if f := s.opts.Faults.Hit(fault.SiteStoreObjectWrite); f != nil {
+		if f.Kind == fault.KindShortWrite {
+			// Simulate a crash mid-write: half the payload lands and the
+			// torn temp file is left behind for recovery to sweep.
+			tmp.Write(payload[:len(payload)/2])
+			tmp.Close()
+		} else {
+			cleanup()
+		}
+		return fmt.Errorf("store: writing %s: %w", rel, f.Err())
+	}
 	if _, err := tmp.Write(payload); err != nil {
 		cleanup()
 		return fmt.Errorf("store: writing %s: %w", rel, err)
+	}
+	if err := s.opts.Faults.Fail(fault.SiteStoreObjectSync); err != nil {
+		cleanup()
+		return fmt.Errorf("store: syncing %s: %w", rel, err)
 	}
 	if err := tmp.Sync(); err != nil {
 		cleanup()
