@@ -273,12 +273,36 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportMetric(float64(len(probe.Events)), "events/run")
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := m.Simulate(); err != nil {
-			b.Fatal(err)
+
+	// Full pipeline per op (engine construction + trace building), as the
+	// committed baselines measured it.
+	b.Run("pipeline", func(b *testing.B) {
+		b.ReportMetric(float64(len(probe.Events)), "events/run")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := m.Simulate(); err != nil {
+				b.Fatal(err)
+			}
 		}
+	})
+
+	// Steady state per backend: one persistent engine, Reset+Run per op, no
+	// listeners. The compiled backend must report 0 allocs/op here
+	// (TestEngineSteadyStateZeroAlloc asserts it).
+	for _, bk := range []nsa.Backend{nsa.BackendEvent, nsa.BackendCompiled} {
+		b.Run(bk.String(), func(b *testing.B) {
+			eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: m.Horizon, Backend: bk})
+			if _, err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Reset()
+				if _, err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

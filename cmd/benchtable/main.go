@@ -3,7 +3,13 @@
 //   - -table1 prints Table 1 (execution time of Model Checking vs the
 //     proposed single-run interpretation, for 10–18 jobs);
 //   - -scale runs the §4 industrial-scale experiment (~12 500 jobs) and
-//     reports construction and interpretation time.
+//     reports construction and interpretation time;
+//   - -engine runs the engine micro-benchmarks: steady-state throughput
+//     (one persistent engine, Reset+Run per op — the compiled backend's
+//     zero-allocation regime) and the expression-evaluation kernel.
+//
+// -backend selects the engine backend for every measured interpretation
+// (default "compiled", the production configuration).
 //
 // Absolute times depend on the host; the reproduced result is the shape:
 // Model Checking roughly doubles per added job while the proposed approach
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"stopwatchsim/internal/diag"
+	"stopwatchsim/internal/expr"
 	"stopwatchsim/internal/gen"
 	"stopwatchsim/internal/mc"
 	"stopwatchsim/internal/model"
@@ -48,9 +55,12 @@ var probe = &obs.Probe{}
 // mirroring the columns of `go test -bench` plus the engine's own
 // throughput metric.
 type benchRow struct {
-	Name      string  `json:"name"`
-	NsPerOp   float64 `json:"ns_per_op"`
-	AllocsOp  uint64  `json:"allocs_per_op,omitempty"`
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsOp is always emitted (no omitempty): an explicit 0 is the
+	// compiled backend's headline number, and the CI bench-regression job
+	// fails on any allocs increase, so the column must be present to diff.
+	AllocsOp  uint64  `json:"allocs_per_op"`
 	EventsSec float64 `json:"events_per_sec,omitempty"`
 }
 
@@ -97,18 +107,24 @@ func addRow(name string, elapsed time.Duration, allocs uint64, events int) {
 
 func main() {
 	var (
-		table1    = flag.Bool("table1", false, "regenerate Table 1")
-		scale     = flag.Bool("scale", false, "run the industrial-scale experiment")
-		minJ      = flag.Int("min", 10, "Table 1 minimum job count")
-		maxJ      = flag.Int("max", 18, "Table 1 maximum job count")
-		maxStates = flag.Int("max-states", 0, "state bound per Model Checking run (0 = default bound)")
-		jsonOut   = flag.String("json", "", `write measurements as JSON ("auto" = BENCH_<date>.json)`)
+		table1     = flag.Bool("table1", false, "regenerate Table 1")
+		scale      = flag.Bool("scale", false, "run the industrial-scale experiment")
+		engineMB   = flag.Bool("engine", false, "run the engine micro-benchmarks (steady-state throughput, expression eval)")
+		backendStr = flag.String("backend", "compiled", "engine backend for measured interpretations: compiled, event or naive")
+		minJ       = flag.Int("min", 10, "Table 1 minimum job count")
+		maxJ       = flag.Int("max", 18, "Table 1 maximum job count")
+		maxStates  = flag.Int("max-states", 0, "state bound per Model Checking run (0 = default bound)")
+		jsonOut    = flag.String("json", "", `write measurements as JSON ("auto" = BENCH_<date>.json)`)
 	)
 	budget := diag.BudgetFlags()
 	profile := obs.ProfileFlags()
 	flag.Parse()
-	if !*table1 && !*scale {
-		*table1, *scale = true, true
+	if !*table1 && !*scale && !*engineMB {
+		*table1, *scale, *engineMB = true, true, true
+	}
+	backend, err := nsa.ParseBackend(*backendStr)
+	if err != nil {
+		diag.Exit("benchtable", err, nil, "")
 	}
 	ctx, stop := diag.SignalContext()
 	defer stop()
@@ -131,12 +147,17 @@ func main() {
 		}
 	}
 	if *table1 {
-		if err := runTable1(ctx, *minJ, *maxJ, b); err != nil {
+		if err := runTable1(ctx, *minJ, *maxJ, b, backend); err != nil {
 			diag.Exit("benchtable", err, nil, "")
 		}
 	}
 	if *scale {
-		if err := runScale(ctx, b); err != nil {
+		if err := runScale(ctx, b, backend); err != nil {
+			diag.Exit("benchtable", err, nil, "")
+		}
+	}
+	if *engineMB {
+		if err := runEngine(ctx, b, backend); err != nil {
 			diag.Exit("benchtable", err, nil, "")
 		}
 	}
@@ -157,7 +178,7 @@ func main() {
 	}
 }
 
-func runTable1(ctx context.Context, minJ, maxJ int, b nsa.Budget) error {
+func runTable1(ctx context.Context, minJ, maxJ int, b nsa.Budget, backend nsa.Backend) error {
 	fmt.Println("Table 1. Execution times for various number of jobs")
 	fmt.Printf("%-28s", "Number of jobs")
 	for j := minJ; j <= maxJ; j++ {
@@ -198,7 +219,7 @@ func runTable1(ctx context.Context, minJ, maxJ int, b nsa.Budget) error {
 		if err != nil {
 			return err
 		}
-		tr, res, err := m2.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe})
+		tr, res, err := m2.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe, Backend: backend})
 		if err != nil {
 			return err
 		}
@@ -230,7 +251,7 @@ func runTable1(ctx context.Context, minJ, maxJ int, b nsa.Budget) error {
 	return nil
 }
 
-func runScale(ctx context.Context, b nsa.Budget) error {
+func runScale(ctx context.Context, b nsa.Budget, backend nsa.Backend) error {
 	sys := gen.IndustrialConfig()
 	fmt.Printf("\nIndustrial-scale experiment (§4): %d jobs, %d tasks, %d partitions, %d cores, L=%d\n",
 		sys.JobCount(), sys.TaskCount(), len(sys.Partitions), len(sys.Cores), sys.Hyperperiod())
@@ -246,7 +267,7 @@ func runScale(ctx context.Context, b nsa.Budget) error {
 
 	a0 = mallocs()
 	start = time.Now()
-	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe})
+	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe, Backend: backend})
 	if err != nil {
 		return err
 	}
@@ -258,9 +279,82 @@ func runScale(ctx context.Context, b nsa.Budget) error {
 		return err
 	}
 	fmt.Printf("model instance construction: %v\n", build)
-	fmt.Printf("model interpretation:        %v (%d actions, %d delays)\n", interp, res.Actions, res.Delays)
+	fmt.Printf("model interpretation (%s): %v (%d actions, %d delays)\n", backend, interp, res.Actions, res.Delays)
 	fmt.Printf("schedulability analysis:     %d jobs, schedulable=%t\n", len(a.Jobs), a.Schedulable)
 	fmt.Printf("total:                       %v (paper: \"about 11 seconds for a configuration with 12500 jobs\")\n",
 		build+interp)
 	return nil
 }
+
+// runEngine measures the engine micro-benchmarks. EngineThroughput is the
+// steady-state regime: one persistent engine over the mid-size benchmark
+// configuration, Reset+Run per op after two warm-up runs, so the compiled
+// backend's zero-allocation property is directly visible in the allocs/op
+// column. ExprEval times the tree-walking expression evaluator on the
+// reference guard.
+func runEngine(ctx context.Context, b nsa.Budget, backend nsa.Backend) error {
+	sys := gen.Random(21, gen.RandomParams{
+		MaxCores: 2, MaxPartitions: 3, MaxTasks: 3,
+		Periods: []int64{20, 40, 80}, MaxUtil: 0.9, Messages: 2,
+	})
+	m, err := model.Build(sys)
+	if err != nil {
+		return err
+	}
+	eng := nsa.NewEngine(m.Net, nsa.Options{Horizon: m.Horizon, Budget: b, Backend: backend, Probe: probe})
+	res, err := eng.RunContext(ctx)
+	if err != nil {
+		return err
+	}
+	// Second warm-up: lazily grown scratch reaches its fixed point.
+	eng.Reset()
+	if _, err := eng.RunContext(ctx); err != nil {
+		return err
+	}
+
+	const minWall = 200 * time.Millisecond
+	iters := 0
+	a0 := mallocs()
+	start := time.Now()
+	for time.Since(start) < minWall {
+		eng.Reset()
+		if _, err := eng.RunContext(ctx); err != nil {
+			return err
+		}
+		iters++
+	}
+	perOp := time.Since(start) / time.Duration(iters)
+	allocs := (mallocs() - a0) / uint64(iters)
+	addRow("EngineThroughput", perOp, allocs, res.Actions)
+	fmt.Printf("\nEngine steady state (%s backend): %v/run, %d allocs/run, %d actions/run over %d runs\n",
+		backend, perOp, allocs, res.Actions, iters)
+
+	sc := expr.MapScope{
+		"x": {Kind: expr.SymVar, Index: 0},
+		"t": {Kind: expr.SymClock, Index: 0},
+	}
+	n := expr.MustParseResolve("t <= 10 && x * 3 + 1 > 2", sc, expr.TypeBool)
+	// Pre-box the interface: converting the env struct per call would
+	// charge the evaluator one spurious alloc/op.
+	var env expr.Env = evalEnv{vars: []int64{4}, clocks: []int64{5}}
+	const evalIters = 1_000_000
+	ea0 := mallocs()
+	estart := time.Now()
+	for i := 0; i < evalIters; i++ {
+		if !n.EvalBool(env) {
+			return fmt.Errorf("ExprEval: reference guard evaluated to false")
+		}
+	}
+	evalOp := time.Since(estart) / evalIters
+	addRow("ExprEval", evalOp, (mallocs()-ea0)/evalIters, 0)
+	fmt.Printf("Expression eval: %v/op\n", evalOp)
+	return nil
+}
+
+type evalEnv struct {
+	vars   []int64
+	clocks []int64
+}
+
+func (e evalEnv) Var(i int) int64   { return e.vars[i] }
+func (e evalEnv) Clock(i int) int64 { return e.clocks[i] }

@@ -37,6 +37,7 @@
 // Usage:
 //
 //	saserve [-addr :8080] [-workers N] [-queue N] [-cache N] [-pprof]
+//	        [-engine-backend compiled|event|naive]
 //	        [-store DIR] [-store-max-mb N] [-stuck-after D]
 //	        [-breaker-threshold N] [-faults PLAN] [-fault-seed N]
 //	        [-log-level info] [-log-format text]
@@ -69,6 +70,7 @@ import (
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/store"
 )
@@ -86,11 +88,18 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 1, "fault injection RNG seed (deterministic per seed)")
 		stuckAfter = flag.Duration("stuck-after", 0, "watchdog deadline: kill and requeue jobs running longer than this (0 disables)")
 		breakAfter = flag.Int("breaker-threshold", 0, "consecutive store failures before the disk tier degrades to memory-only (0 = default 5)")
+		backendStr = flag.String("engine-backend", "compiled", "engine backend for analysis runs: compiled, event or naive")
 	)
 	budget := diag.BudgetFlags()
 	logger := obs.LogFlags()
 	flag.Parse()
 	lg := logger()
+
+	backend, err := nsa.ParseBackend(*backendStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saserve:", err)
+		os.Exit(diag.ExitUsage)
+	}
 
 	// Fault injection is opt-in and loud: a service deliberately running
 	// under chaos should say so on every startup line it owns.
@@ -145,6 +154,7 @@ func main() {
 		Faults:           inj,
 		StuckAfter:       *stuckAfter,
 		BreakerThreshold: *breakAfter,
+		Backend:          backend,
 	})
 	camps := campaign.NewEngine(pool, st, lg)
 	if resumed := camps.ResumeAll(); len(resumed) > 0 {
@@ -161,7 +171,8 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	lg.Info("listening", "addr", *addr, "workers", *workers,
-		"queue", *queue, "cache", *cache, "store", *storeDir, "pprof", *pprofFlag)
+		"queue", *queue, "cache", *cache, "store", *storeDir,
+		"backend", backend.String(), "pprof", *pprofFlag)
 
 	select {
 	case err := <-errc:

@@ -20,6 +20,7 @@
 // Usage:
 //
 //	simulate -config system.xml [-trace] [-gantt] [-scale N] [-observers]
+//	         [-backend event|compiled|naive]
 //	         [-check-engine] [-seed N] [-max-steps N] [-timeout D]
 //	         [-max-mem-mb N] [-report out.json] [-profile cpu|mem|trace]
 //	         [-log-level info] [-log-format text]
@@ -51,7 +52,8 @@ func main() {
 		jsonOut    = flag.String("json", "", "write the trace and analysis as JSON to this file")
 		csvOut     = flag.String("csv", "", "write the trace as CSV to this file")
 		report     = flag.String("report", "", "write a JSON report (diagnostics + telemetry) to this file")
-		checkEng   = flag.Bool("check-engine", false, "differentially verify the event-driven engine against naive re-enumeration at every step (slow)")
+		backendStr = flag.String("backend", "event", "engine backend: event, compiled or naive")
+		checkEng   = flag.Bool("check-engine", false, "differentially verify the optimized engine at every step (slow); with -backend compiled this chains all three backends")
 		seed       = flag.Int64("seed", -1, "resolve nondeterminism with a seeded random chooser (default: first in canonical order)")
 	)
 	budget := diag.BudgetFlags()
@@ -60,6 +62,11 @@ func main() {
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
+		os.Exit(diag.ExitUsage)
+	}
+	backend, err := nsa.ParseBackend(*backendStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
 		os.Exit(diag.ExitUsage)
 	}
 	ctx, stop := diag.SignalContext()
@@ -74,7 +81,7 @@ func main() {
 	if err != nil {
 		r.fail(err, nil)
 	}
-	r.run(ctx, *configPath, *showTrace, *showGantt, *scale, *observers, *jsonOut, *csvOut, budget(), *checkEng, *seed)
+	r.run(ctx, *configPath, *showTrace, *showGantt, *scale, *observers, *jsonOut, *csvOut, budget(), backend, *checkEng, *seed)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "simulate:", err)
 	}
@@ -98,7 +105,7 @@ func (r *runner) fail(err error, net *nsa.Network) {
 	diag.ExitWith("simulate", err, net, r.reportPath, r.tl.Report("simulate", r.probe))
 }
 
-func (r *runner) run(ctx context.Context, path string, showTrace, showGantt bool, scale int64, withObservers bool, jsonOut, csvOut string, b nsa.Budget, checkEngine bool, seed int64) {
+func (r *runner) run(ctx context.Context, path string, showTrace, showGantt bool, scale int64, withObservers bool, jsonOut, csvOut string, b nsa.Budget, backend nsa.Backend, checkEngine bool, seed int64) {
 	sp := r.tl.Start(obs.PhaseParse)
 	f, err := os.Open(path)
 	if err != nil {
@@ -139,7 +146,7 @@ func (r *runner) run(ctx context.Context, path string, showTrace, showGantt bool
 		}
 	}
 
-	opts := nsa.Options{Budget: b, CheckEngine: checkEngine, Probe: r.probe, Logger: r.lg}
+	opts := nsa.Options{Budget: b, Backend: backend, CheckEngine: checkEngine, Probe: r.probe, Logger: r.lg}
 	if seed >= 0 {
 		opts.Chooser = nsa.NewRandomChooser(seed)
 	}
@@ -150,7 +157,11 @@ func (r *runner) run(ctx context.Context, path string, showTrace, showGantt bool
 		r.fail(err, m.Net)
 	}
 	if checkEngine {
-		fmt.Println("check-engine: optimized and naive interpretations agreed at every step")
+		if backend == nsa.BackendCompiled {
+			fmt.Println("check-engine: compiled, event-driven and naive interpretations agreed at every step")
+		} else {
+			fmt.Println("check-engine: optimized and naive interpretations agreed at every step")
+		}
 	}
 	sp = r.tl.Start(obs.PhaseCheck)
 	a, err := trace.Analyze(sys, tr)

@@ -2,20 +2,69 @@ package stopwatchsim
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
+	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/gen"
 	"stopwatchsim/internal/model"
 	"stopwatchsim/internal/nsa"
 )
 
-// TestEngineDifferential is the property test backing the event-driven
-// runtime: across a spread of random configurations — fixed-priority and
+// runBackend interprets a built model on one engine backend and returns
+// everything the differential compares: the synchronization trace, the final
+// state, the run result and the error.
+func runBackend(m *model.Model, b nsa.Backend, check bool) (*nsa.SyncTrace, *nsa.State, nsa.Result, error) {
+	tr := &nsa.SyncTrace{}
+	eng := nsa.NewEngine(m.Net, nsa.Options{
+		Horizon:     m.Horizon,
+		Listeners:   []nsa.Listener{tr},
+		Backend:     b,
+		CheckEngine: check,
+	})
+	res, err := eng.Run()
+	return tr, eng.State(), res, err
+}
+
+// diffBackends runs one configuration on all three backends — naive
+// re-enumeration as the oracle, the event-driven runtime, and the compiled
+// runtime — and requires byte-identical traces, final states and results.
+// When check is true the compiled run additionally enables CheckEngine,
+// chaining all three backends inside a single run (compiled primary, shadow
+// event-driven runtime, per-step naive comparison).
+func diffBackends(t *testing.T, name string, m *model.Model, check bool) {
+	t.Helper()
+	wantTr, wantS, wantRes, wantErr := runBackend(m, nsa.BackendNaive, false)
+	for _, b := range []nsa.Backend{nsa.BackendEvent, nsa.BackendCompiled} {
+		gotTr, gotS, gotRes, gotErr := runBackend(m, b, b == nsa.BackendCompiled && check)
+		bname := fmt.Sprintf("%s/%s", name, b)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: naive err %v, %s err %v", bname, wantErr, b, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("%s: err mismatch:\n naive: %v\n %s: %v", bname, wantErr, b, gotErr)
+			}
+			continue
+		}
+		if gotRes != wantRes {
+			t.Errorf("%s: result %+v, naive %+v", bname, gotRes, wantRes)
+		}
+		diffTraces(t, bname, wantTr, gotTr)
+		diffStates(t, bname, wantS, gotS)
+	}
+}
+
+// TestEngineDifferential is the property test backing both optimized
+// runtimes: across a spread of random configurations — fixed-priority and
 // round-robin schedulers, data-flow messages (broadcast send/receive
 // channels), switched networks with port FIFOs, and stopwatch execution
-// clocks throughout — the optimized engine must produce a SyncTrace
-// byte-identical to the naive full-re-enumeration engine, end in the same
-// state, and report the same result.
+// clocks throughout — the event-driven and the compiled engines must each
+// produce a SyncTrace byte-identical to the naive full-re-enumeration
+// engine, end in the same state, and report the same result. Every third
+// seed additionally runs the compiled backend under CheckEngine, which
+// chains all three backends per step inside one run.
 func TestEngineDifferential(t *testing.T) {
 	paramSets := []gen.RandomParams{
 		gen.DefaultRandomParams(),
@@ -39,38 +88,51 @@ func TestEngineDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: build: %v", name, err)
 			}
-
-			run := func(naive bool) (*nsa.SyncTrace, *nsa.State, nsa.Result, error) {
-				tr := &nsa.SyncTrace{}
-				eng := nsa.NewEngine(m.Net, nsa.Options{
-					Horizon:   m.Horizon,
-					Listeners: []nsa.Listener{tr},
-					Naive:     naive,
-					// Every third configuration also runs the per-step
-					// differential check inside the engine itself.
-					CheckEngine: !naive && seed%3 == 0,
-				})
-				res, err := eng.Run()
-				return tr, eng.State(), res, err
-			}
-			wantTr, wantS, wantRes, wantErr := run(true)
-			gotTr, gotS, gotRes, gotErr := run(false)
-
-			if (wantErr == nil) != (gotErr == nil) {
-				t.Fatalf("%s: naive err %v, optimized err %v", name, wantErr, gotErr)
-			}
-			if wantErr != nil {
-				if wantErr.Error() != gotErr.Error() {
-					t.Fatalf("%s: err mismatch:\n naive:     %v\n optimized: %v", name, wantErr, gotErr)
-				}
-				continue
-			}
-			if gotRes != wantRes {
-				t.Errorf("%s: result %+v, naive %+v", name, gotRes, wantRes)
-			}
-			diffTraces(t, name, wantTr, gotTr)
-			diffStates(t, name, wantS, gotS)
+			diffBackends(t, name, m, seed%3 == 0)
 		}
+	}
+}
+
+// TestEngineDifferentialQuickstart runs the three-way differential over the
+// shipped quickstart example and the campaign points its grid spec would
+// materialize from it, so the checked corpus includes hand-written
+// configurations alongside the random ones.
+func TestEngineDifferentialQuickstart(t *testing.T) {
+	f, err := os.Open("examples/quickstart/quickstart.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sys, err := config.ReadXML(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffBackends(t, "quickstart", m, true)
+
+	sf, err := os.Open("examples/quickstart/campaign-grid.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	spec, err := campaign.ParseSpecBase(sf, func() (*config.System, error) { return sys, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pct := range []float64{100, 200, 300} {
+		pt := campaign.Point{campaign.ParamWCETPct: pct}
+		psys, err := campaign.Materialize(spec, pt)
+		if err != nil {
+			t.Fatalf("%s: %v", pt.Key(), err)
+		}
+		pm, err := model.Build(psys)
+		if err != nil {
+			t.Fatalf("%s: build: %v", pt.Key(), err)
+		}
+		diffBackends(t, "quickstart/"+pt.Key(), pm, true)
 	}
 }
 

@@ -200,20 +200,24 @@ func CompileInt(n Node) IntFn {
 		case OpDiv:
 			node := n
 			return func(vars, clocks []int64) int64 {
+				// Evaluate left-to-right like EvalInt so a faulting
+				// numerator panics before the zero-divisor check.
+				a := x(vars, clocks)
 				d := y(vars, clocks)
 				if d == 0 {
 					rtErr(node, "division by zero")
 				}
-				return x(vars, clocks) / d
+				return a / d
 			}
 		case OpMod:
 			node := n
 			return func(vars, clocks []int64) int64 {
+				a := x(vars, clocks)
 				d := y(vars, clocks)
 				if d == 0 {
 					rtErr(node, "modulo by zero")
 				}
-				return x(vars, clocks) % d
+				return a % d
 			}
 		}
 	case *Cond:

@@ -230,6 +230,37 @@ func (inv *Invariant) AppendDeps(vars, clocks []int) ([]int, []int) {
 	return vars, clocks
 }
 
+// InvariantAtom is the read-only view of one normalized invariant atom,
+// exposed so backend compilers can flatten invariants into their own
+// representations. For clock atoms (Clock >= 0) Bound/BoundFn give the
+// clock-free upper bound; for clock-free atoms (Clock == -1) Free/FreeFn
+// give the boolean conjunct.
+type InvariantAtom struct {
+	Clock   int
+	Strict  bool
+	Bound   Node
+	Free    Node
+	BoundFn IntFn
+	FreeFn  BoolFn
+}
+
+// AtomList returns the invariant's normalized atoms.
+func (inv *Invariant) AtomList() []InvariantAtom {
+	out := make([]InvariantAtom, len(inv.atoms))
+	for i := range inv.atoms {
+		a := &inv.atoms[i]
+		out[i] = InvariantAtom{
+			Clock:   a.clock,
+			Strict:  a.strict,
+			Bound:   a.bound,
+			Free:    a.free,
+			BoundFn: a.boundFn,
+			FreeFn:  a.freeFn,
+		}
+	}
+	return out
+}
+
 // HasClockBound reports whether the invariant constrains at least one clock.
 func (inv *Invariant) HasClockBound() bool {
 	for _, a := range inv.atoms {

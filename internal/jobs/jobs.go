@@ -102,6 +102,10 @@ type Runner interface {
 // schedulability criterion over the trace.
 type ConfigRun struct {
 	Sys *config.System
+	// Backend pins the engine backend for this run; the zero value lets
+	// the pool's default apply. Not part of Key: backends are
+	// outcome-interchangeable.
+	Backend nsa.Backend
 }
 
 // Key returns the canonical configuration fingerprint.
@@ -120,7 +124,7 @@ func (r ConfigRun) Run(ctx context.Context, b nsa.Budget) (*Outcome, error) {
 		return nil, err
 	}
 	sp = tl.Start(obs.PhaseInterpret)
-	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe})
+	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe, Backend: r.Backend})
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -151,6 +155,10 @@ func (r ConfigRun) Run(ctx context.Context, b nsa.Budget) (*Outcome, error) {
 type XTARun struct {
 	Src     string
 	Horizon int64
+	// Backend pins the engine backend for this run; the zero value lets
+	// the pool's default apply. Not part of Key: backends are
+	// outcome-interchangeable.
+	Backend nsa.Backend
 }
 
 // Key hashes the source and horizon; the interpretation is deterministic,
@@ -182,6 +190,7 @@ func (r XTARun) Run(ctx context.Context, b nsa.Budget) (*Outcome, error) {
 		Listeners: []nsa.Listener{tr},
 		Budget:    b,
 		Probe:     probe,
+		Backend:   r.Backend,
 	})
 	sp = tl.Start(obs.PhaseInterpret)
 	res, err := eng.RunContext(ctx)

@@ -104,6 +104,50 @@ func (t *SyncTrace) OnTransition(time int64, tr *Transition, _ *Network, _ *Stat
 	t.Events = append(t.Events, SyncEvent{Time: time, Kind: tr.Kind, Chan: int(tr.Chan), Parts: t.parts[start:end:end]})
 }
 
+// Backend selects the interpretation strategy of an Engine.
+type Backend uint8
+
+const (
+	// BackendEvent is the event-driven runtime (runtime.go): cached enabled
+	// sets invalidated through static read/write footprints, deadline heaps.
+	// The default.
+	BackendEvent Backend = iota
+	// BackendCompiled executes the network's flat compiled form
+	// (compile.go, compiled.go): expression bytecode, persistent
+	// synchronization lists, batched same-instant deadline processing, zero
+	// steady-state allocation.
+	BackendCompiled
+	// BackendNaive re-enumerates every transition from scratch each step
+	// through Network.EnabledTransitions / DelayBound. The oracle the other
+	// two are checked against.
+	BackendNaive
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendCompiled:
+		return "compiled"
+	case BackendNaive:
+		return "naive"
+	default:
+		return "event"
+	}
+}
+
+// ParseBackend maps the flag spellings "event", "compiled" and "naive" onto
+// Backend values.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "event":
+		return BackendEvent, nil
+	case "compiled":
+		return BackendCompiled, nil
+	case "naive":
+		return BackendNaive, nil
+	}
+	return BackendEvent, fmt.Errorf("nsa: unknown engine backend %q (want event, compiled or naive)", s)
+}
+
 // Options configure a run.
 type Options struct {
 	// Horizon is the model time at which the run stops (exclusive of
@@ -126,14 +170,18 @@ type Options struct {
 	// for error diagnostics (counterexample prefixes). 0 means
 	// DefaultDiagTraceDepth; negative disables the recording.
 	DiagTraceDepth int
-	// Naive disables the event-driven runtime: every step re-enumerates all
-	// transitions through Network.EnabledTransitions / DelayBound. Mostly
-	// useful for differential testing and performance comparison.
+	// Backend selects the interpretation strategy; the zero value is the
+	// event-driven runtime.
+	Backend Backend
+	// Naive is the legacy spelling of Backend: BackendNaive. When set it
+	// overrides Backend.
 	Naive bool
-	// CheckEngine runs both interpretation paths and verifies after every
-	// step that the event-driven runtime produced exactly the naive
-	// enumeration's candidate list and delay bounds, failing the run on any
-	// divergence. Implies the cost of both paths. Ignored under Naive.
+	// CheckEngine cross-checks the interpretation paths after every step.
+	// Under BackendEvent the event-driven candidate list and delay bounds
+	// are verified against a fresh naive enumeration; under BackendCompiled
+	// the compiled runtime is additionally shadowed by an event-driven
+	// runtime over the same state, chaining all three backends. Any
+	// divergence fails the run. Ignored under BackendNaive.
 	CheckEngine bool
 	// Probe, when non-nil, collects hot-path counters (transitions by
 	// kind, guard evaluations, enabled-cache effectiveness, deadline-heap
@@ -162,11 +210,26 @@ type Result struct {
 }
 
 // Engine interprets a network deterministically from its initial state.
-// The zero value is not usable; create one per run with NewEngine.
+// The zero value is not usable; create one with NewEngine. An Engine is
+// reusable: Reset restores the initial state while keeping the runtime
+// caches, the budget tracker and the diagnostic ring allocated, so a
+// Reset+Run cycle allocates nothing in steady state under BackendCompiled.
 type Engine struct {
 	net  *Network
 	s    *State
+	init *State // snapshot for Reset
 	opts Options
+
+	// Persistent per-engine scratch, reused across runs.
+	rt     *engineRuntime
+	crt    *compiledRuntime
+	trk    Tracker
+	ring   *traceRing
+	cands  []Transition
+	shadow []Transition
+	keyBuf []byte
+	tr     Transition // the step's chosen transition (persistent so taking
+	// its address for listeners does not force a per-step heap allocation)
 }
 
 // NewEngine returns an engine positioned at the network's initial state.
@@ -177,11 +240,37 @@ func NewEngine(net *Network, opts Options) *Engine {
 	if opts.MaxActionsPerInstant == 0 {
 		opts.MaxActionsPerInstant = 10_000_000
 	}
-	return &Engine{net: net, s: net.InitialState(), opts: opts}
+	if opts.Naive {
+		opts.Backend = BackendNaive
+	}
+	s := net.InitialState()
+	return &Engine{net: net, s: s, init: s.Clone(), opts: opts}
 }
 
 // State exposes the engine's current state (mutated by Run).
 func (e *Engine) State() *State { return e.s }
+
+// Backend reports the engine's interpretation backend.
+func (e *Engine) Backend() Backend { return e.opts.Backend }
+
+// Reset restores the engine to the network's initial state in place,
+// keeping every allocation (runtime caches, heaps, arenas, the diagnostic
+// ring) for the next run.
+func (e *Engine) Reset() {
+	copy(e.s.Locs, e.init.Locs)
+	copy(e.s.Clocks, e.init.Clocks)
+	copy(e.s.Vars, e.init.Vars)
+	e.s.Time = e.init.Time
+	if e.rt != nil {
+		e.rt.reset()
+	}
+	if e.crt != nil {
+		e.crt.reset()
+	}
+	if e.ring != nil {
+		e.ring.reset()
+	}
+}
 
 // Run interprets the network until the horizon, quiescence, or an error
 // (time-stop deadlock, livelock, or a semantics violation). It is
@@ -231,8 +320,11 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 	if e.opts.Horizon <= 0 {
 		return Result{}, fmt.Errorf("nsa: non-positive horizon %d", e.opts.Horizon)
 	}
-	tracker := e.opts.Budget.Tracker(ctx)
-	ring := newTraceRing(e.opts.DiagTraceDepth)
+	e.trk.init(ctx, e.opts.Budget)
+	if e.ring == nil {
+		e.ring = newTraceRing(e.opts.DiagTraceDepth)
+	}
+	ring := e.ring
 	defer func() {
 		// Engine boundary: expression-evaluation panics that escape Fire's
 		// per-transition recovery (guard and invariant evaluation inside
@@ -258,34 +350,72 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 		}
 	}
 	var rt *engineRuntime
-	if !e.opts.Naive {
-		rt = newEngineRuntime(e.net, e.s, probe)
+	var crt *compiledRuntime
+	switch e.opts.Backend {
+	case BackendNaive:
+	case BackendCompiled:
+		if e.crt == nil {
+			e.crt = newCompiledRuntime(e.net, e.s, probe)
+		}
+		crt = e.crt
+		defer crt.flushStats()
+		if e.opts.CheckEngine {
+			// Shadow event-driven runtime over the same State: the compiled
+			// runtime mutates, the shadow tracks via afterFire/afterAdvance,
+			// and their candidate lists and delay bounds must agree exactly.
+			if e.rt == nil {
+				e.rt = newEngineRuntime(e.net, e.s, nil)
+			}
+			rt = e.rt
+		}
+	default:
+		if e.rt == nil {
+			e.rt = newEngineRuntime(e.net, e.s, probe)
+		}
+		rt = e.rt
 		defer rt.flushStats()
 	}
-	var cands []Transition
-	var keyBuf []byte
+	// The first-transition fast path: with the deterministic default chooser
+	// and no per-step observers that need the full list, the compiled
+	// runtime selects the first canonical transition directly instead of
+	// materializing every candidate.
+	_, isFirst := e.opts.Chooser.(FirstChooser)
+	useFirst := crt != nil && !e.opts.CheckEngine && lg == nil && isFirst
+	cands := e.cands[:0]
 	instant := e.s.Time
 	actionsThisInstant := 0
 	probeAfter := livelockProbe(e.opts.MaxActionsPerInstant)
 	var instantSeen map[string]struct{}
-	stopped := func(rerr *RunError) (Result, error) {
-		rerr.Time = e.s.Time
-		rerr.Trace = ring.snapshot()
-		res.Time = e.s.Time
-		return res, rerr
-	}
 	for {
-		if rt != nil {
-			cands = rt.enabled(cands[:0])
-			if e.opts.CheckEngine {
-				if err := e.checkEnabled(cands); err != nil {
-					return res, err
-				}
-			}
+		haveTr := false
+		if useFirst {
+			e.tr, haveTr = crt.first()
 		} else {
-			cands = e.net.EnabledTransitions(e.s, cands[:0])
+			switch {
+			case crt != nil:
+				cands = crt.enabled(cands[:0])
+				if e.opts.CheckEngine {
+					e.shadow = rt.enabled(e.shadow[:0])
+					if err := e.compareBackends(cands, e.shadow); err != nil {
+						return res, err
+					}
+					if err := e.checkEnabled(cands); err != nil {
+						return res, err
+					}
+				}
+			case rt != nil:
+				cands = rt.enabled(cands[:0])
+				if e.opts.CheckEngine {
+					if err := e.checkEnabled(cands); err != nil {
+						return res, err
+					}
+				}
+			default:
+				cands = e.net.EnabledTransitions(e.s, cands[:0])
+			}
+			haveTr = len(cands) > 0
 		}
-		if len(cands) > 0 {
+		if haveTr {
 			if e.s.Time != instant {
 				instant = e.s.Time
 				actionsThisInstant = 0
@@ -304,29 +434,42 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 				if instantSeen == nil {
 					instantSeen = make(map[string]struct{})
 				}
-				keyBuf = e.s.AppendKey(keyBuf[:0])
-				if _, dup := instantSeen[string(keyBuf)]; dup {
+				e.keyBuf = e.s.AppendKey(e.keyBuf[:0])
+				if _, dup := instantSeen[string(e.keyBuf)]; dup {
 					return res, &DeadlockError{Kind: Livelock, Time: e.s.Time,
 						Msg:     "state recurs without time progress",
 						Blocked: livelockParticipants(e.net, e.s, ring.snapshot()),
 						Trace:   ring.snapshot()}
 				}
-				instantSeen[string(keyBuf)] = struct{}{}
+				instantSeen[string(e.keyBuf)] = struct{}{}
 			}
-			if rerr := tracker.Step(e.s.Time); rerr != nil {
-				return stopped(rerr)
+			if rerr := e.trk.Step(e.s.Time); rerr != nil {
+				rerr.Time = e.s.Time
+				rerr.Trace = ring.snapshot()
+				res.Time = e.s.Time
+				return res, rerr
 			}
-			idx := e.opts.Chooser.Choose(e.s, cands)
-			if idx < 0 || idx >= len(cands) {
-				return res, fmt.Errorf("nsa: chooser returned %d of %d candidates", idx, len(cands))
+			idx := 0
+			if !useFirst {
+				idx = e.opts.Chooser.Choose(e.s, cands)
+				if idx < 0 || idx >= len(cands) {
+					return res, fmt.Errorf("nsa: chooser returned %d of %d candidates", idx, len(cands))
+				}
+				e.tr = cands[idx]
 			}
-			tr := cands[idx]
+			tr := &e.tr
 			fireTime := e.s.Time
 			var ferr error
-			if rt != nil {
-				ferr = rt.fire(&tr)
-			} else {
-				ferr = e.net.Fire(e.s, &tr)
+			switch {
+			case crt != nil:
+				ferr = crt.fire(tr)
+				if ferr == nil && rt != nil {
+					rt.afterFire(tr, crt.oldLocs)
+				}
+			case rt != nil:
+				ferr = rt.fire(tr)
+			default:
+				ferr = e.net.Fire(e.s, tr)
 			}
 			if ferr != nil {
 				return res, ferr
@@ -354,23 +497,35 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 			}
 			ring.record(SyncEvent{Time: fireTime, Kind: tr.Kind, Chan: int(tr.Chan), Parts: tr.Parts})
 			for _, l := range e.opts.Listeners {
-				l.OnTransition(fireTime, &tr, e.net, e.s)
+				l.OnTransition(fireTime, tr, e.net, e.s)
 			}
 			continue
 		}
 		if e.s.Time >= e.opts.Horizon {
 			res.Time = e.s.Time
+			e.cands = cands
 			return res, nil
 		}
 		var info DelayInfo
-		if rt != nil {
+		switch {
+		case crt != nil:
+			info = crt.delayBound()
+			if e.opts.CheckEngine {
+				if evInfo := rt.delayBound(); evInfo != info {
+					return res, fmt.Errorf("nsa: engine check: at time %d delay divergence: compiled %+v, event %+v", e.s.Time, info, evInfo)
+				}
+				if want := e.net.DelayBound(e.s); want != info {
+					return res, fmt.Errorf("nsa: engine check: at time %d delay divergence: optimized %+v, naive %+v", e.s.Time, info, want)
+				}
+			}
+		case rt != nil:
 			info = rt.delayBound()
 			if e.opts.CheckEngine {
 				if want := e.net.DelayBound(e.s); want != info {
 					return res, fmt.Errorf("nsa: engine check: at time %d delay divergence: optimized %+v, naive %+v", e.s.Time, info, want)
 				}
 			}
-		} else {
+		default:
 			info = e.net.DelayBound(e.s)
 		}
 		if info.Blocked {
@@ -384,6 +539,7 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 			// Nothing will ever happen again: quiescent.
 			res.Time = e.s.Time
 			res.Quiescent = true
+			e.cands = cands
 			return res, nil
 		}
 		if d <= 0 {
@@ -392,16 +548,25 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 				Blocked: e.net.BlockedReport(e.s),
 				Trace:   ring.snapshot()}
 		}
-		if rerr := tracker.Step(e.s.Time); rerr != nil {
-			return stopped(rerr)
+		if rerr := e.trk.Step(e.s.Time); rerr != nil {
+			rerr.Time = e.s.Time
+			rerr.Trace = ring.snapshot()
+			res.Time = e.s.Time
+			return res, rerr
 		}
 		if remaining := e.opts.Horizon - e.s.Time; d > remaining {
 			d = remaining
 		}
 		var aerr error
-		if rt != nil {
+		switch {
+		case crt != nil:
+			aerr = crt.advance(d)
+			if aerr == nil && rt != nil {
+				rt.afterAdvance()
+			}
+		case rt != nil:
 			aerr = rt.advance(d)
-		} else {
+		default:
 			aerr = e.net.Advance(e.s, d)
 		}
 		if aerr != nil {
@@ -418,6 +583,36 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 				slog.Int64("delta", d))
 		}
 	}
+}
+
+// compareBackends verifies the compiled and event-driven candidate lists
+// agree exactly (CheckEngine under BackendCompiled).
+func (e *Engine) compareBackends(compiled, event []Transition) error {
+	mismatch := len(compiled) != len(event)
+	if !mismatch {
+		for i := range compiled {
+			if !sameTransition(&compiled[i], &event[i]) {
+				mismatch = true
+				break
+			}
+		}
+	}
+	if !mismatch {
+		return nil
+	}
+	return fmt.Errorf("nsa: engine check: at time %d enabled-set divergence:\ncompiled (%d): %s\nevent    (%d): %s",
+		e.s.Time, len(compiled), formatTransitions(e.net, compiled), len(event), formatTransitions(e.net, event))
+}
+
+func formatTransitions(n *Network, ts []Transition) string {
+	out := ""
+	for i := range ts {
+		if i > 0 {
+			out += "; "
+		}
+		out += ts[i].String(n)
+	}
+	return "[" + out + "]"
 }
 
 // checkEnabled compares the event-driven runtime's candidate list against a

@@ -283,10 +283,18 @@ type Tracker struct {
 // Tracker returns a budget tracker for one run under ctx. A nil ctx counts
 // as context.Background().
 func (b Budget) Tracker(ctx context.Context) *Tracker {
+	t := &Tracker{}
+	t.init(ctx, b)
+	return t
+}
+
+// init resets a tracker in place for a new run, so callers embedding one
+// (the engine) avoid a per-run allocation.
+func (t *Tracker) init(ctx context.Context, b Budget) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Tracker{
+	*t = Tracker{
 		ctx:       ctx,
 		b:         b,
 		start:     time.Now(),
@@ -356,12 +364,14 @@ func (t *Tracker) stop(r StopReason, modelTime int64, cause error) *RunError {
 
 // traceRing keeps the most recent synchronization events of a run so that
 // errors can carry a bounded counterexample prefix without the engine
-// retaining the whole trace.
+// retaining the whole trace. Slots and their Parts buffers are reused across
+// records and across runs (reset), so steady-state recording is
+// allocation-free.
 type traceRing struct {
 	depth  int
-	events []SyncEvent
-	next   int
-	full   bool
+	events []SyncEvent // grown lazily up to depth, slots reused thereafter
+	n      int         // valid events, ≤ depth
+	next   int         // slot index of the next record
 }
 
 // DefaultDiagTraceDepth is the number of trailing synchronization events
@@ -378,6 +388,12 @@ func newTraceRing(depth int) *traceRing {
 	return &traceRing{depth: depth}
 }
 
+// reset empties the ring for a new run, keeping the slot buffers.
+func (r *traceRing) reset() {
+	r.n = 0
+	r.next = 0
+}
+
 // record stores ev, copying Parts into the slot's reusable buffer: callers
 // (the engine) hand in Parts backed by an arena that is overwritten on the
 // next step.
@@ -385,36 +401,34 @@ func (r *traceRing) record(ev SyncEvent) {
 	if r.depth == 0 {
 		return
 	}
-	if len(r.events) < r.depth {
-		ev.Parts = append([]Part(nil), ev.Parts...)
-		r.events = append(r.events, ev)
-		r.next = len(r.events) % r.depth
-		r.full = len(r.events) == r.depth
-		return
+	if r.next == len(r.events) && len(r.events) < r.depth {
+		r.events = append(r.events, SyncEvent{})
 	}
 	slot := &r.events[r.next]
 	parts := append(slot.Parts[:0], ev.Parts...)
 	*slot = ev
 	slot.Parts = parts
 	r.next = (r.next + 1) % r.depth
-	r.full = true
+	if r.n < r.depth {
+		r.n++
+	}
 }
 
 // snapshot returns the recorded events oldest-first, with Parts deep-copied
 // so the result stays valid as the ring keeps recording.
 func (r *traceRing) snapshot() []SyncEvent {
-	if len(r.events) == 0 {
+	if r.n == 0 {
 		return nil
 	}
-	out := make([]SyncEvent, 0, len(r.events))
-	if r.full {
-		out = append(out, r.events[r.next:]...)
-		out = append(out, r.events[:r.next]...)
-	} else {
-		out = append(out, r.events...)
+	out := make([]SyncEvent, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += r.depth
 	}
-	for i := range out {
-		out[i].Parts = append([]Part(nil), out[i].Parts...)
+	for i := 0; i < r.n; i++ {
+		ev := r.events[(start+i)%r.depth]
+		ev.Parts = append([]Part(nil), ev.Parts...)
+		out = append(out, ev)
 	}
 	return out
 }

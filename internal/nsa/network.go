@@ -51,6 +51,10 @@ type Network struct {
 	// Builder.Build and shared by all engines and enumerators over this
 	// network.
 	idx *netIndex
+
+	// cnet is the flat compiled execution form (see compile.go), built by
+	// Builder.Build and shared by all compiled runtimes over this network.
+	cnet *compiledNet
 }
 
 // Builder allocates the global variable/clock/channel index spaces and
@@ -241,6 +245,7 @@ func (b *Builder) Build() (*Network, error) {
 	net.consts = b.consts
 	net.scope = builderScope{b}
 	net.idx = buildIndex(&net)
+	net.cnet = buildCompiledNet(&net)
 	return &net, nil
 }
 
@@ -253,10 +258,13 @@ func (b *Builder) MustBuild() *Network {
 	return n
 }
 
-// Reindex rebuilds the interpretation index. Build constructs the index
-// once; callers that mutate automata afterwards (test sabotage helpers)
-// must reindex before interpreting the network again.
-func (n *Network) Reindex() { n.idx = buildIndex(n) }
+// Reindex rebuilds the interpretation index and the compiled execution
+// form. Build constructs both once; callers that mutate automata afterwards
+// (test sabotage helpers) must reindex before interpreting the network again.
+func (n *Network) Reindex() {
+	n.idx = buildIndex(n)
+	n.cnet = buildCompiledNet(n)
+}
 
 // Scope resolves names declared in the network.
 func (n *Network) Scope() expr.Scope { return n.scope }

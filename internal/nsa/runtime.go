@@ -44,6 +44,13 @@ func (s *autSet) remove(ai int32) {
 	s.list = append(s.list[:i], s.list[i+1:]...)
 }
 
+func (s *autSet) clear() {
+	for _, ai := range s.list {
+		s.member[ai] = false
+	}
+	s.list = s.list[:0]
+}
+
 // heapEntry is a pending deadline of one automaton in absolute model time.
 // Entries are invalidated lazily: gen must match the automaton's current
 // generation to count.
@@ -115,6 +122,21 @@ func (h *timeHeap) min(gens []uint32) (int64, bool) {
 		h.pops++
 	}
 	return 0, false
+}
+
+// minEntry is min also reporting which automaton owns the top entry, for
+// callers that react to a surfaced deadline by recomputing its owner (the
+// compiled runtime's stale-wake reconciliation).
+func (h *timeHeap) minEntry(gens []uint32) (int64, int32, bool) {
+	for len(h.e) > 0 {
+		top := h.e[0]
+		if gens[top.aut] == top.gen {
+			return top.abs, top.aut, true
+		}
+		h.pop()
+		h.pops++
+	}
+	return 0, 0, false
 }
 
 // compact removes stale entries wholesale and re-heapifies. Each automaton
@@ -217,8 +239,17 @@ func newEngineRuntime(net *Network, s *State, probe *obs.Probe) *engineRuntime {
 		probe:     probe,
 	}
 	r.running = func(c int) bool { return !r.stopped[c] }
-	for ai := range net.Automata {
-		loc := int(s.Locs[ai])
+	r.seed()
+	return r
+}
+
+// seed (re)derives all incremental state from the runtime's current State:
+// committed count, stopped-clock counters, clock-sensitive set, and marks
+// every automaton dirty so the caches rebuild on the next query. Called at
+// construction and by reset.
+func (r *engineRuntime) seed() {
+	for ai := range r.net.Automata {
+		loc := int(r.s.Locs[ai])
 		li := &r.idx.locs[ai][loc]
 		if li.committed {
 			r.committedCount++
@@ -226,13 +257,38 @@ func newEngineRuntime(net *Network, s *State, probe *obs.Probe) *engineRuntime {
 		if li.clockSensitive {
 			r.clockSens.insert(int32(ai))
 		}
-		for _, c := range net.Automata[ai].Locations[loc].Stopped {
+		for _, c := range r.net.Automata[ai].Locations[loc].Stopped {
 			r.stopCount[c]++
 			r.stopped[c] = true
 		}
 		r.markDirty(int32(ai))
 	}
-	return r
+}
+
+// reset discards all cached incremental state and re-seeds it from the
+// runtime's State (which the caller has restored), keeping every allocation
+// for reuse. After reset the runtime behaves as if freshly constructed.
+func (r *engineRuntime) reset() {
+	for ai := range r.isDirty {
+		r.enInternal[ai] = r.enInternal[ai][:0]
+		r.enSend[ai] = r.enSend[ai][:0]
+		r.enRecv[ai] = r.enRecv[ai][:0]
+		r.isDirty[ai] = false
+	}
+	r.dirty = r.dirty[:0]
+	r.activeInternal.clear()
+	r.activeSync.clear()
+	r.clockSens.clear()
+	r.cl.reset()
+	r.arena.reset()
+	for c := range r.stopCount {
+		r.stopCount[c] = 0
+		r.stopped[c] = false
+	}
+	r.committedCount = 0
+	r.expiry.e = r.expiry.e[:0]
+	r.wakes.e = r.wakes.e[:0]
+	r.seed()
 }
 
 func (r *engineRuntime) markDirty(ai int32) {
@@ -426,9 +482,20 @@ func (r *engineRuntime) fire(tr *Transition) error {
 	if err := r.net.Fire(s, tr); err != nil {
 		return err
 	}
+	r.afterFire(tr, r.oldLocs)
+	return nil
+}
+
+// afterFire performs the cache maintenance for a firing of tr that some
+// other party already applied to the shared State. oldLocs holds the
+// participants' locations before the firing, in tr.Parts order. It is split
+// out of fire so a shadow runtime (CheckEngine over the compiled backend)
+// can track a state it does not itself mutate.
+func (r *engineRuntime) afterFire(tr *Transition, oldLocs []sa.LocID) {
+	s := r.s
 	for i, p := range tr.Parts {
 		r.markDirty(int32(p.Aut))
-		if old, now := r.oldLocs[i], s.Locs[p.Aut]; old != now {
+		if old, now := oldLocs[i], s.Locs[p.Aut]; old != now {
 			r.locChanged(p.Aut, old, now)
 		}
 		if r.idx.writeUnknown[p.Aut][p.Edge] {
@@ -442,7 +509,6 @@ func (r *engineRuntime) fire(tr *Transition) error {
 			r.dirtyList(r.idx.clockReaders[c])
 		}
 	}
-	return nil
 }
 
 // locChanged maintains the committed count, the stopped-clock counters and
@@ -552,8 +618,14 @@ func (r *engineRuntime) advance(d int64) error {
 		}
 		s.Time += d
 	}
+	r.afterAdvance()
+	return nil
+}
+
+// afterAdvance is advance's cache maintenance, split out so a shadow runtime
+// can track an advance some other party applied to the shared State.
+func (r *engineRuntime) afterAdvance() {
 	for _, ai := range r.clockSens.list {
 		r.markDirty(ai)
 	}
-	return nil
 }

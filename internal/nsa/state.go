@@ -90,10 +90,7 @@ func (e *stateEnv) Clock(i int) int64 { return e.s.Clocks[i] }
 func (e *stateEnv) SetVar(i int, v int64) {
 	d := &e.n.Vars[i]
 	if d.HasBounds && (v < d.Min || v > d.Max) {
-		panic(&expr.RuntimeError{
-			Msg:  fmt.Sprintf("value %d outside domain [%d,%d]", v, d.Min, d.Max),
-			Expr: d.Name,
-		})
+		panic(expr.DomainError(v, d.Min, d.Max, d.Name))
 	}
 	e.s.Vars[i] = v
 }

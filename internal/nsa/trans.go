@@ -291,28 +291,73 @@ func (e *SemanticsError) Error() string {
 	return fmt.Sprintf("nsa: at time %d%s: %s", e.Time, where, e.Msg)
 }
 
+// convertUpdatePanic turns a panic raised while running the update of
+// participant p into the canonical SemanticsError. It is shared by every
+// backend (naive Fire, the compiled runtime) so the error text is
+// byte-identical regardless of how the update was executed. Panics that are
+// not *expr.RuntimeError are programmer errors; they are re-raised with the
+// same context attached instead of raw.
+func (n *Network) convertUpdatePanic(s *State, tr *Transition, p Part, r any) error {
+	a := n.Automata[p.Aut]
+	re, ok := r.(*expr.RuntimeError)
+	if !ok {
+		panic(fmt.Sprintf("nsa: internal panic in update of automaton %q edge %s while firing %s: %v",
+			a.Name, a.EdgeString(p.Edge), tr.String(n), r))
+	}
+	return &SemanticsError{
+		Time:      s.Time,
+		Automaton: a.Name,
+		Location:  a.LocationName(s.Locs[p.Aut]),
+		Expr:      re.Expr,
+		Msg: fmt.Sprintf("firing %s: update of edge %s: %v",
+			tr.String(n), a.EdgeString(p.Edge), re),
+	}
+}
+
+// convertInvariantPanic turns a panic raised while evaluating the target
+// invariant of participant p into the canonical SemanticsError (shared
+// across backends like convertUpdatePanic). Non-RuntimeError panics
+// propagate raw.
+func (n *Network) convertInvariantPanic(s *State, tr *Transition, p Part, r any) error {
+	re, ok := r.(*expr.RuntimeError)
+	if !ok {
+		panic(r)
+	}
+	a := n.Automata[p.Aut]
+	loc := &a.Locations[s.Locs[p.Aut]]
+	return &SemanticsError{
+		Time:      s.Time,
+		Automaton: a.Name,
+		Location:  loc.Name,
+		Expr:      re.Expr,
+		Msg: fmt.Sprintf("firing %s: invariant %s of %q: %v",
+			tr.String(n), loc.Invariant, a.Name, re),
+	}
+}
+
+// invariantViolationError is the canonical error for a transition leaving
+// participant p in a location whose invariant does not hold.
+func (n *Network) invariantViolationError(s *State, tr *Transition, p Part) *SemanticsError {
+	a := n.Automata[p.Aut]
+	loc := &a.Locations[s.Locs[p.Aut]]
+	return &SemanticsError{
+		Time:      s.Time,
+		Automaton: a.Name,
+		Location:  loc.Name,
+		Expr:      loc.Invariant.String(),
+		Msg: fmt.Sprintf("transition %s leaves automaton %q in location %q violating invariant %s",
+			tr.String(n), a.Name, loc.Name, loc.Invariant),
+	}
+}
+
 // applyUpdate runs one participant's edge update, converting expression
 // runtime panics (domain violations, division by zero, bad array indices)
 // into a SemanticsError that names the firing transition, the automaton and
-// the edge. Panics that are not *expr.RuntimeError are programmer errors;
-// they are re-raised with the same context attached instead of raw.
+// the edge.
 func (n *Network) applyUpdate(env expr.MutableEnv, s *State, tr *Transition, p Part, upd sa.Update) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			a := n.Automata[p.Aut]
-			re, ok := r.(*expr.RuntimeError)
-			if !ok {
-				panic(fmt.Sprintf("nsa: internal panic in update of automaton %q edge %s while firing %s: %v",
-					a.Name, a.EdgeString(p.Edge), tr.String(n), r))
-			}
-			err = &SemanticsError{
-				Time:      s.Time,
-				Automaton: a.Name,
-				Location:  a.LocationName(s.Locs[p.Aut]),
-				Expr:      re.Expr,
-				Msg: fmt.Sprintf("firing %s: update of edge %s: %v",
-					tr.String(n), a.EdgeString(p.Edge), re),
-			}
+			err = n.convertUpdatePanic(s, tr, p, r)
 		}
 	}()
 	upd.Apply(env)

@@ -19,8 +19,10 @@ import "sync/atomic"
 //     synchronization kind; their sum equals Actions.
 //   - GuardEvals: guard evaluations on the indexed interpretation paths
 //     (engine runtime recomputation and Enumerator scans), split into
-//     GuardCompiled (compiled expression closure) and GuardOpaque
-//     (interface dispatch through the environment).
+//     GuardCompiled (compiled expression closure or cheaper), GuardBytecode
+//     (the bytecode and inlined-comparison subset of GuardCompiled, compiled
+//     backend only) and GuardOpaque (interface dispatch through the
+//     environment).
 //   - EnabledCalls: enabled-set queries. Recomputes counts automata whose
 //     cached enabled sets had to be rebuilt (dirty); CacheReuses counts
 //     automata whose cached sets were still valid. DirtyTotal sums the
@@ -30,6 +32,11 @@ import "sync/atomic"
 //     wake-up heaps). HeapPops counts stale entries lazily dropped when
 //     they surfaced at the heap top; HeapStale counts stale entries
 //     removed by wholesale compaction.
+//   - DeadlineRecomputes: per-automaton deadline refreshes on the compiled
+//     backend's deadline-dirty plane. EnabledUnchanged counts enabled-set
+//     recomputations that produced an identical set (surgery skipped).
+//     FirstFast counts steps served by the first-transition fast path
+//     without materializing the candidate list.
 type Probe struct {
 	Steps   atomic.Int64
 	Actions atomic.Int64
@@ -41,6 +48,7 @@ type Probe struct {
 
 	GuardEvals    atomic.Int64
 	GuardCompiled atomic.Int64
+	GuardBytecode atomic.Int64
 	GuardOpaque   atomic.Int64
 
 	EnabledCalls atomic.Int64
@@ -52,6 +60,10 @@ type Probe struct {
 	HeapPushes atomic.Int64
 	HeapPops   atomic.Int64
 	HeapStale  atomic.Int64
+
+	DeadlineRecomputes atomic.Int64
+	EnabledUnchanged   atomic.Int64
+	FirstFast          atomic.Int64
 }
 
 // Counters is a plain snapshot of a Probe, the JSON wire form embedded in
@@ -67,6 +79,7 @@ type Counters struct {
 
 	GuardEvals    int64 `json:"guard_evals"`
 	GuardCompiled int64 `json:"guard_compiled"`
+	GuardBytecode int64 `json:"guard_bytecode"`
 	GuardOpaque   int64 `json:"guard_opaque"`
 
 	EnabledCalls int64 `json:"enabled_calls"`
@@ -78,6 +91,10 @@ type Counters struct {
 	HeapPushes int64 `json:"heap_pushes"`
 	HeapPops   int64 `json:"heap_pops"`
 	HeapStale  int64 `json:"heap_stale"`
+
+	DeadlineRecomputes int64 `json:"deadline_recomputes"`
+	EnabledUnchanged   int64 `json:"enabled_unchanged"`
+	FirstFast          int64 `json:"first_fast"`
 }
 
 // Snapshot returns a consistent-enough copy of the counters: each field
@@ -94,17 +111,21 @@ func (p *Probe) Snapshot() Counters {
 		SyncInternal:  p.SyncInternal.Load(),
 		SyncBinary:    p.SyncBinary.Load(),
 		SyncBroadcast: p.SyncBroadcast.Load(),
-		GuardEvals:    p.GuardEvals.Load(),
-		GuardCompiled: p.GuardCompiled.Load(),
-		GuardOpaque:   p.GuardOpaque.Load(),
-		EnabledCalls:  p.EnabledCalls.Load(),
-		Recomputes:    p.Recomputes.Load(),
-		CacheReuses:   p.CacheReuses.Load(),
-		DirtyTotal:    p.DirtyTotal.Load(),
-		DirtyMax:      p.DirtyMax.Load(),
-		HeapPushes:    p.HeapPushes.Load(),
-		HeapPops:      p.HeapPops.Load(),
-		HeapStale:     p.HeapStale.Load(),
+		GuardEvals:         p.GuardEvals.Load(),
+		GuardCompiled:      p.GuardCompiled.Load(),
+		GuardBytecode:      p.GuardBytecode.Load(),
+		GuardOpaque:        p.GuardOpaque.Load(),
+		EnabledCalls:       p.EnabledCalls.Load(),
+		Recomputes:         p.Recomputes.Load(),
+		CacheReuses:        p.CacheReuses.Load(),
+		DirtyTotal:         p.DirtyTotal.Load(),
+		DirtyMax:           p.DirtyMax.Load(),
+		HeapPushes:         p.HeapPushes.Load(),
+		HeapPops:           p.HeapPops.Load(),
+		HeapStale:          p.HeapStale.Load(),
+		DeadlineRecomputes: p.DeadlineRecomputes.Load(),
+		EnabledUnchanged:   p.EnabledUnchanged.Load(),
+		FirstFast:          p.FirstFast.Load(),
 	}
 }
 
@@ -123,6 +144,7 @@ func (p *Probe) Merge(c Counters) {
 	p.SyncBroadcast.Add(c.SyncBroadcast)
 	p.GuardEvals.Add(c.GuardEvals)
 	p.GuardCompiled.Add(c.GuardCompiled)
+	p.GuardBytecode.Add(c.GuardBytecode)
 	p.GuardOpaque.Add(c.GuardOpaque)
 	p.EnabledCalls.Add(c.EnabledCalls)
 	p.Recomputes.Add(c.Recomputes)
@@ -132,6 +154,9 @@ func (p *Probe) Merge(c Counters) {
 	p.HeapPushes.Add(c.HeapPushes)
 	p.HeapPops.Add(c.HeapPops)
 	p.HeapStale.Add(c.HeapStale)
+	p.DeadlineRecomputes.Add(c.DeadlineRecomputes)
+	p.EnabledUnchanged.Add(c.EnabledUnchanged)
+	p.FirstFast.Add(c.FirstFast)
 }
 
 // RaiseDirtyMax lifts DirtyMax to at least v (CAS loop; lock-free).
