@@ -7,7 +7,7 @@
 //
 // Subcommands:
 //
-//	campaign run    -spec spec.json -store DIR [-base system.xml] [-workers N]
+//	campaign run    -spec spec.json -store DIR [-base system.xml] [-workers N] [-report out.json]
 //	campaign resume -store DIR [-workers N]
 //	campaign status -store DIR [-id ID]
 //	campaign export -store DIR -id ID [-o out.json]
@@ -15,7 +15,9 @@
 //
 // run starts (or resumes, when the spec's fingerprint matches a stored
 // checkpoint) the campaign and waits for it; -base injects a base system
-// from an XML configuration file into the spec, so specs stay small.
+// from an XML configuration file into the spec, so specs stay small;
+// -report writes the final summary JSON (the `campaign export` document)
+// so scripted callers need no second invocation.
 // resume relaunches every interrupted campaign in the store and waits for
 // all of them. status lists checkpointed campaigns; export writes the
 // summary JSON (schema campaign/summary/v1, the same document the service
@@ -72,7 +74,7 @@ func main() {
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
-  campaign run    -spec spec.json -store DIR [-base system.xml] [-workers N]
+  campaign run    -spec spec.json -store DIR [-base system.xml] [-workers N] [-report out.json]
   campaign resume -store DIR [-workers N]
   campaign status -store DIR [-id ID]
   campaign export -store DIR -id ID [-o out.json]
@@ -120,6 +122,7 @@ func cmdRun(args []string) int {
 	storeDir := fs.String("store", "", "artifact store directory (required)")
 	basePath := fs.String("base", "", "base system XML to inject into the spec")
 	workers := fs.Int("workers", runtime.NumCPU(), "concurrent analysis runs")
+	report := fs.String("report", "", "write the final summary JSON (campaign/summary/v1) to this file")
 	logger := obs.LogFlagsFor(fs)
 	fs.Parse(args)
 	lg := logger()
@@ -148,7 +151,32 @@ func cmdRun(args []string) int {
 	}
 	fmt.Fprintf(os.Stderr, "campaign %s (%s, %s): %d points checkpointed\n",
 		started.ID[:12], started.Name, started.Strategy, len(started.Points))
-	return awaitCampaigns(eng, st, []string{started.ID})
+	code := awaitCampaigns(eng, st, []string{started.ID})
+	if *report != "" && code != diag.ExitBudget {
+		if final, ok := eng.Get(started.ID); ok {
+			if err := writeSummary(*report, final); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return code
+}
+
+// writeSummary writes a state's summary JSON — the exact document
+// `campaign export` produces — to path. The point counts it carries
+// (computed vs cache tiers) are what synth-vs-grid comparisons read.
+func writeSummary(path string, state campaign.State) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(state.Summarize()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdResume(args []string) int {
@@ -212,6 +240,9 @@ func printState(st campaign.State) {
 		sum.Points.CacheMemory, sum.Points.CacheDisk, sum.Points.Checkpoint, sum.Points.Failed)
 	if sum.Critical != nil {
 		fmt.Fprintf(os.Stderr, "  critical %s = %g\n", st.Spec.Axes[0].Param, *sum.Critical)
+	}
+	if b := sum.Bracket; b != nil && b.Feasible != nil && b.Infeasible != nil {
+		fmt.Fprintf(os.Stderr, "  bracket: %g schedulable, %g unschedulable\n", *b.Feasible, *b.Infeasible)
 	}
 	for _, row := range sum.Frontier {
 		if row.Critical != nil {

@@ -12,6 +12,7 @@ import (
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/store"
+	"stopwatchsim/internal/synth"
 )
 
 // newStoreServer builds a server over a persistent store, returning the
@@ -25,7 +26,7 @@ func newStoreServer(t *testing.T, dir string) (*httptest.Server, *jobs.Pool, *ca
 	pool := jobs.New(jobs.Options{Workers: 2, Tool: "saserve", Store: st})
 	eng := campaign.NewEngine(pool, st, nil)
 	eng.ResumeAll()
-	ts := httptest.NewServer(newMux(pool, eng, false))
+	ts := httptest.NewServer(newMux(pool, eng, synth.NewEngine(pool, nil, nil), false))
 	return ts, pool, eng, st
 }
 

@@ -17,16 +17,22 @@
 //	GET    /v1/campaigns/{id}        campaign state and progress
 //	DELETE /v1/campaigns/{id}        cancel a running campaign
 //	GET    /v1/campaigns/{id}/result campaign summary (frontier table)
+//	POST   /v1/synth         start (or resume) a region synthesis
+//	GET    /v1/synth         list syntheses
+//	GET    /v1/synth/{id}        synthesis state and progress
+//	DELETE /v1/synth/{id}        cancel a running synthesis
+//	GET    /v1/synth/{id}/region region export (box cover and witnesses)
 //	GET    /metrics          Prometheus-style metrics
 //	GET    /healthz          liveness
 //	GET    /readyz           readiness (503 while the store tier is degraded)
 //	GET    /debug/pprof/*    runtime profiles (only with -pprof)
 //
-// With -store DIR, results and campaign checkpoints persist in a
-// crash-safe on-disk artifact store: completed outcomes form a second
-// cache tier under the in-memory LRU (memory miss → disk hit → compute),
-// and campaigns interrupted by a crash resume on restart, skipping every
-// point whose configuration fingerprint is already on disk.
+// With -store DIR, results, campaign checkpoints and synthesis
+// checkpoints persist in a crash-safe on-disk artifact store: completed
+// outcomes form a second cache tier under the in-memory LRU (memory miss
+// → disk hit → compute), and campaigns and syntheses interrupted by a
+// crash resume on restart, skipping every point whose configuration
+// fingerprint is already on disk.
 //
 // Per-job resource budgets come from the shared flags (-max-steps,
 // -timeout, -max-mem-mb) as defaults, overridable per submission with
@@ -73,6 +79,7 @@ import (
 	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/store"
+	"stopwatchsim/internal/synth"
 )
 
 func main() {
@@ -130,7 +137,7 @@ func main() {
 		var err error
 		st, err = store.Open(*storeDir, store.Options{
 			MaxBytes:    *storeMaxMB << 20,
-			PinnedKinds: []string{campaign.StoreKind()},
+			PinnedKinds: []string{campaign.StoreKind(), synth.StoreKind()},
 			Faults:      inj,
 		})
 		if err != nil {
@@ -160,9 +167,13 @@ func main() {
 	if resumed := camps.ResumeAll(); len(resumed) > 0 {
 		lg.Info("campaigns resumed", "count", len(resumed), "ids", resumed)
 	}
+	synths := synth.NewEngine(pool, st, lg)
+	if resumed := synths.ResumeAll(); len(resumed) > 0 {
+		lg.Info("syntheses resumed", "count", len(resumed), "ids", resumed)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(pool, camps, *pprofFlag),
+		Handler:           newMux(pool, camps, synths, *pprofFlag),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -11,6 +11,7 @@ import (
 	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/store"
+	"stopwatchsim/internal/synth"
 )
 
 // TestBackpressureSetsRetryAfter: the 429 on a full queue carries the
@@ -62,7 +63,7 @@ func TestReadyzTracksDegradedMode(t *testing.T) {
 		BreakerThreshold: 1,
 		Tool:             "saserve",
 	})
-	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, st, nil), false))
+	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, st, nil), synth.NewEngine(pool, st, nil), false))
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()

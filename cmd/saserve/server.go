@@ -20,6 +20,7 @@ import (
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/nsa"
 	"stopwatchsim/internal/obs"
+	"stopwatchsim/internal/synth"
 	"stopwatchsim/internal/trace"
 )
 
@@ -30,11 +31,12 @@ const maxBodyBytes = 8 << 20
 // not pass ?horizon=N.
 const defaultXTAHorizon = 1000
 
-// server holds the HTTP handlers over one jobs.Pool and one
-// campaign.Engine.
+// server holds the HTTP handlers over one jobs.Pool, one
+// campaign.Engine and one synth.Engine.
 type server struct {
 	pool    *jobs.Pool
 	camps   *campaign.Engine
+	synths  *synth.Engine
 	started time.Time
 }
 
@@ -52,6 +54,11 @@ type server struct {
 //	GET    /v1/campaigns/{id}        campaign state and progress
 //	DELETE /v1/campaigns/{id}        cancel a running campaign
 //	GET    /v1/campaigns/{id}/result campaign summary (frontier table)
+//	POST   /v1/synth         start (or resume) a region synthesis
+//	GET    /v1/synth         list syntheses
+//	GET    /v1/synth/{id}        synthesis state and progress
+//	DELETE /v1/synth/{id}        cancel a running synthesis
+//	GET    /v1/synth/{id}/region region export (box cover and witnesses)
 //	GET    /metrics          Prometheus-style counters
 //	GET    /healthz          liveness
 //	GET    /readyz           readiness (503 while the store tier is degraded)
@@ -59,8 +66,8 @@ type server struct {
 // enablePprof additionally mounts the runtime profiling handlers under
 // /debug/pprof/ (opt-in: profiles expose internals, so they are off unless
 // the operator asks).
-func newMux(pool *jobs.Pool, camps *campaign.Engine, enablePprof bool) *http.ServeMux {
-	s := &server{pool: pool, camps: camps, started: time.Now()}
+func newMux(pool *jobs.Pool, camps *campaign.Engine, synths *synth.Engine, enablePprof bool) *http.ServeMux {
+	s := &server{pool: pool, camps: camps, synths: synths, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
@@ -74,6 +81,11 @@ func newMux(pool *jobs.Pool, camps *campaign.Engine, enablePprof bool) *http.Ser
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.campaignStatus)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.campaignCancel)
 	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.campaignResult)
+	mux.HandleFunc("POST /v1/synth", s.synthStart)
+	mux.HandleFunc("GET /v1/synth", s.synthList)
+	mux.HandleFunc("GET /v1/synth/{id}", s.synthStatus)
+	mux.HandleFunc("DELETE /v1/synth/{id}", s.synthCancel)
+	mux.HandleFunc("GET /v1/synth/{id}/region", s.synthRegion)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", s.health)
 	mux.HandleFunc("GET /readyz", s.ready)
@@ -437,6 +449,21 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("campaign_bisect_iterations_total", "Interior bisection iterations across campaigns.", cm.BisectIterations)
 	counter("campaign_frontier_rows_total", "Frontier rows completed across campaigns.", cm.FrontierRows)
 	counter("campaign_bracket_reuses_total", "Frontier rows whose bisection bracket was seeded adaptively.", cm.BracketReuses)
+
+	// Region synthesis engine counters.
+	sm := s.synths.Metrics()
+	counter("synth_started_total", "Syntheses started fresh.", sm.Started)
+	counter("synth_resumed_total", "Syntheses resumed from a checkpoint.", sm.Resumed)
+	counter("synth_done_total", "Syntheses completed.", sm.Done)
+	counter("synth_failed_total", "Syntheses failed.", sm.Failed)
+	counter("synth_canceled_total", "Syntheses canceled.", sm.Canceled)
+	counter("synth_points_computed_total", "Synthesis points answered by a fresh run.", sm.PointsComputed)
+	counter("synth_points_cache_memory_total", "Synthesis points answered by the memory cache.", sm.PointsCacheMemory)
+	counter("synth_points_cache_disk_total", "Synthesis points answered by the persistent tier.", sm.PointsCacheDisk)
+	counter("synth_points_checkpoint_total", "Synthesis points answered by resumed checkpoints.", sm.PointsCheckpoint)
+	counter("synth_boxes_classified_total", "Region boxes classified across syntheses.", sm.BoxesClassified)
+	counter("synth_splits_total", "Box splits across syntheses.", sm.Splits)
+	counter("synth_bisect_iterations_total", "1-D bisection iterations across syntheses.", sm.BisectIterations)
 
 	// Resilience: what the self-healing machinery absorbed.
 	res := m.Resilience

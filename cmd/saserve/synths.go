@@ -1,0 +1,107 @@
+package main
+
+import (
+	"io"
+	"net/http"
+
+	"stopwatchsim/internal/synth"
+)
+
+// synthDoc is the list/status wire form: the synthesis state with the
+// point list elided from listings (it can be large) but kept in the
+// per-synthesis view.
+type synthDoc struct {
+	synth.State
+	PointsDone int `json:"points_done"`
+}
+
+func toSynthDoc(st synth.State, withPoints bool) synthDoc {
+	d := synthDoc{State: st, PointsDone: len(st.Points)}
+	if !withPoints {
+		d.Points = nil
+	}
+	return d
+}
+
+// synthStart parses a synthesis space (application/json) and starts it.
+// Syntheses are content-addressed: re-posting the same space returns the
+// existing (possibly completed) synthesis instead of launching a
+// duplicate. ?wait=true blocks until the synthesis reaches a terminal
+// state.
+func (s *server) synthStart(w http.ResponseWriter, r *http.Request) {
+	space, err := synth.ParseSpace(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	st, err := s.synths.Start(space)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "true" {
+		final, err := s.synths.Wait(r.Context(), st.ID)
+		if err != nil {
+			httpError(w, http.StatusGatewayTimeout, "waiting for %s: %v", st.ID, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toSynthDoc(final, true))
+		return
+	}
+	w.Header().Set("Location", "/v1/synth/"+st.ID)
+	code := http.StatusAccepted
+	if st.Status != synth.StatusRunning {
+		code = http.StatusOK // content-addressed replay of a finished synthesis
+	}
+	writeJSON(w, code, toSynthDoc(st, false))
+}
+
+func (s *server) synthList(w http.ResponseWriter, r *http.Request) {
+	all := s.synths.List()
+	docs := make([]synthDoc, len(all))
+	for i, st := range all {
+		docs[i] = toSynthDoc(st, false)
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+func (s *server) synthStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.synths.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown synthesis %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, toSynthDoc(st, true))
+}
+
+func (s *server) synthCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.synths.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown synthesis %q", id)
+		return
+	}
+	if !s.synths.Cancel(id) {
+		httpError(w, http.StatusConflict, "synthesis %s already %s", id, st.Status)
+		return
+	}
+	st, _ = s.synths.Get(id)
+	writeJSON(w, http.StatusOK, toSynthDoc(st, false))
+}
+
+// synthRegion serves the region export (schema synth/region/v1): the box
+// cover, coverage fraction and boundary witnesses. Unlike the campaign
+// result, a region only exists once the synthesis is terminal — a partial
+// cover would misrepresent the boundary — so running syntheses answer 409.
+func (s *server) synthRegion(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.synths.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown synthesis %q", r.PathValue("id"))
+		return
+	}
+	if st.Region == nil {
+		httpError(w, http.StatusConflict, "synthesis %s is %s and has no region yet", st.ID, st.Status)
+		return
+	}
+	writeJSON(w, http.StatusOK, st.Region)
+}

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/store"
+	"stopwatchsim/internal/synth"
+)
+
+// newSynthServer builds a server whose synth engine checkpoints to a
+// persistent store, returning the pieces so tests can simulate restarts.
+func newSynthServer(t *testing.T, dir string) (*httptest.Server, *jobs.Pool, *synth.Engine, *store.Store) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{PinnedKinds: []string{synth.StoreKind()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := jobs.New(jobs.Options{Workers: 2, Tool: "saserve", Store: st})
+	eng := synth.NewEngine(pool, st, nil)
+	eng.ResumeAll()
+	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, st, nil), eng, false))
+	return ts, pool, eng, st
+}
+
+// synthSpaceJSON is a 1-D breakdown space over the quickstart system:
+// varying the logging task's WCET across [1, 16] with control fixed.
+func synthSpaceJSON(t *testing.T) []byte {
+	t.Helper()
+	sys, err := config.ReadXML(strings.NewReader(quickstartXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := &synth.Space{
+		Name: "http-breakdown",
+		Base: sys,
+		Dims: []synth.Dim{
+			{Target: "wcet:P1.logging", Min: 1, Max: 16},
+		},
+		Parallel: 2,
+	}
+	raw, err := json.Marshal(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestSynthEndpoints(t *testing.T) {
+	ts, pool, _, st := newSynthServer(t, t.TempDir())
+	defer func() { ts.Close(); pool.Close(); st.Close() }()
+
+	// Malformed spaces are rejected with a diagnosis.
+	resp, err := http.Post(ts.URL+"/v1/synth", "application/json",
+		strings.NewReader(`{"name":"x","dims":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad space: status %d", resp.StatusCode)
+	}
+
+	// Start and wait.
+	raw := synthSpaceJSON(t)
+	resp, err = http.Post(ts.URL+"/v1/synth?wait=true", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc synthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || doc.Status != synth.StatusDone {
+		t.Fatalf("wait=true: status %d, synthesis %s (%s)", resp.StatusCode, doc.Status, doc.Error)
+	}
+	if doc.Region == nil || doc.PointsDone == 0 || len(doc.Points) != doc.PointsDone {
+		t.Fatalf("done synthesis: region=%v points_done=%d points=%d",
+			doc.Region != nil, doc.PointsDone, len(doc.Points))
+	}
+
+	// List elides the point bodies but keeps the count.
+	resp, err = http.Get(ts.URL + "/v1/synth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []synthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != doc.ID || list[0].PointsDone != doc.PointsDone || len(list[0].Points) != 0 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Region export carries the pinned schema version and a full cover.
+	resp, err = http.Get(ts.URL + "/v1/synth/" + doc.ID + "/region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var region synth.Region
+	if err := json.NewDecoder(resp.Body).Decode(&region); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if region.SchemaVersion != "synth/region/v1" {
+		t.Fatalf("region schema = %q", region.SchemaVersion)
+	}
+	var cells int64
+	for _, b := range region.Boxes {
+		cells += b.Cells
+	}
+	if cells != region.TotalCells || region.TotalCells != 15 {
+		t.Fatalf("region covers %d of %d cells, want 15 of 15", cells, region.TotalCells)
+	}
+
+	// Re-posting the same space is a content-addressed replay: 200, same
+	// ID, no second synthesis.
+	resp, err = http.Post(ts.URL+"/v1/synth", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay synthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&replay); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || replay.ID != doc.ID || replay.Status != synth.StatusDone {
+		t.Fatalf("replay: status %d id %s state %s", resp.StatusCode, replay.ID[:12], replay.Status)
+	}
+
+	// Canceling a finished synthesis conflicts; unknown IDs are 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/synth/"+doc.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel done: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/synth/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", resp.StatusCode)
+	}
+
+	// Metrics expose the synth counter family.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"saserve_synth_started_total 1", "saserve_synth_done_total 1", "saserve_synth_points_computed_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSynthServedAcrossRestart: a completed synthesis survives a service
+// restart — the fresh engine registers the checkpoint and serves state and
+// region without re-running anything.
+func TestSynthServedAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	ts, pool, _, st := newSynthServer(t, dir)
+
+	raw := synthSpaceJSON(t)
+	resp, err := http.Post(ts.URL+"/v1/synth?wait=true", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc synthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc.Status != synth.StatusDone {
+		t.Fatalf("first run: %s (%s)", doc.Status, doc.Error)
+	}
+	ts.Close()
+	pool.Close()
+	st.Close()
+
+	ts2, pool2, eng2, st2 := newSynthServer(t, dir)
+	defer func() { ts2.Close(); pool2.Close(); st2.Close() }()
+	// ResumeAll relaunches nothing (the synthesis is done)…
+	if m := eng2.Metrics(); m.Resumed != 0 || m.Started != 0 {
+		t.Fatalf("restart relaunched: %+v", m)
+	}
+	// …but POSTing the space again serves the stored result.
+	resp, err = http.Post(ts2.URL+"/v1/synth", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again synthDoc
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || again.ID != doc.ID || again.Status != synth.StatusDone {
+		t.Fatalf("restart replay: status %d id %s state %s", resp.StatusCode, again.ID[:12], again.Status)
+	}
+	resp, err = http.Get(ts2.URL + "/v1/synth/" + doc.ID + "/region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var region synth.Region
+	if err := json.NewDecoder(resp.Body).Decode(&region); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if region.Status != synth.StatusDone || len(region.Boxes) == 0 {
+		t.Fatalf("restart region = %+v", region)
+	}
+	if m := eng2.Metrics(); m.PointsComputed != 0 {
+		t.Errorf("restart recomputed %d points", m.PointsComputed)
+	}
+}

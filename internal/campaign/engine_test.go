@@ -135,6 +135,12 @@ func TestBisectMatchesGrid(t *testing.T) {
 	if *bis.Critical != sweepCritical {
 		t.Fatalf("bisect critical %g != sweep critical %g", *bis.Critical, sweepCritical)
 	}
+	// The witness bracket localizes the breakdown to one tol-wide step:
+	// critical itself schedulable, critical+tol unschedulable.
+	if b := bis.Bracket; b == nil || b.Feasible == nil || b.Infeasible == nil ||
+		*b.Feasible != 409 || *b.Infeasible != 410 {
+		t.Fatalf("bisect bracket = %+v, want [409 schedulable, 410 unschedulable]", bis.Bracket)
+	}
 	// Bisection must be cheaper than scanning the full range.
 	if bis.Convergence.Evaluations >= 40 {
 		t.Errorf("bisect used %d evaluations", bis.Convergence.Evaluations)
@@ -154,6 +160,9 @@ func TestBisectDegenerateEnds(t *testing.T) {
 	if hi.Status != StatusDone || hi.Critical == nil || *hi.Critical != 300 {
 		t.Fatalf("all-schedulable: status=%s critical=%v", hi.Status, hi.Critical)
 	}
+	if b := hi.Bracket; b == nil || b.Feasible == nil || *b.Feasible != 300 || b.Infeasible != nil {
+		t.Fatalf("all-schedulable bracket = %+v, want feasible 300 only", hi.Bracket)
+	}
 	// Nothing schedulable: critical is nil.
 	lo := runCampaign(t, eng, &Spec{
 		Name: "none-ok", Strategy: StrategyBisect, Base: bdSystem(),
@@ -161,6 +170,9 @@ func TestBisectDegenerateEnds(t *testing.T) {
 	})
 	if lo.Status != StatusDone || lo.Critical != nil {
 		t.Fatalf("none-schedulable: status=%s critical=%v", lo.Status, lo.Critical)
+	}
+	if b := lo.Bracket; b == nil || b.Infeasible == nil || *b.Infeasible != 500 || b.Feasible != nil {
+		t.Fatalf("none-schedulable bracket = %+v, want infeasible 500 only", lo.Bracket)
 	}
 }
 

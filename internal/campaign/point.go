@@ -91,6 +91,31 @@ func Materialize(s *Spec, pt Point) (*config.System, error) {
 			}
 		}
 	}
+
+	// Target axes mutate named fields through config.ParamTarget, applied
+	// in sorted param order so every permutation of the same point yields
+	// the same system (hence the same fingerprint). ScaleWCET's copy is
+	// shallow around windows, so targets work on a full clone.
+	var targets []string
+	for k := range pt {
+		if strings.HasPrefix(k, TargetPrefix) {
+			targets = append(targets, k)
+		}
+	}
+	if len(targets) > 0 {
+		sort.Strings(targets)
+		sys = sys.Clone()
+		for _, k := range targets {
+			t, err := config.ParseParamTarget(strings.TrimPrefix(k, TargetPrefix))
+			if err != nil {
+				return nil, fmt.Errorf("campaign: point %s: %w", pt.Key(), err)
+			}
+			if err := t.Apply(sys, pt[k]); err != nil {
+				return nil, fmt.Errorf("campaign: point %s: %w", pt.Key(), err)
+			}
+		}
+	}
+
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("campaign: point %s: %w", pt.Key(), err)
 	}

@@ -26,6 +26,7 @@ import (
 	"hash"
 	"io"
 	"math"
+	"strings"
 	"time"
 
 	"stopwatchsim/internal/config"
@@ -60,6 +61,14 @@ const (
 	// the base system to round(v) ticks. Requires Base.
 	ParamQuantum = "quantum"
 )
+
+// TargetPrefix marks an axis that varies one named configuration field
+// through config.ParamTarget: "target:" followed by a target spelling,
+// e.g. "target:wcet:P1.edf_t1" or "target:offset:P2". Target axes require
+// Base and share their materialization with synthesis spaces
+// (internal/synth), so a campaign grid and a synthesized region over the
+// same targets classify the same concrete configurations.
+const TargetPrefix = "target:"
 
 // Axis is one explored parameter dimension.
 type Axis struct {
@@ -217,6 +226,22 @@ func (s *Spec) Validate() error {
 // checkAxis validates one axis; grid selects grid-axis rules (Step) over
 // bisected-axis rules (Tol).
 func (s *Spec) checkAxis(a *Axis, grid bool) error {
+	if spell, ok := strings.CutPrefix(a.Param, TargetPrefix); ok {
+		t, err := config.ParseParamTarget(spell)
+		if err != nil {
+			return fmt.Errorf("campaign: axis %q: %w", a.Param, err)
+		}
+		if s.Base == nil {
+			return fmt.Errorf("campaign: axis %q requires a base system", a.Param)
+		}
+		if err := t.Check(s.Base); err != nil {
+			return fmt.Errorf("campaign: axis %q: %w", a.Param, err)
+		}
+		if a.Min < t.MinValue() {
+			return fmt.Errorf("campaign: axis %q minimum %g must be >= %g", a.Param, a.Min, t.MinValue())
+		}
+		return s.checkAxisBounds(a, grid)
+	}
 	switch a.Param {
 	case ParamWCETPct, ParamQuantum:
 		if s.Base == nil {
@@ -237,6 +262,12 @@ func (s *Spec) checkAxis(a *Axis, grid bool) error {
 	default:
 		return fmt.Errorf("campaign: unknown axis param %q", a.Param)
 	}
+	return s.checkAxisBounds(a, grid)
+}
+
+// checkAxisBounds validates the interval and spacing rules shared by every
+// axis kind.
+func (s *Spec) checkAxisBounds(a *Axis, grid bool) error {
 	if a.Max < a.Min {
 		return fmt.Errorf("campaign: axis %q has max %g < min %g", a.Param, a.Max, a.Min)
 	}

@@ -41,13 +41,25 @@ type PointResult struct {
 	ElapsedNS   int64  `json:"elapsed_ns"`
 }
 
+// BracketPair is the bisection's final bracket: the largest value proven
+// schedulable and the smallest proven unschedulable. It localizes the
+// breakdown boundary to one tol-wide interval — the pair of witness runs
+// behind a Critical value. Either side may be absent: an interval that is
+// entirely unschedulable has no feasible witness, an entirely schedulable
+// one no infeasible witness.
+type BracketPair struct {
+	Feasible   *float64 `json:"feasible,omitempty"`
+	Infeasible *float64 `json:"infeasible,omitempty"`
+}
+
 // FrontierRow is one row of the schedulability frontier: the critical
 // (largest schedulable) value of the bisected axis at one row-axis value,
 // nil when nothing at or above the axis minimum is schedulable.
 type FrontierRow struct {
-	Row         float64  `json:"row"`
-	Critical    *float64 `json:"critical,omitempty"`
-	Evaluations int      `json:"evaluations"`
+	Row         float64      `json:"row"`
+	Critical    *float64     `json:"critical,omitempty"`
+	Bracket     *BracketPair `json:"bracket,omitempty"`
+	Evaluations int          `json:"evaluations"`
 }
 
 // Converge counts strategy work: how many oracle runs the exploration
@@ -87,7 +99,9 @@ type State struct {
 
 	// Critical is the bisect strategy's result: the largest schedulable
 	// value of the axis, nil when even the minimum is unschedulable.
-	Critical *float64 `json:"critical,omitempty"`
+	// Bracket carries the witness pair behind it.
+	Critical *float64     `json:"critical,omitempty"`
+	Bracket  *BracketPair `json:"bracket,omitempty"`
 	// Frontier is the frontier strategy's result table, one row per
 	// row-axis grid value.
 	Frontier []FrontierRow `json:"frontier,omitempty"`
@@ -136,6 +150,7 @@ type Summary struct {
 
 	Points      PointCounts   `json:"points"`
 	Critical    *float64      `json:"critical,omitempty"`
+	Bracket     *BracketPair  `json:"bracket,omitempty"`
 	Frontier    []FrontierRow `json:"frontier,omitempty"`
 	Convergence Converge      `json:"convergence"`
 }
@@ -150,6 +165,7 @@ func (s *State) Summarize() *Summary {
 		Status:        s.Status,
 		Error:         s.Error,
 		Critical:      s.Critical,
+		Bracket:       s.Bracket,
 		Frontier:      s.Frontier,
 		Convergence:   s.Convergence,
 	}

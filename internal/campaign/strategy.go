@@ -131,15 +131,16 @@ func gridPoints(axes []Axis) []Point {
 	return pts
 }
 
-// runBisect finds the critical value of the single axis and records it in
-// state.Critical.
+// runBisect finds the critical value of the single axis and records it —
+// with the witness bracket behind it — in state.Critical/Bracket.
 func (c *Campaign) runBisect(ctx context.Context, spec *Spec) error {
-	crit, _, err := c.bisectAxis(ctx, spec, Point{}, &spec.Axes[0], bracket{})
+	crit, pair, _, err := c.bisectAxis(ctx, spec, Point{}, &spec.Axes[0], bracket{})
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
 	c.state.Critical = crit
+	c.state.Bracket = pair
 	c.mu.Unlock()
 	return nil
 }
@@ -172,13 +173,13 @@ func (c *Campaign) runFrontier(ctx context.Context, spec *Spec) error {
 			c.eng.count(func(m *EngineMetrics) { m.BracketReuses++ })
 		}
 
-		crit, _, err := c.bisectAxis(ctx, spec, base, colAxis, br)
+		crit, pair, _, err := c.bisectAxis(ctx, spec, base, colAxis, br)
 		if err != nil {
 			return err
 		}
 		evals := c.snapshot().Convergence.Evaluations - before
 		c.mu.Lock()
-		c.state.Frontier = append(c.state.Frontier, FrontierRow{Row: row, Critical: crit, Evaluations: evals})
+		c.state.Frontier = append(c.state.Frontier, FrontierRow{Row: row, Critical: crit, Bracket: pair, Evaluations: evals})
 		c.state.Convergence.FrontierRows++
 		c.mu.Unlock()
 		c.eng.count(func(m *EngineMetrics) { m.FrontierRows++ })
@@ -197,10 +198,13 @@ type bracket struct {
 
 // bisectAxis finds the largest schedulable value of axis a (at resolution
 // a.tol()) over the base point, returning nil when even the minimum is
-// unschedulable. The returned int counts interior iterations. A failed
-// oracle run aborts the search: a breakdown result computed around a hole
-// would be silently wrong.
-func (c *Campaign) bisectAxis(ctx context.Context, spec *Spec, base Point, a *Axis, br bracket) (*float64, int, error) {
+// unschedulable. The BracketPair carries the witness runs localizing the
+// boundary: the largest value proven schedulable and the smallest proven
+// unschedulable (one side absent when the whole interval falls on one
+// side). The returned int counts interior iterations. A failed oracle run
+// aborts the search: a breakdown result computed around a hole would be
+// silently wrong.
+func (c *Campaign) bisectAxis(ctx context.Context, spec *Spec, base Point, a *Axis, br bracket) (*float64, *BracketPair, int, error) {
 	lo, hi := a.Min, a.Max
 	loKnown, hiKnown := false, false
 	if br.loKnown {
@@ -213,20 +217,25 @@ func (c *Campaign) bisectAxis(ctx context.Context, spec *Spec, base Point, a *Ax
 	if !loKnown {
 		pr, err := c.evalAt(ctx, spec, base, a.Param, lo)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		if !pr.Schedulable {
-			return nil, 0, nil // nothing schedulable at or above the minimum
+			// Nothing schedulable at or above the minimum: the minimum
+			// itself is the infeasible witness.
+			v := lo
+			return nil, &BracketPair{Infeasible: &v}, 0, nil
 		}
 	}
 	if !hiKnown {
 		pr, err := c.evalAt(ctx, spec, base, a.Param, hi)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		if pr.Schedulable {
+			// The whole interval is schedulable: the maximum is its own
+			// feasible witness, no infeasible one exists.
 			v := hi
-			return &v, 0, nil // the whole interval is schedulable
+			return &v, &BracketPair{Feasible: &v}, 0, nil
 		}
 	}
 
@@ -245,7 +254,7 @@ func (c *Campaign) bisectAxis(ctx context.Context, spec *Spec, base Point, a *Ax
 		}
 		pr, err := c.evalAt(ctx, spec, base, a.Param, mid)
 		if err != nil {
-			return nil, iters, err
+			return nil, nil, iters, err
 		}
 		iters++
 		c.mu.Lock()
@@ -258,8 +267,10 @@ func (c *Campaign) bisectAxis(ctx context.Context, spec *Spec, base Point, a *Ax
 			hi = mid
 		}
 	}
-	v := lo
-	return &v, iters, nil
+	// The loop invariant holds lo schedulable and hi unschedulable: the
+	// converged bracket is the critical value's witness pair.
+	v, u := lo, hi
+	return &v, &BracketPair{Feasible: &v, Infeasible: &u}, iters, nil
 }
 
 // evalAt evaluates base extended with param=v, treating a failed run as a

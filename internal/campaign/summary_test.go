@@ -17,6 +17,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // regenerate with -update.
 func TestSummaryGolden(t *testing.T) {
 	crit := 409.0
+	critHi := 410.0
 	rowCrit := 380.0
 	st := &State{
 		Version:  stateVersion,
@@ -64,7 +65,7 @@ func TestSummaryGolden(t *testing.T) {
 			},
 		},
 		Frontier: []FrontierRow{
-			{Row: 2, Critical: &crit, Evaluations: 9},
+			{Row: 2, Critical: &crit, Bracket: &BracketPair{Feasible: &crit, Infeasible: &critHi}, Evaluations: 9},
 			{Row: 3, Critical: &rowCrit, Evaluations: 5},
 		},
 		Convergence: Converge{

@@ -36,6 +36,10 @@ type Metrics struct {
 	cacheMisses int64
 	storeHits   int64 // cache hits served by the persistent tier
 
+	// engineReuses counts runs served by a worker's prepared-engine cache
+	// (Reset+Run on a persistent engine instead of a fresh build).
+	engineReuses int64
+
 	// Engine throughput: total synchronization transitions fired over the
 	// total wall time spent interpreting.
 	events int64
@@ -72,6 +76,9 @@ type Snapshot struct {
 	// StoreHits counts the subset of CacheHits served by the persistent
 	// tier (an in-memory miss that a store lookup satisfied).
 	StoreHits int64 `json:"store_hits"`
+	// EngineReuses counts runs that Reset+Ran a worker's cached prepared
+	// engine instead of rebuilding the network from scratch.
+	EngineReuses int64 `json:"engine_reuses"`
 
 	// LatencyP50/P90/P99 are run-latency quantiles over the recent
 	// window, zero until a run completes (or after the window drains).
@@ -213,6 +220,14 @@ func (m *Metrics) cacheMiss() {
 	m.mu.Unlock()
 }
 
+// engineReuse accounts for a run served by a worker's prepared-engine
+// cache.
+func (m *Metrics) engineReuse() {
+	m.mu.Lock()
+	m.engineReuses++
+	m.mu.Unlock()
+}
+
 // Snapshot returns a consistent copy with derived quantiles and rates.
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
@@ -223,9 +238,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		Done:        m.done,
 		Failed:      m.failed,
 		Canceled:    m.canceled,
-		CacheHits:   m.cacheHits,
-		CacheMisses: m.cacheMisses,
-		StoreHits:   m.storeHits,
+		CacheHits:    m.cacheHits,
+		CacheMisses:  m.cacheMisses,
+		StoreHits:    m.storeHits,
+		EngineReuses: m.engineReuses,
 	}
 	if total := m.cacheHits + m.cacheMisses; total > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(total)

@@ -88,6 +88,12 @@ type Options struct {
 	// the fault.NewBreaker defaults (5 failures, 5s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// EngineCache bounds each worker's cache of prepared engines
+	// (model.Prepared, one compiled network per entry): repeat runs of a
+	// configuration Reset+Run a persistent engine instead of rebuilding it,
+	// amortizing the construction cost that dominates short runs. 0 means
+	// 4 entries per worker; negative disables reuse entirely.
+	EngineCache int
 }
 
 // Pool is a bounded worker pool with a job registry and a shared result
@@ -376,12 +382,19 @@ func (p *Pool) Close() {
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
+	// Each worker owns a small cache of prepared engines, unshared and
+	// unlocked; ConfigRun checks engines out through the run context.
+	capacity := p.opts.EngineCache
+	if capacity == 0 {
+		capacity = defaultEngineCache
+	}
+	ec := newEngineCache(capacity, p.metrics.engineReuse) // nil when capacity < 0
 	for {
 		select {
 		case <-p.ctx.Done():
 			return
 		case jb := <-p.queue:
-			p.run(jb)
+			p.run(jb, ec)
 		}
 	}
 }
@@ -441,8 +454,9 @@ func (p *Pool) maxRequeues() int {
 	}
 }
 
-// run executes one dequeued job.
-func (p *Pool) run(jb *Job) {
+// run executes one dequeued job on the calling worker, whose engine
+// cache (nil when disabled) rides along into the run context.
+func (p *Pool) run(jb *Job, ec *engineCache) {
 	p.mu.Lock()
 	if jb.Status != StatusQueued { // canceled while queued
 		p.mu.Unlock()
@@ -476,7 +490,7 @@ func (p *Pool) run(jb *Job) {
 		lg.Info("job started")
 	}
 
-	out, err := p.safeRun(ctx, runner, budget)
+	out, err := p.safeRun(withEngineCache(ctx, ec), runner, budget)
 	cancel()
 
 	p.mu.Lock()

@@ -272,6 +272,18 @@ func (e *Engine) Reset() {
 	}
 }
 
+// SetListeners replaces the engine's listener set for the next run. Most
+// Options are fixed at NewEngine, but a persistent engine reused across
+// Reset+Run cycles needs a fresh trace-building listener per run; this is
+// that one mutable slot. Must not be called while a run is in progress.
+func (e *Engine) SetListeners(ls []Listener) { e.opts.Listeners = ls }
+
+// SetBudget replaces the engine's resource budget for the next run — the
+// per-run counterpart of SetListeners for persistent engines (the budget
+// tracker re-arms from Options at every RunContext). Must not be called
+// while a run is in progress.
+func (e *Engine) SetBudget(b Budget) { e.opts.Budget = b }
+
 // Run interprets the network until the horizon, quiescence, or an error
 // (time-stop deadlock, livelock, or a semantics violation). It is
 // RunContext under context.Background().

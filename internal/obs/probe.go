@@ -159,6 +159,38 @@ func (p *Probe) Merge(c Counters) {
 	p.FirstFast.Add(c.FirstFast)
 }
 
+// Reset zeroes every counter. Persistent prepared engines share one probe
+// across Reset+Run cycles (the runtimes capture the probe pointer at
+// construction), so per-run telemetry resets it between runs. Not atomic
+// as a whole: reset only between runs, never concurrently with one.
+// Nil-safe no-op.
+func (p *Probe) Reset() {
+	if p == nil {
+		return
+	}
+	p.Steps.Store(0)
+	p.Actions.Store(0)
+	p.Delays.Store(0)
+	p.SyncInternal.Store(0)
+	p.SyncBinary.Store(0)
+	p.SyncBroadcast.Store(0)
+	p.GuardEvals.Store(0)
+	p.GuardCompiled.Store(0)
+	p.GuardBytecode.Store(0)
+	p.GuardOpaque.Store(0)
+	p.EnabledCalls.Store(0)
+	p.Recomputes.Store(0)
+	p.CacheReuses.Store(0)
+	p.DirtyTotal.Store(0)
+	p.DirtyMax.Store(0)
+	p.HeapPushes.Store(0)
+	p.HeapPops.Store(0)
+	p.HeapStale.Store(0)
+	p.DeadlineRecomputes.Store(0)
+	p.EnabledUnchanged.Store(0)
+	p.FirstFast.Store(0)
+}
+
 // RaiseDirtyMax lifts DirtyMax to at least v (CAS loop; lock-free).
 // Nil-safe no-op.
 func (p *Probe) RaiseDirtyMax(v int64) {

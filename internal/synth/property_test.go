@@ -1,0 +1,269 @@
+package synth
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/jobs"
+)
+
+// The grid-consistency property: a region synthesized by box refinement
+// must agree with a brute-force campaign grid at the same resolution.
+// Every grid point lies in one or more boxes of the cover (points on a
+// shared face lie in two); for each decided box containing it, the
+// point's grid verdict must match the box verdict — boundary boxes make
+// no claim. And the synthesis must get there with fewer engine runs than
+// the exhaustive grid.
+
+// loadExample reads a system XML from the examples tree.
+func loadExample(t *testing.T, rel string) *config.System {
+	t.Helper()
+	f, err := os.Open(filepath.Join("..", "..", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sys, err := config.ReadXML(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// checkGridConsistency asserts every campaign grid point against the
+// region's boxes and returns how many points were covered by at least
+// one decided box.
+func checkGridConsistency(t *testing.T, r *Region, axes []string, points []campaign.PointResult) int {
+	t.Helper()
+	decided := 0
+	for _, p := range points {
+		vals := make([]float64, len(axes))
+		for i, a := range axes {
+			v, ok := p.Point[a]
+			if !ok {
+				t.Fatalf("grid point %v lacks axis %q", p.Point, a)
+			}
+			vals[i] = v
+		}
+		contained, claimed := 0, false
+		for _, b := range r.Boxes {
+			inside := true
+			for i := range vals {
+				if vals[i] < b.Min[i] || vals[i] > b.Max[i] {
+					inside = false
+					break
+				}
+			}
+			if !inside {
+				continue
+			}
+			contained++
+			if b.Verdict == VerdictBoundary {
+				continue
+			}
+			claimed = true
+			if want := b.Verdict == VerdictFeasible; p.Schedulable != want {
+				t.Errorf("grid point %v schedulable=%v contradicts %s box %v-%v",
+					vals, p.Schedulable, b.Verdict, b.Min, b.Max)
+			}
+		}
+		if contained == 0 {
+			t.Errorf("grid point %v lies in no box of the cover", vals)
+		}
+		if claimed {
+			decided++
+		}
+	}
+	return decided
+}
+
+// runGrid runs a brute-force campaign grid and returns its terminal state.
+func runGrid(t *testing.T, pool *jobs.Pool, spec *campaign.Spec) campaign.State {
+	t.Helper()
+	eng := campaign.NewEngine(pool, nil, nil)
+	st, err := eng.Start(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(t.Context(), 5*time.Minute)
+	defer cancel()
+	final, err := eng.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != campaign.StatusDone {
+		t.Fatalf("grid status = %s (%s)", final.Status, final.Error)
+	}
+	return final
+}
+
+// TestGridConsistencyQuickstart: 1-D wcet_pct breakdown on the quickstart
+// example versus the exhaustive sweep at the same 10% resolution. The
+// quickstart critical point is 166%, so the boundary cell is [160, 170].
+func TestGridConsistencyQuickstart(t *testing.T) {
+	base := loadExample(t, "examples/quickstart/quickstart.xml")
+	pool := jobs.New(jobs.Options{Workers: 4})
+	defer pool.Close()
+
+	space := &Space{
+		Name: "quickstart-wcet-pct",
+		Base: base,
+		Dims: []Dim{{Target: "wcet_pct", Min: 100, Max: 300, Res: 10}},
+	}
+	eng := NewEngine(pool, nil, nil)
+	final := runSynth(t, eng, space)
+	if final.Status != StatusDone {
+		t.Fatalf("synth status = %s (%s)", final.Status, final.Error)
+	}
+	r := final.Region
+
+	grid := runGrid(t, pool, &campaign.Spec{
+		Name:     "quickstart-wcet-pct-grid",
+		Strategy: campaign.StrategyGrid,
+		Base:     base,
+		Axes:     []campaign.Axis{{Param: campaign.ParamWCETPct, Min: 100, Max: 300, Step: 10}},
+		Parallel: 4,
+	})
+	if len(grid.Points) != 21 {
+		t.Fatalf("grid evaluated %d points, want 21", len(grid.Points))
+	}
+	checkGridConsistency(t, r, []string{campaign.ParamWCETPct}, grid.Points)
+
+	// The known critical point pins the boundary cell.
+	foundBoundary := false
+	for _, b := range r.Boxes {
+		if b.Verdict == VerdictBoundary {
+			foundBoundary = true
+			if b.Min[0] != 160 || b.Max[0] != 170 {
+				t.Errorf("boundary cell [%g, %g], want [160, 170]", b.Min[0], b.Max[0])
+			}
+		}
+	}
+	if !foundBoundary {
+		t.Error("no boundary box in a space straddling the critical point")
+	}
+	if r.Counts.Evaluations >= len(grid.Points) {
+		t.Errorf("synth used %d evaluations, grid %d: no saving", r.Counts.Evaluations, len(grid.Points))
+	}
+}
+
+// TestGridConsistencyGenericEDF: the 2-D (WCET1, WCET2) synthesis of the
+// IMITATOR generic-EDF port versus the exhaustive 16×48 campaign grid at
+// the same resolution — the suite's acceptance bar: every grid point
+// consistent with its containing boxes, ≥95% coverage, and measurably
+// fewer engine runs than the grid.
+func TestGridConsistencyGenericEDF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("768-point brute-force grid")
+	}
+	base := loadExample(t, "examples/imi/generic-edf.xml")
+	pool := jobs.New(jobs.Options{Workers: 4})
+	defer pool.Close()
+
+	space := &Space{
+		Name: "generic-edf-wcet12",
+		Base: base,
+		Dims: []Dim{
+			{Target: "wcet:APP.t1", Min: 1, Max: 16},
+			{Target: "wcet:APP.t2", Min: 1, Max: 48},
+		},
+		Parallel: 4,
+	}
+	eng := NewEngine(pool, nil, nil)
+	final := runSynth(t, eng, space)
+	if final.Status != StatusDone {
+		t.Fatalf("synth status = %s (%s)", final.Status, final.Error)
+	}
+	r := final.Region
+
+	axes := []string{
+		campaign.TargetPrefix + "wcet:APP.t1",
+		campaign.TargetPrefix + "wcet:APP.t2",
+	}
+	grid := runGrid(t, pool, &campaign.Spec{
+		Name:     "generic-edf-wcet12-grid",
+		Strategy: campaign.StrategyGrid,
+		Base:     base,
+		Axes: []campaign.Axis{
+			{Param: axes[0], Min: 1, Max: 16, Step: 1},
+			{Param: axes[1], Min: 1, Max: 48, Step: 1},
+		},
+		Parallel: 4,
+	})
+	if len(grid.Points) != 768 {
+		t.Fatalf("grid evaluated %d points, want 768", len(grid.Points))
+	}
+	decided := checkGridConsistency(t, r, axes, grid.Points)
+	if decided == 0 {
+		t.Fatal("no grid point fell in a decided box")
+	}
+
+	// The analytic EDF bound doubles as an oracle for both sides.
+	for _, p := range grid.Points {
+		c1, c2 := p.Point[axes[0]], p.Point[axes[1]]
+		if want := 2*c1+c2 <= 16; p.Schedulable != want {
+			t.Errorf("grid point (%g, %g) schedulable=%v contradicts utilization bound", c1, c2, p.Schedulable)
+		}
+	}
+
+	if r.Coverage < 0.95 {
+		t.Errorf("coverage = %g, want >= 0.95", r.Coverage)
+	}
+	if r.Counts.EngineRuns >= len(grid.Points) {
+		t.Errorf("synth engine runs = %d, grid points = %d: no saving", r.Counts.EngineRuns, len(grid.Points))
+	}
+	t.Logf("synth: %d engine runs, coverage %.4f; grid: %d points",
+		r.Counts.EngineRuns, r.Coverage, len(grid.Points))
+
+	// The committed golden region for this space is exactly what this run
+	// produced (modulo the ID, which hashes the space name and base).
+	if want := int64(705); r.TotalCells != want {
+		t.Errorf("total cells = %d, want %d", r.TotalCells, want)
+	}
+	boundary := 0
+	for _, b := range r.Boxes {
+		if b.Verdict == VerdictBoundary {
+			boundary++
+		}
+	}
+	if boundary != 20 {
+		t.Errorf("boundary boxes = %d, want 20 (cells crossed by 2*C1+C2=16)", boundary)
+	}
+}
+
+// TestTargetSpellingsAgree guards the property the whole comparison rests
+// on: synth dims and campaign target axes apply the identical parameter
+// mutation, so their configuration fingerprints collide and the cache
+// tiers are shared between the two explorers.
+func TestTargetSpellingsAgree(t *testing.T) {
+	base := loadExample(t, "examples/imi/generic-edf.xml")
+	space := &Space{
+		Name: "fp-check",
+		Base: base,
+		Dims: []Dim{{Target: "wcet:APP.t1", Min: 1, Max: 16}},
+	}
+	if err := space.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := space.Materialize([]int{6}) // value 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := config.ParseParamTarget(strings.TrimPrefix(campaign.TargetPrefix+"wcet:APP.t1", campaign.TargetPrefix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := base.Clone()
+	if err := tgt.Apply(clone, 7); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Fingerprint() != clone.Fingerprint() {
+		t.Fatal("synth dim and campaign target axis materialize different configurations")
+	}
+}

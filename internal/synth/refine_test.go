@@ -1,0 +1,395 @@
+package synth
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"stopwatchsim/internal/config"
+	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/store"
+)
+
+// runSynth starts space on the engine and waits for the terminal state.
+func runSynth(t *testing.T, eng *Engine, space *Space) State {
+	t.Helper()
+	st, err := eng.Start(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(t.Context(), 2*time.Minute)
+	defer cancel()
+	final, err := eng.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final
+}
+
+// feasibleBreakdown is the analytic oracle for synthSystem with task a's
+// WCET varied: EDF, implicit deadlines, full window, so schedulable iff
+// utilization Ca/10 + 5/10 <= 1, i.e. Ca <= 5.
+
+func TestRefine1DBreakdown(t *testing.T) {
+	pool := jobs.New(jobs.Options{Workers: 2})
+	defer pool.Close()
+	eng := NewEngine(pool, nil, nil)
+
+	final := runSynth(t, eng, oneDimSpace())
+	if final.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", final.Status, final.Error)
+	}
+	r := final.Region
+	if r == nil {
+		t.Fatal("no region on a done synthesis")
+	}
+	want := []Box{
+		{Min: []float64{1}, Max: []float64{5}, Verdict: VerdictFeasible, Cells: 4},
+		{Min: []float64{5}, Max: []float64{6}, Verdict: VerdictBoundary, Cells: 1},
+		{Min: []float64{6}, Max: []float64{10}, Verdict: VerdictInfeasible, Cells: 4},
+	}
+	if !reflect.DeepEqual(r.Boxes, want) {
+		t.Fatalf("boxes = %+v, want %+v", r.Boxes, want)
+	}
+	wantW := []Witness{{Feasible: []float64{5}, Infeasible: []float64{6}}}
+	if !reflect.DeepEqual(r.Boundary, wantW) {
+		t.Fatalf("boundary = %+v, want %+v", r.Boundary, wantW)
+	}
+	if r.TotalCells != 9 || r.DecidedCells != 8 {
+		t.Fatalf("cells: %d decided of %d, want 8 of 9", r.DecidedCells, r.TotalCells)
+	}
+	if got, wantCov := r.Coverage, 8.0/9.0; got != wantCov {
+		t.Fatalf("coverage = %g, want %g", got, wantCov)
+	}
+	// Bisection beats the grid sweep: well under the 10 lattice values.
+	if r.Counts.Evaluations >= 10 {
+		t.Errorf("evaluations = %d, want < 10 (grid size)", r.Counts.Evaluations)
+	}
+	if r.Counts.EngineRuns != r.Counts.Evaluations {
+		t.Errorf("engine runs = %d, evaluations = %d; memory-only run should compute all",
+			r.Counts.EngineRuns, r.Counts.Evaluations)
+	}
+	if r.Counts.BisectIterations == 0 {
+		t.Error("no bisect iterations recorded")
+	}
+}
+
+// TestRefine1DInverted covers the opposite monotone direction: the width
+// of the partition's only window, where feasibility grows with the
+// parameter. One FPPS task C=3, T=D=10 inside window [0, w]: schedulable
+// iff w >= 3.
+func TestRefine1DInverted(t *testing.T) {
+	base := &config.System{
+		Name:      "window-width",
+		CoreTypes: []string{"cpu"},
+		Cores:     []config.Core{{Name: "c1", Type: 0, Module: 1}},
+		Partitions: []config.Partition{{
+			Name: "P1", Core: 0, Policy: config.FPPS,
+			Tasks: []config.Task{
+				{Name: "t", Priority: 1, WCET: []int64{3}, Period: 10, Deadline: 10},
+			},
+			Windows: []config.Window{{Start: 0, End: 5}},
+		}},
+	}
+	space := &Space{
+		Name: "widen",
+		Base: base,
+		Dims: []Dim{{Target: "window:P1.0", Min: 1, Max: 10}},
+	}
+	pool := jobs.New(jobs.Options{Workers: 2})
+	defer pool.Close()
+	eng := NewEngine(pool, nil, nil)
+
+	final := runSynth(t, eng, space)
+	if final.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", final.Status, final.Error)
+	}
+	r := final.Region
+	want := []Box{
+		{Min: []float64{1}, Max: []float64{2}, Verdict: VerdictInfeasible, Cells: 1},
+		{Min: []float64{2}, Max: []float64{3}, Verdict: VerdictBoundary, Cells: 1},
+		{Min: []float64{3}, Max: []float64{10}, Verdict: VerdictFeasible, Cells: 7},
+	}
+	if !reflect.DeepEqual(r.Boxes, want) {
+		t.Fatalf("boxes = %+v, want %+v", r.Boxes, want)
+	}
+	wantW := []Witness{{Feasible: []float64{3}, Infeasible: []float64{2}}}
+	if !reflect.DeepEqual(r.Boundary, wantW) {
+		t.Fatalf("boundary = %+v, want %+v", r.Boundary, wantW)
+	}
+}
+
+// TestRefine2DBoxes checks the multi-dimensional mode against the
+// analytic oracle on synthSystem with both WCETs varied: schedulable iff
+// Ca + Cb <= 10. Every decided box must agree with the oracle on every
+// lattice point it contains, the boxes must partition the bounding box
+// exactly, and the refinement must use fewer oracle runs than the
+// 10x10 grid sweep at the same resolution.
+func TestRefine2DBoxes(t *testing.T) {
+	space := &Space{
+		Name: "2d-wcet",
+		Base: synthSystem(),
+		Dims: []Dim{
+			{Target: "wcet:P1.a", Min: 1, Max: 10},
+			{Target: "wcet:P1.b", Min: 1, Max: 10},
+		},
+		Parallel: 4,
+	}
+	pool := jobs.New(jobs.Options{Workers: 4})
+	defer pool.Close()
+	eng := NewEngine(pool, nil, nil)
+
+	final := runSynth(t, eng, space)
+	if final.Status != StatusDone {
+		t.Fatalf("status = %s (%s)", final.Status, final.Error)
+	}
+	r := final.Region
+	oracle := func(a, b float64) bool { return a+b <= 10 }
+
+	var cells, decided int64
+	boundary := 0
+	for _, b := range r.Boxes {
+		cells += b.Cells
+		if got := int64((b.Max[0] - b.Min[0]) * (b.Max[1] - b.Min[1])); got != b.Cells {
+			t.Errorf("box %v-%v: cells=%d, geometry says %d", b.Min, b.Max, b.Cells, got)
+		}
+		switch b.Verdict {
+		case VerdictBoundary:
+			boundary++
+			if b.Cells != 1 {
+				t.Errorf("boundary box %v-%v spans %d cells, want 1", b.Min, b.Max, b.Cells)
+			}
+			continue
+		case VerdictFeasible, VerdictInfeasible:
+			decided += b.Cells
+		default:
+			t.Fatalf("box %v-%v has verdict %q", b.Min, b.Max, b.Verdict)
+		}
+		// Every lattice point inside the box must match its verdict.
+		for a := b.Min[0]; a <= b.Max[0]; a++ {
+			for bb := b.Min[1]; bb <= b.Max[1]; bb++ {
+				if want := b.Verdict == VerdictFeasible; oracle(a, bb) != want {
+					t.Errorf("box %v-%v verdict %s contradicts oracle at (%g,%g)",
+						b.Min, b.Max, b.Verdict, a, bb)
+				}
+			}
+		}
+	}
+	if cells != 81 || r.TotalCells != 81 {
+		t.Errorf("boxes cover %d cells of total %d, want 81 of 81", cells, r.TotalCells)
+	}
+	// The diagonal a+b=10 crosses cells with i+j in {7,8}: 8+9 of them.
+	if boundary != 17 {
+		t.Errorf("boundary boxes = %d, want 17", boundary)
+	}
+	if decided != 64 || r.DecidedCells != 64 {
+		t.Errorf("decided cells = %d (region says %d), want 64", decided, r.DecidedCells)
+	}
+	if len(r.Boundary) != boundary {
+		t.Errorf("boundary witnesses = %d, boundary boxes = %d", len(r.Boundary), boundary)
+	}
+	for _, w := range r.Boundary {
+		if w.Feasible == nil || w.Infeasible == nil {
+			t.Errorf("witness %+v is one-sided", w)
+			continue
+		}
+		if !oracle(w.Feasible[0], w.Feasible[1]) || oracle(w.Infeasible[0], w.Infeasible[1]) {
+			t.Errorf("witness %+v contradicts oracle", w)
+		}
+	}
+	if r.Counts.Evaluations >= 100 {
+		t.Errorf("evaluations = %d, want < 100 (grid at same resolution)", r.Counts.Evaluations)
+	}
+	if r.Counts.Splits == 0 {
+		t.Error("no splits recorded in a mixed 2-D space")
+	}
+	m := eng.Metrics()
+	if m.Started != 1 || m.Done != 1 {
+		t.Errorf("metrics started=%d done=%d, want 1/1", m.Started, m.Done)
+	}
+	if m.PointsComputed != int64(r.Counts.EngineRuns) {
+		t.Errorf("metrics points_computed=%d, counts engine_runs=%d", m.PointsComputed, r.Counts.EngineRuns)
+	}
+}
+
+// TestStartIsContentAddressed: starting the same space twice returns the
+// same synthesis without a second run; a different name is a different
+// synthesis.
+func TestStartIsContentAddressed(t *testing.T) {
+	pool := jobs.New(jobs.Options{Workers: 2})
+	defer pool.Close()
+	eng := NewEngine(pool, nil, nil)
+
+	first := runSynth(t, eng, oneDimSpace())
+	again, err := eng.Start(oneDimSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != first.ID {
+		t.Fatalf("same space started as %s and %s", first.ID, again.ID)
+	}
+	if again.Status != StatusDone {
+		t.Fatalf("re-start status = %s, want done snapshot", again.Status)
+	}
+	if m := eng.Metrics(); m.Started != 1 {
+		t.Errorf("started = %d, want 1", m.Started)
+	}
+	other := oneDimSpace()
+	other.Name = "breakdown-a-again"
+	st, err := eng.Start(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == first.ID {
+		t.Fatal("distinct spaces share an ID")
+	}
+	if len(eng.List()) != 2 {
+		t.Fatalf("list has %d syntheses, want 2", len(eng.List()))
+	}
+}
+
+func TestEngineUnknownID(t *testing.T) {
+	pool := jobs.New(jobs.Options{Workers: 1})
+	defer pool.Close()
+	eng := NewEngine(pool, nil, nil)
+	if _, ok := eng.Get("nope"); ok {
+		t.Error("Get on unknown ID succeeded")
+	}
+	if eng.Cancel("nope") {
+		t.Error("Cancel on unknown ID succeeded")
+	}
+	ctx, cancel := context.WithTimeout(t.Context(), time.Second)
+	defer cancel()
+	if _, err := eng.Wait(ctx, "nope"); err != ErrUnknownSynthesis {
+		t.Errorf("Wait on unknown ID: err = %v", err)
+	}
+}
+
+// TestMaxPointsBudget: a synthesis that would need more evaluations than
+// its budget fails loudly instead of reporting a partial region.
+func TestMaxPointsBudget(t *testing.T) {
+	space := oneDimSpace()
+	space.MaxPoints = 2
+	pool := jobs.New(jobs.Options{Workers: 1})
+	defer pool.Close()
+	eng := NewEngine(pool, nil, nil)
+
+	final := runSynth(t, eng, space)
+	if final.Status != StatusFailed {
+		t.Fatalf("status = %s, want failed", final.Status)
+	}
+	if !strings.Contains(final.Error, "evaluation budget") {
+		t.Fatalf("error = %q, want budget exhaustion", final.Error)
+	}
+	if m := eng.Metrics(); m.Failed != 1 {
+		t.Errorf("failed = %d, want 1", m.Failed)
+	}
+}
+
+// TestResumeReusesCheckpoint is the crash-resume contract, mirroring the
+// campaign one: rewind a finished checkpoint by a few points, mark it
+// running, restart on a fresh pool/engine/store handle, and the resumed
+// synthesis recomputes exactly the dropped points and re-derives the same
+// region boxes.
+func TestResumeReusesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{PinnedKinds: []string{StoreKind()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := &Space{
+		Name: "resume-2d",
+		Base: synthSystem(),
+		Dims: []Dim{
+			{Target: "wcet:P1.a", Min: 1, Max: 10},
+			{Target: "wcet:P1.b", Min: 1, Max: 10},
+		},
+		Parallel: 1,
+	}
+
+	pool1 := jobs.New(jobs.Options{Workers: 1, Store: st})
+	eng1 := NewEngine(pool1, st, nil)
+	final := runSynth(t, eng1, space)
+	if final.Status != StatusDone {
+		t.Fatalf("first run status = %s (%s)", final.Status, final.Error)
+	}
+	total := len(final.Points)
+	if total < 8 {
+		t.Fatalf("first run evaluated only %d points", total)
+	}
+	pool1.Close()
+
+	// Simulated crash between checkpoints: drop the last 3 points, mark
+	// running, and delete their pool-tier outcomes so resume must truly
+	// recompute them.
+	const dropped = 3
+	rewound := final.clone()
+	rewound.Points = rewound.Points[:total-dropped]
+	rewound.Status = StatusRunning
+	rewound.Region = nil
+	if err := st.Put(StoreKind(), rewound.ID, &rewound); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range final.Points[total-dropped:] {
+		if err := st.Delete("outcome", p.Fingerprint); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	st2, err := store.Open(dir, store.Options{PinnedKinds: []string{StoreKind()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	pool2 := jobs.New(jobs.Options{Workers: 1, Store: st2})
+	defer pool2.Close()
+	eng2 := NewEngine(pool2, st2, nil)
+
+	resumed := eng2.ResumeAll()
+	if len(resumed) != 1 || resumed[0] != final.ID {
+		t.Fatalf("resumed = %v, want [%s]", resumed, final.ID)
+	}
+	ctx, cancel := context.WithTimeout(t.Context(), 2*time.Minute)
+	defer cancel()
+	done, err := eng2.Wait(ctx, final.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != StatusDone {
+		t.Fatalf("resumed status = %s (%s)", done.Status, done.Error)
+	}
+	if len(done.Points) != total {
+		t.Fatalf("resumed synthesis has %d points, want %d", len(done.Points), total)
+	}
+	// Exactly the dropped points went back through the pool.
+	if m := eng2.Metrics(); m.Resumed != 1 || m.PointsComputed != dropped {
+		t.Errorf("metrics resumed=%d points_computed=%d, want 1/%d", m.Resumed, m.PointsComputed, dropped)
+	}
+	// The refinement re-derives the identical cover.
+	if !reflect.DeepEqual(done.Region.Boxes, final.Region.Boxes) {
+		t.Errorf("resumed region boxes differ from the original")
+	}
+	if !reflect.DeepEqual(done.Region.Boundary, final.Region.Boundary) {
+		t.Errorf("resumed region boundary differs from the original")
+	}
+	if done.Region.Coverage != final.Region.Coverage {
+		t.Errorf("resumed coverage %g != original %g", done.Region.Coverage, final.Region.Coverage)
+	}
+
+	// A completed checkpoint registers inert on yet another engine: the
+	// state and region are served from the store with no relaunch.
+	eng3 := NewEngine(pool2, st2, nil)
+	again, err := eng3.Start(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != StatusDone || again.Region == nil {
+		t.Fatalf("stored synthesis re-served as %s (region %v)", again.Status, again.Region != nil)
+	}
+	if m := eng3.Metrics(); m.Started != 0 || m.Resumed != 0 {
+		t.Errorf("inert registration bumped started=%d resumed=%d", m.Started, m.Resumed)
+	}
+}
