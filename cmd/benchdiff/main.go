@@ -1,10 +1,11 @@
 // Command benchdiff compares two benchtable -json reports and fails on
 // performance regressions. It is the CI bench-regression gate: for every
-// guarded row (-rows, default the engine steady-state throughput and the
-// §4 industrial-scale interpretation) the current report must stay within
-// -max-regress of the baseline's ns/op (default 0.15 = +15%) and must not
-// increase allocs/op at all — the compiled runtime's zero-allocation
-// property is a hard invariant, not a soft target.
+// guarded row (-rows, default the engine steady-state throughput — bare
+// and with the flight recorder armed — and the §4 industrial-scale
+// interpretation) the current report must stay within -max-regress of
+// the baseline's ns/op (default 0.15 = +15%) and must not increase
+// allocs/op at all — the compiled runtime's zero-allocation property is
+// a hard invariant, not a soft target.
 //
 // Non-guarded rows present in both reports are printed for context but
 // never fail the run: Table 1's Model Checking columns are exponential and
@@ -17,7 +18,7 @@
 //
 //	benchdiff -baseline BENCH_old.json -current BENCH_new.json
 //	          [-max-regress 0.15]
-//	          [-rows EngineThroughput,IndustrialScale/interpretation]
+//	          [-rows EngineThroughput,EngineThroughput/flight,IndustrialScale/interpretation]
 package main
 
 import (
@@ -65,7 +66,7 @@ func main() {
 		basePath   = flag.String("baseline", "", "baseline benchtable -json report (required)")
 		curPath    = flag.String("current", "", "current benchtable -json report (required)")
 		maxRegress = flag.Float64("max-regress", 0.15, "allowed ns/op growth on guarded rows (0.15 = +15%)")
-		rowsFlag   = flag.String("rows", "EngineThroughput,IndustrialScale/interpretation",
+		rowsFlag   = flag.String("rows", "EngineThroughput,EngineThroughput/flight,IndustrialScale/interpretation",
 			"comma-separated guarded row names")
 	)
 	flag.Parse()

@@ -329,6 +329,32 @@ func runEngine(ctx context.Context, b nsa.Budget, backend nsa.Backend) error {
 	fmt.Printf("\nEngine steady state (%s backend): %v/run, %d allocs/run, %d actions/run over %d runs\n",
 		backend, perOp, allocs, res.Actions, iters)
 
+	// The same regime with the flight recorder armed: the observability
+	// hot path's cost, pinned as its own row so the CI bench gate catches
+	// a tracing-path regression (>15% ns/op over this row) separately
+	// from the untraced baseline above.
+	eng.SetFlight(obs.NewFlightRecorder(obs.DefaultFlightDepth))
+	eng.Reset()
+	if _, err := eng.RunContext(ctx); err != nil {
+		return err
+	}
+	fiters := 0
+	fa0 := mallocs()
+	fstart := time.Now()
+	for time.Since(fstart) < minWall {
+		eng.Reset()
+		if _, err := eng.RunContext(ctx); err != nil {
+			return err
+		}
+		fiters++
+	}
+	fPerOp := time.Since(fstart) / time.Duration(fiters)
+	fAllocs := (mallocs() - fa0) / uint64(fiters)
+	eng.SetFlight(nil)
+	addRow("EngineThroughput/flight", fPerOp, fAllocs, res.Actions)
+	fmt.Printf("Engine steady state, flight recorder armed: %v/run, %d allocs/run over %d runs\n",
+		fPerOp, fAllocs, fiters)
+
 	sc := expr.MapScope{
 		"x": {Kind: expr.SymVar, Index: 0},
 		"t": {Kind: expr.SymClock, Index: 0},

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"flag"
 
@@ -252,6 +253,16 @@ func printState(st campaign.State) {
 			fmt.Fprintf(os.Stderr, "  frontier %s=%g → nothing schedulable (%d evaluations)\n",
 				st.Spec.Axes[0].Param, row.Row, row.Evaluations)
 		}
+	}
+	if st.Trace != "" {
+		fmt.Fprintf(os.Stderr, "  trace %s\n", st.Trace)
+	}
+	for _, sl := range st.Stragglers {
+		fmt.Fprintf(os.Stderr, "  straggler %s: %s", sl.Point.Key(), time.Duration(sl.ElapsedNS))
+		if sl.Trace != "" {
+			fmt.Fprintf(os.Stderr, "  trace %s", sl.Trace)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

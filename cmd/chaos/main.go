@@ -109,10 +109,14 @@ func soakSpec(points int) *campaign.Spec {
 }
 
 // pointVerdict is one point's outcome in the report, keyed by Point.Key().
+// Trace and Postmortem carry the point's traceparent and flight-recorder
+// dump key, so a compare mismatch names the evidence to pull.
 type pointVerdict struct {
 	Schedulable bool   `json:"schedulable"`
 	Failed      bool   `json:"failed"`
 	Source      string `json:"source"`
+	Trace       string `json:"trace,omitempty"`
+	Postmortem  string `json:"postmortem,omitempty"`
 }
 
 // report is the soak run's machine-readable result document.
@@ -170,13 +174,18 @@ func cmdRun(args []string) int {
 		return fail(err)
 	}
 	defer st.Close()
+	// Tracing and flight recording are always on in the soak harness: a
+	// mismatch or quarantine is exactly the moment the trace and the
+	// postmortem dump are wanted.
 	pool := jobs.New(jobs.Options{
-		Workers:    *workers,
-		Tool:       "chaos",
-		Logger:     lg,
-		Store:      st,
-		Faults:     inj,
-		StuckAfter: *stuckAfter,
+		Workers:     *workers,
+		Tool:        "chaos",
+		Logger:      lg,
+		Store:       st,
+		Faults:      inj,
+		StuckAfter:  *stuckAfter,
+		Tracer:      obs.NewTracer(obs.DefaultTraceSpans, nil),
+		FlightDepth: obs.DefaultFlightDepth,
 	})
 	defer pool.Close()
 	eng := campaign.NewEngine(pool, st, lg)
@@ -233,6 +242,8 @@ func cmdRun(args []string) int {
 			Schedulable: p.Schedulable,
 			Failed:      p.Source == campaign.SourceFailed,
 			Source:      p.Source,
+			Trace:       p.Trace,
+			Postmortem:  p.Postmortem,
 		}
 	}
 	w := os.Stdout
@@ -266,14 +277,29 @@ func loadReport(path string) (*report, error) {
 	return &rep, nil
 }
 
+// evidence names the observability artifacts a suspect point left
+// behind: the trace (follow it at /v1/traces/{id}) and the
+// flight-recorder postmortem dump key in the artifact store.
+func evidence(v pointVerdict) string {
+	s := ""
+	if v.Trace != "" {
+		s += " trace=" + v.Trace
+	}
+	if v.Postmortem != "" {
+		s += " postmortem=" + v.Postmortem
+	}
+	return s
+}
+
 // comparePoints checks got against the fault-free reference ref: every
 // point present in both and not quarantined in got must carry the
-// reference verdict. It returns the number of quarantined (skipped)
-// points and the list of mismatch descriptions.
-func comparePoints(ref, got *report) (quarantined int, mismatches []string) {
+// reference verdict. It returns the quarantined (skipped) points'
+// descriptions — each with its trace and dump key — and the list of
+// mismatch descriptions.
+func comparePoints(ref, got *report) (quarantined, mismatches []string) {
 	for key, rv := range ref.Points {
 		if rv.Failed {
-			mismatches = append(mismatches, fmt.Sprintf("reference point %s is itself failed — reference run was not clean", key))
+			mismatches = append(mismatches, fmt.Sprintf("reference point %s is itself failed — reference run was not clean%s", key, evidence(rv)))
 			continue
 		}
 		gv, ok := got.Points[key]
@@ -281,10 +307,10 @@ func comparePoints(ref, got *report) (quarantined int, mismatches []string) {
 		case !ok:
 			mismatches = append(mismatches, fmt.Sprintf("point %s missing from chaos run", key))
 		case gv.Failed:
-			quarantined++
+			quarantined = append(quarantined, fmt.Sprintf("point %s quarantined%s", key, evidence(gv)))
 		case gv.Schedulable != rv.Schedulable:
-			mismatches = append(mismatches, fmt.Sprintf("point %s: chaos verdict schedulable=%v, reference %v",
-				key, gv.Schedulable, rv.Schedulable))
+			mismatches = append(mismatches, fmt.Sprintf("point %s: chaos verdict schedulable=%v, reference %v%s",
+				key, gv.Schedulable, rv.Schedulable, evidence(gv)))
 		}
 	}
 	for key := range got.Points {
@@ -327,14 +353,17 @@ func cmdCompare(args []string) int {
 	for _, m := range mismatches {
 		fmt.Fprintln(os.Stderr, "chaos: MISMATCH:", m)
 	}
+	for _, q := range quarantined {
+		fmt.Fprintln(os.Stderr, "chaos: QUARANTINED:", q)
+	}
 	if len(mismatches) > 0 {
 		return diag.ExitError
 	}
-	if *requireClean && quarantined > 0 {
-		fmt.Fprintf(os.Stderr, "chaos: %d points quarantined but -require-clean is set\n", quarantined)
+	if *requireClean && len(quarantined) > 0 {
+		fmt.Fprintf(os.Stderr, "chaos: %d points quarantined but -require-clean is set\n", len(quarantined))
 		return diag.ExitError
 	}
 	fmt.Fprintf(os.Stderr, "chaos: %d points match (%d quarantined, skipped)\n",
-		len(ref.Points)-quarantined, quarantined)
+		len(ref.Points)-len(quarantined), len(quarantined))
 	return diag.ExitOK
 }

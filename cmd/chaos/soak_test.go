@@ -104,8 +104,11 @@ func TestSoakKillResumeMatchesCleanRun(t *testing.T) {
 	for _, m := range mismatches {
 		t.Error(m)
 	}
+	for _, q := range quarantined {
+		t.Log(q)
+	}
 	t.Logf("chaos run: %d/%d points quarantined, %d faults injected, resilience %+v",
-		quarantined, points, got.Summary.Points.Failed, got.Resilience)
+		len(quarantined), points, got.Summary.Points.Failed, got.Resilience)
 	if !got.Resumed {
 		t.Error("got report does not mark the resumed run")
 	}

@@ -12,16 +12,20 @@
 //	GET    /v1/jobs/{id}/trace  trace export (json, csv, text)
 //	GET    /v1/jobs/{id}/gantt  ASCII Gantt chart
 //	GET    /v1/jobs/{id}/report telemetry RunReport of a completed run
+//	GET    /v1/jobs/{id}/postmortem flight-recorder dump of a dump-worthy failure
+//	GET    /v1/traces/{id}   span tree of a trace (ingress → pool → store → engine)
 //	POST   /v1/campaigns     start (or resume) a design-space campaign
 //	GET    /v1/campaigns     list campaigns
 //	GET    /v1/campaigns/{id}        campaign state and progress
 //	DELETE /v1/campaigns/{id}        cancel a running campaign
 //	GET    /v1/campaigns/{id}/result campaign summary (frontier table)
+//	GET    /v1/campaigns/{id}/events live SSE event stream (points, coverage, ETA)
 //	POST   /v1/synth         start (or resume) a region synthesis
 //	GET    /v1/synth         list syntheses
 //	GET    /v1/synth/{id}        synthesis state and progress
 //	DELETE /v1/synth/{id}        cancel a running synthesis
 //	GET    /v1/synth/{id}/region region export (box cover and witnesses)
+//	GET    /v1/synth/{id}/events live SSE event stream (points, budget, ETA)
 //	GET    /metrics          Prometheus-style metrics
 //	GET    /healthz          liveness
 //	GET    /readyz           readiness (503 while the store tier is degraded)
@@ -46,6 +50,7 @@
 //	        [-engine-backend compiled|event|naive]
 //	        [-store DIR] [-store-max-mb N] [-stuck-after D]
 //	        [-breaker-threshold N] [-faults PLAN] [-fault-seed N]
+//	        [-trace-spans N] [-trace-export FILE.jsonl] [-flight-depth N]
 //	        [-log-level info] [-log-format text]
 //	        [-max-steps N] [-timeout D] [-max-mem-mb N]
 //
@@ -58,6 +63,13 @@
 // injector (chaos testing): either the canonical randomized plan
 // ("chaos:0.05") or an explicit rule list
 // ("store.journal.sync:p=0.05;jobs.worker.run:every=97,kind=panic").
+//
+// Cross-layer tracing and the flight recorder are on by default
+// (-trace-spans 0 and -flight-depth 0 disable them): every request gets
+// a W3C traceparent (honoured inbound, echoed as a response header),
+// its spans land in a bounded in-memory collector served by /v1/traces,
+// and dump-worthy failures (deadlock, stuck, panic, injected fault)
+// persist a flight-recorder post-mortem retrievable even after a crash.
 package main
 
 import (
@@ -96,6 +108,10 @@ func main() {
 		stuckAfter = flag.Duration("stuck-after", 0, "watchdog deadline: kill and requeue jobs running longer than this (0 disables)")
 		breakAfter = flag.Int("breaker-threshold", 0, "consecutive store failures before the disk tier degrades to memory-only (0 = default 5)")
 		backendStr = flag.String("engine-backend", "compiled", "engine backend for analysis runs: compiled, event or naive")
+
+		traceSpans  = flag.Int("trace-spans", obs.DefaultTraceSpans, "in-memory span collector capacity (0 disables tracing)")
+		traceExport = flag.String("trace-export", "", "append finished spans as JSON lines to this file (requires tracing)")
+		flightDepth = flag.Int("flight-depth", obs.DefaultFlightDepth, "flight recorder ring depth per worker and for service events (0 disables)")
 	)
 	budget := diag.BudgetFlags()
 	logger := obs.LogFlags()
@@ -150,6 +166,32 @@ func main() {
 			"recovered_records", stats.RecoveredRecords, "truncated_bytes", stats.TruncatedBytes)
 	}
 
+	// Tracing and flight recording are on by default: the collector is a
+	// fixed ring and the hot paths pay one branch per site, so the ops
+	// value costs nothing measurable. -trace-spans 0 / -flight-depth 0
+	// turn them off entirely.
+	var tracer *obs.Tracer
+	if *traceSpans > 0 {
+		var export *os.File
+		if *traceExport != "" {
+			var err error
+			export, err = os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "saserve:", err)
+				os.Exit(diag.ExitUsage)
+			}
+			defer export.Close()
+		}
+		if export != nil {
+			tracer = obs.NewTracer(*traceSpans, export)
+		} else {
+			tracer = obs.NewTracer(*traceSpans, nil)
+		}
+	} else if *traceExport != "" {
+		fmt.Fprintln(os.Stderr, "saserve: -trace-export requires tracing (-trace-spans > 0)")
+		os.Exit(diag.ExitUsage)
+	}
+
 	pool := jobs.New(jobs.Options{
 		Workers:          *workers,
 		QueueDepth:       *queue,
@@ -162,6 +204,8 @@ func main() {
 		StuckAfter:       *stuckAfter,
 		BreakerThreshold: *breakAfter,
 		Backend:          backend,
+		Tracer:           tracer,
+		FlightDepth:      *flightDepth,
 	})
 	camps := campaign.NewEngine(pool, st, lg)
 	if resumed := camps.ResumeAll(); len(resumed) > 0 {

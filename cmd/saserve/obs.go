@@ -1,0 +1,120 @@
+package main
+
+// Observability endpoints: the span-tree view of one trace, the
+// flight-recorder postmortem of a failed job, and the live SSE event
+// streams of campaigns and syntheses.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"stopwatchsim/internal/obs"
+)
+
+// spanTree serves GET /v1/traces/{id}: the recorded spans of one trace,
+// reassembled into parent/child tree form. The id is either the 32-hex
+// trace ID or a full W3C traceparent (as returned in the Traceparent
+// response header and carried by campaign/synth points), so callers can
+// paste either without reformatting.
+func (s *server) spanTree(w http.ResponseWriter, r *http.Request) {
+	tr := s.pool.Tracer()
+	if tr == nil {
+		httpError(w, http.StatusNotFound, "tracing disabled (-trace-spans 0)")
+		return
+	}
+	id := r.PathValue("id")
+	if tc, ok := obs.ParseTraceparent(id); ok {
+		id = tc.TraceString()
+	}
+	spans := tr.Trace(strings.ToLower(id))
+	if len(spans) == 0 {
+		httpError(w, http.StatusNotFound, "no spans for trace %q (unknown, or evicted from the ring)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, obs.SpanTree(spans))
+}
+
+// postmortem serves GET /v1/jobs/{id}/postmortem: the flight-recorder
+// dump a dump-worthy failure (deadlock, stuck-run kill, panic, injected
+// fault) left behind — from the registry while the job is live, from the
+// artifact store after a restart.
+func (s *server) postmortem(w http.ResponseWriter, r *http.Request) {
+	pm, ok := s.pool.Postmortem(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no postmortem for job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, pm)
+}
+
+// campaignEvents serves GET /v1/campaigns/{id}/events: a live SSE stream
+// of point settlements, quarantines and the terminal status, each with
+// coverage and ETA. The first record is always a synthetic status
+// snapshot, so subscribers to an already-finished campaign are answered
+// instead of hanging.
+func (s *server) campaignEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	first, ok := s.camps.StatusEvent(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	ch, cancel, ok := s.camps.Subscribe(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	serveSSE(w, r, first, ch, cancel)
+}
+
+// synthEvents serves GET /v1/synth/{id}/events, the synthesis mirror of
+// campaignEvents.
+func (s *server) synthEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	first, ok := s.synths.StatusEvent(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown synthesis %q", id)
+		return
+	}
+	ch, cancel, ok := s.synths.Subscribe(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown synthesis %q", id)
+		return
+	}
+	serveSSE(w, r, first, ch, cancel)
+}
+
+// serveSSE writes first and then every subscribed event as SSE data
+// records until the client disconnects. The subscription is best-effort
+// by construction (the hub drops on a full buffer), so a slow client
+// loses events rather than stalling the exploration.
+func serveSSE(w http.ResponseWriter, r *http.Request, first any, ch <-chan any, cancel func()) {
+	defer cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	write := func(ev any) {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "data: %s\n\n", b)
+		fl.Flush()
+	}
+	write(first)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			write(ev)
+		}
+	}
+}

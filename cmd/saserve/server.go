@@ -49,16 +49,20 @@ type server struct {
 //	GET    /v1/jobs/{id}/trace  stream the trace (json, csv, text)
 //	GET    /v1/jobs/{id}/gantt  ASCII Gantt chart
 //	GET    /v1/jobs/{id}/report telemetry RunReport of a completed run
+//	GET    /v1/jobs/{id}/postmortem flight-recorder dump of a dump-worthy failure
+//	GET    /v1/traces/{id}   span tree of one trace (ID or full traceparent)
 //	POST   /v1/campaigns     start (or resume) a design-space campaign
 //	GET    /v1/campaigns     list campaigns
 //	GET    /v1/campaigns/{id}        campaign state and progress
 //	DELETE /v1/campaigns/{id}        cancel a running campaign
 //	GET    /v1/campaigns/{id}/result campaign summary (frontier table)
+//	GET    /v1/campaigns/{id}/events live SSE event stream
 //	POST   /v1/synth         start (or resume) a region synthesis
 //	GET    /v1/synth         list syntheses
 //	GET    /v1/synth/{id}        synthesis state and progress
 //	DELETE /v1/synth/{id}        cancel a running synthesis
 //	GET    /v1/synth/{id}/region region export (box cover and witnesses)
+//	GET    /v1/synth/{id}/events live SSE event stream
 //	GET    /metrics          Prometheus-style counters
 //	GET    /healthz          liveness
 //	GET    /readyz           readiness (503 while the store tier is degraded)
@@ -76,16 +80,20 @@ func newMux(pool *jobs.Pool, camps *campaign.Engine, synths *synth.Engine, enabl
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
 	mux.HandleFunc("GET /v1/jobs/{id}/gantt", s.gantt)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.report)
+	mux.HandleFunc("GET /v1/jobs/{id}/postmortem", s.postmortem)
+	mux.HandleFunc("GET /v1/traces/{id}", s.spanTree)
 	mux.HandleFunc("POST /v1/campaigns", s.campaignStart)
 	mux.HandleFunc("GET /v1/campaigns", s.campaignList)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.campaignStatus)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.campaignCancel)
 	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.campaignResult)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.campaignEvents)
 	mux.HandleFunc("POST /v1/synth", s.synthStart)
 	mux.HandleFunc("GET /v1/synth", s.synthList)
 	mux.HandleFunc("GET /v1/synth/{id}", s.synthStatus)
 	mux.HandleFunc("DELETE /v1/synth/{id}", s.synthCancel)
 	mux.HandleFunc("GET /v1/synth/{id}/region", s.synthRegion)
+	mux.HandleFunc("GET /v1/synth/{id}/events", s.synthEvents)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", s.health)
 	mux.HandleFunc("GET /readyz", s.ready)
@@ -119,6 +127,12 @@ type jobDoc struct {
 	JobsTotal int    `json:"jobs_total,omitempty"`
 	JobsLate  int    `json:"jobs_unschedulable,omitempty"`
 
+	// Trace is the job's W3C traceparent when the service traces;
+	// Postmortem names the flight-recorder dump a dump-worthy failure left
+	// behind (GET /v1/jobs/{id}/postmortem).
+	Trace      string `json:"traceparent,omitempty"`
+	Postmortem string `json:"postmortem,omitempty"`
+
 	// Failed or canceled runs.
 	Report *diag.Report `json:"report,omitempty"`
 }
@@ -131,7 +145,11 @@ func toDoc(jb jobs.Job) jobDoc {
 		CacheHit:    jb.CacheHit,
 		DiskHit:     jb.DiskHit,
 		Submitted:   jb.Submitted.UTC().Format(time.RFC3339Nano),
+		Postmortem:  jb.PostmortemKey,
 		Report:      jb.Report,
+	}
+	if jb.Trace.Valid() {
+		d.Trace = jb.Trace.Traceparent()
 	}
 	if !jb.Started.IsZero() {
 		d.Started = jb.Started.UTC().Format(time.RFC3339Nano)
@@ -213,12 +231,32 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		runner = jobs.ConfigRun{Sys: sys}
 	}
 
-	var jb jobs.Job
-	if budget.IsZero() { // no per-job override: inherit the pool default
-		jb, err = s.pool.Submit(runner)
-	} else {
-		jb, err = s.pool.SubmitBudget(runner, budget)
+	// Trace propagation: adopt the caller's W3C traceparent when one is
+	// sent, mint a fresh trace otherwise, and record the ingress span when
+	// the submission settles. The response echoes the context in a
+	// Traceparent header so callers can follow /v1/traces/{trace-id}.
+	var tc obs.TraceContext
+	var parentSpan [8]byte
+	if tr := s.pool.Tracer(); tr != nil {
+		if rtc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			parentSpan = rtc.SpanID
+			tc = rtc.Child()
+		} else {
+			tc = obs.NewTrace()
+		}
+		w.Header().Set("Traceparent", tc.Traceparent())
+		ingress := time.Now()
+		defer func() {
+			tr.Record(tc, parentSpan, "http.ingress", "POST /v1/jobs",
+				ingress.UnixNano(), time.Since(ingress).Nanoseconds())
+		}()
 	}
+
+	bud := budget
+	if bud.IsZero() { // no per-job override: inherit the pool default
+		bud = s.pool.DefaultBudget()
+	}
+	jb, err := s.pool.SubmitTraced(runner, bud, tc)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		// Backpressure is transient by construction (the queue drains at
@@ -415,6 +453,14 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("cache_hits_total", "Submissions served from the result cache.", m.CacheHits)
 	counter("cache_misses_total", "Submissions that required a run.", m.CacheMisses)
 	gauge("cache_hit_rate", "Cache hits over all keyed submissions.", m.CacheHitRate)
+	counter("postmortems_total", "Flight-recorder dumps written for dump-worthy failures.", m.Postmortems)
+
+	// Span collector accounting (present only with tracing enabled).
+	if tr := s.pool.Tracer(); tr != nil {
+		rec, drop := tr.Stats()
+		counter("trace_spans_total", "Spans recorded by the in-memory collector.", int64(rec))
+		counter("trace_spans_dropped_total", "Spans overwritten in the ring before being read.", int64(drop))
+	}
 
 	// Persistent store tier (present only when -store is set).
 	if st := s.pool.Store(); st != nil {

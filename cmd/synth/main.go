@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/diag"
@@ -243,6 +244,16 @@ func printState(st synth.State) {
 	if r := st.Region; r != nil {
 		fmt.Fprintf(os.Stderr, "  region: %d boxes (%d feasible, %d infeasible, %d boundary), coverage %.4f\n",
 			len(r.Boxes), c.BoxesFeasible, c.BoxesInfeasible, c.BoxesBoundary, r.Coverage)
+	}
+	if st.Trace != "" {
+		fmt.Fprintf(os.Stderr, "  trace %s\n", st.Trace)
+	}
+	for _, sl := range st.Stragglers {
+		fmt.Fprintf(os.Stderr, "  straggler %v: %s", sl.Values, time.Duration(sl.ElapsedNS))
+		if sl.Trace != "" {
+			fmt.Fprintf(os.Stderr, "  trace %s", sl.Trace)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 }
 

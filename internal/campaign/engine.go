@@ -12,6 +12,7 @@ import (
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/store"
 )
 
@@ -65,6 +66,15 @@ type Campaign struct {
 	completed map[string]*PointResult // fingerprint → recorded result
 	recorded  map[string]bool         // Point.Key() → present in state.Points
 	failedAt  map[string]int          // Point.Key() → index of a quarantined record
+
+	// Ops view: the live event hub, the root trace context (zero when the
+	// pool does not trace), the settled-point duration histogram feeding
+	// the ETA, and the known point total (0 when open-ended). trace and
+	// total are set before launch and read-only after.
+	hub   obs.EventHub
+	trace obs.TraceContext
+	durs  *obs.Histogram
+	total int
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -200,7 +210,11 @@ func (e *Engine) registerLocked(st *State) *Campaign {
 		completed: make(map[string]*PointResult, len(st.Points)),
 		recorded:  make(map[string]bool, len(st.Points)),
 		failedAt:  make(map[string]int),
+		durs:      obs.NewHistogram(0, 1, nil),
 		done:      make(chan struct{}),
+	}
+	if st.Spec.Strategy == StrategyGrid {
+		c.total = st.Spec.gridSize()
 	}
 	for i := range st.Points {
 		pr := &st.Points[i]
@@ -223,6 +237,7 @@ func (e *Engine) registerLocked(st *State) *Campaign {
 
 // launchLocked starts the campaign goroutine. Callers hold e.mu.
 func (e *Engine) launchLocked(c *Campaign) {
+	c.armTraceLocked()
 	ctx, cancel := context.WithCancel(context.Background())
 	c.cancel = cancel
 	go c.run(ctx)
@@ -335,6 +350,7 @@ func (c *Campaign) checkpoint() {
 // run executes the campaign's strategy to a terminal state.
 func (c *Campaign) run(ctx context.Context) {
 	defer close(c.done)
+	t0 := time.Now()
 	c.mu.Lock()
 	if c.state.StartedAt == "" {
 		c.state.StartedAt = time.Now().UTC().Format(time.RFC3339Nano)
@@ -374,6 +390,12 @@ func (c *Campaign) run(ctx context.Context) {
 	}
 	c.mu.Unlock()
 	c.checkpoint()
+	if tr := c.eng.pool.Tracer(); tr != nil && c.trace.Valid() {
+		// The exploration's root span: parentless, covering this process's
+		// share of the campaign (a resumed campaign records one per leg).
+		tr.Record(c.trace, [8]byte{}, "campaign", spec.Strategy, t0.UnixNano(), time.Since(t0).Nanoseconds())
+	}
+	c.publishStatus(status)
 	c.eng.count(func(m *EngineMetrics) {
 		switch status {
 		case StatusDone:
@@ -417,11 +439,18 @@ func (c *Campaign) evaluate(ctx context.Context, spec *Spec, pt Point) (*PointRe
 	if pr, ok := c.checkpointHit(pt, fp); ok {
 		return pr, nil
 	}
-	done, err := c.attempt(ctx, sys)
+	// Every point gets a child span of the exploration's root trace (when
+	// the pool traces); the job it submits links its submit/queue/run/
+	// engine-phase spans under it.
+	tc := c.pointTrace()
+	start := time.Now()
+	done, err := c.attempt(ctx, sys, tc)
 	if err != nil {
 		return nil, err
 	}
-	return c.settle(ctx, spec, sys, pt, fp, done)
+	pr, err := c.settle(ctx, spec, sys, pt, fp, done, tc)
+	c.closePointSpan(tc, pt, start)
+	return pr, err
 }
 
 // attempt runs one evaluation attempt through the pool, with the
@@ -430,11 +459,11 @@ func (c *Campaign) evaluate(ctx context.Context, spec *Spec, pt Point) (*PointRe
 // campaign was canceled or the engine is shutting down — the cancellation
 // is propagated into the pool so the in-flight job stops promptly instead
 // of running to completion for nobody.
-func (c *Campaign) attempt(ctx context.Context, sys *config.System) (jobs.Job, error) {
+func (c *Campaign) attempt(ctx context.Context, sys *config.System, tc obs.TraceContext) (jobs.Job, error) {
 	if f := c.eng.pool.Faults().Hit(fault.SiteCampaignPoint); f != nil {
 		return jobs.Job{Status: jobs.StatusFailed, Err: f.Err()}, nil
 	}
-	jb, err := c.submit(ctx, sys)
+	jb, err := c.submit(ctx, sys, tc)
 	if err != nil {
 		return jobs.Job{}, err
 	}
@@ -451,7 +480,7 @@ func (c *Campaign) attempt(ctx context.Context, sys *config.System) (jobs.Job, e
 // quarantine budget before recording the final result. A point that
 // exhausts its retries is quarantined: recorded failed, counted, and the
 // campaign moves on.
-func (c *Campaign) settle(ctx context.Context, spec *Spec, sys *config.System, pt Point, fp string, done jobs.Job) (*PointResult, error) {
+func (c *Campaign) settle(ctx context.Context, spec *Spec, sys *config.System, pt Point, fp string, done jobs.Job, tc obs.TraceContext) (*PointResult, error) {
 	for attempt := 0; done.Status == jobs.StatusFailed && attempt < spec.retries(); attempt++ {
 		c.mu.Lock()
 		c.state.Convergence.Retries++
@@ -468,21 +497,23 @@ func (c *Campaign) settle(ctx context.Context, spec *Spec, sys *config.System, p
 			return nil, err
 		}
 		var err error
-		done, err = c.attempt(ctx, sys)
+		done, err = c.attempt(ctx, sys, tc)
 		if err != nil {
 			return nil, err
 		}
 	}
-	pr, err := c.record(pt, fp, done)
+	pr, err := c.record(pt, fp, done, tc)
 	if err != nil {
 		return nil, err
 	}
 	if pr.Source == SourceFailed {
 		c.eng.pool.Resilience().PointsQuarantined.Add(1)
+		c.eng.pool.ServiceFlight().RecordWall(obs.FlightQuarantine, 0, 0, pt.Key())
 		if lg := c.logger(); lg != nil {
 			lg.Warn("point quarantined", "point", pt.Key(), "error", pr.Error)
 		}
 	}
+	c.publishPoint(pr)
 	return pr, nil
 }
 
@@ -517,6 +548,7 @@ func (c *Campaign) checkpointHit(pt Point, fp string) (*PointResult, bool) {
 	c.eng.count(func(m *EngineMetrics) { m.PointsCheckpoint++ })
 	if fresh {
 		c.checkpoint()
+		c.publishPoint(pr)
 	}
 	return pr, true
 }
@@ -524,8 +556,12 @@ func (c *Campaign) checkpointHit(pt Point, fp string) (*PointResult, bool) {
 // record translates a finished job into the point's result, appends it to
 // the state, checkpoints, and bumps the counters. Cancellation surfaces
 // as context.Canceled so strategies unwind uniformly.
-func (c *Campaign) record(pt Point, fp string, done jobs.Job) (*PointResult, error) {
+func (c *Campaign) record(pt Point, fp string, done jobs.Job, tc obs.TraceContext) (*PointResult, error) {
 	pr := &PointResult{Point: pt, Fingerprint: fp}
+	if tc.Valid() {
+		pr.Trace = tc.Traceparent()
+	}
+	pr.Postmortem = done.PostmortemKey
 	switch {
 	case done.Status == jobs.StatusDone:
 		pr.Schedulable = done.Outcome.Verdict == jobs.VerdictSchedulable
@@ -549,8 +585,12 @@ func (c *Campaign) record(pt Point, fp string, done jobs.Job) (*PointResult, err
 		}
 	}
 
+	if pr.Source != SourceFailed {
+		c.durs.Observe(time.Duration(pr.ElapsedNS))
+	}
 	c.mu.Lock()
 	c.state.Convergence.Evaluations++
+	c.noteStragglerLocked(pr, done)
 	key := pt.Key()
 	if idx, stale := c.failedAt[key]; stale {
 		// A re-evaluation of a quarantined point (resume, or a checkpointed
@@ -593,9 +633,9 @@ func (c *Campaign) record(pt Point, fp string, done jobs.Job) (*PointResult, err
 // submit enqueues the run, backing off briefly when the pool signals
 // backpressure (campaigns yield to interactive submissions rather than
 // failing).
-func (c *Campaign) submit(ctx context.Context, sys *config.System) (jobs.Job, error) {
+func (c *Campaign) submit(ctx context.Context, sys *config.System, tc obs.TraceContext) (jobs.Job, error) {
 	for {
-		jb, err := c.eng.pool.Submit(jobs.ConfigRun{Sys: sys})
+		jb, err := c.eng.pool.SubmitTraced(jobs.ConfigRun{Sys: sys}, c.eng.pool.DefaultBudget(), tc)
 		switch {
 		case err == nil:
 			return jb, nil

@@ -39,6 +39,22 @@ type PointResult struct {
 	Source      string `json:"source"`
 	Error       string `json:"error,omitempty"`
 	ElapsedNS   int64  `json:"elapsed_ns"`
+	// Trace is the W3C traceparent of the point's span when the pool runs
+	// with tracing enabled, linking the point to its span tree under
+	// GET /v1/traces/{id}. Postmortem names the flight-recorder dump a
+	// dump-worthy failure left behind (GET /v1/jobs/{key}/postmortem).
+	Trace      string `json:"trace,omitempty"`
+	Postmortem string `json:"postmortem,omitempty"`
+}
+
+// Straggler is one of the slowest computed points of the exploration so
+// far: its coordinates, trace link and per-phase time breakdown — the
+// ops-view answer to "where did the campaign's wall time go".
+type Straggler struct {
+	Point     Point            `json:"point"`
+	Trace     string           `json:"trace,omitempty"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+	Phases    map[string]int64 `json:"phases,omitempty"`
 }
 
 // BracketPair is the bisection's final bracket: the largest value proven
@@ -110,6 +126,14 @@ type State struct {
 	Convergence Converge `json:"convergence"`
 	StartedAt   string   `json:"started_at,omitempty"`
 	UpdatedAt   string   `json:"updated_at,omitempty"`
+
+	// Trace is the exploration's root traceparent when the pool runs with
+	// tracing enabled; every point span is a child of it. Persisted so a
+	// resumed campaign keeps extending the same trace.
+	Trace string `json:"traceparent,omitempty"`
+	// Stragglers are the slowest computed points so far (worst first),
+	// maintained live for the ops view.
+	Stragglers []Straggler `json:"stragglers,omitempty"`
 }
 
 // clone returns a snapshot safe to hand out concurrently with mutation.
@@ -117,6 +141,7 @@ func (s *State) clone() State {
 	out := *s
 	out.Points = append([]PointResult(nil), s.Points...)
 	out.Frontier = append([]FrontierRow(nil), s.Frontier...)
+	out.Stragglers = append([]Straggler(nil), s.Stragglers...)
 	return out
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/obs"
 )
 
 // The strategies. Each maps the design space with a different budget of
@@ -45,6 +47,9 @@ func (c *Campaign) runGrid(ctx context.Context, spec *Spec) error {
 			fp  string
 			sys *config.System
 			id  string
+			// tc/start anchor the point's span when the pool traces.
+			tc    obs.TraceContext
+			start time.Time
 			// done carries an attempt settled without a pool job (an
 			// injected campaign-level fault).
 			done *jobs.Job
@@ -76,17 +81,18 @@ func (c *Campaign) runGrid(ctx context.Context, spec *Spec) error {
 			if _, ok := c.checkpointHit(pt, fp); ok {
 				continue
 			}
+			tc, start := c.pointTrace(), time.Now()
 			if f := c.eng.pool.Faults().Hit(fault.SiteCampaignPoint); f != nil {
-				batch = append(batch, pending{pt: pt, fp: fp, sys: sys,
+				batch = append(batch, pending{pt: pt, fp: fp, sys: sys, tc: tc, start: start,
 					done: &jobs.Job{Status: jobs.StatusFailed, Err: f.Err()}})
 				continue
 			}
-			jb, err := c.submit(ctx, sys)
+			jb, err := c.submit(ctx, sys, tc)
 			if err != nil {
 				cancelBatch()
 				return err
 			}
-			batch = append(batch, pending{pt: pt, fp: fp, sys: sys, id: jb.ID})
+			batch = append(batch, pending{pt: pt, fp: fp, sys: sys, tc: tc, start: start, id: jb.ID})
 		}
 		for _, pn := range batch {
 			var done jobs.Job
@@ -100,7 +106,9 @@ func (c *Campaign) runGrid(ctx context.Context, spec *Spec) error {
 					return err
 				}
 			}
-			if _, err := c.settle(ctx, spec, pn.sys, pn.pt, pn.fp, done); err != nil {
+			_, err := c.settle(ctx, spec, pn.sys, pn.pt, pn.fp, done, pn.tc)
+			c.closePointSpan(pn.tc, pn.pt, pn.start)
+			if err != nil {
 				cancelBatch()
 				return err
 			}

@@ -107,6 +107,10 @@ type Report struct {
 	// hot-path counters) up to the point of failure, when the tool
 	// collected one.
 	Telemetry *obs.RunReport `json:"telemetry,omitempty"`
+
+	// Flight is the flight-recorder dump: the last engine events before
+	// the failure, oldest first, when a recorder was armed.
+	Flight []obs.FlightEvent `json:"flight,omitempty"`
 }
 
 // renderEvent names an event's channel and participants against net; with a

@@ -294,11 +294,25 @@ type SiteStats struct {
 // seeded RNG under the mutex, so single-threaded runs are exactly
 // reproducible and concurrent runs are reproducible per interleaving.
 type Injector struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
-	rules map[Site][]*ruleState
-	stats map[Site]*SiteStats
-	seq   int64
+	mu       sync.Mutex
+	rng      *rand.Rand
+	rules    map[Site][]*ruleState
+	stats    map[Site]*SiteStats
+	seq      int64
+	onInject func(site Site, seq int64)
+}
+
+// OnInject registers an observer called for every injected fault with
+// the site and the global injection sequence number — the flight-recorder
+// hook. The observer runs under the injector lock (keep it fast and
+// non-reentrant); registering on a nil injector is a no-op.
+func (i *Injector) OnInject(fn func(site Site, seq int64)) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	i.onInject = fn
+	i.mu.Unlock()
 }
 
 // New builds an injector from a plan. A plan with no rules yields a valid
@@ -351,6 +365,9 @@ func (i *Injector) Hit(site Site) *Fault {
 		r.injected++
 		st.Injected++
 		i.seq++
+		if i.onInject != nil {
+			i.onInject(site, i.seq)
+		}
 		return &Fault{Site: site, Kind: r.Kind, Latency: r.Latency, seq: i.seq}
 	}
 	return nil

@@ -158,7 +158,8 @@ func (r ConfigRun) Run(ctx context.Context, b nsa.Budget) (*Outcome, error) {
 			return nil, err
 		}
 		sp = tl.Start(obs.PhaseInterpret)
-		tr, res, err = m.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe, Backend: r.Backend})
+		tr, res, err = m.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe, Backend: r.Backend,
+			Logger: obs.LoggerFrom(ctx), Flight: obs.FlightFrom(ctx)})
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -226,6 +227,8 @@ func (r XTARun) Run(ctx context.Context, b nsa.Budget) (*Outcome, error) {
 		Budget:    b,
 		Probe:     probe,
 		Backend:   r.Backend,
+		Logger:    obs.LoggerFrom(ctx),
+		Flight:    obs.FlightFrom(ctx),
 	})
 	sp = tl.Start(obs.PhaseInterpret)
 	res, err := eng.RunContext(ctx)
@@ -256,6 +259,13 @@ type Job struct {
 	// DiskHit marks a cache hit served from the persistent tier rather
 	// than the in-memory cache (CacheHit is set in both cases).
 	DiskHit bool
+	// Trace is the job's anchor span in its request's trace, valid only
+	// for jobs submitted through SubmitTraced on a tracing pool.
+	Trace obs.TraceContext
+	// PostmortemKey names the flight-recorder dump left behind when the
+	// run ended in deadlock, watchdog kill, panic or injected fault
+	// (retrievable via Pool.Postmortem); empty otherwise.
+	PostmortemKey string
 
 	Submitted time.Time
 	Started   time.Time
@@ -282,6 +292,10 @@ type Job struct {
 	attempts     int
 	wedged       bool
 	userCanceled bool
+
+	// postmortem is the in-process copy of the flight-recorder dump named
+	// by PostmortemKey. Guarded by the pool's registry lock.
+	postmortem *Postmortem
 }
 
 // Done returns a channel closed when the job reaches a terminal state.

@@ -40,6 +40,10 @@ type Metrics struct {
 	// (Reset+Run on a persistent engine instead of a fresh build).
 	engineReuses int64
 
+	// postmortems counts flight-recorder dumps written for runs that
+	// ended in deadlock, watchdog kill, panic or injected fault.
+	postmortems int64
+
 	// Engine throughput: total synchronization transitions fired over the
 	// total wall time spent interpreting.
 	events int64
@@ -79,6 +83,8 @@ type Snapshot struct {
 	// EngineReuses counts runs that Reset+Ran a worker's cached prepared
 	// engine instead of rebuilding the network from scratch.
 	EngineReuses int64 `json:"engine_reuses"`
+	// Postmortems counts flight-recorder dumps written for failed runs.
+	Postmortems int64 `json:"postmortems"`
 
 	// LatencyP50/P90/P99 are run-latency quantiles over the recent
 	// window, zero until a run completes (or after the window drains).
@@ -228,16 +234,23 @@ func (m *Metrics) engineReuse() {
 	m.mu.Unlock()
 }
 
+// postmortem accounts for one flight-recorder dump.
+func (m *Metrics) postmortem() {
+	m.mu.Lock()
+	m.postmortems++
+	m.mu.Unlock()
+}
+
 // Snapshot returns a consistent copy with derived quantiles and rates.
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	s := Snapshot{
-		Submitted:   m.submitted,
-		Queued:      m.queued,
-		Running:     m.running,
-		Done:        m.done,
-		Failed:      m.failed,
-		Canceled:    m.canceled,
+		Submitted:    m.submitted,
+		Queued:       m.queued,
+		Running:      m.running,
+		Done:         m.done,
+		Failed:       m.failed,
+		Canceled:     m.canceled,
 		CacheHits:    m.cacheHits,
 		CacheMisses:  m.cacheMisses,
 		StoreHits:    m.storeHits,

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"errors"
+	"log/slog"
 	"time"
 
 	"stopwatchsim/internal/fault"
@@ -97,6 +98,7 @@ func (p *Pool) storeFailure(err error) {
 	if p.breaker.Failure() {
 		p.res.BreakerTrips.Add(1)
 		p.res.SetDegraded(true)
+		p.svcFlight.RecordWall(obs.FlightBreaker, 1, 0, "trip")
 		if p.opts.Logger != nil {
 			p.opts.Logger.Warn("store breaker tripped; disk tier degraded to memory-only", "error", err.Error())
 		}
@@ -109,6 +111,7 @@ func (p *Pool) storeSuccess() {
 	if p.breaker.Success() {
 		p.res.BreakerResets.Add(1)
 		p.res.SetDegraded(false)
+		p.svcFlight.RecordWall(obs.FlightBreaker, 0, 0, "reset")
 		if p.opts.Logger != nil {
 			p.opts.Logger.Info("store breaker reset; disk tier recovered")
 		}
@@ -151,7 +154,9 @@ func (p *Pool) storeGet(key string) *Outcome {
 // storePut persists a freshly computed outcome. Persistence is
 // best-effort: a failing disk degrades the service to memory-only
 // caching (via retries and then the breaker), it does not fail runs.
-func (p *Pool) storePut(key string, out *Outcome) {
+// lg, when non-nil, is the job-scoped logger (job/fingerprint/trace_id
+// attrs) so store-layer warnings stay attributable to their request.
+func (p *Pool) storePut(key string, out *Outcome, lg *slog.Logger) {
 	if p.store == nil || key == "" || out == nil {
 		return
 	}
@@ -166,8 +171,11 @@ func (p *Pool) storePut(key string, out *Outcome) {
 	p.res.StoreRetries.Add(int64(retries))
 	if err != nil {
 		p.storeFailure(err)
-		if p.opts.Logger != nil {
-			p.opts.Logger.Warn("persisting outcome failed", "fingerprint", key, "error", err.Error())
+		if lg == nil {
+			lg = p.opts.Logger
+		}
+		if lg != nil {
+			lg.Warn("persisting outcome failed", "fingerprint", key, "error", err.Error())
 		}
 		return
 	}

@@ -94,6 +94,19 @@ type Options struct {
 	// amortizing the construction cost that dominates short runs. 0 means
 	// 4 entries per worker; negative disables reuse entirely.
 	EngineCache int
+	// Tracer, when non-nil, collects cross-layer spans: submissions carry
+	// a TraceContext (SubmitTraced) and the pool records submit, cache-
+	// tier, queue, run, store and engine-phase spans under it. Nil — the
+	// default — disables tracing at one branch per site.
+	Tracer *obs.Tracer
+	// FlightDepth arms flight recorders: each worker keeps a ring of the
+	// last FlightDepth engine events (reset per attempt) and the pool one
+	// shared ring of service events (fault injections, breaker
+	// transitions, watchdog fires). A run ending in deadlock, watchdog
+	// kill, panic or injected fault dumps both rings into a postmortem
+	// document on the job (and the store, when one is configured).
+	// 0 disables.
+	FlightDepth int
 }
 
 // Pool is a bounded worker pool with a job registry and a shared result
@@ -107,6 +120,9 @@ type Pool struct {
 	faults  *fault.Injector
 	res     *obs.Resilience
 	breaker *fault.Breaker // guards the disk tier; nil when no store
+
+	tracer    *obs.Tracer         // nil disables tracing
+	svcFlight *obs.FlightRecorder // shared service-event ring; nil disables
 
 	ctx  context.Context
 	stop context.CancelFunc
@@ -151,6 +167,15 @@ func New(opts Options) *Pool {
 	if p.store != nil {
 		p.breaker = fault.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
 	}
+	p.tracer = opts.Tracer
+	if opts.FlightDepth > 0 {
+		p.svcFlight = obs.NewFlightRecorder(opts.FlightDepth)
+		// One hook observes every injected fault — worker sites here and
+		// store sites inside the shared injector alike.
+		p.faults.OnInject(func(site fault.Site, seq int64) {
+			p.svcFlight.RecordWall(obs.FlightFault, seq, 0, string(site))
+		})
+	}
 	for i := 0; i < opts.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -176,19 +201,42 @@ func (p *Pool) Backend() nsa.Backend { return p.opts.Backend }
 // memory-only mode — the /readyz signal.
 func (p *Pool) Degraded() bool { return p.breaker.Tripped() }
 
+// Tracer returns the pool's span collector, nil when tracing is disabled.
+func (p *Pool) Tracer() *obs.Tracer { return p.tracer }
+
+// ServiceFlight returns the shared service-event flight recorder, nil
+// when flight recording is disabled.
+func (p *Pool) ServiceFlight() *obs.FlightRecorder { return p.svcFlight }
+
+// DefaultBudget returns the pool's default per-job resource budget, so
+// traced submitters (campaign/synth points) can pass it to SubmitTraced.
+func (p *Pool) DefaultBudget() nsa.Budget { return p.opts.Budget }
+
 // Submit enqueues r under the pool's default budget.
 func (p *Pool) Submit(r Runner) (Job, error) {
-	return p.SubmitBudget(r, p.opts.Budget)
+	return p.submit(r, p.opts.Budget, obs.TraceContext{})
 }
 
-// SubmitBudget enqueues r with a per-job resource budget. When the
-// runner's key is cached — in memory, or on disk when the pool has a
-// persistent store — the job completes immediately with the shared
-// outcome and CacheHit set (DiskHit additionally for the persistent
-// tier); otherwise it is queued, or rejected with ErrQueueFull when the
-// queue is at capacity. The returned Job is a snapshot; poll with Get or
-// block with Wait.
+// SubmitBudget enqueues r with a per-job resource budget.
 func (p *Pool) SubmitBudget(r Runner, b nsa.Budget) (Job, error) {
+	return p.submit(r, b, obs.TraceContext{})
+}
+
+// SubmitTraced enqueues r with a per-job budget under an existing trace
+// context — the ingress span of an HTTP submission or the per-point span
+// of an exploration — so the job's submit, queue, run, store and
+// engine-phase spans link into the caller's trace.
+func (p *Pool) SubmitTraced(r Runner, b nsa.Budget, tc obs.TraceContext) (Job, error) {
+	return p.submit(r, b, tc)
+}
+
+// submit enqueues r with budget b. When the runner's key is cached — in
+// memory, or on disk when the pool has a persistent store — the job
+// completes immediately with the shared outcome and CacheHit set
+// (DiskHit additionally for the persistent tier); otherwise it is
+// queued, or rejected with ErrQueueFull when the queue is at capacity.
+// The returned Job is a snapshot; poll with Get or block with Wait.
+func (p *Pool) submit(r Runner, b nsa.Budget, tc obs.TraceContext) (Job, error) {
 	// Stamp the pool's engine backend onto runners that didn't pin one.
 	// Keys are computed after and without it: backends are outcome-
 	// interchangeable, so a cached result answers any backend's run.
@@ -208,15 +256,38 @@ func (p *Pool) SubmitBudget(r Runner, b nsa.Budget) (Job, error) {
 	}
 	key := r.Key()
 	now := time.Now()
+	// The job's anchor span: a child of the caller's (ingress or
+	// exploration-point) span, parent of everything the pool records.
+	traced := p.tracer != nil && tc.Valid()
+	var jtc obs.TraceContext
+	if traced {
+		jtc = tc.Child()
+	}
 	// Tiered lookup before the registry lock: the memory cache is its own
 	// lock, and the disk read must not stall every other submission.
 	out, memHit := p.cache.Get(key)
 	var diskHit bool
 	if !memHit {
+		gs := time.Now()
 		if out = p.storeGet(key); out != nil {
 			diskHit = true
 			p.cache.Put(key, out) // promote to the memory tier
 		}
+		if traced && p.store != nil {
+			detail := "miss"
+			if diskHit {
+				detail = "hit"
+			}
+			p.tracer.Record(jtc.Child(), jtc.SpanID, "store.get", detail,
+				gs.UnixNano(), time.Since(gs).Nanoseconds())
+		}
+	}
+	tier := "tier=miss"
+	switch {
+	case memHit:
+		tier = "tier=memory"
+	case diskHit:
+		tier = "tier=disk"
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -229,6 +300,7 @@ func (p *Pool) SubmitBudget(r Runner, b nsa.Budget) (Job, error) {
 		Key:       key,
 		Status:    StatusQueued,
 		Submitted: now,
+		Trace:     jtc,
 		runner:    r,
 		budget:    b,
 		done:      make(chan struct{}),
@@ -242,6 +314,10 @@ func (p *Pool) SubmitBudget(r Runner, b nsa.Budget) (Job, error) {
 		close(jb.done)
 		p.jobs[jb.ID] = jb
 		p.metrics.cacheHit(diskHit)
+		if traced {
+			p.tracer.Record(jtc, tc.SpanID, "jobs.submit", tier,
+				now.UnixNano(), time.Since(now).Nanoseconds())
+		}
 		if lg := p.jobLogger(jb); lg != nil {
 			if diskHit {
 				lg.Info("job served from persistent store")
@@ -259,19 +335,31 @@ func (p *Pool) SubmitBudget(r Runner, b nsa.Budget) (Job, error) {
 	}
 	p.jobs[jb.ID] = jb
 	p.metrics.jobQueued()
+	if traced {
+		p.tracer.Record(jtc, tc.SpanID, "jobs.submit", tier,
+			now.UnixNano(), time.Since(now).Nanoseconds())
+	}
 	if lg := p.jobLogger(jb); lg != nil {
 		lg.Info("job queued")
 	}
 	return *jb, nil
 }
 
-// jobLogger returns the pool logger scoped to one job (job ID and
-// configuration fingerprint attrs), or nil when logging is disabled.
+// jobLogger returns the pool logger scoped to one job (job ID,
+// configuration fingerprint and — when the job is traced — trace_id
+// attrs), or nil when logging is disabled. The same logger rides the run
+// context into the store and engine layers, so every line below the pool
+// carries the full attribution and `grep trace_id=` reconstructs a
+// request end to end.
 func (p *Pool) jobLogger(jb *Job) *slog.Logger {
 	if p.opts.Logger == nil {
 		return nil
 	}
-	return p.opts.Logger.With(slog.String("job", jb.ID), slog.String("fingerprint", jb.Key))
+	lg := p.opts.Logger.With(slog.String("job", jb.ID), slog.String("fingerprint", jb.Key))
+	if jb.Trace.Valid() {
+		lg = lg.With(slog.String("trace_id", jb.Trace.TraceString()))
+	}
+	return lg
 }
 
 // Get returns a snapshot of the job with the given ID.
@@ -389,12 +477,18 @@ func (p *Pool) worker() {
 		capacity = defaultEngineCache
 	}
 	ec := newEngineCache(capacity, p.metrics.engineReuse) // nil when capacity < 0
+	// Each worker also owns one engine flight recorder, reset per attempt
+	// and dumped into a postmortem when the attempt dies badly.
+	var efl *obs.FlightRecorder
+	if p.opts.FlightDepth > 0 {
+		efl = obs.NewFlightRecorder(p.opts.FlightDepth)
+	}
 	for {
 		select {
 		case <-p.ctx.Done():
 			return
 		case jb := <-p.queue:
-			p.run(jb, ec)
+			p.run(jb, ec, efl)
 		}
 	}
 }
@@ -435,6 +529,7 @@ func (p *Pool) sweepStuck() {
 		}
 		jb.wedged = true
 		jb.cancel()
+		p.svcFlight.RecordWall(obs.FlightWatchdog, int64(jb.attempts+1), 0, jb.ID)
 		if lg := p.jobLogger(jb); lg != nil {
 			lg.Warn("watchdog deadlined stuck job",
 				slog.Duration("stuck_after", p.opts.StuckAfter), slog.Int("attempt", jb.attempts+1))
@@ -455,8 +550,9 @@ func (p *Pool) maxRequeues() int {
 }
 
 // run executes one dequeued job on the calling worker, whose engine
-// cache (nil when disabled) rides along into the run context.
-func (p *Pool) run(jb *Job, ec *engineCache) {
+// cache (nil when disabled) and flight recorder (nil when disabled) ride
+// along into the run context.
+func (p *Pool) run(jb *Job, ec *engineCache, efl *obs.FlightRecorder) {
 	p.mu.Lock()
 	if jb.Status != StatusQueued { // canceled while queued
 		p.mu.Unlock()
@@ -477,6 +573,7 @@ func (p *Pool) run(jb *Job, ec *engineCache) {
 	}
 	jb.Status = StatusRunning
 	jb.Started = time.Now()
+	started := jb.Started
 	ctx, cancel := context.WithCancel(p.ctx)
 	jb.cancel = cancel
 	runner, budget := jb.runner, jb.budget
@@ -489,8 +586,22 @@ func (p *Pool) run(jb *Job, ec *engineCache) {
 	if lg != nil {
 		lg.Info("job started")
 	}
+	traced := p.tracer != nil && jb.Trace.Valid()
+	var rc obs.TraceContext // the attempt's run span
+	if traced {
+		p.tracer.Record(jb.Trace.Child(), jb.Trace.SpanID, "jobs.queue", "",
+			jb.Submitted.UnixNano(), started.Sub(jb.Submitted).Nanoseconds())
+		rc = jb.Trace.Child()
+	}
 
-	out, err := p.safeRun(withEngineCache(ctx, ec), runner, budget)
+	runCtx := withEngineCache(ctx, ec)
+	runCtx = obs.CtxWithLogger(runCtx, lg)
+	runCtx = obs.WithTrace(runCtx, rc)
+	if efl != nil {
+		efl.Reset()
+		runCtx = obs.WithFlight(runCtx, efl)
+	}
+	out, err := p.safeRun(runCtx, runner, budget)
 	cancel()
 
 	p.mu.Lock()
@@ -517,13 +628,41 @@ func (p *Pool) run(jb *Job, ec *engineCache) {
 		}
 		err = fmt.Errorf("%w: killed by watchdog after %s (%d attempts)", ErrStuck, p.opts.StuckAfter, jb.attempts+1)
 	}
+	var pm *Postmortem
+	if err != nil {
+		pm = p.buildPostmortemLocked(jb, err, efl)
+	}
 	p.finishLocked(jb, out, err)
+	if pm != nil && jb.Report != nil {
+		jb.Report.Flight = pm.Engine
+	}
 	st, elapsed := jb.Status, jb.Finished.Sub(jb.Started)
 	p.mu.Unlock()
+	if traced {
+		if out != nil && out.Telemetry != nil {
+			// Fold the run's pipeline phases into the trace as children of
+			// the run span: the timeline records offsets from the run start.
+			base := started.UnixNano()
+			for i := range out.Telemetry.Phases {
+				ph := &out.Telemetry.Phases[i]
+				p.tracer.Record(rc.Child(), rc.SpanID, ph.Name, "engine",
+					base+ph.StartNS, ph.DurNS)
+			}
+		}
+		p.tracer.Record(rc, jb.Trace.SpanID, "jobs.run", traceStatus(st),
+			started.UnixNano(), elapsed.Nanoseconds())
+	}
 	if err == nil {
 		// Persist the fresh outcome outside the registry lock: the write
 		// fsyncs, and nothing in the registry depends on it landing.
-		p.storePut(jb.Key, out)
+		ps := time.Now()
+		p.storePut(jb.Key, out, lg)
+		if traced && p.store != nil {
+			p.tracer.Record(rc.Child(), rc.SpanID, "store.put", "",
+				ps.UnixNano(), time.Since(ps).Nanoseconds())
+		}
+	} else {
+		p.persistPostmortem(pm, lg)
 	}
 	var events int64
 	if out != nil {
@@ -592,6 +731,21 @@ func (p *Pool) finishLocked(jb *Job, out *Outcome, err error) {
 		p.cache.Put(jb.Key, out)
 	}
 	close(jb.done)
+}
+
+// traceStatus renders a terminal status as a constant span detail, so
+// recording a run span never allocates.
+func traceStatus(st Status) string {
+	switch st {
+	case StatusDone:
+		return "status=done"
+	case StatusFailed:
+		return "status=failed"
+	case StatusCanceled:
+		return "status=canceled"
+	default:
+		return ""
+	}
 }
 
 // wasCanceled reports whether err stems from cancellation rather than a

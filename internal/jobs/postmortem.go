@@ -1,0 +1,154 @@
+package jobs
+
+import (
+	"errors"
+	"log/slog"
+	"strings"
+
+	"stopwatchsim/internal/fault"
+	"stopwatchsim/internal/nsa"
+	"stopwatchsim/internal/obs"
+)
+
+// The post-mortem path. When a run ends the way runs end in production
+// incidents — a timelock/livelock, a watchdog kill, a recovered panic or
+// an injected fault — aggregate counters say that it happened but not
+// what the engine was doing. The flight recorders do: the worker's ring
+// holds the last engine events of the attempt, the pool's shared ring
+// the recent service events (fault injections, breaker transitions,
+// watchdog fires). recordPostmortem dumps both into a document kept on
+// the job (GET /v1/jobs/{id}/postmortem) and persisted to the artifact
+// store under kind "postmortem", so the evidence survives the process.
+
+// postmortemKind is the store kind of persisted post-mortem dumps.
+const postmortemKind = "postmortem"
+
+// postmortemVersion tags the document schema.
+const postmortemVersion = "jobs/postmortem/v1"
+
+// Postmortem causes.
+const (
+	CauseDeadlock      = "deadlock"
+	CauseStuck         = "stuck"
+	CausePanic         = "panic"
+	CauseInjectedFault = "injected-fault"
+)
+
+// Postmortem is the dump written when a run ends in deadlock, watchdog
+// kill, panic or injected fault.
+type Postmortem struct {
+	Version     string `json:"version"`
+	Job         string `json:"job"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	TraceID     string `json:"trace_id,omitempty"`
+	Cause       string `json:"cause"`
+	Error       string `json:"error"`
+	// Engine is the worker ring: the last engine events of the attempt.
+	Engine []obs.FlightEvent `json:"engine,omitempty"`
+	// Service is the pool's shared ring: recent fault injections, breaker
+	// transitions and watchdog fires across the whole service.
+	Service []obs.FlightEvent `json:"service,omitempty"`
+}
+
+// postmortemCause classifies err into a dump-worthy cause, or "" for
+// ordinary failures (validation errors, budget exhaustion, user cancels)
+// that need no post-mortem.
+func postmortemCause(err error) string {
+	if err == nil {
+		return ""
+	}
+	if fault.IsInjected(err) {
+		return CauseInjectedFault
+	}
+	if errors.Is(err, ErrStuck) {
+		return CauseStuck
+	}
+	var derr *nsa.DeadlockError
+	if errors.As(err, &derr) {
+		return CauseDeadlock
+	}
+	if strings.HasPrefix(err.Error(), "jobs: worker panic recovered") {
+		return CausePanic
+	}
+	return ""
+}
+
+// buildPostmortemLocked assembles the dump for a terminally failing job
+// and stamps it onto the registry record, so the job's waiters observe
+// PostmortemKey the instant the done channel closes. Callers hold p.mu
+// and must call it BEFORE finishLocked. Returns nil when flight
+// recording is off or the failure is not dump-worthy.
+func (p *Pool) buildPostmortemLocked(jb *Job, err error, efl *obs.FlightRecorder) *Postmortem {
+	if p.svcFlight == nil {
+		return nil
+	}
+	cause := postmortemCause(err)
+	if cause == "" {
+		return nil
+	}
+	pm := &Postmortem{
+		Version:     postmortemVersion,
+		Job:         jb.ID,
+		Fingerprint: jb.Key,
+		Cause:       cause,
+		Error:       err.Error(),
+		Engine:      efl.Snapshot(),
+		Service:     p.svcFlight.Snapshot(),
+	}
+	if jb.Trace.Valid() {
+		pm.TraceID = jb.Trace.TraceString()
+	}
+	jb.PostmortemKey = jb.ID
+	jb.postmortem = pm
+	return pm
+}
+
+// persistPostmortem counts, logs and best-effort persists a dump built
+// by buildPostmortemLocked. Nil-safe; called without p.mu (the write
+// fsyncs).
+func (p *Pool) persistPostmortem(pm *Postmortem, lg *slog.Logger) {
+	if pm == nil {
+		return
+	}
+	p.metrics.postmortem()
+	if lg != nil {
+		lg.Warn("postmortem recorded", slog.String("cause", pm.Cause),
+			slog.Int("engine_events", len(pm.Engine)), slog.Int("service_events", len(pm.Service)))
+	}
+	if p.store == nil || !p.breaker.Allow() {
+		return
+	}
+	if perr := p.store.Put(postmortemKind, pm.Job, pm); perr != nil {
+		p.storeFailure(perr)
+		if lg != nil {
+			lg.Warn("persisting postmortem failed", "error", perr.Error())
+		}
+		return
+	}
+	p.storeSuccess()
+}
+
+// Postmortem returns the post-mortem dump of a job: from the registry
+// for jobs of this process, falling back to the persistent store for
+// jobs of a previous incarnation (the key is the job ID).
+func (p *Pool) Postmortem(id string) (*Postmortem, bool) {
+	p.mu.Lock()
+	jb, ok := p.jobs[id]
+	var pm *Postmortem
+	if ok {
+		pm = jb.postmortem
+	}
+	p.mu.Unlock()
+	if pm != nil {
+		return pm, true
+	}
+	if p.store == nil {
+		return nil, false
+	}
+	var doc Postmortem
+	found, err := p.store.Get(postmortemKind, id, &doc)
+	if err != nil || !found || doc.Version != postmortemVersion {
+		return nil, false
+	}
+	return &doc, true
+}

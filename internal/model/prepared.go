@@ -65,6 +65,10 @@ func (p *Prepared) Simulate(ctx context.Context, b nsa.Budget) (*trace.Trace, ns
 	tb := p.M.NewTraceBuilder()
 	p.eng.SetListeners([]nsa.Listener{tb})
 	p.eng.SetBudget(b)
+	// Per-request telemetry rides the context so cached engines pick up
+	// the current request's flight recorder and attributed logger.
+	p.eng.SetFlight(obs.FlightFrom(ctx))
+	p.eng.SetLogger(obs.LoggerFrom(ctx))
 	res, err := p.eng.RunContext(ctx)
 	return tb.Trace(), res, p.probe, err
 }

@@ -194,6 +194,11 @@ type Options struct {
 	// index (and seed, for Seeded choosers), making nondeterministic runs
 	// reproducible from logs alone.
 	Logger *slog.Logger
+	// Flight, when non-nil, records recent engine events (time advances,
+	// fired edges, chooser seed and choices) into a fixed ring for
+	// post-mortem dumps. A nil recorder costs one predictable branch per
+	// event site; an enabled one never allocates.
+	Flight *obs.FlightRecorder
 }
 
 // Result summarizes a completed run.
@@ -284,6 +289,16 @@ func (e *Engine) SetListeners(ls []Listener) { e.opts.Listeners = ls }
 // while a run is in progress.
 func (e *Engine) SetBudget(b Budget) { e.opts.Budget = b }
 
+// SetFlight replaces the engine's flight recorder for the next run (nil
+// disables). Like SetListeners, this is a per-run mutable slot for
+// persistent engines. Must not be called while a run is in progress.
+func (e *Engine) SetFlight(f *obs.FlightRecorder) { e.opts.Flight = f }
+
+// SetLogger replaces the engine's logger for the next run (nil disables),
+// so a cached engine logs with the current request's attribution. Must
+// not be called while a run is in progress.
+func (e *Engine) SetLogger(lg *slog.Logger) { e.opts.Logger = lg }
+
 // Run interprets the network until the horizon, quiescence, or an error
 // (time-stop deadlock, livelock, or a semantics violation). It is
 // RunContext under context.Background().
@@ -354,11 +369,17 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 		}
 	}()
 	probe := e.opts.Probe
+	fl := e.opts.Flight
 	var lg *slog.Logger
 	if e.opts.Logger != nil && e.opts.Logger.Enabled(ctx, slog.LevelDebug) {
 		lg = e.opts.Logger
 		if sd, ok := e.opts.Chooser.(Seeded); ok {
 			lg = lg.With(slog.Int64("chooser_seed", sd.ChooserSeed()))
+		}
+	}
+	if fl != nil {
+		if sd, ok := e.opts.Chooser.(Seeded); ok {
+			fl.Record(obs.FlightSeed, e.s.Time, sd.ChooserSeed(), 0, "")
 		}
 	}
 	var rt *engineRuntime
@@ -507,6 +528,16 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 					slog.Int("choice", idx),
 					slog.Int("candidates", len(cands)))
 			}
+			if fl != nil {
+				var aut int64 = -1
+				if len(tr.Parts) > 0 {
+					aut = int64(tr.Parts[0].Aut)
+				}
+				fl.Record(obs.FlightEdge, fireTime, int64(tr.Chan), aut, "")
+				if !useFirst && len(cands) > 1 {
+					fl.Record(obs.FlightChoice, fireTime, int64(idx), int64(len(cands)), "")
+				}
+			}
 			ring.record(SyncEvent{Time: fireTime, Kind: tr.Kind, Chan: int(tr.Chan), Parts: tr.Parts})
 			for _, l := range e.opts.Listeners {
 				l.OnTransition(fireTime, tr, e.net, e.s)
@@ -588,6 +619,9 @@ func (e *Engine) RunContext(ctx context.Context) (res Result, err error) {
 		if probe != nil {
 			probe.Steps.Add(1)
 			probe.Delays.Add(1)
+		}
+		if fl != nil {
+			fl.Record(obs.FlightInstant, e.s.Time, d, 0, "")
 		}
 		if lg != nil {
 			lg.LogAttrs(ctx, slog.LevelDebug, "delay",

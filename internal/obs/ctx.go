@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// Context plumbing for per-request telemetry. Each helper follows the
+// same contract: attaching a nil/zero value returns the context
+// unchanged, and extraction returns the zero value when absent, so call
+// sites thread telemetry unconditionally and pay one branch when it is
+// disabled.
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace context; invalid contexts attach nothing.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom extracts the trace context, zero when absent.
+func TraceFrom(ctx context.Context) TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc
+}
+
+type flightCtxKey struct{}
+
+// WithFlight attaches a flight recorder; nil attaches nothing.
+func WithFlight(ctx context.Context, f *FlightRecorder) context.Context {
+	if f == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, flightCtxKey{}, f)
+}
+
+// FlightFrom extracts the flight recorder, nil when absent.
+func FlightFrom(ctx context.Context) *FlightRecorder {
+	f, _ := ctx.Value(flightCtxKey{}).(*FlightRecorder)
+	return f
+}
+
+type loggerCtxKey struct{}
+
+// CtxWithLogger attaches a request-scoped logger (already carrying the
+// job/trace attrs) so layers below the pool log with full attribution.
+func CtxWithLogger(ctx context.Context, lg *slog.Logger) context.Context {
+	if lg == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerCtxKey{}, lg)
+}
+
+// LoggerFrom extracts the request-scoped logger, nil when absent.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	lg, _ := ctx.Value(loggerCtxKey{}).(*slog.Logger)
+	return lg
+}

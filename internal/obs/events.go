@@ -1,0 +1,61 @@
+package obs
+
+import "sync"
+
+// EventHub fans live events out to subscribers — the backing of the
+// campaign/synthesis SSE streams. The zero value is ready to use.
+// Publish never blocks: a subscriber whose buffer is full loses the
+// event (the ops view is a live feed, not a durable log; slow consumers
+// must never stall an exploration).
+type EventHub struct {
+	mu   sync.Mutex
+	subs map[int]chan any
+	next int
+}
+
+// Subscribe registers a subscriber with the given channel buffer
+// (minimum 1) and returns its channel plus a cancel function. Cancel is
+// idempotent and closes the channel.
+func (h *EventHub) Subscribe(buf int) (<-chan any, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan any, buf)
+	h.mu.Lock()
+	if h.subs == nil {
+		h.subs = make(map[int]chan any)
+	}
+	id := h.next
+	h.next++
+	h.subs[id] = ch
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs, id)
+			h.mu.Unlock()
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// Publish delivers ev to every subscriber with buffer room.
+func (h *EventHub) Publish(ev any) {
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- ev:
+		default: // subscriber too slow; drop
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribers returns the number of live subscribers.
+func (h *EventHub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}

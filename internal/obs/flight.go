@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Flight-recorder event kinds. Engine kinds are recorded from inside the
+// interpretation loop (model-time stamped); service kinds from the pool
+// and explorers (wall-clock stamped).
+const (
+	FlightInstant    uint8 = iota + 1 // time advanced: Time=new model time, Arg=delta
+	FlightEdge                        // transition fired: Time=fire time, Arg=channel, Aux=first automaton
+	FlightSeed                        // chooser seeded: Arg=seed
+	FlightChoice                      // chooser picked: Arg=index, Aux=candidate count
+	FlightFault                       // fault injected: Label=site, Arg=sequence
+	FlightBreaker                     // store breaker: Arg=1 trip, 0 reset
+	FlightWatchdog                    // stuck-job watchdog fired: Label=job ID, Arg=attempt
+	FlightQuarantine                  // campaign/synth point quarantined: Label=point key
+)
+
+var flightKindNames = [...]string{
+	0:                "?",
+	FlightInstant:    "instant",
+	FlightEdge:       "edge",
+	FlightSeed:       "seed",
+	FlightChoice:     "choice",
+	FlightFault:      "fault",
+	FlightBreaker:    "breaker",
+	FlightWatchdog:   "watchdog",
+	FlightQuarantine: "quarantine",
+}
+
+// FlightEvent is the JSON form of one recorded event, oldest-first in a
+// dump. Time is model time for engine events and zero for service events
+// (which carry WallNS instead).
+type FlightEvent struct {
+	Kind   string `json:"kind"`
+	WallNS int64  `json:"wall_ns,omitempty"`
+	Time   int64  `json:"time,omitempty"`
+	Arg    int64  `json:"arg,omitempty"`
+	Aux    int64  `json:"aux,omitempty"`
+	Label  string `json:"label,omitempty"`
+}
+
+// FlightRecorder is a fixed-size ring of recent events kept purely so
+// the last moments before a failure can be reconstructed: when a run
+// ends in deadlock, watchdog kill, panic or injected fault, the ring is
+// dumped into the diag report and the artifact store as a post-mortem.
+//
+// The ring is a preallocated structure of arrays and Record never
+// allocates (labels are constant or preformatted strings), so an
+// enabled recorder costs one uncontended lock per event; a nil
+// *FlightRecorder is the disabled recorder and every method no-ops.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	n     uint64 // events ever recorded; n % cap is the next slot
+	kind  []uint8
+	wall  []int64
+	time  []int64
+	arg   []int64
+	aux   []int64
+	label []string
+}
+
+// DefaultFlightDepth holds roughly the last few instants of an
+// industrial-scale run (a handful of edges per instant) in ~10 KiB.
+const DefaultFlightDepth = 256
+
+// NewFlightRecorder returns a recorder keeping the most recent depth
+// events (<=0 selects DefaultFlightDepth).
+func NewFlightRecorder(depth int) *FlightRecorder {
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	return &FlightRecorder{
+		kind:  make([]uint8, depth),
+		wall:  make([]int64, depth),
+		time:  make([]int64, depth),
+		arg:   make([]int64, depth),
+		aux:   make([]int64, depth),
+		label: make([]string, depth),
+	}
+}
+
+// Record stores one engine event (no wall-clock stamp). Nil-safe.
+func (f *FlightRecorder) Record(kind uint8, t, arg, aux int64, label string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	slot := int(f.n % uint64(len(f.kind)))
+	f.n++
+	f.kind[slot] = kind
+	f.wall[slot] = 0
+	f.time[slot] = t
+	f.arg[slot] = arg
+	f.aux[slot] = aux
+	f.label[slot] = label
+	f.mu.Unlock()
+}
+
+// RecordWall stores one service event stamped with the current wall
+// clock. Nil-safe.
+func (f *FlightRecorder) RecordWall(kind uint8, arg, aux int64, label string) {
+	if f == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	f.mu.Lock()
+	slot := int(f.n % uint64(len(f.kind)))
+	f.n++
+	f.kind[slot] = kind
+	f.wall[slot] = now
+	f.time[slot] = 0
+	f.arg[slot] = arg
+	f.aux[slot] = aux
+	f.label[slot] = label
+	f.mu.Unlock()
+}
+
+// Reset clears the ring for reuse by the next run. Nil-safe.
+func (f *FlightRecorder) Reset() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.n = 0
+	clear(f.label) // release any retained strings
+	f.mu.Unlock()
+}
+
+// Len returns the number of live events in the ring.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.n > uint64(len(f.kind)) {
+		return len(f.kind)
+	}
+	return int(f.n)
+}
+
+// Snapshot copies the live events out oldest-first. Nil-safe (nil in,
+// nil out).
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	depth := uint64(len(f.kind))
+	live := f.n
+	first := uint64(0)
+	if live > depth {
+		live = depth
+		first = f.n % depth
+	}
+	out := make([]FlightEvent, 0, live)
+	for i := uint64(0); i < live; i++ {
+		slot := int((first + i) % depth)
+		k := f.kind[slot]
+		name := "?"
+		if int(k) < len(flightKindNames) {
+			name = flightKindNames[k]
+		}
+		out = append(out, FlightEvent{
+			Kind:   name,
+			WallNS: f.wall[slot],
+			Time:   f.time[slot],
+			Arg:    f.arg[slot],
+			Aux:    f.aux[slot],
+			Label:  f.label[slot],
+		})
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderWrap(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		f.Record(FlightEdge, int64(i), int64(i), 0, "")
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	evs := f.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("snapshot %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(i + 2); ev.Time != want {
+			t.Fatalf("event %d time = %d, want %d (oldest-first)", i, ev.Time, want)
+		}
+		if ev.Kind != "edge" {
+			t.Fatalf("event %d kind = %q", i, ev.Kind)
+		}
+	}
+}
+
+func TestFlightRecorderResetAndKinds(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(FlightSeed, 0, 42, 0, "")
+	f.Record(FlightInstant, 20, 20, 0, "")
+	f.RecordWall(FlightWatchdog, 1, 0, "j000001")
+	evs := f.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Kind != "seed" || evs[0].Arg != 42 {
+		t.Fatalf("bad seed event %+v", evs[0])
+	}
+	if evs[2].Kind != "watchdog" || evs[2].Label != "j000001" || evs[2].WallNS == 0 {
+		t.Fatalf("bad watchdog event %+v", evs[2])
+	}
+	f.Reset()
+	if f.Len() != 0 || f.Snapshot() != nil && len(f.Snapshot()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightEdge, 1, 2, 3, "")
+	f.RecordWall(FlightFault, 0, 0, "site")
+	f.Reset()
+	if f.Len() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestFlightRecorderRecordNoAllocs(t *testing.T) {
+	f := NewFlightRecorder(64)
+	allocs := testing.AllocsPerRun(200, func() {
+		f.Record(FlightEdge, 100, 3, 1, "")
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		f.RecordWall(FlightBreaker, 1, 0, "trip")
+	})
+	if allocs != 0 {
+		t.Fatalf("RecordWall allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// Concurrent recorders and snapshotters must be race-free (the pool's
+// service ring is shared by workers, the sweeper and HTTP dumps).
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Record(FlightEdge, int64(i), int64(g), 0, "")
+			}
+		}(g)
+	}
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		_ = f.Snapshot()
+		_ = f.Len()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -100,4 +101,42 @@ func TestHistogramCumulativeForm(t *testing.T) {
 	if s.Cumulative[2] != s.Count {
 		t.Errorf("+Inf bucket %d != Count %d", s.Cumulative[2], s.Count)
 	}
+}
+
+// Quantile estimation must be race-free and sane while concurrent
+// goroutines observe and the window rotates underneath (run with -race).
+func TestHistogramConcurrentRecordRotate(t *testing.T) {
+	h := NewHistogram(10*time.Millisecond, 4, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := time.Duration(g+1) * time.Millisecond
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(d)
+			}
+		}(g)
+	}
+	deadline := time.Now().Add(60 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		// Rotation happens inside these calls as sub-windows expire.
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			if got := h.Quantile(q); got < 0 || got > time.Second {
+				t.Fatalf("Quantile(%v) = %v out of range", q, got)
+			}
+		}
+		s := h.Snapshot()
+		if s.Count > 0 && s.Cumulative[len(s.Cumulative)-1] != s.Count {
+			t.Fatalf("+Inf cumulative %d != count %d", s.Cumulative[len(s.Cumulative)-1], s.Count)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

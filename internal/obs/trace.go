@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceContext identifies one request across layers: a 128-bit trace ID
+// shared by every span of the request and a 64-bit span ID naming the
+// current operation. The wire form is the W3C traceparent header
+// ("00-<32 hex trace>-<16 hex span>-01"), so external clients and
+// sidecars interoperate without any dependency on their SDKs.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+}
+
+// Valid reports whether both IDs are non-zero, per the W3C rules.
+func (tc TraceContext) Valid() bool {
+	return tc.TraceID != [16]byte{} && tc.SpanID != [8]byte{}
+}
+
+// TraceString returns the 32-hex-digit trace ID.
+func (tc TraceContext) TraceString() string { return hex.EncodeToString(tc.TraceID[:]) }
+
+// SpanString returns the 16-hex-digit span ID.
+func (tc TraceContext) SpanString() string { return hex.EncodeToString(tc.SpanID[:]) }
+
+// Traceparent renders the context as a W3C traceparent header value with
+// the sampled flag set.
+func (tc TraceContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], tc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], tc.SpanID[:])
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// version byte (per spec, future versions are forward-compatible for the
+// fixed prefix) and ignores the flags.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	var tc TraceContext
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tc, false
+	}
+	if s[0] == 'f' && s[1] == 'f' { // version 0xff is forbidden
+		return tc, false
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(s[3:35])); err != nil {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(s[36:52])); err != nil {
+		return TraceContext{}, false
+	}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// NewTrace mints a fresh root context: new trace ID, new span ID.
+func NewTrace() TraceContext {
+	var tc TraceContext
+	fillRand(tc.TraceID[:])
+	fillRand(tc.SpanID[:])
+	return tc
+}
+
+// Child derives a context in the same trace with a fresh span ID; the
+// caller records the new span with the old SpanID as parent.
+func (tc TraceContext) Child() TraceContext {
+	c := TraceContext{TraceID: tc.TraceID}
+	fillRand(c.SpanID[:])
+	return c
+}
+
+var randSeq uint64 // fallback counter if the system entropy source fails
+var randSeqMu sync.Mutex
+
+func fillRand(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		randSeqMu.Lock()
+		randSeq++
+		n := randSeq
+		randSeqMu.Unlock()
+		for i := range b {
+			b[i] = byte(n >> (8 * (uint(i) % 8)))
+		}
+		if len(b) > 0 && b[0] == 0 {
+			b[0] = 1
+		}
+	}
+}
+
+// SpanRec is the JSON form of one recorded span.
+type SpanRec struct {
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	Detail   string `json:"detail,omitempty"`
+	StartNS  int64  `json:"start_ns"`
+	DurNS    int64  `json:"dur_ns"`
+}
+
+// SpanNode is a span with its children, for the /v1/traces tree form.
+type SpanNode struct {
+	SpanRec
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tracer is the bounded in-memory span collector: a preallocated
+// structure-of-arrays ring that newer spans overwrite oldest-first.
+// Record is allocation-free (callers pass constant or preformatted
+// strings; IDs are stored as raw words, hex-encoded only on read), so an
+// enabled tracer costs one uncontended lock plus a few stores per span.
+// A nil *Tracer is the disabled tracer: every method is a no-op.
+type Tracer struct {
+	mu      sync.Mutex
+	n       uint64 // spans ever recorded; n % cap is the next slot
+	dropped uint64 // spans overwritten before being read
+
+	traceHi []uint64
+	traceLo []uint64
+	span    []uint64
+	parent  []uint64
+	name    []string
+	detail  []string
+	start   []int64 // unix nanoseconds
+	dur     []int64
+
+	export io.Writer // optional JSONL sink; nil disables
+}
+
+// DefaultTraceSpans is the default collector capacity: at ~100 bytes per
+// slot it bounds the collector under half a MiB while holding the spans
+// of several hundred recent jobs.
+const DefaultTraceSpans = 4096
+
+// NewTracer returns a collector holding the most recent capacity spans
+// (<=0 selects DefaultTraceSpans). A non-nil export receives every span
+// as one JSON line at record time (file sink for offline analysis).
+func NewTracer(capacity int, export io.Writer) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceSpans
+	}
+	return &Tracer{
+		traceHi: make([]uint64, capacity),
+		traceLo: make([]uint64, capacity),
+		span:    make([]uint64, capacity),
+		parent:  make([]uint64, capacity),
+		name:    make([]string, capacity),
+		detail:  make([]string, capacity),
+		start:   make([]int64, capacity),
+		dur:     make([]int64, capacity),
+		export:  export,
+	}
+}
+
+// Record stores one completed span. parent is the enclosing span's ID
+// (zero for a root span). Nil-safe; invalid contexts are dropped.
+func (t *Tracer) Record(tc TraceContext, parent [8]byte, name, detail string, startNS, durNS int64) {
+	if t == nil || !tc.Valid() {
+		return
+	}
+	hi := binary.BigEndian.Uint64(tc.TraceID[:8])
+	lo := binary.BigEndian.Uint64(tc.TraceID[8:])
+	sp := binary.BigEndian.Uint64(tc.SpanID[:])
+	par := binary.BigEndian.Uint64(parent[:])
+	t.mu.Lock()
+	slot := int(t.n % uint64(len(t.span)))
+	if t.n >= uint64(len(t.span)) {
+		t.dropped++
+	}
+	t.n++
+	t.traceHi[slot] = hi
+	t.traceLo[slot] = lo
+	t.span[slot] = sp
+	t.parent[slot] = par
+	t.name[slot] = name
+	t.detail[slot] = detail
+	t.start[slot] = startNS
+	t.dur[slot] = durNS
+	w := t.export
+	t.mu.Unlock()
+	if w != nil {
+		rec := spanRecAt(hi, lo, sp, par, name, detail, startNS, durNS)
+		if b, err := json.Marshal(rec); err == nil {
+			b = append(b, '\n')
+			w.Write(b)
+		}
+	}
+}
+
+func spanRecAt(hi, lo, sp, par uint64, name, detail string, startNS, durNS int64) SpanRec {
+	var id [16]byte
+	binary.BigEndian.PutUint64(id[:8], hi)
+	binary.BigEndian.PutUint64(id[8:], lo)
+	var sb, pb [8]byte
+	binary.BigEndian.PutUint64(sb[:], sp)
+	binary.BigEndian.PutUint64(pb[:], par)
+	rec := SpanRec{
+		TraceID: hex.EncodeToString(id[:]),
+		SpanID:  hex.EncodeToString(sb[:]),
+		Name:    name,
+		Detail:  detail,
+		StartNS: startNS,
+		DurNS:   durNS,
+	}
+	if par != 0 {
+		rec.ParentID = hex.EncodeToString(pb[:])
+	}
+	return rec
+}
+
+// Stats returns the total spans recorded and the number overwritten
+// before they could be read (ring wrap).
+func (t *Tracer) Stats() (recorded, dropped uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n, t.dropped
+}
+
+// Trace returns every live span of the trace identified by the 32-hex
+// trace ID, sorted by start time. Nil when unknown or the ID is invalid.
+func (t *Tracer) Trace(idHex string) []SpanRec {
+	if t == nil {
+		return nil
+	}
+	var id [16]byte
+	if len(idHex) != 32 {
+		return nil
+	}
+	if _, err := hex.Decode(id[:], []byte(idHex)); err != nil {
+		return nil
+	}
+	hi := binary.BigEndian.Uint64(id[:8])
+	lo := binary.BigEndian.Uint64(id[8:])
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	live := int(t.n)
+	if live > len(t.span) {
+		live = len(t.span)
+	}
+	var out []SpanRec
+	for i := 0; i < live; i++ {
+		if t.traceHi[i] == hi && t.traceLo[i] == lo {
+			out = append(out, spanRecAt(hi, lo, t.span[i], t.parent[i], t.name[i], t.detail[i], t.start[i], t.dur[i]))
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].StartNS < out[b].StartNS })
+	return out
+}
+
+// SpanTree reassembles flat spans into parent→child trees. Spans whose
+// parent is absent (dropped by ring wrap, or still open) are promoted to
+// roots, so a partial trace still renders. Children sort by start time.
+func SpanTree(spans []SpanRec) []*SpanNode {
+	nodes := make(map[string]*SpanNode, len(spans))
+	for i := range spans {
+		nodes[spans[i].SpanID] = &SpanNode{SpanRec: spans[i]}
+	}
+	var roots []*SpanNode
+	for i := range spans {
+		n := nodes[spans[i].SpanID]
+		if n.ParentID != "" {
+			if p, ok := nodes[n.ParentID]; ok && p != n {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	var sortKids func(n *SpanNode)
+	sortKids = func(n *SpanNode) {
+		sort.Slice(n.Children, func(a, b int) bool { return n.Children[a].StartNS < n.Children[b].StartNS })
+		for _, c := range n.Children {
+			sortKids(c)
+		}
+	}
+	sort.Slice(roots, func(a, b int) bool { return roots[a].StartNS < roots[b].StartNS })
+	for _, r := range roots {
+		sortKids(r)
+	}
+	return roots
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := NewTrace()
+	if !tc.Valid() {
+		t.Fatal("NewTrace returned invalid context")
+	}
+	hdr := tc.Traceparent()
+	if len(hdr) != 55 || !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("bad traceparent form %q", hdr)
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) failed", hdr)
+	}
+	if got != tc {
+		t.Fatalf("round trip mismatch: %v != %v", got, tc)
+	}
+	child := tc.Child()
+	if child.TraceID != tc.TraceID {
+		t.Fatal("Child changed trace ID")
+	}
+	if child.SpanID == tc.SpanID {
+		t.Fatal("Child kept span ID")
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := NewTrace().Traceparent()
+	bad := []string{
+		"",
+		"00-short",
+		strings.Replace(valid, "-", "_", 1),
+		"ff" + valid[2:], // forbidden version
+		"00-" + strings.Repeat("0", 32) + valid[35:],               // zero trace ID
+		valid[:36] + strings.Repeat("0", 16) + "-01",               // zero span ID
+		"00-" + strings.Repeat("zz", 16) + valid[35:],              // non-hex trace
+		valid[:36] + strings.Repeat("g", 16) + "-01",               // non-hex span
+		strings.Replace(valid, "-01", "+01", 1)[:52] + "x01" + "x", // mangled tail
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+}
+
+func TestTracerRecordAndRead(t *testing.T) {
+	tr := NewTracer(16, nil)
+	root := NewTrace()
+	child := root.Child()
+	tr.Record(root, [8]byte{}, "ingress", "POST /v1/jobs", 100, 50)
+	tr.Record(child, root.SpanID, "pool.run", "", 110, 30)
+	other := NewTrace()
+	tr.Record(other, [8]byte{}, "noise", "", 5, 5)
+
+	spans := tr.Trace(root.TraceString())
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "ingress" || spans[1].Name != "pool.run" {
+		t.Fatalf("bad order/names: %+v", spans)
+	}
+	if spans[1].ParentID != root.SpanString() {
+		t.Fatalf("child parent = %q, want %q", spans[1].ParentID, root.SpanString())
+	}
+	tree := SpanTree(spans)
+	if len(tree) != 1 || tree[0].Name != "ingress" || len(tree[0].Children) != 1 {
+		t.Fatalf("bad tree: %+v", tree)
+	}
+	if got := tr.Trace("zz"); got != nil {
+		t.Fatalf("invalid ID returned spans: %v", got)
+	}
+	if rec, _ := tr.Stats(); rec != 3 {
+		t.Fatalf("recorded = %d, want 3", rec)
+	}
+}
+
+// A collector ring that wraps mid-trace must still return the surviving
+// spans, and SpanTree must promote spans whose parent was overwritten.
+func TestTracerRingWrapMidTrace(t *testing.T) {
+	tr := NewTracer(4, nil)
+	root := NewTrace()
+	tr.Record(root, [8]byte{}, "ingress", "", 0, 100)
+	kids := make([]TraceContext, 5)
+	for i := range kids {
+		kids[i] = root.Child()
+		tr.Record(kids[i], root.SpanID, "step", "", int64(10+i), 1)
+	}
+	// Capacity 4, six records: "ingress" and the first child were
+	// overwritten; four steps survive.
+	spans := tr.Trace(root.TraceString())
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans after wrap, want 4", len(spans))
+	}
+	if _, dropped := tr.Stats(); dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	tree := SpanTree(spans)
+	if len(tree) != 4 {
+		t.Fatalf("orphans not promoted to roots: %d roots", len(tree))
+	}
+	for _, n := range tree {
+		if n.Name != "step" {
+			t.Fatalf("unexpected root %q", n.Name)
+		}
+	}
+}
+
+// Out-of-order arrival (child recorded before parent) must still
+// assemble into one tree.
+func TestSpanTreeOutOfOrder(t *testing.T) {
+	tr := NewTracer(8, nil)
+	root := NewTrace()
+	mid := root.Child()
+	leaf := mid.Child()
+	tr.Record(leaf, mid.SpanID, "leaf", "", 30, 1)
+	tr.Record(mid, root.SpanID, "mid", "", 20, 20)
+	tr.Record(root, [8]byte{}, "root", "", 10, 40)
+	tree := SpanTree(tr.Trace(root.TraceString()))
+	if len(tree) != 1 || tree[0].Name != "root" {
+		t.Fatalf("bad roots: %+v", tree)
+	}
+	if len(tree[0].Children) != 1 || tree[0].Children[0].Name != "mid" {
+		t.Fatalf("bad mid level: %+v", tree[0].Children)
+	}
+	if len(tree[0].Children[0].Children) != 1 || tree[0].Children[0].Children[0].Name != "leaf" {
+		t.Fatalf("bad leaf level")
+	}
+}
+
+func TestTracerExportJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(4, &buf)
+	tc := NewTrace()
+	tr.Record(tc, [8]byte{}, "ingress", "d", 1, 2)
+	line := strings.TrimSpace(buf.String())
+	var rec SpanRec
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("export line not JSON: %v (%q)", err, line)
+	}
+	if rec.TraceID != tc.TraceString() || rec.Name != "ingress" || rec.DurNS != 2 {
+		t.Fatalf("bad export record: %+v", rec)
+	}
+}
+
+func TestTracerNilAndDisabled(t *testing.T) {
+	var tr *Tracer
+	tr.Record(NewTrace(), [8]byte{}, "x", "", 0, 0) // must not panic
+	if tr.Trace("0123") != nil {
+		t.Fatal("nil tracer returned spans")
+	}
+	if r, d := tr.Stats(); r != 0 || d != 0 {
+		t.Fatal("nil tracer has stats")
+	}
+	live := NewTracer(4, nil)
+	live.Record(TraceContext{}, [8]byte{}, "invalid", "", 0, 0)
+	if rec, _ := live.Stats(); rec != 0 {
+		t.Fatal("invalid context was recorded")
+	}
+}
+
+func TestTracerRecordNoAllocs(t *testing.T) {
+	tr := NewTracer(64, nil)
+	tc := NewTrace()
+	parent := tc.SpanID
+	child := tc.Child()
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.Record(child, parent, "pool.run", "tier=memory", 1000, 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("Tracer.Record allocates %v allocs/op, want 0", allocs)
+	}
+}

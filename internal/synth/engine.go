@@ -12,6 +12,7 @@ import (
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/store"
 )
 
@@ -73,6 +74,13 @@ type Synthesis struct {
 	state     *State
 	completed map[string]*PointRec // config fingerprint → recorded result
 	verdict   map[string]bool      // idxKey → feasible, the refiner's oracle view
+
+	// Ops view: the live event hub, the root trace context (zero when the
+	// pool does not trace) and the settled-point duration histogram
+	// feeding the ETA. trace is set before launch and read-only after.
+	hub   obs.EventHub
+	trace obs.TraceContext
+	durs  *obs.Histogram
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -207,6 +215,7 @@ func (e *Engine) registerLocked(st *State) *Synthesis {
 		state:     st,
 		completed: make(map[string]*PointRec, len(st.Points)),
 		verdict:   make(map[string]bool, len(st.Points)),
+		durs:      obs.NewHistogram(0, 1, nil),
 		done:      make(chan struct{}),
 	}
 	for i := range st.Points {
@@ -223,6 +232,7 @@ func (e *Engine) registerLocked(st *State) *Synthesis {
 
 // launchLocked starts the synthesis goroutine. Callers hold e.mu.
 func (e *Engine) launchLocked(s *Synthesis) {
+	s.armTraceLocked()
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	go s.run(ctx)
@@ -336,6 +346,7 @@ func (s *Synthesis) checkpoint() {
 // recorded point answering from the checkpoint instead of the pool.
 func (s *Synthesis) run(ctx context.Context) {
 	defer close(s.done)
+	t0 := time.Now()
 	s.mu.Lock()
 	if s.state.StartedAt == "" {
 		s.state.StartedAt = time.Now().UTC().Format(time.RFC3339Nano)
@@ -377,6 +388,12 @@ func (s *Synthesis) run(ctx context.Context) {
 	}
 	s.mu.Unlock()
 	s.checkpoint()
+	if tr := s.eng.pool.Tracer(); tr != nil && s.trace.Valid() {
+		// The synthesis's root span: parentless, covering this process's
+		// share of the refinement (a resumed synthesis records one per leg).
+		tr.Record(s.trace, [8]byte{}, "synth", "refine", t0.UnixNano(), time.Since(t0).Nanoseconds())
+	}
+	s.publishStatus(status)
 	s.eng.count(func(m *EngineMetrics) {
 		switch status {
 		case StatusDone:
@@ -439,7 +456,12 @@ func (s *Synthesis) evaluate(ctx context.Context, space *Space, idx []int) (bool
 		return false, fmt.Errorf("synth: evaluation budget of %d points exhausted", space.maxPoints())
 	}
 
-	done, err := s.attempt(ctx, sys)
+	// Every point gets a child span of the synthesis's root trace (when
+	// the pool traces); the job it submits links its submit/queue/run/
+	// engine-phase spans under it.
+	tc := s.pointTrace()
+	start := time.Now()
+	done, err := s.attempt(ctx, sys, tc)
 	if err != nil {
 		return false, err
 	}
@@ -455,22 +477,24 @@ func (s *Synthesis) evaluate(ctx context.Context, space *Space, idx []int) (bool
 		if err := fault.SleepContext(ctx, pointRetryBackoff<<attempt); err != nil {
 			return false, err
 		}
-		if done, err = s.attempt(ctx, sys); err != nil {
+		if done, err = s.attempt(ctx, sys, tc); err != nil {
 			return false, err
 		}
 	}
-	return s.record(space, idx, fp, done)
+	feasible, err := s.record(space, idx, fp, done, tc)
+	s.closePointSpan(tc, idx, start)
+	return feasible, err
 }
 
 // attempt runs one evaluation attempt through the pool, with the
 // synthesis fault site applied first. When the wait dies — the synthesis
 // was canceled or the engine is shutting down — the cancellation is
 // propagated into the pool so the in-flight job stops promptly.
-func (s *Synthesis) attempt(ctx context.Context, sys *config.System) (jobs.Job, error) {
+func (s *Synthesis) attempt(ctx context.Context, sys *config.System, tc obs.TraceContext) (jobs.Job, error) {
 	if f := s.eng.pool.Faults().Hit(fault.SiteCampaignPoint); f != nil {
 		return jobs.Job{Status: jobs.StatusFailed, Err: f.Err()}, nil
 	}
-	jb, err := s.submit(ctx, sys)
+	jb, err := s.submit(ctx, sys, tc)
 	if err != nil {
 		return jobs.Job{}, err
 	}
@@ -514,6 +538,7 @@ func (s *Synthesis) checkpointHit(space *Space, idx []int, fp string) (*PointRec
 	s.eng.count(func(m *EngineMetrics) { m.PointsCheckpoint++ })
 	if fresh {
 		s.checkpoint()
+		s.publishPoint(pr)
 	}
 	return pr, true
 }
@@ -522,7 +547,7 @@ func (s *Synthesis) checkpointHit(space *Space, idx []int, fp string) (*PointRec
 // to the state, checkpoints, and bumps the counters. Cancellation
 // surfaces as context.Canceled; a still-failed job (retries exhausted)
 // aborts the synthesis.
-func (s *Synthesis) record(space *Space, idx []int, fp string, done jobs.Job) (bool, error) {
+func (s *Synthesis) record(space *Space, idx []int, fp string, done jobs.Job, tc obs.TraceContext) (bool, error) {
 	switch done.Status {
 	case jobs.StatusDone:
 	case jobs.StatusCanceled:
@@ -532,6 +557,7 @@ func (s *Synthesis) record(space *Space, idx []int, fp string, done jobs.Job) (b
 		if done.Err != nil {
 			msg = done.Err.Error()
 		}
+		s.publishFailure(idx, tc)
 		return false, fmt.Errorf("synth: point %s failed: %s", idxKey(idx), msg)
 	}
 	pr := PointRec{
@@ -540,6 +566,10 @@ func (s *Synthesis) record(space *Space, idx []int, fp string, done jobs.Job) (b
 		Fingerprint: fp,
 		Feasible:    done.Outcome.Verdict == jobs.VerdictSchedulable,
 		ElapsedNS:   int64(done.Outcome.Elapsed),
+		Postmortem:  done.PostmortemKey,
+	}
+	if tc.Valid() {
+		pr.Trace = tc.Traceparent()
 	}
 	switch {
 	case done.DiskHit:
@@ -549,8 +579,10 @@ func (s *Synthesis) record(space *Space, idx []int, fp string, done jobs.Job) (b
 	default:
 		pr.Source = SourceComputed
 	}
+	s.durs.Observe(time.Duration(pr.ElapsedNS))
 
 	s.mu.Lock()
+	s.noteStragglerLocked(&pr, done)
 	s.state.Points = append(s.state.Points, pr)
 	rec := &s.state.Points[len(s.state.Points)-1]
 	s.completed[fp] = rec
@@ -576,15 +608,16 @@ func (s *Synthesis) record(space *Space, idx []int, fp string, done jobs.Job) (b
 		}
 	})
 	s.checkpoint()
+	s.publishPoint(&pr)
 	return pr.Feasible, nil
 }
 
 // submit enqueues the run, backing off briefly when the pool signals
 // backpressure (syntheses yield to interactive submissions rather than
 // failing).
-func (s *Synthesis) submit(ctx context.Context, sys *config.System) (jobs.Job, error) {
+func (s *Synthesis) submit(ctx context.Context, sys *config.System, tc obs.TraceContext) (jobs.Job, error) {
 	for {
-		jb, err := s.eng.pool.Submit(jobs.ConfigRun{Sys: sys})
+		jb, err := s.eng.pool.SubmitTraced(jobs.ConfigRun{Sys: sys}, s.eng.pool.DefaultBudget(), tc)
 		switch {
 		case err == nil:
 			return jb, nil

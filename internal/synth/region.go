@@ -50,6 +50,21 @@ type PointRec struct {
 	Feasible    bool      `json:"feasible"`
 	Source      string    `json:"source"`
 	ElapsedNS   int64     `json:"elapsed_ns,omitempty"`
+	// Trace is the W3C traceparent of the point's span when the pool runs
+	// with tracing enabled; Postmortem names the flight-recorder dump a
+	// dump-worthy failure left behind.
+	Trace      string `json:"trace,omitempty"`
+	Postmortem string `json:"postmortem,omitempty"`
+}
+
+// Straggler is one of the slowest computed points of the synthesis so
+// far: its lattice coordinates, trace link and per-phase time breakdown.
+type Straggler struct {
+	Idx       []int            `json:"idx"`
+	Values    []float64        `json:"values"`
+	Trace     string           `json:"trace,omitempty"`
+	ElapsedNS int64            `json:"elapsed_ns"`
+	Phases    map[string]int64 `json:"phases,omitempty"`
 }
 
 // Counts accounts for synthesis work: where point verdicts came from and
@@ -94,12 +109,21 @@ type State struct {
 	Counts    Counts `json:"counts"`
 	StartedAt string `json:"started_at,omitempty"`
 	UpdatedAt string `json:"updated_at,omitempty"`
+
+	// Trace is the synthesis's root traceparent when the pool runs with
+	// tracing enabled; every point span is a child of it. Persisted so a
+	// resumed synthesis keeps extending the same trace.
+	Trace string `json:"traceparent,omitempty"`
+	// Stragglers are the slowest computed points so far (worst first),
+	// maintained live for the ops view.
+	Stragglers []Straggler `json:"stragglers,omitempty"`
 }
 
 // clone returns a snapshot safe to hand out concurrently with mutation.
 func (s *State) clone() State {
 	out := *s
 	out.Points = append([]PointRec(nil), s.Points...)
+	out.Stragglers = append([]Straggler(nil), s.Stragglers...)
 	return out
 }
 
