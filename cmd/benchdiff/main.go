@@ -1,11 +1,15 @@
 // Command benchdiff compares two benchtable -json reports and fails on
 // performance regressions. It is the CI bench-regression gate: for every
 // guarded row (-rows, default the engine steady-state throughput — bare
-// and with the flight recorder armed — and the §4 industrial-scale
-// interpretation) the current report must stay within -max-regress of
+// and with the flight recorder armed — the §4 industrial-scale
+// interpretation, and the compositional half of the 16-module
+// compositional-vs-global experiment) the current report must stay
+// within -max-regress of
 // the baseline's ns/op (default 0.15 = +15%) and must not increase
-// allocs/op at all — the compiled runtime's zero-allocation property is
-// a hard invariant, not a soft target.
+// allocs/op: exactly for rows whose baseline is zero — the compiled
+// runtime's zero-allocation property is a hard invariant, not a soft
+// target — and beyond 1% for the rest, absorbing the ±1 process-wide
+// malloc-counter jitter single-shot measurements carry.
 //
 // Non-guarded rows present in both reports are printed for context but
 // never fail the run: Table 1's Model Checking columns are exponential and
@@ -18,7 +22,7 @@
 //
 //	benchdiff -baseline BENCH_old.json -current BENCH_new.json
 //	          [-max-regress 0.15]
-//	          [-rows EngineThroughput,EngineThroughput/flight,IndustrialScale/interpretation]
+//	          [-rows EngineThroughput,EngineThroughput/flight,IndustrialScale/interpretation,ComposeVsGlobal/compositional]
 package main
 
 import (
@@ -66,7 +70,7 @@ func main() {
 		basePath   = flag.String("baseline", "", "baseline benchtable -json report (required)")
 		curPath    = flag.String("current", "", "current benchtable -json report (required)")
 		maxRegress = flag.Float64("max-regress", 0.15, "allowed ns/op growth on guarded rows (0.15 = +15%)")
-		rowsFlag   = flag.String("rows", "EngineThroughput,EngineThroughput/flight,IndustrialScale/interpretation",
+		rowsFlag   = flag.String("rows", "EngineThroughput,EngineThroughput/flight,IndustrialScale/interpretation,ComposeVsGlobal/compositional",
 			"comma-separated guarded row names")
 	)
 	flag.Parse()
@@ -131,9 +135,11 @@ func main() {
 				fail("%s: ns/op %.0f exceeds baseline %.0f by more than %.0f%%",
 					row.Name, row.NsPerOp, b.NsPerOp, *maxRegress*100)
 			}
-			if row.AllocsOp > b.AllocsOp {
-				fail("%s: allocs/op grew %d -> %d (any increase fails)",
-					row.Name, b.AllocsOp, row.AllocsOp)
+			// Zero-baseline rows are exact (the zero-allocation invariant);
+			// nonzero ones get 1% slack for malloc-counter sampling jitter.
+			if allowed := b.AllocsOp + b.AllocsOp/100; row.AllocsOp > allowed {
+				fail("%s: allocs/op grew %d -> %d (allowed at most %d)",
+					row.Name, b.AllocsOp, row.AllocsOp, allowed)
 			}
 		}
 		fmt.Printf("%-42s %14.0f %14.0f %+7.1f%% %12d %12d%s\n",

@@ -6,7 +6,11 @@
 //     reports construction and interpretation time;
 //   - -engine runs the engine micro-benchmarks: steady-state throughput
 //     (one persistent engine, Reset+Run per op — the compiled backend's
-//     zero-allocation regime) and the expression-evaluation kernel.
+//     zero-allocation regime) and the expression-evaluation kernel;
+//   - -compose measures compositional vs global analysis on a 16-module
+//     distributed system: the summed per-module interpretations against
+//     one global-product interpretation (the ComposeVsGlobal rows, the
+//     compositional one guarded by the CI bench gate).
 //
 // -backend selects the engine backend for every measured interpretation
 // (default "compiled", the production configuration).
@@ -35,6 +39,7 @@ import (
 	"runtime"
 	"time"
 
+	"stopwatchsim/internal/compose"
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/expr"
 	"stopwatchsim/internal/gen"
@@ -110,6 +115,7 @@ func main() {
 		table1     = flag.Bool("table1", false, "regenerate Table 1")
 		scale      = flag.Bool("scale", false, "run the industrial-scale experiment")
 		engineMB   = flag.Bool("engine", false, "run the engine micro-benchmarks (steady-state throughput, expression eval)")
+		composeMB  = flag.Bool("compose", false, "run the compositional-vs-global experiment (16-module system)")
 		backendStr = flag.String("backend", "compiled", "engine backend for measured interpretations: compiled, event or naive")
 		minJ       = flag.Int("min", 10, "Table 1 minimum job count")
 		maxJ       = flag.Int("max", 18, "Table 1 maximum job count")
@@ -119,8 +125,8 @@ func main() {
 	budget := diag.BudgetFlags()
 	profile := obs.ProfileFlags()
 	flag.Parse()
-	if !*table1 && !*scale && !*engineMB {
-		*table1, *scale, *engineMB = true, true, true
+	if !*table1 && !*scale && !*engineMB && !*composeMB {
+		*table1, *scale, *engineMB, *composeMB = true, true, true, true
 	}
 	backend, err := nsa.ParseBackend(*backendStr)
 	if err != nil {
@@ -158,6 +164,11 @@ func main() {
 	}
 	if *engineMB {
 		if err := runEngine(ctx, b, backend); err != nil {
+			diag.Exit("benchtable", err, nil, "")
+		}
+	}
+	if *composeMB {
+		if err := runCompose(ctx, b, backend); err != nil {
 			diag.Exit("benchtable", err, nil, "")
 		}
 	}
@@ -374,6 +385,74 @@ func runEngine(ctx context.Context, b nsa.Budget, backend nsa.Backend) error {
 	evalOp := time.Since(estart) / evalIters
 	addRow("ExprEval", evalOp, (mallocs()-ea0)/evalIters, 0)
 	fmt.Printf("Expression eval: %v/op\n", evalOp)
+	return nil
+}
+
+// runCompose measures the compositional decomposition against the global
+// product on a deterministic 16-module distributed system: every module's
+// sub-System (local tasks + environment stubs) is built and interpreted
+// inline — single-threaded, so the allocs/op column is deterministic and
+// the CI bench gate can guard it — and the summed cost is compared to one
+// interpretation of the whole product. The gap is the point: local
+// hyperperiods divide the global one, so the per-module runs fire far
+// fewer transitions in total.
+func runCompose(ctx context.Context, b nsa.Budget, backend nsa.Backend) error {
+	sys := gen.MultiModule(16, 7)
+	plan, err := compose.NewPlan(sys)
+	if err != nil {
+		return err
+	}
+	if plan.Fallback != "" {
+		return fmt.Errorf("ComposeVsGlobal: benchmark system fell back: %s", plan.Fallback)
+	}
+
+	a0 := mallocs()
+	start := time.Now()
+	var actions int
+	for _, mod := range plan.Modules {
+		m, err := model.Build(mod.Sub)
+		if err != nil {
+			return err
+		}
+		tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe, Backend: backend})
+		if err != nil {
+			return err
+		}
+		a, err := trace.Analyze(mod.Sub, tr)
+		if err != nil {
+			return err
+		}
+		if !a.Schedulable {
+			return fmt.Errorf("ComposeVsGlobal: module %d unschedulable", mod.ID)
+		}
+		actions += res.Actions
+	}
+	compTime := time.Since(start)
+	addRow("ComposeVsGlobal/compositional", compTime, mallocs()-a0, actions)
+
+	a0 = mallocs()
+	start = time.Now()
+	m, err := model.Build(sys)
+	if err != nil {
+		return err
+	}
+	tr, res, err := m.SimulateEngine(ctx, nsa.Options{Budget: b, Probe: probe, Backend: backend})
+	if err != nil {
+		return err
+	}
+	a, err := trace.Analyze(sys, tr)
+	if err != nil {
+		return err
+	}
+	if !a.Schedulable {
+		return fmt.Errorf("ComposeVsGlobal: global product unschedulable")
+	}
+	globTime := time.Since(start)
+	addRow("ComposeVsGlobal/global", globTime, mallocs()-a0, res.Actions)
+
+	fmt.Printf("\nCompositional vs global (16 modules, %d contracts): %v compositional, %v global (%.2fx)\n",
+		len(plan.Contracts), compTime, globTime, float64(globTime)/float64(compTime))
+	fmt.Printf("actions fired: %d compositional vs %d global\n", actions, res.Actions)
 	return nil
 }
 

@@ -7,6 +7,8 @@
 //	genconf -kind table1 -jobs 14 > t14.xml
 //	genconf -kind industrial > big.xml
 //	genconf -kind random -seed 7 > r7.xml
+//	genconf -modules 8 -seed 3 > mm8.xml
+//	genconf -kind distributed -seed 11 > d11.xml
 package main
 
 import (
@@ -20,27 +22,32 @@ import (
 
 func main() {
 	var (
-		kind = flag.String("kind", "random", "table1 | industrial | random")
-		jobs = flag.Int("jobs", 10, "job count for -kind table1")
-		seed = flag.Int64("seed", 1, "seed for -kind random")
-		out  = flag.String("o", "", "output file (default stdout)")
+		kind    = flag.String("kind", "random", "table1 | industrial | random | distributed")
+		jobs    = flag.Int("jobs", 10, "job count for -kind table1")
+		seed    = flag.Int64("seed", 1, "seed for randomized kinds")
+		modules = flag.Int("modules", 0, "generate an N-module system with a cross-module message chain (overrides -kind)")
+		out     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*kind, *jobs, *seed, *out); err != nil {
+	if err := run(*kind, *jobs, *seed, *modules, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "genconf:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, jobs int, seed int64, out string) error {
+func run(kind string, jobs int, seed int64, modules int, out string) error {
 	var sys *config.System
-	switch kind {
-	case "table1":
+	switch {
+	case modules > 0:
+		sys = gen.MultiModule(modules, seed)
+	case kind == "table1":
 		sys = gen.Table1Config(jobs)
-	case "industrial":
+	case kind == "industrial":
 		sys = gen.IndustrialConfig()
-	case "random":
+	case kind == "random":
 		sys = gen.Random(seed, gen.DefaultRandomParams())
+	case kind == "distributed":
+		sys = gen.RandomDistributed(seed, gen.DefaultRandomParams())
 	default:
 		return fmt.Errorf("unknown kind %q", kind)
 	}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/compose"
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/store"
@@ -26,7 +27,7 @@ func newStoreServer(t *testing.T, dir string) (*httptest.Server, *jobs.Pool, *ca
 	pool := jobs.New(jobs.Options{Workers: 2, Tool: "saserve", Store: st})
 	eng := campaign.NewEngine(pool, st, nil)
 	eng.ResumeAll()
-	ts := httptest.NewServer(newMux(pool, eng, synth.NewEngine(pool, nil, nil), false))
+	ts := httptest.NewServer(newMux(pool, eng, synth.NewEngine(pool, nil, nil), compose.New(pool, nil, nil), false))
 	return ts, pool, eng, st
 }
 

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"io"
+	"mime"
+	"net/http"
+
+	"stopwatchsim/internal/config"
+)
+
+// composeSystem parses the submitted configuration with the same
+// content-type dispatch as job submissions: application/json or the
+// documented default, application/xml. XTA models have no module
+// structure and are not accepted here.
+func composeSystem(w http.ResponseWriter, r *http.Request) *config.System {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil
+	}
+	if len(body) > maxBodyBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "configuration exceeds %d bytes", maxBodyBytes)
+		return nil
+	}
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	var sys *config.System
+	switch ct {
+	case "application/json":
+		sys, err = config.ReadJSON(bytesReader(body))
+	case "application/x-xta", "text/x-xta":
+		httpError(w, http.StatusUnsupportedMediaType, "XTA models have no module structure; submit a system configuration")
+		return nil
+	default:
+		sys, err = config.ReadXML(bytesReader(body))
+	}
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return nil
+	}
+	return sys
+}
+
+// composeRun accepts a system configuration and analyzes it
+// compositionally: per-module verification against derived interface
+// contracts, refinement check, global-product fallback when the
+// decomposition is unsound for the system. The run is synchronous (the
+// per-module jobs go through the pool's cache tiers, so repeated and
+// incremental submissions are cheap) and returns the compose/result/v1
+// document. ?status=true answers from the persisted result instead,
+// computing nothing (404 when the store holds none).
+func (s *server) composeRun(w http.ResponseWriter, r *http.Request) {
+	sys := composeSystem(w, r)
+	if sys == nil {
+		return
+	}
+	if r.URL.Query().Get("status") == "true" {
+		res, ok, err := s.comp.Status(sys)
+		switch {
+		case err != nil:
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		case !ok:
+			httpError(w, http.StatusNotFound, "no persisted compositional result for %q", sys.Name)
+		default:
+			writeJSON(w, http.StatusOK, res)
+		}
+		return
+	}
+	res, err := s.comp.Run(r.Context(), sys)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}

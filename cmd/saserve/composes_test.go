@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/compose"
+	"stopwatchsim/internal/gen"
+	"stopwatchsim/internal/jobs"
+	"stopwatchsim/internal/store"
+	"stopwatchsim/internal/synth"
+)
+
+// postCompose submits a JSON configuration to /v1/compose.
+func postCompose(t *testing.T, ts *httptest.Server, body, query string) (int, compose.Result) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/compose"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var res compose.Result
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatalf("decoding %s: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, res
+}
+
+func multiModuleJSON(t *testing.T, modules int, seed int64) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gen.MultiModule(modules, seed).WriteJSONConfig(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestComposeEndpoint(t *testing.T) {
+	ts := newTestServer(t, jobs.Options{Workers: 2})
+
+	code, res := postCompose(t, ts, multiModuleJSON(t, 4, 1), "")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !res.Compositional || res.Verdict != jobs.VerdictSchedulable {
+		t.Fatalf("result = %+v, want compositional schedulable", res)
+	}
+	if len(res.Modules) != 4 || len(res.Contracts) != 3 {
+		t.Fatalf("modules = %d contracts = %d, want 4/3", len(res.Modules), len(res.Contracts))
+	}
+	for _, c := range res.Contracts {
+		if !c.Refined {
+			t.Errorf("contract %s not refined", c.Name)
+		}
+	}
+
+	// A single-module XML submission falls back to the global product but
+	// still answers with a verdict.
+	resp, err := http.Post(ts.URL+"/v1/compose", "application/xml", strings.NewReader(quickstartXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("XML submission status = %d: %s", resp.StatusCode, raw)
+	}
+	var fb compose.Result
+	if err := json.Unmarshal(raw, &fb); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Compositional || fb.Fallback == "" || fb.Verdict != jobs.VerdictSchedulable {
+		t.Fatalf("single-module result = %+v, want flagged fallback with a verdict", fb)
+	}
+
+	// Bad submissions are rejected, not analyzed.
+	if code, _ := postCompose(t, ts, "{not json", ""); code != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage submission status = %d, want 422", code)
+	}
+	resp, err = http.Post(ts.URL+"/v1/compose", "application/x-xta", strings.NewReader(counterXTA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("XTA submission status = %d, want 415", resp.StatusCode)
+	}
+
+	// No store behind this server: status lookups answer 404.
+	if code, _ := postCompose(t, ts, multiModuleJSON(t, 4, 1), "?status=true"); code != http.StatusNotFound {
+		t.Fatalf("status lookup without a store = %d, want 404", code)
+	}
+
+	// The analyzer counters surface on /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"saserve_compose_runs_total 2",
+		"saserve_compose_compositional_total 1",
+		"saserve_compose_fallbacks_total 1",
+		"saserve_compose_modules_analyzed_total 4",
+	} {
+		if !strings.Contains(string(mraw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestComposeEndpointIncremental drives the store-backed path over HTTP:
+// a re-submitted system is served from per-module documents, and
+// ?status=true answers without computing.
+func TestComposeEndpointIncremental(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{PinnedKinds: []string{compose.StoreKind()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := jobs.New(jobs.Options{Workers: 2, Tool: "saserve", Store: st})
+	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, st, nil), synth.NewEngine(pool, st, nil), compose.New(pool, st, nil), false))
+	t.Cleanup(func() {
+		ts.Close()
+		pool.Close()
+		st.Close()
+	})
+
+	body := multiModuleJSON(t, 3, 9)
+	code, first := postCompose(t, ts, body, "")
+	if code != http.StatusOK || first.ModulesAnalyzed != 3 {
+		t.Fatalf("first run: status %d analyzed %d, want 200/3", code, first.ModulesAnalyzed)
+	}
+	code, again := postCompose(t, ts, body, "")
+	if code != http.StatusOK || again.ModulesCached != 3 || again.ModulesAnalyzed != 0 {
+		t.Fatalf("second run: status %d analyzed %d cached %d, want 200/0/3", code, again.ModulesAnalyzed, again.ModulesCached)
+	}
+	code, status := postCompose(t, ts, body, "?status=true")
+	if code != http.StatusOK || status.Fingerprint != first.Fingerprint {
+		t.Fatalf("status lookup: %d %q, want 200 and fingerprint %q", code, status.Fingerprint, first.Fingerprint)
+	}
+}

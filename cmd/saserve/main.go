@@ -26,6 +26,7 @@
 //	DELETE /v1/synth/{id}        cancel a running synthesis
 //	GET    /v1/synth/{id}/region region export (box cover and witnesses)
 //	GET    /v1/synth/{id}/events live SSE event stream (points, budget, ETA)
+//	POST   /v1/compose       compositional per-module analysis (?status=true)
 //	GET    /metrics          Prometheus-style metrics
 //	GET    /healthz          liveness
 //	GET    /readyz           readiness (503 while the store tier is degraded)
@@ -85,6 +86,7 @@ import (
 	"time"
 
 	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/compose"
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/jobs"
@@ -153,7 +155,7 @@ func main() {
 		var err error
 		st, err = store.Open(*storeDir, store.Options{
 			MaxBytes:    *storeMaxMB << 20,
-			PinnedKinds: []string{campaign.StoreKind(), synth.StoreKind()},
+			PinnedKinds: []string{campaign.StoreKind(), synth.StoreKind(), compose.StoreKind()},
 			Faults:      inj,
 		})
 		if err != nil {
@@ -215,9 +217,10 @@ func main() {
 	if resumed := synths.ResumeAll(); len(resumed) > 0 {
 		lg.Info("syntheses resumed", "count", len(resumed), "ids", resumed)
 	}
+	comp := compose.New(pool, st, lg)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newMux(pool, camps, synths, *pprofFlag),
+		Handler:           newMux(pool, camps, synths, comp, *pprofFlag),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/compose"
 	"stopwatchsim/internal/fault"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/store"
@@ -63,7 +64,7 @@ func TestReadyzTracksDegradedMode(t *testing.T) {
 		BreakerThreshold: 1,
 		Tool:             "saserve",
 	})
-	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, st, nil), synth.NewEngine(pool, st, nil), false))
+	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, st, nil), synth.NewEngine(pool, st, nil), compose.New(pool, st, nil), false))
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()

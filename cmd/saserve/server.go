@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/compose"
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/diag"
 	"stopwatchsim/internal/fault"
@@ -37,6 +38,7 @@ type server struct {
 	pool    *jobs.Pool
 	camps   *campaign.Engine
 	synths  *synth.Engine
+	comp    *compose.Analyzer
 	started time.Time
 }
 
@@ -63,6 +65,8 @@ type server struct {
 //	DELETE /v1/synth/{id}        cancel a running synthesis
 //	GET    /v1/synth/{id}/region region export (box cover and witnesses)
 //	GET    /v1/synth/{id}/events live SSE event stream
+//	POST   /v1/compose       compositional analysis of a configuration
+//	                         (?status=true answers from the store only)
 //	GET    /metrics          Prometheus-style counters
 //	GET    /healthz          liveness
 //	GET    /readyz           readiness (503 while the store tier is degraded)
@@ -70,8 +74,8 @@ type server struct {
 // enablePprof additionally mounts the runtime profiling handlers under
 // /debug/pprof/ (opt-in: profiles expose internals, so they are off unless
 // the operator asks).
-func newMux(pool *jobs.Pool, camps *campaign.Engine, synths *synth.Engine, enablePprof bool) *http.ServeMux {
-	s := &server{pool: pool, camps: camps, synths: synths, started: time.Now()}
+func newMux(pool *jobs.Pool, camps *campaign.Engine, synths *synth.Engine, comp *compose.Analyzer, enablePprof bool) *http.ServeMux {
+	s := &server{pool: pool, camps: camps, synths: synths, comp: comp, started: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.list)
@@ -94,6 +98,7 @@ func newMux(pool *jobs.Pool, camps *campaign.Engine, synths *synth.Engine, enabl
 	mux.HandleFunc("DELETE /v1/synth/{id}", s.synthCancel)
 	mux.HandleFunc("GET /v1/synth/{id}/region", s.synthRegion)
 	mux.HandleFunc("GET /v1/synth/{id}/events", s.synthEvents)
+	mux.HandleFunc("POST /v1/compose", s.composeRun)
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /healthz", s.health)
 	mux.HandleFunc("GET /readyz", s.ready)
@@ -510,6 +515,16 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	counter("synth_boxes_classified_total", "Region boxes classified across syntheses.", sm.BoxesClassified)
 	counter("synth_splits_total", "Box splits across syntheses.", sm.Splits)
 	counter("synth_bisect_iterations_total", "1-D bisection iterations across syntheses.", sm.BisectIterations)
+
+	// Compositional analyzer counters.
+	km := s.comp.Metrics()
+	counter("compose_runs_total", "Compositional analyses started.", km.Runs)
+	counter("compose_compositional_total", "Analyses concluded from the per-module verdicts.", km.Compositional)
+	counter("compose_fallbacks_total", "Analyses that fell back to the global product.", km.Fallbacks)
+	counter("compose_interface_violations_total", "Fallbacks caused by a failed refinement check.", km.InterfaceViolations)
+	counter("compose_modules_analyzed_total", "Modules answered by a fresh engine run.", km.ModulesAnalyzed)
+	counter("compose_module_cache_hits_total", "Modules served from compose documents or pool cache tiers.", km.ModuleCacheHits)
+	counter("compose_global_runs_total", "Global-product runs issued by the compositional analyzer.", km.GlobalRuns)
 
 	// Resilience: what the self-healing machinery absorbed.
 	res := m.Resilience

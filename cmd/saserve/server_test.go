@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/compose"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/obs"
 	"stopwatchsim/internal/synth"
@@ -72,7 +73,7 @@ func newTestServer(t *testing.T, opts jobs.Options) *httptest.Server {
 		opts.Tool = "saserve"
 	}
 	pool := jobs.New(opts)
-	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, nil, nil), synth.NewEngine(pool, nil, nil), false))
+	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, nil, nil), synth.NewEngine(pool, nil, nil), compose.New(pool, nil, nil), false))
 	t.Cleanup(func() {
 		ts.Close()
 		pool.Close()
@@ -434,7 +435,7 @@ func TestMetricsEngineCountersAndPhases(t *testing.T) {
 func TestPprofOptIn(t *testing.T) {
 	pool := jobs.New(jobs.Options{Workers: 1, Tool: "saserve"})
 	defer pool.Close()
-	on := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, nil, nil), synth.NewEngine(pool, nil, nil), true))
+	on := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, nil, nil), synth.NewEngine(pool, nil, nil), compose.New(pool, nil, nil), true))
 	defer on.Close()
 	resp, err := http.Get(on.URL + "/debug/pprof/")
 	if err != nil {
@@ -445,7 +446,7 @@ func TestPprofOptIn(t *testing.T) {
 		t.Errorf("pprof enabled: GET /debug/pprof/ = %d, want 200", resp.StatusCode)
 	}
 
-	off := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, nil, nil), synth.NewEngine(pool, nil, nil), false))
+	off := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, nil, nil), synth.NewEngine(pool, nil, nil), compose.New(pool, nil, nil), false))
 	defer off.Close()
 	resp, err = http.Get(off.URL + "/debug/pprof/")
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"stopwatchsim/internal/campaign"
+	"stopwatchsim/internal/compose"
 	"stopwatchsim/internal/config"
 	"stopwatchsim/internal/jobs"
 	"stopwatchsim/internal/store"
@@ -27,7 +28,7 @@ func newSynthServer(t *testing.T, dir string) (*httptest.Server, *jobs.Pool, *sy
 	pool := jobs.New(jobs.Options{Workers: 2, Tool: "saserve", Store: st})
 	eng := synth.NewEngine(pool, st, nil)
 	eng.ResumeAll()
-	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, st, nil), eng, false))
+	ts := httptest.NewServer(newMux(pool, campaign.NewEngine(pool, st, nil), eng, compose.New(pool, st, nil), false))
 	return ts, pool, eng, st
 }
 

@@ -3,6 +3,12 @@
 // through a switched-network virtual link, while a display partition shares
 // the second core under a window schedule. The example checks the §3
 // correctness requirements on the run and reports end-to-end timing.
+//
+// avionics.xml in this directory is the same system in the XML config
+// format; `go run ./cmd/compose run -c examples/avionics/avionics.xml`
+// demonstrates the compositional analyzer's sound fallback path (the
+// fusion partition schedules under EDF, so its cross-module receiver
+// fails the safe-receiver gate and the global product answers instead).
 package main
 
 import (

@@ -1,0 +1,117 @@
+package compose
+
+import (
+	"stopwatchsim/internal/jobs"
+)
+
+// Store document versions and the store kind. Module documents are
+// content-addressed by the per-module fingerprint, so a module whose
+// sub-System (content + assumed interfaces) is unchanged is answered
+// from the store without touching the engine — the incremental
+// re-analysis the campaigns and synthesis layers inherit for free.
+const (
+	storeKind        = "compose"
+	moduleDocVersion = "compose/module/v1"
+	resultDocVersion = "compose/result/v1"
+	moduleKeyPrefix  = "module-"
+	resultKeyPrefix  = "result-"
+)
+
+// StoreKind returns the artifact-store kind compose documents live
+// under; services pin it so checkpointed results survive store GC.
+func StoreKind() string { return storeKind }
+
+// ModuleResult is the analysis outcome of one module.
+type ModuleResult struct {
+	Module      int          `json:"module"`
+	System      string       `json:"system"`
+	Fingerprint string       `json:"fingerprint"`
+	Verdict     jobs.Verdict `json:"verdict"`
+
+	// CacheHit marks results served without a fresh engine run: from a
+	// compose/module/v1 document (DocHit), the pool's in-memory result
+	// cache, or its persistent tier (DiskHit).
+	CacheHit bool `json:"cache_hit"`
+	DocHit   bool `json:"doc_hit,omitempty"`
+	DiskHit  bool `json:"disk_hit,omitempty"`
+
+	// Steps/Events count the engine work of the module's analysis (as
+	// recorded when it first ran; cache hits repeat the recorded cost).
+	Steps     int64 `json:"steps"`
+	Events    int64 `json:"events"`
+	ElapsedNS int64 `json:"elapsed_ns"`
+
+	// Guarantees maps each outbound sender's global task name to its
+	// measured worst response time (max Finish − Release over the
+	// module run) — the guaranteed output curve checked against every
+	// receiver's assumed input curve.
+	Guarantees map[string]int64 `json:"guarantees,omitempty"`
+
+	Partitions int  `json:"partitions"`
+	Tasks      int  `json:"tasks"`
+	Stubs      int  `json:"stubs"`
+	Pacer      bool `json:"pacer,omitempty"`
+}
+
+// ContractResult is one interface contract with its verification
+// outcome: the measured guarantee refined the assumption or not.
+type ContractResult struct {
+	Contract
+	// Guarantee is the sender's measured worst response time;
+	// Refined reports Guarantee ≤ LatestOffset.
+	Guarantee int64 `json:"guarantee"`
+	Refined   bool  `json:"refined"`
+}
+
+// Result is the outcome of one compositional analysis.
+type Result struct {
+	Version     string       `json:"version"`
+	System      string       `json:"system"`
+	Fingerprint string       `json:"fingerprint"`
+	Verdict     jobs.Verdict `json:"verdict"`
+
+	// Compositional is true when the verdict came from the per-module
+	// analyses plus the interface refinement check; false when the
+	// analysis fell back to the global product, with Fallback naming
+	// the reason (arrival-sensitive receiver, module cycle, interface
+	// violation, locally unschedulable module, ...).
+	Compositional bool   `json:"compositional"`
+	Fallback      string `json:"fallback,omitempty"`
+
+	Modules   []ModuleResult   `json:"modules,omitempty"`
+	Contracts []ContractResult `json:"contracts,omitempty"`
+
+	// ModulesAnalyzed counts modules answered by a fresh engine run this
+	// invocation; ModulesCached those served from the per-module store
+	// documents or the pool's cache tiers.
+	ModulesAnalyzed int `json:"modules_analyzed"`
+	ModulesCached   int `json:"modules_cached"`
+
+	// TotalSteps sums the engine steps of the module analyses;
+	// GlobalSteps is the step count of the global-product run when one
+	// ran (fallback, or a caller-requested comparison).
+	TotalSteps  int64 `json:"total_steps"`
+	GlobalSteps int64 `json:"global_steps,omitempty"`
+
+	ElapsedNS int64  `json:"elapsed_ns"`
+	Trace     string `json:"trace,omitempty"`
+}
+
+// moduleDoc is the persisted form of a ModuleResult, keyed by the
+// module fingerprint under the compose store kind.
+type moduleDoc struct {
+	Version    string           `json:"version"`
+	System     string           `json:"system"`
+	Module     int              `json:"module"`
+	Verdict    jobs.Verdict     `json:"verdict"`
+	Steps      int64            `json:"steps"`
+	Events     int64            `json:"events"`
+	ElapsedNS  int64            `json:"elapsed_ns"`
+	Guarantees map[string]int64 `json:"guarantees,omitempty"`
+}
+
+// resultDoc is the persisted top-level result, keyed by the global
+// fingerprint, serving `compose status` and `compose export`.
+type resultDoc struct {
+	Result
+}

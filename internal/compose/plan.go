@@ -1,0 +1,537 @@
+// Package compose implements compositional assume-guarantee
+// schedulability analysis: a multi-module system is partitioned by
+// hardware module, each module is analyzed standalone against an
+// interface abstraction of its environment, and a composition check
+// verifies the interfaces fit together (Han et al., arXiv:1807.11570 and
+// arXiv:1803.11050, adapted to this package's stopwatch-automata model).
+//
+// The decomposition seam is config.Core.Module: tasks of different
+// modules never share a core, so the only cross-module coupling is the
+// data-flow graph. For every cross-module Message the planner derives an
+// interface contract from the sender's task parameters alone — job k of
+// the sender is assumed to complete no later than k·Period + Deadline,
+// and the message to arrive Delay ticks later (System.Delay, the network
+// delay for cross-module edges). Each module then becomes a standalone
+// sub-System: its own cores, partitions and intra-module messages, plus
+// one environment stub automaton per external sender replaying exactly
+// that latest-arrival assumption (a stub task alone on a stub core with
+// WCET = sender deadline finishes each job precisely at its assumed
+// completion instant, and the retargeted message carries the original
+// delay).
+//
+// Contracts are deliberately parameter-derived (period, deadline, delay
+// — never WCET): a module's sub-System, and with it its per-module
+// fingerprint, changes only when the module's own content or one of its
+// assumed interfaces changes. That is what makes re-analysis
+// incremental: moving wcet:P.t re-runs only the module owning P.
+//
+// The latest-arrival abstraction is sound only for modules whose
+// dependent tasks cannot perturb anything else by becoming ready
+// earlier. The planner enforces this structurally (the safe-receiver
+// gate): every tainted task — a task with an inbound cross-module
+// message, or reachable from one through the local data-flow graph —
+// must live in a fixed-priority preemptive (FPPS) partition and hold
+// strictly the lowest priority there. Such a task runs only in the slack
+// of its partition, its completion time is monotone in its ready time,
+// and it can never delay a higher-priority task, so the stub run's
+// finish times upper-bound every real execution. Systems that violate
+// the gate — or couple modules through a routed switched network, or
+// form a module-level dependency cycle — fall back to the global product
+// with the reason flagged in the result.
+package compose
+
+import (
+	"fmt"
+	"sort"
+
+	"stopwatchsim/internal/config"
+)
+
+// Contract is the interface abstraction of one cross-module message:
+// the receiver's module assumes job k of the sender completes no later
+// than k·Period + LatestOffset and the payload arrives Delay ticks
+// after completion; the sender's module must guarantee it.
+type Contract struct {
+	Message  int    `json:"message"` // index into System.Messages
+	Name     string `json:"name"`
+	Sender   config.TaskRef
+	Receiver config.TaskRef
+	// SenderName and ReceiverName are the partition-qualified task names,
+	// stable across the sub-System reindexing.
+	SenderName   string `json:"sender"`
+	ReceiverName string `json:"receiver"`
+	SrcModule    int    `json:"src_module"`
+	DstModule    int    `json:"dst_module"`
+
+	Period       int64 `json:"period"`
+	LatestOffset int64 `json:"latest_offset"` // sender's relative deadline
+	Delay        int64 `json:"delay"`         // transfer delay (System.Delay)
+}
+
+// Module is one hardware module of the plan: the slice of the global
+// system it owns plus the materialized standalone sub-System.
+type Module struct {
+	ID         int   // config.Core.Module value
+	Cores      []int // indices into the global System.Cores
+	Partitions []int // indices into the global System.Partitions
+	Inbound    []int // contract indices received by this module
+	Outbound   []int // contract indices sent by this module
+
+	// Sub is the standalone sub-System: local partitions (reindexed),
+	// intra-module messages, and one environment stub per external
+	// sender. Fingerprint is Sub's canonical config fingerprint — the
+	// per-module content address.
+	Sub         *config.System
+	Fingerprint string
+	// Stubs counts environment stub automata; Pacer marks a module whose
+	// window schedule is not periodic in the local hyperperiod, forcing
+	// the sub-System to keep the global hyperperiod via a pacer task.
+	Stubs int
+	Pacer bool
+
+	// partMap maps global partition indices to Sub partition indices,
+	// for translating analysis results back to global task names.
+	partMap map[int]int
+	// plan is the owning plan, for resolving contract indices.
+	plan *Plan
+}
+
+// Plan is the compositional decomposition of one system.
+type Plan struct {
+	Sys         *config.System
+	Fingerprint string // global config fingerprint
+	Modules     []*Module
+	Contracts   []Contract
+	// Fallback is non-empty when compositional analysis is structurally
+	// impossible or unsound for this system; the analyzer then runs the
+	// global product and flags the reason.
+	Fallback string
+}
+
+// NewPlan validates sys and decomposes it by hardware module. A non-nil
+// error reports an invalid configuration; a structurally sound but
+// non-compositional system returns a plan with Fallback set.
+func NewPlan(sys *config.System) (*Plan, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{Sys: sys, Fingerprint: sys.Fingerprint()}
+
+	// Group partitions by the module of their bound core.
+	byID := make(map[int]*Module)
+	var ids []int
+	for pi := range sys.Partitions {
+		id := sys.Cores[sys.Partitions[pi].Core].Module
+		mod, ok := byID[id]
+		if !ok {
+			mod = &Module{ID: id}
+			byID[id] = mod
+			ids = append(ids, id)
+		}
+		mod.Partitions = append(mod.Partitions, pi)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		mod := byID[id]
+		seen := make(map[int]bool)
+		for _, pi := range mod.Partitions {
+			if ci := sys.Partitions[pi].Core; !seen[ci] {
+				seen[ci] = true
+				mod.Cores = append(mod.Cores, ci)
+			}
+		}
+		sort.Ints(mod.Cores)
+		mod.plan = p
+		p.Modules = append(p.Modules, mod)
+	}
+
+	if len(p.Modules) < 2 {
+		p.Fallback = "single hardware module: nothing to decompose"
+		return p, nil
+	}
+	if sys.Net != nil {
+		p.Fallback = "routed switched-network topology couples modules through port contention"
+		return p, nil
+	}
+
+	// Derive one contract per cross-module message.
+	moduleOf := func(part int) int { return sys.Cores[sys.Partitions[part].Core].Module }
+	for i := range sys.Messages {
+		m := &sys.Messages[i]
+		src, dst := moduleOf(m.SrcPart), moduleOf(m.DstPart)
+		if src == dst {
+			continue
+		}
+		sref := config.TaskRef{Part: m.SrcPart, Task: m.SrcTask}
+		rref := config.TaskRef{Part: m.DstPart, Task: m.DstTask}
+		st := &sys.Partitions[m.SrcPart].Tasks[m.SrcTask]
+		ci := len(p.Contracts)
+		p.Contracts = append(p.Contracts, Contract{
+			Message:      i,
+			Name:         m.Name,
+			Sender:       sref,
+			Receiver:     rref,
+			SenderName:   sys.TaskName(sref),
+			ReceiverName: sys.TaskName(rref),
+			SrcModule:    src,
+			DstModule:    dst,
+			Period:       st.Period,
+			LatestOffset: st.Deadline,
+			Delay:        sys.Delay(m),
+		})
+		byID[src].Outbound = append(byID[src].Outbound, ci)
+		byID[dst].Inbound = append(byID[dst].Inbound, ci)
+	}
+
+	if cyc := p.moduleCycle(); cyc != "" {
+		p.Fallback = "module dependency cycle prevents contract closure: " + cyc
+		return p, nil
+	}
+	if reason := p.safeReceiverGate(); reason != "" {
+		p.Fallback = reason
+		return p, nil
+	}
+
+	for _, mod := range p.Modules {
+		if err := p.buildSub(mod); err != nil {
+			// A sub-System that fails validation (e.g. a name collision
+			// with the env/pacer namespace) is not a caller error: the
+			// global product still answers the question.
+			p.Fallback = fmt.Sprintf("module %d sub-system not materializable: %v", mod.ID, err)
+			return p, nil
+		}
+	}
+	return p, nil
+}
+
+// moduleCycle detects a cycle in the module dependency graph (an edge
+// per cross-module contract). The task-level graph is acyclic by
+// validation, but distinct task chains can still close a loop between
+// two modules; the plain topological induction the soundness argument
+// rests on then no longer applies, so such systems fall back.
+func (p *Plan) moduleCycle() string {
+	adj := make(map[int][]int)
+	for _, c := range p.Contracts {
+		adj[c.SrcModule] = append(adj[c.SrcModule], c.DstModule)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	var hit int
+	var found bool
+	var visit func(id int) bool
+	visit = func(id int) bool {
+		color[id] = gray
+		for _, next := range adj[id] {
+			switch color[next] {
+			case gray:
+				hit, found = next, true
+				return true
+			case white:
+				if visit(next) {
+					return true
+				}
+			}
+		}
+		color[id] = black
+		return false
+	}
+	var roots []int
+	for id := range adj {
+		roots = append(roots, id)
+	}
+	sort.Ints(roots)
+	for _, id := range roots {
+		if color[id] == white && visit(id) {
+			return fmt.Sprintf("through module %d", hit)
+		}
+	}
+	_ = found
+	return ""
+}
+
+// safeReceiverGate enforces the structural condition that makes the
+// latest-arrival abstraction a worst case: every tainted task (reachable
+// from a cross-module arrival through the data-flow graph) must be the
+// strictly lowest-priority task of an FPPS partition. It returns the
+// fallback reason, or "" when the gate holds.
+func (p *Plan) safeReceiverGate() string {
+	sys := p.Sys
+	tainted := make(map[config.TaskRef]bool)
+	var queue []config.TaskRef
+	for _, c := range p.Contracts {
+		if !tainted[c.Receiver] {
+			tainted[c.Receiver] = true
+			queue = append(queue, c.Receiver)
+		}
+	}
+	adj := make(map[config.TaskRef][]config.TaskRef)
+	for i := range sys.Messages {
+		m := &sys.Messages[i]
+		src := config.TaskRef{Part: m.SrcPart, Task: m.SrcTask}
+		adj[src] = append(adj[src], config.TaskRef{Part: m.DstPart, Task: m.DstTask})
+	}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[r] {
+			if !tainted[next] {
+				tainted[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	refs := make([]config.TaskRef, 0, len(tainted))
+	for r := range tainted {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		if refs[a].Part != refs[b].Part {
+			return refs[a].Part < refs[b].Part
+		}
+		return refs[a].Task < refs[b].Task
+	})
+	for _, r := range refs {
+		part := &sys.Partitions[r.Part]
+		if part.Policy != config.FPPS {
+			return fmt.Sprintf("arrival-sensitive receiver %s: partition policy %s (safe-receiver gate needs FPPS)",
+				sys.TaskName(r), part.Policy)
+		}
+		prio := part.Tasks[r.Task].Priority
+		for j := range part.Tasks {
+			if j != r.Task && part.Tasks[j].Priority <= prio {
+				return fmt.Sprintf("arrival-sensitive receiver %s: priority %d not strictly lowest in partition %s",
+					sys.TaskName(r), prio, part.Name)
+			}
+		}
+	}
+	return ""
+}
+
+// buildSub materializes mod as a standalone sub-System with environment
+// stubs, truncating the window schedule to the local hyperperiod when
+// the schedule is periodic in it (the usual case, and where the
+// compositional step-count win comes from).
+func (p *Plan) buildSub(mod *Module) error {
+	sys := p.Sys
+	sub := &config.System{
+		Name:      fmt.Sprintf("%s/module-%d", sys.Name, mod.ID),
+		CoreTypes: append([]string(nil), sys.CoreTypes...),
+	}
+	coreMap := make(map[int]int, len(mod.Cores))
+	for _, ci := range mod.Cores {
+		coreMap[ci] = len(sub.Cores)
+		sub.Cores = append(sub.Cores, sys.Cores[ci])
+	}
+	mod.partMap = make(map[int]int, len(mod.Partitions))
+	for _, pi := range mod.Partitions {
+		orig := &sys.Partitions[pi]
+		cp := config.Partition{
+			Name:    orig.Name,
+			Policy:  orig.Policy,
+			Core:    coreMap[orig.Core],
+			Quantum: orig.Quantum,
+			Windows: append([]config.Window(nil), orig.Windows...),
+		}
+		for _, t := range orig.Tasks {
+			t.WCET = append([]int64(nil), t.WCET...)
+			cp.Tasks = append(cp.Tasks, t)
+		}
+		mod.partMap[pi] = len(sub.Partitions)
+		sub.Partitions = append(sub.Partitions, cp)
+	}
+
+	// Local hyperperiod. Stub periods equal their receivers' periods
+	// (messages connect equal-period tasks), so local task periods alone
+	// determine it.
+	lsub := int64(1)
+	for i := range sub.Partitions {
+		for j := range sub.Partitions[i].Tasks {
+			l, err := config.LCMChecked(lsub, sub.Partitions[i].Tasks[j].Period)
+			if err != nil {
+				return err
+			}
+			lsub = l
+		}
+	}
+	lglob := sys.Hyperperiod()
+
+	// Window schedule: execution windows are pure gating (zero-width
+	// close/open boundaries preserve accumulated execution), so the
+	// schedule truncates to [0, lsub) exactly when every partition's
+	// window coverage is lsub-periodic over the global hyperperiod.
+	// Otherwise the sub-System keeps the global schedule and a pacer
+	// task stretches its hyperperiod back to lglob.
+	pacer := false
+	if lsub < lglob {
+		trunc := make([][]config.Window, len(sub.Partitions))
+		for i := range sub.Partitions {
+			tw, ok := truncateWindows(sub.Partitions[i].Windows, lsub, lglob)
+			if !ok {
+				pacer = true
+				break
+			}
+			trunc[i] = tw
+		}
+		if !pacer {
+			for i := range sub.Partitions {
+				sub.Partitions[i].Windows = trunc[i]
+			}
+		}
+	}
+	horizon := lsub
+	if pacer {
+		horizon = lglob
+	}
+
+	// Intra-module messages, partition indices remapped.
+	for i := range sys.Messages {
+		m := sys.Messages[i]
+		sp, spOK := mod.partMap[m.SrcPart]
+		dp, dpOK := mod.partMap[m.DstPart]
+		if spOK && dpOK {
+			m.SrcPart, m.DstPart = sp, dp
+			sub.Messages = append(sub.Messages, m)
+		}
+	}
+
+	// Environment stubs: one per distinct external sender. The stub task
+	// runs alone on its own core (carrying the sender's module ID so the
+	// retargeted message keeps its network delay) with WCET = the
+	// sender's deadline, so job k finishes exactly at k·Period +
+	// LatestOffset — the contract's latest-arrival assumption.
+	stubOf := make(map[config.TaskRef]int)
+	for _, ci := range mod.Inbound {
+		c := &p.Contracts[ci]
+		spi, ok := stubOf[c.Sender]
+		if !ok {
+			srcCore := sys.Cores[sys.Partitions[c.Sender.Part].Core]
+			wcet := make([]int64, len(sub.CoreTypes))
+			for k := range wcet {
+				wcet[k] = c.LatestOffset
+			}
+			coreIdx := len(sub.Cores)
+			sub.Cores = append(sub.Cores, config.Core{
+				Name:   "env:" + c.SenderName,
+				Type:   srcCore.Type,
+				Module: srcCore.Module,
+			})
+			spi = len(sub.Partitions)
+			sub.Partitions = append(sub.Partitions, config.Partition{
+				Name:   "env:" + c.SenderName,
+				Core:   coreIdx,
+				Policy: config.FPPS,
+				Tasks: []config.Task{{
+					Name:     "stub",
+					Priority: 1,
+					WCET:     wcet,
+					Period:   c.Period,
+					Deadline: c.Period,
+				}},
+				Windows: []config.Window{{Start: 0, End: horizon}},
+			})
+			stubOf[c.Sender] = spi
+			mod.Stubs++
+		}
+		m := sys.Messages[c.Message]
+		sub.Messages = append(sub.Messages, config.Message{
+			Name:     m.Name,
+			SrcPart:  spi,
+			SrcTask:  0,
+			DstPart:  mod.partMap[m.DstPart],
+			DstTask:  m.DstTask,
+			MemDelay: m.MemDelay,
+			NetDelay: m.NetDelay,
+		})
+	}
+
+	if pacer {
+		mod.Pacer = true
+		wcet := make([]int64, len(sub.CoreTypes))
+		for k := range wcet {
+			wcet[k] = 1
+		}
+		coreIdx := len(sub.Cores)
+		sub.Cores = append(sub.Cores, config.Core{
+			Name:   "env:pacer",
+			Type:   0,
+			Module: mod.ID,
+		})
+		sub.Partitions = append(sub.Partitions, config.Partition{
+			Name:   "env:pacer",
+			Core:   coreIdx,
+			Policy: config.FPPS,
+			Tasks: []config.Task{{
+				Name:     "tick",
+				Priority: 1,
+				WCET:     wcet,
+				Period:   lglob,
+				Deadline: lglob,
+			}},
+			Windows: []config.Window{{Start: 0, End: lglob}},
+		})
+	}
+
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	mod.Sub = sub
+	mod.Fingerprint = sub.Fingerprint()
+	return nil
+}
+
+// truncateWindows reduces a window list spanning [0, lglob) to its
+// [0, lsub) pattern when the merged coverage is lsub-periodic. The
+// returned windows are the merged coverage of the first block.
+func truncateWindows(ws []config.Window, lsub, lglob int64) ([]config.Window, bool) {
+	// Merge touching windows: coverage, not boundary placement, is what
+	// gates execution.
+	var cov []config.Window
+	for _, w := range ws {
+		if n := len(cov); n > 0 && cov[n-1].End >= w.Start {
+			if w.End > cov[n-1].End {
+				cov[n-1].End = w.End
+			}
+			continue
+		}
+		cov = append(cov, w)
+	}
+	blocks := lglob / lsub
+	var first []config.Window
+	for b := int64(0); b < blocks; b++ {
+		lo, hi := b*lsub, (b+1)*lsub
+		var rel []config.Window
+		for _, w := range cov {
+			s, e := w.Start, w.End
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			if s < e {
+				rel = append(rel, config.Window{Start: s - lo, End: e - lo})
+			}
+		}
+		if b == 0 {
+			first = rel
+			continue
+		}
+		if len(rel) != len(first) {
+			return nil, false
+		}
+		for i := range rel {
+			if rel[i] != first[i] {
+				return nil, false
+			}
+		}
+	}
+	if len(first) == 0 {
+		return nil, false
+	}
+	return first, true
+}

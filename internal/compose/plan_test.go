@@ -1,0 +1,85 @@
+package compose
+
+import (
+	"testing"
+
+	"stopwatchsim/internal/config"
+)
+
+func TestTruncateWindows(t *testing.T) {
+	w := func(s, e int64) config.Window { return config.Window{Start: s, End: e} }
+	cases := []struct {
+		name      string
+		in        []config.Window
+		lsub, lgl int64
+		want      []config.Window
+		ok        bool
+	}{
+		{"full span", []config.Window{w(0, 360)}, 60, 360, []config.Window{w(0, 60)}, true},
+		{"periodic pattern", []config.Window{w(0, 5), w(10, 15), w(20, 25), w(30, 35)}, 10, 40,
+			[]config.Window{w(0, 5)}, true},
+		{"touching windows merge", []config.Window{w(0, 5), w(5, 10), w(10, 20)}, 10, 20,
+			[]config.Window{w(0, 10)}, true},
+		{"aperiodic", []config.Window{w(0, 5), w(12, 17)}, 10, 20, nil, false},
+		{"window crossing a block boundary", []config.Window{w(6, 14)}, 10, 20, nil, false},
+		{"empty coverage", nil, 10, 20, nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := truncateWindows(tc.in, tc.lsub, tc.lgl)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("got %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestModuleCycleFallback closes a loop between two modules through two
+// disjoint task chains; the task graph stays acyclic but the module
+// graph does not, and the plan must fall back.
+func TestModuleCycleFallback(t *testing.T) {
+	sys := &config.System{
+		Name:      "cycle",
+		CoreTypes: []string{"std"},
+		Cores: []config.Core{
+			{Name: "c0", Type: 0, Module: 1},
+			{Name: "c1", Type: 0, Module: 2},
+		},
+		Partitions: []config.Partition{
+			{Name: "A", Core: 0, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "a1", Priority: 2, WCET: []int64{1}, Period: 10, Deadline: 10},
+					{Name: "a2", Priority: 1, WCET: []int64{1}, Period: 10, Deadline: 10},
+				},
+				Windows: []config.Window{{Start: 0, End: 10}}},
+			{Name: "B", Core: 1, Policy: config.FPPS,
+				Tasks: []config.Task{
+					{Name: "b1", Priority: 2, WCET: []int64{1}, Period: 10, Deadline: 10},
+					{Name: "b2", Priority: 1, WCET: []int64{1}, Period: 10, Deadline: 10},
+				},
+				Windows: []config.Window{{Start: 0, End: 10}}},
+		},
+		Messages: []config.Message{
+			{Name: "ab", SrcPart: 0, SrcTask: 0, DstPart: 1, DstTask: 1, NetDelay: 1},
+			{Name: "ba", SrcPart: 1, SrcTask: 0, DstPart: 0, DstTask: 1, NetDelay: 1},
+		},
+	}
+	p, err := NewPlan(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fallback == "" {
+		t.Fatal("module cycle not detected")
+	}
+}

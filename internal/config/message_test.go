@@ -1,0 +1,84 @@
+package config
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestMessageErrorTyped asserts malformed data-flow edges are rejected
+// with the typed *MessageError (and still classify as *ValidationError
+// through Unwrap, so diag keeps mapping them to ExitConfig).
+func TestMessageErrorTyped(t *testing.T) {
+	cases := []struct {
+		name string
+		msg  Message
+		want string
+	}{
+		{"src part out of range", Message{Name: "bad", SrcPart: 9, SrcTask: 0, DstPart: 1, DstTask: 0}, "sender reference"},
+		{"src part negative", Message{Name: "bad", SrcPart: -1, SrcTask: 0, DstPart: 1, DstTask: 0}, "sender reference"},
+		{"src task out of range", Message{Name: "bad", SrcPart: 0, SrcTask: 7, DstPart: 1, DstTask: 0}, "sender reference"},
+		{"dst part out of range", Message{Name: "bad", SrcPart: 0, SrcTask: 0, DstPart: 4, DstTask: 0}, "receiver reference"},
+		{"dst task negative", Message{Name: "bad", SrcPart: 0, SrcTask: 0, DstPart: 1, DstTask: -2}, "receiver reference"},
+		{"self loop", Message{Name: "bad", SrcPart: 0, SrcTask: 1, DstPart: 0, DstTask: 1}, "self-loop"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := demo()
+			s.Messages = append(s.Messages, tc.msg)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a malformed message")
+			}
+			var me *MessageError
+			if !errors.As(err, &me) {
+				t.Fatalf("error %v (%T) is not a *MessageError", err, err)
+			}
+			if me.Index != 1 || me.Name != "bad" {
+				t.Errorf("MessageError names edge (%d, %q), want (1, \"bad\")", me.Index, me.Name)
+			}
+			if !strings.Contains(me.Reason, tc.want) {
+				t.Errorf("reason %q does not mention %q", me.Reason, tc.want)
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Errorf("MessageError does not unwrap to *ValidationError")
+			}
+		})
+	}
+}
+
+// TestWriteXMLRejectsBadMessage asserts the exporter returns the typed
+// error instead of panicking on a dangling message reference.
+func TestWriteXMLRejectsBadMessage(t *testing.T) {
+	s := demo()
+	s.Messages[0].DstPart = 42
+	var buf bytes.Buffer
+	err := s.WriteXML(&buf)
+	if err == nil {
+		t.Fatal("WriteXML accepted a dangling message reference")
+	}
+	var me *MessageError
+	if !errors.As(err, &me) {
+		t.Fatalf("error %v (%T) is not a *MessageError", err, err)
+	}
+}
+
+// TestValidateMessagesOnPartialSystem asserts the structural edge check
+// runs standalone on systems that would fail full validation (compose
+// builds sub-systems incrementally and checks edges early).
+func TestValidateMessagesOnPartialSystem(t *testing.T) {
+	s := &System{ // no cores, no windows: full Validate would reject it
+		Partitions: []Partition{{Name: "P", Tasks: []Task{{Name: "T"}}}},
+		Messages:   []Message{{Name: "m", SrcPart: 0, SrcTask: 0, DstPart: 0, DstTask: 0}},
+	}
+	var me *MessageError
+	if err := s.ValidateMessages(); !errors.As(err, &me) {
+		t.Fatalf("ValidateMessages = %v, want *MessageError", err)
+	}
+	s.Messages = nil
+	if err := s.ValidateMessages(); err != nil {
+		t.Fatalf("ValidateMessages on edge-free system = %v", err)
+	}
+}

@@ -19,6 +19,40 @@ func verr(where, format string, args ...any) error {
 	return &ValidationError{Where: where, Msg: fmt.Sprintf(format, args...)}
 }
 
+// MessageError is the typed rejection of a malformed Message: an
+// out-of-range sender/receiver reference, a self-loop, or any other
+// defect of one data-flow edge. Callers that construct Messages
+// programmatically (generators, the compose planner, API clients) can
+// errors.As for it and read the offending edge index back. It unwraps to
+// a *ValidationError, so the diag exit-code classification (ExitConfig)
+// and every existing errors.As(&ValidationError) site keep working.
+type MessageError struct {
+	Index  int    // index into System.Messages
+	Name   string // message name, "" when unnamed
+	Reason string
+}
+
+func (e *MessageError) Error() string {
+	where := fmt.Sprintf("message %d", e.Index)
+	if e.Name != "" {
+		where = "message " + e.Name
+	}
+	return fmt.Sprintf("config: %s: %s", where, e.Reason)
+}
+
+// Unwrap exposes the error as a *ValidationError for classification.
+func (e *MessageError) Unwrap() error {
+	where := fmt.Sprintf("message %d", e.Index)
+	if e.Name != "" {
+		where = "message " + e.Name
+	}
+	return &ValidationError{Where: where, Msg: e.Reason}
+}
+
+func merr(index int, name, format string, args ...any) error {
+	return &MessageError{Index: index, Name: name, Reason: fmt.Sprintf(format, args...)}
+}
+
 // Validate checks the configuration against the formal model's constraints:
 // well-formed cores and core types, tasks with positive periods, deadlines
 // within periods, per-core-type WCET vectors, valid bindings, windows inside
@@ -174,7 +208,12 @@ func (s *System) Validate() error {
 		}
 	}
 
-	// Messages.
+	// Messages. Reference and self-loop defects raise the typed
+	// *MessageError (ValidateMessages), so construction-time callers can
+	// catch them before anything indexes Partitions with a bad reference.
+	if err := s.ValidateMessages(); err != nil {
+		return err
+	}
 	mseen := make(map[string]bool)
 	for i := range s.Messages {
 		m := &s.Messages[i]
@@ -186,15 +225,6 @@ func (s *System) Validate() error {
 			return verr("system", "duplicate message %q", m.Name)
 		}
 		mseen[m.Name] = true
-		if !s.validRef(TaskRef{m.SrcPart, m.SrcTask}) {
-			return verr(where, "sender reference (%d,%d) out of range", m.SrcPart, m.SrcTask)
-		}
-		if !s.validRef(TaskRef{m.DstPart, m.DstTask}) {
-			return verr(where, "receiver reference (%d,%d) out of range", m.DstPart, m.DstTask)
-		}
-		if m.SrcPart == m.DstPart && m.SrcTask == m.DstTask {
-			return verr(where, "sender and receiver are the same task")
-		}
 		sp := s.Partitions[m.SrcPart].Tasks[m.SrcTask].Period
 		dp := s.Partitions[m.DstPart].Tasks[m.DstTask].Period
 		if sp != dp {
@@ -209,6 +239,29 @@ func (s *System) Validate() error {
 		return verr("system", "data-flow graph has a cycle: %s", cyc)
 	}
 	return s.validateNetwork()
+}
+
+// ValidateMessages checks only the structural sanity of the data-flow
+// edges: every sender and receiver reference must index an existing task
+// and no message may connect a task to itself. Every defect is reported
+// as a *MessageError naming the edge. Validate calls this before any
+// other message check; exporters and planners that walk Messages on
+// partially-built systems (WriteXML, compose) call it directly so a
+// malformed edge surfaces as a typed error instead of an index panic.
+func (s *System) ValidateMessages() error {
+	for i := range s.Messages {
+		m := &s.Messages[i]
+		if !s.validRef(TaskRef{m.SrcPart, m.SrcTask}) {
+			return merr(i, m.Name, "sender reference (%d,%d) out of range", m.SrcPart, m.SrcTask)
+		}
+		if !s.validRef(TaskRef{m.DstPart, m.DstTask}) {
+			return merr(i, m.Name, "receiver reference (%d,%d) out of range", m.DstPart, m.DstTask)
+		}
+		if m.SrcPart == m.DstPart && m.SrcTask == m.DstTask {
+			return merr(i, m.Name, "sender and receiver are the same task (self-loop)")
+		}
+	}
+	return nil
 }
 
 func (s *System) validRef(r TaskRef) bool {

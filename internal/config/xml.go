@@ -88,6 +88,11 @@ type xmlMessage struct {
 
 // WriteXML serializes the configuration.
 func (s *System) WriteXML(w io.Writer) error {
+	// Message elements are serialized by task name, so a dangling
+	// reference would otherwise panic indexing Partitions below.
+	if err := s.ValidateMessages(); err != nil {
+		return err
+	}
 	x := xmlSystem{Name: s.Name}
 	for _, ct := range s.CoreTypes {
 		x.CoreTypes = append(x.CoreTypes, xmlCoreType{Name: ct})

@@ -1,0 +1,220 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stopwatchsim/internal/config"
+)
+
+// MultiModule builds a deterministic N-module distributed system shaped
+// for compositional analysis: one core and one FPPS partition per
+// module, a message chain TX→RX crossing every module boundary, and a
+// per-module background load whose period cycles through {5, 8, 9}. The
+// chain period is 12, so the global hyperperiod is lcm(5,8,9,12) = 360
+// while each module's local hyperperiod is only lcm(base, 12) ∈
+// {60, 24, 36} — the gap per-module analysis exploits. Every receiver is
+// the strictly lowest-priority task of its FPPS partition, so the
+// safe-receiver gate holds by construction; seed perturbs only the
+// background-load WCETs, leaving the module structure (and therefore
+// every other module's fingerprint) untouched.
+func MultiModule(modules int, seed int64) *config.System {
+	if modules < 2 {
+		modules = 2
+	}
+	const chainPeriod = 12
+	bases := []int64{5, 8, 9}
+	// Global hyperperiod over the bases actually used: lcm(5,8,9,12)=360
+	// from three modules up, 120 for two.
+	l := int64(chainPeriod)
+	for m := 0; m < modules && m < len(bases); m++ {
+		l = l / config.GCD(l, bases[m]) * bases[m]
+	}
+	r := rand.New(rand.NewSource(seed))
+	sys := &config.System{
+		Name:      fmt.Sprintf("multimodule-%d-s%d", modules, seed),
+		CoreTypes: []string{"std"},
+	}
+	for m := 0; m < modules; m++ {
+		sys.Cores = append(sys.Cores, config.Core{
+			Name: fmt.Sprintf("m%d", m), Type: 0, Module: m + 1,
+		})
+		part := config.Partition{
+			Name:   fmt.Sprintf("M%d", m),
+			Core:   m,
+			Policy: config.FPPS,
+			Tasks: []config.Task{
+				// TX drives the outbound chain edge: highest priority and a
+				// tight deadline keep the derived contract offset small.
+				{Name: "TX", Priority: 10, WCET: []int64{1}, Period: chainPeriod, Deadline: 3},
+				// The background load is the only seed-dependent content.
+				{Name: "LOAD", Priority: 5, WCET: []int64{1 + r.Int63n(2)},
+					Period: bases[m%len(bases)], Deadline: bases[m%len(bases)]},
+				// RX receives the inbound chain edge; strictly lowest
+				// priority in an FPPS partition (the safe-receiver gate).
+				{Name: "RX", Priority: 1, WCET: []int64{1}, Period: chainPeriod, Deadline: chainPeriod},
+			},
+			Windows: []config.Window{{Start: 0, End: l}},
+		}
+		sys.Partitions = append(sys.Partitions, part)
+	}
+	for m := 0; m+1 < modules; m++ {
+		sys.Messages = append(sys.Messages, config.Message{
+			Name:    fmt.Sprintf("chain%d", m),
+			SrcPart: m, SrcTask: 0, // TX of module m
+			DstPart: m + 1, DstTask: 2, // RX of module m+1
+			NetDelay: 1,
+		})
+	}
+	if err := sys.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: invalid multimodule config (modules %d, seed %d): %v", modules, seed, err))
+	}
+	return sys
+}
+
+// RandomDistributed generates a valid random multi-module configuration
+// for differential testing of the compositional analyzer: 2–4 modules
+// (one core each), FPPS partitions, and cross-module messages always
+// sent from a lower module to a higher one (module-acyclic). Receivers
+// are demoted to strictly-lowest priority only about half the time, so
+// the corpus mixes compositional runs with safe-receiver-gate fallbacks;
+// window carving is random, so local schedules mix truncation with pacer
+// mode. The same seed always yields the same configuration.
+func RandomDistributed(seed int64, p RandomParams) *config.System {
+	r := rand.New(rand.NewSource(seed))
+	nm := 2 + r.Intn(3)
+	periods := p.Periods
+	if len(periods) == 0 {
+		periods = []int64{6, 12, 24}
+	}
+	sys := &config.System{
+		Name:      fmt.Sprintf("distributed-%d", seed),
+		CoreTypes: []string{"std"},
+	}
+	partModule := make([]int, 0) // module index per partition
+	for m := 0; m < nm; m++ {
+		sys.Cores = append(sys.Cores, config.Core{
+			Name: fmt.Sprintf("c%d", m), Type: 0, Module: m + 1,
+		})
+		np := 1 + r.Intn(2)
+		for pi := 0; pi < np; pi++ {
+			part := config.Partition{
+				Name:   fmt.Sprintf("M%d_P%d", m, pi),
+				Core:   m,
+				Policy: config.FPPS,
+			}
+			nt := 1 + r.Intn(p.MaxTasks)
+			for t := 0; t < nt; t++ {
+				period := periods[r.Intn(len(periods))]
+				c := 1 + r.Int63n(maxI64(1, period/8))
+				// Mostly lax deadlines keep a useful fraction of the corpus
+				// schedulable; the occasional tight one keeps unschedulable
+				// modules (and with them the fallback path) in the mix.
+				d := period
+				if r.Intn(8) == 0 {
+					d = c + r.Int63n(period-c+1)
+				}
+				part.Tasks = append(part.Tasks, config.Task{
+					Name:     fmt.Sprintf("T%d_%d_%d", m, pi, t),
+					Priority: 2 + r.Intn(7),
+					WCET:     []int64{c},
+					Period:   period,
+					Deadline: d,
+				})
+			}
+			partModule = append(partModule, m)
+			sys.Partitions = append(sys.Partitions, part)
+		}
+	}
+	// TDM frame schedule per core: every frame (the gcd of the candidate
+	// periods) is sliced among the core's partitions, so short-period
+	// tasks see their partition in every period — one contiguous slice of
+	// the whole hyperperiod would starve them outright. Frame-periodic
+	// coverage is also what the compositional planner's window truncation
+	// thrives on.
+	frame := periods[0]
+	for _, p := range periods[1:] {
+		frame = config.GCD(frame, p)
+	}
+	l := sys.Hyperperiod()
+	for c := range sys.Cores {
+		var parts []int
+		for pi := range sys.Partitions {
+			if sys.Partitions[pi].Core == c {
+				parts = append(parts, pi)
+			}
+		}
+		span := frame / int64(len(parts))
+		for f := int64(0); f < l/frame; f++ {
+			for i, pi := range parts {
+				start := f*frame + int64(i)*span
+				end := start + span
+				if i == len(parts)-1 {
+					end = (f + 1) * frame
+				}
+				sys.Partitions[pi].Windows = append(sys.Partitions[pi].Windows,
+					config.Window{Start: start, End: end})
+			}
+		}
+	}
+
+	// Cross-module edges between equal-period tasks, lower module →
+	// higher module so the module graph is a DAG.
+	tries := 0
+	for len(sys.Messages) < p.Messages && tries < 80 {
+		tries++
+		a, b := r.Intn(len(sys.Partitions)), r.Intn(len(sys.Partitions))
+		if partModule[a] >= partModule[b] {
+			continue
+		}
+		st := r.Intn(len(sys.Partitions[a].Tasks))
+		dt := r.Intn(len(sys.Partitions[b].Tasks))
+		if sys.Partitions[a].Tasks[st].Period != sys.Partitions[b].Tasks[dt].Period {
+			continue
+		}
+		dup := false
+		for _, m := range sys.Messages {
+			if m.DstPart == b && m.DstTask == dt {
+				dup = true // one inbound edge per task keeps the flow graph simple
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		sys.Messages = append(sys.Messages, config.Message{
+			Name:    fmt.Sprintf("e%d", len(sys.Messages)),
+			SrcPart: a, SrcTask: st,
+			DstPart: b, DstTask: dt,
+			NetDelay: 1 + r.Int63n(2),
+		})
+		// Most receivers become safe (strictly lowest priority)
+		// with contract-friendly deadlines — the receiver gets its full
+		// period and the sender a tight deadline, so a latest-assumed
+		// arrival still leaves the receiver room to finish. The rest keep
+		// their random parameters and leave the safe-receiver gate (or a
+		// locally impossible assumption) to trip the fallback.
+		if r.Intn(2) == 0 {
+			lowest := true
+			for t := range sys.Partitions[b].Tasks {
+				if t != dt && sys.Partitions[b].Tasks[t].Priority <= 1 {
+					lowest = false
+					break
+				}
+			}
+			if lowest {
+				rx := &sys.Partitions[b].Tasks[dt]
+				rx.Priority = 1
+				rx.Deadline = rx.Period
+				tx := &sys.Partitions[a].Tasks[st]
+				if tight := maxI64(tx.WCET[0], tx.Period/3); tx.Deadline > tight {
+					tx.Deadline = tight
+				}
+			}
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: invalid distributed config (seed %d): %v", seed, err))
+	}
+	return sys
+}

@@ -17,6 +17,8 @@ const (
 	PhaseInterpret = "interpret" // the NSA interpretation run
 	PhaseCheck     = "check"     // schedulability criterion over the trace
 	PhaseExport    = "export"    // trace/report serialization
+	PhasePlan      = "plan"      // compositional decomposition and contract derivation
+	PhaseCompose   = "compose"   // per-module analyses and the interface refinement check
 )
 
 // PhaseSpan is one completed (or still-open) span of a Timeline: a named
